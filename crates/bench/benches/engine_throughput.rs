@@ -1,0 +1,33 @@
+//! Criterion benchmark of the discrete-event engine itself: simulated
+//! transactions per host second for the list workload under SI-TM and
+//! 2PL (a regression guard for simulator performance).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sitm_bench::{machine, run_once, Protocol};
+use sitm_workloads::{ListParams, ListWorkload};
+use sitm_sim::Workload as _;
+
+fn engine_list(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/list_4t");
+    group.sample_size(20);
+    for proto in [Protocol::SiTm, Protocol::TwoPl] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(proto.name()),
+            &proto,
+            |b, &proto| {
+                let cfg = machine(4);
+                b.iter(|| {
+                    let mut w = ListWorkload::new(ListParams::quick());
+                    let stats = run_once(proto, &mut w, &cfg, 7);
+                    assert!(stats.commits() > 0);
+                    let _ = w.name();
+                    stats.total_cycles
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, engine_list);
+criterion_main!(benches);

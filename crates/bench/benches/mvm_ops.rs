@@ -1,0 +1,57 @@
+//! Criterion microbenchmarks of the multiversioned memory substrate:
+//! snapshot reads at varying depth, version installs with and without
+//! coalescing, and the non-transactional paths.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sitm_mvm::{MvmStore, ThreadId, Timestamp};
+
+fn snapshot_read(c: &mut Criterion) {
+    let mut mem = MvmStore::new();
+    let a = mem.alloc_words(1);
+    // Pin snapshots so four versions coexist.
+    for (i, s) in [2u64, 4, 6].into_iter().enumerate() {
+        mem.register_transaction(ThreadId(i), Timestamp(s));
+    }
+    for ts in [1u64, 3, 5, 7] {
+        let mut line = mem.read_line(a.line());
+        line[0] = ts;
+        mem.install(a.line(), Timestamp(ts), line).unwrap();
+    }
+    c.bench_function("mvm/snapshot_read_depth3", |b| {
+        b.iter(|| mem.read_word_snapshot(a, Timestamp(2)).unwrap())
+    });
+    c.bench_function("mvm/snapshot_read_depth0", |b| {
+        b.iter(|| mem.read_word_snapshot(a, Timestamp(100)).unwrap())
+    });
+}
+
+fn install_coalescing(c: &mut Criterion) {
+    c.bench_function("mvm/install_coalesced", |b| {
+        let mut mem = MvmStore::new();
+        let a = mem.alloc_words(1);
+        let mut ts = 1u64;
+        b.iter(|| {
+            // No live snapshots between installs: every install
+            // coalesces into the single newest slot.
+            mem.install(a.line(), Timestamp(ts), [ts; 8]).unwrap();
+            ts += 1;
+        })
+    });
+}
+
+fn non_transactional_paths(c: &mut Criterion) {
+    let mut mem = MvmStore::new();
+    let a = mem.alloc_words(1);
+    mem.write_word(a, 1);
+    c.bench_function("mvm/read_word", |b| b.iter(|| mem.read_word(a)));
+    c.bench_function("mvm/write_word", |b| {
+        let mut v = 0u64;
+        b.iter(|| {
+            mem.write_word(a, v);
+            v += 1;
+        })
+    });
+}
+
+criterion_group!(benches, snapshot_read, install_coalescing, non_transactional_paths);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Section 3.1 ablation: the version cap and its overflow policies.
+//!
+//! The paper restricts the MVM to 4 versions and claims that both the
+//! abort-writer and discard-oldest policies "affect the abort rates and
+//! performance by less than 1%" compared to unbounded versions. This
+//! ablation measures abort rate and throughput for cap 2/4/8 under both
+//! policies plus the unbounded configuration, on the three
+//! microbenchmarks (the version-hungriest workloads).
+//!
+//! Usage: `cargo run --release -p sitm-bench --bin ablate_version_cap
+//! [--quick] [--threads N]`
+
+use sitm_bench::{machine, print_row, run_si_tm, HarnessOpts};
+use sitm_core::SiTmConfig;
+use sitm_mvm::OverflowPolicy;
+use sitm_workloads::microbenchmarks;
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let threads: usize = std::env::args()
+        .collect::<Vec<_>>()
+        .windows(2)
+        .find(|w| w[0] == "--threads")
+        .and_then(|w| w[1].parse().ok())
+        .unwrap_or(16);
+    let cfg = machine(threads);
+
+    println!("Ablation: MVM version cap and overflow policy ({threads} threads)");
+    println!();
+
+    let variants: Vec<(String, usize, OverflowPolicy)> = vec![
+        ("abort cap=2".into(), 2, OverflowPolicy::AbortWriter),
+        ("abort cap=4".into(), 4, OverflowPolicy::AbortWriter),
+        ("abort cap=8".into(), 8, OverflowPolicy::AbortWriter),
+        ("drop  cap=4".into(), 4, OverflowPolicy::DiscardOldest),
+        ("unbounded".into(), usize::MAX, OverflowPolicy::Unbounded),
+    ];
+
+    let n = microbenchmarks(opts.scale).len();
+    for index in 0..n {
+        let name = microbenchmarks(opts.scale)[index].name().to_string();
+        println!("== {name} ==");
+        print_row(
+            "variant",
+            &["aborts".into(), "abort rate".into(), "commits/kc".into()],
+        );
+        for (label, cap, policy) in &variants {
+            let mut workloads = microbenchmarks(opts.scale);
+            let w = workloads[index].as_mut();
+            let mut si_cfg = SiTmConfig::default();
+            si_cfg.mvm.version_cap = *cap;
+            si_cfg.mvm.overflow_policy = *policy;
+            let (stats, _) = run_si_tm(si_cfg, w, &cfg, 42);
+            print_row(
+                label,
+                &[
+                    stats.aborts().to_string(),
+                    format!("{:.2}%", stats.abort_rate() * 100.0),
+                    format!("{:.3}", stats.throughput()),
+                ],
+            );
+        }
+        println!();
+    }
+    println!("paper expectation: cap-4 policies within ~1% of unbounded.");
+}

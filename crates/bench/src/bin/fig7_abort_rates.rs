@@ -1,0 +1,58 @@
+//! Figure 7: abort rates relative to 2PL, for 8/16/32 threads and the
+//! three systems, across all ten benchmarks.
+//!
+//! The paper's headline result: SI-TM reduces aborts by up to three
+//! orders of magnitude (array), >30x (list), ~50x (intruder), <1% of
+//! 2PL (vacation), ~20x (bayes); little to nothing on kmeans,
+//! labyrinth and ssca2, whose conflicts are genuinely write-write or
+//! already rare.
+//!
+//! Usage: `cargo run --release -p sitm-bench --bin fig7_abort_rates
+//! [--quick] [--seeds N]`
+
+use sitm_bench::{fmt_ratio, machine, print_row, run_avg, warn_truncated, HarnessOpts, Protocol};
+use sitm_workloads::all_workloads;
+
+const THREADS: [usize; 3] = [8, 16, 32];
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    println!("Figure 7: abort rate relative to 2PL (lower is better; 1.000 = 2PL)");
+    println!();
+
+    let names: Vec<String> = all_workloads(opts.scale)
+        .iter()
+        .map(|w| w.name().to_string())
+        .collect();
+
+    for (index, name) in names.iter().enumerate() {
+        println!("== {name} ==");
+        let mut header = vec!["threads".to_string()];
+        header.extend(Protocol::PAPER.iter().map(|p| p.name().to_string()));
+        header.push("SI abs".to_string());
+        print_row("", &header);
+        for &threads in &THREADS {
+            let cfg = machine(threads);
+            let mut rates = Vec::new();
+            for proto in Protocol::PAPER {
+                let avg = run_avg(proto, opts.scale, index, &cfg, opts.seeds);
+                warn_truncated(&format!("{}/{name}/{threads}T", proto.name()), &avg);
+                rates.push(avg.abort_rate);
+            }
+            let base = rates[0];
+            let mut cells = vec![threads.to_string()];
+            cells.extend(rates.iter().map(|&r| {
+                if base == 0.0 {
+                    if r == 0.0 { "0".into() } else { "inf".into() }
+                } else {
+                    fmt_ratio(r / base)
+                }
+            }));
+            cells.push(format!("{:.2}%", rates[2] * 100.0));
+            print_row("", &cells);
+        }
+        println!();
+    }
+    println!("paper expectation (32 threads): array ~1/3000 of 2PL, list <1/30,");
+    println!("intruder ~1/50, vacation <1/100, bayes ~1/20; kmeans/labyrinth/ssca2 ~1.");
+}

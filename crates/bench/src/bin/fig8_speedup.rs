@@ -1,0 +1,76 @@
+//! Figure 8: application speedup from 1 to 32 threads for 2PL, SONTM
+//! and SI-TM on all ten benchmarks.
+//!
+//! Speedup is throughput (committed transactions per cycle) relative to
+//! the same system at one thread, the standard weak-scaling measure for
+//! fixed per-thread transaction counts.
+//!
+//! Paper expectations at 32 threads: SI-TM ~20x on array and ~14x on
+//! list (where 2PL *degrades* beyond 2 threads), ~2x on rbtree, ~3.8x
+//! on genome for both CS and SI, near-linear scaling on vacation
+//! (with CS dropping off past 8 threads), ~10x on bayes, and parity on
+//! kmeans/labyrinth/ssca2.
+//!
+//! Usage: `cargo run --release -p sitm-bench --bin fig8_speedup
+//! [--quick] [--seeds N]`
+
+use sitm_bench::{machine, print_row, run_avg, warn_truncated, HarnessOpts, Protocol};
+use sitm_workloads::all_workloads;
+
+const THREADS: [usize; 6] = [1, 2, 4, 8, 16, 32];
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    println!("Figure 8: speedup over the same system at 1 thread");
+    println!();
+
+    let names: Vec<String> = all_workloads(opts.scale)
+        .iter()
+        .map(|w| w.name().to_string())
+        .collect();
+
+    for (index, name) in names.iter().enumerate() {
+        println!("== {name} ==");
+        let mut header = vec!["threads".to_string()];
+        header.extend(Protocol::PAPER.iter().map(|p| p.name().to_string()));
+        print_row("", &header);
+
+        // Baselines: throughput at one thread per protocol.
+        let base_cfg = machine(1);
+        let baselines: Vec<f64> = Protocol::PAPER
+            .iter()
+            .map(|&p| {
+                let avg = run_avg(p, opts.scale, index, &base_cfg, opts.seeds);
+                warn_truncated(&format!("{}/{name}/1T", p.name()), &avg);
+                avg.throughput
+            })
+            .collect();
+
+        for &threads in &THREADS {
+            let cfg = machine(threads);
+            let mut cells = vec![threads.to_string()];
+            for (pi, &proto) in Protocol::PAPER.iter().enumerate() {
+                let avg = if threads == 1 {
+                    // reuse baseline
+                    None
+                } else {
+                    Some(run_avg(proto, opts.scale, index, &cfg, opts.seeds))
+                };
+                let speedup = match avg {
+                    None => 1.0,
+                    Some(a) => {
+                        warn_truncated(&format!("{}/{name}/{threads}T", proto.name()), &a);
+                        if baselines[pi] > 0.0 {
+                            a.throughput / baselines[pi]
+                        } else {
+                            f64::NAN
+                        }
+                    }
+                };
+                cells.push(format!("{speedup:.2}x"));
+            }
+            print_row("", &cells);
+        }
+        println!();
+    }
+}

@@ -1,0 +1,37 @@
+//! Section 3.2: capacity and bandwidth overheads of the MVM indirection
+//! layer.
+//!
+//! Usage: `cargo run -p sitm-bench --bin overheads`
+
+use sitm_mvm::OverheadModel;
+
+fn main() {
+    println!("Section 3.2: MVM indirection-layer overheads");
+    println!();
+    let base = OverheadModel::new();
+    println!("per-line metadata: 4 x 32-bit reference + 4 x 32-bit timestamp");
+    println!(
+        "capacity overhead, 4 active versions: {:>6.2}%  (paper: 12.5%)",
+        base.capacity_overhead(4) * 100.0
+    );
+    println!(
+        "capacity overhead, 1 active version:  {:>6.2}%  (paper: 50% worst case)",
+        base.capacity_overhead(1) * 100.0
+    );
+    let bundled = OverheadModel {
+        version_cap: 4,
+        bundle_lines: 8,
+    };
+    println!(
+        "worst case with 8-line bundles:       {:>6.2}%  (paper: ~6%)",
+        bundled.capacity_overhead(1) * 100.0
+    );
+    println!(
+        "bundle copy-on-write cost:            {:>4} words per first write",
+        bundled.copy_on_write_words()
+    );
+    println!(
+        "best-case bandwidth overhead:         {:>6.2}%  (paper: 12.5%)",
+        base.best_case_bandwidth_overhead() * 100.0
+    );
+}

@@ -1,0 +1,11 @@
+//! Table 1: the simulated platform.
+//!
+//! Usage: `cargo run -p sitm-bench --bin table1_config`
+
+use sitm_sim::MachineConfig;
+
+fn main() {
+    println!("Table 1: Simulated Architecture");
+    println!();
+    print!("{}", MachineConfig::default().table1());
+}

@@ -1,0 +1,227 @@
+//! # sitm-bench — harness regenerating the paper's tables and figures
+//!
+//! One binary per experiment (see `EXPERIMENTS.md` at the repository
+//! root for the full index):
+//!
+//! | binary | reproduces |
+//! |---|---|
+//! | `fig1_aborts` | Figure 1 — read-write vs write-write abort shares under 2PL |
+//! | `fig7_abort_rates` | Figure 7 — abort rates relative to 2PL, 8/16/32 threads |
+//! | `fig8_speedup` | Figure 8 — speedup curves, 1–32 threads |
+//! | `table1_config` | Table 1 — the simulated platform |
+//! | `table2_versions` | Table 2 / Appendix A — accesses per MVM version depth |
+//! | `overheads` | Section 3.2 — indirection capacity/bandwidth overheads |
+//! | `ablate_version_cap` | Section 3.1 — cap-4 vs discard-oldest vs unbounded |
+//! | `ablate_coalescing` | Section 3.1 — version coalescing on/off |
+//! | `ablate_backoff` | Section 6.4 — exponential backoff on/off for the eager baselines |
+//!
+//! This library holds the shared runner: protocol dispatch, seed
+//! averaging, and plain-text table formatting.
+
+use sitm_core::{SiTm, SiTmConfig, Sontm, SsiTm, TwoPl};
+use sitm_sim::{Engine, MachineConfig, RunStats, Workload};
+use sitm_workloads::{all_workloads, Scale};
+
+/// The protocols compared in the evaluation (the paper's three, plus
+/// SSI-TM from section 5.2 as an extension).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Protocol {
+    /// Eager requester-wins 2-phase locking (baseline).
+    TwoPl,
+    /// Conflict-serializable SONTM (baseline).
+    Sontm,
+    /// Snapshot-isolation TM (the paper's contribution).
+    SiTm,
+    /// Serializable snapshot isolation (section 5.2 extension).
+    SsiTm,
+}
+
+impl Protocol {
+    /// The three systems of the paper's figures, in their order.
+    pub const PAPER: [Protocol; 3] = [Protocol::TwoPl, Protocol::Sontm, Protocol::SiTm];
+
+    /// Display name matching the paper's legends.
+    pub fn name(self) -> &'static str {
+        match self {
+            Protocol::TwoPl => "2PL",
+            Protocol::Sontm => "SONTM",
+            Protocol::SiTm => "SI-TM",
+            Protocol::SsiTm => "SSI-TM",
+        }
+    }
+}
+
+/// Runs `workload` under `protocol` once and returns the statistics.
+pub fn run_once(
+    protocol: Protocol,
+    workload: &mut dyn Workload,
+    cfg: &MachineConfig,
+    seed: u64,
+) -> RunStats {
+    match protocol {
+        Protocol::TwoPl => Engine::new(TwoPl::new(cfg), workload, cfg, seed).run().0,
+        Protocol::Sontm => Engine::new(Sontm::new(cfg), workload, cfg, seed).run().0,
+        Protocol::SiTm => Engine::new(SiTm::new(cfg), workload, cfg, seed).run().0,
+        Protocol::SsiTm => Engine::new(SsiTm::new(cfg), workload, cfg, seed).run().0,
+    }
+}
+
+/// Runs an SI-TM variant with a custom protocol configuration (for the
+/// ablations and the Table 2 census) and returns the statistics together
+/// with the protocol model for post-run inspection.
+pub fn run_si_tm(
+    si_cfg: SiTmConfig,
+    workload: &mut dyn Workload,
+    cfg: &MachineConfig,
+    seed: u64,
+) -> (RunStats, SiTm) {
+    Engine::new(SiTm::with_config(cfg, si_cfg), workload, cfg, seed).run()
+}
+
+/// Averaged metrics over several seeds.
+#[derive(Debug, Clone, Default)]
+pub struct Averaged {
+    /// Mean abort rate (aborts / attempts).
+    pub abort_rate: f64,
+    /// Mean throughput (commits per kilocycle).
+    pub throughput: f64,
+    /// Mean total aborts.
+    pub aborts: f64,
+    /// Mean commits.
+    pub commits: f64,
+    /// Whether any seed's run hit the cycle ceiling.
+    pub truncated: bool,
+}
+
+/// Runs `protocol` over fresh instances of workload `index` from the
+/// registry, averaged over `seeds` seeds (the paper averages five runs
+/// with different random seeds).
+pub fn run_avg(
+    protocol: Protocol,
+    scale: Scale,
+    index: usize,
+    cfg: &MachineConfig,
+    seeds: u64,
+) -> Averaged {
+    let mut acc = Averaged::default();
+    for seed in 0..seeds {
+        let mut workloads = all_workloads(scale);
+        let w = workloads[index].as_mut();
+        let stats = run_once(protocol, w, cfg, 1000 + seed * 7919);
+        acc.abort_rate += stats.abort_rate();
+        acc.throughput += stats.throughput();
+        acc.aborts += stats.aborts() as f64;
+        acc.commits += stats.commits() as f64;
+        acc.truncated |= stats.truncated;
+    }
+    let n = seeds as f64;
+    acc.abort_rate /= n;
+    acc.throughput /= n;
+    acc.aborts /= n;
+    acc.commits /= n;
+    acc
+}
+
+/// Harness CLI options shared by the figure binaries.
+#[derive(Debug, Clone, Copy)]
+pub struct HarnessOpts {
+    /// Benchmark scale.
+    pub scale: Scale,
+    /// Seeds averaged per data point.
+    pub seeds: u64,
+}
+
+impl Default for HarnessOpts {
+    fn default() -> Self {
+        HarnessOpts {
+            scale: Scale::Default,
+            seeds: 3,
+        }
+    }
+}
+
+impl HarnessOpts {
+    /// Parses `--quick` (tiny instances) and `--seeds N` from the
+    /// command line; everything else is ignored.
+    pub fn from_args() -> Self {
+        let mut opts = HarnessOpts::default();
+        let args: Vec<String> = std::env::args().collect();
+        for (i, arg) in args.iter().enumerate() {
+            match arg.as_str() {
+                "--quick" => opts.scale = Scale::Quick,
+                "--seeds" => {
+                    if let Some(n) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                        opts.seeds = n;
+                    }
+                }
+                _ => {}
+            }
+        }
+        opts
+    }
+}
+
+/// The machine configuration used by every experiment: Table 1 with the
+/// requested core count and a generous safety ceiling.
+pub fn machine(threads: usize) -> MachineConfig {
+    let mut cfg = MachineConfig::with_cores(threads);
+    cfg.max_cycles = 2_000_000_000;
+    cfg
+}
+
+/// Formats a ratio for the relative-abort tables: `1.00` for the
+/// baseline, small values printed with enough precision to show
+/// orders-of-magnitude reductions.
+pub fn fmt_ratio(x: f64) -> String {
+    if x == 0.0 {
+        "0".to_string()
+    } else if x < 0.001 {
+        format!("{x:.1e}")
+    } else {
+        format!("{x:.3}")
+    }
+}
+
+/// Prints a row of right-aligned cells after a left-aligned label.
+pub fn print_row(label: &str, cells: &[String]) {
+    print!("{label:<12}");
+    for c in cells {
+        print!(" {c:>10}");
+    }
+    println!();
+}
+
+/// Sanity helper used by the binaries: warns when a run was truncated by
+/// the safety ceiling.
+pub fn warn_truncated(name: &str, avg: &Averaged) {
+    if avg.truncated {
+        eprintln!("warning: {name} hit the simulation cycle ceiling; numbers are lower bounds");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn protocols_have_paper_names() {
+        let names: Vec<&str> = Protocol::PAPER.iter().map(|p| p.name()).collect();
+        assert_eq!(names, vec!["2PL", "SONTM", "SI-TM"]);
+    }
+
+    #[test]
+    fn run_avg_is_reproducible() {
+        let cfg = machine(2);
+        let a = run_avg(Protocol::SiTm, Scale::Quick, 0, &cfg, 2);
+        let b = run_avg(Protocol::SiTm, Scale::Quick, 0, &cfg, 2);
+        assert_eq!(a.commits, b.commits);
+        assert_eq!(a.aborts, b.aborts);
+    }
+
+    #[test]
+    fn fmt_ratio_covers_magnitudes() {
+        assert_eq!(fmt_ratio(0.0), "0");
+        assert_eq!(fmt_ratio(1.0), "1.000");
+        assert!(fmt_ratio(0.0000321).contains('e'));
+    }
+}

@@ -1,0 +1,161 @@
+//! Shared building blocks for the protocol models: the per-transaction
+//! write buffer and the protocol base (store + memory-system cost model).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use sitm_mvm::{Addr, LineAddr, LineData, MvmStore, Word};
+use sitm_sim::{Cycles, MachineConfig, MemorySystem};
+
+/// A transaction's buffered (uncommitted) writes, at word granularity,
+/// with the set of touched lines maintained alongside.
+///
+/// Lazy version management buffers stores privately until commit; this
+/// structure is that buffer. `BTreeMap`/`BTreeSet` keep iteration order
+/// deterministic, which the discrete-event simulation relies on.
+#[derive(Debug, Clone, Default)]
+pub struct WriteBuffer {
+    words: BTreeMap<Addr, Word>,
+    lines: BTreeSet<LineAddr>,
+}
+
+impl WriteBuffer {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Buffers `addr = value`. Returns `true` if this touched a line not
+    /// previously written by the transaction.
+    pub fn insert(&mut self, addr: Addr, value: Word) -> bool {
+        self.words.insert(addr, value);
+        self.lines.insert(addr.line())
+    }
+
+    /// The buffered value of `addr`, if the transaction wrote it.
+    pub fn get(&self, addr: Addr) -> Option<Word> {
+        self.words.get(&addr).copied()
+    }
+
+    /// Whether the transaction wrote anything in `line`.
+    pub fn touches_line(&self, line: LineAddr) -> bool {
+        self.lines.contains(&line)
+    }
+
+    /// The set of written lines, in address order.
+    pub fn lines(&self) -> impl Iterator<Item = LineAddr> + '_ {
+        self.lines.iter().copied()
+    }
+
+    /// Number of distinct lines written.
+    pub fn line_count(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Whether nothing was written (the transaction is read-only).
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Applies the buffered words belonging to `line` onto `base`,
+    /// producing the line image the transaction observes / will commit.
+    pub fn apply_to(&self, line: LineAddr, mut base: LineData) -> LineData {
+        let lo = line.word(0);
+        let hi = Addr(lo.0 + sitm_mvm::WORDS_PER_LINE as u64);
+        for (&addr, &value) in self.words.range(lo..hi) {
+            base[addr.offset()] = value;
+        }
+        base
+    }
+
+    /// The word addresses written within `line`.
+    pub fn words_in(&self, line: LineAddr) -> impl Iterator<Item = (Addr, Word)> + '_ {
+        let lo = line.word(0);
+        let hi = Addr(lo.0 + sitm_mvm::WORDS_PER_LINE as u64);
+        self.words.range(lo..hi).map(|(&a, &v)| (a, v))
+    }
+
+    /// Discards everything.
+    pub fn clear(&mut self) {
+        self.words.clear();
+        self.lines.clear();
+    }
+}
+
+/// State shared by every protocol model: the multiversioned store and the
+/// cache-hierarchy cost model, plus fixed operation costs.
+#[derive(Debug)]
+pub struct ProtocolBase {
+    /// The backing (multiversioned) memory.
+    pub store: MvmStore,
+    /// The timing model.
+    pub mem: MemorySystem,
+    /// Cycles to obtain a timestamp / initialize transaction state.
+    pub begin_cost: Cycles,
+    /// Cycles to discard transaction state on rollback (fixed part; the
+    /// paper performs rollback in software).
+    pub rollback_cost: Cycles,
+    /// Cycles per write-set line for validation bookkeeping.
+    pub per_line_validate_cost: Cycles,
+}
+
+impl ProtocolBase {
+    /// Builds the base for machine `cfg` with an empty store.
+    pub fn new(store: MvmStore, cfg: &MachineConfig) -> Self {
+        ProtocolBase {
+            store,
+            mem: MemorySystem::new(cfg),
+            begin_cost: 10,
+            rollback_cost: 40,
+            per_line_validate_cost: cfg.l3.latency,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sitm_mvm::ZERO_LINE;
+
+    #[test]
+    fn write_buffer_tracks_words_and_lines() {
+        let mut wb = WriteBuffer::new();
+        assert!(wb.is_empty());
+        assert!(wb.insert(Addr(3), 30));
+        assert!(!wb.insert(Addr(5), 50), "same line");
+        assert!(wb.insert(Addr(9), 90), "new line");
+        assert_eq!(wb.get(Addr(3)), Some(30));
+        assert_eq!(wb.get(Addr(4)), None);
+        assert_eq!(wb.line_count(), 2);
+        assert!(wb.touches_line(LineAddr(0)));
+        assert!(!wb.touches_line(LineAddr(7)));
+    }
+
+    #[test]
+    fn apply_to_merges_only_own_line() {
+        let mut wb = WriteBuffer::new();
+        wb.insert(Addr(1), 11);
+        wb.insert(Addr(9), 99); // next line; must not leak in
+        let merged = wb.apply_to(LineAddr(0), ZERO_LINE);
+        assert_eq!(merged[1], 11);
+        assert!(merged.iter().enumerate().all(|(i, &w)| i == 1 || w == 0));
+    }
+
+    #[test]
+    fn words_in_is_line_scoped() {
+        let mut wb = WriteBuffer::new();
+        wb.insert(Addr(8), 1);
+        wb.insert(Addr(15), 2);
+        wb.insert(Addr(16), 3);
+        let in_line1: Vec<_> = wb.words_in(LineAddr(1)).collect();
+        assert_eq!(in_line1, vec![(Addr(8), 1), (Addr(15), 2)]);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut wb = WriteBuffer::new();
+        wb.insert(Addr(0), 1);
+        wb.clear();
+        assert!(wb.is_empty());
+        assert_eq!(wb.line_count(), 0);
+    }
+}

@@ -1,0 +1,510 @@
+//! SSI-TM: serializable snapshot isolation (section 5.2 of the paper).
+//!
+//! SI permits the write-skew anomaly. The paper sketches a hardware
+//! extension that makes SI-TM fully serializable by detecting *dangerous
+//! situations*: a transaction that has both an **incoming** and an
+//! **outgoing** read-write dependency is the potential pivot of a
+//! dependency cycle and is aborted (safe, but may introduce false
+//! positives). Crucially the dependencies are *type-based*, not temporal:
+//! a transaction that only ever acts as the reader in its conflicts (like
+//! the long scan of Figure 6) accumulates dependencies of a single kind
+//! and commits, where conflict serializability would abort it.
+//!
+//! On top of the SI-TM machinery this model adds:
+//!
+//! * read-set tracking (SI proper needs none),
+//! * a per-transaction *reader-conflict* flag, set when the transaction
+//!   reads a line for which a newer committed version exists (it read
+//!   old data that an overlapping transaction overwrote),
+//! * a per-transaction *writer-conflict* flag, set at commit when the
+//!   write set intersects the read set of an active transaction, or of a
+//!   transaction that committed during this transaction's lifetime (a
+//!   bounded committed-readers window, the analogue of Cahill et al.'s
+//!   committed-pivot tracking),
+//! * the abort rule: a transaction observed with both flags aborts
+//!   ([`AbortCause::Order`]); the committer dooms conflicting active
+//!   readers whose flags complete a dangerous structure.
+//!
+//! Write-write conflicts abort exactly as in SI-TM.
+
+use std::collections::BTreeSet;
+
+use sitm_mvm::{Addr, GlobalClock, LineAddr, MvmStore, ThreadId, Timestamp, Word};
+use sitm_sim::{
+    AbortCause, BeginOutcome, CommitOutcome, Cycles, MachineConfig, ReadOutcome, TmProtocol,
+    Victims, WriteOutcome,
+};
+
+use crate::base::{ProtocolBase, WriteBuffer};
+
+/// Per-transaction state.
+#[derive(Debug, Default)]
+struct SsiTx {
+    start: Timestamp,
+    writes: WriteBuffer,
+    read_set: BTreeSet<LineAddr>,
+    touched: BTreeSet<LineAddr>,
+    /// This transaction read data an overlapping transaction overwrote
+    /// (it is the reader of an rw-dependency).
+    reader_conflict: bool,
+    /// This transaction wrote data an overlapping transaction read (it
+    /// is the writer of an rw-dependency).
+    writer_conflict: bool,
+}
+
+/// Read set of a recently committed transaction, retained while active
+/// transactions overlap its lifetime.
+#[derive(Debug)]
+struct CommittedReader {
+    end: Timestamp,
+    read_set: BTreeSet<LineAddr>,
+}
+
+/// The serializable-SI protocol model. See the module docs above.
+#[derive(Debug)]
+pub struct SsiTm {
+    base: ProtocolBase,
+    clock: GlobalClock,
+    txs: Vec<Option<SsiTx>>,
+    /// Read sets of committed transactions still overlapping someone.
+    committed_readers: Vec<CommittedReader>,
+}
+
+impl SsiTm {
+    /// Builds an SSI-TM model for machine `cfg`.
+    pub fn new(machine: &MachineConfig) -> Self {
+        SsiTm {
+            base: ProtocolBase::new(MvmStore::new(), machine),
+            clock: GlobalClock::new(machine.cores),
+            txs: (0..machine.cores).map(|_| None).collect(),
+            committed_readers: Vec::new(),
+        }
+    }
+
+    fn tx(&mut self, tid: ThreadId) -> &mut SsiTx {
+        self.txs[tid.0]
+            .as_mut()
+            .expect("operation outside a transaction")
+    }
+
+    fn teardown(&mut self, tid: ThreadId) -> Option<SsiTx> {
+        let tx = self.txs[tid.0].take()?;
+        self.base.store.unregister_transaction(tid);
+        self.base
+            .mem
+            .invalidate_own(tid.0, tx.touched.iter().copied());
+        self.prune_committed_readers();
+        Some(tx)
+    }
+
+    /// Drops committed-reader records that no active transaction
+    /// overlaps any more.
+    fn prune_committed_readers(&mut self) {
+        let oldest_active = self.base.store.active().oldest_start();
+        match oldest_active {
+            None => self.committed_readers.clear(),
+            Some(oldest) => self.committed_readers.retain(|c| c.end > oldest),
+        }
+    }
+}
+
+impl TmProtocol for SsiTm {
+    fn name(&self) -> &'static str {
+        "SSI-TM"
+    }
+
+    fn begin(&mut self, tid: ThreadId, _now: Cycles) -> BeginOutcome {
+        debug_assert!(self.txs[tid.0].is_none(), "nested begin");
+        let start = self
+            .clock
+            .begin()
+            .expect("64-bit timestamp space exhausted");
+        self.base.store.register_transaction(tid, start);
+        self.txs[tid.0] = Some(SsiTx {
+            start,
+            ..SsiTx::default()
+        });
+        BeginOutcome::Started {
+            cycles: self.base.begin_cost,
+            victims: vec![],
+        }
+    }
+
+    fn read(&mut self, tid: ThreadId, addr: Addr, _now: Cycles) -> ReadOutcome {
+        let line = addr.line();
+        if let Some(value) = self.tx(tid).writes.get(addr) {
+            let cycles = self.base.mem.l1_write(tid.0, line);
+            return ReadOutcome::Ok {
+                value,
+                cycles,
+                victims: vec![],
+            };
+        }
+        let start = self.tx(tid).start;
+        let snap = self
+            .base
+            .store
+            .read_snapshot(line, start)
+            .expect("default policy never discards reachable snapshots");
+        // Reading old data that a later commit overwrote: this
+        // transaction is the reader of an rw-dependency.
+        let read_old = self.base.store.newer_than(line, start);
+        let tx = self.tx(tid);
+        tx.read_set.insert(line);
+        tx.touched.insert(line);
+        if read_old {
+            tx.reader_conflict = true;
+            if tx.writer_conflict {
+                // Dangerous structure: both flag kinds on one
+                // transaction.
+                let cycles = self.rollback(tid);
+                return ReadOutcome::Abort {
+                    cause: AbortCause::Order,
+                    cycles,
+                    victims: vec![],
+                };
+            }
+        }
+        let merged = self.txs[tid.0]
+            .as_ref()
+            .unwrap()
+            .writes
+            .apply_to(line, snap.data);
+        let cycles = self.base.mem.mvm_access(tid.0, line);
+        ReadOutcome::Ok {
+            value: merged[addr.offset()],
+            cycles,
+            victims: vec![],
+        }
+    }
+
+    fn write(&mut self, tid: ThreadId, addr: Addr, value: Word, _now: Cycles) -> WriteOutcome {
+        let line = addr.line();
+        let tx = self.tx(tid);
+        tx.writes.insert(addr, value);
+        tx.touched.insert(line);
+        let cycles = self.base.mem.l1_write(tid.0, line);
+        WriteOutcome::Ok {
+            cycles,
+            victims: vec![],
+        }
+    }
+
+    fn promote(&mut self, tid: ThreadId, addr: Addr, _now: Cycles) -> WriteOutcome {
+        // SSI already validates the read set through dangerous-structure
+        // detection; a promotion is just a read-set membership.
+        let line = addr.line();
+        self.tx(tid).read_set.insert(line);
+        WriteOutcome::Ok {
+            cycles: 1,
+            victims: vec![],
+        }
+    }
+
+    fn commit(&mut self, tid: ThreadId, _now: Cycles) -> CommitOutcome {
+        let read_only = self.txs[tid.0]
+            .as_ref()
+            .expect("commit outside transaction")
+            .writes
+            .is_empty();
+        if read_only {
+            // A read-only transaction cannot be a pivot under SI: it has
+            // no outgoing writes. Record its reads for writers that
+            // overlap it, then commit free of charge.
+            let end = self.clock.now();
+            let tx = self.txs[tid.0].as_ref().unwrap();
+            self.committed_readers.push(CommittedReader {
+                end,
+                read_set: tx.read_set.clone(),
+            });
+            self.teardown(tid);
+            return CommitOutcome::Committed {
+                cycles: 0,
+                victims: vec![],
+            };
+        }
+
+        let end = self
+            .clock
+            .reserve_end()
+            .expect("64-bit timestamp space exhausted");
+        let start = self.txs[tid.0].as_ref().unwrap().start;
+        let lines: Vec<LineAddr> = self.txs[tid.0].as_ref().unwrap().writes.lines().collect();
+        let mut cycles: Cycles = 0;
+
+        // Write-write validation, exactly as SI-TM.
+        let mut ww_conflict = false;
+        for &line in &lines {
+            cycles += self.base.per_line_validate_cost;
+            if self.base.store.newer_than(line, start) {
+                ww_conflict = true;
+                break;
+            }
+        }
+        if ww_conflict {
+            let rollback = self.rollback(tid);
+            self.clock.finish_commit(end);
+            return CommitOutcome::Abort {
+                cause: AbortCause::WriteWrite,
+                cycles: cycles + rollback,
+                victims: vec![],
+            };
+        }
+
+        // Dangerous-structure detection. My write set against:
+        // (a) active transactions' read sets,
+        // (b) committed transactions that overlapped me.
+        let mut writer_conflict = self.txs[tid.0].as_ref().unwrap().writer_conflict;
+        let mut victims: Victims = vec![];
+        for i in 0..self.txs.len() {
+            if i == tid.0 {
+                continue;
+            }
+            let Some(other) = self.txs[i].as_mut() else {
+                continue;
+            };
+            if lines.iter().any(|l| other.read_set.contains(l)) {
+                writer_conflict = true;
+                // The active reader is now the reader of an
+                // rw-dependency; if it is already a writer-conflict
+                // party, it forms a dangerous structure and aborts.
+                other.reader_conflict = true;
+                if other.writer_conflict {
+                    victims.push((ThreadId(i), AbortCause::Order));
+                }
+            }
+        }
+        for c in &self.committed_readers {
+            // Overlap: the committed reader's lifetime intersected mine.
+            if c.end > start && lines.iter().any(|l| c.read_set.contains(l)) {
+                writer_conflict = true;
+            }
+        }
+        let reader_conflict = self.txs[tid.0].as_ref().unwrap().reader_conflict;
+        if writer_conflict && reader_conflict {
+            let rollback = self.rollback(tid);
+            self.clock.finish_commit(end);
+            return CommitOutcome::Abort {
+                cause: AbortCause::Order,
+                cycles: cycles + rollback,
+                victims,
+            };
+        }
+
+        // Done reading: release the snapshot so the committer's own
+        // start does not inhibit coalescing.
+        self.base.store.unregister_transaction(tid);
+        // Install, as SI-TM (default policy: unbounded aborts cannot
+        // occur mid-install with the default cap unless snapshots pin
+        // versions; handle the error by aborting).
+        let mut installed = Vec::with_capacity(lines.len());
+        for &line in &lines {
+            let newest = self.base.store.read_line(line);
+            let data = self.txs[tid.0].as_ref().unwrap().writes.apply_to(line, newest);
+            cycles += self.base.mem.writeback(tid.0, line);
+            if self.base.store.install(line, end, data).is_err() {
+                for &l in &installed {
+                    self.base.store.remove_installed(l, end);
+                }
+                let rollback = self.rollback(tid);
+                self.clock.finish_commit(end);
+                return CommitOutcome::Abort {
+                    cause: AbortCause::VersionOverflow,
+                    cycles: cycles + rollback,
+                    victims,
+                };
+            }
+            installed.push(line);
+        }
+
+        // Retain my read set for later writers while I overlap someone.
+        let tx = self.txs[tid.0].as_ref().unwrap();
+        if !tx.read_set.is_empty() {
+            self.committed_readers.push(CommittedReader {
+                end,
+                read_set: tx.read_set.clone(),
+            });
+        }
+        self.teardown(tid);
+        self.clock.finish_commit(end);
+        CommitOutcome::Committed { cycles, victims }
+    }
+
+    fn rollback(&mut self, tid: ThreadId) -> Cycles {
+        match self.teardown(tid) {
+            Some(tx) => self.base.rollback_cost + tx.writes.line_count() as Cycles,
+            None => 0,
+        }
+    }
+
+    fn store(&self) -> &MvmStore {
+        &self.base.store
+    }
+
+    fn store_mut(&mut self) -> &mut MvmStore {
+        &mut self.base.store
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn begin(p: &mut SsiTm, t: usize) {
+        match p.begin(ThreadId(t), 0) {
+            BeginOutcome::Started { .. } => {}
+            other => panic!("begin failed: {other:?}"),
+        }
+    }
+
+    fn read(p: &mut SsiTm, t: usize, a: Addr) -> Result<Word, AbortCause> {
+        match p.read(ThreadId(t), a, 0) {
+            ReadOutcome::Ok { value, .. } => Ok(value),
+            ReadOutcome::Abort { cause, .. } => Err(cause),
+        }
+    }
+
+    fn write(p: &mut SsiTm, t: usize, a: Addr, v: Word) {
+        match p.write(ThreadId(t), a, v, 0) {
+            WriteOutcome::Ok { .. } => {}
+            other => panic!("write aborted: {other:?}"),
+        }
+    }
+
+    fn commit(p: &mut SsiTm, t: usize) -> Result<Victims, AbortCause> {
+        match p.commit(ThreadId(t), 0) {
+            CommitOutcome::Committed { victims, .. } => Ok(victims),
+            CommitOutcome::Abort { cause, .. } => Err(cause),
+        }
+    }
+
+    /// The write-skew schedule of Listing 1: two withdrawals each read
+    /// both balances and write disjoint ones. Plain SI commits both
+    /// (violating the invariant); SSI-TM must abort one.
+    #[test]
+    fn write_skew_is_prevented() {
+        let cfg = MachineConfig::with_cores(2);
+        let mut p = SsiTm::new(&cfg);
+        let checking = p.store_mut().alloc_words(1); // own line
+        let saving = p.store_mut().alloc_lines(1).word(0); // own line
+        p.store_mut().write_word(checking, 60);
+        p.store_mut().write_word(saving, 60);
+
+        begin(&mut p, 0);
+        begin(&mut p, 1);
+        // Both check the invariant: checking + saving > 100.
+        assert_eq!(read(&mut p, 0, checking).unwrap(), 60);
+        assert_eq!(read(&mut p, 0, saving).unwrap(), 60);
+        assert_eq!(read(&mut p, 1, checking).unwrap(), 60);
+        assert_eq!(read(&mut p, 1, saving).unwrap(), 60);
+        // Disjoint withdrawals of 100.
+        write(&mut p, 0, checking, 0);
+        write(&mut p, 1, saving, 0);
+
+        let first = commit(&mut p, 0);
+        let second = commit(&mut p, 1);
+        let aborted = [first.clone(), second.clone()]
+            .iter()
+            .filter(|r| r.is_err())
+            .count();
+        assert!(aborted >= 1, "write skew must not commit on both sides: {first:?} {second:?}");
+        let total = p.store().read_word(checking) + p.store().read_word(saving);
+        assert!(total >= 20, "invariant preserved, balance = {total}");
+    }
+
+    /// Figure 6: the long reader commits under SSI-TM (type-based
+    /// dependencies), where CS aborts it.
+    #[test]
+    fn figure6_long_reader_commits() {
+        let cfg = MachineConfig::with_cores(2);
+        let mut p = SsiTm::new(&cfg);
+        let a = p.store_mut().alloc_words(1);
+        let d = p.store_mut().alloc_lines(1).word(0);
+
+        begin(&mut p, 0); // TX0: long reader
+        begin(&mut p, 1); // TX1: writer
+        assert_eq!(read(&mut p, 0, a).unwrap(), 0); // old A
+        write(&mut p, 1, a, 1);
+        write(&mut p, 1, d, 1);
+        assert_eq!(commit(&mut p, 1), Ok(vec![]));
+        // Reads D after TX1's commit — but from its snapshot (old D).
+        // Both conflicts make TX0 a reader; never a writer. It commits.
+        assert_eq!(read(&mut p, 0, d).unwrap(), 0, "snapshot-consistent D");
+        assert_eq!(commit(&mut p, 0), Ok(vec![]));
+    }
+
+    /// Plain read-write conflicts without a cycle commit on both sides.
+    #[test]
+    fn single_direction_conflicts_commit() {
+        let cfg = MachineConfig::with_cores(2);
+        let mut p = SsiTm::new(&cfg);
+        let a = p.store_mut().alloc_words(1);
+
+        begin(&mut p, 0);
+        begin(&mut p, 1);
+        assert_eq!(read(&mut p, 0, a).unwrap(), 0);
+        write(&mut p, 1, a, 5);
+        assert_eq!(commit(&mut p, 1), Ok(vec![]));
+        assert_eq!(commit(&mut p, 0), Ok(vec![]));
+    }
+
+    /// Write-write conflicts still abort like SI.
+    #[test]
+    fn write_write_aborts() {
+        let cfg = MachineConfig::with_cores(2);
+        let mut p = SsiTm::new(&cfg);
+        let a = p.store_mut().alloc_words(1);
+        begin(&mut p, 0);
+        begin(&mut p, 1);
+        write(&mut p, 0, a, 1);
+        write(&mut p, 1, a, 2);
+        assert_eq!(commit(&mut p, 0), Ok(vec![]));
+        assert_eq!(commit(&mut p, 1), Err(AbortCause::WriteWrite));
+    }
+
+    /// A committed reader that overlapped the writer still triggers the
+    /// writer-conflict flag (the committed-pivot case).
+    #[test]
+    fn committed_overlapping_reader_counts() {
+        let cfg = MachineConfig::with_cores(2);
+        let mut p = SsiTm::new(&cfg);
+        let a = p.store_mut().alloc_words(1);
+        let b = p.store_mut().alloc_lines(1).word(0);
+        p.store_mut().write_word(a, 1);
+        p.store_mut().write_word(b, 1);
+
+        // TX1 (the eventual pivot) starts first and reads b.
+        begin(&mut p, 1);
+        assert_eq!(read(&mut p, 1, b).unwrap(), 1);
+        // TX0 reads a and b, then commits while TX1 is active.
+        begin(&mut p, 0);
+        assert_eq!(read(&mut p, 0, a).unwrap(), 1);
+        assert_eq!(read(&mut p, 0, b).unwrap(), 1);
+        assert_eq!(commit(&mut p, 0), Ok(vec![]));
+        // A third transaction overwrites b and commits: TX1 becomes a
+        // reader-conflict party.
+        begin(&mut p, 0);
+        write(&mut p, 0, b, 9);
+        assert_eq!(commit(&mut p, 0), Ok(vec![]));
+        let _ = read(&mut p, 1, b); // reads old b => reader flag
+        // Now TX1 writes a — which committed TX0 (overlapping) read:
+        // writer flag + reader flag = dangerous, abort.
+        write(&mut p, 1, a, 5);
+        assert_eq!(commit(&mut p, 1), Err(AbortCause::Order));
+    }
+
+    /// Read-only transactions always commit, even amid conflicts.
+    #[test]
+    fn read_only_always_commits() {
+        let cfg = MachineConfig::with_cores(2);
+        let mut p = SsiTm::new(&cfg);
+        let a = p.store_mut().alloc_words(1);
+        begin(&mut p, 0);
+        assert_eq!(read(&mut p, 0, a).unwrap(), 0);
+        begin(&mut p, 1);
+        write(&mut p, 1, a, 1);
+        assert_eq!(commit(&mut p, 1), Ok(vec![]));
+        let _ = read(&mut p, 0, a);
+        assert_eq!(commit(&mut p, 0), Ok(vec![]));
+    }
+}

@@ -1,0 +1,170 @@
+//! Registry of in-flight transaction start timestamps.
+//!
+//! The MVM needs to know the set of live start timestamps for two
+//! purposes described in section 3.1 of the paper:
+//!
+//! 1. **Garbage collection** — the oldest active transaction determines
+//!    how many old versions must be retained; everything older than the
+//!    newest version at-or-below that timestamp is reclaimable.
+//! 2. **Version coalescing** — a new version only needs to be created if
+//!    some live start timestamp falls between the previous version and the
+//!    new one; otherwise the previous version can be overwritten in place
+//!    because no snapshot can observe it.
+//!
+//! The paper stores start timestamps in a priority queue whose head is the
+//! oldest in-flight transaction; this model keeps a sorted vector (bounded
+//! by the hardware thread count, so O(threads) operations are fine) plus
+//! the owning thread for diagnostics.
+
+use crate::timestamp::Timestamp;
+use crate::types::ThreadId;
+
+/// Tracks the start timestamps of all in-flight transactions.
+///
+/// # Examples
+///
+/// ```
+/// use sitm_mvm::{ActiveTransactions, Timestamp, ThreadId};
+/// let mut act = ActiveTransactions::new();
+/// act.register(ThreadId(0), Timestamp(5));
+/// act.register(ThreadId(1), Timestamp(9));
+/// assert_eq!(act.oldest_start(), Some(Timestamp(5)));
+/// assert!(act.any_start_in(Timestamp(4), Timestamp(7)));
+/// act.unregister(ThreadId(0));
+/// assert_eq!(act.oldest_start(), Some(Timestamp(9)));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ActiveTransactions {
+    /// `(start_ts, owner)` pairs sorted by start timestamp.
+    live: Vec<(Timestamp, ThreadId)>,
+}
+
+impl ActiveTransactions {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers `thread` as running a transaction that started at `start`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `thread` already has a registered transaction; a hardware
+    /// thread runs at most one transaction at a time.
+    pub fn register(&mut self, thread: ThreadId, start: Timestamp) {
+        assert!(
+            !self.live.iter().any(|&(_, t)| t == thread),
+            "{thread} already has an in-flight transaction"
+        );
+        let pos = self.live.partition_point(|&(ts, _)| ts < start);
+        self.live.insert(pos, (start, thread));
+    }
+
+    /// Removes `thread`'s transaction (on commit or abort). Returns its
+    /// start timestamp, or `None` if the thread had no live transaction.
+    pub fn unregister(&mut self, thread: ThreadId) -> Option<Timestamp> {
+        let pos = self.live.iter().position(|&(_, t)| t == thread)?;
+        Some(self.live.remove(pos).0)
+    }
+
+    /// Start timestamp of the oldest in-flight transaction, i.e. the head
+    /// of the paper's priority queue. `None` when no transaction is live.
+    pub fn oldest_start(&self) -> Option<Timestamp> {
+        self.live.first().map(|&(ts, _)| ts)
+    }
+
+    /// Whether some live start timestamp `s` satisfies `lo <= s < hi`.
+    ///
+    /// This is the coalescing test: a version tagged `lo` may be
+    /// overwritten by a version tagged `hi` exactly when this returns
+    /// `false` (no snapshot between them can exist).
+    pub fn any_start_in(&self, lo: Timestamp, hi: Timestamp) -> bool {
+        let from = self.live.partition_point(|&(ts, _)| ts < lo);
+        self.live
+            .get(from)
+            .map_or(false, |&(ts, _)| ts < hi)
+    }
+
+    /// The start timestamp registered for `thread`, if any.
+    pub fn start_of(&self, thread: ThreadId) -> Option<Timestamp> {
+        self.live
+            .iter()
+            .find(|&&(_, t)| t == thread)
+            .map(|&(ts, _)| ts)
+    }
+
+    /// Number of in-flight transactions.
+    pub fn len(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Whether no transaction is in flight.
+    pub fn is_empty(&self) -> bool {
+        self.live.is_empty()
+    }
+
+    /// Iterates over `(start, thread)` pairs in start-timestamp order.
+    pub fn iter(&self) -> impl Iterator<Item = (Timestamp, ThreadId)> + '_ {
+        self.live.iter().copied()
+    }
+
+    /// Drops every registration (used by the clock-overflow abort-all
+    /// path).
+    pub fn clear(&mut self) {
+        self.live.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oldest_tracks_minimum() {
+        let mut a = ActiveTransactions::new();
+        assert_eq!(a.oldest_start(), None);
+        a.register(ThreadId(0), Timestamp(10));
+        a.register(ThreadId(1), Timestamp(3));
+        a.register(ThreadId(2), Timestamp(7));
+        assert_eq!(a.oldest_start(), Some(Timestamp(3)));
+        assert_eq!(a.unregister(ThreadId(1)), Some(Timestamp(3)));
+        assert_eq!(a.oldest_start(), Some(Timestamp(7)));
+    }
+
+    #[test]
+    fn any_start_in_is_half_open() {
+        let mut a = ActiveTransactions::new();
+        a.register(ThreadId(0), Timestamp(5));
+        assert!(a.any_start_in(Timestamp(5), Timestamp(6)));
+        assert!(a.any_start_in(Timestamp(0), Timestamp(6)));
+        assert!(!a.any_start_in(Timestamp(0), Timestamp(5)));
+        assert!(!a.any_start_in(Timestamp(6), Timestamp(100)));
+    }
+
+    #[test]
+    fn unregister_unknown_thread_is_none() {
+        let mut a = ActiveTransactions::new();
+        assert_eq!(a.unregister(ThreadId(9)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "already has an in-flight transaction")]
+    fn double_register_panics() {
+        let mut a = ActiveTransactions::new();
+        a.register(ThreadId(0), Timestamp(1));
+        a.register(ThreadId(0), Timestamp(2));
+    }
+
+    #[test]
+    fn start_of_and_iter() {
+        let mut a = ActiveTransactions::new();
+        a.register(ThreadId(3), Timestamp(8));
+        a.register(ThreadId(1), Timestamp(2));
+        assert_eq!(a.start_of(ThreadId(3)), Some(Timestamp(8)));
+        assert_eq!(a.start_of(ThreadId(0)), None);
+        let order: Vec<_> = a.iter().map(|(ts, _)| ts.0).collect();
+        assert_eq!(order, vec![2, 8]);
+        a.clear();
+        assert!(a.is_empty());
+    }
+}

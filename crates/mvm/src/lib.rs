@@ -1,0 +1,82 @@
+//! # sitm-mvm — multiversioned memory for snapshot-isolation TM
+//!
+//! This crate models the **multiversioned memory architecture (MVM)** of
+//! *SI-TM: Reducing Transactional Memory Abort Rates through Snapshot
+//! Isolation* (ASPLOS 2014), section 3: a memory subsystem that
+//! incorporates the notion of time, storing multiple timestamped versions
+//! of every cache line behind an indirection layer, so that transactions
+//! can read from a consistent snapshot while writers create new versions
+//! copy-on-write.
+//!
+//! The crate provides:
+//!
+//! * [`GlobalClock`] — the global timestamp counter with the
+//!   delta-reservation commit protocol and the transient-id band,
+//! * [`ActiveTransactions`] — the live start-timestamp registry driving
+//!   garbage collection and version coalescing,
+//! * [`VersionList`] — the bounded per-line version history with the
+//!   paper's coalescing rule (figure 4) and overflow policies,
+//! * [`MvmStore`] — the full address space: allocation, transactional
+//!   and non-transactional access paths, transient versions, and the
+//!   Appendix A version-depth census,
+//! * [`OverheadModel`] — the section 3.2 capacity/bandwidth cost model.
+//!
+//! Higher layers (`sitm-core`) build the SI-TM protocol itself on top of
+//! this substrate; this crate knows nothing about transactions beyond
+//! timestamps.
+//!
+//! # Examples
+//!
+//! A writer commits a new version while an older snapshot keeps reading
+//! the state it began with:
+//!
+//! ```
+//! use sitm_mvm::{GlobalClock, MvmStore, ThreadId};
+//!
+//! let mut mem = MvmStore::new();
+//! let mut clock = GlobalClock::new(2);
+//! let addr = mem.alloc_words(1);
+//! mem.write_word(addr, 10); // initialization
+//!
+//! // Reader begins and registers its snapshot.
+//! let start = clock.begin()?;
+//! mem.register_transaction(ThreadId(0), start);
+//!
+//! // Writer begins, writes, and commits a new version.
+//! let wstart = clock.begin()?;
+//! mem.register_transaction(ThreadId(1), wstart);
+//! let end = clock.reserve_end()?;
+//! assert!(!mem.newer_than(addr.line(), wstart)); // write-write validation
+//! let mut data = mem.read_line(addr.line());
+//! data[addr.offset()] = 42;
+//! mem.install(addr.line(), end, data)?;
+//! mem.unregister_transaction(ThreadId(1));
+//! clock.finish_commit(end);
+//!
+//! // The reader's snapshot is unaffected.
+//! assert_eq!(mem.read_word_snapshot(addr, start), Some(10));
+//! assert_eq!(mem.read_word(addr), 42);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod active;
+mod stats;
+mod store;
+mod timestamp;
+mod types;
+mod version_list;
+
+pub use active::ActiveTransactions;
+pub use stats::{OverheadModel, VersionDepthCensus};
+pub use store::{MvmConfig, MvmStore};
+pub use timestamp::{BeginError, ClockOverflow, GlobalClock, MustStall, Timestamp, DEFAULT_DELTA};
+pub use types::{
+    Addr, LineAddr, LineData, ThreadId, Word, LINE_SHIFT, WORDS_PER_LINE, ZERO_LINE,
+};
+pub use version_list::{
+    OverflowPolicy, SnapshotRead, VersionList, VersionOverflow, DEFAULT_VERSION_CAP,
+};

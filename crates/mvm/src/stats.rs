@@ -1,0 +1,255 @@
+//! Instrumentation of the MVM: the Appendix A version-depth census and
+//! the section 3.2 capacity-overhead model.
+
+use std::fmt;
+
+use crate::types::WORDS_PER_LINE;
+
+/// Histogram of which version slot served each transactional read,
+/// reproducing the Appendix A / Table 2 census ("Number of accesses to
+/// specific MVM Versions").
+///
+/// Depth 0 is the most recent committed version; the paper reports slots
+/// 1st through 5th individually and sums older accesses as "tail".
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VersionDepthCensus {
+    /// `counts[d]` = number of transactional reads served by depth `d`,
+    /// for `d < REPORTED_DEPTHS`.
+    counts: [u64; Self::REPORTED_DEPTHS],
+    /// Reads served by versions older than the 5th most recent.
+    tail: u64,
+}
+
+impl VersionDepthCensus {
+    /// How many depths Table 2 reports individually (1st..5th).
+    pub const REPORTED_DEPTHS: usize = 5;
+
+    /// Creates an empty census.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a read served by version slot `depth` (0-based).
+    pub fn record(&mut self, depth: usize) {
+        if depth < Self::REPORTED_DEPTHS {
+            self.counts[depth] += 1;
+        } else {
+            self.tail += 1;
+        }
+    }
+
+    /// Accesses served by the `(depth+1)`-th most recent version.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth >= REPORTED_DEPTHS`; older accesses are summed in
+    /// [`VersionDepthCensus::tail`].
+    pub fn at_depth(&self, depth: usize) -> u64 {
+        self.counts[depth]
+    }
+
+    /// Accesses served by versions older than the 5th most recent.
+    pub fn tail(&self) -> u64 {
+        self.tail
+    }
+
+    /// Total transactional reads recorded.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum::<u64>() + self.tail
+    }
+
+    /// Fraction of reads that needed a version older than the `n`-th most
+    /// recent (0.0 when no reads were recorded). The paper's headline:
+    /// `older_than(4) < 1%` at 32 threads.
+    pub fn older_than(&self, n: usize) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let within: u64 = self.counts.iter().take(n).sum();
+        (total - within) as f64 / total as f64
+    }
+
+    /// Merges another census into this one.
+    pub fn merge(&mut self, other: &VersionDepthCensus) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.tail += other.tail;
+    }
+}
+
+impl fmt::Display for VersionDepthCensus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        const LABELS: [&str; 5] = ["1st", "2nd", "3rd", "4th", "5th"];
+        for (label, count) in LABELS.iter().zip(self.counts.iter()) {
+            writeln!(f, "{label:>4}  {count}")?;
+        }
+        write!(f, "tail  {}", self.tail)
+    }
+}
+
+/// The section 3.2 capacity-overhead model of the indirection layer.
+///
+/// The version list stores, per line address, `cap` 32-bit data references
+/// plus `cap` 32-bit timestamps. Against 512-bit (64-byte) data lines this
+/// costs `cap * 64 / (versions * 512)` of the multiversioned data held —
+/// 12.5% per line when all `cap = 4` slots are populated, 50% per
+/// allocated line in the worst case of a single active version. Bundling
+/// `bundle` lines under one entry divides the overhead by `bundle` at the
+/// cost of copying whole bundles on first write.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OverheadModel {
+    /// Version slots per indirection entry (the hardware cap).
+    pub version_cap: usize,
+    /// Lines grouped under a single indirection entry.
+    pub bundle_lines: usize,
+}
+
+impl Default for OverheadModel {
+    fn default() -> Self {
+        OverheadModel {
+            version_cap: crate::version_list::DEFAULT_VERSION_CAP,
+            bundle_lines: 1,
+        }
+    }
+}
+
+/// Bits per version-list slot: one 32-bit reference + one 32-bit
+/// timestamp.
+const SLOT_BITS: f64 = 64.0;
+/// Bits per cache line of data.
+const LINE_BITS: f64 = (WORDS_PER_LINE * 64) as f64;
+
+impl OverheadModel {
+    /// Creates the paper's default configuration: 4 versions, no bundling.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Metadata overhead as a fraction of the data stored, given how many
+    /// version slots are actually populated per entry.
+    ///
+    /// With 4 populated versions this is 12.5%; with a single populated
+    /// version it is the worst case 50% (both divided by the bundle
+    /// factor).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `active_versions` is zero or exceeds the cap.
+    pub fn capacity_overhead(&self, active_versions: usize) -> f64 {
+        assert!(active_versions >= 1, "at least one version must exist");
+        assert!(
+            active_versions <= self.version_cap,
+            "more active versions than the cap"
+        );
+        let meta_bits = self.version_cap as f64 * SLOT_BITS;
+        let data_bits = active_versions as f64 * LINE_BITS * self.bundle_lines as f64;
+        meta_bits / data_bits
+    }
+
+    /// Best-case extra bandwidth per data access: a version-list line
+    /// holds eight 64-bit slots, so fetching one indirection line per data
+    /// line adds 1/8 = 12.5%.
+    pub fn best_case_bandwidth_overhead(&self) -> f64 {
+        SLOT_BITS / LINE_BITS
+    }
+
+    /// Words copied on the first write to a bundle: copy-on-write
+    /// materializes the whole bundle.
+    pub fn copy_on_write_words(&self) -> usize {
+        self.bundle_lines * WORDS_PER_LINE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn census_counts_and_tail() {
+        let mut c = VersionDepthCensus::new();
+        for _ in 0..10 {
+            c.record(0);
+        }
+        c.record(1);
+        c.record(4);
+        c.record(5);
+        c.record(17);
+        assert_eq!(c.at_depth(0), 10);
+        assert_eq!(c.at_depth(1), 1);
+        assert_eq!(c.at_depth(4), 1);
+        assert_eq!(c.tail(), 2);
+        assert_eq!(c.total(), 14);
+    }
+
+    #[test]
+    fn older_than_fraction() {
+        let mut c = VersionDepthCensus::new();
+        for _ in 0..99 {
+            c.record(0);
+        }
+        c.record(4); // older than the 4th most recent
+        assert!((c.older_than(4) - 0.01).abs() < 1e-9);
+        assert_eq!(VersionDepthCensus::new().older_than(4), 0.0);
+    }
+
+    #[test]
+    fn census_merge() {
+        let mut a = VersionDepthCensus::new();
+        a.record(0);
+        a.record(6);
+        let mut b = VersionDepthCensus::new();
+        b.record(0);
+        b.record(2);
+        a.merge(&b);
+        assert_eq!(a.at_depth(0), 2);
+        assert_eq!(a.at_depth(2), 1);
+        assert_eq!(a.tail(), 1);
+    }
+
+    #[test]
+    fn census_display_mentions_all_rows() {
+        let c = VersionDepthCensus::new();
+        let s = c.to_string();
+        for label in ["1st", "2nd", "3rd", "4th", "5th", "tail"] {
+            assert!(s.contains(label), "missing {label} in {s}");
+        }
+    }
+
+    /// Section 3.2: "if there exist four versions per address, the
+    /// overhead is 2*32/512 = 12.5% per line. In the worst case there
+    /// exists only one active line resulting in an overhead of 50%."
+    #[test]
+    fn paper_overhead_numbers() {
+        let m = OverheadModel::new();
+        assert!((m.capacity_overhead(4) - 0.125).abs() < 1e-9);
+        assert!((m.capacity_overhead(1) - 0.5).abs() < 1e-9);
+    }
+
+    /// Section 3.2: "by combining 8 lines into a bundle, the worst case
+    /// overhead is reduced by a factor of 8 to 6%."
+    #[test]
+    fn bundling_divides_overhead() {
+        let m = OverheadModel {
+            version_cap: 4,
+            bundle_lines: 8,
+        };
+        assert!((m.capacity_overhead(1) - 0.0625).abs() < 1e-9);
+        assert_eq!(m.copy_on_write_words(), 64);
+    }
+
+    /// Section 3.2: "a single cache line access fetches multiple
+    /// indirection references, resulting in a best case bandwidth increase
+    /// of 12.5%."
+    #[test]
+    fn bandwidth_overhead() {
+        assert!((OverheadModel::new().best_case_bandwidth_overhead() - 0.125).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one version")]
+    fn overhead_rejects_zero_versions() {
+        OverheadModel::new().capacity_overhead(0);
+    }
+}

@@ -1,0 +1,375 @@
+//! Global timestamp management for SI-TM transactions.
+//!
+//! Every transaction obtains a unique *start* timestamp at `TM_BEGIN` and,
+//! unless it is read-only, an *end* timestamp at `TM_COMMIT`. The paper's
+//! commit protocol (section 4.2) reserves a window of `delta` timestamps
+//! for the committing transaction: the end timestamp is
+//! `current + delta` while the counter itself only advances by one, so
+//! every transaction that starts while the commit is in flight receives a
+//! start timestamp *smaller* than the pending end timestamp and therefore
+//! cannot observe the half-published write set. If more than `delta`
+//! transactions try to start during a single commit, the starters must
+//! stall until the commit finishes.
+//!
+//! The timestamp space also reserves its `n_threads` largest values as
+//! *transient ids*, used to tag uncommitted versions evicted to the MVM so
+//! they remain visible only to their owning transaction.
+
+use crate::types::ThreadId;
+use std::fmt;
+
+/// A logical timestamp drawn from the global clock.
+///
+/// Ordinary timestamps are totally ordered; the top `n_threads` values of
+/// the configured timestamp space are reserved as transient ids (see
+/// [`GlobalClock::transient_id`]) and never compare as "committed"
+/// versions.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Timestamp(pub u64);
+
+impl Timestamp {
+    /// The smallest timestamp; no committed version ever carries it, so it
+    /// is usable as a "before everything" sentinel.
+    pub const ZERO: Timestamp = Timestamp(0);
+}
+
+impl fmt::Debug for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ts{}", self.0)
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Error returned when the timestamp counter reaches the end of its
+/// (configurable) space.
+///
+/// The paper handles this rare case by aborting all active transactions
+/// and raising an interrupt; callers of [`GlobalClock`] observe the
+/// condition as this error and are expected to do the same, then call
+/// [`GlobalClock::reset_after_overflow`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClockOverflow;
+
+impl fmt::Display for ClockOverflow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "global timestamp counter overflowed")
+    }
+}
+
+impl std::error::Error for ClockOverflow {}
+
+/// Error returned from [`GlobalClock::begin`] when a commit reservation is
+/// in flight and the `delta` window is exhausted: the starting transaction
+/// must stall until the commit completes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MustStall;
+
+impl fmt::Display for MustStall {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "transaction start must stall for an in-flight commit")
+    }
+}
+
+impl std::error::Error for MustStall {}
+
+/// The global timestamp counter with the SI-TM delta-reservation commit
+/// protocol and a reserved transient-id band.
+///
+/// This type is deliberately *not* internally synchronized: the simulator
+/// is a single-threaded discrete-event engine, so the clock is owned
+/// mutably by the protocol model. The real-thread software STM in
+/// `sitm-stm` has its own atomic clock.
+///
+/// # Examples
+///
+/// ```
+/// use sitm_mvm::GlobalClock;
+/// let mut clock = GlobalClock::new(4);
+/// let start = clock.begin().unwrap();
+/// let end = clock.reserve_end().unwrap();
+/// assert!(end > start);
+/// clock.finish_commit(end);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GlobalClock {
+    next: u64,
+    /// Size of the reservation window for a single commit.
+    delta: u64,
+    /// Largest usable timestamp (exclusive); above it lies the transient
+    /// band and then overflow.
+    limit: u64,
+    n_threads: usize,
+    /// End timestamps of commits currently in flight (reserved but not yet
+    /// finished), kept sorted ascending. Bounded by the thread count.
+    pending: Vec<u64>,
+    /// Number of times the clock overflowed and was reset.
+    overflows: u64,
+}
+
+/// Default size of the commit reservation window.
+pub const DEFAULT_DELTA: u64 = 64;
+
+impl GlobalClock {
+    /// Creates a clock for a machine with `n_threads` hardware threads,
+    /// using the full `u64` space and [`DEFAULT_DELTA`].
+    pub fn new(n_threads: usize) -> Self {
+        Self::with_limit(n_threads, u64::MAX - n_threads as u64, DEFAULT_DELTA)
+    }
+
+    /// Creates a clock whose usable timestamps are `1..limit`. The
+    /// `n_threads` values directly above `limit` act as the transient-id
+    /// band. Small limits are useful for exercising the overflow path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delta == 0` or `limit < 2`.
+    pub fn with_limit(n_threads: usize, limit: u64, delta: u64) -> Self {
+        assert!(delta > 0, "delta must be positive");
+        assert!(limit >= 2, "timestamp space too small");
+        GlobalClock {
+            next: 1,
+            delta,
+            limit,
+            n_threads,
+            pending: Vec::new(),
+            overflows: 0,
+        }
+    }
+
+    /// The transient id tagging uncommitted versions owned by `thread`.
+    ///
+    /// Transient ids occupy the `n_threads` values above the usable
+    /// timestamp space, mirroring the paper's reservation of the `N`
+    /// largest timestamps.
+    pub fn transient_id(&self, thread: ThreadId) -> Timestamp {
+        debug_assert!(thread.0 < self.n_threads);
+        Timestamp(self.limit + thread.0 as u64)
+    }
+
+    /// Whether `ts` lies in the transient-id band rather than being a real
+    /// commit timestamp.
+    pub fn is_transient(&self, ts: Timestamp) -> bool {
+        ts.0 >= self.limit
+    }
+
+    /// Obtains a unique start timestamp for a beginning transaction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MustStall`] if an in-flight commit has exhausted its
+    /// reservation window (the starter must retry once the commit
+    /// finishes), wrapped in `Ok(Err(..))` semantics flattened to a
+    /// dedicated error; returns [`ClockOverflow`] if the timestamp space
+    /// is exhausted.
+    pub fn begin(&mut self) -> Result<Timestamp, BeginError> {
+        if let Some(&oldest_pending) = self.pending.first() {
+            // Starters must stay below every pending end timestamp.
+            if self.next >= oldest_pending {
+                return Err(BeginError::Stall(MustStall));
+            }
+        }
+        if self.next >= self.limit {
+            return Err(BeginError::Overflow(ClockOverflow));
+        }
+        let ts = Timestamp(self.next);
+        self.next += 1;
+        Ok(ts)
+    }
+
+    /// Reserves an end timestamp for a committing transaction:
+    /// `end = current + delta`, advancing the counter by one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClockOverflow`] if the reservation would leave the usable
+    /// timestamp space.
+    pub fn reserve_end(&mut self) -> Result<Timestamp, ClockOverflow> {
+        let end = self.next.saturating_add(self.delta);
+        if end >= self.limit {
+            return Err(ClockOverflow);
+        }
+        self.next += 1;
+        let pos = self.pending.partition_point(|&p| p < end);
+        self.pending.insert(pos, end);
+        Ok(Timestamp(end))
+    }
+
+    /// Completes a commit whose end timestamp was obtained from
+    /// [`GlobalClock::reserve_end`]: the global clock jumps to just past
+    /// the end timestamp (the paper sets the global timestamp to the end
+    /// timestamp of the committing transaction).
+    ///
+    /// Also used to cancel a reservation when the commit validation fails;
+    /// the clock still advances, which is harmless (timestamps are only
+    /// required to be unique and monotonic).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end` was not reserved and still pending.
+    pub fn finish_commit(&mut self, end: Timestamp) {
+        let pos = self
+            .pending
+            .iter()
+            .position(|&p| p == end.0)
+            .expect("finish_commit called with unreserved end timestamp");
+        self.pending.remove(pos);
+        if self.next <= end.0 {
+            self.next = end.0 + 1;
+        }
+    }
+
+    /// Current value of the counter (the next start timestamp to be
+    /// handed out). Exposed for diagnostics and tests.
+    pub fn now(&self) -> Timestamp {
+        Timestamp(self.next)
+    }
+
+    /// Number of commits currently holding a reservation.
+    pub fn pending_commits(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Resets the clock after an overflow was observed and every active
+    /// transaction has been aborted (the paper's software interrupt
+    /// handler). Increments the overflow counter.
+    pub fn reset_after_overflow(&mut self) {
+        self.next = 1;
+        self.pending.clear();
+        self.overflows += 1;
+    }
+
+    /// How many times the clock overflowed and was reset.
+    pub fn overflows(&self) -> u64 {
+        self.overflows
+    }
+}
+
+/// Errors from [`GlobalClock::begin`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BeginError {
+    /// A commit reservation window is exhausted; stall and retry.
+    Stall(MustStall),
+    /// The timestamp space is exhausted; abort all and reset.
+    Overflow(ClockOverflow),
+}
+
+impl fmt::Display for BeginError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BeginError::Stall(e) => e.fmt(f),
+            BeginError::Overflow(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for BeginError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn begin_yields_unique_increasing_timestamps() {
+        let mut c = GlobalClock::new(2);
+        let a = c.begin().unwrap();
+        let b = c.begin().unwrap();
+        assert!(b > a);
+    }
+
+    #[test]
+    fn reserve_end_exceeds_concurrent_starts() {
+        let mut c = GlobalClock::new(4);
+        let _s0 = c.begin().unwrap();
+        let end = c.reserve_end().unwrap();
+        // Transactions starting during the commit get smaller timestamps.
+        for _ in 0..DEFAULT_DELTA - 2 {
+            let s = c.begin().unwrap();
+            assert!(s.0 < end.0, "start {s} must precede pending end {end}");
+        }
+        c.finish_commit(end);
+    }
+
+    #[test]
+    fn starters_stall_when_delta_exhausted() {
+        let mut c = GlobalClock::with_limit(2, 1 << 20, 3);
+        let end = c.reserve_end().unwrap();
+        // delta = 3: reservation leaves room for 2 more starts.
+        c.begin().unwrap();
+        c.begin().unwrap();
+        assert_eq!(c.begin(), Err(BeginError::Stall(MustStall)));
+        c.finish_commit(end);
+        // After the commit finishes the starter proceeds, with a start
+        // timestamp beyond the published end.
+        let s = c.begin().unwrap();
+        assert!(s.0 > end.0);
+    }
+
+    #[test]
+    fn clock_jumps_past_committed_end() {
+        let mut c = GlobalClock::new(1);
+        let end = c.reserve_end().unwrap();
+        c.finish_commit(end);
+        assert!(c.now().0 > end.0);
+    }
+
+    #[test]
+    fn overflow_is_reported_and_resettable() {
+        let mut c = GlobalClock::with_limit(1, 8, 2);
+        let mut saw_overflow = false;
+        for _ in 0..20 {
+            match c.begin() {
+                Ok(_) => {}
+                Err(BeginError::Overflow(_)) => {
+                    saw_overflow = true;
+                    break;
+                }
+                Err(BeginError::Stall(_)) => unreachable!("no commits pending"),
+            }
+        }
+        assert!(saw_overflow);
+        c.reset_after_overflow();
+        assert_eq!(c.overflows(), 1);
+        assert!(c.begin().is_ok());
+    }
+
+    #[test]
+    fn reserve_end_overflow() {
+        let mut c = GlobalClock::with_limit(1, 8, 100);
+        assert_eq!(c.reserve_end(), Err(ClockOverflow));
+    }
+
+    #[test]
+    fn transient_ids_are_above_usable_space() {
+        let c = GlobalClock::with_limit(4, 1000, 8);
+        for t in 0..4 {
+            let id = c.transient_id(ThreadId(t));
+            assert!(c.is_transient(id));
+            assert_eq!(id.0, 1000 + t as u64);
+        }
+        assert!(!c.is_transient(Timestamp(999)));
+    }
+
+    #[test]
+    fn multiple_pending_commits_sorted() {
+        let mut c = GlobalClock::new(4);
+        let e1 = c.reserve_end().unwrap();
+        let e2 = c.reserve_end().unwrap();
+        assert!(e2 > e1);
+        assert_eq!(c.pending_commits(), 2);
+        c.finish_commit(e1);
+        c.finish_commit(e2);
+        assert_eq!(c.pending_commits(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unreserved")]
+    fn finish_commit_requires_reservation() {
+        let mut c = GlobalClock::new(1);
+        c.finish_commit(Timestamp(42));
+    }
+}

@@ -1,0 +1,181 @@
+//! Fundamental address and data types shared across the SI-TM crates.
+//!
+//! The multiversioned memory operates at *cache-line* granularity: the
+//! version list maps a [`LineAddr`] to a bounded set of timestamped line
+//! images. Software, however, addresses individual machine words, so the
+//! public API speaks [`Addr`] (a word address) and converts internally.
+
+use std::fmt;
+
+/// A machine word, the unit of data read and written by transactions.
+pub type Word = u64;
+
+/// Number of words per cache line (64-byte lines of 8-byte words).
+pub const WORDS_PER_LINE: usize = 8;
+
+/// Log2 of [`WORDS_PER_LINE`], used for address arithmetic.
+pub const LINE_SHIFT: u32 = 3;
+
+/// One cache line worth of data.
+///
+/// Lines are the versioning granularity of the MVM: each committed version
+/// stores a full line image. A line that has never been written reads as
+/// the *zero line* (all words zero), matching the paper's lazy allocation
+/// of physical memory on first write.
+pub type LineData = [Word; WORDS_PER_LINE];
+
+/// The all-zeroes line returned for never-written addresses.
+pub const ZERO_LINE: LineData = [0; WORDS_PER_LINE];
+
+/// A word-granularity memory address.
+///
+/// `Addr(n)` names the `n`-th word of the multiversioned address space.
+/// Use [`Addr::line`] and [`Addr::offset`] to locate the containing cache
+/// line and the word slot within it.
+///
+/// # Examples
+///
+/// ```
+/// use sitm_mvm::{Addr, LineAddr};
+/// let a = Addr(19);
+/// assert_eq!(a.line(), LineAddr(2));
+/// assert_eq!(a.offset(), 3);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Addr(pub u64);
+
+impl Addr {
+    /// The cache line containing this word.
+    #[inline]
+    pub fn line(self) -> LineAddr {
+        LineAddr(self.0 >> LINE_SHIFT)
+    }
+
+    /// The word slot of this address within its cache line.
+    #[inline]
+    pub fn offset(self) -> usize {
+        (self.0 & (WORDS_PER_LINE as u64 - 1)) as usize
+    }
+
+    /// The address `n` words after `self`.
+    #[inline]
+    pub fn add(self, n: u64) -> Addr {
+        Addr(self.0 + n)
+    }
+}
+
+impl fmt::Debug for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Addr({:#x})", self.0)
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl From<u64> for Addr {
+    fn from(raw: u64) -> Self {
+        Addr(raw)
+    }
+}
+
+/// A cache-line-granularity address: the versioning unit of the MVM.
+///
+/// `LineAddr(n)` names the `n`-th 64-byte line of the address space.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct LineAddr(pub u64);
+
+impl LineAddr {
+    /// The word address of the first word in this line.
+    #[inline]
+    pub fn first_word(self) -> Addr {
+        Addr(self.0 << LINE_SHIFT)
+    }
+
+    /// The word address of slot `offset` within this line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset >= WORDS_PER_LINE`.
+    #[inline]
+    pub fn word(self, offset: usize) -> Addr {
+        assert!(offset < WORDS_PER_LINE, "word offset out of line bounds");
+        Addr((self.0 << LINE_SHIFT) | offset as u64)
+    }
+}
+
+impl fmt::Debug for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "LineAddr({:#x})", self.0)
+    }
+}
+
+impl fmt::Display for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{:#x}", self.0)
+    }
+}
+
+/// Identifier of a hardware thread / core in the simulated machine.
+///
+/// Thread ids double as owners of *transient* (uncommitted, evicted)
+/// versions in the MVM: the paper reserves the `N` largest timestamps as
+/// temporary ids, one per hardware thread.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ThreadId(pub usize);
+
+impl fmt::Debug for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+impl fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addr_line_and_offset_roundtrip() {
+        for raw in [0u64, 1, 7, 8, 9, 63, 64, 1_000_003] {
+            let a = Addr(raw);
+            assert_eq!(a.line().word(a.offset()), a);
+        }
+    }
+
+    #[test]
+    fn line_first_word_is_offset_zero() {
+        let l = LineAddr(5);
+        assert_eq!(l.first_word().offset(), 0);
+        assert_eq!(l.first_word().line(), l);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of line bounds")]
+    fn line_word_rejects_large_offset() {
+        LineAddr(0).word(WORDS_PER_LINE);
+    }
+
+    #[test]
+    fn addr_add_crosses_lines() {
+        let a = Addr(6).add(4);
+        assert_eq!(a, Addr(10));
+        assert_eq!(a.line(), LineAddr(1));
+        assert_eq!(a.offset(), 2);
+    }
+
+    #[test]
+    fn debug_formats_are_nonempty() {
+        assert!(!format!("{:?}", Addr(0)).is_empty());
+        assert!(!format!("{:?}", LineAddr(0)).is_empty());
+        assert!(!format!("{:?}", ThreadId(0)).is_empty());
+    }
+}

@@ -1,0 +1,592 @@
+//! The per-line version list: the MVM indirection layer.
+//!
+//! Each multiversioned cache line is reached through a *version list*
+//! entry mapping `(line address, timestamp)` to a line image (paper
+//! section 3, figure 3). A bounded number of committed versions coexist;
+//! additionally, uncommitted lines evicted from the private caches are
+//! stored as *transient* versions tagged with their owner's temporary id
+//! and visible only to that owner.
+//!
+//! Three mechanisms from section 3.1 are implemented here:
+//!
+//! * **Snapshot lookup** — a transactional read returns the most recent
+//!   version no newer than the reader's start timestamp.
+//! * **Coalescing** — on install, a new version is created only if some
+//!   live start timestamp separates it from the previous newest version;
+//!   otherwise the previous version is overwritten in place (figure 4).
+//! * **Garbage collection on write** — versions older than the one
+//!   serving the oldest in-flight transaction are reclaimed whenever the
+//!   line is written.
+//!
+//! When the version cap is exceeded, the configured [`OverflowPolicy`]
+//! decides between aborting the writer (the paper's default), discarding
+//! the oldest version (readers then abort if their snapshot is gone), or
+//! growing without bound (used to collect the Appendix A statistics).
+
+use crate::active::ActiveTransactions;
+use crate::timestamp::Timestamp;
+use crate::types::{LineData, ThreadId, ZERO_LINE};
+use std::fmt;
+
+/// Default number of committed versions retained per line.
+///
+/// The paper's design-space study (Appendix A) shows fewer than 1% of
+/// accesses target versions older than the 4th, so the hardware retains 4.
+pub const DEFAULT_VERSION_CAP: usize = 4;
+
+/// What to do when installing a version would exceed the cap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OverflowPolicy {
+    /// Abort the writing transaction (the paper's default: "simply abort a
+    /// transaction if it tries to create a fifth version").
+    #[default]
+    AbortWriter,
+    /// Discard the oldest version; readers abort if they can no longer
+    /// find a version old enough for their snapshot (the paper's
+    /// alternative, within 1% of the default on abort rate and
+    /// performance).
+    DiscardOldest,
+    /// Keep every version (used for the Appendix A / Table 2 census).
+    Unbounded,
+}
+
+/// Error returned by [`VersionList::install`] under
+/// [`OverflowPolicy::AbortWriter`] when the cap is already reached.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VersionOverflow;
+
+impl fmt::Display for VersionOverflow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "version list is full; writer must abort")
+    }
+}
+
+impl std::error::Error for VersionOverflow {}
+
+/// One committed version of a cache line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Version {
+    ts: Timestamp,
+    data: LineData,
+}
+
+/// Result of a snapshot read: the data plus which version slot served it
+/// (0 = most recent), feeding the Appendix A census.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnapshotRead {
+    /// The line image observed by the snapshot.
+    pub data: LineData,
+    /// Version depth: 0 for the most recent committed version, 1 for the
+    /// second most recent, and so on.
+    pub depth: usize,
+}
+
+/// The bounded, timestamped version history of a single cache line.
+#[derive(Debug, Clone, Default)]
+pub struct VersionList {
+    /// Committed versions, newest first.
+    versions: Vec<Version>,
+    /// Uncommitted evicted lines, tagged by owner. At most one per owner.
+    transients: Vec<(ThreadId, LineData)>,
+    /// True once the oldest retained version is no longer the line's
+    /// original (i.e. history has been truncated by `DiscardOldest` or
+    /// GC); readers older than the oldest retained version must abort
+    /// rather than fall back to the zero line.
+    truncated: bool,
+}
+
+impl VersionList {
+    /// Creates an empty version list. A line with no versions reads as the
+    /// zero line (lazy allocation: data lines materialize on first write).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of committed versions currently retained.
+    pub fn version_count(&self) -> usize {
+        self.versions.len()
+    }
+
+    /// Timestamp of the most recent committed version, if any.
+    pub fn newest_ts(&self) -> Option<Timestamp> {
+        self.versions.first().map(|v| v.ts)
+    }
+
+    /// The most recent committed line image, or the zero line if the line
+    /// was never written. This is the non-transactional read path.
+    pub fn newest_data(&self) -> LineData {
+        self.versions.first().map_or(ZERO_LINE, |v| v.data)
+    }
+
+    /// Reads the line as of snapshot `start`: the most recent version with
+    /// `ts <= start`.
+    ///
+    /// Returns `None` when the snapshot's version has been discarded
+    /// (possible under [`OverflowPolicy::DiscardOldest`] or after GC); the
+    /// reading transaction must then abort. A never-truncated line with no
+    /// old-enough version reads as the zero line (depth counts as the slot
+    /// past the last).
+    pub fn read_snapshot(&self, start: Timestamp) -> Option<SnapshotRead> {
+        for (depth, v) in self.versions.iter().enumerate() {
+            if v.ts <= start {
+                return Some(SnapshotRead {
+                    data: v.data,
+                    depth,
+                });
+            }
+        }
+        if self.truncated {
+            None
+        } else {
+            Some(SnapshotRead {
+                data: ZERO_LINE,
+                depth: self.versions.len(),
+            })
+        }
+    }
+
+    /// Whether a committed version newer than `start` exists — the
+    /// write-write validation test of `TM_COMMIT` (section 4.2).
+    pub fn newer_than(&self, start: Timestamp) -> bool {
+        self.newest_ts().map_or(false, |ts| ts > start)
+    }
+
+    /// Installs a committed version tagged `end`, applying the coalescing
+    /// rule against the live-transaction registry and then garbage
+    /// collecting versions made obsolete by the oldest live snapshot.
+    ///
+    /// Returns `true` if a new version slot was created, `false` if the
+    /// previous newest version was coalesced (overwritten in place).
+    ///
+    /// # Errors
+    ///
+    /// Under [`OverflowPolicy::AbortWriter`], returns [`VersionOverflow`]
+    /// if a new slot is needed but `cap` versions already exist (after
+    /// GC); the caller must abort the committing transaction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end` is not newer than the current newest version;
+    /// commit timestamps are globally ordered, and the caller performs
+    /// write-write validation before installing.
+    pub fn install(
+        &mut self,
+        end: Timestamp,
+        data: LineData,
+        active: &ActiveTransactions,
+        cap: usize,
+        policy: OverflowPolicy,
+    ) -> Result<bool, VersionOverflow> {
+        if let Some(newest) = self.versions.first() {
+            assert!(
+                end > newest.ts,
+                "install out of order: {end:?} <= newest {:?}",
+                newest.ts
+            );
+            // Coalescing (figure 4): only keep the previous version if a
+            // live snapshot in [prev, end) can still observe it.
+            if !active.any_start_in(newest.ts, end) {
+                self.versions[0] = Version { ts: end, data };
+                self.collect_garbage(active);
+                return Ok(false);
+            }
+        }
+        self.collect_garbage(active);
+        if self.versions.len() >= cap {
+            match policy {
+                OverflowPolicy::AbortWriter => return Err(VersionOverflow),
+                OverflowPolicy::DiscardOldest => {
+                    self.versions.pop();
+                    self.truncated = true;
+                }
+                OverflowPolicy::Unbounded => {}
+            }
+        }
+        self.versions.insert(0, Version { ts: end, data });
+        Ok(true)
+    }
+
+    /// Variant of [`VersionList::install`] that never coalesces: a fresh
+    /// slot is created for every install (ablation switch). GC still runs.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`VersionList::install`].
+    pub fn install_no_coalesce(
+        &mut self,
+        end: Timestamp,
+        data: LineData,
+        active: &ActiveTransactions,
+        cap: usize,
+        policy: OverflowPolicy,
+    ) -> Result<bool, VersionOverflow> {
+        if let Some(newest) = self.versions.first() {
+            assert!(
+                end > newest.ts,
+                "install out of order: {end:?} <= newest {:?}",
+                newest.ts
+            );
+        }
+        self.collect_garbage(active);
+        if self.versions.len() >= cap {
+            match policy {
+                OverflowPolicy::AbortWriter => return Err(VersionOverflow),
+                OverflowPolicy::DiscardOldest => {
+                    self.versions.pop();
+                    self.truncated = true;
+                }
+                OverflowPolicy::Unbounded => {}
+            }
+        }
+        self.versions.insert(0, Version { ts: end, data });
+        Ok(true)
+    }
+
+    /// Mutates the newest version in place without changing its
+    /// timestamp — the non-transactional write path ("non-transactional
+    /// writes modify the most current version in place").
+    ///
+    /// # Panics
+    ///
+    /// Panics if the list is empty or its newest timestamp differs from
+    /// `ts` (the caller just observed it).
+    pub fn overwrite_newest_in_place(&mut self, ts: Timestamp, data: LineData) {
+        let newest = self
+            .versions
+            .first_mut()
+            .expect("overwrite_newest_in_place on empty version list");
+        assert_eq!(newest.ts, ts, "newest version changed underfoot");
+        newest.data = data;
+    }
+
+    /// Removes the version tagged exactly `ts`, if present — the commit
+    /// rollback path after a detected write-write conflict. Returns
+    /// whether a version was removed.
+    pub fn remove_version(&mut self, ts: Timestamp) -> bool {
+        match self.versions.iter().position(|v| v.ts == ts) {
+            Some(pos) => {
+                self.versions.remove(pos);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Collapses the history to a single version of the newest data at
+    /// [`Timestamp::ZERO`], dropping transients. Used by the
+    /// clock-overflow interrupt handler: after the global clock resets,
+    /// old timestamps would compare as "from the future", so committed
+    /// state is re-based to the epoch.
+    pub fn flatten(&mut self) {
+        if let Some(newest) = self.versions.first() {
+            self.versions = vec![Version {
+                ts: Timestamp::ZERO,
+                data: newest.data,
+            }];
+        }
+        self.transients.clear();
+        self.truncated = false;
+    }
+
+    /// Reclaims versions that no current or future snapshot can observe:
+    /// everything older than the newest version at-or-below the oldest
+    /// live start timestamp. Invoked on every write per section 3.1.
+    pub fn collect_garbage(&mut self, active: &ActiveTransactions) {
+        let Some(oldest) = active.oldest_start() else {
+            // No transaction in flight: only the newest version matters.
+            if self.versions.len() > 1 {
+                self.versions.truncate(1);
+                self.truncated = true;
+            }
+            return;
+        };
+        // Find the first version with ts <= oldest; it still serves the
+        // oldest snapshot, but everything after it is unreachable.
+        if let Some(keep) = self.versions.iter().position(|v| v.ts <= oldest) {
+            if self.versions.len() > keep + 1 {
+                self.versions.truncate(keep + 1);
+                self.truncated = true;
+            }
+        }
+    }
+
+    /// Stores (or replaces) the transient uncommitted line owned by
+    /// `owner` — the eviction path of `TM_WRITE`.
+    pub fn put_transient(&mut self, owner: ThreadId, data: LineData) {
+        if let Some(slot) = self.transients.iter_mut().find(|(t, _)| *t == owner) {
+            slot.1 = data;
+        } else {
+            self.transients.push((owner, data));
+        }
+    }
+
+    /// Reads back the transient line owned by `owner`, if one exists.
+    /// Transients are visible only to their owner.
+    pub fn transient_of(&self, owner: ThreadId) -> Option<&LineData> {
+        self.transients
+            .iter()
+            .find(|(t, _)| *t == owner)
+            .map(|(_, d)| d)
+    }
+
+    /// Removes and returns `owner`'s transient line (commit retags it with
+    /// the end timestamp; abort simply drops it).
+    pub fn take_transient(&mut self, owner: ThreadId) -> Option<LineData> {
+        let pos = self.transients.iter().position(|(t, _)| *t == owner)?;
+        Some(self.transients.remove(pos).1)
+    }
+
+    /// Whether the list holds neither committed versions nor transients
+    /// (and never discarded history), i.e. carries no information.
+    pub fn is_trivial(&self) -> bool {
+        self.versions.is_empty() && self.transients.is_empty() && !self.truncated
+    }
+
+    /// Timestamps of the committed versions, newest first (diagnostics).
+    pub fn version_timestamps(&self) -> Vec<Timestamp> {
+        self.versions.iter().map(|v| v.ts).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::WORDS_PER_LINE;
+
+    fn line(fill: u64) -> LineData {
+        [fill; WORDS_PER_LINE]
+    }
+
+    fn install_all(
+        vl: &mut VersionList,
+        ts_list: &[u64],
+        active: &ActiveTransactions,
+        cap: usize,
+        policy: OverflowPolicy,
+    ) {
+        for &ts in ts_list {
+            vl.install(Timestamp(ts), line(ts), active, cap, policy)
+                .unwrap();
+        }
+    }
+
+    #[test]
+    fn unwritten_line_reads_zero() {
+        let vl = VersionList::new();
+        let r = vl.read_snapshot(Timestamp(5)).unwrap();
+        assert_eq!(r.data, ZERO_LINE);
+        assert_eq!(vl.newest_data(), ZERO_LINE);
+        assert!(vl.is_trivial());
+    }
+
+    #[test]
+    fn snapshot_reads_most_recent_at_or_below_start() {
+        let mut vl = VersionList::new();
+        let mut active = ActiveTransactions::new();
+        // Keep an ancient reader alive so nothing coalesces or GCs.
+        active.register(ThreadId(0), Timestamp(0));
+        // Interleave "live snapshots" between installs by registering
+        // extra readers.
+        active.register(ThreadId(1), Timestamp(2));
+        active.register(ThreadId(2), Timestamp(4));
+        install_all(
+            &mut vl,
+            &[1, 3, 5],
+            &active,
+            8,
+            OverflowPolicy::AbortWriter,
+        );
+        assert_eq!(vl.read_snapshot(Timestamp(1)).unwrap().data, line(1));
+        assert_eq!(vl.read_snapshot(Timestamp(2)).unwrap().data, line(1));
+        assert_eq!(vl.read_snapshot(Timestamp(4)).unwrap().data, line(3));
+        assert_eq!(vl.read_snapshot(Timestamp(9)).unwrap().data, line(5));
+        assert_eq!(vl.read_snapshot(Timestamp(9)).unwrap().depth, 0);
+        assert_eq!(vl.read_snapshot(Timestamp(1)).unwrap().depth, 2);
+    }
+
+    /// Reproduces the figure 4 coalescing example: commits at timestamps
+    /// 1, 3, 6, 8 with a single live transaction started at TS 4 coalesce
+    /// down to versions {3, 8}.
+    #[test]
+    fn coalescing_fig4() {
+        let mut vl = VersionList::new();
+        let mut active = ActiveTransactions::new();
+
+        // TX0 commits at TS 1: first version.
+        vl.install(Timestamp(1), line(1), &active, 4, OverflowPolicy::AbortWriter)
+            .unwrap();
+        // TX1 starts at TS 2 and commits at TS 3. Its own start does not
+        // protect version 1 at the instant of its commit-install (it is
+        // the writer), and no other transaction started in [1, 3): the
+        // new version overwrites version 1.
+        let created = vl
+            .install(Timestamp(3), line(3), &active, 4, OverflowPolicy::AbortWriter)
+            .unwrap();
+        assert!(!created, "versions 1 and 3 coalesce");
+
+        // TX2 starts at TS 4 and stays in flight.
+        active.register(ThreadId(2), Timestamp(4));
+
+        // TX3 commits at TS 6: TX2's snapshot (start 4) lies in [3, 6),
+        // so version 3 must be preserved.
+        let created = vl
+            .install(Timestamp(6), line(6), &active, 4, OverflowPolicy::AbortWriter)
+            .unwrap();
+        assert!(created);
+
+        // TX4 commits at TS 8: no start in [6, 8) => coalesce 6 into 8.
+        let created = vl
+            .install(Timestamp(8), line(8), &active, 4, OverflowPolicy::AbortWriter)
+            .unwrap();
+        assert!(!created, "versions 6 and 8 coalesce");
+
+        assert_eq!(
+            vl.version_timestamps(),
+            vec![Timestamp(8), Timestamp(3)],
+            "figure 4: version list holds exactly {{A@3, A@8}}"
+        );
+        // TX2 still reads the state as of its snapshot.
+        assert_eq!(vl.read_snapshot(Timestamp(4)).unwrap().data, line(3));
+    }
+
+    #[test]
+    fn abort_writer_on_fifth_version() {
+        let mut vl = VersionList::new();
+        let mut active = ActiveTransactions::new();
+        // Live snapshots between every pair of installs prevent
+        // coalescing and GC.
+        for (i, s) in [2u64, 4, 6, 8].into_iter().enumerate() {
+            active.register(ThreadId(i), Timestamp(s));
+        }
+        install_all(
+            &mut vl,
+            &[1, 3, 5, 7],
+            &active,
+            DEFAULT_VERSION_CAP,
+            OverflowPolicy::AbortWriter,
+        );
+        assert_eq!(vl.version_count(), 4);
+        let err = vl.install(
+            Timestamp(9),
+            line(9),
+            &active,
+            DEFAULT_VERSION_CAP,
+            OverflowPolicy::AbortWriter,
+        );
+        assert_eq!(err, Err(VersionOverflow));
+        // The failed install must not have modified the list.
+        assert_eq!(vl.version_count(), 4);
+        assert_eq!(vl.newest_ts(), Some(Timestamp(7)));
+    }
+
+    #[test]
+    fn discard_oldest_truncates_and_old_readers_abort() {
+        let mut vl = VersionList::new();
+        let mut active = ActiveTransactions::new();
+        for (i, s) in [2u64, 4, 6, 8].into_iter().enumerate() {
+            active.register(ThreadId(i), Timestamp(s));
+        }
+        install_all(
+            &mut vl,
+            &[1, 3, 5, 7],
+            &active,
+            4,
+            OverflowPolicy::DiscardOldest,
+        );
+        active.register(ThreadId(9), Timestamp(10));
+        vl.install(Timestamp(9), line(9), &active, 4, OverflowPolicy::DiscardOldest)
+            .unwrap();
+        assert_eq!(vl.version_count(), 4);
+        // A snapshot older than the discarded version 1 cannot be served.
+        assert_eq!(vl.read_snapshot(Timestamp(1)), None);
+        // Newer snapshots still work.
+        assert_eq!(vl.read_snapshot(Timestamp(4)).unwrap().data, line(3));
+    }
+
+    #[test]
+    fn unbounded_keeps_everything() {
+        let mut vl = VersionList::new();
+        let mut active = ActiveTransactions::new();
+        for (i, s) in (1..12u64).step_by(2).enumerate() {
+            active.register(ThreadId(i), Timestamp(s));
+        }
+        install_all(
+            &mut vl,
+            &[2, 4, 6, 8, 10],
+            &active,
+            2,
+            OverflowPolicy::Unbounded,
+        );
+        assert_eq!(vl.version_count(), 5);
+    }
+
+    #[test]
+    fn gc_on_write_reclaims_unreachable_versions() {
+        let mut vl = VersionList::new();
+        let mut active = ActiveTransactions::new();
+        for (i, s) in [2u64, 4, 6].into_iter().enumerate() {
+            active.register(ThreadId(i), Timestamp(s));
+        }
+        install_all(&mut vl, &[1, 3, 5], &active, 8, OverflowPolicy::AbortWriter);
+        assert_eq!(vl.version_count(), 3);
+        // The two old readers finish; only the TS-6 reader remains.
+        active.unregister(ThreadId(0));
+        active.unregister(ThreadId(1));
+        active.register(ThreadId(7), Timestamp(8));
+        // Next write garbage collects: versions 1 and 3 are unreachable
+        // (the TS-6 snapshot is served by version 5).
+        vl.install(Timestamp(7), line(7), &active, 8, OverflowPolicy::AbortWriter)
+            .unwrap();
+        assert_eq!(
+            vl.version_timestamps(),
+            vec![Timestamp(7), Timestamp(5)],
+            "GC keeps only the newest version <= oldest live start"
+        );
+    }
+
+    #[test]
+    fn gc_with_no_active_transactions_keeps_only_newest() {
+        let mut vl = VersionList::new();
+        let mut active = ActiveTransactions::new();
+        active.register(ThreadId(0), Timestamp(2));
+        install_all(&mut vl, &[1, 3], &active, 8, OverflowPolicy::AbortWriter);
+        active.unregister(ThreadId(0));
+        vl.collect_garbage(&active);
+        assert_eq!(vl.version_count(), 1);
+        assert_eq!(vl.newest_ts(), Some(Timestamp(3)));
+    }
+
+    #[test]
+    fn write_write_validation_detects_newer_committer() {
+        let mut vl = VersionList::new();
+        let active = ActiveTransactions::new();
+        vl.install(Timestamp(5), line(5), &active, 4, OverflowPolicy::AbortWriter)
+            .unwrap();
+        assert!(vl.newer_than(Timestamp(4)));
+        assert!(!vl.newer_than(Timestamp(5)));
+        assert!(!vl.newer_than(Timestamp(6)));
+    }
+
+    #[test]
+    fn transients_are_owner_private() {
+        let mut vl = VersionList::new();
+        vl.put_transient(ThreadId(1), line(11));
+        assert_eq!(vl.transient_of(ThreadId(1)), Some(&line(11)));
+        assert_eq!(vl.transient_of(ThreadId(2)), None);
+        // Replacement overwrites.
+        vl.put_transient(ThreadId(1), line(12));
+        assert_eq!(vl.transient_of(ThreadId(1)), Some(&line(12)));
+        assert_eq!(vl.take_transient(ThreadId(1)), Some(line(12)));
+        assert_eq!(vl.take_transient(ThreadId(1)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "install out of order")]
+    fn install_rejects_stale_timestamp() {
+        let mut vl = VersionList::new();
+        let active = ActiveTransactions::new();
+        vl.install(Timestamp(5), line(5), &active, 4, OverflowPolicy::AbortWriter)
+            .unwrap();
+        let _ = vl.install(Timestamp(5), line(6), &active, 4, OverflowPolicy::AbortWriter);
+    }
+}

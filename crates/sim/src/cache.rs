@@ -1,0 +1,437 @@
+//! Set-associative LRU cache models and the memory-system cost model.
+//!
+//! The timing model charges every memory access the latency of the level
+//! that serves it, walking private L1 and L2, the shared L3, and DRAM.
+//! Multiversioned (MVM) accesses additionally pay for the version-list
+//! indirection fetch unless the per-core translation cache holds the
+//! entry (section 3.2: "a small translation cache accessed in parallel to
+//! L2 can compensate for most of the extra latency").
+
+use sitm_mvm::LineAddr;
+
+use crate::config::{CacheParams, Cycles, MachineConfig};
+
+/// A set-associative cache with LRU replacement, tracking tags only.
+///
+/// Each set keeps its tags in MRU-first order; a probe that hits moves the
+/// tag to the front, a fill evicts the last tag when the set is full.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    sets: Vec<Vec<u64>>,
+    ways: usize,
+    set_mask: u64,
+    set_shift: u32,
+}
+
+impl Cache {
+    /// Builds a cache from its geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the set count is not a power of two (index arithmetic
+    /// relies on masking) or the geometry is degenerate.
+    pub fn new(params: CacheParams) -> Self {
+        let sets = params.sets();
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        Cache {
+            sets: vec![Vec::new(); sets],
+            ways: params.ways,
+            set_mask: sets as u64 - 1,
+            set_shift: 0,
+        }
+    }
+
+    /// Builds a fully associative cache with `entries` slots (used for
+    /// the translation cache).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is zero.
+    pub fn fully_associative(entries: usize) -> Self {
+        assert!(entries > 0, "cache must have at least one entry");
+        Cache {
+            sets: vec![Vec::new()],
+            ways: entries,
+            set_mask: 0,
+            set_shift: 0,
+        }
+    }
+
+    #[inline]
+    fn set_of(&self, line: LineAddr) -> usize {
+        ((line.0 >> self.set_shift) & self.set_mask) as usize
+    }
+
+    /// Probes for `line`; on a hit the entry becomes most recently used.
+    pub fn access(&mut self, line: LineAddr) -> bool {
+        let set = self.set_of(line);
+        let ways = &mut self.sets[set];
+        if let Some(pos) = ways.iter().position(|&t| t == line.0) {
+            let tag = ways.remove(pos);
+            ways.insert(0, tag);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Inserts `line` as most recently used, evicting the LRU entry if
+    /// the set is full. Returns the evicted line, if any.
+    pub fn fill(&mut self, line: LineAddr) -> Option<LineAddr> {
+        let ways_cap = self.ways;
+        let set = self.set_of(line);
+        let ways = &mut self.sets[set];
+        if let Some(pos) = ways.iter().position(|&t| t == line.0) {
+            let tag = ways.remove(pos);
+            ways.insert(0, tag);
+            return None;
+        }
+        ways.insert(0, line.0);
+        if ways.len() > ways_cap {
+            return ways.pop().map(LineAddr);
+        }
+        None
+    }
+
+    /// Removes `line` if present (coherence invalidation). Returns
+    /// whether it was cached.
+    pub fn invalidate(&mut self, line: LineAddr) -> bool {
+        let set = self.set_of(line);
+        let ways = &mut self.sets[set];
+        match ways.iter().position(|&t| t == line.0) {
+            Some(pos) => {
+                ways.remove(pos);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Number of lines currently resident.
+    pub fn resident(&self) -> usize {
+        self.sets.iter().map(|s| s.len()).sum()
+    }
+}
+
+/// Where an access was served from (diagnostics and tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServedBy {
+    /// Private L1 hit.
+    L1,
+    /// Private L2 hit.
+    L2,
+    /// Shared L3 hit.
+    L3,
+    /// Main memory.
+    Memory,
+}
+
+/// The full memory-system cost model: per-core private caches and
+/// translation caches, the shared L3, the MVM directory partition, and
+/// DRAM.
+#[derive(Debug)]
+pub struct MemorySystem {
+    cfg: MachineConfig,
+    l1: Vec<Cache>,
+    l2: Vec<Cache>,
+    xlate: Vec<Cache>,
+    l3: Cache,
+    /// Cache of version-list (indirection) lines in the L3's MVM
+    /// partition.
+    mvm_dir: Cache,
+    accesses: u64,
+    mem_accesses: u64,
+}
+
+impl MemorySystem {
+    /// Builds the memory system for `cfg`.
+    pub fn new(cfg: &MachineConfig) -> Self {
+        MemorySystem {
+            l1: (0..cfg.cores).map(|_| Cache::new(cfg.l1)).collect(),
+            l2: (0..cfg.cores).map(|_| Cache::new(cfg.l2)).collect(),
+            xlate: (0..cfg.cores)
+                .map(|_| Cache::fully_associative(cfg.translation_cache_entries))
+                .collect(),
+            l3: Cache::new(cfg.l3),
+            mvm_dir: Cache::new(CacheParams {
+                size_bytes: cfg.l3_mvm_partition_bytes,
+                ways: cfg.l3.ways,
+                latency: cfg.l3.latency,
+            }),
+            cfg: cfg.clone(),
+            accesses: 0,
+            mem_accesses: 0,
+        }
+    }
+
+    /// The machine configuration this model was built from.
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// A conventional data access by `core`: walks L1 → L2 → L3 → DRAM,
+    /// filling on the way back. Returns the cycle cost and serving level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn access(&mut self, core: usize, line: LineAddr) -> (Cycles, ServedBy) {
+        self.accesses += 1;
+        if self.l1[core].access(line) {
+            return (self.cfg.l1.latency, ServedBy::L1);
+        }
+        if self.l2[core].access(line) {
+            self.l1[core].fill(line);
+            return (self.cfg.l2.latency, ServedBy::L2);
+        }
+        if self.l3.access(line) {
+            self.l2[core].fill(line);
+            self.l1[core].fill(line);
+            return (self.cfg.l3.latency, ServedBy::L3);
+        }
+        self.mem_accesses += 1;
+        self.l3.fill(line);
+        self.l2[core].fill(line);
+        self.l1[core].fill(line);
+        (self.cfg.mem_latency, ServedBy::Memory)
+    }
+
+    /// A multiversioned read by `core`: versions live at the L3/DRAM
+    /// level, so the walk starts at the L3 and additionally fetches the
+    /// version-list entry unless the core's translation cache holds it.
+    /// The returned data line is installed into the private caches
+    /// (marked transactional by the caller).
+    pub fn mvm_access(&mut self, core: usize, line: LineAddr) -> Cycles {
+        self.accesses += 1;
+        // Repeated reads of a line already fetched into the private
+        // caches within the transaction are ordinary hits.
+        if self.l1[core].access(line) {
+            return self.cfg.l1.latency;
+        }
+        if self.l2[core].access(line) {
+            self.l1[core].fill(line);
+            return self.cfg.l2.latency;
+        }
+        let indirection = if self.xlate[core].access(line) {
+            0
+        } else {
+            self.xlate[core].fill(line);
+            if self.mvm_dir.access(line) {
+                self.cfg.l3.latency
+            } else {
+                self.mvm_dir.fill(line);
+                self.mem_accesses += 1;
+                self.cfg.mem_latency
+            }
+        };
+        let data = if self.l3.access(line) {
+            self.cfg.l3.latency
+        } else {
+            self.l3.fill(line);
+            self.mem_accesses += 1;
+            self.cfg.mem_latency
+        };
+        self.l2[core].fill(line);
+        self.l1[core].fill(line);
+        indirection + data
+    }
+
+    /// A write into `core`'s L1 (lazy versioning buffers stores
+    /// privately). Cost: L1 latency; the line becomes resident.
+    pub fn l1_write(&mut self, core: usize, line: LineAddr) -> Cycles {
+        self.accesses += 1;
+        self.l1[core].fill(line);
+        self.cfg.l1.latency
+    }
+
+    /// A write-back of a committed line to the shared level (L3 + MVM
+    /// install or in-place memory update). Cost: L3 latency; fills L3.
+    pub fn writeback(&mut self, _core: usize, line: LineAddr) -> Cycles {
+        self.accesses += 1;
+        self.l3.fill(line);
+        self.cfg.l3.latency
+    }
+
+    /// Invalidates `line` in every private cache except `except` (eager
+    /// coherence: a get-exclusive broadcast).
+    pub fn invalidate_others(&mut self, except: usize, line: LineAddr) {
+        for core in 0..self.cfg.cores {
+            if core != except {
+                self.l1[core].invalidate(line);
+                self.l2[core].invalidate(line);
+            }
+        }
+    }
+
+    /// Invalidates a set of lines in `core`'s private caches (flash
+    /// invalidation of transactionally marked lines at transaction end,
+    /// so subsequent transactions observe fresh snapshots).
+    pub fn invalidate_own(&mut self, core: usize, lines: impl IntoIterator<Item = LineAddr>) {
+        for line in lines {
+            self.l1[core].invalidate(line);
+            self.l2[core].invalidate(line);
+        }
+    }
+
+    /// Cost of one coherence broadcast on the interconnect.
+    pub fn broadcast_cost(&self) -> Cycles {
+        self.cfg.coherence_broadcast
+    }
+
+    /// `(total accesses, accesses that reached DRAM)`.
+    pub fn traffic(&self) -> (u64, u64) {
+        (self.accesses, self.mem_accesses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> MachineConfig {
+        let mut c = MachineConfig::with_cores(2);
+        c.l1 = CacheParams {
+            size_bytes: 2 * 64,
+            ways: 2,
+            latency: 4,
+        };
+        c.l2 = CacheParams {
+            size_bytes: 4 * 64,
+            ways: 2,
+            latency: 8,
+        };
+        c.l3 = CacheParams {
+            size_bytes: 8 * 64,
+            ways: 2,
+            latency: 30,
+        };
+        c.l3_mvm_partition_bytes = 4 * 64;
+        c.translation_cache_entries = 2;
+        c
+    }
+
+    #[test]
+    fn lru_within_a_set() {
+        let mut c = Cache::new(CacheParams {
+            size_bytes: 2 * 64,
+            ways: 2,
+            latency: 1,
+        });
+        // Single set, two ways.
+        assert!(!c.access(LineAddr(1)));
+        c.fill(LineAddr(1));
+        c.fill(LineAddr(2));
+        assert!(c.access(LineAddr(1))); // 1 becomes MRU
+        let evicted = c.fill(LineAddr(3)); // evicts LRU = 2
+        assert_eq!(evicted, Some(LineAddr(2)));
+        assert!(c.access(LineAddr(1)));
+        assert!(!c.access(LineAddr(2)));
+        assert!(c.access(LineAddr(3)));
+    }
+
+    #[test]
+    fn fill_of_resident_line_does_not_evict() {
+        let mut c = Cache::fully_associative(2);
+        c.fill(LineAddr(1));
+        c.fill(LineAddr(2));
+        assert_eq!(c.fill(LineAddr(1)), None);
+        assert_eq!(c.resident(), 2);
+    }
+
+    #[test]
+    fn invalidate_removes_line() {
+        let mut c = Cache::fully_associative(4);
+        c.fill(LineAddr(9));
+        assert!(c.invalidate(LineAddr(9)));
+        assert!(!c.invalidate(LineAddr(9)));
+        assert!(!c.access(LineAddr(9)));
+    }
+
+    #[test]
+    fn hierarchy_walk_latencies() {
+        let cfg = tiny();
+        let mut m = MemorySystem::new(&cfg);
+        let l = LineAddr(7);
+        // Cold: DRAM.
+        assert_eq!(m.access(0, l), (cfg.mem_latency, ServedBy::Memory));
+        // Now resident everywhere: L1 hit.
+        assert_eq!(m.access(0, l), (cfg.l1.latency, ServedBy::L1));
+        // Another core: misses privately, hits shared L3.
+        assert_eq!(m.access(1, l), (cfg.l3.latency, ServedBy::L3));
+    }
+
+    #[test]
+    fn mvm_access_charges_indirection_once() {
+        let cfg = tiny();
+        let mut m = MemorySystem::new(&cfg);
+        let a = LineAddr(3);
+        // Cold: indirection from memory + data from memory.
+        let cold = m.mvm_access(0, a);
+        assert_eq!(cold, 2 * cfg.mem_latency);
+        // Hot in private cache afterwards.
+        assert_eq!(m.mvm_access(0, a), cfg.l1.latency);
+        // After invalidation, the translation cache still holds the
+        // entry, and L3/mvm_dir hold the lines: only the data fetch.
+        m.invalidate_own(0, [a]);
+        assert_eq!(m.mvm_access(0, a), cfg.l3.latency);
+    }
+
+    #[test]
+    fn invalidate_others_spares_requester() {
+        let cfg = tiny();
+        let mut m = MemorySystem::new(&cfg);
+        let l = LineAddr(5);
+        m.access(0, l);
+        m.access(1, l);
+        m.invalidate_others(0, l);
+        assert_eq!(m.access(0, l).1, ServedBy::L1);
+        let (_, served) = m.access(1, l);
+        assert_ne!(served, ServedBy::L1, "core 1 lost its copy");
+    }
+
+    #[test]
+    fn translation_cache_capacity_evicts_lru() {
+        let cfg = tiny();
+        let mut m = MemorySystem::new(&cfg);
+        // Two-entry translation cache: touching three MVM lines evicts
+        // the first entry; re-touching it pays the indirection again.
+        let (a, b, c) = (LineAddr(100), LineAddr(104), LineAddr(108));
+        let cold_a = m.mvm_access(0, a);
+        m.invalidate_own(0, [a]);
+        // Warm translation: only the data fetch.
+        assert!(m.mvm_access(0, a) < cold_a);
+        m.invalidate_own(0, [a]);
+        // Evict a's translation entry.
+        m.mvm_access(0, b);
+        m.mvm_access(0, c);
+        m.invalidate_own(0, [a, b, c]);
+        let after_evict = m.mvm_access(0, a);
+        assert!(
+            after_evict > cfg.l3.latency,
+            "translation miss costs an extra indirection fetch: {after_evict}"
+        );
+    }
+
+    #[test]
+    fn writeback_installs_into_shared_l3() {
+        let cfg = tiny();
+        let mut m = MemorySystem::new(&cfg);
+        let l = LineAddr(42);
+        m.writeback(0, l);
+        // Another core finds the line in the L3, not memory.
+        let (cycles, served) = m.access(1, l);
+        assert_eq!(served, ServedBy::L3);
+        assert_eq!(cycles, cfg.l3.latency);
+    }
+
+    #[test]
+    fn traffic_counters_advance() {
+        let cfg = tiny();
+        let mut m = MemorySystem::new(&cfg);
+        m.access(0, LineAddr(1));
+        m.access(0, LineAddr(1));
+        let (total, mem) = m.traffic();
+        assert_eq!(total, 2);
+        assert_eq!(mem, 1);
+    }
+}

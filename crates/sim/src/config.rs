@@ -1,0 +1,230 @@
+//! The simulated machine configuration (Table 1 of the paper).
+//!
+//! Most parameters resemble a Nehalem-like part with 32 cores at 3 GHz;
+//! the values below are the paper's defaults and every field can be
+//! overridden for sensitivity studies.
+
+/// Simulated cycles (at the configured core clock).
+pub type Cycles = u64;
+
+/// Cache line size in bytes (fixed across the model).
+pub const LINE_BYTES: usize = 64;
+
+/// Geometry and latency of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheParams {
+    /// Total capacity in bytes.
+    pub size_bytes: usize,
+    /// Associativity (ways per set).
+    pub ways: usize,
+    /// Access latency in cycles.
+    pub latency: Cycles,
+}
+
+impl CacheParams {
+    /// Number of cache lines this level holds.
+    pub fn lines(&self) -> usize {
+        self.size_bytes / LINE_BYTES
+    }
+
+    /// Number of sets (`lines / ways`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry does not divide evenly or is empty.
+    pub fn sets(&self) -> usize {
+        let lines = self.lines();
+        assert!(self.ways > 0 && lines >= self.ways, "degenerate cache geometry");
+        assert_eq!(lines % self.ways, 0, "lines must divide into whole sets");
+        lines / self.ways
+    }
+}
+
+/// Exponential-backoff policy applied after aborts (the paper tunes this
+/// for the eager baselines; section 6.4 notes its impact is significant).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackoffConfig {
+    /// Whether backoff is applied at all (ablation switch).
+    pub enabled: bool,
+    /// Delay after the first abort, in cycles.
+    pub base: Cycles,
+    /// Exponent cap: delay = `base << min(aborts - 1, max_exponent)`.
+    pub max_exponent: u32,
+}
+
+impl Default for BackoffConfig {
+    fn default() -> Self {
+        BackoffConfig {
+            enabled: true,
+            base: 200,
+            max_exponent: 10,
+        }
+    }
+}
+
+/// The full simulated platform (Table 1) plus model-specific costs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineConfig {
+    /// Number of cores / hardware threads.
+    pub cores: usize,
+    /// Core clock in GHz (only used for documentation; costs are cycles).
+    pub clock_ghz: f64,
+    /// Private per-core L1 data cache.
+    pub l1: CacheParams,
+    /// Private per-core L2 cache.
+    pub l2: CacheParams,
+    /// Shared L3 cache.
+    pub l3: CacheParams,
+    /// Portion of the L3 reserved for MVM version-list entries, in bytes.
+    pub l3_mvm_partition_bytes: usize,
+    /// Main-memory access latency in cycles.
+    pub mem_latency: Cycles,
+    /// Entries in the per-core translation cache holding recently used
+    /// version-list lines (accessed in parallel to the L2).
+    pub translation_cache_entries: usize,
+    /// Cycles charged for one cache-coherence broadcast (eager conflict
+    /// detection, commit-token traffic, SONTM write-set broadcast).
+    pub coherence_broadcast: Cycles,
+    /// Per-line cost of hashing into SONTM's global write-numbers table.
+    pub sontm_hash_cost: Cycles,
+    /// Version-buffer capacity of the bounded baselines in bytes: a 2PL
+    /// transaction whose write set exceeds this must abort (the L1 acts
+    /// as the version buffer).
+    pub version_buffer_bytes: usize,
+    /// Backoff policy after aborts.
+    pub backoff: BackoffConfig,
+    /// Safety valve: end a simulation after this many cycles on any
+    /// thread (0 = unlimited). Runs that hit it are flagged in the stats.
+    pub max_cycles: Cycles,
+}
+
+impl Default for MachineConfig {
+    /// The Table 1 platform.
+    fn default() -> Self {
+        MachineConfig {
+            cores: 32,
+            clock_ghz: 3.0,
+            l1: CacheParams {
+                size_bytes: 32 * 1024,
+                ways: 4,
+                latency: 4,
+            },
+            l2: CacheParams {
+                size_bytes: 256 * 1024,
+                ways: 8,
+                latency: 8,
+            },
+            l3: CacheParams {
+                size_bytes: 32 * 1024 * 1024,
+                ways: 16,
+                latency: 30,
+            },
+            l3_mvm_partition_bytes: 8 * 1024 * 1024,
+            mem_latency: 100,
+            translation_cache_entries: 64,
+            coherence_broadcast: 30,
+            sontm_hash_cost: 12,
+            version_buffer_bytes: 16 * 1024,
+            backoff: BackoffConfig::default(),
+            max_cycles: 0,
+        }
+    }
+}
+
+impl MachineConfig {
+    /// The Table 1 configuration with a different core count (the paper
+    /// sweeps 1–32 threads).
+    pub fn with_cores(cores: usize) -> Self {
+        assert!(cores > 0, "at least one core");
+        MachineConfig {
+            cores,
+            ..Self::default()
+        }
+    }
+
+    /// Version-buffer capacity in lines.
+    pub fn version_buffer_lines(&self) -> usize {
+        self.version_buffer_bytes / LINE_BYTES
+    }
+
+    /// Renders the configuration as the rows of Table 1.
+    pub fn table1(&self) -> String {
+        let mut s = String::new();
+        let mut row = |k: &str, v: String| {
+            s.push_str(&format!("{k:<34} {v}\n"));
+        };
+        row("CPU Cores", self.cores.to_string());
+        row("CPU Clock", format!("{} GHz", self.clock_ghz));
+        row("L1D cache size", format!("{}KByte", self.l1.size_bytes / 1024));
+        row("L1 cache associativity", format!("{}-way", self.l1.ways));
+        row("L1 cache latency", format!("{} cycles", self.l1.latency));
+        row("L2 cache size", format!("{}KByte", self.l2.size_bytes / 1024));
+        row("L2 cache associativity", format!("{}-way", self.l2.ways));
+        row("L2 cache latency", format!("{} cycles", self.l2.latency));
+        row(
+            "L3 cache size",
+            format!("{}MByte", self.l3.size_bytes / (1024 * 1024)),
+        );
+        row(
+            "L3 cache MVM partition",
+            format!("{}MByte", self.l3_mvm_partition_bytes / (1024 * 1024)),
+        );
+        row("L3 cache associativity", format!("{}-way", self.l3.ways));
+        row("L3 cache latency", format!("{} cycles", self.l3.latency));
+        row("Memory latency", format!("{} cycles", self.mem_latency));
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_defaults_match_paper() {
+        let c = MachineConfig::default();
+        assert_eq!(c.cores, 32);
+        assert_eq!(c.l1.size_bytes, 32 * 1024);
+        assert_eq!(c.l1.latency, 4);
+        assert_eq!(c.l2.latency, 8);
+        assert_eq!(c.l3.latency, 30);
+        assert_eq!(c.mem_latency, 100);
+        assert_eq!(c.l3_mvm_partition_bytes, 8 * 1024 * 1024);
+    }
+
+    #[test]
+    fn cache_geometry() {
+        let c = MachineConfig::default();
+        assert_eq!(c.l1.lines(), 512);
+        assert_eq!(c.l1.sets(), 128);
+        assert_eq!(c.l2.sets(), 512);
+        assert_eq!(c.l3.sets(), 32 * 1024);
+        assert_eq!(c.version_buffer_lines(), 256);
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn zero_way_cache_rejected() {
+        CacheParams {
+            size_bytes: 1024,
+            ways: 0,
+            latency: 1,
+        }
+        .sets();
+    }
+
+    #[test]
+    fn table1_rendering_contains_key_rows() {
+        let t = MachineConfig::default().table1();
+        assert!(t.contains("CPU Cores"));
+        assert!(t.contains("32MByte"));
+        assert!(t.contains("MVM partition"));
+    }
+
+    #[test]
+    fn with_cores_overrides_only_core_count() {
+        let c = MachineConfig::with_cores(8);
+        assert_eq!(c.cores, 8);
+        assert_eq!(c.l3.latency, MachineConfig::default().l3.latency);
+    }
+}

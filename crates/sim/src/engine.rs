@@ -1,0 +1,625 @@
+//! The discrete-event simulation engine.
+//!
+//! Logical threads carry virtual cycle clocks; the engine repeatedly
+//! picks the thread with the smallest clock and executes its next
+//! operation, translating [`TxOp`]s into [`TmProtocol`] calls and
+//! charging the returned cycle costs. Transactions interleave at
+//! memory-access granularity, which is the granularity at which real TM
+//! conflicts arise.
+//!
+//! The engine owns retry policy: an aborted transaction is rolled back,
+//! charged exponential backoff (if enabled), reset, and re-executed. It
+//! also records all statistics ([`RunStats`]) used by the figure
+//! harnesses.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use sitm_mvm::ThreadId;
+
+use crate::config::{BackoffConfig, Cycles, MachineConfig};
+use crate::program::{ThreadWorkload, TxOp, TxProgram, Workload};
+use crate::protocol::{
+    AbortCause, BeginOutcome, CommitOutcome, ReadOutcome, TmProtocol, Victims, WriteOutcome,
+};
+use crate::stats::{RunStats, ThreadStats};
+
+/// Execution phase of a logical thread.
+#[derive(Debug)]
+enum Phase {
+    /// Needs the next transaction from its workload.
+    NeedTx,
+    /// Has a program but has not successfully begun (may be stalling).
+    NeedBegin,
+    /// Transaction in flight.
+    Running,
+    /// Workload exhausted.
+    Finished,
+}
+
+struct ThreadState {
+    clock: Cycles,
+    phase: Phase,
+    workload: Box<dyn ThreadWorkload>,
+    program: Option<Box<dyn TxProgram>>,
+    input: Option<u64>,
+    /// Set when another thread's conflict doomed this transaction; the
+    /// protocol state was already rolled back.
+    doomed: Option<AbortCause>,
+    /// Rollback cycles to charge when the doomed thread is next run.
+    pending_cycles: Cycles,
+    consecutive_aborts: u32,
+    stats: ThreadStats,
+    rng: SmallRng,
+}
+
+impl std::fmt::Debug for ThreadState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadState")
+            .field("clock", &self.clock)
+            .field("phase", &self.phase)
+            .field("doomed", &self.doomed)
+            .finish_non_exhaustive()
+    }
+}
+
+/// The discrete-event engine binding a protocol to a workload.
+#[derive(Debug)]
+pub struct Engine<P: TmProtocol> {
+    protocol: P,
+    threads: Vec<ThreadState>,
+    backoff: BackoffConfig,
+    max_cycles: Cycles,
+    truncated: bool,
+    workload_name: String,
+}
+
+impl<P: TmProtocol> Engine<P> {
+    /// Builds an engine running `workload` on `cfg.cores` logical threads
+    /// under `protocol`. The workload's [`Workload::setup`] runs
+    /// immediately against the protocol's store; thread streams are
+    /// seeded from `seed`.
+    pub fn new(mut protocol: P, workload: &mut dyn Workload, cfg: &MachineConfig, seed: u64) -> Self {
+        workload.setup(protocol.store_mut(), cfg.cores);
+        let threads = (0..cfg.cores)
+            .map(|tid| ThreadState {
+                clock: 0,
+                phase: Phase::NeedTx,
+                workload: workload.thread_workload(tid, seed ^ (tid as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+                program: None,
+                input: None,
+                doomed: None,
+                pending_cycles: 0,
+                consecutive_aborts: 0,
+                stats: ThreadStats::default(),
+                rng: SmallRng::seed_from_u64(seed.wrapping_add(tid as u64)),
+            })
+            .collect();
+        Engine {
+            protocol,
+            threads,
+            backoff: cfg.backoff,
+            max_cycles: cfg.max_cycles,
+            truncated: false,
+            workload_name: workload.name().to_string(),
+        }
+    }
+
+    /// Runs the simulation to completion and returns the statistics.
+    pub fn run(mut self) -> (RunStats, P) {
+        loop {
+            let Some(tid) = self.next_runnable() else {
+                break;
+            };
+            if self.max_cycles > 0 && self.threads[tid].clock > self.max_cycles {
+                self.truncated = true;
+                break;
+            }
+            self.step(tid);
+        }
+        let total_cycles = self
+            .threads
+            .iter()
+            .map(|t| t.clock)
+            .max()
+            .unwrap_or(0);
+        let per_thread: Vec<ThreadStats> = self
+            .threads
+            .drain(..)
+            .map(|mut t| {
+                t.stats.finish_cycles = t.clock;
+                t.stats
+            })
+            .collect();
+        (
+            RunStats {
+                protocol: self.protocol.name().to_string(),
+                workload: self.workload_name,
+                threads: per_thread.len(),
+                per_thread,
+                total_cycles,
+                truncated: self.truncated,
+            },
+            self.protocol,
+        )
+    }
+
+    /// The unfinished thread with the smallest virtual clock.
+    fn next_runnable(&self) -> Option<usize> {
+        self.threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !matches!(t.phase, Phase::Finished))
+            .min_by_key(|(i, t)| (t.clock, *i))
+            .map(|(i, _)| i)
+    }
+
+    fn step(&mut self, tid: usize) {
+        // A doomed transaction aborts before doing anything else.
+        if let Some(cause) = self.threads[tid].doomed.take() {
+            let pending = std::mem::take(&mut self.threads[tid].pending_cycles);
+            self.threads[tid].clock += pending;
+            self.handle_abort(tid, cause);
+            return;
+        }
+        match self.threads[tid].phase {
+            Phase::Finished => {}
+            Phase::NeedTx => {
+                match self.threads[tid].workload.next_transaction() {
+                    None => self.threads[tid].phase = Phase::Finished,
+                    Some(p) => {
+                        self.threads[tid].program = Some(p);
+                        self.threads[tid].phase = Phase::NeedBegin;
+                    }
+                }
+            }
+            Phase::NeedBegin => {
+                let now = self.threads[tid].clock;
+                match self.protocol.begin(ThreadId(tid), now) {
+                    BeginOutcome::Started { cycles, victims } => {
+                        self.threads[tid].clock += cycles;
+                        self.threads[tid].input = None;
+                        self.threads[tid].phase = Phase::Running;
+                        self.doom_victims(tid, victims);
+                    }
+                    BeginOutcome::Stall { cycles } => {
+                        self.threads[tid].clock += cycles;
+                        self.threads[tid].stats.stall_cycles += cycles;
+                    }
+                }
+            }
+            Phase::Running => self.run_op(tid),
+        }
+    }
+
+    fn run_op(&mut self, tid: usize) {
+        let input = self.threads[tid].input.take();
+        let op = self.threads[tid]
+            .program
+            .as_mut()
+            .expect("running thread must have a program")
+            .resume(input);
+        let now = self.threads[tid].clock;
+        match op {
+            TxOp::Compute(c) => {
+                self.threads[tid].clock += c;
+            }
+            TxOp::Read(addr) => {
+                self.threads[tid].stats.reads += 1;
+                match self.protocol.read(ThreadId(tid), addr, now) {
+                    ReadOutcome::Ok {
+                        value,
+                        cycles,
+                        victims,
+                    } => {
+                        self.threads[tid].clock += cycles;
+                        self.threads[tid].input = Some(value);
+                        self.doom_victims(tid, victims);
+                    }
+                    ReadOutcome::Abort {
+                        cause,
+                        cycles,
+                        victims,
+                    } => {
+                        self.threads[tid].clock += cycles;
+                        self.handle_abort(tid, cause);
+                        self.doom_victims(tid, victims);
+                    }
+                }
+            }
+            TxOp::Write(addr, value) => {
+                self.threads[tid].stats.writes += 1;
+                match self.protocol.write(ThreadId(tid), addr, value, now) {
+                    WriteOutcome::Ok { cycles, victims } => {
+                        self.threads[tid].clock += cycles;
+                        self.doom_victims(tid, victims);
+                    }
+                    WriteOutcome::Abort {
+                        cause,
+                        cycles,
+                        victims,
+                    } => {
+                        self.threads[tid].clock += cycles;
+                        self.handle_abort(tid, cause);
+                        self.doom_victims(tid, victims);
+                    }
+                }
+            }
+            TxOp::Promote(addr) => {
+                self.threads[tid].stats.promotions += 1;
+                match self.protocol.promote(ThreadId(tid), addr, now) {
+                    WriteOutcome::Ok { cycles, victims } => {
+                        self.threads[tid].clock += cycles;
+                        self.doom_victims(tid, victims);
+                    }
+                    WriteOutcome::Abort {
+                        cause,
+                        cycles,
+                        victims,
+                    } => {
+                        self.threads[tid].clock += cycles;
+                        self.handle_abort(tid, cause);
+                        self.doom_victims(tid, victims);
+                    }
+                }
+            }
+            TxOp::Restart => {
+                // Self-sandboxed zombie: discard protocol state and
+                // re-execute.
+                let cycles = self.protocol.rollback(ThreadId(tid));
+                self.threads[tid].clock += cycles;
+                self.handle_abort(tid, AbortCause::Inconsistent);
+            }
+            TxOp::Commit => match self.protocol.commit(ThreadId(tid), now) {
+                CommitOutcome::Committed { cycles, victims } => {
+                    self.threads[tid].clock += cycles;
+                    self.threads[tid].stats.commits += 1;
+                    self.threads[tid].consecutive_aborts = 0;
+                    self.threads[tid].program = None;
+                    self.threads[tid].phase = Phase::NeedTx;
+                    self.doom_victims(tid, victims);
+                }
+                CommitOutcome::Abort {
+                    cause,
+                    cycles,
+                    victims,
+                } => {
+                    self.threads[tid].clock += cycles;
+                    self.handle_abort(tid, cause);
+                    self.doom_victims(tid, victims);
+                }
+            },
+        }
+    }
+
+    /// Records an abort of `tid`'s current transaction (protocol state
+    /// already rolled back), applies backoff, and schedules re-execution.
+    fn handle_abort(&mut self, tid: usize, cause: AbortCause) {
+        let t = &mut self.threads[tid];
+        t.stats.aborts[cause.index()] += 1;
+        t.consecutive_aborts += 1;
+        if self.backoff.enabled {
+            let exp = (t.consecutive_aborts.saturating_sub(1)).min(self.backoff.max_exponent);
+            let window = self.backoff.base << exp;
+            // Randomized slot within the window avoids lock-step retries.
+            let delay = t.rng.gen_range(window / 2..=window);
+            t.clock += delay;
+            t.stats.backoff_cycles += delay;
+        }
+        if let Some(p) = t.program.as_mut() {
+            p.reset();
+        }
+        t.input = None;
+        t.phase = Phase::NeedBegin;
+    }
+
+    /// Dooms the victims of an eager conflict: rolls their protocol state
+    /// back immediately (so their sets stop conflicting) and charges the
+    /// rollback when they are next scheduled.
+    fn doom_victims(&mut self, requester: usize, victims: Victims) {
+        for (vict, cause) in victims {
+            assert_ne!(vict.0, requester, "requester cannot be its own victim");
+            let v = &mut self.threads[vict.0];
+            if matches!(v.phase, Phase::Running) && v.doomed.is_none() {
+                v.doomed = Some(cause);
+                v.pending_cycles += self.protocol.rollback(vict);
+            }
+        }
+    }
+}
+
+/// Convenience: run `workload` under `protocol` with `cfg`, returning
+/// only the statistics.
+pub fn run_simulation<P: TmProtocol>(
+    protocol: P,
+    workload: &mut dyn Workload,
+    cfg: &MachineConfig,
+    seed: u64,
+) -> RunStats {
+    Engine::new(protocol, workload, cfg, seed).run().0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{QueueWorkload, ScriptedTx};
+    use sitm_mvm::{Addr, MvmStore, Word};
+
+    /// A trivially permissive protocol: every access succeeds at unit
+    /// cost against the backing store; commits always succeed.
+    #[derive(Debug, Default)]
+    struct NullProtocol {
+        store: MvmStore,
+        begun: u64,
+    }
+
+    impl TmProtocol for NullProtocol {
+        fn name(&self) -> &'static str {
+            "null"
+        }
+        fn begin(&mut self, _tid: ThreadId, _now: Cycles) -> BeginOutcome {
+            self.begun += 1;
+            BeginOutcome::Started {
+                cycles: 1,
+                victims: vec![],
+            }
+        }
+        fn read(&mut self, _tid: ThreadId, addr: Addr, _now: Cycles) -> ReadOutcome {
+            ReadOutcome::Ok {
+                value: self.store.read_word(addr),
+                cycles: 1,
+                victims: vec![],
+            }
+        }
+        fn write(&mut self, _tid: ThreadId, addr: Addr, value: Word, _now: Cycles) -> WriteOutcome {
+            self.store.write_word(addr, value);
+            WriteOutcome::Ok {
+                cycles: 1,
+                victims: vec![],
+            }
+        }
+        fn commit(&mut self, _tid: ThreadId, _now: Cycles) -> CommitOutcome {
+            CommitOutcome::Committed {
+                cycles: 1,
+                victims: vec![],
+            }
+        }
+        fn rollback(&mut self, _tid: ThreadId) -> Cycles {
+            0
+        }
+        fn store(&self) -> &MvmStore {
+            &self.store
+        }
+        fn store_mut(&mut self) -> &mut MvmStore {
+            &mut self.store
+        }
+    }
+
+    /// Workload: every thread increments its own counter word `n` times.
+    struct CounterWorkload {
+        txs_per_thread: usize,
+        base: Option<Addr>,
+    }
+
+    impl Workload for CounterWorkload {
+        fn name(&self) -> &str {
+            "counter"
+        }
+        fn setup(&mut self, mem: &mut MvmStore, n_threads: usize) {
+            // One line per thread to keep them disjoint.
+            let base = mem.alloc_lines(n_threads as u64).first_word();
+            self.base = Some(base);
+        }
+        fn thread_workload(&self, tid: usize, _seed: u64) -> Box<dyn ThreadWorkload> {
+            let addr = Addr(self.base.unwrap().0 + (tid as u64) * 8);
+            let txs = (0..self.txs_per_thread)
+                .map(|i| {
+                    Box::new(ScriptedTx::new(vec![
+                        TxOp::Read(addr),
+                        TxOp::Write(addr, i as Word + 1),
+                        TxOp::Compute(5),
+                    ])) as Box<dyn TxProgram>
+                })
+                .collect();
+            Box::new(QueueWorkload::new(txs))
+        }
+    }
+
+    #[test]
+    fn engine_runs_all_transactions() {
+        let cfg = MachineConfig::with_cores(4);
+        let mut w = CounterWorkload {
+            txs_per_thread: 10,
+            base: None,
+        };
+        let (stats, proto) = Engine::new(NullProtocol::default(), &mut w, &cfg, 42).run();
+        assert_eq!(stats.commits(), 40);
+        assert_eq!(stats.aborts(), 0);
+        assert_eq!(stats.threads, 4);
+        assert!(stats.total_cycles > 0);
+        assert_eq!(proto.begun, 40);
+        // Each thread's counter ends at 10.
+        let base = w.base.unwrap();
+        for t in 0..4 {
+            assert_eq!(proto.store.read_word(Addr(base.0 + t * 8)), 10);
+        }
+    }
+
+    #[test]
+    fn engine_is_deterministic() {
+        let cfg = MachineConfig::with_cores(3);
+        let run = || {
+            let mut w = CounterWorkload {
+                txs_per_thread: 5,
+                base: None,
+            };
+            run_simulation(NullProtocol::default(), &mut w, &cfg, 7)
+        };
+        assert_eq!(run(), run());
+    }
+
+    /// A protocol that aborts the first `n` commit attempts per thread.
+    #[derive(Debug, Default)]
+    struct FlakyProtocol {
+        store: MvmStore,
+        failures_left: Vec<u32>,
+    }
+
+    impl TmProtocol for FlakyProtocol {
+        fn name(&self) -> &'static str {
+            "flaky"
+        }
+        fn begin(&mut self, tid: ThreadId, _now: Cycles) -> BeginOutcome {
+            if self.failures_left.len() <= tid.0 {
+                self.failures_left.resize(tid.0 + 1, 2);
+            }
+            BeginOutcome::Started {
+                cycles: 1,
+                victims: vec![],
+            }
+        }
+        fn read(&mut self, _tid: ThreadId, addr: Addr, _now: Cycles) -> ReadOutcome {
+            ReadOutcome::Ok {
+                value: self.store.read_word(addr),
+                cycles: 1,
+                victims: vec![],
+            }
+        }
+        fn write(&mut self, _tid: ThreadId, _addr: Addr, _value: Word, _now: Cycles) -> WriteOutcome {
+            WriteOutcome::Ok {
+                cycles: 1,
+                victims: vec![],
+            }
+        }
+        fn commit(&mut self, tid: ThreadId, _now: Cycles) -> CommitOutcome {
+            if self.failures_left[tid.0] > 0 {
+                self.failures_left[tid.0] -= 1;
+                CommitOutcome::Abort {
+                    cause: AbortCause::WriteWrite,
+                    cycles: 3,
+                    victims: vec![],
+                }
+            } else {
+                CommitOutcome::Committed {
+                    cycles: 1,
+                    victims: vec![],
+                }
+            }
+        }
+        fn rollback(&mut self, _tid: ThreadId) -> Cycles {
+            0
+        }
+        fn store(&self) -> &MvmStore {
+            &self.store
+        }
+        fn store_mut(&mut self) -> &mut MvmStore {
+            &mut self.store
+        }
+    }
+
+    #[test]
+    fn aborted_transactions_retry_and_record_backoff() {
+        let cfg = MachineConfig::with_cores(1);
+        let mut w = CounterWorkload {
+            txs_per_thread: 3,
+            base: None,
+        };
+        let stats = run_simulation(FlakyProtocol::default(), &mut w, &cfg, 1);
+        // Two forced failures for the thread, then everything commits.
+        assert_eq!(stats.commits(), 3);
+        assert_eq!(stats.aborts_by(AbortCause::WriteWrite), 2);
+        assert!(stats.per_thread[0].backoff_cycles > 0);
+        // Abort rate: 2 / (2 + 3).
+        assert!((stats.abort_rate() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn backoff_can_be_disabled() {
+        let mut cfg = MachineConfig::with_cores(1);
+        cfg.backoff.enabled = false;
+        let mut w = CounterWorkload {
+            txs_per_thread: 1,
+            base: None,
+        };
+        let stats = run_simulation(FlakyProtocol::default(), &mut w, &cfg, 1);
+        assert_eq!(stats.per_thread[0].backoff_cycles, 0);
+        assert_eq!(stats.aborts(), 2);
+    }
+
+    #[test]
+    fn promote_ops_flow_through_the_default_protocol_hook() {
+        let cfg = MachineConfig::with_cores(1);
+        struct PromotingWorkload;
+        impl Workload for PromotingWorkload {
+            fn name(&self) -> &str {
+                "promoting"
+            }
+            fn setup(&mut self, mem: &mut MvmStore, _n: usize) {
+                let a = mem.alloc_words(1);
+                mem.write_word(a, 5);
+            }
+            fn thread_workload(&self, _tid: usize, _seed: u64) -> Box<dyn ThreadWorkload> {
+                Box::new(QueueWorkload::new(vec![Box::new(ScriptedTx::new(vec![
+                    TxOp::Read(Addr(0)),
+                    TxOp::Promote(Addr(0)),
+                    TxOp::Write(Addr(8), 1),
+                ]))]))
+            }
+        }
+        let mut w = PromotingWorkload;
+        let stats = run_simulation(NullProtocol::default(), &mut w, &cfg, 3);
+        assert_eq!(stats.commits(), 1);
+        assert_eq!(stats.per_thread[0].promotions, 1);
+    }
+
+    #[test]
+    fn restart_ops_abort_as_inconsistent_and_retry() {
+        let cfg = MachineConfig::with_cores(1);
+        /// Emits Restart once, then commits on the re-execution.
+        #[derive(Debug)]
+        struct RestartOnce {
+            tried: bool,
+        }
+        impl TxProgram for RestartOnce {
+            fn resume(&mut self, _input: Option<Word>) -> TxOp {
+                if self.tried {
+                    TxOp::Commit
+                } else {
+                    self.tried = true;
+                    TxOp::Restart
+                }
+            }
+            fn reset(&mut self) {
+                // Keep `tried` so the retry commits.
+            }
+        }
+        struct RestartWorkload;
+        impl Workload for RestartWorkload {
+            fn name(&self) -> &str {
+                "restart"
+            }
+            fn setup(&mut self, _mem: &mut MvmStore, _n: usize) {}
+            fn thread_workload(&self, _tid: usize, _seed: u64) -> Box<dyn ThreadWorkload> {
+                Box::new(QueueWorkload::new(vec![
+                    Box::new(RestartOnce { tried: false }) as Box<dyn TxProgram>,
+                ]))
+            }
+        }
+        let mut w = RestartWorkload;
+        let stats = run_simulation(NullProtocol::default(), &mut w, &cfg, 3);
+        assert_eq!(stats.commits(), 1);
+        assert_eq!(stats.aborts_by(AbortCause::Inconsistent), 1);
+    }
+
+    #[test]
+    fn max_cycles_truncates_run() {
+        let mut cfg = MachineConfig::with_cores(1);
+        cfg.max_cycles = 10;
+        let mut w = CounterWorkload {
+            txs_per_thread: 1_000_000,
+            base: None,
+        };
+        let stats = run_simulation(NullProtocol::default(), &mut w, &cfg, 1);
+        assert!(stats.truncated);
+        assert!(stats.commits() < 1_000_000);
+    }
+}

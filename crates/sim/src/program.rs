@@ -1,0 +1,208 @@
+//! The transaction-program abstraction: workloads expressed as resumable
+//! op-level state machines.
+//!
+//! The discrete-event engine interleaves logical threads at memory-access
+//! granularity, so transaction bodies cannot be plain closures — the
+//! engine must be able to pause a thread between any two accesses. A
+//! [`TxProgram`] is therefore a resumable state machine: the engine calls
+//! [`TxProgram::resume`], feeding back the value produced by the previous
+//! read, and the program answers with its next [`TxOp`]. Data-dependent
+//! control flow (pointer chasing, tree descent) falls out naturally
+//! because the program decides its next op after seeing each read value.
+
+use sitm_mvm::{Addr, MvmStore, Word};
+
+use crate::config::Cycles;
+
+/// One step of a transaction, as issued to the TM protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxOp {
+    /// Transactional read of a word; its value is passed to the next
+    /// `resume` call.
+    Read(Addr),
+    /// Transactional write of a word.
+    Write(Addr, Word),
+    /// Local computation consuming the given number of cycles (no memory
+    /// traffic).
+    Compute(Cycles),
+    /// Promotes a prior read: the address joins the write set for
+    /// commit-time conflict detection without creating a new version —
+    /// the paper's section 5.1 write-skew remedy. Serializable
+    /// protocols may ignore it.
+    Promote(Addr),
+    /// End of the transaction body; the protocol attempts to commit.
+    Commit,
+    /// The program detected that it is executing on an inconsistent view
+    /// (a "zombie" transaction under single-version lazy protocols,
+    /// which read committed state without a snapshot) and requests its
+    /// own abort and re-execution. Snapshot-based protocols never need
+    /// this — their reads are always consistent.
+    Restart,
+}
+
+/// A resumable transaction body.
+///
+/// The engine drives the program as:
+///
+/// ```text
+/// input = None
+/// loop {
+///     op = resume(input)
+///     execute op against the protocol
+///     input = value if op was a Read, else None
+///     break after Commit succeeds
+/// }
+/// ```
+///
+/// After an abort the engine calls [`TxProgram::reset`] and re-runs the
+/// program from the start; programs must be re-executable (they may
+/// observe different values on the retry, since memory has moved on).
+pub trait TxProgram {
+    /// Produces the next operation. `input` carries the value returned by
+    /// the immediately preceding [`TxOp::Read`], and is `None` on the
+    /// first call and after non-read ops.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if resumed again after returning
+    /// [`TxOp::Commit`] without an intervening [`TxProgram::reset`].
+    fn resume(&mut self, input: Option<Word>) -> TxOp;
+
+    /// Rewinds the program to its initial state for re-execution after an
+    /// abort.
+    fn reset(&mut self);
+}
+
+/// A scripted, data-independent transaction: a fixed op sequence.
+///
+/// Useful for tests and for workloads whose access pattern does not
+/// depend on the values read (e.g. the array microbenchmark).
+///
+/// # Examples
+///
+/// ```
+/// use sitm_sim::{ScriptedTx, TxOp, TxProgram};
+/// use sitm_mvm::Addr;
+/// let mut tx = ScriptedTx::new(vec![TxOp::Read(Addr(0)), TxOp::Write(Addr(1), 5)]);
+/// assert_eq!(tx.resume(None), TxOp::Read(Addr(0)));
+/// assert_eq!(tx.resume(Some(7)), TxOp::Write(Addr(1), 5));
+/// assert_eq!(tx.resume(None), TxOp::Commit);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ScriptedTx {
+    ops: Vec<TxOp>,
+    pos: usize,
+}
+
+impl ScriptedTx {
+    /// Creates a scripted transaction from an op list. A trailing
+    /// [`TxOp::Commit`] is implied if absent.
+    pub fn new(ops: Vec<TxOp>) -> Self {
+        ScriptedTx { ops, pos: 0 }
+    }
+}
+
+impl TxProgram for ScriptedTx {
+    fn resume(&mut self, _input: Option<Word>) -> TxOp {
+        match self.ops.get(self.pos) {
+            Some(&op) => {
+                self.pos += 1;
+                op
+            }
+            None => TxOp::Commit,
+        }
+    }
+
+    fn reset(&mut self) {
+        self.pos = 0;
+    }
+}
+
+/// The stream of transactions executed by one logical thread.
+pub trait ThreadWorkload {
+    /// The next transaction to run, or `None` when the thread's share of
+    /// work is complete.
+    fn next_transaction(&mut self) -> Option<Box<dyn TxProgram>>;
+}
+
+/// A [`ThreadWorkload`] over a pre-built vector of transactions.
+#[derive(Debug, Default)]
+pub struct QueueWorkload {
+    txs: Vec<Option<Box<dyn TxProgram>>>,
+    pos: usize,
+}
+
+impl QueueWorkload {
+    /// Builds a workload that runs the given transactions in order.
+    pub fn new(txs: Vec<Box<dyn TxProgram>>) -> Self {
+        QueueWorkload {
+            txs: txs.into_iter().map(Some).collect(),
+            pos: 0,
+        }
+    }
+}
+
+impl std::fmt::Debug for dyn TxProgram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "TxProgram")
+    }
+}
+
+impl ThreadWorkload for QueueWorkload {
+    fn next_transaction(&mut self) -> Option<Box<dyn TxProgram>> {
+        let tx = self.txs.get_mut(self.pos)?.take();
+        self.pos += 1;
+        tx
+    }
+}
+
+/// A complete benchmark: initializes shared memory and manufactures the
+/// per-thread transaction streams.
+pub trait Workload {
+    /// Short name used in reports (e.g. `"array"`, `"vacation"`).
+    fn name(&self) -> &str;
+
+    /// Allocates and initializes shared state in the (multiversioned)
+    /// memory. Called once before the run; the workload records the
+    /// addresses it laid out for use by the thread programs.
+    fn setup(&mut self, mem: &mut MvmStore, n_threads: usize);
+
+    /// Builds the transaction stream for logical thread `tid`, seeded
+    /// deterministically. Called after [`Workload::setup`].
+    fn thread_workload(&self, tid: usize, seed: u64) -> Box<dyn ThreadWorkload>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scripted_tx_replays_after_reset() {
+        let mut tx = ScriptedTx::new(vec![TxOp::Compute(3)]);
+        assert_eq!(tx.resume(None), TxOp::Compute(3));
+        assert_eq!(tx.resume(None), TxOp::Commit);
+        tx.reset();
+        assert_eq!(tx.resume(None), TxOp::Compute(3));
+    }
+
+    #[test]
+    fn scripted_tx_implies_trailing_commit() {
+        let mut tx = ScriptedTx::new(vec![]);
+        assert_eq!(tx.resume(None), TxOp::Commit);
+        assert_eq!(tx.resume(None), TxOp::Commit);
+    }
+
+    #[test]
+    fn queue_workload_yields_in_order_then_none() {
+        let mut w = QueueWorkload::new(vec![
+            Box::new(ScriptedTx::new(vec![TxOp::Compute(1)])),
+            Box::new(ScriptedTx::new(vec![TxOp::Compute(2)])),
+        ]);
+        let mut first = w.next_transaction().unwrap();
+        assert_eq!(first.resume(None), TxOp::Compute(1));
+        let mut second = w.next_transaction().unwrap();
+        assert_eq!(second.resume(None), TxOp::Compute(2));
+        assert!(w.next_transaction().is_none());
+        assert!(w.next_transaction().is_none());
+    }
+}

@@ -1,0 +1,251 @@
+//! The interface between the discrete-event engine and a TM protocol
+//! model (SI-TM, SSI-TM, 2PL, SONTM).
+//!
+//! The engine translates each [`crate::TxOp`] into a protocol call and
+//! charges the returned cycle cost to the issuing thread. Protocols can
+//! abort the *caller* (lazy validation failures, capacity overflows) or
+//! *other* in-flight transactions (eager requester-wins conflicts, SSI
+//! dangerous structures); victims are reported alongside the outcome and
+//! the engine dooms them.
+
+use sitm_mvm::{Addr, MvmStore, ThreadId, Word};
+
+use crate::config::Cycles;
+
+/// Why a transaction aborted. The classification feeds Figure 1 (which
+/// splits 2PL aborts into read-write and write-write) and the engine's
+/// abort accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AbortCause {
+    /// A read-write conflict (one transaction read what another wrote).
+    /// SI-TM never aborts for this reason.
+    ReadWrite,
+    /// A write-write conflict (two overlapping transactions wrote the
+    /// same line).
+    WriteWrite,
+    /// The bounded version buffer (L1) of a conventional HTM overflowed.
+    Capacity,
+    /// The MVM could not create another version (cap reached), or a
+    /// snapshot could no longer be served under the discard-oldest
+    /// policy.
+    VersionOverflow,
+    /// A conflict-serializable order could not be found (SONTM's SON
+    /// range became empty).
+    Order,
+    /// The global timestamp counter overflowed; all active transactions
+    /// abort.
+    ClockOverflow,
+    /// The transaction observed an inconsistent view and sandboxed
+    /// itself (zombie execution under single-version lazy conflict
+    /// detection; impossible under snapshot reads).
+    Inconsistent,
+}
+
+impl AbortCause {
+    /// All causes, for iteration in reports.
+    pub const ALL: [AbortCause; 7] = [
+        AbortCause::ReadWrite,
+        AbortCause::WriteWrite,
+        AbortCause::Capacity,
+        AbortCause::VersionOverflow,
+        AbortCause::Order,
+        AbortCause::ClockOverflow,
+        AbortCause::Inconsistent,
+    ];
+
+    /// Dense index for table-building.
+    pub fn index(self) -> usize {
+        match self {
+            AbortCause::ReadWrite => 0,
+            AbortCause::WriteWrite => 1,
+            AbortCause::Capacity => 2,
+            AbortCause::VersionOverflow => 3,
+            AbortCause::Order => 4,
+            AbortCause::ClockOverflow => 5,
+            AbortCause::Inconsistent => 6,
+        }
+    }
+
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            AbortCause::ReadWrite => "read-write",
+            AbortCause::WriteWrite => "write-write",
+            AbortCause::Capacity => "capacity",
+            AbortCause::VersionOverflow => "version-overflow",
+            AbortCause::Order => "order",
+            AbortCause::ClockOverflow => "clock-overflow",
+            AbortCause::Inconsistent => "inconsistent",
+        }
+    }
+}
+
+impl std::fmt::Display for AbortCause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Other in-flight transactions killed as a side effect of an operation
+/// (eager conflict detection's "requester wins", SSI dangerous-structure
+/// resolution, clock-overflow abort-all).
+pub type Victims = Vec<(ThreadId, AbortCause)>;
+
+/// Outcome of starting a transaction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BeginOutcome {
+    /// The transaction started; `cycles` were spent obtaining the
+    /// timestamp (and `victims` lists transactions killed by a clock
+    /// overflow reset, if one occurred).
+    Started {
+        /// Cycles spent beginning.
+        cycles: Cycles,
+        /// Transactions killed by a clock-overflow reset.
+        victims: Victims,
+    },
+    /// The start must stall (commit reservation window exhausted); retry
+    /// after `cycles`.
+    Stall {
+        /// Cycles to wait before retrying the begin.
+        cycles: Cycles,
+    },
+}
+
+/// Outcome of a transactional read.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReadOutcome {
+    /// The read succeeded.
+    Ok {
+        /// The value observed.
+        value: Word,
+        /// Cycle cost of the access.
+        cycles: Cycles,
+        /// Transactions aborted by eager conflict detection.
+        victims: Victims,
+    },
+    /// The *calling* transaction must abort (e.g. its snapshot version
+    /// was discarded). The protocol has already rolled its state back.
+    Abort {
+        /// Why the caller aborts.
+        cause: AbortCause,
+        /// Cycles spent discovering the abort (including rollback).
+        cycles: Cycles,
+        /// Other transactions doomed alongside (clock-overflow abort-all).
+        victims: Victims,
+    },
+}
+
+/// Outcome of a transactional write.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WriteOutcome {
+    /// The write was buffered/performed.
+    Ok {
+        /// Cycle cost of the access.
+        cycles: Cycles,
+        /// Transactions aborted by eager conflict detection.
+        victims: Victims,
+    },
+    /// The calling transaction must abort (e.g. version-buffer capacity).
+    /// The protocol has already rolled its state back.
+    Abort {
+        /// Why the caller aborts.
+        cause: AbortCause,
+        /// Cycles spent discovering the abort (including rollback).
+        cycles: Cycles,
+        /// Other transactions doomed alongside (clock-overflow abort-all).
+        victims: Victims,
+    },
+}
+
+/// Outcome of a commit attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommitOutcome {
+    /// The transaction committed.
+    Committed {
+        /// Cycle cost of validation and write-back.
+        cycles: Cycles,
+        /// Transactions aborted during commit (SSI, SONTM adjustments).
+        victims: Victims,
+    },
+    /// Validation failed; the protocol has already rolled back.
+    Abort {
+        /// Why the caller aborts.
+        cause: AbortCause,
+        /// Cycles spent on the failed validation and rollback.
+        cycles: Cycles,
+        /// Other transactions doomed alongside (clock-overflow abort-all).
+        victims: Victims,
+    },
+}
+
+/// A transactional-memory protocol model driven by the engine.
+///
+/// Implementations own the multiversioned store and the memory-system
+/// cost model; the engine owns scheduling, retry and statistics. All
+/// methods take the caller's current virtual time `now`, which protocols
+/// use for globally serialized resources (commit tokens).
+pub trait TmProtocol {
+    /// Human-readable protocol name (`"SI-TM"`, `"2PL"`, ...).
+    fn name(&self) -> &'static str;
+
+    /// Starts a transaction for `tid` at virtual time `now`.
+    fn begin(&mut self, tid: ThreadId, now: Cycles) -> BeginOutcome;
+
+    /// Transactional read of `addr` by `tid`.
+    fn read(&mut self, tid: ThreadId, addr: Addr, now: Cycles) -> ReadOutcome;
+
+    /// Transactional write of `addr = value` by `tid`.
+    fn write(&mut self, tid: ThreadId, addr: Addr, value: Word, now: Cycles) -> WriteOutcome;
+
+    /// Promotes `tid`'s earlier read of `addr`: the line participates in
+    /// commit-time conflict detection as if written, but no version is
+    /// created (section 5.1). Protocols that already detect read-write
+    /// conflicts (2PL, SONTM, SSI-TM) may treat this as a plain read-set
+    /// insertion. The default charges nothing and does nothing.
+    fn promote(&mut self, tid: ThreadId, addr: Addr, now: Cycles) -> WriteOutcome {
+        let _ = (tid, addr, now);
+        WriteOutcome::Ok {
+            cycles: 0,
+            victims: vec![],
+        }
+    }
+
+    /// Attempts to commit `tid`'s transaction.
+    fn commit(&mut self, tid: ThreadId, now: Cycles) -> CommitOutcome;
+
+    /// Rolls back `tid`'s in-flight transaction (doomed by another
+    /// thread's conflict). Returns the cycle cost of the rollback, which
+    /// the engine charges to the victim. Must be idempotent for threads
+    /// with no in-flight transaction.
+    fn rollback(&mut self, tid: ThreadId) -> Cycles;
+
+    /// Shared access to the backing store, for workload initialization
+    /// and post-run inspection.
+    fn store(&self) -> &MvmStore;
+
+    /// Mutable access to the backing store (initialization only; calling
+    /// this mid-run would bypass the protocol).
+    fn store_mut(&mut self) -> &mut MvmStore;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abort_cause_indices_are_dense_and_unique() {
+        let mut seen = [false; AbortCause::ALL.len()];
+        for cause in AbortCause::ALL {
+            let i = cause.index();
+            assert!(!seen[i], "duplicate index {i}");
+            seen[i] = true;
+            assert!(!cause.label().is_empty());
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn display_matches_label() {
+        assert_eq!(AbortCause::ReadWrite.to_string(), "read-write");
+    }
+}

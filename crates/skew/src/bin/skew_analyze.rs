@@ -1,0 +1,50 @@
+//! Command-line write-skew analyzer: reads a text trace (see
+//! `sitm_skew::parse_trace` for the format) from a file or stdin and
+//! prints the dependency-cycle findings and proposed read promotions.
+//!
+//! ```text
+//! skew_analyze trace.txt
+//! some-tool | skew_analyze -
+//! ```
+//!
+//! Exits nonzero when dangerous structures are found, so the tool slots
+//! into test pipelines the way the paper describes ("corrected
+//! applications never showed inconsistent behavior even after extensive
+//! testing").
+
+use std::io::Read;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "-".to_string());
+    let text = if arg == "-" {
+        let mut buf = String::new();
+        if let Err(e) = std::io::stdin().read_to_string(&mut buf) {
+            eprintln!("error: reading stdin: {e}");
+            return ExitCode::from(2);
+        }
+        buf
+    } else {
+        match std::fs::read_to_string(&arg) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: reading {arg}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    };
+    let events = match sitm_skew::parse_trace(&text) {
+        Ok(events) => events,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = sitm_skew::analyze(&events);
+    println!("{report}");
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,189 @@
+//! A plain-text trace format, so traces can be captured in one process
+//! (or written by another tool) and analyzed offline — matching the
+//! paper's tool, which defers analysis to a post-processing phase over
+//! a serialized trace.
+//!
+//! One event per line, whitespace-separated:
+//!
+//! ```text
+//! begin  <tx> <snapshot>
+//! read   <tx> <var> [label]
+//! write  <tx> <var> [label]
+//! promote <tx> <var> [label]
+//! commit <tx>
+//! abort  <tx>
+//! ```
+//!
+//! Blank lines and lines starting with `#` are ignored.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+use sitm_stm::TxEvent;
+
+/// Error produced when a trace line cannot be parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTraceError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseTraceError {}
+
+/// Serializes events into the text format.
+pub fn write_trace(events: &[TxEvent]) -> String {
+    let mut out = String::new();
+    for event in events {
+        match event {
+            TxEvent::Begin { tx, snapshot } => {
+                let _ = writeln!(out, "begin {tx} {snapshot}");
+            }
+            TxEvent::Read { tx, var, label } => {
+                let _ = writeln!(out, "read {tx} {var}{}", fmt_label(label));
+            }
+            TxEvent::Write { tx, var, label } => {
+                let _ = writeln!(out, "write {tx} {var}{}", fmt_label(label));
+            }
+            TxEvent::Promote { tx, var, label } => {
+                let _ = writeln!(out, "promote {tx} {var}{}", fmt_label(label));
+            }
+            TxEvent::Commit { tx } => {
+                let _ = writeln!(out, "commit {tx}");
+            }
+            TxEvent::Abort { tx } => {
+                let _ = writeln!(out, "abort {tx}");
+            }
+        }
+    }
+    out
+}
+
+fn fmt_label(label: &Option<Arc<str>>) -> String {
+    match label {
+        Some(l) => format!(" {l}"),
+        None => String::new(),
+    }
+}
+
+/// Parses the text format back into events.
+///
+/// # Errors
+///
+/// Returns [`ParseTraceError`] naming the first malformed line.
+pub fn parse_trace(text: &str) -> Result<Vec<TxEvent>, ParseTraceError> {
+    let mut events = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let kind = parts.next().expect("non-empty line has a first token");
+        let err = |message: &str| ParseTraceError {
+            line: line_no,
+            message: message.to_string(),
+        };
+        let mut next_u64 = |what: &str| -> Result<u64, ParseTraceError> {
+            parts
+                .next()
+                .ok_or_else(|| err(&format!("missing {what}")))?
+                .parse()
+                .map_err(|_| err(&format!("malformed {what}")))
+        };
+        let event = match kind {
+            "begin" => {
+                let tx = next_u64("tx id")?;
+                let snapshot = next_u64("snapshot")?;
+                TxEvent::Begin { tx, snapshot }
+            }
+            "read" | "write" | "promote" => {
+                let tx = next_u64("tx id")?;
+                let var = next_u64("var id")?;
+                let label: Option<Arc<str>> = parts.next().map(Arc::from);
+                match kind {
+                    "read" => TxEvent::Read { tx, var, label },
+                    "write" => TxEvent::Write { tx, var, label },
+                    _ => TxEvent::Promote { tx, var, label },
+                }
+            }
+            "commit" => TxEvent::Commit {
+                tx: next_u64("tx id")?,
+            },
+            "abort" => TxEvent::Abort {
+                tx: next_u64("tx id")?,
+            },
+            other => return Err(err(&format!("unknown event kind {other:?}"))),
+        };
+        if let Some(extra) = parts.next() {
+            return Err(err(&format!("trailing token {extra:?}")));
+        }
+        events.push(event);
+    }
+    Ok(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<TxEvent> {
+        vec![
+            TxEvent::Begin { tx: 1, snapshot: 7 },
+            TxEvent::Read {
+                tx: 1,
+                var: 10,
+                label: Some(Arc::from("checking")),
+            },
+            TxEvent::Write {
+                tx: 1,
+                var: 11,
+                label: None,
+            },
+            TxEvent::Promote {
+                tx: 1,
+                var: 10,
+                label: Some(Arc::from("checking")),
+            },
+            TxEvent::Commit { tx: 1 },
+            TxEvent::Abort { tx: 2 },
+        ]
+    }
+
+    #[test]
+    fn roundtrip() {
+        let events = sample();
+        let text = write_trace(&events);
+        let parsed = parse_trace(&text).unwrap();
+        assert_eq!(parsed, events);
+    }
+
+    #[test]
+    fn comments_and_blanks_are_skipped() {
+        let text = "# a comment\n\nbegin 1 0\ncommit 1\n";
+        assert_eq!(parse_trace(text).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let text = "begin 1 0\nfrobnicate 2\n";
+        let err = parse_trace(text).unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("frobnicate"));
+    }
+
+    #[test]
+    fn missing_and_malformed_fields() {
+        assert!(parse_trace("begin 1").is_err());
+        assert!(parse_trace("read x 1").is_err());
+        assert!(parse_trace("commit 1 extra").is_err());
+    }
+}

@@ -1,0 +1,286 @@
+//! Findings and read-promotion proposals.
+//!
+//! The analysis end of the tool: [`analyze`] runs the full pipeline
+//! (trace → dependency graph → cycles) and produces a
+//! [`WriteSkewReport`] listing each dangerous cycle, the variables
+//! involved, and the **read promotions** that remove the anomaly — "the
+//! tool applies read promotion for every transactional read that is part
+//! of a write skew" (section 5.1).
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use sitm_stm::TxEvent;
+
+use crate::graph::DependencyGraph;
+use crate::trace::Trace;
+
+/// One detected dangerous cycle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SkewFinding {
+    /// Attempt ids of the transactions forming the cycle.
+    pub transactions: Vec<u64>,
+    /// Variables carrying the cycle's read-write anti-dependencies,
+    /// with display names.
+    pub variables: Vec<(u64, String)>,
+}
+
+/// A read that should be promoted to remove a detected skew:
+/// `(transaction attempt id, variable id, variable name)`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Promotion {
+    /// The transaction whose read should be promoted.
+    pub tx: u64,
+    /// The variable to promote.
+    pub var: u64,
+    /// Display name of the variable.
+    pub name: String,
+}
+
+/// The tool's output: findings plus the promotion set that fixes them.
+#[derive(Debug, Clone, Default)]
+pub struct WriteSkewReport {
+    /// Detected dangerous cycles (possibly false positives, never
+    /// missed ones within the traced schedules).
+    pub findings: Vec<SkewFinding>,
+    /// Proposed read promotions (deduplicated, sorted).
+    pub promotions: Vec<Promotion>,
+    /// Committed transactions analyzed.
+    pub transactions_analyzed: usize,
+}
+
+/// Findings grouped by the variable set they involve: the "pattern"
+/// view of a report (`998 cycles over {checking, saving}` is one
+/// pattern).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SkewPattern {
+    /// Display names of the variables carrying the cycles.
+    pub variables: Vec<String>,
+    /// How many dangerous cycles matched this pattern.
+    pub occurrences: usize,
+}
+
+impl WriteSkewReport {
+    /// Whether the trace was free of dangerous structures.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Findings aggregated by variable set, most frequent first.
+    pub fn patterns(&self) -> Vec<SkewPattern> {
+        let mut counts: std::collections::BTreeMap<Vec<String>, usize> =
+            std::collections::BTreeMap::new();
+        for f in &self.findings {
+            let key: Vec<String> = f.variables.iter().map(|(_, n)| n.clone()).collect();
+            *counts.entry(key).or_insert(0) += 1;
+        }
+        let mut patterns: Vec<SkewPattern> = counts
+            .into_iter()
+            .map(|(variables, occurrences)| SkewPattern {
+                variables,
+                occurrences,
+            })
+            .collect();
+        patterns.sort_by(|a, b| b.occurrences.cmp(&a.occurrences));
+        patterns
+    }
+
+    /// Promotions deduplicated to `(variable name)` granularity — the
+    /// actionable list for a programmer (which *reads* to promote,
+    /// independent of which transaction instance exhibited the cycle).
+    pub fn promotions_by_variable(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .promotions
+            .iter()
+            .map(|p| p.name.clone())
+            .collect();
+        names.sort();
+        names.dedup();
+        names
+    }
+
+    /// The variable names involved in any finding (convenience for
+    /// assertions and UIs).
+    pub fn involved_names(&self) -> BTreeSet<String> {
+        self.findings
+            .iter()
+            .flat_map(|f| f.variables.iter().map(|(_, n)| n.clone()))
+            .collect()
+    }
+}
+
+impl fmt::Display for WriteSkewReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_clean() {
+            return write!(
+                f,
+                "no write-skew dangerous structures in {} committed transactions",
+                self.transactions_analyzed
+            );
+        }
+        writeln!(
+            f,
+            "{} write-skew dangerous structure(s) in {} committed transactions:",
+            self.findings.len(),
+            self.transactions_analyzed
+        )?;
+        for (i, pattern) in self.patterns().iter().enumerate() {
+            writeln!(
+                f,
+                "  [{}] {} cycle(s) over variables {{{}}}",
+                i + 1,
+                pattern.occurrences,
+                pattern.variables.join(", ")
+            )?;
+        }
+        const SHOWN: usize = 5;
+        for finding in self.findings.iter().take(SHOWN) {
+            let vars: Vec<&str> = finding.variables.iter().map(|(_, n)| n.as_str()).collect();
+            writeln!(
+                f,
+                "    e.g. transactions {:?} over {{{}}}",
+                finding.transactions,
+                vars.join(", ")
+            )?;
+        }
+        if self.findings.len() > SHOWN {
+            writeln!(f, "    ... and {} more", self.findings.len() - SHOWN)?;
+        }
+        writeln!(f, "proposed read promotions (by variable):")?;
+        for name in self.promotions_by_variable() {
+            writeln!(f, "  promote reads of {name}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Runs the full analysis over a recorded event stream.
+pub fn analyze(events: &[TxEvent]) -> WriteSkewReport {
+    let trace = Trace::from_events(events);
+    analyze_trace(&trace)
+}
+
+/// Runs the analysis over an already post-processed trace.
+pub fn analyze_trace(trace: &Trace) -> WriteSkewReport {
+    let graph = DependencyGraph::build(trace);
+    let mut report = WriteSkewReport {
+        transactions_analyzed: trace.committed.len(),
+        ..WriteSkewReport::default()
+    };
+    for component in graph.cycles() {
+        let mut variables = BTreeSet::new();
+        let mut promotions = BTreeSet::new();
+        for edge in graph.edges_within(&component) {
+            for &var in &edge.vars {
+                variables.insert(var);
+                promotions.insert(Promotion {
+                    tx: trace.committed[edge.reader].id,
+                    var,
+                    name: trace.name_of(var),
+                });
+            }
+        }
+        report.findings.push(SkewFinding {
+            transactions: component
+                .iter()
+                .map(|&i| trace.committed[i].id)
+                .collect(),
+            variables: variables
+                .into_iter()
+                .map(|v| (v, trace.name_of(v)))
+                .collect(),
+        });
+        report.promotions.extend(promotions);
+    }
+    report.promotions.sort();
+    report.promotions.dedup();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn begin(tx: u64) -> TxEvent {
+        TxEvent::Begin { tx, snapshot: 0 }
+    }
+
+    fn read(tx: u64, var: u64, label: &str) -> TxEvent {
+        TxEvent::Read {
+            tx,
+            var,
+            label: Some(Arc::from(label)),
+        }
+    }
+
+    fn write(tx: u64, var: u64, label: &str) -> TxEvent {
+        TxEvent::Write {
+            tx,
+            var,
+            label: Some(Arc::from(label)),
+        }
+    }
+
+    fn commit(tx: u64) -> TxEvent {
+        TxEvent::Commit { tx }
+    }
+
+    /// The Listing 1 banking trace end to end.
+    #[test]
+    fn detects_withdraw_skew_with_names() {
+        let events = vec![
+            begin(1),
+            begin(2),
+            read(1, 10, "checking"),
+            read(1, 11, "saving"),
+            read(2, 10, "checking"),
+            read(2, 11, "saving"),
+            write(1, 10, "checking"),
+            write(2, 11, "saving"),
+            commit(1),
+            commit(2),
+        ];
+        let report = analyze(&events);
+        assert!(!report.is_clean());
+        assert_eq!(report.findings.len(), 1);
+        assert_eq!(
+            report.involved_names(),
+            BTreeSet::from(["checking".to_string(), "saving".to_string()])
+        );
+        // Promotions: tx1 must promote saving, tx2 must promote
+        // checking.
+        assert!(report
+            .promotions
+            .iter()
+            .any(|p| p.tx == 1 && p.name == "saving"));
+        assert!(report
+            .promotions
+            .iter()
+            .any(|p| p.tx == 2 && p.name == "checking"));
+        let rendered = report.to_string();
+        assert!(rendered.contains("checking"));
+        assert!(rendered.contains("promote read"));
+        assert_eq!(report.patterns().len(), 1);
+        assert_eq!(
+            report.promotions_by_variable(),
+            vec!["checking".to_string(), "saving".to_string()]
+        );
+    }
+
+    #[test]
+    fn clean_trace_reports_clean() {
+        let events = vec![
+            begin(1),
+            read(1, 5, "x"),
+            write(1, 5, "x"),
+            commit(1),
+            begin(2),
+            read(2, 5, "x"),
+            commit(2),
+        ];
+        let report = analyze(&events);
+        assert!(report.is_clean());
+        assert!(report.to_string().contains("no write-skew"));
+    }
+}

@@ -1,0 +1,223 @@
+//! Trace post-processing: from a globally ordered event stream to
+//! per-transaction records.
+//!
+//! The paper's tool "intercepts transactional operations and generates a
+//! trace of globally ordered TM_BEGIN, TM_READ, TM_WRITE and TM_COMMIT
+//! operations", deferring the main work into a post-processing phase to
+//! minimize perturbation of the traced application. This module is that
+//! post-processing front end: it folds a [`TxEvent`] stream into
+//! [`TxRecord`]s carrying each committed transaction's read/write sets
+//! and its lifetime interval in the global order.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+use sitm_stm::TxEvent;
+
+/// One transaction reconstructed from the trace.
+#[derive(Debug, Clone)]
+pub struct TxRecord {
+    /// The attempt id from the trace.
+    pub id: u64,
+    /// Index of the begin event in the global order.
+    pub begin_index: usize,
+    /// Index of the commit event in the global order.
+    pub commit_index: usize,
+    /// Variables read (excluding promoted reads, which are already
+    /// protected).
+    pub reads: BTreeSet<u64>,
+    /// Variables written.
+    pub writes: BTreeSet<u64>,
+    /// Variables explicitly promoted.
+    pub promoted: BTreeSet<u64>,
+}
+
+impl TxRecord {
+    /// Whether this transaction's lifetime overlaps `other`'s in the
+    /// global order.
+    pub fn overlaps(&self, other: &TxRecord) -> bool {
+        self.begin_index < other.commit_index && other.begin_index < self.commit_index
+    }
+}
+
+/// The post-processed trace: committed transactions plus the label
+/// table for reporting.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// Committed transactions, in commit order.
+    pub committed: Vec<TxRecord>,
+    /// Labels of every variable seen in the trace.
+    pub labels: BTreeMap<u64, Arc<str>>,
+    /// Number of aborted attempts observed (diagnostics).
+    pub aborted_attempts: usize,
+}
+
+impl Trace {
+    /// Builds the per-transaction records from a globally ordered event
+    /// stream. Events of aborted attempts are discarded (an aborted
+    /// attempt publishes nothing, so it cannot participate in a skew);
+    /// attempts with no commit/abort (still in flight when the trace
+    /// ended) are likewise dropped.
+    pub fn from_events(events: &[TxEvent]) -> Self {
+        #[derive(Default)]
+        struct Building {
+            begin_index: usize,
+            reads: BTreeSet<u64>,
+            writes: BTreeSet<u64>,
+            promoted: BTreeSet<u64>,
+        }
+        let mut building: BTreeMap<u64, Building> = BTreeMap::new();
+        let mut trace = Trace::default();
+        for (index, event) in events.iter().enumerate() {
+            match event {
+                TxEvent::Begin { tx, .. } => {
+                    building.insert(
+                        *tx,
+                        Building {
+                            begin_index: index,
+                            ..Building::default()
+                        },
+                    );
+                }
+                TxEvent::Read { tx, var, label } => {
+                    if let Some(b) = building.get_mut(tx) {
+                        b.reads.insert(*var);
+                        if let Some(l) = label {
+                            trace.labels.insert(*var, l.clone());
+                        }
+                    }
+                }
+                TxEvent::Write { tx, var, label } => {
+                    if let Some(b) = building.get_mut(tx) {
+                        b.writes.insert(*var);
+                        if let Some(l) = label {
+                            trace.labels.insert(*var, l.clone());
+                        }
+                    }
+                }
+                TxEvent::Promote { tx, var, label } => {
+                    if let Some(b) = building.get_mut(tx) {
+                        b.promoted.insert(*var);
+                        if let Some(l) = label {
+                            trace.labels.insert(*var, l.clone());
+                        }
+                    }
+                }
+                TxEvent::Commit { tx } => {
+                    if let Some(b) = building.remove(tx) {
+                        trace.committed.push(TxRecord {
+                            id: *tx,
+                            begin_index: b.begin_index,
+                            commit_index: index,
+                            reads: b.reads,
+                            writes: b.writes,
+                            promoted: b.promoted,
+                        });
+                    }
+                }
+                TxEvent::Abort { tx } => {
+                    if building.remove(tx).is_some() {
+                        trace.aborted_attempts += 1;
+                    }
+                }
+            }
+        }
+        trace
+    }
+
+    /// The display name of a variable: its label, or `var<N>`.
+    pub fn name_of(&self, var: u64) -> String {
+        match self.labels.get(&var) {
+            Some(label) => label.to_string(),
+            None => format!("var{var}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn read(tx: u64, var: u64) -> TxEvent {
+        TxEvent::Read {
+            tx,
+            var,
+            label: None,
+        }
+    }
+
+    fn write(tx: u64, var: u64) -> TxEvent {
+        TxEvent::Write {
+            tx,
+            var,
+            label: None,
+        }
+    }
+
+    fn begin(tx: u64) -> TxEvent {
+        TxEvent::Begin { tx, snapshot: 0 }
+    }
+
+    #[test]
+    fn builds_records_with_overlap() {
+        let events = vec![
+            begin(1),
+            begin(2),
+            read(1, 10),
+            write(2, 10),
+            TxEvent::Commit { tx: 2 },
+            TxEvent::Commit { tx: 1 },
+        ];
+        let trace = Trace::from_events(&events);
+        assert_eq!(trace.committed.len(), 2);
+        let t2 = &trace.committed[0];
+        let t1 = &trace.committed[1];
+        assert_eq!(t2.id, 2);
+        assert!(t1.overlaps(t2));
+        assert!(t2.overlaps(t1));
+        assert!(t1.reads.contains(&10));
+        assert!(t2.writes.contains(&10));
+    }
+
+    #[test]
+    fn sequential_transactions_do_not_overlap() {
+        let events = vec![
+            begin(1),
+            TxEvent::Commit { tx: 1 },
+            begin(2),
+            TxEvent::Commit { tx: 2 },
+        ];
+        let trace = Trace::from_events(&events);
+        assert!(!trace.committed[0].overlaps(&trace.committed[1]));
+    }
+
+    #[test]
+    fn aborted_attempts_are_dropped_and_counted() {
+        let events = vec![
+            begin(1),
+            write(1, 5),
+            TxEvent::Abort { tx: 1 },
+            begin(2),
+            TxEvent::Commit { tx: 2 },
+        ];
+        let trace = Trace::from_events(&events);
+        assert_eq!(trace.committed.len(), 1);
+        assert_eq!(trace.aborted_attempts, 1);
+    }
+
+    #[test]
+    fn labels_are_collected() {
+        let events = vec![
+            begin(1),
+            TxEvent::Read {
+                tx: 1,
+                var: 7,
+                label: Some(Arc::from("checking")),
+            },
+            TxEvent::Commit { tx: 1 },
+        ];
+        let trace = Trace::from_events(&events);
+        assert_eq!(trace.name_of(7), "checking");
+        assert_eq!(trace.name_of(8), "var8");
+    }
+}

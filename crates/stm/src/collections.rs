@@ -1,0 +1,645 @@
+//! Transactional collections: SI-safe data structures over [`TVar`]s.
+//!
+//! The paper's study of the STAMP data-structure library (section 5)
+//! found write-skew anomalies "exclusively in transactional data
+//! structures", including the linked list of Listing 2: under snapshot
+//! isolation, two concurrent removals of *adjacent* elements have
+//! disjoint write sets and both commit, silently resurrecting or
+//! dropping elements. The fix is to make structurally dependent
+//! operations conflict — either by an extra write (Listing 2 line 10)
+//! or by promoting the reads that witness the structure.
+//!
+//! [`TList`] packages that lesson: a sorted set over a singly-linked
+//! chain of `TVar` nodes whose mutating operations write every node
+//! their structural change depends on, so the anomaly becomes an
+//! ordinary write-write conflict. Lookups stay read-only and never
+//! abort.
+
+use std::sync::Arc;
+
+use crate::error::StmError;
+use crate::tvar::TVar;
+use crate::txn::Tx;
+
+/// A node of the chain. `None` in `next` marks the tail.
+#[derive(Debug, Clone)]
+struct Node {
+    key: u64,
+    next: Link,
+}
+
+/// A shared, transactionally updatable pointer to the next node.
+type Link = Option<Arc<NodeCell>>;
+
+/// A cell holding one node; the node value itself is multiversioned.
+#[derive(Debug)]
+struct NodeCell {
+    var: TVar<Node>,
+}
+
+/// A sorted transactional set of `u64` keys, safe under plain snapshot
+/// isolation.
+///
+/// All operations run inside a caller-provided transaction, so several
+/// structure operations (or operations on several structures) compose
+/// into one atomic unit:
+///
+/// ```
+/// use sitm_stm::{Stm, TList};
+/// let stm = Stm::snapshot();
+/// let list = TList::new();
+/// stm.atomically(|tx| {
+///     list.insert(tx, 3)?;
+///     list.insert(tx, 1)?;
+///     list.insert(tx, 2)?;
+///     Ok(())
+/// });
+/// let contents = stm.atomically(|tx| list.to_vec(tx));
+/// assert_eq!(contents, vec![1, 2, 3]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TList {
+    /// Sentinel head; its key is unused.
+    head: Arc<NodeCell>,
+}
+
+impl Default for TList {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TList {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        TList {
+            head: Arc::new(NodeCell {
+                var: TVar::new(Node {
+                    key: 0,
+                    next: None,
+                }),
+            }),
+        }
+    }
+
+    /// Walks to the position for `key`: returns the predecessor cell
+    /// and (if present) the cell holding the first key `>= key`.
+    #[allow(clippy::type_complexity)]
+    fn locate(
+        &self,
+        tx: &mut Tx,
+        key: u64,
+    ) -> Result<(Arc<NodeCell>, Node, Option<(Arc<NodeCell>, Node)>), StmError> {
+        let mut prev_cell = Arc::clone(&self.head);
+        let mut prev_node = tx.read(&prev_cell.var)?;
+        loop {
+            let Some(next_cell) = prev_node.next.clone() else {
+                return Ok((prev_cell, prev_node, None));
+            };
+            let next_node = tx.read(&next_cell.var)?;
+            if next_node.key >= key {
+                return Ok((prev_cell, prev_node, Some((next_cell, next_node))));
+            }
+            prev_cell = next_cell;
+            prev_node = next_node;
+        }
+    }
+
+    /// Whether `key` is in the set. Read-only: never causes an abort
+    /// under snapshot isolation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`StmError`] from snapshot reads (retried by the
+    /// runtime).
+    pub fn contains(&self, tx: &mut Tx, key: u64) -> Result<bool, StmError> {
+        let (_, _, found) = self.locate(tx, key)?;
+        Ok(matches!(found, Some((_, node)) if node.key == key))
+    }
+
+    /// Inserts `key`; returns `false` if it was already present.
+    ///
+    /// The predecessor node is rewritten to splice the new node in, so
+    /// a concurrent structural change at the same position conflicts
+    /// write-write instead of skewing.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`StmError`] from snapshot reads.
+    pub fn insert(&self, tx: &mut Tx, key: u64) -> Result<bool, StmError> {
+        let (prev_cell, prev_node, found) = self.locate(tx, key)?;
+        if let Some((_, node)) = &found {
+            if node.key == key {
+                return Ok(false);
+            }
+        }
+        let new_cell = Arc::new(NodeCell {
+            var: TVar::new(Node {
+                key,
+                next: found.map(|(cell, _)| cell),
+            }),
+        });
+        tx.write(
+            &prev_cell.var,
+            Node {
+                key: prev_node.key,
+                next: Some(new_cell),
+            },
+        );
+        Ok(true)
+    }
+
+    /// Removes `key`; returns `false` if absent.
+    ///
+    /// Writes the removed node as well as the predecessor — the
+    /// Listing 2 line-10 fix — so adjacent concurrent removals conflict
+    /// write-write instead of committing a skew.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`StmError`] from snapshot reads.
+    pub fn remove(&self, tx: &mut Tx, key: u64) -> Result<bool, StmError> {
+        let (prev_cell, prev_node, found) = self.locate(tx, key)?;
+        let Some((victim_cell, victim_node)) = found else {
+            return Ok(false);
+        };
+        if victim_node.key != key {
+            return Ok(false);
+        }
+        tx.write(
+            &prev_cell.var,
+            Node {
+                key: prev_node.key,
+                next: victim_node.next.clone(),
+            },
+        );
+        // Listing 2, line 10: null the removed node's next pointer so a
+        // concurrent removal of the successor (which writes this node)
+        // conflicts write-write.
+        tx.write(
+            &victim_cell.var,
+            Node {
+                key: victim_node.key,
+                next: None,
+            },
+        );
+        Ok(true)
+    }
+
+    /// The set's contents in order (read-only).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`StmError`] from snapshot reads.
+    pub fn to_vec(&self, tx: &mut Tx) -> Result<Vec<u64>, StmError> {
+        let mut out = Vec::new();
+        let mut node = tx.read(&self.head.var)?;
+        while let Some(cell) = node.next.clone() {
+            node = tx.read(&cell.var)?;
+            out.push(node.key);
+        }
+        Ok(out)
+    }
+
+    /// Number of elements (read-only).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`StmError`] from snapshot reads.
+    pub fn len(&self, tx: &mut Tx) -> Result<usize, StmError> {
+        Ok(self.to_vec(tx)?.len())
+    }
+
+    /// Whether the set is empty (read-only).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`StmError`] from snapshot reads.
+    pub fn is_empty(&self, tx: &mut Tx) -> Result<bool, StmError> {
+        let node = tx.read(&self.head.var)?;
+        Ok(node.next.is_none())
+    }
+}
+
+/// A transactional hash map from `u64` keys to values of type `V`,
+/// safe under plain snapshot isolation.
+///
+/// Fixed-size bucketing over [`TList`]-style chains: each bucket is an
+/// independent [`TVar`] chain, so transactions touching different
+/// buckets never conflict, lookups are read-only (never abort under
+/// SI), and mutations conflict write-write exactly when they touch the
+/// same chain position — the paper's data-structure recipe.
+///
+/// ```
+/// use sitm_stm::{Stm, THashMap};
+/// let stm = Stm::snapshot();
+/// let map: THashMap<String> = THashMap::new(16);
+/// stm.atomically(|tx| {
+///     map.insert(tx, 7, "seven".to_string())?;
+///     map.insert(tx, 23, "twenty-three".to_string())?;
+///     Ok(())
+/// });
+/// assert_eq!(
+///     stm.atomically(|tx| map.get(tx, 7)),
+///     Some("seven".to_string())
+/// );
+/// assert_eq!(stm.atomically(|tx| map.get(tx, 8)), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct THashMap<V> {
+    buckets: Arc<Vec<TVar<Bucket<V>>>>,
+}
+
+/// One bucket: a sorted association list (small, so a vector value in a
+/// single TVar keeps conflicts at bucket granularity, mirroring
+/// line-granularity conflict detection in the hardware design).
+type Bucket<V> = Vec<(u64, V)>;
+
+impl<V: Clone + Send + Sync + 'static> THashMap<V> {
+    /// Creates a map with `buckets` independent chains.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buckets` is zero.
+    pub fn new(buckets: usize) -> Self {
+        assert!(buckets > 0, "at least one bucket");
+        THashMap {
+            buckets: Arc::new((0..buckets).map(|_| TVar::new(Vec::new())).collect()),
+        }
+    }
+
+    fn bucket(&self, key: u64) -> &TVar<Bucket<V>> {
+        // Fibonacci hashing spreads sequential keys across buckets.
+        let h = key.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        &self.buckets[(h % self.buckets.len() as u64) as usize]
+    }
+
+    /// Looks up `key`. Read-only: never causes an abort under SI.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`StmError`] from snapshot reads.
+    pub fn get(&self, tx: &mut Tx, key: u64) -> Result<Option<V>, StmError> {
+        let bucket = tx.read(self.bucket(key))?;
+        Ok(bucket
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, v)| v.clone()))
+    }
+
+    /// Inserts or replaces; returns the previous value if any.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`StmError`] from snapshot reads.
+    pub fn insert(&self, tx: &mut Tx, key: u64, value: V) -> Result<Option<V>, StmError> {
+        let var = self.bucket(key);
+        let mut bucket = tx.read(var)?;
+        let old = match bucket.iter_mut().find(|(k, _)| *k == key) {
+            Some(slot) => Some(std::mem::replace(&mut slot.1, value)),
+            None => {
+                bucket.push((key, value));
+                None
+            }
+        };
+        tx.write(var, bucket);
+        Ok(old)
+    }
+
+    /// Removes `key`; returns the removed value if it was present.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`StmError`] from snapshot reads.
+    pub fn remove(&self, tx: &mut Tx, key: u64) -> Result<Option<V>, StmError> {
+        let var = self.bucket(key);
+        let mut bucket = tx.read(var)?;
+        let pos = bucket.iter().position(|(k, _)| *k == key);
+        match pos {
+            Some(pos) => {
+                let (_, value) = bucket.remove(pos);
+                tx.write(var, bucket);
+                Ok(Some(value))
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// Number of entries (read-only full scan).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`StmError`] from snapshot reads.
+    pub fn len(&self, tx: &mut Tx) -> Result<usize, StmError> {
+        let mut n = 0;
+        for var in self.buckets.iter() {
+            n += tx.read(var)?.len();
+        }
+        Ok(n)
+    }
+
+    /// Whether the map has no entries (read-only full scan).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`StmError`] from snapshot reads.
+    pub fn is_empty(&self, tx: &mut Tx) -> Result<bool, StmError> {
+        Ok(self.len(tx)? == 0)
+    }
+
+    /// A consistent snapshot of all entries, unordered (read-only).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`StmError`] from snapshot reads.
+    pub fn entries(&self, tx: &mut Tx) -> Result<Vec<(u64, V)>, StmError> {
+        let mut out = Vec::new();
+        for var in self.buckets.iter() {
+            out.extend(tx.read(var)?);
+        }
+        Ok(out)
+    }
+}
+
+/// A transactional counter with saturating semantics — a minimal
+/// example of composing domain invariants over a [`TVar`].
+///
+/// ```
+/// use sitm_stm::{Stm, TCounter};
+/// let stm = Stm::snapshot();
+/// let c = TCounter::new(2);
+/// assert!(stm.atomically(|tx| c.try_decrement(tx)));
+/// assert!(stm.atomically(|tx| c.try_decrement(tx)));
+/// assert!(!stm.atomically(|tx| c.try_decrement(tx)), "floor at zero");
+/// ```
+#[derive(Debug, Clone)]
+pub struct TCounter {
+    value: TVar<u64>,
+}
+
+impl TCounter {
+    /// Creates a counter starting at `initial`.
+    pub fn new(initial: u64) -> Self {
+        TCounter {
+            value: TVar::new(initial),
+        }
+    }
+
+    /// Adds one.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`StmError`] from snapshot reads.
+    pub fn increment(&self, tx: &mut Tx) -> Result<u64, StmError> {
+        let v = tx.read(&self.value)?;
+        tx.write(&self.value, v + 1);
+        Ok(v + 1)
+    }
+
+    /// Subtracts one unless the counter is zero. The write-write
+    /// conflict on the counter makes concurrent decrements serialize,
+    /// so the floor can never be crossed — no promotion needed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`StmError`] from snapshot reads.
+    pub fn try_decrement(&self, tx: &mut Tx) -> Result<bool, StmError> {
+        let v = tx.read(&self.value)?;
+        if v == 0 {
+            return Ok(false);
+        }
+        tx.write(&self.value, v - 1);
+        Ok(true)
+    }
+
+    /// Current committed value, outside any transaction.
+    pub fn load(&self) -> u64 {
+        self.value.load()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stm::Stm;
+    use crate::txn::IsolationLevel;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn insert_remove_contains_roundtrip() {
+        let stm = Stm::snapshot();
+        let list = TList::new();
+        stm.atomically(|tx| {
+            assert!(list.insert(tx, 5)?);
+            assert!(list.insert(tx, 1)?);
+            assert!(list.insert(tx, 9)?);
+            assert!(!list.insert(tx, 5)?, "duplicate rejected");
+            Ok(())
+        });
+        stm.atomically(|tx| {
+            assert!(list.contains(tx, 5)?);
+            assert!(!list.contains(tx, 7)?);
+            assert_eq!(list.to_vec(tx)?, vec![1, 5, 9]);
+            Ok(())
+        });
+        stm.atomically(|tx| {
+            assert!(list.remove(tx, 5)?);
+            assert!(!list.remove(tx, 5)?);
+            Ok(())
+        });
+        assert_eq!(stm.atomically(|tx| list.to_vec(tx)), vec![1, 9]);
+    }
+
+    #[test]
+    fn operations_compose_atomically() {
+        let stm = Stm::snapshot();
+        let a = TList::new();
+        let b = TList::new();
+        // Move an element between two lists atomically.
+        stm.atomically(|tx| {
+            a.insert(tx, 7)?;
+            Ok(())
+        });
+        stm.atomically(|tx| {
+            assert!(a.remove(tx, 7)?);
+            assert!(b.insert(tx, 7)?);
+            Ok(())
+        });
+        assert!(stm.atomically(|tx| a.is_empty(tx)));
+        assert_eq!(stm.atomically(|tx| b.len(tx)), 1);
+    }
+
+    /// The Listing 2 scenario: concurrent removals of adjacent elements
+    /// must not drop the second removal's effect. With the fix, one of
+    /// the two conflicts and retries; the final list reflects both.
+    #[test]
+    fn adjacent_removals_do_not_skew() {
+        for _ in 0..100 {
+            let stm = Arc::new(Stm::snapshot());
+            let list = TList::new();
+            stm.atomically(|tx| {
+                for k in [1, 2, 3, 4] {
+                    list.insert(tx, k)?;
+                }
+                Ok(())
+            });
+            thread::scope(|s| {
+                for k in [2u64, 3] {
+                    let stm = Arc::clone(&stm);
+                    let list = list.clone();
+                    s.spawn(move || {
+                        stm.atomically(|tx| {
+                            std::thread::yield_now();
+                            list.remove(tx, k)
+                        })
+                    });
+                }
+            });
+            let remaining = stm.atomically(|tx| list.to_vec(tx));
+            assert_eq!(remaining, vec![1, 4], "both removals took effect");
+        }
+    }
+
+    /// Concurrent inserts at the same position never lose an element.
+    #[test]
+    fn concurrent_inserts_are_all_present() {
+        let stm = Arc::new(Stm::snapshot());
+        let list = TList::new();
+        thread::scope(|s| {
+            for t in 0..4u64 {
+                let stm = Arc::clone(&stm);
+                let list = list.clone();
+                s.spawn(move || {
+                    for i in 0..25 {
+                        stm.atomically(|tx| list.insert(tx, t * 100 + i));
+                    }
+                });
+            }
+        });
+        let all = stm.atomically(|tx| list.to_vec(tx));
+        assert_eq!(all.len(), 100);
+        assert!(all.windows(2).all(|w| w[0] < w[1]), "sorted, unique");
+    }
+
+    #[test]
+    fn hashmap_roundtrip_and_replace() {
+        let stm = Stm::snapshot();
+        let map: THashMap<u64> = THashMap::new(4);
+        stm.atomically(|tx| {
+            assert_eq!(map.insert(tx, 1, 10)?, None);
+            assert_eq!(map.insert(tx, 1, 11)?, Some(10));
+            assert_eq!(map.insert(tx, 2, 20)?, None);
+            Ok(())
+        });
+        stm.atomically(|tx| {
+            assert_eq!(map.get(tx, 1)?, Some(11));
+            assert_eq!(map.get(tx, 3)?, None);
+            assert_eq!(map.len(tx)?, 2);
+            assert_eq!(map.remove(tx, 1)?, Some(11));
+            assert_eq!(map.remove(tx, 1)?, None);
+            Ok(())
+        });
+        assert_eq!(stm.atomically(|tx| map.len(tx)), 1);
+    }
+
+    #[test]
+    fn hashmap_concurrent_disjoint_keys_all_land() {
+        let stm = Arc::new(Stm::snapshot());
+        let map: THashMap<u64> = THashMap::new(8);
+        thread::scope(|s| {
+            for t in 0..4u64 {
+                let stm = Arc::clone(&stm);
+                let map = map.clone();
+                s.spawn(move || {
+                    for i in 0..50 {
+                        let key = t * 1000 + i;
+                        stm.atomically(|tx| map.insert(tx, key, key * 2).map(|_| ()));
+                    }
+                });
+            }
+        });
+        let entries = stm.atomically(|tx| map.entries(tx));
+        assert_eq!(entries.len(), 200);
+        assert!(entries.iter().all(|&(k, v)| v == k * 2));
+    }
+
+    #[test]
+    fn hashmap_entries_are_snapshot_consistent() {
+        // An invariant spanning two keys: their values always sum to
+        // 100. A scanning reader must never see a violation.
+        let stm = Arc::new(Stm::snapshot());
+        let map: THashMap<i64> = THashMap::new(4);
+        stm.atomically(|tx| {
+            map.insert(tx, 1, 40)?;
+            map.insert(tx, 2, 60)?;
+            Ok(())
+        });
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        thread::scope(|s| {
+            let stm_w = Arc::clone(&stm);
+            let map_w = map.clone();
+            let stop_w = Arc::clone(&stop);
+            s.spawn(move || {
+                let mut k = 1i64;
+                while !stop_w.load(std::sync::atomic::Ordering::Relaxed) {
+                    stm_w.atomically(|tx| {
+                        let a = map_w.get(tx, 1)?.expect("present");
+                        let b = map_w.get(tx, 2)?.expect("present");
+                        map_w.insert(tx, 1, a - k)?;
+                        map_w.insert(tx, 2, b + k)?;
+                        Ok(())
+                    });
+                    k = -k;
+                }
+            });
+            let stm_r = Arc::clone(&stm);
+            let map_r = map.clone();
+            let stop_r = Arc::clone(&stop);
+            s.spawn(move || {
+                for _ in 0..300 {
+                    let sum: i64 = stm_r
+                        .atomically(|tx| map_r.entries(tx))
+                        .iter()
+                        .map(|(_, v)| v)
+                        .sum();
+                    assert_eq!(sum, 100, "scan must be snapshot-consistent");
+                }
+                stop_r.store(true, std::sync::atomic::Ordering::Relaxed);
+            });
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bucket")]
+    fn hashmap_rejects_zero_buckets() {
+        let _: THashMap<u8> = THashMap::new(0);
+    }
+
+    #[test]
+    fn counter_floor_holds_under_contention() {
+        let stm = Arc::new(Stm::with_level(IsolationLevel::Snapshot));
+        let c = TCounter::new(50);
+        let successes = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        thread::scope(|s| {
+            for _ in 0..4 {
+                let stm = Arc::clone(&stm);
+                let c = c.clone();
+                let successes = Arc::clone(&successes);
+                s.spawn(move || {
+                    for _ in 0..25 {
+                        if stm.atomically(|tx| c.try_decrement(tx)) {
+                            successes.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(
+            successes.load(std::sync::atomic::Ordering::Relaxed),
+            50,
+            "exactly the available units were taken"
+        );
+        assert_eq!(c.load(), 0);
+    }
+}

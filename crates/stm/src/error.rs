@@ -1,0 +1,73 @@
+//! Error and control-flow types of the software STM.
+
+use std::fmt;
+
+/// Why a transaction attempt could not commit. The retry loop in
+/// [`crate::Stm::atomically`] handles these internally; user code only
+/// sees them through [`crate::Stm::try_atomically`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Conflict {
+    /// Another transaction committed a newer version of a variable this
+    /// transaction wrote (write-write conflict — the only conflict that
+    /// aborts under plain snapshot isolation).
+    WriteWrite,
+    /// A read could not be served: every retained version of the
+    /// variable is newer than this transaction's snapshot (bounded
+    /// version history, the paper's discard-oldest policy).
+    SnapshotTooOld,
+    /// Under [`crate::IsolationLevel::Serializable`], a variable this
+    /// transaction read (or explicitly promoted) changed before commit.
+    ReadValidation,
+}
+
+impl fmt::Display for Conflict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Conflict::WriteWrite => write!(f, "write-write conflict"),
+            Conflict::SnapshotTooOld => write!(f, "snapshot version no longer retained"),
+            Conflict::ReadValidation => write!(f, "read-set validation failed"),
+        }
+    }
+}
+
+impl std::error::Error for Conflict {}
+
+/// Error returned by transaction bodies to the retry loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StmError {
+    /// The attempt conflicted and must be retried on a fresh snapshot.
+    Conflict(Conflict),
+}
+
+impl fmt::Display for StmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StmError::Conflict(c) => c.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for StmError {}
+
+impl From<Conflict> for StmError {
+    fn from(c: Conflict) -> Self {
+        StmError::Conflict(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty() {
+        for c in [
+            Conflict::WriteWrite,
+            Conflict::SnapshotTooOld,
+            Conflict::ReadValidation,
+        ] {
+            assert!(!c.to_string().is_empty());
+            assert!(!StmError::from(c).to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! # sitm-stm — a software snapshot-isolation STM
+//!
+//! The SI-TM paper builds snapshot-isolation transactional memory in
+//! hardware and names a software multiversion implementation as future
+//! work; this crate is that software rendition, usable by real Rust
+//! threads today:
+//!
+//! * [`TVar<T>`] — a multiversioned transactional variable (the software
+//!   analogue of an MVM cache line), with a bounded version history and
+//!   the discard-oldest policy.
+//! * [`Stm::atomically`] — run closures transactionally with consistent
+//!   snapshot reads and commit-time **write-write** validation only:
+//!   readers never abort writers and read-only transactions always
+//!   commit, exactly the SI-TM property.
+//! * [`IsolationLevel::Serializable`] — opt-in serializability by
+//!   read-set validation, and [`Tx::promote`] for the paper's selective
+//!   *read promotion* remedy against write skew.
+//! * [`Recorder`] — trace hooks feeding the `sitm-skew` write-skew
+//!   detection tool.
+//!
+//! # Examples
+//!
+//! ```
+//! use sitm_stm::{Stm, TVar};
+//! use std::sync::Arc;
+//! use std::thread;
+//!
+//! let stm = Arc::new(Stm::snapshot());
+//! let hits = TVar::new(0u64);
+//!
+//! thread::scope(|s| {
+//!     for _ in 0..4 {
+//!         let stm = Arc::clone(&stm);
+//!         let hits = hits.clone();
+//!         s.spawn(move || {
+//!             for _ in 0..100 {
+//!                 stm.atomically(|tx| {
+//!                     let h = tx.read(&hits)?;
+//!                     tx.write(&hits, h + 1);
+//!                     Ok(())
+//!                 });
+//!             }
+//!         });
+//!     }
+//! });
+//! assert_eq!(hits.load(), 400);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod collections;
+mod error;
+mod recorder;
+mod stm;
+mod tvar;
+mod txn;
+
+pub use collections::{TCounter, THashMap, TList};
+pub use error::{Conflict, StmError};
+pub use recorder::{Recorder, TxEvent, VecRecorder};
+pub use stm::{Stm, StmStats};
+pub use tvar::{TVar, DEFAULT_HISTORY};
+pub use txn::{IsolationLevel, Tx};

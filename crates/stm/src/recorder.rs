@@ -1,0 +1,119 @@
+//! Trace hooks for dynamic analysis.
+//!
+//! The paper's write-skew tool instruments transactional operations at
+//! runtime (via PIN) and post-processes the resulting globally ordered
+//! trace. The software STM offers the same capability natively: install
+//! a [`Recorder`] on the [`crate::Stm`] runtime and every transactional
+//! event is reported in program order per thread. The `sitm-skew` crate
+//! consumes these traces to build dependency graphs, detect write-skew
+//! dangerous structures, and propose read promotions.
+
+use std::sync::Arc;
+
+/// One transactional event, as reported to a [`Recorder`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TxEvent {
+    /// A transaction attempt began on the given snapshot.
+    Begin {
+        /// Attempt id (unique per attempt, monotone).
+        tx: u64,
+        /// Snapshot timestamp.
+        snapshot: u64,
+    },
+    /// The attempt read a variable.
+    Read {
+        /// Attempt id.
+        tx: u64,
+        /// Variable id.
+        var: u64,
+        /// Variable label, if it was created with one.
+        label: Option<Arc<str>>,
+    },
+    /// The attempt wrote a variable.
+    Write {
+        /// Attempt id.
+        tx: u64,
+        /// Variable id.
+        var: u64,
+        /// Variable label, if any.
+        label: Option<Arc<str>>,
+    },
+    /// The attempt promoted a read (validate-only).
+    Promote {
+        /// Attempt id.
+        tx: u64,
+        /// Variable id.
+        var: u64,
+        /// Variable label, if any.
+        label: Option<Arc<str>>,
+    },
+    /// The attempt committed.
+    Commit {
+        /// Attempt id.
+        tx: u64,
+    },
+    /// The attempt aborted (it will be retried by the runtime).
+    Abort {
+        /// Attempt id.
+        tx: u64,
+    },
+}
+
+/// Receives transactional events. Implementations must be thread-safe;
+/// events from different threads arrive concurrently.
+pub trait Recorder: Send + Sync {
+    /// Called for every transactional event.
+    fn record(&self, event: TxEvent);
+}
+
+/// A recorder that appends events to a shared vector (suitable for
+/// post-processing with `sitm-skew`).
+#[derive(Debug, Default)]
+pub struct VecRecorder {
+    events: parking_lot::Mutex<Vec<TxEvent>>,
+}
+
+impl VecRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Takes the events recorded so far.
+    pub fn take(&self) -> Vec<TxEvent> {
+        std::mem::take(&mut self.events.lock())
+    }
+
+    /// Number of events recorded so far.
+    pub fn len(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.lock().is_empty()
+    }
+}
+
+impl Recorder for VecRecorder {
+    fn record(&self, event: TxEvent) {
+        self.events.lock().push(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_recorder_accumulates() {
+        let r = VecRecorder::new();
+        assert!(r.is_empty());
+        r.record(TxEvent::Commit { tx: 1 });
+        r.record(TxEvent::Abort { tx: 2 });
+        assert_eq!(r.len(), 2);
+        let events = r.take();
+        assert_eq!(events[0], TxEvent::Commit { tx: 1 });
+        assert!(r.is_empty());
+    }
+}

@@ -1,0 +1,370 @@
+//! The STM runtime: isolation configuration, the retry loop, and
+//! statistics.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::error::{Conflict, StmError};
+use crate::recorder::Recorder;
+use crate::txn::{IsolationLevel, Tx};
+
+/// Commit/abort counters of an [`Stm`] runtime.
+#[derive(Debug, Default)]
+pub struct StmStats {
+    commits: AtomicU64,
+    write_write_aborts: AtomicU64,
+    snapshot_too_old_aborts: AtomicU64,
+    read_validation_aborts: AtomicU64,
+}
+
+impl StmStats {
+    /// Committed transactions.
+    pub fn commits(&self) -> u64 {
+        self.commits.load(Ordering::Relaxed)
+    }
+
+    /// Aborts due to write-write conflicts.
+    pub fn write_write_aborts(&self) -> u64 {
+        self.write_write_aborts.load(Ordering::Relaxed)
+    }
+
+    /// Aborts because a snapshot outlived the bounded version history.
+    pub fn snapshot_too_old_aborts(&self) -> u64 {
+        self.snapshot_too_old_aborts.load(Ordering::Relaxed)
+    }
+
+    /// Aborts due to read/promotion validation (serializable mode and
+    /// promoted reads).
+    pub fn read_validation_aborts(&self) -> u64 {
+        self.read_validation_aborts.load(Ordering::Relaxed)
+    }
+
+    /// All aborts.
+    pub fn aborts(&self) -> u64 {
+        self.write_write_aborts()
+            + self.snapshot_too_old_aborts()
+            + self.read_validation_aborts()
+    }
+
+    fn count(&self, conflict: Conflict) {
+        let counter = match conflict {
+            Conflict::WriteWrite => &self.write_write_aborts,
+            Conflict::SnapshotTooOld => &self.snapshot_too_old_aborts,
+            Conflict::ReadValidation => &self.read_validation_aborts,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// The software snapshot-isolation STM runtime.
+///
+/// An `Stm` value holds the isolation level, abort statistics and the
+/// optional trace recorder; the version clock is process-global, so
+/// [`crate::TVar`]s may be shared freely between runtimes (e.g. a
+/// snapshot-isolated fast path and a serializable administrative path
+/// over the same data, the paper's "for all or a subset of
+/// transactions").
+///
+/// # Examples
+///
+/// Concurrent bank transfers with a consistent read-only audit:
+///
+/// ```
+/// use sitm_stm::{Stm, TVar};
+/// use std::sync::Arc;
+///
+/// let stm = Arc::new(Stm::snapshot());
+/// let a = TVar::new(50i64);
+/// let b = TVar::new(50i64);
+///
+/// let total = stm.atomically(|tx| Ok(tx.read(&a)? + tx.read(&b)?));
+/// assert_eq!(total, 100);
+/// ```
+pub struct Stm {
+    level: IsolationLevel,
+    stats: StmStats,
+    recorder: Option<Arc<dyn Recorder>>,
+}
+
+impl std::fmt::Debug for Stm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Stm")
+            .field("level", &self.level)
+            .field("stats", &self.stats)
+            .field("recorder", &self.recorder.is_some())
+            .finish()
+    }
+}
+
+impl Stm {
+    /// A runtime with plain snapshot isolation (the SI-TM model: aborts
+    /// only on write-write conflicts; subject to write skew).
+    pub fn snapshot() -> Self {
+        Self::with_level(IsolationLevel::Snapshot)
+    }
+
+    /// A runtime enforcing serializability via commit-time read
+    /// validation.
+    pub fn serializable() -> Self {
+        Self::with_level(IsolationLevel::Serializable)
+    }
+
+    /// A runtime with an explicit isolation level.
+    pub fn with_level(level: IsolationLevel) -> Self {
+        Stm {
+            level,
+            stats: StmStats::default(),
+            recorder: None,
+        }
+    }
+
+    /// Installs a trace recorder (see `sitm-skew`); replaces any
+    /// previous one. Returns `self` for builder-style use.
+    pub fn with_recorder(mut self, recorder: Arc<dyn Recorder>) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+
+    /// The configured isolation level.
+    pub fn level(&self) -> IsolationLevel {
+        self.level
+    }
+
+    /// Commit/abort counters.
+    pub fn stats(&self) -> &StmStats {
+        &self.stats
+    }
+
+    /// Runs `body` transactionally, retrying on conflicts until it
+    /// commits, and returns its result.
+    ///
+    /// The body may run multiple times; side effects other than
+    /// transactional reads/writes must be idempotent. Retries use
+    /// bounded exponential backoff (spin then yield).
+    pub fn atomically<T>(
+        &self,
+        mut body: impl FnMut(&mut Tx) -> Result<T, StmError>,
+    ) -> T {
+        let mut attempt = 0u32;
+        loop {
+            match self.try_atomically(&mut body) {
+                Ok(value) => return value,
+                Err(conflict) => {
+                    let _ = conflict;
+                    backoff(attempt);
+                    attempt = attempt.saturating_add(1);
+                }
+            }
+        }
+    }
+
+    /// Runs `body` transactionally once, returning the conflict instead
+    /// of retrying. Useful for tests and for callers with their own
+    /// retry policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`Conflict`] that aborted the attempt.
+    pub fn try_atomically<T>(
+        &self,
+        body: &mut impl FnMut(&mut Tx) -> Result<T, StmError>,
+    ) -> Result<T, Conflict> {
+        let mut tx = Tx::begin(self.level, self.recorder.clone());
+        match body(&mut tx) {
+            Ok(value) => match tx.commit() {
+                Ok(()) => {
+                    self.stats.commits.fetch_add(1, Ordering::Relaxed);
+                    Ok(value)
+                }
+                Err(conflict) => {
+                    self.stats.count(conflict);
+                    Err(conflict)
+                }
+            },
+            Err(StmError::Conflict(conflict)) => {
+                self.stats.count(conflict);
+                Err(conflict)
+            }
+        }
+    }
+}
+
+/// Spin briefly, then yield to the scheduler, with exponential growth.
+fn backoff(attempt: u32) {
+    if attempt < 4 {
+        for _ in 0..(1u32 << attempt.min(10)) * 8 {
+            std::hint::spin_loop();
+        }
+    } else {
+        std::thread::yield_now();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tvar::TVar;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn counter_increments_are_not_lost() {
+        let stm = Arc::new(Stm::snapshot());
+        let counter = TVar::new(0u64);
+        let threads = 8;
+        let per_thread = 200;
+        thread::scope(|s| {
+            for _ in 0..threads {
+                let stm = Arc::clone(&stm);
+                let counter = counter.clone();
+                s.spawn(move || {
+                    for _ in 0..per_thread {
+                        stm.atomically(|tx| {
+                            let v = tx.read(&counter)?;
+                            tx.write(&counter, v + 1);
+                            Ok(())
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.load(), threads * per_thread);
+        assert_eq!(stm.stats().commits(), threads * per_thread);
+    }
+
+    #[test]
+    fn bank_invariant_under_serializable() {
+        // The Listing 1 withdraw scenario: under Serializable the
+        // combined balance can never go negative.
+        let stm = Arc::new(Stm::serializable());
+        let checking = TVar::new(60i64);
+        let saving = TVar::new(60i64);
+        thread::scope(|s| {
+            for from_checking in [true, false] {
+                let stm = Arc::clone(&stm);
+                let checking = checking.clone();
+                let saving = saving.clone();
+                s.spawn(move || {
+                    stm.atomically(|tx| {
+                        let c = tx.read(&checking)?;
+                        let v = tx.read(&saving)?;
+                        if c + v > 100 {
+                            if from_checking {
+                                tx.write(&checking, c - 100);
+                            } else {
+                                tx.write(&saving, v - 100);
+                            }
+                        }
+                        Ok(())
+                    });
+                });
+            }
+        });
+        let total = checking.load() + saving.load();
+        assert!(total >= 0, "write skew prevented; total = {total}");
+    }
+
+    #[test]
+    fn snapshot_mode_admits_write_skew() {
+        // The same scenario under plain SI must (in this deterministic
+        // single-threaded schedule) exhibit the anomaly — demonstrating
+        // why the skew tooling exists.
+        let stm = Stm::snapshot();
+        let checking = TVar::new(60i64);
+        let saving = TVar::new(60i64);
+        // Interleave two withdrawals by hand through try_atomically
+        // bodies that stop halfway... simpler: run both reads before
+        // either write using two Tx values via the internal API is not
+        // public; emulate with two sequential atomically calls whose
+        // snapshots overlap via a held transaction.
+        use crate::txn::Tx;
+        let mut t1 = Tx::begin(IsolationLevel::Snapshot, None);
+        let mut t2 = Tx::begin(IsolationLevel::Snapshot, None);
+        let (c1, s1) = (t1.read(&checking).unwrap(), t1.read(&saving).unwrap());
+        let (c2, s2) = (t2.read(&checking).unwrap(), t2.read(&saving).unwrap());
+        assert!(c1 + s1 > 100 && c2 + s2 > 100);
+        t1.write(&checking, c1 - 100);
+        t2.write(&saving, s2 - 100);
+        t1.commit().unwrap();
+        t2.commit().unwrap(); // disjoint write sets: SI commits both
+        assert!(
+            checking.load() + saving.load() < 0,
+            "write skew observed under plain SI"
+        );
+        let _ = stm;
+    }
+
+    #[test]
+    fn promotion_fixes_the_skew() {
+        let checking = TVar::new(60i64);
+        let saving = TVar::new(60i64);
+        use crate::txn::Tx;
+        let mut t1 = Tx::begin(IsolationLevel::Snapshot, None);
+        let mut t2 = Tx::begin(IsolationLevel::Snapshot, None);
+        let (c1, s1) = (t1.read(&checking).unwrap(), t1.read(&saving).unwrap());
+        let (c2, s2) = (t2.read(&checking).unwrap(), t2.read(&saving).unwrap());
+        t1.promote(&saving); // protect the invariant's other half
+        t2.promote(&checking);
+        t1.write(&checking, c1 - 100);
+        t2.write(&saving, s2 - 100);
+        assert!(c1 + s1 > 100 && c2 + s2 > 100);
+        t1.commit().unwrap();
+        assert!(t2.commit().is_err(), "promotion forces the conflict");
+        assert!(checking.load() + saving.load() >= 0);
+    }
+
+    #[test]
+    fn long_readers_see_consistent_snapshots_under_churn() {
+        // Invariant: a+b is always 100 at every commit; a long reader
+        // must never observe a violated invariant.
+        let stm = Arc::new(Stm::snapshot());
+        let a = TVar::with_history(50i64, 64);
+        let b = TVar::with_history(50i64, 64);
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        thread::scope(|s| {
+            for _ in 0..2 {
+                let stm = Arc::clone(&stm);
+                let (a, b) = (a.clone(), b.clone());
+                let stop = Arc::clone(&stop);
+                s.spawn(move || {
+                    let mut k = 1;
+                    while !stop.load(Ordering::Relaxed) {
+                        stm.atomically(|tx| {
+                            let va = tx.read(&a)?;
+                            tx.write(&a, va - k);
+                            let vb = tx.read(&b)?;
+                            tx.write(&b, vb + k);
+                            Ok(())
+                        });
+                        k = -k;
+                    }
+                });
+            }
+            let stm_r = Arc::clone(&stm);
+            let (ar, br) = (a.clone(), b.clone());
+            let stop_r = Arc::clone(&stop);
+            s.spawn(move || {
+                for _ in 0..500 {
+                    let sum = stm_r.atomically(|tx| Ok(tx.read(&ar)? + tx.read(&br)?));
+                    assert_eq!(sum, 100, "snapshot reads are consistent");
+                }
+                stop_r.store(true, Ordering::Relaxed);
+            });
+        });
+    }
+
+    #[test]
+    fn stats_count_conflicts() {
+        let stm = Stm::snapshot();
+        let v = TVar::new(0u32);
+        let mut t1 = crate::txn::Tx::begin(IsolationLevel::Snapshot, None);
+        t1.write(&v, 1);
+        stm.atomically(|tx| {
+            let cur = tx.read(&v)?;
+            tx.write(&v, cur + 10);
+            Ok(())
+        });
+        assert!(t1.commit().is_err());
+        assert_eq!(stm.stats().commits(), 1);
+    }
+}

@@ -1,0 +1,249 @@
+//! Multiversioned transactional variables.
+//!
+//! A [`TVar<T>`] is the software analogue of an MVM cache line: it keeps
+//! a bounded history of timestamped versions so that transactions read
+//! from a consistent snapshot while writers commit new versions without
+//! disturbing readers. The history bound plays the role of the paper's
+//! 4-version hardware cap under the discard-oldest policy: a reader
+//! whose snapshot predates the oldest retained version aborts and
+//! retries on a fresh snapshot.
+
+use std::any::Any;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::error::Conflict;
+
+/// Default number of versions retained per variable (the paper finds 4
+/// adequate; the software default is more generous because software
+/// snapshots live longer).
+pub const DEFAULT_HISTORY: usize = 8;
+
+static NEXT_VAR_ID: AtomicU64 = AtomicU64::new(1);
+
+/// One committed version.
+#[derive(Debug, Clone)]
+struct Version<T> {
+    ts: u64,
+    value: T,
+}
+
+#[derive(Debug)]
+pub(crate) struct VarInner<T> {
+    id: u64,
+    label: Option<Arc<str>>,
+    history: usize,
+    /// Versions newest-first.
+    versions: Mutex<VecDeque<Version<T>>>,
+}
+
+/// A transactional variable holding multiversioned values of type `T`.
+///
+/// Values are cloned out on read; wrap large payloads in [`Arc`] to make
+/// cloning cheap. `TVar`s are created outside transactions and accessed
+/// inside them via [`crate::Tx::read`] / [`crate::Tx::write`].
+///
+/// # Examples
+///
+/// ```
+/// use sitm_stm::{Stm, TVar};
+/// let stm = Stm::snapshot();
+/// let balance = TVar::new(100u64);
+/// stm.atomically(|tx| {
+///     let b = tx.read(&balance)?;
+///     tx.write(&balance, b + 1);
+///     Ok(())
+/// });
+/// assert_eq!(stm.atomically(|tx| tx.read(&balance)), 101);
+/// ```
+#[derive(Debug)]
+pub struct TVar<T> {
+    pub(crate) inner: Arc<VarInner<T>>,
+}
+
+impl<T> Clone for TVar<T> {
+    fn clone(&self) -> Self {
+        TVar {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T: Clone + Send + Sync + 'static> TVar<T> {
+    /// Creates a variable with an initial value (committed at timestamp
+    /// zero, visible to every snapshot).
+    pub fn new(value: T) -> Self {
+        Self::build(value, DEFAULT_HISTORY, None)
+    }
+
+    /// Creates a labeled variable; the label appears in write-skew
+    /// reports from the `sitm-skew` tooling.
+    pub fn new_labeled(label: &str, value: T) -> Self {
+        Self::build(value, DEFAULT_HISTORY, Some(Arc::from(label)))
+    }
+
+    /// Creates a variable retaining up to `history` versions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `history` is zero.
+    pub fn with_history(value: T, history: usize) -> Self {
+        Self::build(value, history, None)
+    }
+
+    fn build(value: T, history: usize, label: Option<Arc<str>>) -> Self {
+        assert!(history >= 1, "at least one version must be retained");
+        let mut versions = VecDeque::with_capacity(history.min(16));
+        versions.push_back(Version { ts: 0, value });
+        TVar {
+            inner: Arc::new(VarInner {
+                id: NEXT_VAR_ID.fetch_add(1, Ordering::Relaxed),
+                label,
+                history,
+                versions: Mutex::new(versions),
+            }),
+        }
+    }
+
+    /// The variable's unique id (used for deterministic lock ordering
+    /// and trace correlation).
+    pub fn id(&self) -> u64 {
+        self.inner.id
+    }
+
+    /// The label given at construction, if any.
+    pub fn label(&self) -> Option<Arc<str>> {
+        self.inner.label.clone()
+    }
+
+    /// Reads the newest committed value outside any transaction.
+    pub fn load(&self) -> T {
+        self.inner
+            .versions
+            .lock()
+            .front()
+            .expect("a TVar always has at least one version")
+            .value
+            .clone()
+    }
+
+    /// Reads the newest version at or below `snapshot`.
+    pub(crate) fn read_at(&self, snapshot: u64) -> Result<T, Conflict> {
+        let versions = self.inner.versions.lock();
+        for v in versions.iter() {
+            if v.ts <= snapshot {
+                return Ok(v.value.clone());
+            }
+        }
+        Err(Conflict::SnapshotTooOld)
+    }
+
+    /// Number of retained versions (diagnostics).
+    pub fn version_count(&self) -> usize {
+        self.inner.versions.lock().len()
+    }
+}
+
+/// Type-erased per-variable operations used by the commit protocol.
+pub(crate) trait VarOps: Send + Sync {
+    fn id(&self) -> u64;
+    /// Timestamp of the newest committed version.
+    fn newest_ts(&self) -> u64;
+    /// Installs `value` (of the variable's concrete type) at `ts`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` has the wrong type (unreachable through the
+    /// typed API) or `ts` is not newer than the newest version.
+    fn install(&self, ts: u64, value: Box<dyn Any + Send>);
+}
+
+impl<T: Clone + Send + Sync + 'static> VarOps for VarInner<T> {
+    fn id(&self) -> u64 {
+        self.id
+    }
+
+    fn newest_ts(&self) -> u64 {
+        self.versions
+            .lock()
+            .front()
+            .expect("a TVar always has at least one version")
+            .ts
+    }
+
+    fn install(&self, ts: u64, value: Box<dyn Any + Send>) {
+        let value = *value
+            .downcast::<T>()
+            .expect("pending write type matches its TVar");
+        let mut versions = self.versions.lock();
+        let newest = versions.front().expect("non-empty").ts;
+        assert!(ts > newest, "install out of order: {ts} <= {newest}");
+        versions.push_front(Version { ts, value });
+        while versions.len() > self.history {
+            versions.pop_back();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_unique() {
+        let a = TVar::new(0u32);
+        let b = TVar::new(0u32);
+        assert_ne!(a.id(), b.id());
+    }
+
+    #[test]
+    fn load_sees_newest() {
+        let v = TVar::new(5u32);
+        v.inner.install(3, Box::new(9u32));
+        assert_eq!(v.load(), 9);
+    }
+
+    #[test]
+    fn read_at_respects_snapshot() {
+        let v = TVar::new(1u32);
+        v.inner.install(10, Box::new(2u32));
+        v.inner.install(20, Box::new(3u32));
+        assert_eq!(v.read_at(0), Ok(1));
+        assert_eq!(v.read_at(15), Ok(2));
+        assert_eq!(v.read_at(25), Ok(3));
+    }
+
+    #[test]
+    fn bounded_history_evicts_oldest() {
+        let v = TVar::with_history(0u32, 2);
+        v.inner.install(1, Box::new(1u32));
+        v.inner.install(2, Box::new(2u32));
+        assert_eq!(v.version_count(), 2);
+        assert_eq!(v.read_at(0), Err(Conflict::SnapshotTooOld));
+        assert_eq!(v.read_at(1), Ok(1));
+    }
+
+    #[test]
+    fn labels_survive() {
+        let v = TVar::new_labeled("checking", 7u64);
+        assert_eq!(v.label().as_deref(), Some("checking"));
+        assert_eq!(v.load(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one version")]
+    fn zero_history_rejected() {
+        TVar::with_history(0u8, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "install out of order")]
+    fn out_of_order_install_panics() {
+        let v = TVar::new(0u32);
+        v.inner.install(5, Box::new(1u32));
+        v.inner.install(5, Box::new(2u32));
+    }
+}

@@ -1,0 +1,385 @@
+//! Transactions: snapshot reads, buffered writes, commit-time
+//! validation.
+//!
+//! The commit protocol is the software rendition of SI-TM's `TM_COMMIT`
+//! (section 4.2):
+//!
+//! 1. read-only transactions commit with no timestamp and no checks;
+//! 2. writers lock their written variables in id order (deadlock-free),
+//!    validate that no variable has a version newer than the snapshot
+//!    (write-write conflicts; plus read/promoted-set validation under
+//!    the serializable level), obtain an end timestamp from the global
+//!    clock, install the new versions, and unlock.
+//!
+//! Because validation and installation happen while holding all written
+//! variables' stripe locks, the commit point is atomic with respect to
+//! conflicting commits, mirroring the paper's delta-reservation
+//! argument without needing it (software can afford the locks).
+
+use std::any::Any;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::error::{Conflict, StmError};
+use crate::recorder::{Recorder, TxEvent};
+use crate::tvar::{TVar, VarOps};
+
+/// The global version clock shared by every transaction in the process.
+static GLOBAL_CLOCK: AtomicU64 = AtomicU64::new(0);
+
+/// Commit-lock stripes: variables hash to stripes by id. Commits take
+/// their stripes exclusively (in order) across the whole
+/// validate–tick–install window; transactional reads take their
+/// variable's stripe shared. This closes the section 4.2 race — a
+/// transaction beginning mid-commit cannot observe a half-published
+/// write set, because any snapshot taken before the commit's clock tick
+/// is strictly older than the commit's end timestamp.
+const STRIPES: usize = 64;
+static STRIPE_LOCKS: [RwLock<()>; STRIPES] = [const { RwLock::new(()) }; STRIPES];
+
+pub(crate) fn stripe_read(var_id: u64) -> parking_lot::RwLockReadGuard<'static, ()> {
+    STRIPE_LOCKS[(var_id % STRIPES as u64) as usize].read()
+}
+
+pub(crate) fn clock_now() -> u64 {
+    GLOBAL_CLOCK.load(Ordering::SeqCst)
+}
+
+fn clock_tick() -> u64 {
+    GLOBAL_CLOCK.fetch_add(1, Ordering::SeqCst) + 1
+}
+
+/// How strictly transactions are isolated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IsolationLevel {
+    /// Snapshot isolation: consistent snapshot reads, aborts only on
+    /// write-write conflicts. Subject to the write-skew anomaly
+    /// (section 5); pair with the `sitm-skew` tooling or selective
+    /// [`Tx::promote`] calls.
+    #[default]
+    Snapshot,
+    /// Full serializability by enforcing read-write conflict detection
+    /// for every read, per the paper's remark that "programmers can
+    /// always enforce serializability by enforcing read-write conflict
+    /// detection for all or a subset of transactions": the entire read
+    /// set is validated at commit. Read-only transactions still commit
+    /// without validation (their snapshot is a consistent serialization
+    /// point).
+    Serializable,
+}
+
+/// A pending buffered write.
+struct PendingWrite {
+    var: Arc<dyn VarOps>,
+    value: Box<dyn Any + Send>,
+}
+
+impl std::fmt::Debug for PendingWrite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "PendingWrite(var {})", self.var.id())
+    }
+}
+
+/// An in-flight transaction. Obtained from [`crate::Stm::atomically`].
+pub struct Tx {
+    snapshot: u64,
+    level: IsolationLevel,
+    writes: BTreeMap<u64, PendingWrite>,
+    /// The read log kept under `Serializable` for commit-time
+    /// validation of update transactions.
+    read_log: BTreeMap<u64, Arc<dyn VarOps>>,
+    /// Explicitly promoted reads (validated even in read-only
+    /// transactions; never create versions).
+    promoted: BTreeMap<u64, Arc<dyn VarOps>>,
+    recorder: Option<Arc<dyn Recorder>>,
+    /// Monotone id of this attempt (for tracing).
+    attempt_id: u64,
+}
+
+impl std::fmt::Debug for Tx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tx")
+            .field("snapshot", &self.snapshot)
+            .field("level", &self.level)
+            .field("writes", &self.writes.len())
+            .finish_non_exhaustive()
+    }
+}
+
+static NEXT_ATTEMPT: AtomicU64 = AtomicU64::new(1);
+
+impl Tx {
+    pub(crate) fn begin(level: IsolationLevel, recorder: Option<Arc<dyn Recorder>>) -> Self {
+        let snapshot = clock_now();
+        let attempt_id = NEXT_ATTEMPT.fetch_add(1, Ordering::Relaxed);
+        if let Some(r) = &recorder {
+            r.record(TxEvent::Begin {
+                tx: attempt_id,
+                snapshot,
+            });
+        }
+        Tx {
+            snapshot,
+            level,
+            writes: BTreeMap::new(),
+            read_log: BTreeMap::new(),
+            promoted: BTreeMap::new(),
+            recorder,
+            attempt_id,
+        }
+    }
+
+    /// This transaction's snapshot timestamp.
+    pub fn snapshot(&self) -> u64 {
+        self.snapshot
+    }
+
+    /// Reads `var` from the transaction's snapshot (or its own buffered
+    /// write).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Conflict::SnapshotTooOld`] (wrapped in [`StmError`]) if
+    /// the snapshot's version has been evicted from the variable's
+    /// bounded history; the retry loop restarts on a fresh snapshot.
+    pub fn read<T: Clone + Send + Sync + 'static>(&mut self, var: &TVar<T>) -> Result<T, StmError> {
+        if let Some(r) = &self.recorder {
+            r.record(TxEvent::Read {
+                tx: self.attempt_id,
+                var: var.id(),
+                label: var.label(),
+            });
+        }
+        if self.level == IsolationLevel::Serializable {
+            self.read_log
+                .entry(var.id())
+                .or_insert_with(|| var.inner.clone() as Arc<dyn VarOps>);
+        }
+        if let Some(pending) = self.writes.get(&var.id()) {
+            let value = pending
+                .value
+                .downcast_ref::<T>()
+                .expect("buffered value type matches its TVar");
+            return Ok(value.clone());
+        }
+        let _guard = stripe_read(var.id());
+        var.read_at(self.snapshot).map_err(StmError::from)
+    }
+
+    /// Buffers a write of `value` into `var`, visible to this
+    /// transaction's subsequent reads and published atomically at
+    /// commit.
+    pub fn write<T: Clone + Send + Sync + 'static>(&mut self, var: &TVar<T>, value: T) {
+        if let Some(r) = &self.recorder {
+            r.record(TxEvent::Write {
+                tx: self.attempt_id,
+                var: var.id(),
+                label: var.label(),
+            });
+        }
+        self.writes.insert(
+            var.id(),
+            PendingWrite {
+                var: var.inner.clone() as Arc<dyn VarOps>,
+                value: Box::new(value),
+            },
+        );
+    }
+
+    /// Promotes a read: the variable is validated at commit as if
+    /// written, without creating a new version — the paper's write-skew
+    /// remedy ("promoted reads are inserted into the write set to
+    /// trigger an abort in the case of a write skew. However, a promoted
+    /// read ... does not create new data versions").
+    pub fn promote<T: Clone + Send + Sync + 'static>(&mut self, var: &TVar<T>) {
+        if let Some(r) = &self.recorder {
+            r.record(TxEvent::Promote {
+                tx: self.attempt_id,
+                var: var.id(),
+                label: var.label(),
+            });
+        }
+        self.promoted
+            .entry(var.id())
+            .or_insert_with(|| var.inner.clone() as Arc<dyn VarOps>);
+    }
+
+    /// Whether the transaction has buffered writes.
+    pub fn is_read_only(&self) -> bool {
+        self.writes.is_empty()
+    }
+
+    /// Attempts to commit. Consumes the transaction.
+    pub(crate) fn commit(self) -> Result<(), Conflict> {
+        let recorder = self.recorder.clone();
+        let attempt_id = self.attempt_id;
+        let result = self.commit_inner();
+        if let Some(r) = &recorder {
+            r.record(match result {
+                Ok(()) => TxEvent::Commit { tx: attempt_id },
+                Err(_) => TxEvent::Abort { tx: attempt_id },
+            });
+        }
+        result
+    }
+
+    fn commit_inner(self) -> Result<(), Conflict> {
+        // Read-only transactions validate only explicit promotions: a
+        // pure snapshot reader is consistent as-of its snapshot and
+        // commits free of charge even under `Serializable` (it
+        // serializes at its snapshot point).
+        let read_only = self.writes.is_empty();
+        let validate: Vec<(&u64, &Arc<dyn VarOps>)> = if read_only {
+            self.promoted.iter().collect()
+        } else {
+            // Update transactions validate promotions plus (under
+            // Serializable) the full read log.
+            self.promoted.iter().chain(self.read_log.iter()).collect()
+        };
+        if read_only && validate.is_empty() {
+            return Ok(());
+        }
+        // Take the stripe locks of every variable to be validated, in
+        // order, deduplicated.
+        let mut stripes: Vec<usize> = self
+            .writes
+            .keys()
+            .chain(validate.iter().map(|(id, _)| *id))
+            .map(|id| (id % STRIPES as u64) as usize)
+            .collect();
+        stripes.sort_unstable();
+        stripes.dedup();
+        let _guards: Vec<_> = stripes.iter().map(|&s| STRIPE_LOCKS[s].write()).collect();
+
+        // Validation: written and promoted/read-validated variables must
+        // not have versions newer than the snapshot.
+        for w in self.writes.values() {
+            if w.var.newest_ts() > self.snapshot {
+                return Err(Conflict::WriteWrite);
+            }
+        }
+        for (id, var) in validate {
+            if self.writes.contains_key(id) {
+                continue; // already checked as a write
+            }
+            if var.newest_ts() > self.snapshot {
+                return Err(Conflict::ReadValidation);
+            }
+        }
+        if self.writes.is_empty() {
+            // Promotion-only transaction: validation passed, nothing to
+            // install.
+            return Ok(());
+        }
+
+        // Publish.
+        let end = clock_tick();
+        for (_, w) in self.writes {
+            w.var.install(end, w.value);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_own_write() {
+        let var = TVar::new(1u32);
+        let mut tx = Tx::begin(IsolationLevel::Snapshot, None);
+        assert_eq!(tx.read(&var).unwrap(), 1);
+        tx.write(&var, 2);
+        assert_eq!(tx.read(&var).unwrap(), 2);
+        tx.commit().unwrap();
+        assert_eq!(var.load(), 2);
+    }
+
+    #[test]
+    fn snapshot_ignores_later_commits() {
+        let var = TVar::new(10u32);
+        let mut reader = Tx::begin(IsolationLevel::Snapshot, None);
+        assert_eq!(reader.read(&var).unwrap(), 10);
+        // A writer commits in between.
+        let mut writer = Tx::begin(IsolationLevel::Snapshot, None);
+        writer.write(&var, 20);
+        writer.commit().unwrap();
+        // The reader still sees its snapshot.
+        assert_eq!(reader.read(&var).unwrap(), 10);
+        reader.commit().unwrap();
+    }
+
+    #[test]
+    fn write_write_conflict_aborts_second() {
+        let var = TVar::new(0u32);
+        let mut a = Tx::begin(IsolationLevel::Snapshot, None);
+        let mut b = Tx::begin(IsolationLevel::Snapshot, None);
+        a.write(&var, 1);
+        b.write(&var, 2);
+        a.commit().unwrap();
+        assert_eq!(b.commit(), Err(Conflict::WriteWrite));
+        assert_eq!(var.load(), 1);
+    }
+
+    #[test]
+    fn serializable_validates_reads() {
+        let var = TVar::new(0u32);
+        let other = TVar::new(0u32);
+        let mut a = Tx::begin(IsolationLevel::Serializable, None);
+        let _ = a.read(&var).unwrap();
+        a.write(&other, 1);
+        // Concurrent writer invalidates a's read.
+        let mut w = Tx::begin(IsolationLevel::Snapshot, None);
+        w.write(&var, 9);
+        w.commit().unwrap();
+        assert_eq!(a.commit(), Err(Conflict::ReadValidation));
+    }
+
+    #[test]
+    fn snapshot_level_ignores_read_invalidations() {
+        let var = TVar::new(0u32);
+        let other = TVar::new(0u32);
+        let mut a = Tx::begin(IsolationLevel::Snapshot, None);
+        let _ = a.read(&var).unwrap();
+        a.write(&other, 1);
+        let mut w = Tx::begin(IsolationLevel::Snapshot, None);
+        w.write(&var, 9);
+        w.commit().unwrap();
+        assert_eq!(a.commit(), Ok(()));
+    }
+
+    #[test]
+    fn promotion_turns_skew_into_conflict() {
+        let var = TVar::new(0u32);
+        let other = TVar::new(0u32);
+        let mut a = Tx::begin(IsolationLevel::Snapshot, None);
+        let _ = a.read(&var).unwrap();
+        a.promote(&var);
+        a.write(&other, 1);
+        let mut w = Tx::begin(IsolationLevel::Snapshot, None);
+        w.write(&var, 9);
+        w.commit().unwrap();
+        assert_eq!(a.commit(), Err(Conflict::ReadValidation));
+        // The promoted read did not create a version.
+        assert_eq!(var.load(), 9);
+    }
+
+    #[test]
+    fn read_only_commits_even_amid_conflicts() {
+        let var = TVar::new(0u32);
+        let mut reader = Tx::begin(IsolationLevel::Serializable, None);
+        let _ = reader.read(&var).unwrap();
+        let mut w = Tx::begin(IsolationLevel::Snapshot, None);
+        w.write(&var, 1);
+        w.commit().unwrap();
+        // Read-only: commits without validation even under
+        // Serializable (its snapshot is a consistent serialization
+        // point).
+        assert!(reader.is_read_only());
+        assert_eq!(reader.commit(), Ok(()));
+    }
+}

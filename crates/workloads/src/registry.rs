@@ -1,0 +1,108 @@
+//! Enumeration of the benchmark suite, as used by the figure harnesses.
+
+use sitm_sim::Workload;
+
+use crate::array::{ArrayParams, ArrayWorkload};
+use crate::list::{ListParams, ListWorkload};
+use crate::rbtree::{RbTreeParams, RbTreeWorkload};
+use crate::stamp::{
+    BayesParams, BayesWorkload, GenomeParams, GenomeWorkload, IntruderParams, IntruderWorkload,
+    KmeansParams, KmeansWorkload, LabyrinthParams, LabyrinthWorkload, Ssca2Params, Ssca2Workload,
+    VacationParams, VacationWorkload,
+};
+
+/// How large to configure each benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Scale {
+    /// Tiny instances for unit/integration tests.
+    Quick,
+    /// Scaled-down instances preserving each benchmark's contention
+    /// structure; the default for the figure harnesses.
+    #[default]
+    Default,
+}
+
+/// Divides a fixed total amount of work among threads (STAMP runs a
+/// fixed input regardless of thread count, so the applications scale
+/// *strongly*; the RSTM microbenchmarks instead run a fixed count per
+/// thread, as the paper describes).
+pub fn fixed_share(total: usize, tid: usize, n_threads: usize) -> usize {
+    total / n_threads + usize::from(tid < total % n_threads)
+}
+
+/// The three RSTM microbenchmarks (array, list, red-black tree).
+pub fn microbenchmarks(scale: Scale) -> Vec<Box<dyn Workload>> {
+    match scale {
+        Scale::Quick => vec![
+            Box::new(ArrayWorkload::new(ArrayParams::quick())),
+            Box::new(ListWorkload::new(ListParams::quick())),
+            Box::new(RbTreeWorkload::new(RbTreeParams::quick())),
+        ],
+        Scale::Default => vec![
+            Box::new(ArrayWorkload::new(ArrayParams::default())),
+            Box::new(ListWorkload::new(ListParams::default())),
+            Box::new(RbTreeWorkload::new(RbTreeParams::default())),
+        ],
+    }
+}
+
+/// The seven STAMP-like kernels.
+pub fn stamp_kernels(scale: Scale) -> Vec<Box<dyn Workload>> {
+    match scale {
+        Scale::Quick => vec![
+            Box::new(GenomeWorkload::new(GenomeParams::quick())),
+            Box::new(IntruderWorkload::new(IntruderParams::quick())),
+            Box::new(KmeansWorkload::new(KmeansParams::quick())),
+            Box::new(LabyrinthWorkload::new(LabyrinthParams::quick())),
+            Box::new(Ssca2Workload::new(Ssca2Params::quick())),
+            Box::new(VacationWorkload::new(VacationParams::quick())),
+            Box::new(BayesWorkload::new(BayesParams::quick())),
+        ],
+        Scale::Default => vec![
+            Box::new(GenomeWorkload::new(GenomeParams::default())),
+            Box::new(IntruderWorkload::new(IntruderParams::default())),
+            Box::new(KmeansWorkload::new(KmeansParams::default())),
+            Box::new(LabyrinthWorkload::new(LabyrinthParams::default())),
+            Box::new(Ssca2Workload::new(Ssca2Params::default())),
+            Box::new(VacationWorkload::new(VacationParams::default())),
+            Box::new(BayesWorkload::new(BayesParams::default())),
+        ],
+    }
+}
+
+/// All ten benchmarks, microbenchmarks first (the Figure 7/8 ordering).
+pub fn all_workloads(scale: Scale) -> Vec<Box<dyn Workload>> {
+    let mut v = microbenchmarks(scale);
+    v.extend(stamp_kernels(scale));
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_share_partitions_exactly() {
+        for total in [0usize, 1, 7, 100, 1920] {
+            for n in [1usize, 2, 3, 8, 32] {
+                let sum: usize = (0..n).map(|tid| fixed_share(total, tid, n)).sum();
+                assert_eq!(sum, total, "total {total} over {n} threads");
+                // Shares differ by at most one.
+                let shares: Vec<usize> = (0..n).map(|t| fixed_share(total, t, n)).collect();
+                let min = shares.iter().min().unwrap();
+                let max = shares.iter().max().unwrap();
+                assert!(max - min <= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn registry_has_ten_benchmarks_with_unique_names() {
+        let all = all_workloads(Scale::Quick);
+        assert_eq!(all.len(), 10);
+        let mut names: Vec<&str> = all.iter().map(|w| w.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 10, "names must be unique");
+    }
+}

@@ -1,0 +1,38 @@
+//! STAMP-like application kernels (section 6.2 of the paper).
+//!
+//! The paper evaluates seven applications from the STAMP benchmark
+//! suite. Reproducing the full applications (genome assembly, Bayesian
+//! structure learning, ...) would bury the transactional behaviour under
+//! sequential code that does not affect TM results; what drives abort
+//! rates is the *shape* of each application's transactions — read/write
+//! set sizes, transaction length, contention structure, and the fraction
+//! of read-only transactions. Each kernel here reproduces that shape,
+//! implemented against real shared data structures in simulated memory,
+//! with a module-level note recording the published characteristics it
+//! mimics:
+//!
+//! | kernel | transaction shape | expectation from the paper |
+//! |---|---|---|
+//! | [`genome`] | hash-set dedup inserts + segment-chain reads | CS and SI both reduce aborts, on par (3.8x speedup) |
+//! | [`intruder`] | queue pop + per-flow list insert/drain | SI reduces aborts ~50x over 2PL, ~40x over CS |
+//! | [`kmeans`] | short read-modify-write bursts on shared centers | all three systems similar |
+//! | [`labyrinth`] | huge private-path transactions, rare overlap | low aborts everywhere |
+//! | [`ssca2`] | tiny adjacency-append transactions on a big graph | low aborts (<5%) everywhere |
+//! | [`vacation`] | long read-heavy reservation lookups + few writes | SI <1% of 2PL aborts, linear scaling |
+//! | [`bayes`] | few, long, costly transactions, 25% read-only | SI ~20x fewer aborts, ~10x speedup |
+
+pub mod bayes;
+pub mod genome;
+pub mod intruder;
+pub mod kmeans;
+pub mod labyrinth;
+pub mod ssca2;
+pub mod vacation;
+
+pub use bayes::{BayesParams, BayesWorkload};
+pub use genome::{GenomeParams, GenomeWorkload};
+pub use intruder::{IntruderParams, IntruderWorkload};
+pub use kmeans::{KmeansParams, KmeansWorkload};
+pub use labyrinth::{LabyrinthParams, LabyrinthWorkload};
+pub use ssca2::{Ssca2Params, Ssca2Workload};
+pub use vacation::{VacationParams, VacationWorkload};

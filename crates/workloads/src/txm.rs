@@ -1,0 +1,401 @@
+//! The transaction machine: write workload algorithms as ordinary Rust,
+//! run them as resumable op-level programs.
+//!
+//! The discrete-event engine requires transactions to be resumable state
+//! machines ([`sitm_sim::TxProgram`]), but data-structure algorithms
+//! (tree rebalancing, list splicing, hash probing) are far more natural
+//! as straight-line code. [`LogicTx`] bridges the two with a
+//! *replay-on-miss* scheme:
+//!
+//! * The algorithm is a [`TxLogic`]: a deterministic function over a
+//!   [`TxMemory`], reading with [`TxMemory::read`] (which fails with
+//!   [`NeedRead`] on the first access to each address) and writing with
+//!   [`TxMemory::write`].
+//! * When a read misses, the program yields a [`TxOp::Read`] to the
+//!   engine; the returned value is cached and the logic re-runs from the
+//!   top. Values are stable within a transaction (snapshot or buffered),
+//!   so replay is sound; each distinct address costs one simulated
+//!   memory access, and replays model the "already in registers/L1"
+//!   reality of re-touched data.
+//! * When the logic completes, the buffered writes are emitted in first-
+//!   write order, followed by `Commit`.
+//!
+//! Writes are visible to subsequent reads of the same run through the
+//! overlay, giving read-own-writes semantics identical to the protocol
+//! models'.
+
+use std::collections::HashMap;
+
+use sitm_mvm::{Addr, Word};
+use sitm_sim::{TxOp, TxProgram};
+
+/// "The logic needs the value at this address before it can continue."
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NeedRead(pub Addr);
+
+/// Sentinel address signalling that the logic exceeded its read budget —
+/// it is running on an inconsistent ("zombie") view and must restart.
+/// Only single-version lazy protocols (SONTM) can produce such views;
+/// snapshot protocols always feed consistent values.
+pub const DIVERGED: Addr = Addr(u64::MAX);
+
+/// Base read-call budget per logic run; the effective budget grows
+/// quadratically with the distinct-address footprint, matching the
+/// replay-on-miss cost of honest transactions (one full re-run per
+/// distinct address). A zombie loop keeps issuing reads without growing
+/// its footprint and trips the bound quickly.
+const READ_BUDGET_BASE: u64 = 10_000;
+
+/// The transactional view an algorithm runs against: values read so far
+/// this attempt plus the local write overlay.
+#[derive(Debug, Default)]
+pub struct TxMemory {
+    cache: HashMap<Addr, Word>,
+    overlay: HashMap<Addr, Word>,
+    write_order: Vec<Addr>,
+    read_calls: u64,
+}
+
+impl TxMemory {
+    /// Reads `addr`, failing with [`NeedRead`] if its value has not been
+    /// fetched yet this attempt.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NeedRead`] on the first access to each address; the
+    /// driver fetches the value and replays the logic.
+    pub fn read(&mut self, addr: Addr) -> Result<Word, NeedRead> {
+        self.read_calls += 1;
+        let footprint = (self.cache.len() + self.overlay.len()) as u64;
+        if self.read_calls > READ_BUDGET_BASE + 20 * footprint * footprint {
+            // Zombie sandbox: force the driver to restart the
+            // transaction rather than loop forever on a torn view.
+            return Err(NeedRead(DIVERGED));
+        }
+        if let Some(&v) = self.overlay.get(&addr) {
+            return Ok(v);
+        }
+        if let Some(&v) = self.cache.get(&addr) {
+            return Ok(v);
+        }
+        Err(NeedRead(addr))
+    }
+
+    /// Buffers a write of `addr = value`, visible to subsequent reads of
+    /// this attempt.
+    pub fn write(&mut self, addr: Addr, value: Word) {
+        if !self.overlay.contains_key(&addr) {
+            self.write_order.push(addr);
+        }
+        self.overlay.insert(addr, value);
+    }
+
+    /// Number of distinct addresses written so far.
+    pub fn writes(&self) -> usize {
+        self.write_order.len()
+    }
+
+    fn supply(&mut self, addr: Addr, value: Word) {
+        self.cache.insert(addr, value);
+    }
+
+    /// Supplies a read value from outside the engine (initialization
+    /// helpers that drive logic directly against a store).
+    pub fn supply_public(&mut self, addr: Addr, value: Word) {
+        self.supply(addr, value);
+    }
+
+    /// Removes and returns the buffered writes in first-write order
+    /// (initialization helpers apply them directly to a store).
+    pub fn drain_writes(&mut self) -> Vec<(Addr, Word)> {
+        let order = std::mem::take(&mut self.write_order);
+        order
+            .into_iter()
+            .map(|a| (a, self.overlay[&a]))
+            .collect()
+    }
+
+    /// Discards the write overlay, keeping the read cache. Must be
+    /// called before every re-run of the logic: the algorithm re-issues
+    /// all of its writes from scratch, so stale overlay values from a
+    /// previous partial run would otherwise feed back into
+    /// read-modify-write sequences.
+    pub fn begin_attempt(&mut self) {
+        self.overlay.clear();
+        self.write_order.clear();
+        self.read_calls = 0;
+    }
+
+    fn clear(&mut self) {
+        self.cache.clear();
+        self.overlay.clear();
+        self.write_order.clear();
+    }
+}
+
+/// A deterministic transactional algorithm, re-executed from the top
+/// after every fetched read until it completes.
+///
+/// Implementations must be deterministic given the values in the
+/// [`TxMemory`]: any randomness must be fixed at construction time.
+pub trait TxLogic {
+    /// Runs (or re-runs) the algorithm.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`NeedRead`] from [`TxMemory::read`] (use `?`).
+    fn run(&self, mem: &mut TxMemory) -> Result<(), NeedRead>;
+
+    /// Extra cycles of local computation to charge once at commit time
+    /// (models the non-memory work between accesses).
+    fn compute_cycles(&self) -> u64 {
+        0
+    }
+
+    /// Whether every read should be *promoted* at commit (section 5.1):
+    /// promoted reads join the write set for conflict detection without
+    /// creating versions. Enable for update operations on structures
+    /// whose invariants span multiple nodes (the paper's red-black tree
+    /// fix); leave off for read-only and single-location logic.
+    fn promote_reads(&self) -> bool {
+        false
+    }
+}
+
+/// Driver state: what the program does next.
+#[derive(Debug)]
+enum Stage {
+    /// Running the logic; if `waiting` the last emitted op was a read of
+    /// that address.
+    Running { waiting: Option<Addr> },
+    /// Logic complete; draining buffered writes starting at this index,
+    /// then promotions.
+    Draining {
+        next: usize,
+        charged_compute: bool,
+        promotions: Vec<Addr>,
+        next_promotion: usize,
+    },
+}
+
+/// Adapts a [`TxLogic`] into a [`TxProgram`].
+pub struct LogicTx<L> {
+    logic: L,
+    mem: TxMemory,
+    stage: Stage,
+}
+
+impl<L: std::fmt::Debug> std::fmt::Debug for LogicTx<L> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LogicTx").field("logic", &self.logic).finish_non_exhaustive()
+    }
+}
+
+impl<L: TxLogic> LogicTx<L> {
+    /// Wraps `logic` as a resumable transaction program.
+    pub fn new(logic: L) -> Self {
+        LogicTx {
+            logic,
+            mem: TxMemory::default(),
+            stage: Stage::Running { waiting: None },
+        }
+    }
+
+    /// Boxed convenience for workload factories.
+    pub fn boxed(logic: L) -> Box<dyn TxProgram>
+    where
+        L: 'static,
+    {
+        Box::new(Self::new(logic))
+    }
+}
+
+impl<L: TxLogic> TxProgram for LogicTx<L> {
+    fn resume(&mut self, input: Option<Word>) -> TxOp {
+        loop {
+            match &mut self.stage {
+                Stage::Running { waiting } => {
+                    if let Some(addr) = waiting.take() {
+                        let value = input.expect("engine must supply the read value");
+                        self.mem.supply(addr, value);
+                    }
+                    self.mem.begin_attempt();
+                    match self.logic.run(&mut self.mem) {
+                        Err(NeedRead(addr)) if addr == DIVERGED => {
+                            // The engine aborts and resets us.
+                            return TxOp::Restart;
+                        }
+                        Err(NeedRead(addr)) => {
+                            self.stage = Stage::Running {
+                                waiting: Some(addr),
+                            };
+                            return TxOp::Read(addr);
+                        }
+                        Ok(()) => {
+                            let promotions = if self.logic.promote_reads() && !self.mem.overlay.is_empty() {
+                                // Promote reads of addresses not written
+                                // (written lines validate anyway).
+                                let mut p: Vec<Addr> = self
+                                    .mem
+                                    .cache
+                                    .keys()
+                                    .filter(|a| !self.mem.overlay.contains_key(a))
+                                    .copied()
+                                    .collect();
+                                p.sort_unstable();
+                                p
+                            } else {
+                                Vec::new()
+                            };
+                            self.stage = Stage::Draining {
+                                next: 0,
+                                charged_compute: false,
+                                promotions,
+                                next_promotion: 0,
+                            };
+                        }
+                    }
+                }
+                Stage::Draining {
+                    next,
+                    charged_compute,
+                    promotions,
+                    next_promotion,
+                } => {
+                    if !*charged_compute {
+                        *charged_compute = true;
+                        let cycles = self.logic.compute_cycles();
+                        if cycles > 0 {
+                            return TxOp::Compute(cycles);
+                        }
+                        continue;
+                    }
+                    if let Some(&addr) = self.mem.write_order.get(*next) {
+                        *next += 1;
+                        let value = self.mem.overlay[&addr];
+                        return TxOp::Write(addr, value);
+                    }
+                    if let Some(&addr) = promotions.get(*next_promotion) {
+                        *next_promotion += 1;
+                        return TxOp::Promote(addr);
+                    }
+                    return TxOp::Commit;
+                }
+            }
+        }
+    }
+
+    fn reset(&mut self) {
+        self.mem.clear();
+        self.stage = Stage::Running { waiting: None };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Increment a counter and mirror it: read a, write a+1, write b=a+1.
+    #[derive(Debug)]
+    struct IncMirror {
+        a: Addr,
+        b: Addr,
+    }
+
+    impl TxLogic for IncMirror {
+        fn run(&self, mem: &mut TxMemory) -> Result<(), NeedRead> {
+            let v = mem.read(self.a)?;
+            mem.write(self.a, v + 1);
+            mem.write(self.b, v + 1);
+            // Read-own-write must be visible.
+            assert_eq!(mem.read(self.a)?, v + 1);
+            Ok(())
+        }
+
+        fn compute_cycles(&self) -> u64 {
+            7
+        }
+    }
+
+    #[test]
+    fn logic_tx_emits_read_compute_writes_commit() {
+        let mut p = LogicTx::new(IncMirror {
+            a: Addr(0),
+            b: Addr(8),
+        });
+        assert_eq!(p.resume(None), TxOp::Read(Addr(0)));
+        assert_eq!(p.resume(Some(41)), TxOp::Compute(7));
+        assert_eq!(p.resume(None), TxOp::Write(Addr(0), 42));
+        assert_eq!(p.resume(None), TxOp::Write(Addr(8), 42));
+        assert_eq!(p.resume(None), TxOp::Commit);
+    }
+
+    #[test]
+    fn reset_replays_with_fresh_values() {
+        let mut p = LogicTx::new(IncMirror {
+            a: Addr(0),
+            b: Addr(8),
+        });
+        assert_eq!(p.resume(None), TxOp::Read(Addr(0)));
+        let _ = p.resume(Some(1));
+        p.reset();
+        assert_eq!(p.resume(None), TxOp::Read(Addr(0)));
+        assert_eq!(p.resume(Some(100)), TxOp::Compute(7));
+        assert_eq!(p.resume(None), TxOp::Write(Addr(0), 101));
+    }
+
+    /// A data-dependent chain: follow pointers until zero.
+    #[derive(Debug)]
+    struct ChainWalk {
+        start: Addr,
+        sink: Addr,
+    }
+
+    impl TxLogic for ChainWalk {
+        fn run(&self, mem: &mut TxMemory) -> Result<(), NeedRead> {
+            let mut hops = 0;
+            let mut cur = self.start;
+            loop {
+                let next = mem.read(cur)?;
+                if next == 0 {
+                    break;
+                }
+                hops += 1;
+                cur = Addr(next);
+            }
+            mem.write(self.sink, hops);
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn data_dependent_reads_resolve_one_by_one() {
+        let mut p = LogicTx::new(ChainWalk {
+            start: Addr(0),
+            sink: Addr(64),
+        });
+        assert_eq!(p.resume(None), TxOp::Read(Addr(0)));
+        assert_eq!(p.resume(Some(8)), TxOp::Read(Addr(8)));
+        assert_eq!(p.resume(Some(16)), TxOp::Read(Addr(16)));
+        assert_eq!(p.resume(Some(0)), TxOp::Write(Addr(64), 2));
+        assert_eq!(p.resume(None), TxOp::Commit);
+    }
+
+    #[test]
+    fn double_write_keeps_first_order_and_last_value() {
+        #[derive(Debug)]
+        struct TwoWrites;
+        impl TxLogic for TwoWrites {
+            fn run(&self, mem: &mut TxMemory) -> Result<(), NeedRead> {
+                mem.write(Addr(3), 1);
+                mem.write(Addr(4), 2);
+                mem.write(Addr(3), 9);
+                Ok(())
+            }
+        }
+        let mut p = LogicTx::new(TwoWrites);
+        assert_eq!(p.resume(None), TxOp::Write(Addr(3), 9));
+        assert_eq!(p.resume(None), TxOp::Write(Addr(4), 2));
+        assert_eq!(p.resume(None), TxOp::Commit);
+    }
+}

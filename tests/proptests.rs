@@ -1,0 +1,236 @@
+//! Property-based tests over the core data structures and invariants.
+
+use proptest::prelude::*;
+use sitm_mvm::{
+    ActiveTransactions, Addr, MvmStore, OverflowPolicy, ThreadId, Timestamp, VersionList,
+    ZERO_LINE,
+};
+
+/// Reference model of a version list: every version ever installed,
+/// without caps, coalescing or GC. Snapshot reads against the real list
+/// must agree with the model whenever the real list still retains a
+/// version old enough.
+#[derive(Default)]
+struct ModelList {
+    versions: Vec<(u64, u64)>, // (ts, fill value), ascending
+}
+
+impl ModelList {
+    fn install(&mut self, ts: u64, fill: u64) {
+        self.versions.push((ts, fill));
+    }
+
+    fn read(&self, snapshot: u64) -> Option<u64> {
+        self.versions
+            .iter()
+            .rev()
+            .find(|&&(ts, _)| ts <= snapshot)
+            .map(|&(_, fill)| fill)
+    }
+}
+
+proptest! {
+    /// With an unbounded policy and a pinned ancient snapshot, the real
+    /// version list agrees with the naive model for every snapshot
+    /// point.
+    #[test]
+    fn version_list_matches_model_unbounded(
+        installs in proptest::collection::vec(1u64..500, 1..40),
+        snapshots in proptest::collection::vec(0u64..600, 1..20),
+    ) {
+        let mut vl = VersionList::new();
+        let mut model = ModelList::default();
+        let mut active = ActiveTransactions::new();
+        // Pin everything so GC cannot reclaim and nothing coalesces
+        // invisibly... coalescing still merges versions with no
+        // snapshot between them, so pin a dense set of snapshots.
+        active.register(ThreadId(0), Timestamp(0));
+        let mut ts = 0u64;
+        for (i, gap) in installs.iter().enumerate() {
+            ts += gap;
+            // A snapshot right before each install keeps every version
+            // distinct under the coalescing rule.
+            active.register(ThreadId(i + 1), Timestamp(ts - 1));
+            vl.install(Timestamp(ts), [ts; 8], &active, usize::MAX, OverflowPolicy::Unbounded)
+                .unwrap();
+            model.install(ts, ts);
+        }
+        for snap in snapshots {
+            let real = vl.read_snapshot(Timestamp(snap)).map(|r| r.data[0]);
+            // A never-truncated line with no old-enough version reads
+            // as the zero line.
+            let expected = Some(model.read(snap).unwrap_or(ZERO_LINE[0]));
+            prop_assert_eq!(real, expected);
+        }
+    }
+
+    /// Snapshot reads through the store never observe a torn line: a
+    /// line only ever holds values installed for it, and the newest
+    /// committed write wins for fresh snapshots.
+    #[test]
+    fn store_snapshot_reads_are_committed_prefixes(
+        writes in proptest::collection::vec((0u64..4, 1u64..1000), 1..30),
+    ) {
+        // Unbounded policy: the test pins a snapshot per install, which
+        // legitimately overflows the default 4-version cap.
+        let mut mem = MvmStore::with_config(sitm_mvm::MvmConfig {
+            version_cap: usize::MAX,
+            overflow_policy: OverflowPolicy::Unbounded,
+            coalescing: true,
+        });
+        let base = mem.alloc_lines(4);
+        let mut newest = [0u64; 4];
+        let mut ts = 0u64;
+        // An ancient pinned reader plus per-install snapshots.
+        mem.register_transaction(ThreadId(100), Timestamp(0));
+        for (i, (lineno, value)) in writes.iter().enumerate() {
+            ts += 2;
+            mem.register_transaction(ThreadId(i), Timestamp(ts - 1));
+            let line = sitm_mvm::LineAddr(base.0 + lineno);
+            let mut data = mem.read_line(line);
+            data[0] = *value;
+            mem.install(line, Timestamp(ts), data).unwrap();
+            newest[*lineno as usize] = *value;
+        }
+        // A maximal snapshot sees exactly the newest committed values.
+        for lineno in 0..4u64 {
+            let line = sitm_mvm::LineAddr(base.0 + lineno);
+            let got = mem.read_snapshot(line, Timestamp(u64::MAX - 10)).unwrap().data[0];
+            prop_assert_eq!(got, newest[lineno as usize]);
+        }
+    }
+
+    /// The coalescing rule preserves exactly the versions some live
+    /// snapshot can observe: after arbitrary installs with a set of live
+    /// snapshots, every live snapshot reads the same value it would have
+    /// read from the unbounded model.
+    #[test]
+    fn coalescing_preserves_live_snapshot_reads(
+        gaps in proptest::collection::vec(1u64..20, 1..25),
+        snap_points in proptest::collection::vec(0u64..300, 1..8),
+    ) {
+        let mut active = ActiveTransactions::new();
+        for (i, s) in snap_points.iter().enumerate() {
+            active.register(ThreadId(i), Timestamp(*s));
+        }
+        let mut vl = VersionList::new();
+        let mut model = ModelList::default();
+        let mut ts = 0;
+        for gap in gaps {
+            ts += gap;
+            vl.install(Timestamp(ts), [ts; 8], &active, usize::MAX, OverflowPolicy::Unbounded)
+                .unwrap();
+            model.install(ts, ts);
+        }
+        for s in &snap_points {
+            let real = vl.read_snapshot(Timestamp(*s)).map(|r| r.data[0]);
+            let expected = Some(model.read(*s).unwrap_or(0));
+            prop_assert_eq!(real, expected, "snapshot {}", s);
+        }
+        // And the newest version is always readable.
+        prop_assert_eq!(vl.read_snapshot(Timestamp(u64::MAX - 1)).unwrap().data[0], ts);
+    }
+}
+
+mod stm_props {
+    use super::*;
+    use sitm_stm::{Stm, TVar};
+
+    proptest! {
+        /// Sequential transactional execution of arbitrary transfer
+        /// sequences conserves the total balance.
+        #[test]
+        fn transfers_conserve_total(
+            transfers in proptest::collection::vec((0usize..8, 0usize..8, 0i64..50), 1..60),
+        ) {
+            let stm = Stm::snapshot();
+            let accounts: Vec<TVar<i64>> = (0..8).map(|_| TVar::new(100)).collect();
+            for (from, to, amount) in transfers {
+                stm.atomically(|tx| {
+                    let f = tx.read(&accounts[from])?;
+                    let t = tx.read(&accounts[to])?;
+                    tx.write(&accounts[from], f - amount);
+                    // Read-own-write must hold even when from == to.
+                    let t = if from == to { tx.read(&accounts[to])? } else { t };
+                    tx.write(&accounts[to], t + amount);
+                    Ok(())
+                });
+            }
+            let total: i64 = accounts.iter().map(TVar::load).sum();
+            prop_assert_eq!(total, 800);
+        }
+
+        /// try_atomically with a conflicting concurrent commit reports
+        /// the conflict and leaves no partial state.
+        #[test]
+        fn aborted_attempts_leave_no_trace(value in 1u64..1000) {
+            let stm = Stm::snapshot();
+            let var = TVar::new(0u64);
+            let conflict = stm.try_atomically(&mut |tx| {
+                let v = tx.read(&var)?;
+                // A foreign commit lands mid-transaction.
+                let other = Stm::snapshot();
+                other.atomically(|tx2| {
+                    tx2.write(&var, value);
+                    Ok(())
+                });
+                tx.write(&var, v + 1);
+                Ok(())
+            });
+            prop_assert!(conflict.is_err(), "stale snapshot must fail validation");
+            prop_assert_eq!(var.load(), value, "the failed attempt published nothing");
+        }
+    }
+}
+
+mod rbtree_props {
+    use super::*;
+    use sitm_mvm::Word;
+    use std::collections::BTreeSet;
+
+    proptest! {
+        /// Arbitrary interleavings of insert/remove through the
+        /// transactional red-black tree match a reference BTreeSet and
+        /// preserve all tree invariants.
+        #[test]
+        fn rbtree_matches_reference(ops in proptest::collection::vec((any::<bool>(), 1u64..64), 1..120)) {
+            use sitm_workloads::{check_tree, RbOp, RbOpKind, RbTree, LogicTx};
+            use sitm_sim::{TxOp, TxProgram};
+
+            let mut mem = MvmStore::new();
+            let root_ptr = mem.alloc_lines(1).first_word();
+            mem.write_word(root_ptr, u64::MAX); // NIL
+            let tree = RbTree { root_ptr };
+            let mut reference: BTreeSet<Word> = BTreeSet::new();
+
+            for (insert, key) in ops {
+                let kind = if insert {
+                    RbOpKind::Insert { new_node: mem.alloc_lines(1).0 }
+                } else {
+                    RbOpKind::Remove
+                };
+                let mut p = LogicTx::new(RbOp { tree, key, kind });
+                let mut input = None;
+                loop {
+                    match p.resume(input.take()) {
+                        TxOp::Read(a) => input = Some(mem.read_word(a)),
+                        TxOp::Write(a, v) => mem.write_word(a, v),
+                        TxOp::Compute(_) | TxOp::Promote(_) => {}
+                        TxOp::Commit => break,
+                        TxOp::Restart => unreachable!("consistent driver"),
+                    }
+                }
+                if insert {
+                    reference.insert(key);
+                } else {
+                    reference.remove(&key);
+                }
+                let keys = check_tree(&mem, root_ptr).map_err(|e| {
+                    TestCaseError::fail(format!("invariant violated: {e}"))
+                })?;
+                let expect: Vec<Word> = reference.iter().copied().collect();
+                prop_assert_eq!(keys, expect);
+            }
+        }
+    }
+}
