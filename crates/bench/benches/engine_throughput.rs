@@ -1,33 +1,22 @@
-//! Criterion benchmark of the discrete-event engine itself: simulated
+//! Benchmark of the discrete-event engine itself: simulated
 //! transactions per host second for the list workload under SI-TM and
 //! 2PL (a regression guard for simulator performance).
+//!
+//! Run with `cargo bench -p sitm-bench --bench engine_throughput`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use sitm_bench::{machine, run_once, Protocol};
-use sitm_workloads::{ListParams, ListWorkload};
+use sitm_bench::{machine, quickbench, run_once, Protocol};
 use sitm_sim::Workload as _;
+use sitm_workloads::{ListParams, ListWorkload};
 
-fn engine_list(c: &mut Criterion) {
-    let mut group = c.benchmark_group("engine/list_4t");
-    group.sample_size(20);
+fn main() {
+    let cfg = machine(4);
     for proto in [Protocol::SiTm, Protocol::TwoPl] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(proto.name()),
-            &proto,
-            |b, &proto| {
-                let cfg = machine(4);
-                b.iter(|| {
-                    let mut w = ListWorkload::new(ListParams::quick());
-                    let stats = run_once(proto, &mut w, &cfg, 7);
-                    assert!(stats.commits() > 0);
-                    let _ = w.name();
-                    stats.total_cycles
-                })
-            },
-        );
+        quickbench(&format!("engine/list_4t/{}", proto.name()), 20, || {
+            let mut w = ListWorkload::new(ListParams::quick());
+            let stats = run_once(proto, &mut w, &cfg, 7);
+            assert!(stats.commits() > 0);
+            let _ = w.name();
+            std::hint::black_box(stats.total_cycles);
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, engine_list);
-criterion_main!(benches);

@@ -1,11 +1,14 @@
-//! Criterion microbenchmarks of the multiversioned memory substrate:
-//! snapshot reads at varying depth, version installs with and without
+//! Microbenchmarks of the multiversioned memory substrate: snapshot
+//! reads at varying depth, version installs with and without
 //! coalescing, and the non-transactional paths.
+//!
+//! Run with `cargo bench -p sitm-bench --bench mvm_ops`. Timing uses
+//! the wall-clock `quickbench` helper (no external harness).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use sitm_bench::quickbench;
 use sitm_mvm::{MvmStore, ThreadId, Timestamp};
 
-fn snapshot_read(c: &mut Criterion) {
+fn snapshot_read() {
     let mut mem = MvmStore::new();
     let a = mem.alloc_words(1);
     // Pin snapshots so four versions coexist.
@@ -17,41 +20,42 @@ fn snapshot_read(c: &mut Criterion) {
         line[0] = ts;
         mem.install(a.line(), Timestamp(ts), line).unwrap();
     }
-    c.bench_function("mvm/snapshot_read_depth3", |b| {
-        b.iter(|| mem.read_word_snapshot(a, Timestamp(2)).unwrap())
+    quickbench("mvm/snapshot_read_depth3", 200_000, || {
+        mem.read_word_snapshot(a, Timestamp(2)).unwrap();
     });
-    c.bench_function("mvm/snapshot_read_depth0", |b| {
-        b.iter(|| mem.read_word_snapshot(a, Timestamp(100)).unwrap())
-    });
-}
-
-fn install_coalescing(c: &mut Criterion) {
-    c.bench_function("mvm/install_coalesced", |b| {
-        let mut mem = MvmStore::new();
-        let a = mem.alloc_words(1);
-        let mut ts = 1u64;
-        b.iter(|| {
-            // No live snapshots between installs: every install
-            // coalesces into the single newest slot.
-            mem.install(a.line(), Timestamp(ts), [ts; 8]).unwrap();
-            ts += 1;
-        })
+    quickbench("mvm/snapshot_read_depth0", 200_000, || {
+        mem.read_word_snapshot(a, Timestamp(100)).unwrap();
     });
 }
 
-fn non_transactional_paths(c: &mut Criterion) {
+fn install_coalescing() {
+    let mut mem = MvmStore::new();
+    let a = mem.alloc_words(1);
+    let mut ts = 1u64;
+    quickbench("mvm/install_coalesced", 200_000, || {
+        // No live snapshots between installs: every install coalesces
+        // into the single newest slot.
+        mem.install(a.line(), Timestamp(ts), [ts; 8]).unwrap();
+        ts += 1;
+    });
+}
+
+fn non_transactional_paths() {
     let mut mem = MvmStore::new();
     let a = mem.alloc_words(1);
     mem.write_word(a, 1);
-    c.bench_function("mvm/read_word", |b| b.iter(|| mem.read_word(a)));
-    c.bench_function("mvm/write_word", |b| {
-        let mut v = 0u64;
-        b.iter(|| {
-            mem.write_word(a, v);
-            v += 1;
-        })
+    quickbench("mvm/read_word", 500_000, || {
+        std::hint::black_box(mem.read_word(a));
+    });
+    let mut v = 0u64;
+    quickbench("mvm/write_word", 500_000, || {
+        mem.write_word(a, v);
+        v += 1;
     });
 }
 
-criterion_group!(benches, snapshot_read, install_coalescing, non_transactional_paths);
-criterion_main!(benches);
+fn main() {
+    snapshot_read();
+    install_coalescing();
+    non_transactional_paths();
+}

@@ -1,100 +1,88 @@
-//! Criterion microbenchmarks of the software STM: uncontended
-//! transaction throughput, read-only scans, and contended counters
-//! under snapshot vs serializable isolation.
+//! Microbenchmarks of the software STM: uncontended transaction
+//! throughput, read-only scans, and contended counters under snapshot
+//! vs serializable isolation.
+//!
+//! Run with `cargo bench -p sitm-bench --bench stm_ops`. Timing uses
+//! the wall-clock `quickbench` helper (no external harness).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sitm_bench::quickbench;
 use sitm_stm::{Stm, TVar};
 use std::sync::Arc;
 use std::thread;
 
-fn uncontended_rmw(c: &mut Criterion) {
+fn uncontended_rmw() {
     let stm = Stm::snapshot();
     let var = TVar::new(0u64);
-    c.bench_function("stm/uncontended_rmw", |b| {
-        b.iter(|| {
-            stm.atomically(|tx| {
-                let v = tx.read(&var)?;
-                tx.write(&var, v + 1);
-                Ok(())
-            })
-        })
+    quickbench("stm/uncontended_rmw", 50_000, || {
+        stm.atomically(|tx| {
+            let v = tx.read(&var)?;
+            tx.write(&var, v + 1);
+            Ok(())
+        });
     });
 }
 
-fn read_only_scan(c: &mut Criterion) {
+fn read_only_scan() {
     let stm = Stm::snapshot();
     let vars: Vec<TVar<u64>> = (0..64).map(TVar::new).collect();
-    c.bench_function("stm/read_only_scan_64", |b| {
-        b.iter(|| {
-            stm.atomically(|tx| {
-                let mut sum = 0u64;
-                for v in &vars {
-                    sum += tx.read(v)?;
-                }
-                Ok(sum)
-            })
-        })
+    quickbench("stm/read_only_scan_64", 20_000, || {
+        stm.atomically(|tx| {
+            let mut sum = 0u64;
+            for v in &vars {
+                sum += tx.read(v)?;
+            }
+            Ok(sum)
+        });
     });
 }
 
-fn contended_counter(c: &mut Criterion) {
-    let mut group = c.benchmark_group("stm/contended_counter");
+fn contended_counter() {
     for threads in [2usize, 4] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(threads),
-            &threads,
-            |b, &threads| {
-                b.iter(|| {
-                    let stm = Arc::new(Stm::snapshot());
-                    let counter = TVar::new(0u64);
-                    thread::scope(|s| {
-                        for _ in 0..threads {
-                            let stm = Arc::clone(&stm);
-                            let counter = counter.clone();
-                            s.spawn(move || {
-                                for _ in 0..100 {
-                                    stm.atomically(|tx| {
-                                        let v = tx.read(&counter)?;
-                                        tx.write(&counter, v + 1);
-                                        Ok(())
-                                    });
-                                }
+        quickbench(&format!("stm/contended_counter/{threads}"), 50, || {
+            let stm = Arc::new(Stm::snapshot());
+            let counter = TVar::new(0u64);
+            thread::scope(|s| {
+                for _ in 0..threads {
+                    let stm = Arc::clone(&stm);
+                    let counter = counter.clone();
+                    s.spawn(move || {
+                        for _ in 0..100 {
+                            stm.atomically(|tx| {
+                                let v = tx.read(&counter)?;
+                                tx.write(&counter, v + 1);
+                                Ok(())
                             });
                         }
                     });
-                    assert_eq!(counter.load(), threads as u64 * 100);
-                })
-            },
-        );
-    }
-    group.finish();
-}
-
-fn isolation_levels(c: &mut Criterion) {
-    let mut group = c.benchmark_group("stm/isolation");
-    let vars: Vec<TVar<u64>> = (0..16).map(TVar::new).collect();
-    for (name, stm) in [("snapshot", Stm::snapshot()), ("serializable", Stm::serializable())] {
-        group.bench_function(name, |b| {
-            b.iter(|| {
-                stm.atomically(|tx| {
-                    let mut sum = 0;
-                    for v in &vars[..8] {
-                        sum += tx.read(v)?;
-                    }
-                    tx.write(&vars[8], sum);
-                    Ok(())
-                })
-            })
+                }
+            });
+            assert_eq!(counter.load(), threads as u64 * 100);
         });
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    uncontended_rmw,
-    read_only_scan,
-    contended_counter,
-    isolation_levels
-);
-criterion_main!(benches);
+fn isolation_levels() {
+    let vars: Vec<TVar<u64>> = (0..16).map(TVar::new).collect();
+    for (name, stm) in [
+        ("snapshot", Stm::snapshot()),
+        ("serializable", Stm::serializable()),
+    ] {
+        quickbench(&format!("stm/isolation/{name}"), 20_000, || {
+            stm.atomically(|tx| {
+                let mut sum = 0;
+                for v in &vars[..8] {
+                    sum += tx.read(v)?;
+                }
+                tx.write(&vars[8], sum);
+                Ok(())
+            });
+        });
+    }
+}
+
+fn main() {
+    uncontended_rmw();
+    read_only_scan();
+    contended_counter();
+    isolation_levels();
+}

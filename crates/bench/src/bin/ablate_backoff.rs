@@ -7,19 +7,17 @@
 //! lower performance."
 //!
 //! Usage: `cargo run --release -p sitm-bench --bin ablate_backoff
-//! [--quick] [--threads N]`
+//! [--quick] [--threads N] [--json PATH]`
 
-use sitm_bench::{machine, print_row, run_once, HarnessOpts, Protocol};
+use sitm_bench::{
+    machine, print_row, report_from_stats, run_once, HarnessOpts, Protocol, ReportSink,
+};
 use sitm_workloads::all_workloads;
 
 fn main() {
     let opts = HarnessOpts::from_args();
-    let threads: usize = std::env::args()
-        .collect::<Vec<_>>()
-        .windows(2)
-        .find(|w| w[0] == "--threads")
-        .and_then(|w| w[1].parse().ok())
-        .unwrap_or(16);
+    let threads = opts.threads_or(16);
+    let mut sink = ReportSink::new(&opts);
 
     println!("Ablation: exponential backoff ({threads} threads)");
     println!();
@@ -49,6 +47,11 @@ fn main() {
                 let mut workloads = all_workloads(opts.scale);
                 let w = workloads[index].as_mut();
                 let stats = run_once(proto, w, &cfg, 42);
+                sink.push(&report_from_stats(
+                    &format!("ablate_backoff/{}", if backoff { "on" } else { "off" }),
+                    &stats,
+                    1,
+                ));
                 print_row(
                     &format!("{name}/{}", proto.name()),
                     &[
@@ -68,4 +71,5 @@ fn main() {
     println!("expectation: disabling backoff inflates abort counts for the eager");
     println!("systems (2PL, SONTM) far more than for lazy SI-TM.");
     println!("(* = run truncated at the cycle budget: livelock)");
+    sink.finish();
 }

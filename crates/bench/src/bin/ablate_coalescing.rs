@@ -11,9 +11,10 @@
 //! coalescing the line's version list stays at the number of live
 //! snapshots, without it the list grows with every commit.
 //!
-//! Usage: `cargo run --release -p sitm-bench --bin ablate_coalescing`
+//! Usage: `cargo run --release -p sitm-bench --bin ablate_coalescing
+//! [--json PATH]`
 
-use sitm_bench::{machine, print_row, run_si_tm};
+use sitm_bench::{machine, print_row, report_from_stats, run_si_tm, HarnessOpts, ReportSink};
 use sitm_core::SiTmConfig;
 use sitm_mvm::{Addr, MvmStore, OverflowPolicy, Word};
 use sitm_sim::{ThreadWorkload, TxOp, TxProgram, Workload};
@@ -141,7 +142,9 @@ impl TxProgram for HotUpdate {
 }
 
 fn main() {
+    let opts = HarnessOpts::from_args();
     let cfg = machine(2);
+    let mut sink = ReportSink::new(&opts);
     println!("Ablation: version coalescing");
     println!("scenario: 1 long scanner pinning snapshots + 1 update thread");
     println!("hammering one line (unbounded version lists)");
@@ -179,9 +182,22 @@ fn main() {
                 stats.commits().to_string(),
             ],
         );
+        let mut report = report_from_stats(
+            &format!(
+                "ablate_coalescing/{}",
+                if coalescing { "on" } else { "off" }
+            ),
+            &stats,
+            1,
+        );
+        let mut reg = sitm_obs::MetricsRegistry::new();
+        sitm_obs::Observable::export_metrics(&protocol, &mut reg);
+        report.set_counters(&reg);
+        sink.push(&report);
     }
     println!();
     println!("paper's figure 4 claim: with coalescing the live versions stay near");
     println!("the number of concurrent snapshots; without it, every commit to the");
     println!("hot line under a pinned snapshot adds a version.");
+    sink.finish();
 }

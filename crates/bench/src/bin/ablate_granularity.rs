@@ -9,13 +9,12 @@
 //! the array microbenchmark with eight entries packed per cache line.
 //!
 //! Usage: `cargo run --release -p sitm-bench --bin ablate_granularity
-//! [--threads N]`
+//! [--threads N] [--json PATH]`
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-use sitm_bench::{machine, print_row, run_si_tm};
+use sitm_bench::{machine, print_row, report_from_stats, run_si_tm, HarnessOpts, ReportSink};
 use sitm_core::SiTmConfig;
 use sitm_mvm::{Addr, MvmStore, Word};
+use sitm_obs::SmallRng;
 use sitm_sim::{ThreadWorkload, TxProgram, Workload};
 use sitm_workloads::{LogicTx, NeedRead, TxLogic, TxMemory};
 
@@ -88,13 +87,10 @@ impl Workload for DenseArray {
 }
 
 fn main() {
-    let threads: usize = std::env::args()
-        .collect::<Vec<_>>()
-        .windows(2)
-        .find(|w| w[0] == "--threads")
-        .and_then(|w| w[1].parse().ok())
-        .unwrap_or(16);
+    let opts = HarnessOpts::from_args();
+    let threads = opts.threads_or(16);
     let cfg = machine(threads);
+    let mut sink = ReportSink::new(&opts);
 
     println!("Ablation: write-write conflict granularity ({threads} threads)");
     println!("workload: dense array, 8 entries per line, single-entry RMW updates");
@@ -116,6 +112,11 @@ fn main() {
         let (stats, _) = run_si_tm(si_cfg, &mut w, &cfg, 42);
         let label: &str = if word_granularity { "word" } else { "line" };
         let _check: Word = 0;
+        sink.push(&report_from_stats(
+            &format!("ablate_granularity/{label}"),
+            &stats,
+            1,
+        ));
         print_row(
             label,
             &[
@@ -129,4 +130,5 @@ fn main() {
     println!("expectation: word granularity dismisses the false-sharing conflicts");
     println!("(most of the line-granularity aborts here are between updates of");
     println!("different words of the same line).");
+    sink.finish();
 }

@@ -9,20 +9,16 @@
 //! table is the reproduction's own contribution.
 //!
 //! Usage: `cargo run --release -p sitm-bench --bin ablate_ssi
-//! [--quick] [--threads N] [--seeds N]`
+//! [--quick] [--threads N] [--seeds N] [--json PATH]`
 
-use sitm_bench::{machine, print_row, run_avg, HarnessOpts, Protocol};
+use sitm_bench::{machine, print_row, report_from_avg, run_avg, HarnessOpts, Protocol, ReportSink};
 use sitm_workloads::all_workloads;
 
 fn main() {
     let opts = HarnessOpts::from_args();
-    let threads: usize = std::env::args()
-        .collect::<Vec<_>>()
-        .windows(2)
-        .find(|w| w[0] == "--threads")
-        .and_then(|w| w[1].parse().ok())
-        .unwrap_or(16);
+    let threads = opts.threads_or(16);
     let cfg = machine(threads);
+    let mut sink = ReportSink::new(&opts);
 
     println!("Extension: the cost of serializability (SSI-TM vs SI-TM, {threads} threads)");
     println!();
@@ -58,9 +54,17 @@ fn main() {
                 format!("{overhead:+.1}%"),
             ],
         );
+        for (proto, avg) in [(Protocol::SiTm, &si), (Protocol::SsiTm, &ssi)] {
+            let mut report = report_from_avg("ablate_ssi", proto, name, threads, opts.seeds, avg);
+            if overhead.is_finite() {
+                report.extra.insert("ssi_overhead_pct".into(), overhead);
+            }
+            sink.push(&report);
+        }
     }
     println!();
     println!("SSI-TM buys full serializability (no write skew, no read promotion");
     println!("needed) for the extra aborts shown; read-only transactions still");
     println!("commit unconditionally under both.");
+    sink.finish();
 }

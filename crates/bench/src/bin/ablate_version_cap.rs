@@ -8,22 +8,18 @@
 //! microbenchmarks (the version-hungriest workloads).
 //!
 //! Usage: `cargo run --release -p sitm-bench --bin ablate_version_cap
-//! [--quick] [--threads N]`
+//! [--quick] [--threads N] [--json PATH]`
 
-use sitm_bench::{machine, print_row, run_si_tm, HarnessOpts};
+use sitm_bench::{machine, print_row, report_from_stats, run_si_tm, HarnessOpts, ReportSink};
 use sitm_core::SiTmConfig;
 use sitm_mvm::OverflowPolicy;
 use sitm_workloads::microbenchmarks;
 
 fn main() {
     let opts = HarnessOpts::from_args();
-    let threads: usize = std::env::args()
-        .collect::<Vec<_>>()
-        .windows(2)
-        .find(|w| w[0] == "--threads")
-        .and_then(|w| w[1].parse().ok())
-        .unwrap_or(16);
+    let threads = opts.threads_or(16);
     let cfg = machine(threads);
+    let mut sink = ReportSink::new(&opts);
 
     println!("Ablation: MVM version cap and overflow policy ({threads} threads)");
     println!();
@@ -59,8 +55,14 @@ fn main() {
                     format!("{:.3}", stats.throughput()),
                 ],
             );
+            let mut report = report_from_stats(&format!("ablate_version_cap/{label}"), &stats, 1);
+            if *cap != usize::MAX {
+                report.extra.insert("version_cap".into(), *cap as f64);
+            }
+            sink.push(&report);
         }
         println!();
     }
     println!("paper expectation: cap-4 policies within ~1% of unbounded.");
+    sink.finish();
 }

@@ -5,21 +5,19 @@
 //! conflicts" — exactly the aborts snapshot isolation eliminates.
 //!
 //! Usage: `cargo run --release -p sitm-bench --bin fig1_aborts
-//! [--quick] [--seeds N] [--threads N]`
+//! [--quick] [--seeds N] [--threads N] [--json PATH]`
 
-use sitm_bench::{machine, print_row, HarnessOpts, Protocol};
+use sitm_bench::{
+    machine, print_row, report_from_avg, run_avg, warn_truncated, HarnessOpts, Protocol, ReportSink,
+};
 use sitm_sim::AbortCause;
 use sitm_workloads::all_workloads;
 
 fn main() {
     let opts = HarnessOpts::from_args();
-    let threads: usize = std::env::args()
-        .collect::<Vec<_>>()
-        .windows(2)
-        .find(|w| w[0] == "--threads")
-        .and_then(|w| w[1].parse().ok())
-        .unwrap_or(16);
+    let threads = opts.threads_or(16);
     let cfg = machine(threads);
+    let mut sink = ReportSink::new(&opts);
 
     println!("Figure 1: Read-Write and Write-Write aborts under 2PL ({threads} threads)");
     println!();
@@ -33,30 +31,24 @@ fn main() {
         ],
     );
 
-    let n_workloads = all_workloads(opts.scale).len();
-    for index in 0..n_workloads {
-        let mut rw = 0u64;
-        let mut ww = 0u64;
-        let mut other = 0u64;
-        let mut name = String::new();
-        for seed in 0..opts.seeds {
-            let mut workloads = all_workloads(opts.scale);
-            let w = workloads[index].as_mut();
-            name = w.name().to_string();
-            let stats = sitm_bench::run_once(Protocol::TwoPl, w, &cfg, 1000 + seed * 7919);
-            rw += stats.aborts_by(AbortCause::ReadWrite);
-            ww += stats.aborts_by(AbortCause::WriteWrite);
-            other += stats.aborts() - stats.aborts_by(AbortCause::ReadWrite)
-                - stats.aborts_by(AbortCause::WriteWrite);
-        }
-        let total = rw + ww + other;
+    let names: Vec<String> = all_workloads(opts.scale)
+        .iter()
+        .map(|w| w.name().to_string())
+        .collect();
+    for (index, name) in names.iter().enumerate() {
+        let avg = run_avg(Protocol::TwoPl, opts.scale, index, &cfg, opts.seeds);
+        warn_truncated(&format!("2PL/{name}/{threads}T"), &avg);
+        let rw = avg.aborts_by_cause[AbortCause::ReadWrite.index()];
+        let ww = avg.aborts_by_cause[AbortCause::WriteWrite.index()];
+        let total: u64 = avg.aborts_by_cause.iter().sum();
+        let other = total - rw - ww;
         let share = if total == 0 {
             0.0
         } else {
             rw as f64 / total as f64 * 100.0
         };
         print_row(
-            &name,
+            name,
             &[
                 rw.to_string(),
                 ww.to_string(),
@@ -64,9 +56,20 @@ fn main() {
                 format!("{share:.1}%"),
             ],
         );
+        let mut report = report_from_avg(
+            "fig1_aborts",
+            Protocol::TwoPl,
+            name,
+            threads,
+            opts.seeds,
+            &avg,
+        );
+        report.extra.insert("rw_share".into(), share / 100.0);
+        sink.push(&report);
     }
     println!();
     println!("paper expectation: read-write conflicts cause 75-99% of 2PL aborts");
     println!("in read-heavy benchmarks (kmeans is the RMW exception: all of its");
     println!("read-write conflicts are simultaneously write-write).");
+    sink.finish();
 }

@@ -8,15 +8,19 @@
 //! already rare.
 //!
 //! Usage: `cargo run --release -p sitm-bench --bin fig7_abort_rates
-//! [--quick] [--seeds N]`
+//! [--quick] [--seeds N] [--json PATH]`
 
-use sitm_bench::{fmt_ratio, machine, print_row, run_avg, warn_truncated, HarnessOpts, Protocol};
+use sitm_bench::{
+    fmt_ratio, machine, print_row, report_from_avg, run_avg, warn_truncated, HarnessOpts, Protocol,
+    ReportSink,
+};
 use sitm_workloads::all_workloads;
 
 const THREADS: [usize; 3] = [8, 16, 32];
 
 fn main() {
     let opts = HarnessOpts::from_args();
+    let mut sink = ReportSink::new(&opts);
     println!("Figure 7: abort rate relative to 2PL (lower is better; 1.000 = 2PL)");
     println!();
 
@@ -34,16 +38,32 @@ fn main() {
         for &threads in &THREADS {
             let cfg = machine(threads);
             let mut rates = Vec::new();
+            let mut avgs = Vec::new();
             for proto in Protocol::PAPER {
                 let avg = run_avg(proto, opts.scale, index, &cfg, opts.seeds);
                 warn_truncated(&format!("{}/{name}/{threads}T", proto.name()), &avg);
                 rates.push(avg.abort_rate);
+                avgs.push(avg);
             }
             let base = rates[0];
+            for (proto, avg) in Protocol::PAPER.into_iter().zip(&avgs) {
+                let mut report =
+                    report_from_avg("fig7_abort_rates", proto, name, threads, opts.seeds, avg);
+                if base > 0.0 {
+                    report
+                        .extra
+                        .insert("rate_rel_2pl".into(), avg.abort_rate / base);
+                }
+                sink.push(&report);
+            }
             let mut cells = vec![threads.to_string()];
             cells.extend(rates.iter().map(|&r| {
                 if base == 0.0 {
-                    if r == 0.0 { "0".into() } else { "inf".into() }
+                    if r == 0.0 {
+                        "0".into()
+                    } else {
+                        "inf".into()
+                    }
                 } else {
                     fmt_ratio(r / base)
                 }
@@ -55,4 +75,5 @@ fn main() {
     }
     println!("paper expectation (32 threads): array ~1/3000 of 2PL, list <1/30,");
     println!("intruder ~1/50, vacation <1/100, bayes ~1/20; kmeans/labyrinth/ssca2 ~1.");
+    sink.finish();
 }

@@ -12,15 +12,18 @@
 //! kmeans/labyrinth/ssca2.
 //!
 //! Usage: `cargo run --release -p sitm-bench --bin fig8_speedup
-//! [--quick] [--seeds N]`
+//! [--quick] [--seeds N] [--json PATH]`
 
-use sitm_bench::{machine, print_row, run_avg, warn_truncated, HarnessOpts, Protocol};
+use sitm_bench::{
+    machine, print_row, report_from_avg, run_avg, warn_truncated, HarnessOpts, Protocol, ReportSink,
+};
 use sitm_workloads::all_workloads;
 
 const THREADS: [usize; 6] = [1, 2, 4, 8, 16, 32];
 
 fn main() {
     let opts = HarnessOpts::from_args();
+    let mut sink = ReportSink::new(&opts);
     println!("Figure 8: speedup over the same system at 1 thread");
     println!();
 
@@ -42,6 +45,9 @@ fn main() {
             .map(|&p| {
                 let avg = run_avg(p, opts.scale, index, &base_cfg, opts.seeds);
                 warn_truncated(&format!("{}/{name}/1T", p.name()), &avg);
+                let mut report = report_from_avg("fig8_speedup", p, name, 1, opts.seeds, &avg);
+                report.extra.insert("speedup".into(), 1.0);
+                sink.push(&report);
                 avg.throughput
             })
             .collect();
@@ -60,11 +66,18 @@ fn main() {
                     None => 1.0,
                     Some(a) => {
                         warn_truncated(&format!("{}/{name}/{threads}T", proto.name()), &a);
-                        if baselines[pi] > 0.0 {
+                        let speedup = if baselines[pi] > 0.0 {
                             a.throughput / baselines[pi]
                         } else {
                             f64::NAN
+                        };
+                        let mut report =
+                            report_from_avg("fig8_speedup", proto, name, threads, opts.seeds, &a);
+                        if speedup.is_finite() {
+                            report.extra.insert("speedup".into(), speedup);
                         }
+                        sink.push(&report);
+                        speedup
                     }
                 };
                 cells.push(format!("{speedup:.2}x"));
@@ -73,4 +86,5 @@ fn main() {
         }
         println!();
     }
+    sink.finish();
 }

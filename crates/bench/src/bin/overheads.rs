@@ -1,11 +1,15 @@
 //! Section 3.2: capacity and bandwidth overheads of the MVM indirection
 //! layer.
 //!
-//! Usage: `cargo run -p sitm-bench --bin overheads`
+//! Usage: `cargo run -p sitm-bench --bin overheads [--json PATH]`
 
+use sitm_bench::{HarnessOpts, ReportSink};
 use sitm_mvm::OverheadModel;
+use sitm_obs::RunReport;
 
 fn main() {
+    let opts = HarnessOpts::from_args();
+    let mut sink = ReportSink::new(&opts);
     println!("Section 3.2: MVM indirection-layer overheads");
     println!();
     let base = OverheadModel::new();
@@ -34,4 +38,28 @@ fn main() {
         "best-case bandwidth overhead:         {:>6.2}%  (paper: 12.5%)",
         base.best_case_bandwidth_overhead() * 100.0
     );
+
+    // The overhead model is analytic, not a simulation run; the report
+    // carries its outputs in `extra`.
+    let mut report = RunReport::new("overheads", "-", "-");
+    report
+        .extra
+        .insert("capacity_overhead_4v".into(), base.capacity_overhead(4));
+    report
+        .extra
+        .insert("capacity_overhead_1v".into(), base.capacity_overhead(1));
+    report.extra.insert(
+        "capacity_overhead_1v_bundled".into(),
+        bundled.capacity_overhead(1),
+    );
+    report.extra.insert(
+        "copy_on_write_words".into(),
+        bundled.copy_on_write_words() as f64,
+    );
+    report.extra.insert(
+        "best_case_bandwidth_overhead".into(),
+        base.best_case_bandwidth_overhead(),
+    );
+    sink.push(&report);
+    sink.finish();
 }

@@ -1,0 +1,116 @@
+//! Renders JSONL run reports produced by the bench binaries' `--json`
+//! flag: per-run summary, abort-cause breakdown, phase-cycle profile,
+//! and MVM version-depth table.
+//!
+//! Usage: `cargo run -p sitm-bench --bin sitm_report -- FILE.jsonl...`
+
+use std::process::ExitCode;
+
+use sitm_obs::{Phase, RunReport};
+
+fn pct(part: u64, whole: u64) -> String {
+    if whole == 0 {
+        "-".into()
+    } else {
+        format!("{:.1}%", part as f64 * 100.0 / whole as f64)
+    }
+}
+
+fn render(report: &RunReport) {
+    println!(
+        "== {} / {} / {} ({}T, {} seed{}) ==",
+        report.bench,
+        report.protocol,
+        report.workload,
+        report.threads,
+        report.seeds,
+        if report.seeds == 1 { "" } else { "s" },
+    );
+    println!(
+        "  {} commits, {} aborts ({:.2}% rate), {:.3} commits/kc, {} cycles{}",
+        report.commits,
+        report.total_aborts(),
+        report.abort_rate * 100.0,
+        report.throughput,
+        report.total_cycles,
+        if report.truncated {
+            "  [TRUNCATED]"
+        } else {
+            ""
+        },
+    );
+
+    let total_aborts = report.total_aborts();
+    if total_aborts > 0 {
+        println!("  aborts by cause:");
+        let mut causes: Vec<(&String, &u64)> = report.aborts.iter().collect();
+        causes.sort_by(|a, b| b.1.cmp(a.1).then(a.0.cmp(b.0)));
+        for (cause, &n) in causes {
+            println!("    {cause:<18} {n:>12}  {:>6}", pct(n, total_aborts));
+        }
+    }
+
+    let profile = report.phase_profile();
+    let total_cycles = profile.total();
+    if total_cycles > 0 {
+        println!("  phase-cycle profile:");
+        for phase in Phase::ALL {
+            let cycles = profile[phase];
+            if cycles > 0 {
+                println!(
+                    "    {:<18} {cycles:>12}  {:>6}",
+                    phase.to_string(),
+                    pct(cycles, total_cycles)
+                );
+            }
+        }
+    }
+
+    let depth_total: u64 = report.version_depth.iter().sum();
+    if depth_total > 0 {
+        println!("  accesses by version depth:");
+        let labels = ["1st", "2nd", "3rd", "4th", "5th", "tail"];
+        for (label, &n) in labels.iter().zip(&report.version_depth) {
+            println!("    {label:<18} {n:>12}  {:>6}", pct(n, depth_total));
+        }
+    }
+
+    if !report.extra.is_empty() {
+        println!("  extra:");
+        for (key, value) in &report.extra {
+            println!("    {key:<28} {value}");
+        }
+    }
+    println!();
+}
+
+fn main() -> ExitCode {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: sitm_report FILE.jsonl...");
+        return ExitCode::FAILURE;
+    }
+    let mut total = 0usize;
+    for path in &paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("error: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let reports = match RunReport::from_jsonl(&text) {
+            Ok(reports) => reports,
+            Err(e) => {
+                eprintln!("error: {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        for report in &reports {
+            render(report);
+        }
+        total += reports.len();
+    }
+    println!("{total} report(s) rendered.");
+    ExitCode::SUCCESS
+}

@@ -1,11 +1,25 @@
 //! Table 1: the simulated platform.
 //!
-//! Usage: `cargo run -p sitm-bench --bin table1_config`
+//! Usage: `cargo run -p sitm-bench --bin table1_config [--json PATH]`
 
+use sitm_bench::{HarnessOpts, ReportSink};
+use sitm_obs::RunReport;
 use sitm_sim::MachineConfig;
 
 fn main() {
+    let opts = HarnessOpts::from_args();
+    let mut sink = ReportSink::new(&opts);
+    let cfg = MachineConfig::default();
     println!("Table 1: Simulated Architecture");
     println!();
-    print!("{}", MachineConfig::default().table1());
+    print!("{}", cfg.table1());
+
+    let mut report = RunReport::new("table1_config", "-", "-");
+    report.threads = cfg.cores as u64;
+    report.extra.insert("cores".into(), cfg.cores as f64);
+    report
+        .extra
+        .insert("max_cycles".into(), cfg.max_cycles as f64);
+    sink.push(&report);
+    sink.finish();
 }

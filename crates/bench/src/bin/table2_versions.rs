@@ -8,23 +8,20 @@
 //! 4-version hardware cap.
 //!
 //! Usage: `cargo run --release -p sitm-bench --bin table2_versions
-//! [--quick] [--threads N]`
+//! [--quick] [--threads N] [--json PATH]`
 
-use sitm_bench::{machine, print_row, run_si_tm, HarnessOpts};
+use sitm_bench::{machine, print_row, report_from_stats, run_si_tm, HarnessOpts, ReportSink};
 use sitm_core::SiTmConfig;
-use sitm_mvm::OverflowPolicy;
+use sitm_mvm::{OverflowPolicy, VersionDepthCensus};
+use sitm_obs::Observable;
 use sitm_sim::TmProtocol;
 use sitm_workloads::all_workloads;
 
 fn main() {
     let opts = HarnessOpts::from_args();
-    let threads: usize = std::env::args()
-        .collect::<Vec<_>>()
-        .windows(2)
-        .find(|w| w[0] == "--threads")
-        .and_then(|w| w[1].parse().ok())
-        .unwrap_or(32);
+    let threads = opts.threads_or(32);
     let cfg = machine(threads);
+    let mut sink = ReportSink::new(&opts);
 
     println!("Table 2: transactional accesses per MVM version depth");
     println!("(SI-TM, unbounded versions, {threads} threads)");
@@ -60,6 +57,17 @@ fn main() {
         cells.push(census.tail().to_string());
         cells.push(format!("{:.2}%", old * 100.0));
         print_row(&name, &cells);
+
+        let mut report = report_from_stats("table2_versions", &stats, 1);
+        for d in 0..VersionDepthCensus::REPORTED_DEPTHS {
+            report.version_depth[d] = census.at_depth(d);
+        }
+        report.version_depth[VersionDepthCensus::REPORTED_DEPTHS] = census.tail();
+        report.extra.insert("older_than_4".into(), old);
+        let mut reg = sitm_obs::MetricsRegistry::new();
+        protocol.export_metrics(&mut reg);
+        report.set_counters(&reg);
+        sink.push(&report);
     }
     println!();
     println!(
@@ -68,4 +76,5 @@ fn main() {
     );
     println!("paper conclusion: <1% of accesses target versions older than the 4th,");
     println!("so a 4-version MVM is adequate at this level of concurrency.");
+    sink.finish();
 }

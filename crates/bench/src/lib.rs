@@ -19,7 +19,8 @@
 //! averaging, and plain-text table formatting.
 
 use sitm_core::{SiTm, SiTmConfig, Sontm, SsiTm, TwoPl};
-use sitm_sim::{Engine, MachineConfig, RunStats, Workload};
+use sitm_obs::{PhaseCycles, RunReport};
+use sitm_sim::{AbortCause, Engine, MachineConfig, RunStats, Workload};
 use sitm_workloads::{all_workloads, Scale};
 
 /// The protocols compared in the evaluation (the paper's three, plus
@@ -89,8 +90,15 @@ pub struct Averaged {
     pub aborts: f64,
     /// Mean commits.
     pub commits: f64,
+    /// Mean virtual run length in cycles.
+    pub total_cycles: f64,
     /// Whether any seed's run hit the cycle ceiling.
     pub truncated: bool,
+    /// Per-cause abort totals summed over seeds, indexed by
+    /// [`AbortCause::index`].
+    pub aborts_by_cause: [u64; AbortCause::ALL.len()],
+    /// Phase-cycle profile summed over seeds and threads.
+    pub phase_cycles: PhaseCycles,
 }
 
 /// Runs `protocol` over fresh instances of workload `index` from the
@@ -112,23 +120,34 @@ pub fn run_avg(
         acc.throughput += stats.throughput();
         acc.aborts += stats.aborts() as f64;
         acc.commits += stats.commits() as f64;
+        acc.total_cycles += stats.total_cycles as f64;
         acc.truncated |= stats.truncated;
+        for cause in AbortCause::ALL {
+            acc.aborts_by_cause[cause.index()] += stats.aborts_by(cause);
+        }
+        acc.phase_cycles.merge(&stats.phase_cycles());
     }
     let n = seeds as f64;
     acc.abort_rate /= n;
     acc.throughput /= n;
     acc.aborts /= n;
     acc.commits /= n;
+    acc.total_cycles /= n;
     acc
 }
 
 /// Harness CLI options shared by the figure binaries.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct HarnessOpts {
     /// Benchmark scale.
     pub scale: Scale,
     /// Seeds averaged per data point.
     pub seeds: u64,
+    /// Thread-count override (`--threads N`); binaries fall back to
+    /// their experiment's default via [`HarnessOpts::threads_or`].
+    pub threads: Option<usize>,
+    /// JSONL output path (`--json PATH`); see [`ReportSink`].
+    pub json: Option<String>,
 }
 
 impl Default for HarnessOpts {
@@ -136,13 +155,16 @@ impl Default for HarnessOpts {
         HarnessOpts {
             scale: Scale::Default,
             seeds: 3,
+            threads: None,
+            json: None,
         }
     }
 }
 
 impl HarnessOpts {
-    /// Parses `--quick` (tiny instances) and `--seeds N` from the
-    /// command line; everything else is ignored.
+    /// Parses `--quick` (tiny instances), `--seeds N`, `--threads N`
+    /// and `--json PATH` from the command line; everything else is
+    /// ignored.
     pub fn from_args() -> Self {
         let mut opts = HarnessOpts::default();
         let args: Vec<String> = std::env::args().collect();
@@ -154,11 +176,135 @@ impl HarnessOpts {
                         opts.seeds = n;
                     }
                 }
+                "--threads" => {
+                    if let Some(n) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                        opts.threads = Some(n);
+                    }
+                }
+                "--json" => {
+                    if let Some(p) = args.get(i + 1) {
+                        opts.json = Some(p.clone());
+                    }
+                }
                 _ => {}
             }
         }
         opts
     }
+
+    /// The `--threads` override, or the experiment's default.
+    pub fn threads_or(&self, default: usize) -> usize {
+        self.threads.unwrap_or(default)
+    }
+}
+
+/// Builds a [`RunReport`] from one run's statistics: per-cause abort
+/// counts (nonzero causes only, keyed by [`AbortCause::label`]), the
+/// derived rates, and the phase-cycle profile.
+pub fn report_from_stats(bench: &str, stats: &RunStats, seeds: u64) -> RunReport {
+    let mut report = RunReport::new(bench, &stats.protocol, &stats.workload);
+    report.threads = stats.threads as u64;
+    report.seeds = seeds;
+    report.commits = stats.commits();
+    for cause in AbortCause::ALL {
+        let n = stats.aborts_by(cause);
+        if n > 0 {
+            report.aborts.insert(cause.label().to_string(), n);
+        }
+    }
+    report.abort_rate = stats.abort_rate();
+    report.throughput = stats.throughput();
+    report.total_cycles = stats.total_cycles;
+    report.truncated = stats.truncated;
+    report.set_phase_cycles(&stats.phase_cycles());
+    report
+}
+
+/// Builds a [`RunReport`] from seed-averaged metrics. Commit/abort
+/// counts are the rounded per-seed means; the exact means are kept in
+/// `extra` under `mean_commits` / `mean_aborts`.
+pub fn report_from_avg(
+    bench: &str,
+    protocol: Protocol,
+    workload: &str,
+    threads: usize,
+    seeds: u64,
+    avg: &Averaged,
+) -> RunReport {
+    let mut report = RunReport::new(bench, protocol.name(), workload);
+    report.threads = threads as u64;
+    report.seeds = seeds;
+    report.commits = avg.commits.round() as u64;
+    for cause in AbortCause::ALL {
+        let n = avg.aborts_by_cause[cause.index()];
+        if n > 0 {
+            report.aborts.insert(cause.label().to_string(), n);
+        }
+    }
+    report.abort_rate = avg.abort_rate;
+    report.throughput = avg.throughput;
+    report.total_cycles = avg.total_cycles.round() as u64;
+    report.truncated = avg.truncated;
+    report.set_phase_cycles(&avg.phase_cycles);
+    report.extra.insert("mean_commits".into(), avg.commits);
+    report.extra.insert("mean_aborts".into(), avg.aborts);
+    report
+}
+
+/// Collects [`RunReport`]s and writes them as JSON Lines when the
+/// harness was given `--json PATH`; a silent no-op otherwise.
+#[derive(Debug, Default)]
+pub struct ReportSink {
+    path: Option<String>,
+    lines: Vec<String>,
+}
+
+impl ReportSink {
+    /// A sink honoring `opts.json`.
+    pub fn new(opts: &HarnessOpts) -> Self {
+        ReportSink {
+            path: opts.json.clone(),
+            lines: Vec::new(),
+        }
+    }
+
+    /// Records one report (serialized eagerly).
+    pub fn push(&mut self, report: &RunReport) {
+        if self.path.is_some() {
+            self.lines.push(report.to_json_line());
+        }
+    }
+
+    /// Writes the collected JSONL file. Call once at the end of `main`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the file cannot be written: a figure binary asked for
+    /// `--json` has no useful way to continue without its output.
+    pub fn finish(self) {
+        if let Some(path) = self.path {
+            let mut text = self.lines.join("\n");
+            if !text.is_empty() {
+                text.push('\n');
+            }
+            std::fs::write(&path, text)
+                .unwrap_or_else(|e| panic!("failed to write --json {path}: {e}"));
+            eprintln!("wrote {} report(s) to {path}", self.lines.len());
+        }
+    }
+}
+
+/// Wall-clock microbenchmark: runs `f` once as warmup, then `iters`
+/// timed iterations, and prints the mean per-iteration time. The
+/// criterion-free replacement used by `benches/*.rs`.
+pub fn quickbench<F: FnMut()>(name: &str, iters: u32, mut f: F) {
+    f();
+    let start = std::time::Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let per_iter = start.elapsed() / iters;
+    println!("{name:<40} {per_iter:>12.2?}/iter  ({iters} iters)");
 }
 
 /// The machine configuration used by every experiment: Table 1 with the

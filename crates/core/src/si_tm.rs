@@ -38,7 +38,7 @@ use sitm_sim::{
 use crate::base::{ProtocolBase, WriteBuffer};
 
 /// Tuning knobs of the SI-TM model.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct SiTmConfig {
     /// Perform write-write conflict detection at word rather than line
     /// granularity, eliminating false-sharing and silent-store conflicts
@@ -51,16 +51,6 @@ pub struct SiTmConfig {
     /// Usable timestamp space (for overflow failure injection); `None`
     /// uses the full 64-bit space.
     pub timestamp_limit: Option<u64>,
-}
-
-impl Default for SiTmConfig {
-    fn default() -> Self {
-        SiTmConfig {
-            word_granularity: false,
-            mvm: MvmConfig::default(),
-            timestamp_limit: None,
-        }
-    }
 }
 
 /// Per-transaction state.
@@ -275,9 +265,8 @@ impl TmProtocol for SiTm {
         let mut cycles = self.base.mem.l1_write(tid.0, line);
         // Version-buffer overflow never aborts SI-TM: the line spills to
         // the MVM as a transient version owned by this thread.
-        let needs_spill =
-            self.txs[tid.0].as_ref().unwrap().writes.line_count() > spill_threshold
-                && !self.txs[tid.0].as_ref().unwrap().spilled.contains(&line);
+        let needs_spill = self.txs[tid.0].as_ref().unwrap().writes.line_count() > spill_threshold
+            && !self.txs[tid.0].as_ref().unwrap().spilled.contains(&line);
         if needs_spill {
             let tx = self.txs[tid.0].as_ref().unwrap();
             let start = tx.start;
@@ -287,7 +276,11 @@ impl TmProtocol for SiTm {
                 .read_snapshot(line, start)
                 .map(|s| s.data)
                 .unwrap_or(sitm_mvm::ZERO_LINE);
-            let data = self.txs[tid.0].as_ref().unwrap().writes.apply_to(line, base_data);
+            let data = self.txs[tid.0]
+                .as_ref()
+                .unwrap()
+                .writes
+                .apply_to(line, base_data);
             self.base.store.put_transient(tid, line, data);
             self.txs[tid.0].as_mut().unwrap().spilled.insert(line);
             cycles += self.base.mem.writeback(tid.0, line);
@@ -367,7 +360,12 @@ impl TmProtocol for SiTm {
         let lines: Vec<LineAddr> = tx.writes.lines().collect();
         // Promoted lines participate in validation (but not install).
         let mut validate_lines = lines.clone();
-        validate_lines.extend(tx.promoted.iter().copied().filter(|l| !tx.writes.touches_line(*l)));
+        validate_lines.extend(
+            tx.promoted
+                .iter()
+                .copied()
+                .filter(|l| !tx.writes.touches_line(*l)),
+        );
         let mut cycles: Cycles = 0;
 
         // Timestamp-based write-write validation: a single comparison
@@ -428,7 +426,11 @@ impl TmProtocol for SiTm {
             // under word granularity a newer version touching disjoint
             // words may exist, and its words must be preserved.
             let newest = self.base.store.read_line(line);
-            let data = self.txs[tid.0].as_ref().unwrap().writes.apply_to(line, newest);
+            let data = self.txs[tid.0]
+                .as_ref()
+                .unwrap()
+                .writes
+                .apply_to(line, newest);
             cycles += self.base.mem.writeback(tid.0, line);
             match self.base.store.install(line, end, data) {
                 Ok(()) => installed.push(line),
@@ -461,9 +463,7 @@ impl TmProtocol for SiTm {
 
     fn rollback(&mut self, tid: ThreadId) -> Cycles {
         match self.teardown(tid) {
-            Some(tx) => {
-                self.base.rollback_cost + tx.writes.line_count() as Cycles
-            }
+            Some(tx) => self.base.rollback_cost + tx.writes.line_count() as Cycles,
             None => 0,
         }
     }
@@ -474,6 +474,18 @@ impl TmProtocol for SiTm {
 
     fn store_mut(&mut self) -> &mut MvmStore {
         &mut self.base.store
+    }
+}
+
+impl sitm_obs::Observable for SiTm {
+    fn export_metrics(&self, reg: &mut sitm_obs::MetricsRegistry) {
+        sitm_obs::Observable::export_metrics(&self.base.store, reg);
+        reg.count("si_tm.clock.overflows", self.clock.overflows());
+        reg.count("si_tm.clock.now", self.clock.now().0);
+        reg.count(
+            "si_tm.clock.pending_commits",
+            self.clock.pending_commits() as u64,
+        );
     }
 }
 
@@ -532,7 +544,7 @@ mod tests {
         assert_eq!(read(&mut p, 0, a), 1);
         write(&mut p, 1, a, 2);
         commit_ok(&mut p, 1); // writer commits despite the overlap
-        // The reader still sees its snapshot and commits read-only.
+                              // The reader still sees its snapshot and commits read-only.
         assert_eq!(read(&mut p, 0, a), 1);
         commit_ok(&mut p, 0);
         assert_eq!(p.store().read_word(a), 2);
@@ -675,8 +687,10 @@ mod tests {
 
     #[test]
     fn word_granularity_dismisses_false_sharing() {
-        let mut cfg = SiTmConfig::default();
-        cfg.word_granularity = true;
+        let cfg = SiTmConfig {
+            word_granularity: true,
+            ..Default::default()
+        };
         let mut p = SiTm::with_config(&machine(2), cfg);
         let a = p.store_mut().alloc_words(8); // one line, 8 words
 

@@ -309,6 +309,14 @@ impl TmProtocol for Sontm {
     }
 }
 
+impl sitm_obs::Observable for Sontm {
+    fn export_metrics(&self, reg: &mut sitm_obs::MetricsRegistry) {
+        sitm_obs::Observable::export_metrics(&self.base.store, reg);
+        reg.count("sontm.write_numbers.lines", self.write_numbers.len() as u64);
+        reg.count("sontm.read_numbers.lines", self.read_numbers.len() as u64);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -300,7 +300,11 @@ impl TmProtocol for SsiTm {
         let mut installed = Vec::with_capacity(lines.len());
         for &line in &lines {
             let newest = self.base.store.read_line(line);
-            let data = self.txs[tid.0].as_ref().unwrap().writes.apply_to(line, newest);
+            let data = self.txs[tid.0]
+                .as_ref()
+                .unwrap()
+                .writes
+                .apply_to(line, newest);
             cycles += self.base.mem.writeback(tid.0, line);
             if self.base.store.install(line, end, data).is_err() {
                 for &l in &installed {
@@ -343,6 +347,17 @@ impl TmProtocol for SsiTm {
 
     fn store_mut(&mut self) -> &mut MvmStore {
         &mut self.base.store
+    }
+}
+
+impl sitm_obs::Observable for SsiTm {
+    fn export_metrics(&self, reg: &mut sitm_obs::MetricsRegistry) {
+        sitm_obs::Observable::export_metrics(&self.base.store, reg);
+        reg.count("ssi_tm.clock.overflows", self.clock.overflows());
+        reg.count(
+            "ssi_tm.committed_readers.retained",
+            self.committed_readers.len() as u64,
+        );
     }
 }
 
@@ -407,7 +422,10 @@ mod tests {
             .iter()
             .filter(|r| r.is_err())
             .count();
-        assert!(aborted >= 1, "write skew must not commit on both sides: {first:?} {second:?}");
+        assert!(
+            aborted >= 1,
+            "write skew must not commit on both sides: {first:?} {second:?}"
+        );
         let total = p.store().read_word(checking) + p.store().read_word(saving);
         assert!(total >= 20, "invariant preserved, balance = {total}");
     }
@@ -487,8 +505,8 @@ mod tests {
         write(&mut p, 0, b, 9);
         assert_eq!(commit(&mut p, 0), Ok(vec![]));
         let _ = read(&mut p, 1, b); // reads old b => reader flag
-        // Now TX1 writes a — which committed TX0 (overlapping) read:
-        // writer flag + reader flag = dangerous, abort.
+                                    // Now TX1 writes a — which committed TX0 (overlapping) read:
+                                    // writer flag + reader flag = dangerous, abort.
         write(&mut p, 1, a, 5);
         assert_eq!(commit(&mut p, 1), Err(AbortCause::Order));
     }

@@ -263,6 +263,13 @@ impl TmProtocol for TwoPl {
     }
 }
 
+impl sitm_obs::Observable for TwoPl {
+    fn export_metrics(&self, reg: &mut sitm_obs::MetricsRegistry) {
+        sitm_obs::Observable::export_metrics(&self.base.store, reg);
+        reg.count("two_pl.capacity_lines", self.capacity_lines as u64);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -80,9 +80,7 @@ impl ActiveTransactions {
     /// `false` (no snapshot between them can exist).
     pub fn any_start_in(&self, lo: Timestamp, hi: Timestamp) -> bool {
         let from = self.live.partition_point(|&(ts, _)| ts < lo);
-        self.live
-            .get(from)
-            .map_or(false, |&(ts, _)| ts < hi)
+        self.live.get(from).is_some_and(|&(ts, _)| ts < hi)
     }
 
     /// The start timestamp registered for `thread`, if any.

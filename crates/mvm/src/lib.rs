@@ -74,9 +74,7 @@ pub use active::ActiveTransactions;
 pub use stats::{OverheadModel, VersionDepthCensus};
 pub use store::{MvmConfig, MvmStore};
 pub use timestamp::{BeginError, ClockOverflow, GlobalClock, MustStall, Timestamp, DEFAULT_DELTA};
-pub use types::{
-    Addr, LineAddr, LineData, ThreadId, Word, LINE_SHIFT, WORDS_PER_LINE, ZERO_LINE,
-};
+pub use types::{Addr, LineAddr, LineData, ThreadId, Word, LINE_SHIFT, WORDS_PER_LINE, ZERO_LINE};
 pub use version_list::{
     OverflowPolicy, SnapshotRead, VersionList, VersionOverflow, DEFAULT_VERSION_CAP,
 };

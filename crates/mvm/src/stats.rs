@@ -184,6 +184,37 @@ mod tests {
     }
 
     #[test]
+    fn census_tail_total_invariants() {
+        use sitm_obs::SmallRng;
+        // For any record sequence: total == sum of reported depths + tail,
+        // and merging two censuses adds component-wise.
+        for case in 0..100u64 {
+            let mut rng = SmallRng::seed_from_u64(0x4345_0000 + case);
+            let mut a = VersionDepthCensus::new();
+            let mut b = VersionDepthCensus::new();
+            let n = rng.gen_range(0usize..200);
+            for _ in 0..n {
+                let depth = rng.gen_range(0usize..12);
+                if rng.gen_bool(0.5) {
+                    a.record(depth);
+                } else {
+                    b.record(depth);
+                }
+            }
+            for c in [&a, &b] {
+                let reported: u64 = (0..VersionDepthCensus::REPORTED_DEPTHS)
+                    .map(|d| c.at_depth(d))
+                    .sum();
+                assert_eq!(c.total(), reported + c.tail(), "case {case}");
+            }
+            let (ta, tb) = (a.total(), b.total());
+            a.merge(&b);
+            assert_eq!(a.total(), ta + tb, "case {case}: merge sums totals");
+            assert_eq!(a.total(), n as u64, "case {case}: every record counted");
+        }
+    }
+
+    #[test]
     fn older_than_fraction() {
         let mut c = VersionDepthCensus::new();
         for _ in 0..99 {

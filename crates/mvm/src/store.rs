@@ -15,6 +15,8 @@
 
 use std::collections::HashMap;
 
+use sitm_obs::{EventKind, MetricsRegistry, Observable, TraceRecord, Tracer};
+
 use crate::active::ActiveTransactions;
 use crate::stats::VersionDepthCensus;
 use crate::timestamp::Timestamp;
@@ -66,6 +68,13 @@ pub struct MvmStore {
     /// Committed version installs that created a new slot / coalesced.
     installs_created: u64,
     installs_coalesced: u64,
+    /// Versions reclaimed by GC across all lines.
+    gc_reclaimed: u64,
+    /// Install attempts rejected by the abort-writer overflow policy.
+    overflow_aborts: u64,
+    /// Internal-event tracer (GC, coalescing, overflow). Zero-sized and
+    /// inert unless the `trace` cargo feature is on.
+    tracer: Tracer,
 }
 
 impl MvmStore {
@@ -147,7 +156,9 @@ impl MvmStore {
 
     /// Reads a whole line non-transactionally.
     pub fn read_line(&self, line: LineAddr) -> LineData {
-        self.lines.get(&line).map_or(ZERO_LINE, |vl| vl.newest_data())
+        self.lines
+            .get(&line)
+            .map_or(ZERO_LINE, |vl| vl.newest_data())
     }
 
     /// Writes `addr` non-transactionally, modifying the most current
@@ -231,7 +242,7 @@ impl MvmStore {
     /// Whether a committed version of `line` is newer than `start` — the
     /// write-write validation check.
     pub fn newer_than(&self, line: LineAddr, start: Timestamp) -> bool {
-        self.lines.get(&line).map_or(false, |vl| vl.newer_than(start))
+        self.lines.get(&line).is_some_and(|vl| vl.newer_than(start))
     }
 
     /// Installs a committed version of `line` tagged `end`, applying
@@ -249,14 +260,15 @@ impl MvmStore {
         data: LineData,
     ) -> Result<(), VersionOverflow> {
         let vl = self.lines.entry(line).or_default();
-        let created = if self.config.coalescing {
+        let gc_before = vl.gc_reclaimed_total();
+        let result = if self.config.coalescing {
             vl.install(
                 end,
                 data,
                 &self.active,
                 self.config.version_cap,
                 self.config.overflow_policy,
-            )?
+            )
         } else {
             // Ablation: force a fresh slot for every install by
             // pretending a snapshot separates every version pair.
@@ -266,12 +278,36 @@ impl MvmStore {
                 &self.active,
                 self.config.version_cap,
                 self.config.overflow_policy,
-            )?
+            )
         };
-        if created {
-            self.installs_created += 1;
-        } else {
-            self.installs_coalesced += 1;
+        // GC runs inside install; attribute what it reclaimed. The store
+        // has no cycle clock, so events are stamped with the commit
+        // timestamp that triggered them.
+        let reclaimed = vl.gc_reclaimed_total() - gc_before;
+        if reclaimed > 0 {
+            self.gc_reclaimed += reclaimed;
+            self.tracer
+                .record(end.0, TraceRecord::NO_THREAD, EventKind::MvmGc(reclaimed));
+        }
+        match result {
+            Ok(true) => self.installs_created += 1,
+            Ok(false) => {
+                self.installs_coalesced += 1;
+                self.tracer.record(
+                    end.0,
+                    TraceRecord::NO_THREAD,
+                    EventKind::MvmCoalesce(line.0),
+                );
+            }
+            Err(overflow) => {
+                self.overflow_aborts += 1;
+                self.tracer.record(
+                    end.0,
+                    TraceRecord::NO_THREAD,
+                    EventKind::MvmVersionOverflow(line.0),
+                );
+                return Err(overflow);
+            }
         }
         Ok(())
     }
@@ -311,7 +347,10 @@ impl MvmStore {
     /// Spills an uncommitted line owned by `owner` into the MVM (the
     /// eviction path that makes transactions unbounded).
     pub fn put_transient(&mut self, owner: ThreadId, line: LineAddr, data: LineData) {
-        self.lines.entry(line).or_default().put_transient(owner, data);
+        self.lines
+            .entry(line)
+            .or_default()
+            .put_transient(owner, data);
     }
 
     /// Reads back `owner`'s transient version of `line`, if present.
@@ -355,7 +394,45 @@ impl MvmStore {
     /// Largest version-list population across all lines (diagnostics for
     /// the coalescing ablation).
     pub fn max_version_count(&self) -> usize {
-        self.lines.values().map(|vl| vl.version_count()).max().unwrap_or(0)
+        self.lines
+            .values()
+            .map(|vl| vl.version_count())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Total versions reclaimed by garbage collection.
+    pub fn gc_reclaimed(&self) -> u64 {
+        self.gc_reclaimed
+    }
+
+    /// Install attempts rejected by the abort-writer overflow policy.
+    pub fn overflow_aborts(&self) -> u64 {
+        self.overflow_aborts
+    }
+
+    /// Drains buffered internal trace events (GC, coalescing, overflow),
+    /// stamped with the commit timestamp that triggered them and
+    /// [`TraceRecord::NO_THREAD`]. Empty unless the `trace` feature is on.
+    pub fn drain_trace(&mut self) -> Vec<TraceRecord> {
+        self.tracer.drain()
+    }
+}
+
+impl Observable for MvmStore {
+    fn export_metrics(&self, registry: &mut MetricsRegistry) {
+        let census = self.census();
+        for depth in 0..VersionDepthCensus::REPORTED_DEPTHS {
+            registry.count(&format!("mvm.census.depth{depth}"), census.at_depth(depth));
+        }
+        registry.count("mvm.census.tail", census.tail());
+        registry.count("mvm.census.total", census.total());
+        registry.count("mvm.installs.created", self.installs_created);
+        registry.count("mvm.installs.coalesced", self.installs_coalesced);
+        registry.count("mvm.gc.reclaimed", self.gc_reclaimed);
+        registry.count("mvm.overflow.aborts", self.overflow_aborts);
+        registry.count("mvm.lines", self.lines.len() as u64);
+        registry.observe("mvm.version_depth.max", self.max_version_count() as u64);
     }
 }
 
@@ -492,5 +569,63 @@ mod tests {
         };
         assert_eq!(run(true), 1, "no live snapshots: everything coalesces");
         assert_eq!(run(false), 6, "ablation keeps every version");
+    }
+
+    #[test]
+    fn gc_reclaims_once_readers_leave() {
+        let mut m = MvmStore::new();
+        let a = m.alloc_words(1);
+        // A reader snapshot between consecutive installs blocks
+        // coalescing, so each install creates a distinct slot.
+        for ts in 2..=5 {
+            m.install(a.line(), Timestamp(ts), ZERO_LINE).unwrap();
+            m.register_transaction(ThreadId(ts as usize), Timestamp(ts));
+        }
+        assert_eq!(m.version_count(a.line()), 4);
+        assert_eq!(m.gc_reclaimed(), 0);
+        // Readers leave; the next install's GC truncates the history.
+        for ts in 2..=5usize {
+            m.unregister_transaction(ThreadId(ts));
+        }
+        m.install(a.line(), Timestamp(6), ZERO_LINE).unwrap();
+        assert_eq!(m.version_count(a.line()), 1);
+        assert!(m.gc_reclaimed() >= 3, "stale versions were reclaimed");
+    }
+
+    #[test]
+    fn export_metrics_reports_census_installs_and_gc() {
+        use sitm_obs::MetricsRegistry;
+        let mut m = MvmStore::new();
+        let a = m.alloc_words(1);
+        m.register_transaction(ThreadId(0), Timestamp(1));
+        m.install(a.line(), Timestamp(2), ZERO_LINE).unwrap();
+        m.install(a.line(), Timestamp(3), ZERO_LINE).unwrap();
+        m.read_word_snapshot(a, Timestamp(9)).unwrap(); // depth 0
+
+        let mut reg = MetricsRegistry::new();
+        m.export_metrics(&mut reg);
+        assert_eq!(reg.counter("mvm.census.depth0"), 1);
+        assert_eq!(reg.counter("mvm.census.total"), m.census().total());
+        let (created, coalesced) = m.install_counts();
+        assert_eq!(reg.counter("mvm.installs.created"), created);
+        assert_eq!(reg.counter("mvm.installs.coalesced"), coalesced);
+        assert_eq!(reg.counter("mvm.lines"), 1);
+    }
+
+    #[cfg(feature = "trace")]
+    #[test]
+    fn trace_records_gc_and_coalesce_events() {
+        use sitm_obs::EventKind;
+        let mut m = MvmStore::new();
+        let a = m.alloc_words(1);
+        // No live snapshot between these installs => the second coalesces.
+        m.install(a.line(), Timestamp(2), ZERO_LINE).unwrap();
+        m.install(a.line(), Timestamp(3), ZERO_LINE).unwrap();
+        let events = m.drain_trace();
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::MvmCoalesce(_))));
+        assert!(events.iter().all(|e| e.thread == TraceRecord::NO_THREAD));
+        assert!(m.drain_trace().is_empty(), "drain empties the buffer");
     }
 }

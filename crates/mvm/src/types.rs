@@ -59,6 +59,7 @@ impl Addr {
 
     /// The address `n` words after `self`.
     #[inline]
+    #[allow(clippy::should_implement_trait)] // not an `impl Add`: offsets by words, keeps call sites explicit
     pub fn add(self, n: u64) -> Addr {
         Addr(self.0 + n)
     }

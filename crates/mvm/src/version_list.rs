@@ -93,6 +93,8 @@ pub struct VersionList {
     /// GC); readers older than the oldest retained version must abort
     /// rather than fall back to the zero line.
     truncated: bool,
+    /// Running count of versions reclaimed by garbage collection.
+    reclaimed_total: u64,
 }
 
 impl VersionList {
@@ -148,7 +150,7 @@ impl VersionList {
     /// Whether a committed version newer than `start` exists — the
     /// write-write validation test of `TM_COMMIT` (section 4.2).
     pub fn newer_than(&self, start: Timestamp) -> bool {
-        self.newest_ts().map_or(false, |ts| ts > start)
+        self.newest_ts().is_some_and(|ts| ts > start)
     }
 
     /// Installs a committed version tagged `end`, applying the coalescing
@@ -291,23 +293,32 @@ impl VersionList {
     /// Reclaims versions that no current or future snapshot can observe:
     /// everything older than the newest version at-or-below the oldest
     /// live start timestamp. Invoked on every write per section 3.1.
-    pub fn collect_garbage(&mut self, active: &ActiveTransactions) {
-        let Some(oldest) = active.oldest_start() else {
+    /// Returns the number of versions reclaimed.
+    pub fn collect_garbage(&mut self, active: &ActiveTransactions) -> usize {
+        let keep = match active.oldest_start() {
             // No transaction in flight: only the newest version matters.
-            if self.versions.len() > 1 {
-                self.versions.truncate(1);
-                self.truncated = true;
-            }
-            return;
+            None => 1,
+            // The first version with ts <= oldest still serves the
+            // oldest snapshot, but everything after it is unreachable.
+            Some(oldest) => match self.versions.iter().position(|v| v.ts <= oldest) {
+                Some(pos) => pos + 1,
+                None => return 0,
+            },
         };
-        // Find the first version with ts <= oldest; it still serves the
-        // oldest snapshot, but everything after it is unreachable.
-        if let Some(keep) = self.versions.iter().position(|v| v.ts <= oldest) {
-            if self.versions.len() > keep + 1 {
-                self.versions.truncate(keep + 1);
-                self.truncated = true;
-            }
+        if self.versions.len() > keep {
+            let reclaimed = self.versions.len() - keep;
+            self.versions.truncate(keep);
+            self.truncated = true;
+            self.reclaimed_total += reclaimed as u64;
+            reclaimed
+        } else {
+            0
         }
+    }
+
+    /// Total versions ever reclaimed from this list by GC.
+    pub fn gc_reclaimed_total(&self) -> u64 {
+        self.reclaimed_total
     }
 
     /// Stores (or replaces) the transient uncommitted line owned by
@@ -389,13 +400,7 @@ mod tests {
         // extra readers.
         active.register(ThreadId(1), Timestamp(2));
         active.register(ThreadId(2), Timestamp(4));
-        install_all(
-            &mut vl,
-            &[1, 3, 5],
-            &active,
-            8,
-            OverflowPolicy::AbortWriter,
-        );
+        install_all(&mut vl, &[1, 3, 5], &active, 8, OverflowPolicy::AbortWriter);
         assert_eq!(vl.read_snapshot(Timestamp(1)).unwrap().data, line(1));
         assert_eq!(vl.read_snapshot(Timestamp(2)).unwrap().data, line(1));
         assert_eq!(vl.read_snapshot(Timestamp(4)).unwrap().data, line(3));
@@ -413,14 +418,26 @@ mod tests {
         let mut active = ActiveTransactions::new();
 
         // TX0 commits at TS 1: first version.
-        vl.install(Timestamp(1), line(1), &active, 4, OverflowPolicy::AbortWriter)
-            .unwrap();
+        vl.install(
+            Timestamp(1),
+            line(1),
+            &active,
+            4,
+            OverflowPolicy::AbortWriter,
+        )
+        .unwrap();
         // TX1 starts at TS 2 and commits at TS 3. Its own start does not
         // protect version 1 at the instant of its commit-install (it is
         // the writer), and no other transaction started in [1, 3): the
         // new version overwrites version 1.
         let created = vl
-            .install(Timestamp(3), line(3), &active, 4, OverflowPolicy::AbortWriter)
+            .install(
+                Timestamp(3),
+                line(3),
+                &active,
+                4,
+                OverflowPolicy::AbortWriter,
+            )
             .unwrap();
         assert!(!created, "versions 1 and 3 coalesce");
 
@@ -430,13 +447,25 @@ mod tests {
         // TX3 commits at TS 6: TX2's snapshot (start 4) lies in [3, 6),
         // so version 3 must be preserved.
         let created = vl
-            .install(Timestamp(6), line(6), &active, 4, OverflowPolicy::AbortWriter)
+            .install(
+                Timestamp(6),
+                line(6),
+                &active,
+                4,
+                OverflowPolicy::AbortWriter,
+            )
             .unwrap();
         assert!(created);
 
         // TX4 commits at TS 8: no start in [6, 8) => coalesce 6 into 8.
         let created = vl
-            .install(Timestamp(8), line(8), &active, 4, OverflowPolicy::AbortWriter)
+            .install(
+                Timestamp(8),
+                line(8),
+                &active,
+                4,
+                OverflowPolicy::AbortWriter,
+            )
             .unwrap();
         assert!(!created, "versions 6 and 8 coalesce");
 
@@ -494,8 +523,14 @@ mod tests {
             OverflowPolicy::DiscardOldest,
         );
         active.register(ThreadId(9), Timestamp(10));
-        vl.install(Timestamp(9), line(9), &active, 4, OverflowPolicy::DiscardOldest)
-            .unwrap();
+        vl.install(
+            Timestamp(9),
+            line(9),
+            &active,
+            4,
+            OverflowPolicy::DiscardOldest,
+        )
+        .unwrap();
         assert_eq!(vl.version_count(), 4);
         // A snapshot older than the discarded version 1 cannot be served.
         assert_eq!(vl.read_snapshot(Timestamp(1)), None);
@@ -535,8 +570,14 @@ mod tests {
         active.register(ThreadId(7), Timestamp(8));
         // Next write garbage collects: versions 1 and 3 are unreachable
         // (the TS-6 snapshot is served by version 5).
-        vl.install(Timestamp(7), line(7), &active, 8, OverflowPolicy::AbortWriter)
-            .unwrap();
+        vl.install(
+            Timestamp(7),
+            line(7),
+            &active,
+            8,
+            OverflowPolicy::AbortWriter,
+        )
+        .unwrap();
         assert_eq!(
             vl.version_timestamps(),
             vec![Timestamp(7), Timestamp(5)],
@@ -560,8 +601,14 @@ mod tests {
     fn write_write_validation_detects_newer_committer() {
         let mut vl = VersionList::new();
         let active = ActiveTransactions::new();
-        vl.install(Timestamp(5), line(5), &active, 4, OverflowPolicy::AbortWriter)
-            .unwrap();
+        vl.install(
+            Timestamp(5),
+            line(5),
+            &active,
+            4,
+            OverflowPolicy::AbortWriter,
+        )
+        .unwrap();
         assert!(vl.newer_than(Timestamp(4)));
         assert!(!vl.newer_than(Timestamp(5)));
         assert!(!vl.newer_than(Timestamp(6)));
@@ -585,8 +632,20 @@ mod tests {
     fn install_rejects_stale_timestamp() {
         let mut vl = VersionList::new();
         let active = ActiveTransactions::new();
-        vl.install(Timestamp(5), line(5), &active, 4, OverflowPolicy::AbortWriter)
-            .unwrap();
-        let _ = vl.install(Timestamp(5), line(6), &active, 4, OverflowPolicy::AbortWriter);
+        vl.install(
+            Timestamp(5),
+            line(5),
+            &active,
+            4,
+            OverflowPolicy::AbortWriter,
+        )
+        .unwrap();
+        let _ = vl.install(
+            Timestamp(5),
+            line(6),
+            &active,
+            4,
+            OverflowPolicy::AbortWriter,
+        );
     }
 }

@@ -1,0 +1,79 @@
+//! The transaction-lifecycle event taxonomy.
+//!
+//! Every observable moment in a run — across all four protocol models
+//! and the MVM substrate — is one of these events. The simulator stamps
+//! events with virtual cycles; the MVM stamps its internal events
+//! (garbage collection, coalescing, overflow) with the commit timestamp
+//! that triggered them, since the store has no cycle clock of its own.
+
+/// Why a transaction aborted, as seen by the tracer.
+///
+/// This mirrors `sitm_sim::AbortCause` but lives here so the tracer has
+/// no dependency on the simulator; the two are kept in sync by
+/// `sitm-sim` (which converts via `AbortCause::index`).
+pub type AbortCauseIndex = u8;
+
+/// One kind of lifecycle event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A transaction attempt began (payload: start timestamp).
+    Begin(u64),
+    /// A transactional read of the given address.
+    Read(u64),
+    /// A transactional write of the given address.
+    Write(u64),
+    /// A read promotion of the given address.
+    Promote(u64),
+    /// The attempt aborted (payload: dense abort-cause index).
+    Abort(AbortCauseIndex),
+    /// The attempt committed.
+    Commit,
+    /// A begin stalled on commit-reservation exhaustion (payload: cycles
+    /// waited before the retry).
+    CommitReservationStall(u64),
+    /// MVM garbage collection reclaimed versions of a line (payload:
+    /// number of versions reclaimed).
+    MvmGc(u64),
+    /// An MVM install coalesced into the previous newest version instead
+    /// of creating a slot (payload: line address).
+    MvmCoalesce(u64),
+    /// An MVM install hit the version cap (payload: line address). Under
+    /// the abort-writer policy the commit fails; under discard-oldest
+    /// the oldest version was dropped.
+    MvmVersionOverflow(u64),
+}
+
+/// One traced event: who, when, what.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Virtual-cycle timestamp (or commit timestamp for `Mvm*` events).
+    pub at: u64,
+    /// Logical thread that produced the event (`u32::MAX` for events not
+    /// attributable to one thread, e.g. GC triggered by another commit).
+    pub thread: u32,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+impl TraceRecord {
+    /// Thread id used for events with no single responsible thread.
+    pub const NO_THREAD: u32 = u32::MAX;
+}
+
+impl EventKind {
+    /// Short stable label (used by exporters and tests).
+    pub fn label(&self) -> &'static str {
+        match self {
+            EventKind::Begin(_) => "begin",
+            EventKind::Read(_) => "read",
+            EventKind::Write(_) => "write",
+            EventKind::Promote(_) => "promote",
+            EventKind::Abort(_) => "abort",
+            EventKind::Commit => "commit",
+            EventKind::CommitReservationStall(_) => "stall",
+            EventKind::MvmGc(_) => "mvm-gc",
+            EventKind::MvmCoalesce(_) => "mvm-coalesce",
+            EventKind::MvmVersionOverflow(_) => "mvm-version-overflow",
+        }
+    }
+}

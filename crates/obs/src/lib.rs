@@ -1,0 +1,40 @@
+//! `sitm-obs`: the unified observability layer for the SI-TM
+//! reproduction.
+//!
+//! This crate is deliberately dependency-free (the build environment is
+//! hermetic) and sits at the bottom of the workspace graph so every
+//! other crate can use it:
+//!
+//! - [`trace`] — per-thread fixed-capacity ring-buffer event tracers
+//!   recording the [`event`] taxonomy, compiled to zero-sized no-ops
+//!   unless the `trace` cargo feature is enabled.
+//! - [`metrics`] — named counters, gauges and log2-bucketed histograms
+//!   behind one [`metrics::MetricsRegistry`], plus the
+//!   [`metrics::Observable`] trait every protocol model implements.
+//! - [`phase`] — the phase-cycle taxonomy the simulator charges virtual
+//!   cycles to (begin / read / write / compute / validate / commit /
+//!   backoff / stall).
+//! - [`report`] — the versioned `sitm.run_report.v1` JSONL schema every
+//!   bench binary emits via `--json`, built on the in-tree [`json`]
+//!   module.
+//! - [`rng`] — a small deterministic xoshiro256++ PRNG (the workspace
+//!   previously pulled `rand` for this; the hermetic build cannot).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod json;
+pub mod metrics;
+pub mod phase;
+pub mod report;
+pub mod rng;
+pub mod trace;
+
+pub use event::{EventKind, TraceRecord};
+pub use json::Json;
+pub use metrics::{Histogram, MetricsRegistry, Observable};
+pub use phase::{Phase, PhaseCycles};
+pub use report::{ReportError, RunReport};
+pub use rng::SmallRng;
+pub use trace::{merge_traces, Tracer};

@@ -1,0 +1,303 @@
+//! Named counters and log2-bucketed histograms.
+//!
+//! The registry is the single interface behind which per-protocol and
+//! per-substrate statistics live: the engine's thread stats, the MVM's
+//! version-depth census and install accounting, and the software STM's
+//! event counts all export into one [`MetricsRegistry`], which the
+//! JSONL [`crate::report::RunReport`] serializes.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A histogram over `u64` samples with logarithmic buckets: bucket `i`
+/// counts samples whose value `v` satisfies `floor(log2(v)) == i - 1`,
+/// with bucket 0 reserved for `v == 0`. Equivalently: bucket 0 holds 0,
+/// bucket 1 holds 1, bucket 2 holds 2..=3, bucket 3 holds 4..=7, and so
+/// on — 65 buckets cover the whole `u64` range.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Histogram {
+    counts: BTreeMap<u32, u64>,
+    total: u64,
+    sum: u128,
+    max: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The bucket index for `value`: 0 for 0, else `ilog2(value) + 1`.
+    pub fn bucket_of(value: u64) -> u32 {
+        match value {
+            0 => 0,
+            v => v.ilog2() + 1,
+        }
+    }
+
+    /// The half-open sample range `[lo, hi)` a bucket covers (`hi` is
+    /// saturating at `u64::MAX` for the top bucket).
+    pub fn bucket_range(bucket: u32) -> (u64, u64) {
+        match bucket {
+            0 => (0, 1),
+            b => (1u64 << (b - 1), 1u64.checked_shl(b).unwrap_or(u64::MAX)),
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        *self.counts.entry(Self::bucket_of(value)).or_insert(0) += 1;
+        self.total += 1;
+        self.sum += value as u128;
+        self.max = self.max.max(value);
+    }
+
+    /// Number of samples recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean of the recorded samples (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// Largest sample recorded (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Count in bucket `bucket`.
+    pub fn count_in(&self, bucket: u32) -> u64 {
+        self.counts.get(&bucket).copied().unwrap_or(0)
+    }
+
+    /// Non-empty `(bucket, count)` pairs in ascending bucket order.
+    pub fn buckets(&self) -> impl Iterator<Item = (u32, u64)> + '_ {
+        self.counts.iter().map(|(&b, &c)| (b, c))
+    }
+
+    /// Merges `other` into `self`.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (&b, &c) in &other.counts {
+            *self.counts.entry(b).or_insert(0) += c;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (b, c) in self.buckets() {
+            let (lo, hi) = Self::bucket_range(b);
+            writeln!(f, "[{lo:>12}, {hi:>12})  {c}")?;
+        }
+        write!(
+            f,
+            "n={} mean={:.2} max={}",
+            self.total,
+            self.mean(),
+            self.max
+        )
+    }
+}
+
+/// The registry: named counters and histograms with stable (sorted)
+/// iteration order, so exports are deterministic.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+    /// Free-form numeric gauges (averages, ratios) set by exporters.
+    gauges: BTreeMap<String, f64>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta` to counter `name` (creating it at zero).
+    pub fn count(&mut self, name: &str, delta: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    /// Sets counter `name` to exactly `value`.
+    pub fn set_counter(&mut self, name: &str, value: u64) {
+        self.counters.insert(name.to_string(), value);
+    }
+
+    /// Current value of counter `name` (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Records `value` into histogram `name` (creating it when absent).
+    pub fn observe(&mut self, name: &str, value: u64) {
+        self.histograms
+            .entry(name.to_string())
+            .or_default()
+            .record(value);
+    }
+
+    /// The histogram `name`, if any samples were recorded.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Merges an externally maintained histogram into histogram `name`
+    /// (creating it when absent).
+    pub fn merge_histogram(&mut self, name: &str, h: &Histogram) {
+        self.histograms
+            .entry(name.to_string())
+            .or_default()
+            .merge(h);
+    }
+
+    /// Sets gauge `name`.
+    pub fn gauge(&mut self, name: &str, value: f64) {
+        self.gauges.insert(name.to_string(), value);
+    }
+
+    /// Reads gauge `name`.
+    pub fn gauge_value(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// All counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> + '_ {
+        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// All histograms in name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> + '_ {
+        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// All gauges in name order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, f64)> + '_ {
+        self.gauges.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Merges another registry: counters add, histograms merge, gauges
+    /// overwrite.
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, h) in &other.histograms {
+            self.histograms.entry(k.clone()).or_default().merge(h);
+        }
+        for (k, &v) in &other.gauges {
+            self.gauges.insert(k.clone(), v);
+        }
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.histograms.is_empty() && self.gauges.is_empty()
+    }
+}
+
+/// Anything that can export its statistics into a [`MetricsRegistry`]
+/// under a name prefix — the one interface all four protocol models
+/// (and the MVM store behind them) implement.
+pub trait Observable {
+    /// Writes this component's metrics into `reg`. Implementations
+    /// should namespace their entries (`"mvm.census.depth"`,
+    /// `"sitm.commits"`, ...).
+    fn export_metrics(&self, reg: &mut MetricsRegistry);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 1);
+        assert_eq!(Histogram::bucket_of(2), 2);
+        assert_eq!(Histogram::bucket_of(3), 2);
+        assert_eq!(Histogram::bucket_of(4), 3);
+        assert_eq!(Histogram::bucket_of(7), 3);
+        assert_eq!(Histogram::bucket_of(8), 4);
+        assert_eq!(Histogram::bucket_of(u64::MAX), 64);
+        // Every boundary value v = 2^k lands in a fresh bucket and
+        // v - 1 lands in the previous one.
+        for k in 1..64u32 {
+            let v = 1u64 << k;
+            assert_eq!(Histogram::bucket_of(v), k + 1);
+            assert_eq!(Histogram::bucket_of(v - 1), k);
+        }
+    }
+
+    #[test]
+    fn bucket_ranges_tile_the_domain() {
+        let mut expected_lo = 0u64;
+        for b in 0..=10u32 {
+            let (lo, hi) = Histogram::bucket_range(b);
+            assert_eq!(
+                lo, expected_lo,
+                "bucket {b} must start where the last ended"
+            );
+            assert!(hi > lo);
+            expected_lo = hi;
+        }
+        // A sample equal to a bucket's lo belongs to that bucket.
+        for b in 0..=10u32 {
+            let (lo, hi) = Histogram::bucket_range(b);
+            assert_eq!(Histogram::bucket_of(lo), b);
+            if hi != u64::MAX {
+                assert_eq!(Histogram::bucket_of(hi - 1), b);
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_stats_and_merge() {
+        let mut h = Histogram::new();
+        for v in [0, 1, 2, 3, 100] {
+            h.record(v);
+        }
+        assert_eq!(h.total(), 5);
+        assert_eq!(h.max(), 100);
+        assert!((h.mean() - 21.2).abs() < 1e-12);
+        assert_eq!(h.count_in(2), 2); // 2 and 3
+
+        let mut other = Histogram::new();
+        other.record(100);
+        h.merge(&other);
+        assert_eq!(h.total(), 6);
+        assert_eq!(h.count_in(Histogram::bucket_of(100)), 2);
+    }
+
+    #[test]
+    fn registry_roundtrip() {
+        let mut r = MetricsRegistry::new();
+        assert!(r.is_empty());
+        r.count("commits", 3);
+        r.count("commits", 2);
+        r.observe("read_set", 17);
+        r.gauge("abort_rate", 0.25);
+        assert_eq!(r.counter("commits"), 5);
+        assert_eq!(r.counter("absent"), 0);
+        assert_eq!(r.histogram("read_set").unwrap().total(), 1);
+        assert_eq!(r.gauge_value("abort_rate"), Some(0.25));
+
+        let mut other = MetricsRegistry::new();
+        other.count("commits", 1);
+        other.observe("read_set", 1);
+        r.merge(&other);
+        assert_eq!(r.counter("commits"), 6);
+        assert_eq!(r.histogram("read_set").unwrap().total(), 2);
+    }
+}

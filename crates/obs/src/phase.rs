@@ -1,0 +1,180 @@
+//! Phase-cycle profiling: attributing virtual cycles to the stages of a
+//! transaction's life.
+//!
+//! The simulator charges every cycle it hands out to exactly one
+//! [`Phase`], producing a per-thread [`PhaseCycles`] profile that shows
+//! *where* a protocol spends its time — begin-timestamp acquisition,
+//! snapshot reads, write buffering, commit validation, write-back,
+//! abort backoff, or commit-reservation stalls. This is the profile the
+//! ROADMAP's optimization work needs: you cannot tune coalescing or
+//! backoff without knowing which phase dominates.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// One stage of a transaction's execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Obtaining the begin timestamp / starting the transaction.
+    Begin,
+    /// Transactional reads (including version-list walks).
+    Read,
+    /// Transactional writes and promotions.
+    Write,
+    /// Non-memory computation inside the transaction body.
+    Compute,
+    /// Failed validation and rollback work (cycles spent on attempts
+    /// that ended in an abort, measured at the aborting operation).
+    Validate,
+    /// Successful commit work (validation + write-back of an attempt
+    /// that committed).
+    Commit,
+    /// Post-abort exponential backoff.
+    Backoff,
+    /// Stalling to begin (commit-reservation window exhausted).
+    Stall,
+}
+
+impl Phase {
+    /// All phases, in display order.
+    pub const ALL: [Phase; 8] = [
+        Phase::Begin,
+        Phase::Read,
+        Phase::Write,
+        Phase::Compute,
+        Phase::Validate,
+        Phase::Commit,
+        Phase::Backoff,
+        Phase::Stall,
+    ];
+
+    /// Dense index.
+    pub fn index(self) -> usize {
+        match self {
+            Phase::Begin => 0,
+            Phase::Read => 1,
+            Phase::Write => 2,
+            Phase::Compute => 3,
+            Phase::Validate => 4,
+            Phase::Commit => 5,
+            Phase::Backoff => 6,
+            Phase::Stall => 7,
+        }
+    }
+
+    /// Stable lowercase label (used in the JSONL schema).
+    pub fn label(self) -> &'static str {
+        match self {
+            Phase::Begin => "begin",
+            Phase::Read => "read",
+            Phase::Write => "write",
+            Phase::Compute => "compute",
+            Phase::Validate => "validate",
+            Phase::Commit => "commit",
+            Phase::Backoff => "backoff",
+            Phase::Stall => "stall",
+        }
+    }
+
+    /// Parses a label written by [`Phase::label`].
+    pub fn from_label(s: &str) -> Option<Phase> {
+        Phase::ALL.into_iter().find(|p| p.label() == s)
+    }
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Cycles attributed to each phase.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseCycles {
+    cycles: [u64; Phase::ALL.len()],
+}
+
+impl PhaseCycles {
+    /// An all-zero profile.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `cycles` to `phase`.
+    pub fn charge(&mut self, phase: Phase, cycles: u64) {
+        self.cycles[phase.index()] += cycles;
+    }
+
+    /// Total cycles across phases.
+    pub fn total(&self) -> u64 {
+        self.cycles.iter().sum()
+    }
+
+    /// Merges another profile into this one.
+    pub fn merge(&mut self, other: &PhaseCycles) {
+        for (a, b) in self.cycles.iter_mut().zip(other.cycles.iter()) {
+            *a += b;
+        }
+    }
+
+    /// The fraction of total cycles spent in `phase` (0.0 when empty).
+    pub fn share(&self, phase: Phase) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self[phase] as f64 / total as f64
+        }
+    }
+
+    /// `(phase, cycles)` pairs in display order.
+    pub fn iter(&self) -> impl Iterator<Item = (Phase, u64)> + '_ {
+        Phase::ALL.into_iter().map(|p| (p, self[p]))
+    }
+}
+
+impl Index<Phase> for PhaseCycles {
+    type Output = u64;
+    fn index(&self, phase: Phase) -> &u64 {
+        &self.cycles[phase.index()]
+    }
+}
+
+impl IndexMut<Phase> for PhaseCycles {
+    fn index_mut(&mut self, phase: Phase) -> &mut u64 {
+        &mut self.cycles[phase.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_are_dense_and_labels_roundtrip() {
+        let mut seen = [false; Phase::ALL.len()];
+        for p in Phase::ALL {
+            assert!(!seen[p.index()]);
+            seen[p.index()] = true;
+            assert_eq!(Phase::from_label(p.label()), Some(p));
+        }
+        assert!(seen.iter().all(|&s| s));
+        assert_eq!(Phase::from_label("bogus"), None);
+    }
+
+    #[test]
+    fn charge_total_share_merge() {
+        let mut pc = PhaseCycles::new();
+        pc.charge(Phase::Read, 30);
+        pc.charge(Phase::Commit, 10);
+        assert_eq!(pc.total(), 40);
+        assert!((pc.share(Phase::Read) - 0.75).abs() < 1e-12);
+        assert_eq!(pc.share(Phase::Stall), 0.0);
+
+        let mut other = PhaseCycles::new();
+        other.charge(Phase::Read, 10);
+        pc.merge(&other);
+        assert_eq!(pc[Phase::Read], 40);
+        assert_eq!(PhaseCycles::new().share(Phase::Read), 0.0);
+    }
+}

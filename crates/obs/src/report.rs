@@ -1,0 +1,364 @@
+//! The unified run-report schema: one JSONL line per measured
+//! configuration, emitted identically by every bench binary.
+//!
+//! The schema is versioned (`"sitm.run_report.v1"`); `sitm-report`
+//! refuses lines whose schema string it does not recognize, so format
+//! drift fails loudly instead of silently misparsing.
+
+use crate::json::{Json, JsonError};
+use crate::metrics::MetricsRegistry;
+use crate::phase::{Phase, PhaseCycles};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The schema identifier written into every line.
+pub const SCHEMA: &str = "sitm.run_report.v1";
+
+/// Number of version-depth slots exported: 5 exact depths plus the tail
+/// (accesses deeper than depth 4).
+pub const VERSION_DEPTH_SLOTS: usize = 6;
+
+/// One measured configuration of one bench, ready to serialize.
+///
+/// Fields mirror what the text output of the bench binaries reports:
+/// identification (bench/protocol/workload/threads/seeds), headline
+/// results (commits, aborts by cause, rates, cycles), and the deeper
+/// profiles this PR adds (phase cycles, version-depth census, free-form
+/// extras and metrics).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RunReport {
+    /// Bench binary name, e.g. `"fig7_abort_rates"`.
+    pub bench: String,
+    /// Protocol label, e.g. `"SI-TM"`.
+    pub protocol: String,
+    /// Workload label, e.g. `"counter-hot"`.
+    pub workload: String,
+    /// Simulated thread count.
+    pub threads: u64,
+    /// Number of seeds averaged.
+    pub seeds: u64,
+    /// Committed transactions (summed over seeds).
+    pub commits: u64,
+    /// Aborts by cause label (e.g. `"read-write"`), summed over seeds.
+    pub aborts: BTreeMap<String, u64>,
+    /// aborts / (aborts + commits), saturated to 1.0 for truncated
+    /// zero-progress runs.
+    pub abort_rate: f64,
+    /// Commits per million virtual cycles.
+    pub throughput: f64,
+    /// Total virtual cycles consumed.
+    pub total_cycles: u64,
+    /// Whether any seed hit the cycle ceiling before finishing.
+    pub truncated: bool,
+    /// Virtual cycles attributed to each phase (label → cycles).
+    pub phase_cycles: BTreeMap<String, u64>,
+    /// Version-depth census: index d = reads served at depth d for
+    /// d < 5; index 5 = the deeper tail. All zeros when the protocol
+    /// has no MVM underneath.
+    pub version_depth: [u64; VERSION_DEPTH_SLOTS],
+    /// Free-form per-bench extras (knob values, derived ratios).
+    pub extra: BTreeMap<String, f64>,
+    /// Named counters exported by the protocol's metrics registry.
+    pub counters: BTreeMap<String, u64>,
+}
+
+impl RunReport {
+    /// Creates an empty report identified by bench/protocol/workload.
+    pub fn new(bench: &str, protocol: &str, workload: &str) -> Self {
+        RunReport {
+            bench: bench.to_string(),
+            protocol: protocol.to_string(),
+            workload: workload.to_string(),
+            ..Default::default()
+        }
+    }
+
+    /// Total aborts across all causes.
+    pub fn total_aborts(&self) -> u64 {
+        self.aborts.values().sum()
+    }
+
+    /// Copies phase cycles out of a [`PhaseCycles`] profile.
+    pub fn set_phase_cycles(&mut self, pc: &PhaseCycles) {
+        self.phase_cycles = pc
+            .iter()
+            .filter(|&(_, c)| c > 0)
+            .map(|(p, c)| (p.label().to_string(), c))
+            .collect();
+    }
+
+    /// Reconstructs a [`PhaseCycles`] profile (unknown labels ignored).
+    pub fn phase_profile(&self) -> PhaseCycles {
+        let mut pc = PhaseCycles::new();
+        for (label, &cycles) in &self.phase_cycles {
+            if let Some(p) = Phase::from_label(label) {
+                pc.charge(p, cycles);
+            }
+        }
+        pc
+    }
+
+    /// Copies every counter from a metrics registry into the report.
+    pub fn set_counters(&mut self, reg: &MetricsRegistry) {
+        self.counters = reg.counters().map(|(k, v)| (k.to_string(), v)).collect();
+    }
+
+    /// Serializes to one JSONL line (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        let mut obj = Json::obj([
+            ("schema", Json::Str(SCHEMA.into())),
+            ("bench", Json::Str(self.bench.clone())),
+            ("protocol", Json::Str(self.protocol.clone())),
+            ("workload", Json::Str(self.workload.clone())),
+            ("threads", Json::Num(self.threads as f64)),
+            ("seeds", Json::Num(self.seeds as f64)),
+            ("commits", Json::Num(self.commits as f64)),
+            ("abort_rate", Json::Num(self.abort_rate)),
+            ("throughput", Json::Num(self.throughput)),
+            ("total_cycles", Json::Num(self.total_cycles as f64)),
+            ("truncated", Json::Bool(self.truncated)),
+            (
+                "version_depth",
+                Json::Arr(
+                    self.version_depth
+                        .iter()
+                        .map(|&d| Json::Num(d as f64))
+                        .collect(),
+                ),
+            ),
+        ]);
+        let num_map = |m: &BTreeMap<String, u64>| {
+            Json::Obj(
+                m.iter()
+                    .map(|(k, &v)| (k.clone(), Json::Num(v as f64)))
+                    .collect(),
+            )
+        };
+        if let Json::Obj(map) = &mut obj {
+            map.insert("aborts".into(), num_map(&self.aborts));
+            map.insert("phase_cycles".into(), num_map(&self.phase_cycles));
+            map.insert(
+                "extra".into(),
+                Json::Obj(
+                    self.extra
+                        .iter()
+                        .map(|(k, &v)| (k.clone(), Json::Num(v)))
+                        .collect(),
+                ),
+            );
+            map.insert("counters".into(), num_map(&self.counters));
+        }
+        obj.to_line()
+    }
+
+    /// Parses a line written by [`RunReport::to_json_line`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on JSON syntax errors, an unknown schema string, or missing
+    /// required fields.
+    pub fn from_json_line(line: &str) -> Result<RunReport, ReportError> {
+        let doc = Json::parse(line)?;
+        let schema = doc
+            .get("schema")
+            .and_then(Json::as_str)
+            .ok_or(ReportError::MissingField("schema"))?;
+        if schema != SCHEMA {
+            return Err(ReportError::UnknownSchema(schema.to_string()));
+        }
+        let str_field = |name: &'static str| -> Result<String, ReportError> {
+            doc.get(name)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or(ReportError::MissingField(name))
+        };
+        let u64_field = |name: &'static str| -> Result<u64, ReportError> {
+            doc.get(name)
+                .and_then(Json::as_u64)
+                .ok_or(ReportError::MissingField(name))
+        };
+        let f64_field = |name: &'static str| -> Result<f64, ReportError> {
+            doc.get(name)
+                .and_then(Json::as_f64)
+                .ok_or(ReportError::MissingField(name))
+        };
+        let u64_map = |name: &'static str| -> BTreeMap<String, u64> {
+            match doc.get(name) {
+                Some(Json::Obj(m)) => m
+                    .iter()
+                    .filter_map(|(k, v)| v.as_u64().map(|n| (k.clone(), n)))
+                    .collect(),
+                _ => BTreeMap::new(),
+            }
+        };
+
+        let mut version_depth = [0u64; VERSION_DEPTH_SLOTS];
+        if let Some(arr) = doc.get("version_depth").and_then(Json::as_arr) {
+            for (slot, v) in version_depth.iter_mut().zip(arr.iter()) {
+                *slot = v.as_u64().unwrap_or(0);
+            }
+        }
+        let extra = match doc.get("extra") {
+            Some(Json::Obj(m)) => m
+                .iter()
+                .filter_map(|(k, v)| v.as_f64().map(|n| (k.clone(), n)))
+                .collect(),
+            _ => BTreeMap::new(),
+        };
+
+        Ok(RunReport {
+            bench: str_field("bench")?,
+            protocol: str_field("protocol")?,
+            workload: str_field("workload")?,
+            threads: u64_field("threads")?,
+            seeds: u64_field("seeds")?,
+            commits: u64_field("commits")?,
+            aborts: u64_map("aborts"),
+            abort_rate: f64_field("abort_rate")?,
+            throughput: f64_field("throughput")?,
+            total_cycles: u64_field("total_cycles")?,
+            truncated: doc
+                .get("truncated")
+                .and_then(Json::as_bool)
+                .unwrap_or(false),
+            phase_cycles: u64_map("phase_cycles"),
+            version_depth,
+            extra,
+            counters: u64_map("counters"),
+        })
+    }
+
+    /// Parses every non-empty line of a JSONL document.
+    ///
+    /// # Errors
+    ///
+    /// Fails with the 1-based line number of the first bad line.
+    pub fn from_jsonl(text: &str) -> Result<Vec<RunReport>, ReportError> {
+        text.lines()
+            .enumerate()
+            .filter(|(_, l)| !l.trim().is_empty())
+            .map(|(i, l)| {
+                RunReport::from_json_line(l).map_err(|e| ReportError::AtLine(i + 1, Box::new(e)))
+            })
+            .collect()
+    }
+}
+
+/// Errors from parsing a run report.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReportError {
+    /// The line was not valid JSON.
+    Syntax(JsonError),
+    /// The schema string was missing or not [`SCHEMA`].
+    UnknownSchema(String),
+    /// A required field was absent or of the wrong type.
+    MissingField(&'static str),
+    /// Error at a given 1-based line of a JSONL document.
+    AtLine(usize, Box<ReportError>),
+}
+
+impl From<JsonError> for ReportError {
+    fn from(e: JsonError) -> Self {
+        ReportError::Syntax(e)
+    }
+}
+
+impl fmt::Display for ReportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReportError::Syntax(e) => write!(f, "{e}"),
+            ReportError::UnknownSchema(s) => {
+                write!(f, "unknown schema {s:?} (expected {SCHEMA:?})")
+            }
+            ReportError::MissingField(name) => write!(f, "missing or mistyped field {name:?}"),
+            ReportError::AtLine(n, e) => write!(f, "line {n}: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ReportError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunReport {
+        let mut r = RunReport::new("fig7_abort_rates", "SI-TM", "counter-hot");
+        r.threads = 16;
+        r.seeds = 3;
+        r.commits = 120_000;
+        r.aborts.insert("read-write".into(), 400);
+        r.aborts.insert("write-write".into(), 90);
+        r.abort_rate = 490.0 / 120_490.0;
+        r.throughput = 61.25;
+        r.total_cycles = 1_959_183;
+        r.truncated = false;
+        let mut pc = PhaseCycles::new();
+        pc.charge(Phase::Read, 900_000);
+        pc.charge(Phase::Commit, 100_000);
+        r.set_phase_cycles(&pc);
+        r.version_depth = [10_000, 500, 40, 3, 1, 7];
+        r.extra.insert("version_cap".into(), 8.0);
+        r.counters.insert("mvm.gc_reclaimed".into(), 77);
+        r
+    }
+
+    #[test]
+    fn json_line_roundtrips_exactly() {
+        let r = sample();
+        let line = r.to_json_line();
+        assert!(line.starts_with('{') && !line.contains('\n'));
+        let back = RunReport::from_json_line(&line).unwrap();
+        assert_eq!(back, r);
+        // And the serialization is a fixed point.
+        assert_eq!(back.to_json_line(), line);
+    }
+
+    #[test]
+    fn phase_profile_reconstructs() {
+        let r = sample();
+        let pc = r.phase_profile();
+        assert_eq!(pc[Phase::Read], 900_000);
+        assert_eq!(pc[Phase::Commit], 100_000);
+        assert_eq!(pc.total(), 1_000_000);
+    }
+
+    #[test]
+    fn total_aborts_sums_causes() {
+        assert_eq!(sample().total_aborts(), 490);
+    }
+
+    #[test]
+    fn jsonl_parses_many_lines_and_reports_bad_line() {
+        let a = sample();
+        let mut b = sample();
+        b.protocol = "2PL".into();
+        let text = format!("{}\n\n{}\n", a.to_json_line(), b.to_json_line());
+        let parsed = RunReport::from_jsonl(&text).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[1].protocol, "2PL");
+
+        let bad = format!("{}\nnot json\n", a.to_json_line());
+        let err = RunReport::from_jsonl(&bad).unwrap_err();
+        assert!(matches!(err, ReportError::AtLine(2, _)), "{err}");
+    }
+
+    #[test]
+    fn schema_mismatch_rejected() {
+        let line = sample()
+            .to_json_line()
+            .replace("run_report.v1", "run_report.v9");
+        let err = RunReport::from_json_line(&line).unwrap_err();
+        assert!(matches!(err, ReportError::UnknownSchema(_)));
+        assert!(RunReport::from_json_line("{}").is_err());
+    }
+
+    #[test]
+    fn set_counters_copies_registry() {
+        let mut reg = MetricsRegistry::new();
+        reg.count("sitm.commits", 5);
+        let mut r = RunReport::new("b", "p", "w");
+        r.set_counters(&reg);
+        assert_eq!(r.counters.get("sitm.commits"), Some(&5));
+    }
+}

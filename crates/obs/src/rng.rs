@@ -1,0 +1,212 @@
+//! A small, fast, dependency-free pseudo-random number generator.
+//!
+//! The repository runs in hermetic environments without crates.io
+//! access, so this module replaces the `rand` crate for the simulator
+//! and workloads. The generator is xoshiro256++ (Blackman & Vigna),
+//! seeded through SplitMix64 — the same construction `rand`'s `SmallRng`
+//! family uses — giving deterministic, statistically solid streams that
+//! are cheap enough for the discrete-event hot path.
+//!
+//! The API mirrors the subset of `rand` the codebase used
+//! (`SmallRng::seed_from_u64`, `gen_range` over half-open and inclusive
+//! integer ranges, `gen_bool`), so call sites only swap their `use`
+//! lines.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic xoshiro256++ generator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SmallRng {
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl SmallRng {
+    /// Builds a generator from a 64-bit seed (SplitMix64-expanded, so
+    /// nearby seeds yield uncorrelated streams).
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        SmallRng {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+
+    /// The next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniform value in `range` (half-open `a..b` or inclusive
+    /// `a..=b`), over any primitive integer type.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: UniformInt,
+        R: IntRange<T>,
+    {
+        let (lo, span) = range.bounds_and_span();
+        lo.offset(self.uniform_below(span))
+    }
+
+    /// `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p <= 1.0`.
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        // 53 random mantissa bits, the standard uniform-in-[0,1) recipe.
+        let f = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        f < p
+    }
+
+    /// Uniform in `[0, span]` when `span < u64::MAX`, or the full 64-bit
+    /// range when `span == u64::MAX` (debiased by rejection sampling).
+    fn uniform_below(&mut self, span: u64) -> u64 {
+        if span == u64::MAX {
+            return self.next_u64();
+        }
+        let bound = span + 1; // number of distinct values
+                              // Lemire-style rejection: accept the widening-multiply bucket
+                              // only when unbiased.
+        let zone = u64::MAX - (u64::MAX - bound + 1) % bound;
+        loop {
+            let v = self.next_u64();
+            if v <= zone {
+                return v % bound;
+            }
+        }
+    }
+}
+
+/// Integer types [`SmallRng::gen_range`] can sample.
+pub trait UniformInt: Copy {
+    /// Distance `self..other` as a `u64` span (`other - self - 1` for
+    /// half-open use; callers pass the inclusive span).
+    fn span_to(self, inclusive_hi: Self) -> u64;
+    /// `self + delta`, where `delta <= span_to(hi)`.
+    fn offset(self, delta: u64) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            fn span_to(self, inclusive_hi: Self) -> u64 {
+                inclusive_hi.wrapping_sub(self) as u64
+            }
+            fn offset(self, delta: u64) -> Self {
+                self.wrapping_add(delta as $t)
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Ranges accepted by [`SmallRng::gen_range`].
+pub trait IntRange<T: UniformInt> {
+    /// Returns `(low, inclusive_span)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn bounds_and_span(self) -> (T, u64);
+}
+
+impl<T: UniformInt + PartialOrd> IntRange<T> for Range<T> {
+    fn bounds_and_span(self) -> (T, u64) {
+        assert!(self.start < self.end, "gen_range called with empty range");
+        let span = self.start.span_to(self.end) - 1;
+        (self.start, span)
+    }
+}
+
+impl<T: UniformInt + PartialOrd> IntRange<T> for RangeInclusive<T> {
+    fn bounds_and_span(self) -> (T, u64) {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "gen_range called with empty range");
+        (lo, lo.span_to(hi))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SmallRng::seed_from_u64(8);
+        assert_ne!(SmallRng::seed_from_u64(7).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        for _ in 0..10_000 {
+            let x: u64 = rng.gen_range(10..20);
+            assert!((10..20).contains(&x));
+            let y: usize = rng.gen_range(0..3);
+            assert!(y < 3);
+            let z: u64 = rng.gen_range(5..=5);
+            assert_eq!(z, 5);
+            let w: i64 = rng.gen_range(-5..=5);
+            assert!((-5..=5).contains(&w));
+        }
+    }
+
+    #[test]
+    fn all_values_of_small_range_appear() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0..8usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "uniform sampler missed a value");
+    }
+
+    #[test]
+    fn gen_bool_extremes_and_middle() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.5)).count();
+        assert!((4_000..6_000).contains(&hits), "p=0.5 gave {hits}/10000");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        SmallRng::seed_from_u64(0).gen_range(5..5u64);
+    }
+}

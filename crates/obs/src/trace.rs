@@ -1,0 +1,297 @@
+//! The fixed-capacity ring-buffer event tracer.
+//!
+//! Each logical thread (or the MVM store) owns its own [`Tracer`], so
+//! recording never takes a lock — the "lock-free" discipline is
+//! ownership, not atomics, which is exactly right for the deterministic
+//! single-threaded simulator and for per-thread instances elsewhere.
+//!
+//! The whole module is governed by the `trace` cargo feature. With the
+//! feature **disabled** (the default), [`Tracer`] is a zero-sized type,
+//! [`Tracer::record`] is an empty inline function the optimizer deletes,
+//! and [`Tracer::drain`] returns an empty vector: the hot path carries
+//! no cost and no allocation. Enable `--features trace` to capture the
+//! last [`Tracer::DEFAULT_CAPACITY`] events per tracer (oldest events
+//! are overwritten — a flight recorder, not an unbounded log).
+
+use crate::event::{EventKind, TraceRecord};
+
+/// Per-owner ring-buffer of [`TraceRecord`]s. Zero-sized and inert
+/// unless the `trace` feature is enabled.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Tracer {
+    #[cfg(feature = "trace")]
+    inner: ring::Ring,
+}
+
+impl Tracer {
+    /// Events retained per tracer when the `trace` feature is on.
+    pub const DEFAULT_CAPACITY: usize = 4096;
+
+    /// Creates a tracer with [`Tracer::DEFAULT_CAPACITY`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a tracer retaining the last `capacity` events (ignored —
+    /// and allocation-free — when the `trace` feature is off).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero (with the feature on).
+    #[allow(unused_variables)]
+    pub fn with_capacity(capacity: usize) -> Self {
+        #[cfg(feature = "trace")]
+        {
+            Tracer {
+                inner: ring::Ring::with_capacity(capacity),
+            }
+        }
+        #[cfg(not(feature = "trace"))]
+        {
+            Tracer {}
+        }
+    }
+
+    /// Whether tracing is compiled in at all.
+    pub const fn enabled() -> bool {
+        cfg!(feature = "trace")
+    }
+
+    /// Records one event. A no-op (inlined away) when the `trace`
+    /// feature is off.
+    #[inline(always)]
+    #[allow(unused_variables)]
+    pub fn record(&mut self, at: u64, thread: u32, kind: EventKind) {
+        #[cfg(feature = "trace")]
+        self.inner.push(TraceRecord { at, thread, kind });
+    }
+
+    /// Number of events currently retained (0 with the feature off).
+    pub fn len(&self) -> usize {
+        #[cfg(feature = "trace")]
+        {
+            self.inner.len()
+        }
+        #[cfg(not(feature = "trace"))]
+        {
+            0
+        }
+    }
+
+    /// Whether no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// How many events were dropped to the ring's wraparound.
+    pub fn dropped(&self) -> u64 {
+        #[cfg(feature = "trace")]
+        {
+            self.inner.dropped()
+        }
+        #[cfg(not(feature = "trace"))]
+        {
+            0
+        }
+    }
+
+    /// Takes the retained events in recording order (oldest first),
+    /// leaving the tracer empty. Always empty with the feature off.
+    pub fn drain(&mut self) -> Vec<TraceRecord> {
+        #[cfg(feature = "trace")]
+        {
+            self.inner.drain()
+        }
+        #[cfg(not(feature = "trace"))]
+        {
+            Vec::new()
+        }
+    }
+}
+
+/// Merges per-thread traces into one stream ordered by `(at, thread)`,
+/// which is the global virtual-time order (ties broken by thread id, the
+/// same tiebreak the engine scheduler uses).
+pub fn merge_traces(mut traces: Vec<Vec<TraceRecord>>) -> Vec<TraceRecord> {
+    let mut all: Vec<TraceRecord> = traces.drain(..).flatten().collect();
+    // Stable sort: events of one thread at the same cycle keep their
+    // recording order.
+    all.sort_by_key(|r| (r.at, r.thread));
+    all
+}
+
+#[cfg(feature = "trace")]
+mod ring {
+    use crate::event::TraceRecord;
+
+    /// The actual ring buffer, only compiled under `trace`.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub(super) struct Ring {
+        buf: Vec<TraceRecord>,
+        capacity: usize,
+        /// Index of the next write slot.
+        head: usize,
+        /// Total events ever recorded.
+        recorded: u64,
+    }
+
+    impl Default for Ring {
+        fn default() -> Self {
+            Ring::with_capacity(super::Tracer::DEFAULT_CAPACITY)
+        }
+    }
+
+    impl Ring {
+        pub(super) fn with_capacity(capacity: usize) -> Self {
+            assert!(capacity > 0, "tracer capacity must be positive");
+            Ring {
+                buf: Vec::with_capacity(capacity.min(1024)),
+                capacity,
+                head: 0,
+                recorded: 0,
+            }
+        }
+
+        pub(super) fn push(&mut self, r: TraceRecord) {
+            if self.buf.len() < self.capacity {
+                self.buf.push(r);
+            } else {
+                self.buf[self.head] = r;
+            }
+            self.head = (self.head + 1) % self.capacity;
+            self.recorded += 1;
+        }
+
+        pub(super) fn len(&self) -> usize {
+            self.buf.len()
+        }
+
+        pub(super) fn dropped(&self) -> u64 {
+            self.recorded - self.buf.len() as u64
+        }
+
+        pub(super) fn drain(&mut self) -> Vec<TraceRecord> {
+            let split = if self.buf.len() < self.capacity {
+                0 // not yet wrapped: buffer is already oldest-first
+            } else {
+                self.head
+            };
+            let mut out = Vec::with_capacity(self.buf.len());
+            out.extend_from_slice(&self.buf[split..]);
+            out.extend_from_slice(&self.buf[..split]);
+            self.buf.clear();
+            self.head = 0;
+            self.recorded = 0;
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+
+    fn rec(at: u64) -> (u64, u32, EventKind) {
+        (at, 0, EventKind::Commit)
+    }
+
+    #[test]
+    fn disabled_tracer_is_inert_and_zero_cost() {
+        if Tracer::enabled() {
+            return; // covered by the cfg(feature) tests below
+        }
+        let mut t = Tracer::new();
+        let (at, th, k) = rec(1);
+        t.record(at, th, k);
+        assert_eq!(t.len(), 0);
+        assert!(t.drain().is_empty());
+        assert_eq!(std::mem::size_of::<Tracer>(), 0, "Tracer must be a ZST");
+    }
+
+    #[cfg(feature = "trace")]
+    mod enabled {
+        use super::super::*;
+        use crate::event::EventKind;
+
+        #[test]
+        fn records_in_order_until_capacity() {
+            let mut t = Tracer::with_capacity(8);
+            for i in 0..5 {
+                t.record(i, 0, EventKind::Commit);
+            }
+            assert_eq!(t.len(), 5);
+            assert_eq!(t.dropped(), 0);
+            let out = t.drain();
+            assert_eq!(
+                out.iter().map(|r| r.at).collect::<Vec<_>>(),
+                vec![0, 1, 2, 3, 4]
+            );
+            assert!(t.is_empty());
+        }
+
+        #[test]
+        fn wraparound_keeps_newest_oldest_first() {
+            let mut t = Tracer::with_capacity(4);
+            for i in 0..10 {
+                t.record(i, 0, EventKind::Commit);
+            }
+            assert_eq!(t.len(), 4);
+            assert_eq!(t.dropped(), 6);
+            let out = t.drain();
+            assert_eq!(
+                out.iter().map(|r| r.at).collect::<Vec<_>>(),
+                vec![6, 7, 8, 9]
+            );
+        }
+
+        #[test]
+        fn wraparound_at_exact_capacity_boundary() {
+            let mut t = Tracer::with_capacity(3);
+            for i in 0..3 {
+                t.record(i, 0, EventKind::Commit);
+            }
+            assert_eq!(t.dropped(), 0);
+            let out = t.drain();
+            assert_eq!(out.iter().map(|r| r.at).collect::<Vec<_>>(), vec![0, 1, 2]);
+        }
+
+        #[test]
+        #[should_panic(expected = "capacity must be positive")]
+        fn zero_capacity_rejected() {
+            Tracer::with_capacity(0);
+        }
+    }
+
+    #[test]
+    fn merge_orders_by_time_then_thread() {
+        use crate::event::TraceRecord;
+        let a = vec![
+            TraceRecord {
+                at: 1,
+                thread: 0,
+                kind: EventKind::Commit,
+            },
+            TraceRecord {
+                at: 5,
+                thread: 0,
+                kind: EventKind::Commit,
+            },
+        ];
+        let b = vec![
+            TraceRecord {
+                at: 1,
+                thread: 1,
+                kind: EventKind::Commit,
+            },
+            TraceRecord {
+                at: 3,
+                thread: 1,
+                kind: EventKind::Commit,
+            },
+        ];
+        let merged = merge_traces(vec![b, a]);
+        let order: Vec<(u64, u32)> = merged.iter().map(|r| (r.at, r.thread)).collect();
+        assert_eq!(order, vec![(1, 0), (1, 1), (3, 1), (5, 0)]);
+    }
+}

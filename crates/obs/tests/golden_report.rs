@@ -1,0 +1,84 @@
+//! Golden-file round-trip for the JSONL run-report schema: the
+//! checked-in `tests/golden/run_report.jsonl` must parse to known
+//! reports, and re-serializing those reports must reproduce the file
+//! byte for byte. A failure here means the schema changed — bump
+//! `SCHEMA` and regenerate the golden file deliberately.
+
+use sitm_obs::RunReport;
+
+fn golden_reports() -> Vec<RunReport> {
+    let mut full = RunReport::new("fig7_abort_rates", "SI-TM", "array");
+    full.threads = 16;
+    full.seeds = 3;
+    full.commits = 2400;
+    full.aborts.insert("write-write".into(), 120);
+    full.aborts.insert("version-overflow".into(), 3);
+    full.abort_rate = 0.048_78;
+    full.throughput = 1.625;
+    full.total_cycles = 1_476_923;
+    full.truncated = false;
+    full.phase_cycles.insert("read".into(), 900_000);
+    full.phase_cycles.insert("commit".into(), 200_000);
+    full.phase_cycles.insert("backoff".into(), 376_923);
+    full.version_depth = [5130, 590, 41, 7, 1, 2];
+    full.extra.insert("rate_rel_2pl".into(), 0.19);
+    full.counters.insert("mvm.gc.reclaimed".into(), 64);
+
+    let mut truncated = RunReport::new("ablate_backoff/off", "2PL", "genome");
+    truncated.threads = 32;
+    truncated.seeds = 1;
+    truncated.commits = 0;
+    truncated.aborts.insert("read-write".into(), 18_000);
+    truncated.abort_rate = 1.0;
+    truncated.throughput = 0.0;
+    truncated.total_cycles = 50_000_000;
+    truncated.truncated = true;
+
+    vec![full, truncated]
+}
+
+fn golden_text() -> String {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/run_report.jsonl");
+    std::fs::read_to_string(path).expect("golden file present")
+}
+
+/// Regenerates the golden file after a deliberate schema change:
+/// `cargo test -p sitm-obs --test golden_report -- --ignored`.
+#[test]
+#[ignore = "regenerates the golden file; run explicitly after schema changes"]
+fn regenerate_golden_file() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/run_report.jsonl");
+    let mut text = golden_reports()
+        .iter()
+        .map(RunReport::to_json_line)
+        .collect::<Vec<_>>()
+        .join("\n");
+    text.push('\n');
+    std::fs::write(path, text).expect("golden file written");
+}
+
+#[test]
+fn golden_file_parses_to_known_reports() {
+    let parsed = RunReport::from_jsonl(&golden_text()).expect("golden file parses");
+    assert_eq!(parsed, golden_reports());
+}
+
+#[test]
+fn serialization_reproduces_golden_file_exactly() {
+    let mut lines: Vec<String> = golden_reports()
+        .iter()
+        .map(RunReport::to_json_line)
+        .collect();
+    lines.push(String::new()); // trailing newline
+    assert_eq!(lines.join("\n"), golden_text());
+}
+
+#[test]
+fn golden_reports_survive_a_round_trip() {
+    for report in golden_reports() {
+        let line = report.to_json_line();
+        let back = RunReport::from_json_line(&line).expect("round-trip parses");
+        assert_eq!(back, report);
+        assert_eq!(back.to_json_line(), line, "serialization is a fixed point");
+    }
+}

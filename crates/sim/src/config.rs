@@ -34,7 +34,10 @@ impl CacheParams {
     /// Panics if the geometry does not divide evenly or is empty.
     pub fn sets(&self) -> usize {
         let lines = self.lines();
-        assert!(self.ways > 0 && lines >= self.ways, "degenerate cache geometry");
+        assert!(
+            self.ways > 0 && lines >= self.ways,
+            "degenerate cache geometry"
+        );
         assert_eq!(lines % self.ways, 0, "lines must divide into whole sets");
         lines / self.ways
     }
@@ -155,10 +158,16 @@ impl MachineConfig {
         };
         row("CPU Cores", self.cores.to_string());
         row("CPU Clock", format!("{} GHz", self.clock_ghz));
-        row("L1D cache size", format!("{}KByte", self.l1.size_bytes / 1024));
+        row(
+            "L1D cache size",
+            format!("{}KByte", self.l1.size_bytes / 1024),
+        );
         row("L1 cache associativity", format!("{}-way", self.l1.ways));
         row("L1 cache latency", format!("{} cycles", self.l1.latency));
-        row("L2 cache size", format!("{}KByte", self.l2.size_bytes / 1024));
+        row(
+            "L2 cache size",
+            format!("{}KByte", self.l2.size_bytes / 1024),
+        );
         row("L2 cache associativity", format!("{}-way", self.l2.ways));
         row("L2 cache latency", format!("{} cycles", self.l2.latency));
         row(

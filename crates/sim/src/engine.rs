@@ -12,9 +12,8 @@
 //! also records all statistics ([`RunStats`]) used by the figure
 //! harnesses.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 use sitm_mvm::ThreadId;
+use sitm_obs::{merge_traces, EventKind, Phase as ProfPhase, SmallRng, Tracer};
 
 use crate::config::{BackoffConfig, Cycles, MachineConfig};
 use crate::program::{ThreadWorkload, TxOp, TxProgram, Workload};
@@ -50,6 +49,15 @@ struct ThreadState {
     consecutive_aborts: u32,
     stats: ThreadStats,
     rng: SmallRng,
+    tracer: Tracer,
+}
+
+impl ThreadState {
+    /// Advances the clock by `cycles`, attributing them to `phase`.
+    fn charge(&mut self, phase: ProfPhase, cycles: Cycles) {
+        self.clock += cycles;
+        self.stats.phase_cycles.charge(phase, cycles);
+    }
 }
 
 impl std::fmt::Debug for ThreadState {
@@ -78,13 +86,19 @@ impl<P: TmProtocol> Engine<P> {
     /// under `protocol`. The workload's [`Workload::setup`] runs
     /// immediately against the protocol's store; thread streams are
     /// seeded from `seed`.
-    pub fn new(mut protocol: P, workload: &mut dyn Workload, cfg: &MachineConfig, seed: u64) -> Self {
+    pub fn new(
+        mut protocol: P,
+        workload: &mut dyn Workload,
+        cfg: &MachineConfig,
+        seed: u64,
+    ) -> Self {
         workload.setup(protocol.store_mut(), cfg.cores);
         let threads = (0..cfg.cores)
             .map(|tid| ThreadState {
                 clock: 0,
                 phase: Phase::NeedTx,
-                workload: workload.thread_workload(tid, seed ^ (tid as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+                workload: workload
+                    .thread_workload(tid, seed ^ (tid as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
                 program: None,
                 input: None,
                 doomed: None,
@@ -92,6 +106,7 @@ impl<P: TmProtocol> Engine<P> {
                 consecutive_aborts: 0,
                 stats: ThreadStats::default(),
                 rng: SmallRng::seed_from_u64(seed.wrapping_add(tid as u64)),
+                tracer: Tracer::new(),
             })
             .collect();
         Engine {
@@ -106,27 +121,21 @@ impl<P: TmProtocol> Engine<P> {
 
     /// Runs the simulation to completion and returns the statistics.
     pub fn run(mut self) -> (RunStats, P) {
-        loop {
-            let Some(tid) = self.next_runnable() else {
-                break;
-            };
+        while let Some(tid) = self.next_runnable() {
             if self.max_cycles > 0 && self.threads[tid].clock > self.max_cycles {
                 self.truncated = true;
                 break;
             }
             self.step(tid);
         }
-        let total_cycles = self
-            .threads
-            .iter()
-            .map(|t| t.clock)
-            .max()
-            .unwrap_or(0);
+        let total_cycles = self.threads.iter().map(|t| t.clock).max().unwrap_or(0);
+        let mut traces = Vec::with_capacity(self.threads.len());
         let per_thread: Vec<ThreadStats> = self
             .threads
             .drain(..)
             .map(|mut t| {
                 t.stats.finish_cycles = t.clock;
+                traces.push(t.tracer.drain());
                 t.stats
             })
             .collect();
@@ -138,6 +147,7 @@ impl<P: TmProtocol> Engine<P> {
                 per_thread,
                 total_cycles,
                 truncated: self.truncated,
+                trace: merge_traces(traces),
             },
             self.protocol,
         )
@@ -157,33 +167,39 @@ impl<P: TmProtocol> Engine<P> {
         // A doomed transaction aborts before doing anything else.
         if let Some(cause) = self.threads[tid].doomed.take() {
             let pending = std::mem::take(&mut self.threads[tid].pending_cycles);
-            self.threads[tid].clock += pending;
+            self.threads[tid].charge(ProfPhase::Validate, pending);
             self.handle_abort(tid, cause);
             return;
         }
         match self.threads[tid].phase {
             Phase::Finished => {}
-            Phase::NeedTx => {
-                match self.threads[tid].workload.next_transaction() {
-                    None => self.threads[tid].phase = Phase::Finished,
-                    Some(p) => {
-                        self.threads[tid].program = Some(p);
-                        self.threads[tid].phase = Phase::NeedBegin;
-                    }
+            Phase::NeedTx => match self.threads[tid].workload.next_transaction() {
+                None => self.threads[tid].phase = Phase::Finished,
+                Some(p) => {
+                    self.threads[tid].program = Some(p);
+                    self.threads[tid].phase = Phase::NeedBegin;
                 }
-            }
+            },
             Phase::NeedBegin => {
                 let now = self.threads[tid].clock;
                 match self.protocol.begin(ThreadId(tid), now) {
                     BeginOutcome::Started { cycles, victims } => {
-                        self.threads[tid].clock += cycles;
-                        self.threads[tid].input = None;
-                        self.threads[tid].phase = Phase::Running;
+                        let t = &mut self.threads[tid];
+                        t.charge(ProfPhase::Begin, cycles);
+                        t.tracer.record(t.clock, tid as u32, EventKind::Begin(now));
+                        t.input = None;
+                        t.phase = Phase::Running;
                         self.doom_victims(tid, victims);
                     }
                     BeginOutcome::Stall { cycles } => {
-                        self.threads[tid].clock += cycles;
-                        self.threads[tid].stats.stall_cycles += cycles;
+                        let t = &mut self.threads[tid];
+                        t.charge(ProfPhase::Stall, cycles);
+                        t.stats.stall_cycles += cycles;
+                        t.tracer.record(
+                            t.clock,
+                            tid as u32,
+                            EventKind::CommitReservationStall(cycles),
+                        );
                     }
                 }
             }
@@ -201,7 +217,7 @@ impl<P: TmProtocol> Engine<P> {
         let now = self.threads[tid].clock;
         match op {
             TxOp::Compute(c) => {
-                self.threads[tid].clock += c;
+                self.threads[tid].charge(ProfPhase::Compute, c);
             }
             TxOp::Read(addr) => {
                 self.threads[tid].stats.reads += 1;
@@ -211,8 +227,11 @@ impl<P: TmProtocol> Engine<P> {
                         cycles,
                         victims,
                     } => {
-                        self.threads[tid].clock += cycles;
-                        self.threads[tid].input = Some(value);
+                        let t = &mut self.threads[tid];
+                        t.charge(ProfPhase::Read, cycles);
+                        t.tracer
+                            .record(t.clock, tid as u32, EventKind::Read(addr.0));
+                        t.input = Some(value);
                         self.doom_victims(tid, victims);
                     }
                     ReadOutcome::Abort {
@@ -220,7 +239,7 @@ impl<P: TmProtocol> Engine<P> {
                         cycles,
                         victims,
                     } => {
-                        self.threads[tid].clock += cycles;
+                        self.threads[tid].charge(ProfPhase::Validate, cycles);
                         self.handle_abort(tid, cause);
                         self.doom_victims(tid, victims);
                     }
@@ -230,7 +249,10 @@ impl<P: TmProtocol> Engine<P> {
                 self.threads[tid].stats.writes += 1;
                 match self.protocol.write(ThreadId(tid), addr, value, now) {
                     WriteOutcome::Ok { cycles, victims } => {
-                        self.threads[tid].clock += cycles;
+                        let t = &mut self.threads[tid];
+                        t.charge(ProfPhase::Write, cycles);
+                        t.tracer
+                            .record(t.clock, tid as u32, EventKind::Write(addr.0));
                         self.doom_victims(tid, victims);
                     }
                     WriteOutcome::Abort {
@@ -238,7 +260,7 @@ impl<P: TmProtocol> Engine<P> {
                         cycles,
                         victims,
                     } => {
-                        self.threads[tid].clock += cycles;
+                        self.threads[tid].charge(ProfPhase::Validate, cycles);
                         self.handle_abort(tid, cause);
                         self.doom_victims(tid, victims);
                     }
@@ -248,7 +270,10 @@ impl<P: TmProtocol> Engine<P> {
                 self.threads[tid].stats.promotions += 1;
                 match self.protocol.promote(ThreadId(tid), addr, now) {
                     WriteOutcome::Ok { cycles, victims } => {
-                        self.threads[tid].clock += cycles;
+                        let t = &mut self.threads[tid];
+                        t.charge(ProfPhase::Write, cycles);
+                        t.tracer
+                            .record(t.clock, tid as u32, EventKind::Promote(addr.0));
                         self.doom_victims(tid, victims);
                     }
                     WriteOutcome::Abort {
@@ -256,7 +281,7 @@ impl<P: TmProtocol> Engine<P> {
                         cycles,
                         victims,
                     } => {
-                        self.threads[tid].clock += cycles;
+                        self.threads[tid].charge(ProfPhase::Validate, cycles);
                         self.handle_abort(tid, cause);
                         self.doom_victims(tid, victims);
                     }
@@ -266,16 +291,18 @@ impl<P: TmProtocol> Engine<P> {
                 // Self-sandboxed zombie: discard protocol state and
                 // re-execute.
                 let cycles = self.protocol.rollback(ThreadId(tid));
-                self.threads[tid].clock += cycles;
+                self.threads[tid].charge(ProfPhase::Validate, cycles);
                 self.handle_abort(tid, AbortCause::Inconsistent);
             }
             TxOp::Commit => match self.protocol.commit(ThreadId(tid), now) {
                 CommitOutcome::Committed { cycles, victims } => {
-                    self.threads[tid].clock += cycles;
-                    self.threads[tid].stats.commits += 1;
-                    self.threads[tid].consecutive_aborts = 0;
-                    self.threads[tid].program = None;
-                    self.threads[tid].phase = Phase::NeedTx;
+                    let t = &mut self.threads[tid];
+                    t.charge(ProfPhase::Commit, cycles);
+                    t.tracer.record(t.clock, tid as u32, EventKind::Commit);
+                    t.stats.commits += 1;
+                    t.consecutive_aborts = 0;
+                    t.program = None;
+                    t.phase = Phase::NeedTx;
                     self.doom_victims(tid, victims);
                 }
                 CommitOutcome::Abort {
@@ -283,7 +310,7 @@ impl<P: TmProtocol> Engine<P> {
                     cycles,
                     victims,
                 } => {
-                    self.threads[tid].clock += cycles;
+                    self.threads[tid].charge(ProfPhase::Validate, cycles);
                     self.handle_abort(tid, cause);
                     self.doom_victims(tid, victims);
                 }
@@ -297,12 +324,14 @@ impl<P: TmProtocol> Engine<P> {
         let t = &mut self.threads[tid];
         t.stats.aborts[cause.index()] += 1;
         t.consecutive_aborts += 1;
+        t.tracer
+            .record(t.clock, tid as u32, EventKind::Abort(cause.index() as u8));
         if self.backoff.enabled {
             let exp = (t.consecutive_aborts.saturating_sub(1)).min(self.backoff.max_exponent);
             let window = self.backoff.base << exp;
             // Randomized slot within the window avoids lock-step retries.
             let delay = t.rng.gen_range(window / 2..=window);
-            t.clock += delay;
+            t.charge(ProfPhase::Backoff, delay);
             t.stats.backoff_cycles += delay;
         }
         if let Some(p) = t.program.as_mut() {
@@ -484,7 +513,13 @@ mod tests {
                 victims: vec![],
             }
         }
-        fn write(&mut self, _tid: ThreadId, _addr: Addr, _value: Word, _now: Cycles) -> WriteOutcome {
+        fn write(
+            &mut self,
+            _tid: ThreadId,
+            _addr: Addr,
+            _value: Word,
+            _now: Cycles,
+        ) -> WriteOutcome {
             WriteOutcome::Ok {
                 cycles: 1,
                 victims: vec![],
@@ -608,6 +643,86 @@ mod tests {
         let stats = run_simulation(NullProtocol::default(), &mut w, &cfg, 3);
         assert_eq!(stats.commits(), 1);
         assert_eq!(stats.aborts_by(AbortCause::Inconsistent), 1);
+    }
+
+    #[test]
+    fn every_cycle_is_attributed_to_a_phase() {
+        let cfg = MachineConfig::with_cores(2);
+        let mut w = CounterWorkload {
+            txs_per_thread: 4,
+            base: None,
+        };
+        let stats = run_simulation(NullProtocol::default(), &mut w, &cfg, 5);
+        for t in &stats.per_thread {
+            // The phase profile accounts for the thread's whole clock.
+            assert_eq!(t.phase_cycles.total(), t.finish_cycles);
+            assert!(t.phase_cycles[ProfPhase::Commit] > 0);
+            assert!(t.phase_cycles[ProfPhase::Compute] > 0);
+        }
+        let pc = stats.phase_cycles();
+        assert_eq!(
+            pc.total(),
+            stats
+                .per_thread
+                .iter()
+                .map(|t| t.finish_cycles)
+                .sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn aborts_charge_validate_and_backoff_phases() {
+        let cfg = MachineConfig::with_cores(1);
+        let mut w = CounterWorkload {
+            txs_per_thread: 3,
+            base: None,
+        };
+        let stats = run_simulation(FlakyProtocol::default(), &mut w, &cfg, 1);
+        let t = &stats.per_thread[0];
+        assert_eq!(t.phase_cycles.total(), t.finish_cycles);
+        // The two forced commit failures cost 3 cycles each.
+        assert_eq!(t.phase_cycles[ProfPhase::Validate], 6);
+        assert_eq!(t.phase_cycles[ProfPhase::Backoff], t.backoff_cycles);
+    }
+
+    #[cfg(feature = "trace")]
+    #[test]
+    fn trace_records_lifecycle_in_time_order() {
+        let cfg = MachineConfig::with_cores(2);
+        let mut w = CounterWorkload {
+            txs_per_thread: 2,
+            base: None,
+        };
+        let stats = run_simulation(NullProtocol::default(), &mut w, &cfg, 9);
+        assert!(!stats.trace.is_empty());
+        // Merged stream is sorted by (at, thread).
+        for pair in stats.trace.windows(2) {
+            assert!((pair[0].at, pair[0].thread) <= (pair[1].at, pair[1].thread));
+        }
+        let commits = stats
+            .trace
+            .iter()
+            .filter(|r| matches!(r.kind, EventKind::Commit))
+            .count() as u64;
+        assert_eq!(commits, stats.commits());
+        let begins = stats
+            .trace
+            .iter()
+            .filter(|r| matches!(r.kind, EventKind::Begin(_)))
+            .count() as u64;
+        assert_eq!(begins, stats.commits() + stats.aborts());
+    }
+
+    #[cfg(not(feature = "trace"))]
+    #[test]
+    fn trace_is_empty_when_feature_disabled() {
+        let cfg = MachineConfig::with_cores(1);
+        let mut w = CounterWorkload {
+            txs_per_thread: 2,
+            base: None,
+        };
+        let stats = run_simulation(NullProtocol::default(), &mut w, &cfg, 9);
+        assert!(stats.trace.is_empty());
     }
 
     #[test]

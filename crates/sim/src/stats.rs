@@ -4,6 +4,7 @@
 
 use crate::config::Cycles;
 use crate::protocol::AbortCause;
+use sitm_obs::{PhaseCycles, TraceRecord};
 
 /// Statistics of one logical thread across a run.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -24,6 +25,8 @@ pub struct ThreadStats {
     pub stall_cycles: Cycles,
     /// The thread's final virtual time.
     pub finish_cycles: Cycles,
+    /// Every charged cycle attributed to its transaction phase.
+    pub phase_cycles: PhaseCycles,
 }
 
 impl ThreadStats {
@@ -48,6 +51,10 @@ pub struct RunStats {
     pub total_cycles: Cycles,
     /// Whether the safety valve (`max_cycles`) ended the run early.
     pub truncated: bool,
+    /// Lifecycle events merged across threads in virtual-time order.
+    /// Empty unless the `trace` cargo feature is enabled (the tracer is
+    /// compiled out otherwise).
+    pub trace: Vec<TraceRecord>,
 }
 
 impl RunStats {
@@ -63,20 +70,39 @@ impl RunStats {
 
     /// Total aborts attributed to `cause`.
     pub fn aborts_by(&self, cause: AbortCause) -> u64 {
-        self.per_thread.iter().map(|t| t.aborts[cause.index()]).sum()
+        self.per_thread
+            .iter()
+            .map(|t| t.aborts[cause.index()])
+            .sum()
     }
 
     /// Abort rate: aborted execution attempts over all attempts
     /// (`aborts / (aborts + commits)`), as plotted in Figure 7. Zero when
-    /// nothing ran.
+    /// nothing ran to completion — unless the run was truncated, in
+    /// which case a zero-attempt run means the protocol livelocked and
+    /// the rate saturates to 1.0 rather than reporting a spuriously
+    /// perfect 0.0.
     pub fn abort_rate(&self) -> f64 {
         let a = self.aborts() as f64;
         let c = self.commits() as f64;
         if a + c == 0.0 {
-            0.0
+            if self.truncated {
+                1.0
+            } else {
+                0.0
+            }
         } else {
             a / (a + c)
         }
+    }
+
+    /// Phase-cycle profile summed over threads.
+    pub fn phase_cycles(&self) -> PhaseCycles {
+        let mut pc = PhaseCycles::new();
+        for t in &self.per_thread {
+            pc.merge(&t.phase_cycles);
+        }
+        pc
     }
 
     /// Committed transactions per kilocycle — the throughput measure from
@@ -132,8 +158,10 @@ mod tests {
     use super::*;
 
     fn stats_with(commits: u64, rw: u64, ww: u64) -> RunStats {
-        let mut t = ThreadStats::default();
-        t.commits = commits;
+        let mut t = ThreadStats {
+            commits,
+            ..Default::default()
+        };
         t.aborts[AbortCause::ReadWrite.index()] = rw;
         t.aborts[AbortCause::WriteWrite.index()] = ww;
         RunStats {
@@ -143,6 +171,7 @@ mod tests {
             per_thread: vec![t],
             total_cycles: 1000,
             truncated: false,
+            trace: Vec::new(),
         }
     }
 
@@ -160,6 +189,41 @@ mod tests {
         let s = RunStats::default();
         assert_eq!(s.abort_rate(), 0.0);
         assert_eq!(s.throughput(), 0.0);
+    }
+
+    #[test]
+    fn truncated_zero_progress_run_saturates_abort_rate() {
+        // A run that hit the cycle ceiling with neither commits nor
+        // aborts (e.g. pure stall livelock) must not report a perfect
+        // 0.0 abort rate.
+        let s = RunStats {
+            truncated: true,
+            total_cycles: 1000,
+            ..RunStats::default()
+        };
+        assert_eq!(s.abort_rate(), 1.0);
+        // With any completed attempt, the ordinary ratio applies.
+        let mut s2 = stats_with(1, 1, 0);
+        s2.truncated = true;
+        assert!((s2.abort_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn phase_cycles_sum_over_threads() {
+        use sitm_obs::Phase;
+        let mut a = ThreadStats::default();
+        a.phase_cycles.charge(Phase::Read, 10);
+        let mut b = ThreadStats::default();
+        b.phase_cycles.charge(Phase::Read, 5);
+        b.phase_cycles.charge(Phase::Commit, 1);
+        let s = RunStats {
+            per_thread: vec![a, b],
+            ..RunStats::default()
+        };
+        let pc = s.phase_cycles();
+        assert_eq!(pc[Phase::Read], 15);
+        assert_eq!(pc[Phase::Commit], 1);
+        assert_eq!(pc.total(), 16);
     }
 
     #[test]

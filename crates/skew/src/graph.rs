@@ -160,12 +160,7 @@ mod tests {
     use crate::trace::TxRecord;
     use std::collections::BTreeSet;
 
-    fn record(
-        id: u64,
-        range: (usize, usize),
-        reads: &[u64],
-        writes: &[u64],
-    ) -> TxRecord {
+    fn record(id: u64, range: (usize, usize), reads: &[u64], writes: &[u64]) -> TxRecord {
         TxRecord {
             id,
             begin_index: range.0,

@@ -81,7 +81,7 @@ impl WriteSkewReport {
                 occurrences,
             })
             .collect();
-        patterns.sort_by(|a, b| b.occurrences.cmp(&a.occurrences));
+        patterns.sort_by_key(|p| std::cmp::Reverse(p.occurrences));
         patterns
     }
 
@@ -89,11 +89,7 @@ impl WriteSkewReport {
     /// actionable list for a programmer (which *reads* to promote,
     /// independent of which transaction instance exhibited the cycle).
     pub fn promotions_by_variable(&self) -> Vec<String> {
-        let mut names: Vec<String> = self
-            .promotions
-            .iter()
-            .map(|p| p.name.clone())
-            .collect();
+        let mut names: Vec<String> = self.promotions.iter().map(|p| p.name.clone()).collect();
         names.sort();
         names.dedup();
         names
@@ -181,10 +177,7 @@ pub fn analyze_trace(trace: &Trace) -> WriteSkewReport {
             }
         }
         report.findings.push(SkewFinding {
-            transactions: component
-                .iter()
-                .map(|&i| trace.committed[i].id)
-                .collect(),
+            transactions: component.iter().map(|&i| trace.committed[i].id).collect(),
             variables: variables
                 .into_iter()
                 .map(|v| (v, trace.name_of(v)))

@@ -1,9 +1,10 @@
 //! Randomized traces with *planted* write skews: the analyzer must find
 //! every planted dangerous cycle and must not flag skew-free traces.
+//!
+//! Each case is generated from a deterministic seed (reported on
+//! failure), replacing the previous property-testing dependency.
 
-use proptest::prelude::*;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use sitm_obs::SmallRng;
 use sitm_skew::analyze;
 use sitm_stm::TxEvent;
 
@@ -66,35 +67,42 @@ fn build_trace(seed: u64, n_noise: usize, n_planted: usize) -> Vec<TxEvent> {
     events
 }
 
-proptest! {
-    #[test]
-    fn planted_skews_are_all_found(
-        seed in 0u64..1000,
-        n_noise in 0usize..30,
-        n_planted in 0usize..8,
-    ) {
+#[test]
+fn planted_skews_are_all_found() {
+    for case in 0..300u64 {
+        let mut rng = SmallRng::seed_from_u64(0x534b_0000 + case);
+        let seed = rng.gen_range(0u64..1000);
+        let n_noise = rng.gen_range(0usize..30);
+        let n_planted = rng.gen_range(0usize..8);
+
         let events = build_trace(seed, n_noise, n_planted);
         let report = analyze(&events);
-        prop_assert_eq!(
+        assert_eq!(
             report.findings.len(),
             n_planted,
-            "exactly the planted cycles are flagged"
+            "case {case}: exactly the planted cycles are flagged"
         );
         if n_planted == 0 {
-            prop_assert!(report.is_clean());
+            assert!(report.is_clean(), "case {case}");
         } else {
             // Each planted pair proposes promotions on both variables.
-            prop_assert_eq!(report.promotions.len(), 2 * n_planted);
+            assert_eq!(report.promotions.len(), 2 * n_planted, "case {case}");
         }
     }
+}
 
-    /// Sequential (non-overlapping) RMW traffic over shared variables is
-    /// never flagged, at any volume.
-    #[test]
-    fn sequential_traffic_is_clean(seed in 0u64..1000, n in 1usize..100) {
+/// Sequential (non-overlapping) RMW traffic over shared variables is
+/// never flagged, at any volume.
+#[test]
+fn sequential_traffic_is_clean() {
+    for case in 0..300u64 {
+        let mut rng = SmallRng::seed_from_u64(0x534b_1000 + case);
+        let seed = rng.gen_range(0u64..1000);
+        let n = rng.gen_range(1usize..100);
+
         let events = build_trace(seed, n, 0);
         let report = analyze(&events);
-        prop_assert!(report.is_clean());
-        prop_assert_eq!(report.transactions_analyzed, n);
+        assert!(report.is_clean(), "case {case}");
+        assert_eq!(report.transactions_analyzed, n, "case {case}");
     }
 }

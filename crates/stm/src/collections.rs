@@ -74,10 +74,7 @@ impl TList {
     pub fn new() -> Self {
         TList {
             head: Arc::new(NodeCell {
-                var: TVar::new(Node {
-                    key: 0,
-                    next: None,
-                }),
+                var: TVar::new(Node { key: 0, next: None }),
             }),
         }
     }

@@ -8,7 +8,7 @@
 //! consumes these traces to build dependency graphs, detect write-skew
 //! dangerous structures, and propose read promotions.
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, MutexGuard};
 
 /// One transactional event, as reported to a [`Recorder`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -70,7 +70,7 @@ pub trait Recorder: Send + Sync {
 /// post-processing with `sitm-skew`).
 #[derive(Debug, Default)]
 pub struct VecRecorder {
-    events: parking_lot::Mutex<Vec<TxEvent>>,
+    events: Mutex<Vec<TxEvent>>,
 }
 
 impl VecRecorder {
@@ -79,25 +79,33 @@ impl VecRecorder {
         Self::default()
     }
 
+    fn lock(&self) -> MutexGuard<'_, Vec<TxEvent>> {
+        // Already-recorded events stay valid if a recording thread
+        // panicked, so recover from poisoning.
+        self.events
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
     /// Takes the events recorded so far.
     pub fn take(&self) -> Vec<TxEvent> {
-        std::mem::take(&mut self.events.lock())
+        std::mem::take(&mut self.lock())
     }
 
     /// Number of events recorded so far.
     pub fn len(&self) -> usize {
-        self.events.lock().len()
+        self.lock().len()
     }
 
     /// Whether nothing has been recorded.
     pub fn is_empty(&self) -> bool {
-        self.events.lock().is_empty()
+        self.lock().is_empty()
     }
 }
 
 impl Recorder for VecRecorder {
     fn record(&self, event: TxEvent) {
-        self.events.lock().push(event);
+        self.lock().push(event);
     }
 }
 

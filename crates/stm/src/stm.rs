@@ -2,7 +2,9 @@
 //! statistics.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
+
+use sitm_obs::{Histogram, MetricsRegistry, Observable};
 
 use crate::error::{Conflict, StmError};
 use crate::recorder::Recorder;
@@ -15,6 +17,9 @@ pub struct StmStats {
     write_write_aborts: AtomicU64,
     snapshot_too_old_aborts: AtomicU64,
     read_validation_aborts: AtomicU64,
+    /// Log2-bucketed distribution of aborted attempts per committed
+    /// transaction (0 = first-try commit).
+    retries: Mutex<Histogram>,
 }
 
 impl StmStats {
@@ -41,9 +46,19 @@ impl StmStats {
 
     /// All aborts.
     pub fn aborts(&self) -> u64 {
-        self.write_write_aborts()
-            + self.snapshot_too_old_aborts()
-            + self.read_validation_aborts()
+        self.write_write_aborts() + self.snapshot_too_old_aborts() + self.read_validation_aborts()
+    }
+
+    /// A copy of the retry distribution (aborted attempts per committed
+    /// transaction, log2 buckets).
+    pub fn retry_histogram(&self) -> Histogram {
+        self.lock_retries().clone()
+    }
+
+    fn lock_retries(&self) -> std::sync::MutexGuard<'_, Histogram> {
+        self.retries
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
     }
 
     fn count(&self, conflict: Conflict) {
@@ -53,6 +68,19 @@ impl StmStats {
             Conflict::ReadValidation => &self.read_validation_aborts,
         };
         counter.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+impl Observable for StmStats {
+    fn export_metrics(&self, reg: &mut MetricsRegistry) {
+        reg.count("stm.commits", self.commits());
+        reg.count("stm.aborts.write_write", self.write_write_aborts());
+        reg.count(
+            "stm.aborts.snapshot_too_old",
+            self.snapshot_too_old_aborts(),
+        );
+        reg.count("stm.aborts.read_validation", self.read_validation_aborts());
+        reg.merge_histogram("stm.retries", &self.lock_retries());
     }
 }
 
@@ -135,20 +163,26 @@ impl Stm {
         &self.stats
     }
 
+    /// Exports the runtime's counters and retry histogram into `reg`
+    /// under the `stm.` prefix.
+    pub fn export_metrics(&self, reg: &mut MetricsRegistry) {
+        Observable::export_metrics(&self.stats, reg);
+    }
+
     /// Runs `body` transactionally, retrying on conflicts until it
     /// commits, and returns its result.
     ///
     /// The body may run multiple times; side effects other than
     /// transactional reads/writes must be idempotent. Retries use
     /// bounded exponential backoff (spin then yield).
-    pub fn atomically<T>(
-        &self,
-        mut body: impl FnMut(&mut Tx) -> Result<T, StmError>,
-    ) -> T {
+    pub fn atomically<T>(&self, mut body: impl FnMut(&mut Tx) -> Result<T, StmError>) -> T {
         let mut attempt = 0u32;
         loop {
             match self.try_atomically(&mut body) {
-                Ok(value) => return value,
+                Ok(value) => {
+                    self.stats.lock_retries().record(attempt as u64);
+                    return value;
+                }
                 Err(conflict) => {
                     let _ = conflict;
                     backoff(attempt);
@@ -366,5 +400,24 @@ mod tests {
         });
         assert!(t1.commit().is_err());
         assert_eq!(stm.stats().commits(), 1);
+    }
+
+    #[test]
+    fn export_metrics_includes_counters_and_retry_histogram() {
+        let stm = Stm::snapshot();
+        let v = TVar::new(0u64);
+        for _ in 0..3 {
+            stm.atomically(|tx| {
+                let cur = tx.read(&v)?;
+                tx.write(&v, cur + 1);
+                Ok(())
+            });
+        }
+        let mut reg = sitm_obs::MetricsRegistry::new();
+        stm.export_metrics(&mut reg);
+        assert_eq!(reg.counter("stm.commits"), 3);
+        let retries = reg.histogram("stm.retries").expect("recorded");
+        assert_eq!(retries.total(), 3, "one sample per committed txn");
+        assert_eq!(stm.stats().retry_histogram().total(), 3);
     }
 }

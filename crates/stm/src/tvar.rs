@@ -13,9 +13,15 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 use crate::error::Conflict;
+
+/// Locks a mutex, recovering the data if a panicking thread poisoned it
+/// (version lists stay structurally valid across any panic point).
+pub(crate) fn lock_versions<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
 
 /// Default number of versions retained per variable (the paper finds 4
 /// adequate; the software default is more generous because software
@@ -121,9 +127,7 @@ impl<T: Clone + Send + Sync + 'static> TVar<T> {
 
     /// Reads the newest committed value outside any transaction.
     pub fn load(&self) -> T {
-        self.inner
-            .versions
-            .lock()
+        lock_versions(&self.inner.versions)
             .front()
             .expect("a TVar always has at least one version")
             .value
@@ -132,7 +136,7 @@ impl<T: Clone + Send + Sync + 'static> TVar<T> {
 
     /// Reads the newest version at or below `snapshot`.
     pub(crate) fn read_at(&self, snapshot: u64) -> Result<T, Conflict> {
-        let versions = self.inner.versions.lock();
+        let versions = lock_versions(&self.inner.versions);
         for v in versions.iter() {
             if v.ts <= snapshot {
                 return Ok(v.value.clone());
@@ -143,7 +147,7 @@ impl<T: Clone + Send + Sync + 'static> TVar<T> {
 
     /// Number of retained versions (diagnostics).
     pub fn version_count(&self) -> usize {
-        self.inner.versions.lock().len()
+        lock_versions(&self.inner.versions).len()
     }
 }
 
@@ -167,8 +171,7 @@ impl<T: Clone + Send + Sync + 'static> VarOps for VarInner<T> {
     }
 
     fn newest_ts(&self) -> u64 {
-        self.versions
-            .lock()
+        lock_versions(&self.versions)
             .front()
             .expect("a TVar always has at least one version")
             .ts
@@ -178,7 +181,7 @@ impl<T: Clone + Send + Sync + 'static> VarOps for VarInner<T> {
         let value = *value
             .downcast::<T>()
             .expect("pending write type matches its TVar");
-        let mut versions = self.versions.lock();
+        let mut versions = lock_versions(&self.versions);
         let newest = versions.front().expect("non-empty").ts;
         assert!(ts > newest, "install out of order: {ts} <= {newest}");
         versions.push_front(Version { ts, value });

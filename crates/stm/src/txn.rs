@@ -21,7 +21,7 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use std::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use crate::error::{Conflict, StmError};
 use crate::recorder::{Recorder, TxEvent};
@@ -40,8 +40,16 @@ static GLOBAL_CLOCK: AtomicU64 = AtomicU64::new(0);
 const STRIPES: usize = 64;
 static STRIPE_LOCKS: [RwLock<()>; STRIPES] = [const { RwLock::new(()) }; STRIPES];
 
-pub(crate) fn stripe_read(var_id: u64) -> parking_lot::RwLockReadGuard<'static, ()> {
-    STRIPE_LOCKS[(var_id % STRIPES as u64) as usize].read()
+pub(crate) fn stripe_read(var_id: u64) -> RwLockReadGuard<'static, ()> {
+    let lock = &STRIPE_LOCKS[(var_id % STRIPES as u64) as usize];
+    // The guarded value is (), so a poisoned stripe is still usable.
+    lock.read().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+fn stripe_write(stripe: usize) -> RwLockWriteGuard<'static, ()> {
+    STRIPE_LOCKS[stripe]
+        .write()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
 pub(crate) fn clock_now() -> u64 {
@@ -252,7 +260,7 @@ impl Tx {
             .collect();
         stripes.sort_unstable();
         stripes.dedup();
-        let _guards: Vec<_> = stripes.iter().map(|&s| STRIPE_LOCKS[s].write()).collect();
+        let _guards: Vec<_> = stripes.iter().map(|&s| stripe_write(s)).collect();
 
         // Validation: written and promoted/read-validated variables must
         // not have versions newer than the snapshot.

@@ -17,9 +17,8 @@
 //! updates on the same element aborts (write-write). The paper reports
 //! a ~3000x abort reduction over 2PL and ~20x speedup at 32 threads.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 use sitm_mvm::{Addr, MvmStore, Word, WORDS_PER_LINE};
+use sitm_obs::SmallRng;
 use sitm_sim::{ThreadWorkload, TxOp, TxProgram, Workload};
 
 /// Parameters of the Array benchmark.

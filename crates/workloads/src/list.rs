@@ -20,9 +20,8 @@
 //! word 0 = value, word 1 = next (line number of the successor, or
 //! [`NULL`]).
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 use sitm_mvm::{Addr, MvmStore, Word, WORDS_PER_LINE};
+use sitm_obs::SmallRng;
 use sitm_sim::{ThreadWorkload, TxProgram, Workload};
 
 use crate::txm::{LogicTx, NeedRead, TxLogic, TxMemory};
@@ -145,7 +144,9 @@ impl Workload for ListWorkload {
         self.head_line = Some(head);
         // Initial sorted contents: evenly spaced keys.
         let mut keys: Vec<u64> = (0..self.params.initial_size)
-            .map(|i| 1 + (i as u64 * self.params.value_range) / self.params.initial_size.max(1) as u64)
+            .map(|i| {
+                1 + (i as u64 * self.params.value_range) / self.params.initial_size.max(1) as u64
+            })
             .collect();
         keys.dedup();
         let mut prev = head;

@@ -15,9 +15,8 @@
 //! word 2 = color (0 black, 1 red), word 3 = left, word 4 = right,
 //! word 5 = parent. Child/parent fields hold line numbers or [`NIL`].
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 use sitm_mvm::{Addr, MvmStore, Word, WORDS_PER_LINE};
+use sitm_obs::SmallRng;
 use sitm_sim::{ThreadWorkload, TxProgram, Workload};
 
 use crate::txm::{LogicTx, NeedRead, TxLogic, TxMemory};
@@ -407,7 +406,7 @@ pub fn check_tree(mem: &MvmStore, root_ptr: Addr) -> Result<Vec<Word>, String> {
             return Err("tree too deep (cycle?)".into());
         }
         let key = mem.read_word(field(n, F_KEY));
-        if lo.map_or(false, |l| key <= l) || hi.map_or(false, |h| key >= h) {
+        if lo.is_some_and(|l| key <= l) || hi.is_some_and(|h| key >= h) {
             return Err(format!("BST order violated at key {key}"));
         }
         let color = mem.read_word(field(n, F_COLOR));

@@ -17,9 +17,8 @@
 //! read phases stop being fatal) and scales to ~10x at 32 threads while
 //! 2PL and CS flatten beyond 8.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 use sitm_mvm::{Addr, MvmStore, Word};
+use sitm_obs::SmallRng;
 use sitm_sim::{ThreadWorkload, TxProgram, Workload};
 
 use crate::txm::{LogicTx, NeedRead, TxLogic, TxMemory};

@@ -18,9 +18,8 @@
 //! isolation eliminate most 2PL aborts here, performing almost on par
 //! (~3.8x speedup over 2PL at 32 threads for both).
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 use sitm_mvm::{Addr, MvmStore, Word, WORDS_PER_LINE};
+use sitm_obs::SmallRng;
 use sitm_sim::{ThreadWorkload, TxProgram, Workload};
 
 use crate::txm::{LogicTx, NeedRead, TxLogic, TxMemory};

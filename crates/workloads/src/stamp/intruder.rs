@@ -19,9 +19,8 @@
 //! Expectation (Figure 7): at 32 threads SI-TM reduces aborts by ~50x
 //! over 2PL and ~40x over CS.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 use sitm_mvm::{Addr, MvmStore, Word, WORDS_PER_LINE};
+use sitm_obs::SmallRng;
 use sitm_sim::{ThreadWorkload, TxProgram, Workload};
 
 use crate::list::{ListOp, ListOpKind};

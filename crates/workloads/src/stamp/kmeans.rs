@@ -21,9 +21,8 @@
 //! abort rates and performance here — the case SI explicitly does not
 //! claim to improve.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
-use sitm_mvm::{Addr, MvmStore, MvmConfig, Word, WORDS_PER_LINE};
+use sitm_mvm::{Addr, MvmConfig, MvmStore, Word, WORDS_PER_LINE};
+use sitm_obs::SmallRng;
 use sitm_sim::{ThreadWorkload, TxProgram, Workload};
 
 use crate::txm::{LogicTx, NeedRead, TxLogic, TxMemory};
@@ -252,8 +251,14 @@ mod tests {
             }
         }
         assert_eq!(writes, 3, "two sums + count");
-        assert_eq!(mem.read_word(KmeansWorkload::center_addr(w.base(), 1, 0)), 10);
-        assert_eq!(mem.read_word(KmeansWorkload::count_addr(w.counts_base(), 1)), 1);
+        assert_eq!(
+            mem.read_word(KmeansWorkload::center_addr(w.base(), 1, 0)),
+            10
+        );
+        assert_eq!(
+            mem.read_word(KmeansWorkload::count_addr(w.counts_base(), 1)),
+            1
+        );
     }
 
     #[test]
@@ -271,7 +276,7 @@ mod tests {
                     TxOp::Write(a, v) => mem.write_word(a, v),
                     TxOp::Compute(_) | TxOp::Promote(_) => {}
                     TxOp::Commit => break,
-                TxOp::Restart => panic!("consistent driver cannot diverge"),
+                    TxOp::Restart => panic!("consistent driver cannot diverge"),
                 }
             }
             n += 1;

@@ -19,9 +19,8 @@
 //! Expectation (Figures 7/8): low abort rates and similar scaling for
 //! 2PL, SONTM, and SI-TM.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 use sitm_mvm::{Addr, MvmStore, Word};
+use sitm_obs::SmallRng;
 use sitm_sim::{ThreadWorkload, TxProgram, Workload};
 
 use crate::txm::{LogicTx, NeedRead, TxLogic, TxMemory};
@@ -187,7 +186,11 @@ impl TxLogic for RouteTx {
             // Neighbour probe (the BFS halo): one adjacent cell.
             if x + 1 < self.side {
                 let _ = mem.read(LabyrinthWorkload::cell_addr(
-                    self.base, self.side, x + 1, y, z,
+                    self.base,
+                    self.side,
+                    x + 1,
+                    y,
+                    z,
                 ))?;
             }
         }

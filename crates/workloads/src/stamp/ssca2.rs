@@ -12,9 +12,8 @@
 //! slots (spill appends beyond 7 edges drop silently — degree keeps
 //! counting, matching the bounded-slot compact representation).
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 use sitm_mvm::{Addr, MvmStore, Word, WORDS_PER_LINE};
+use sitm_obs::SmallRng;
 use sitm_sim::{ThreadWorkload, TxProgram, Workload};
 
 use crate::txm::{LogicTx, NeedRead, TxLogic, TxMemory};

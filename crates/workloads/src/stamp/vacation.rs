@@ -13,9 +13,8 @@
 //! slots, word 1 = reserved count, word 2 = price. Customer layout:
 //! word 0 = reservation count, word 1 = total spent.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 use sitm_mvm::{Addr, MvmStore, Word, WORDS_PER_LINE};
+use sitm_obs::SmallRng;
 use sitm_sim::{ThreadWorkload, TxProgram, Workload};
 
 use crate::txm::{LogicTx, NeedRead, TxLogic, TxMemory};
@@ -267,10 +266,8 @@ impl TxLogic for MakeReservation {
             }
         }
         if booked {
-            let count_addr =
-                VacationWorkload::customer_addr(self.customers_base, self.customer, 0);
-            let spent_addr =
-                VacationWorkload::customer_addr(self.customers_base, self.customer, 1);
+            let count_addr = VacationWorkload::customer_addr(self.customers_base, self.customer, 0);
+            let spent_addr = VacationWorkload::customer_addr(self.customers_base, self.customer, 1);
             let count = mem.read(count_addr)?;
             let prev = mem.read(spent_addr)?;
             mem.write(count_addr, count + 1);
@@ -380,8 +377,11 @@ mod tests {
                 queries: vec![(0, 1), (1, 2), (2, 3)],
             }),
         );
-        let count =
-            mem.read_word(VacationWorkload::customer_addr(w.customers_base.unwrap(), 3, 0));
+        let count = mem.read_word(VacationWorkload::customer_addr(
+            w.customers_base.unwrap(),
+            3,
+            0,
+        ));
         assert_eq!(count, 1);
         // One booking per table with an available record.
         assert_eq!(w.check_reservations(&mem).unwrap(), TABLES as u64);
@@ -402,7 +402,13 @@ mod tests {
                 customer: 5,
             }),
         );
-        assert_eq!(mem.read_word(VacationWorkload::customer_addr(base, 5, 0)), 0);
-        assert_eq!(mem.read_word(VacationWorkload::customer_addr(base, 5, 1)), 0);
+        assert_eq!(
+            mem.read_word(VacationWorkload::customer_addr(base, 5, 0)),
+            0
+        );
+        assert_eq!(
+            mem.read_word(VacationWorkload::customer_addr(base, 5, 1)),
+            0
+        );
     }
 }

@@ -109,10 +109,7 @@ impl TxMemory {
     /// (initialization helpers apply them directly to a store).
     pub fn drain_writes(&mut self) -> Vec<(Addr, Word)> {
         let order = std::mem::take(&mut self.write_order);
-        order
-            .into_iter()
-            .map(|a| (a, self.overlay[&a]))
-            .collect()
+        order.into_iter().map(|a| (a, self.overlay[&a])).collect()
     }
 
     /// Discards the write overlay, keeping the read cache. Must be
@@ -187,7 +184,9 @@ pub struct LogicTx<L> {
 
 impl<L: std::fmt::Debug> std::fmt::Debug for LogicTx<L> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("LogicTx").field("logic", &self.logic).finish_non_exhaustive()
+        f.debug_struct("LogicTx")
+            .field("logic", &self.logic)
+            .finish_non_exhaustive()
     }
 }
 
@@ -232,21 +231,22 @@ impl<L: TxLogic> TxProgram for LogicTx<L> {
                             return TxOp::Read(addr);
                         }
                         Ok(()) => {
-                            let promotions = if self.logic.promote_reads() && !self.mem.overlay.is_empty() {
-                                // Promote reads of addresses not written
-                                // (written lines validate anyway).
-                                let mut p: Vec<Addr> = self
-                                    .mem
-                                    .cache
-                                    .keys()
-                                    .filter(|a| !self.mem.overlay.contains_key(a))
-                                    .copied()
-                                    .collect();
-                                p.sort_unstable();
-                                p
-                            } else {
-                                Vec::new()
-                            };
+                            let promotions =
+                                if self.logic.promote_reads() && !self.mem.overlay.is_empty() {
+                                    // Promote reads of addresses not written
+                                    // (written lines validate anyway).
+                                    let mut p: Vec<Addr> = self
+                                        .mem
+                                        .cache
+                                        .keys()
+                                        .filter(|a| !self.mem.overlay.contains_key(a))
+                                        .copied()
+                                        .collect();
+                                    p.sort_unstable();
+                                    p
+                                } else {
+                                    Vec::new()
+                                };
                             self.stage = Stage::Draining {
                                 next: 0,
                                 charged_compute: false,

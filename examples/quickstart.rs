@@ -79,9 +79,15 @@ fn main() {
 
     let total: i64 = accounts.iter().map(TVar::load).sum();
     let stats = stm.stats();
-    println!("final total:            {total} (expected {})", ACCOUNTS as i64 * INITIAL_BALANCE);
+    println!(
+        "final total:            {total} (expected {})",
+        ACCOUNTS as i64 * INITIAL_BALANCE
+    );
     println!("committed transactions: {}", stats.commits());
     println!("write-write aborts:     {}", stats.write_write_aborts());
-    println!("snapshot-too-old:       {}", stats.snapshot_too_old_aborts());
+    println!(
+        "snapshot-too-old:       {}",
+        stats.snapshot_too_old_aborts()
+    );
     assert_eq!(total, ACCOUNTS as i64 * INITIAL_BALANCE);
 }

@@ -17,8 +17,14 @@ fn main() {
     cfg.max_cycles = 2_000_000_000;
     let params = ListParams::default();
 
-    println!("list microbenchmark, {threads} threads, {} initial elements", params.initial_size);
-    println!("{:<8} {:>9} {:>8} {:>10} {:>12} {:>12}", "system", "commits", "aborts", "abort rate", "cycles", "commits/kc");
+    println!(
+        "list microbenchmark, {threads} threads, {} initial elements",
+        params.initial_size
+    );
+    println!(
+        "{:<8} {:>9} {:>8} {:>10} {:>12} {:>12}",
+        "system", "commits", "aborts", "abort rate", "cycles", "commits/kc"
+    );
 
     let mut results: Vec<RunStats> = Vec::new();
     for system in ["2PL", "SONTM", "SI-TM", "SSI-TM"] {

@@ -3,8 +3,10 @@
 //! sequential semantics of the shared data structures.
 
 use sitm_core::{SiTm, Sontm, SsiTm, TwoPl};
-use sitm_sim::{run_simulation, AbortCause, MachineConfig, RunStats, TmProtocol, Workload};
-use sitm_workloads::{all_workloads, ListParams, ListWorkload, RbTreeParams, RbTreeWorkload, Scale};
+use sitm_sim::{run_simulation, AbortCause, MachineConfig, RunStats, TmProtocol};
+use sitm_workloads::{
+    all_workloads, ListParams, ListWorkload, RbTreeParams, RbTreeWorkload, Scale,
+};
 
 fn machine(cores: usize) -> MachineConfig {
     let mut cfg = MachineConfig::with_cores(cores);

@@ -25,8 +25,7 @@ fn engine_survives_repeated_clock_overflows() {
         ..SiTmConfig::default()
     };
     let mut w = ListWorkload::new(ListParams::quick());
-    let (stats, protocol) =
-        Engine::new(SiTm::with_config(&cfg, si_cfg), &mut w, &cfg, 13).run();
+    let (stats, protocol) = Engine::new(SiTm::with_config(&cfg, si_cfg), &mut w, &cfg, 13).run();
     assert!(!stats.truncated, "{}", stats.summary());
     assert!(
         protocol.clock().overflows() > 0,
@@ -81,7 +80,11 @@ fn sontm_zombies_are_sandboxed_on_rbtree() {
     let cfg = machine(8);
     let mut w = RbTreeWorkload::new(RbTreeParams::quick());
     let (stats, protocol) = Engine::new(Sontm::new(&cfg), &mut w, &cfg, 37).run();
-    assert!(!stats.truncated, "sandbox prevents livelock: {}", stats.summary());
+    assert!(
+        !stats.truncated,
+        "sandbox prevents livelock: {}",
+        stats.summary()
+    );
     sitm_workloads::check_tree(protocol.store(), w.root_ptr()).expect("tree stays valid");
     // Inconsistent aborts may or may not occur for this seed; the
     // invariant is completion + validity, not a specific count.
@@ -114,7 +117,11 @@ fn no_backoff_still_makes_progress() {
     assert!(!stats.truncated);
     assert_eq!(stats.commits(), 8 * 15);
     assert_eq!(
-        stats.per_thread.iter().map(|t| t.backoff_cycles).sum::<u64>(),
+        stats
+            .per_thread
+            .iter()
+            .map(|t| t.backoff_cycles)
+            .sum::<u64>(),
         0
     );
 }

@@ -1,10 +1,18 @@
-//! Property-based tests over the core data structures and invariants.
+//! Randomized model-checking tests over the core data structures and
+//! invariants.
+//!
+//! These were originally property-based tests; the hermetic build has no
+//! external generator crate, so each property now runs against a few
+//! hundred deterministic seeded cases from the in-tree
+//! [`sitm_obs::SmallRng`]. A failure message always includes the case
+//! seed, so any counterexample reproduces exactly.
 
-use proptest::prelude::*;
 use sitm_mvm::{
-    ActiveTransactions, Addr, MvmStore, OverflowPolicy, ThreadId, Timestamp, VersionList,
-    ZERO_LINE,
+    ActiveTransactions, MvmStore, OverflowPolicy, ThreadId, Timestamp, VersionList, ZERO_LINE,
 };
+use sitm_obs::SmallRng;
+
+const CASES: u64 = 200;
 
 /// Reference model of a version list: every version ever installed,
 /// without caps, coalescing or GC. Snapshot reads against the real list
@@ -29,15 +37,24 @@ impl ModelList {
     }
 }
 
-proptest! {
-    /// With an unbounded policy and a pinned ancient snapshot, the real
-    /// version list agrees with the naive model for every snapshot
-    /// point.
-    #[test]
-    fn version_list_matches_model_unbounded(
-        installs in proptest::collection::vec(1u64..500, 1..40),
-        snapshots in proptest::collection::vec(0u64..600, 1..20),
-    ) {
+fn vec_of(
+    rng: &mut SmallRng,
+    len: std::ops::Range<usize>,
+    mut gen: impl FnMut(&mut SmallRng) -> u64,
+) -> Vec<u64> {
+    let n = rng.gen_range(len);
+    (0..n).map(|_| gen(rng)).collect()
+}
+
+/// With an unbounded policy and a pinned ancient snapshot, the real
+/// version list agrees with the naive model for every snapshot point.
+#[test]
+fn version_list_matches_model_unbounded() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x5157_0000 + seed);
+        let installs = vec_of(&mut rng, 1..40, |r| r.gen_range(1u64..500));
+        let snapshots = vec_of(&mut rng, 1..20, |r| r.gen_range(0u64..600));
+
         let mut vl = VersionList::new();
         let mut model = ModelList::default();
         let mut active = ActiveTransactions::new();
@@ -51,8 +68,14 @@ proptest! {
             // A snapshot right before each install keeps every version
             // distinct under the coalescing rule.
             active.register(ThreadId(i + 1), Timestamp(ts - 1));
-            vl.install(Timestamp(ts), [ts; 8], &active, usize::MAX, OverflowPolicy::Unbounded)
-                .unwrap();
+            vl.install(
+                Timestamp(ts),
+                [ts; 8],
+                &active,
+                usize::MAX,
+                OverflowPolicy::Unbounded,
+            )
+            .unwrap();
             model.install(ts, ts);
         }
         for snap in snapshots {
@@ -60,17 +83,23 @@ proptest! {
             // A never-truncated line with no old-enough version reads
             // as the zero line.
             let expected = Some(model.read(snap).unwrap_or(ZERO_LINE[0]));
-            prop_assert_eq!(real, expected);
+            assert_eq!(real, expected, "seed {seed}, snapshot {snap}");
         }
     }
+}
 
-    /// Snapshot reads through the store never observe a torn line: a
-    /// line only ever holds values installed for it, and the newest
-    /// committed write wins for fresh snapshots.
-    #[test]
-    fn store_snapshot_reads_are_committed_prefixes(
-        writes in proptest::collection::vec((0u64..4, 1u64..1000), 1..30),
-    ) {
+/// Snapshot reads through the store never observe a torn line: a line
+/// only ever holds values installed for it, and the newest committed
+/// write wins for fresh snapshots.
+#[test]
+fn store_snapshot_reads_are_committed_prefixes() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x5157_1000 + seed);
+        let n = rng.gen_range(1..30usize);
+        let writes: Vec<(u64, u64)> = (0..n)
+            .map(|_| (rng.gen_range(0u64..4), rng.gen_range(1u64..1000)))
+            .collect();
+
         // Unbounded policy: the test pins a snapshot per install, which
         // legitimately overflows the default 4-version cap.
         let mut mem = MvmStore::with_config(sitm_mvm::MvmConfig {
@@ -95,20 +124,26 @@ proptest! {
         // A maximal snapshot sees exactly the newest committed values.
         for lineno in 0..4u64 {
             let line = sitm_mvm::LineAddr(base.0 + lineno);
-            let got = mem.read_snapshot(line, Timestamp(u64::MAX - 10)).unwrap().data[0];
-            prop_assert_eq!(got, newest[lineno as usize]);
+            let got = mem
+                .read_snapshot(line, Timestamp(u64::MAX - 10))
+                .unwrap()
+                .data[0];
+            assert_eq!(got, newest[lineno as usize], "seed {seed}, line {lineno}");
         }
     }
+}
 
-    /// The coalescing rule preserves exactly the versions some live
-    /// snapshot can observe: after arbitrary installs with a set of live
-    /// snapshots, every live snapshot reads the same value it would have
-    /// read from the unbounded model.
-    #[test]
-    fn coalescing_preserves_live_snapshot_reads(
-        gaps in proptest::collection::vec(1u64..20, 1..25),
-        snap_points in proptest::collection::vec(0u64..300, 1..8),
-    ) {
+/// The coalescing rule preserves exactly the versions some live snapshot
+/// can observe: after arbitrary installs with a set of live snapshots,
+/// every live snapshot reads the same value it would have read from the
+/// unbounded model.
+#[test]
+fn coalescing_preserves_live_snapshot_reads() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(0x5157_2000 + seed);
+        let gaps = vec_of(&mut rng, 1..25, |r| r.gen_range(1u64..20));
+        let snap_points = vec_of(&mut rng, 1..8, |r| r.gen_range(0u64..300));
+
         let mut active = ActiveTransactions::new();
         for (i, s) in snap_points.iter().enumerate() {
             active.register(ThreadId(i), Timestamp(*s));
@@ -118,31 +153,51 @@ proptest! {
         let mut ts = 0;
         for gap in gaps {
             ts += gap;
-            vl.install(Timestamp(ts), [ts; 8], &active, usize::MAX, OverflowPolicy::Unbounded)
-                .unwrap();
+            vl.install(
+                Timestamp(ts),
+                [ts; 8],
+                &active,
+                usize::MAX,
+                OverflowPolicy::Unbounded,
+            )
+            .unwrap();
             model.install(ts, ts);
         }
         for s in &snap_points {
             let real = vl.read_snapshot(Timestamp(*s)).map(|r| r.data[0]);
             let expected = Some(model.read(*s).unwrap_or(0));
-            prop_assert_eq!(real, expected, "snapshot {}", s);
+            assert_eq!(real, expected, "seed {seed}, snapshot {s}");
         }
         // And the newest version is always readable.
-        prop_assert_eq!(vl.read_snapshot(Timestamp(u64::MAX - 1)).unwrap().data[0], ts);
+        assert_eq!(
+            vl.read_snapshot(Timestamp(u64::MAX - 1)).unwrap().data[0],
+            ts,
+            "seed {seed}"
+        );
     }
 }
 
 mod stm_props {
-    use super::*;
+    use sitm_obs::SmallRng;
     use sitm_stm::{Stm, TVar};
 
-    proptest! {
-        /// Sequential transactional execution of arbitrary transfer
-        /// sequences conserves the total balance.
-        #[test]
-        fn transfers_conserve_total(
-            transfers in proptest::collection::vec((0usize..8, 0usize..8, 0i64..50), 1..60),
-        ) {
+    /// Sequential transactional execution of arbitrary transfer
+    /// sequences conserves the total balance.
+    #[test]
+    fn transfers_conserve_total() {
+        for seed in 0..super::CASES {
+            let mut rng = SmallRng::seed_from_u64(0x5157_3000 + seed);
+            let n = rng.gen_range(1..60usize);
+            let transfers: Vec<(usize, usize, i64)> = (0..n)
+                .map(|_| {
+                    (
+                        rng.gen_range(0usize..8),
+                        rng.gen_range(0usize..8),
+                        rng.gen_range(0i64..50),
+                    )
+                })
+                .collect();
+
             let stm = Stm::snapshot();
             let accounts: Vec<TVar<i64>> = (0..8).map(|_| TVar::new(100)).collect();
             for (from, to, amount) in transfers {
@@ -151,19 +206,28 @@ mod stm_props {
                     let t = tx.read(&accounts[to])?;
                     tx.write(&accounts[from], f - amount);
                     // Read-own-write must hold even when from == to.
-                    let t = if from == to { tx.read(&accounts[to])? } else { t };
+                    let t = if from == to {
+                        tx.read(&accounts[to])?
+                    } else {
+                        t
+                    };
                     tx.write(&accounts[to], t + amount);
                     Ok(())
                 });
             }
             let total: i64 = accounts.iter().map(TVar::load).sum();
-            prop_assert_eq!(total, 800);
+            assert_eq!(total, 800, "seed {seed}");
         }
+    }
 
-        /// try_atomically with a conflicting concurrent commit reports
-        /// the conflict and leaves no partial state.
-        #[test]
-        fn aborted_attempts_leave_no_trace(value in 1u64..1000) {
+    /// try_atomically with a conflicting concurrent commit reports the
+    /// conflict and leaves no partial state.
+    #[test]
+    fn aborted_attempts_leave_no_trace() {
+        for seed in 0..super::CASES {
+            let mut rng = SmallRng::seed_from_u64(0x5157_4000 + seed);
+            let value = rng.gen_range(1u64..1000);
+
             let stm = Stm::snapshot();
             let var = TVar::new(0u64);
             let conflict = stm.try_atomically(&mut |tx| {
@@ -177,25 +241,40 @@ mod stm_props {
                 tx.write(&var, v + 1);
                 Ok(())
             });
-            prop_assert!(conflict.is_err(), "stale snapshot must fail validation");
-            prop_assert_eq!(var.load(), value, "the failed attempt published nothing");
+            assert!(
+                conflict.is_err(),
+                "seed {seed}: stale snapshot must fail validation"
+            );
+            assert_eq!(
+                var.load(),
+                value,
+                "seed {seed}: the failed attempt published nothing"
+            );
         }
     }
 }
 
 mod rbtree_props {
-    use super::*;
-    use sitm_mvm::Word;
+    use sitm_mvm::{MvmStore, Word};
+    use sitm_obs::SmallRng;
     use std::collections::BTreeSet;
 
-    proptest! {
-        /// Arbitrary interleavings of insert/remove through the
-        /// transactional red-black tree match a reference BTreeSet and
-        /// preserve all tree invariants.
-        #[test]
-        fn rbtree_matches_reference(ops in proptest::collection::vec((any::<bool>(), 1u64..64), 1..120)) {
-            use sitm_workloads::{check_tree, RbOp, RbOpKind, RbTree, LogicTx};
-            use sitm_sim::{TxOp, TxProgram};
+    /// Arbitrary interleavings of insert/remove through the
+    /// transactional red-black tree match a reference BTreeSet and
+    /// preserve all tree invariants.
+    #[test]
+    fn rbtree_matches_reference() {
+        use sitm_sim::{TxOp, TxProgram};
+        use sitm_workloads::{check_tree, LogicTx, RbOp, RbOpKind, RbTree};
+
+        // The tree check walks the whole structure after every op, so
+        // use fewer (larger) cases than the cheap properties.
+        for seed in 0..64u64 {
+            let mut rng = SmallRng::seed_from_u64(0x5157_5000 + seed);
+            let n = rng.gen_range(1..120usize);
+            let ops: Vec<(bool, u64)> = (0..n)
+                .map(|_| (rng.gen_bool(0.5), rng.gen_range(1u64..64)))
+                .collect();
 
             let mut mem = MvmStore::new();
             let root_ptr = mem.alloc_lines(1).first_word();
@@ -205,7 +284,9 @@ mod rbtree_props {
 
             for (insert, key) in ops {
                 let kind = if insert {
-                    RbOpKind::Insert { new_node: mem.alloc_lines(1).0 }
+                    RbOpKind::Insert {
+                        new_node: mem.alloc_lines(1).0,
+                    }
                 } else {
                     RbOpKind::Remove
                 };
@@ -225,11 +306,10 @@ mod rbtree_props {
                 } else {
                     reference.remove(&key);
                 }
-                let keys = check_tree(&mem, root_ptr).map_err(|e| {
-                    TestCaseError::fail(format!("invariant violated: {e}"))
-                })?;
+                let keys = check_tree(&mem, root_ptr)
+                    .unwrap_or_else(|e| panic!("seed {seed}: invariant violated: {e}"));
                 let expect: Vec<Word> = reference.iter().copied().collect();
-                prop_assert_eq!(keys, expect);
+                assert_eq!(keys, expect, "seed {seed}");
             }
         }
     }

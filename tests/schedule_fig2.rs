@@ -18,9 +18,7 @@
 
 use sitm_core::{SiTm, Sontm, SsiTm, TwoPl};
 use sitm_mvm::{Addr, ThreadId};
-use sitm_sim::{
-    BeginOutcome, CommitOutcome, MachineConfig, ReadOutcome, TmProtocol, WriteOutcome,
-};
+use sitm_sim::{BeginOutcome, CommitOutcome, MachineConfig, ReadOutcome, TmProtocol, WriteOutcome};
 
 const TX0: ThreadId = ThreadId(0);
 const TX1: ThreadId = ThreadId(1);
@@ -151,7 +149,10 @@ fn si_tm_aborts_only_tx3() {
     read(&mut p, TX1, v.a);
 
     assert!(commit(&mut p, TX0), "TX0 commits");
-    assert!(commit(&mut p, TX1), "TX1 (read-only) always commits under SI");
+    assert!(
+        commit(&mut p, TX1),
+        "TX1 (read-only) always commits under SI"
+    );
     assert!(
         commit(&mut p, TX2),
         "TX2 commits: read-write conflicts are tolerated"

@@ -16,9 +16,7 @@
 
 use sitm_core::{SiTm, Sontm, SsiTm};
 use sitm_mvm::{Addr, ThreadId};
-use sitm_sim::{
-    BeginOutcome, CommitOutcome, MachineConfig, ReadOutcome, TmProtocol, WriteOutcome,
-};
+use sitm_sim::{BeginOutcome, CommitOutcome, MachineConfig, ReadOutcome, TmProtocol, WriteOutcome};
 
 const READER: ThreadId = ThreadId(0);
 const UPDATER: ThreadId = ThreadId(1);
@@ -45,10 +43,7 @@ fn read(p: &mut dyn TmProtocol, t: ThreadId, a: Addr) -> u64 {
 }
 
 fn write(p: &mut dyn TmProtocol, t: ThreadId, a: Addr, v: u64) {
-    assert!(matches!(
-        p.write(t, a, v, 0),
-        WriteOutcome::Ok { .. }
-    ));
+    assert!(matches!(p.write(t, a, v, 0), WriteOutcome::Ok { .. }));
 }
 
 fn commit(p: &mut dyn TmProtocol, t: ThreadId) -> bool {

@@ -63,9 +63,7 @@ fn genome_never_duplicates_segments() {
             // Slots start at line 0 (first allocation of setup).
             let mut seen = std::collections::HashSet::new();
             for slot in 0..params.table_slots {
-                let v = store.read_word(sitm_mvm::Addr(
-                    (slot as u64) * WORDS_PER_LINE as u64,
-                ));
+                let v = store.read_word(sitm_mvm::Addr((slot as u64) * WORDS_PER_LINE as u64));
                 if v != 0 {
                     assert!(
                         v <= params.segments as Word,
@@ -136,8 +134,7 @@ fn labyrinth_claims_are_all_or_nothing_per_route() {
         31,
         move |p, _stats, store, _w| {
             let cells = (params.side * params.side * params.side) as u64;
-            let mut claims: std::collections::HashMap<Word, u64> =
-                std::collections::HashMap::new();
+            let mut claims: std::collections::HashMap<Word, u64> = std::collections::HashMap::new();
             for c in 0..cells {
                 let v = store.read_word(sitm_mvm::Addr(c));
                 if v != 0 {
@@ -145,10 +142,7 @@ fn labyrinth_claims_are_all_or_nothing_per_route() {
                 }
             }
             for (route, count) in claims {
-                assert!(
-                    count >= 1,
-                    "protocol {p}: route {route} claimed no cells"
-                );
+                assert!(count >= 1, "protocol {p}: route {route} claimed no cells");
                 // A rectilinear path in an 8^3 grid spans at most
                 // 3*(side-1)+1 cells.
                 assert!(
