@@ -7,21 +7,32 @@
 //! lower performance."
 //!
 //! Usage: `cargo run --release -p sitm-bench --bin ablate_backoff
-//! [--quick] [--threads N] [--json PATH]`
+//! [--quick] [--threads N] [--jobs N] [--json PATH]`
 
 use sitm_bench::{
-    machine, print_row, report_from_stats, run_once, HarnessOpts, Protocol, ReportSink,
+    machine, report_from_stats, run_once, sweep_summary, Console, HarnessOpts, Protocol,
+    ReportSink, SweepRunner,
 };
 use sitm_workloads::all_workloads;
+
+/// One cell: a (workload, protocol, backoff) configuration at seed 42.
+#[derive(Debug, Clone, Copy)]
+struct BackoffCell {
+    index: usize,
+    proto: Protocol,
+    backoff: bool,
+}
 
 fn main() {
     let opts = HarnessOpts::from_args();
     let threads = opts.threads_or(16);
-    let mut sink = ReportSink::new(&opts);
+    let runner = SweepRunner::from_opts(&opts);
+    let sink = ReportSink::new(&opts);
+    let con = Console::new(&opts);
 
-    println!("Ablation: exponential backoff ({threads} threads)");
-    println!();
-    print_row(
+    con.line(format!("Ablation: exponential backoff ({threads} threads)"));
+    con.blank();
+    con.row(
         "bench/proto",
         &["backoff".into(), "aborts".into(), "commits/kc".into()],
     );
@@ -32,44 +43,68 @@ fn main() {
         .iter()
         .map(|w| w.name().to_string())
         .collect();
+    let mut cells = Vec::new();
     for (index, name) in names.iter().enumerate() {
         if !["genome", "list", "kmeans", "intruder"].contains(&name.as_str()) {
             continue;
         }
         for proto in [Protocol::TwoPl, Protocol::Sontm, Protocol::SiTm] {
             for backoff in [true, false] {
-                let mut cfg = machine(threads);
-                cfg.backoff.enabled = backoff;
-                // The backoff-off eager configurations can livelock for
-                // astronomical virtual times (that is the point of the
-                // experiment); cap the budget so the demo stays quick.
-                cfg.max_cycles = 50_000_000;
-                let mut workloads = all_workloads(opts.scale);
-                let w = workloads[index].as_mut();
-                let stats = run_once(proto, w, &cfg, 42);
-                sink.push(&report_from_stats(
-                    &format!("ablate_backoff/{}", if backoff { "on" } else { "off" }),
-                    &stats,
-                    1,
-                ));
-                print_row(
-                    &format!("{name}/{}", proto.name()),
-                    &[
-                        if backoff { "on" } else { "off" }.into(),
-                        format!(
-                            "{}{}",
-                            stats.aborts(),
-                            if stats.truncated { "*" } else { "" }
-                        ),
-                        format!("{:.3}", stats.throughput()),
-                    ],
-                );
+                cells.push(BackoffCell {
+                    index,
+                    proto,
+                    backoff,
+                });
             }
         }
-        println!();
     }
-    println!("expectation: disabling backoff inflates abort counts for the eager");
-    println!("systems (2PL, SONTM) far more than for lazy SI-TM.");
-    println!("(* = run truncated at the cycle budget: livelock)");
+
+    let scale = opts.scale;
+    let n_cells = cells.len();
+    let (results, wall_ms) = runner.run_timed(cells.clone(), move |cell: BackoffCell| {
+        let mut cfg = machine(threads);
+        cfg.backoff.enabled = cell.backoff;
+        // The backoff-off eager configurations can livelock for
+        // astronomical virtual times (that is the point of the
+        // experiment); cap the budget so the demo stays quick.
+        cfg.max_cycles = 50_000_000;
+        let mut workloads = all_workloads(scale);
+        let w = workloads[cell.index].as_mut();
+        let start = std::time::Instant::now();
+        let stats = run_once(cell.proto, w, &cfg, 42);
+        (stats, start.elapsed().as_secs_f64() * 1e3)
+    });
+
+    let mut last_index = usize::MAX;
+    for (cell, (stats, cell_wall)) in cells.iter().zip(&results) {
+        if last_index != usize::MAX && cell.index != last_index {
+            con.blank();
+        }
+        last_index = cell.index;
+        let mut report = report_from_stats(
+            &format!("ablate_backoff/{}", if cell.backoff { "on" } else { "off" }),
+            stats,
+            1,
+        );
+        report.extra.insert("wall_ms".into(), *cell_wall);
+        sink.push(&report);
+        con.row(
+            &format!("{}/{}", names[cell.index], cell.proto.name()),
+            &[
+                if cell.backoff { "on" } else { "off" }.into(),
+                format!(
+                    "{}{}",
+                    stats.aborts(),
+                    if stats.truncated { "*" } else { "" }
+                ),
+                format!("{:.3}", stats.throughput()),
+            ],
+        );
+    }
+    con.blank();
+    con.line("expectation: disabling backoff inflates abort counts for the eager");
+    con.line("systems (2PL, SONTM) far more than for lazy SI-TM.");
+    con.line("(* = run truncated at the cycle budget: livelock)");
+    sink.push(&sweep_summary("ablate_backoff", &runner, n_cells, wall_ms));
     sink.finish();
 }

@@ -12,9 +12,12 @@
 //! snapshots, without it the list grows with every commit.
 //!
 //! Usage: `cargo run --release -p sitm-bench --bin ablate_coalescing
-//! [--json PATH]`
+//! [--jobs N] [--json PATH]`
 
-use sitm_bench::{machine, print_row, report_from_stats, run_si_tm, HarnessOpts, ReportSink};
+use sitm_bench::{
+    machine, report_from_stats, run_si_tm, sweep_summary, Console, HarnessOpts, ReportSink,
+    SweepRunner,
+};
 use sitm_core::SiTmConfig;
 use sitm_mvm::{Addr, MvmStore, OverflowPolicy, Word};
 use sitm_sim::{ThreadWorkload, TxOp, TxProgram, Workload};
@@ -143,13 +146,14 @@ impl TxProgram for HotUpdate {
 
 fn main() {
     let opts = HarnessOpts::from_args();
-    let cfg = machine(2);
-    let mut sink = ReportSink::new(&opts);
-    println!("Ablation: version coalescing");
-    println!("scenario: 1 long scanner pinning snapshots + 1 update thread");
-    println!("hammering one line (unbounded version lists)");
-    println!();
-    print_row(
+    let runner = SweepRunner::from_opts(&opts);
+    let sink = ReportSink::new(&opts);
+    let con = Console::new(&opts);
+    con.line("Ablation: version coalescing");
+    con.line("scenario: 1 long scanner pinning snapshots + 1 update thread");
+    con.line("hammering one line (unbounded version lists)");
+    con.blank();
+    con.row(
         "coalescing",
         &[
             "created".into(),
@@ -158,7 +162,8 @@ fn main() {
             "hot commits".into(),
         ],
     );
-    for coalescing in [true, false] {
+    let (results, wall_ms) = runner.run_timed(vec![true, false], |coalescing| {
+        let cfg = machine(2);
         let mut w = PinnedScanner {
             cold_lines: 512,
             scans: 6,
@@ -170,11 +175,20 @@ fn main() {
         si_cfg.mvm.version_cap = usize::MAX;
         si_cfg.mvm.overflow_policy = OverflowPolicy::Unbounded;
         si_cfg.mvm.coalescing = coalescing;
+        let start = std::time::Instant::now();
         let (stats, protocol) = run_si_tm(si_cfg, &mut w, &cfg, 42);
+        (
+            coalescing,
+            stats,
+            protocol,
+            start.elapsed().as_secs_f64() * 1e3,
+        )
+    });
+    for (coalescing, stats, protocol, cell_wall) in &results {
         use sitm_sim::TmProtocol;
         let (created, merged) = protocol.store().install_counts();
-        print_row(
-            if coalescing { "on" } else { "off" },
+        con.row(
+            if *coalescing { "on" } else { "off" },
             &[
                 created.to_string(),
                 merged.to_string(),
@@ -185,19 +199,21 @@ fn main() {
         let mut report = report_from_stats(
             &format!(
                 "ablate_coalescing/{}",
-                if coalescing { "on" } else { "off" }
+                if *coalescing { "on" } else { "off" }
             ),
-            &stats,
+            stats,
             1,
         );
         let mut reg = sitm_obs::MetricsRegistry::new();
-        sitm_obs::Observable::export_metrics(&protocol, &mut reg);
+        sitm_obs::Observable::export_metrics(protocol, &mut reg);
         report.set_counters(&reg);
+        report.extra.insert("wall_ms".into(), *cell_wall);
         sink.push(&report);
     }
-    println!();
-    println!("paper's figure 4 claim: with coalescing the live versions stay near");
-    println!("the number of concurrent snapshots; without it, every commit to the");
-    println!("hot line under a pinned snapshot adds a version.");
+    con.blank();
+    con.line("paper's figure 4 claim: with coalescing the live versions stay near");
+    con.line("the number of concurrent snapshots; without it, every commit to the");
+    con.line("hot line under a pinned snapshot adds a version.");
+    sink.push(&sweep_summary("ablate_coalescing", &runner, 2, wall_ms));
     sink.finish();
 }

@@ -9,9 +9,12 @@
 //! the array microbenchmark with eight entries packed per cache line.
 //!
 //! Usage: `cargo run --release -p sitm-bench --bin ablate_granularity
-//! [--threads N] [--json PATH]`
+//! [--threads N] [--jobs N] [--json PATH]`
 
-use sitm_bench::{machine, print_row, report_from_stats, run_si_tm, HarnessOpts, ReportSink};
+use sitm_bench::{
+    machine, report_from_stats, run_si_tm, sweep_summary, Console, HarnessOpts, ReportSink,
+    SweepRunner,
+};
 use sitm_core::SiTmConfig;
 use sitm_mvm::{Addr, MvmStore, Word};
 use sitm_obs::SmallRng;
@@ -89,17 +92,21 @@ impl Workload for DenseArray {
 fn main() {
     let opts = HarnessOpts::from_args();
     let threads = opts.threads_or(16);
-    let cfg = machine(threads);
-    let mut sink = ReportSink::new(&opts);
+    let runner = SweepRunner::from_opts(&opts);
+    let sink = ReportSink::new(&opts);
+    let con = Console::new(&opts);
 
-    println!("Ablation: write-write conflict granularity ({threads} threads)");
-    println!("workload: dense array, 8 entries per line, single-entry RMW updates");
-    println!();
-    print_row(
+    con.line(format!(
+        "Ablation: write-write conflict granularity ({threads} threads)"
+    ));
+    con.line("workload: dense array, 8 entries per line, single-entry RMW updates");
+    con.blank();
+    con.row(
         "granularity",
         &["aborts".into(), "abort rate".into(), "commits/kc".into()],
     );
-    for word_granularity in [false, true] {
+    let (results, wall_ms) = runner.run_timed(vec![false, true], |word_granularity| {
+        let cfg = machine(threads);
         let mut w = DenseArray {
             entries: 256,
             txs_per_thread: 100,
@@ -109,15 +116,17 @@ fn main() {
             word_granularity,
             ..SiTmConfig::default()
         };
+        let start = std::time::Instant::now();
         let (stats, _) = run_si_tm(si_cfg, &mut w, &cfg, 42);
-        let label: &str = if word_granularity { "word" } else { "line" };
+        (word_granularity, stats, start.elapsed().as_secs_f64() * 1e3)
+    });
+    for (word_granularity, stats, cell_wall) in &results {
+        let label: &str = if *word_granularity { "word" } else { "line" };
         let _check: Word = 0;
-        sink.push(&report_from_stats(
-            &format!("ablate_granularity/{label}"),
-            &stats,
-            1,
-        ));
-        print_row(
+        let mut report = report_from_stats(&format!("ablate_granularity/{label}"), stats, 1);
+        report.extra.insert("wall_ms".into(), *cell_wall);
+        sink.push(&report);
+        con.row(
             label,
             &[
                 stats.aborts().to_string(),
@@ -126,9 +135,10 @@ fn main() {
             ],
         );
     }
-    println!();
-    println!("expectation: word granularity dismisses the false-sharing conflicts");
-    println!("(most of the line-granularity aborts here are between updates of");
-    println!("different words of the same line).");
+    con.blank();
+    con.line("expectation: word granularity dismisses the false-sharing conflicts");
+    con.line("(most of the line-granularity aborts here are between updates of");
+    con.line("different words of the same line).");
+    sink.push(&sweep_summary("ablate_granularity", &runner, 2, wall_ms));
     sink.finish();
 }

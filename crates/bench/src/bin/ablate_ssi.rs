@@ -9,20 +9,26 @@
 //! table is the reproduction's own contribution.
 //!
 //! Usage: `cargo run --release -p sitm-bench --bin ablate_ssi
-//! [--quick] [--threads N] [--seeds N] [--json PATH]`
+//! [--quick] [--threads N] [--seeds N] [--jobs N] [--json PATH]`
 
-use sitm_bench::{machine, print_row, report_from_avg, run_avg, HarnessOpts, Protocol, ReportSink};
+use sitm_bench::{
+    report_from_grid, run_grid, sweep_summary, Console, GridPoint, HarnessOpts, Protocol,
+    ReportSink, SweepRunner,
+};
 use sitm_workloads::all_workloads;
 
 fn main() {
     let opts = HarnessOpts::from_args();
     let threads = opts.threads_or(16);
-    let cfg = machine(threads);
-    let mut sink = ReportSink::new(&opts);
+    let runner = SweepRunner::from_opts(&opts);
+    let sink = ReportSink::new(&opts);
+    let con = Console::new(&opts);
 
-    println!("Extension: the cost of serializability (SSI-TM vs SI-TM, {threads} threads)");
-    println!();
-    print_row(
+    con.line(format!(
+        "Extension: the cost of serializability (SSI-TM vs SI-TM, {threads} threads)"
+    ));
+    con.blank();
+    con.row(
         "benchmark",
         &[
             "SI rate".into(),
@@ -36,35 +42,50 @@ fn main() {
         .iter()
         .map(|w| w.name().to_string())
         .collect();
-    for (index, name) in names.iter().enumerate() {
-        let si = run_avg(Protocol::SiTm, opts.scale, index, &cfg, opts.seeds);
-        let ssi = run_avg(Protocol::SsiTm, opts.scale, index, &cfg, opts.seeds);
-        let overhead = if ssi.throughput > 0.0 {
-            (si.throughput / ssi.throughput - 1.0) * 100.0
+    let mut points = Vec::new();
+    for index in 0..names.len() {
+        for proto in [Protocol::SiTm, Protocol::SsiTm] {
+            points.push(GridPoint {
+                protocol: proto,
+                workload: index,
+                cores: threads,
+            });
+        }
+    }
+    let cells = points.len() * opts.seeds as usize;
+    let (grid, wall_ms) = run_grid(&points, opts.scale, opts.seeds, &runner);
+
+    let mut outcomes = grid.iter();
+    for name in &names {
+        let si = outcomes.next().expect("grid matches display loops");
+        let ssi = outcomes.next().expect("grid matches display loops");
+        let overhead = if ssi.avg.throughput > 0.0 {
+            (si.avg.throughput / ssi.avg.throughput - 1.0) * 100.0
         } else {
             f64::NAN
         };
-        print_row(
+        con.row(
             name,
             &[
-                format!("{:.2}%", si.abort_rate * 100.0),
-                format!("{:.2}%", ssi.abort_rate * 100.0),
-                format!("{:.3}", si.throughput),
-                format!("{:.3}", ssi.throughput),
+                format!("{:.2}%", si.avg.abort_rate * 100.0),
+                format!("{:.2}%", ssi.avg.abort_rate * 100.0),
+                format!("{:.3}", si.avg.throughput),
+                format!("{:.3}", ssi.avg.throughput),
                 format!("{overhead:+.1}%"),
             ],
         );
-        for (proto, avg) in [(Protocol::SiTm, &si), (Protocol::SsiTm, &ssi)] {
-            let mut report = report_from_avg("ablate_ssi", proto, name, threads, opts.seeds, avg);
+        for out in [si, ssi] {
+            let mut report = report_from_grid("ablate_ssi", name, opts.seeds, out);
             if overhead.is_finite() {
                 report.extra.insert("ssi_overhead_pct".into(), overhead);
             }
             sink.push(&report);
         }
     }
-    println!();
-    println!("SSI-TM buys full serializability (no write skew, no read promotion");
-    println!("needed) for the extra aborts shown; read-only transactions still");
-    println!("commit unconditionally under both.");
+    con.blank();
+    con.line("SSI-TM buys full serializability (no write skew, no read promotion");
+    con.line("needed) for the extra aborts shown; read-only transactions still");
+    con.line("commit unconditionally under both.");
+    sink.push(&sweep_summary("ablate_ssi", &runner, cells, wall_ms));
     sink.finish();
 }

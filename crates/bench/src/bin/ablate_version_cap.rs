@@ -8,9 +8,12 @@
 //! microbenchmarks (the version-hungriest workloads).
 //!
 //! Usage: `cargo run --release -p sitm-bench --bin ablate_version_cap
-//! [--quick] [--threads N] [--json PATH]`
+//! [--quick] [--threads N] [--jobs N] [--json PATH]`
 
-use sitm_bench::{machine, print_row, report_from_stats, run_si_tm, HarnessOpts, ReportSink};
+use sitm_bench::{
+    machine, report_from_stats, run_si_tm, sweep_summary, Console, HarnessOpts, ReportSink,
+    SweepRunner,
+};
 use sitm_core::SiTmConfig;
 use sitm_mvm::OverflowPolicy;
 use sitm_workloads::microbenchmarks;
@@ -18,11 +21,14 @@ use sitm_workloads::microbenchmarks;
 fn main() {
     let opts = HarnessOpts::from_args();
     let threads = opts.threads_or(16);
-    let cfg = machine(threads);
-    let mut sink = ReportSink::new(&opts);
+    let runner = SweepRunner::from_opts(&opts);
+    let sink = ReportSink::new(&opts);
+    let con = Console::new(&opts);
 
-    println!("Ablation: MVM version cap and overflow policy ({threads} threads)");
-    println!();
+    con.line(format!(
+        "Ablation: MVM version cap and overflow policy ({threads} threads)"
+    ));
+    con.blank();
 
     let variants: Vec<(String, usize, OverflowPolicy)> = vec![
         ("abort cap=2".into(), 2, OverflowPolicy::AbortWriter),
@@ -32,22 +38,37 @@ fn main() {
         ("unbounded".into(), usize::MAX, OverflowPolicy::Unbounded),
     ];
 
-    let n = microbenchmarks(opts.scale).len();
+    let scale = opts.scale;
+    let n = microbenchmarks(scale).len();
+    let cells: Vec<(usize, usize)> = (0..n)
+        .flat_map(|index| (0..variants.len()).map(move |v| (index, v)))
+        .collect();
+    let n_cells = cells.len();
+    let variants_ref = &variants;
+    let (results, wall_ms) = runner.run_timed(cells, move |(index, v): (usize, usize)| {
+        let cfg = machine(threads);
+        let (_, cap, policy) = &variants_ref[v];
+        let mut workloads = microbenchmarks(scale);
+        let w = workloads[index].as_mut();
+        let mut si_cfg = SiTmConfig::default();
+        si_cfg.mvm.version_cap = *cap;
+        si_cfg.mvm.overflow_policy = *policy;
+        let start = std::time::Instant::now();
+        let (stats, _) = run_si_tm(si_cfg, w, &cfg, 42);
+        (stats, start.elapsed().as_secs_f64() * 1e3)
+    });
+
+    let mut results = results.into_iter();
     for index in 0..n {
-        let name = microbenchmarks(opts.scale)[index].name().to_string();
-        println!("== {name} ==");
-        print_row(
+        let name = microbenchmarks(scale)[index].name().to_string();
+        con.line(format!("== {name} =="));
+        con.row(
             "variant",
             &["aborts".into(), "abort rate".into(), "commits/kc".into()],
         );
-        for (label, cap, policy) in &variants {
-            let mut workloads = microbenchmarks(opts.scale);
-            let w = workloads[index].as_mut();
-            let mut si_cfg = SiTmConfig::default();
-            si_cfg.mvm.version_cap = *cap;
-            si_cfg.mvm.overflow_policy = *policy;
-            let (stats, _) = run_si_tm(si_cfg, w, &cfg, 42);
-            print_row(
+        for (label, cap, _) in &variants {
+            let (stats, cell_wall) = results.next().expect("one result per cell");
+            con.row(
                 label,
                 &[
                     stats.aborts().to_string(),
@@ -59,10 +80,17 @@ fn main() {
             if *cap != usize::MAX {
                 report.extra.insert("version_cap".into(), *cap as f64);
             }
+            report.extra.insert("wall_ms".into(), cell_wall);
             sink.push(&report);
         }
-        println!();
+        con.blank();
     }
-    println!("paper expectation: cap-4 policies within ~1% of unbounded.");
+    con.line("paper expectation: cap-4 policies within ~1% of unbounded.");
+    sink.push(&sweep_summary(
+        "ablate_version_cap",
+        &runner,
+        n_cells,
+        wall_ms,
+    ));
     sink.finish();
 }

@@ -5,10 +5,11 @@
 //! conflicts" — exactly the aborts snapshot isolation eliminates.
 //!
 //! Usage: `cargo run --release -p sitm-bench --bin fig1_aborts
-//! [--quick] [--seeds N] [--threads N] [--json PATH]`
+//! [--quick] [--seeds N] [--threads N] [--jobs N] [--json PATH]`
 
 use sitm_bench::{
-    machine, print_row, report_from_avg, run_avg, warn_truncated, HarnessOpts, Protocol, ReportSink,
+    report_from_grid, run_grid, sweep_summary, warn_truncated, Console, GridPoint, HarnessOpts,
+    Protocol, ReportSink, SweepRunner,
 };
 use sitm_sim::AbortCause;
 use sitm_workloads::all_workloads;
@@ -16,12 +17,15 @@ use sitm_workloads::all_workloads;
 fn main() {
     let opts = HarnessOpts::from_args();
     let threads = opts.threads_or(16);
-    let cfg = machine(threads);
-    let mut sink = ReportSink::new(&opts);
+    let runner = SweepRunner::from_opts(&opts);
+    let sink = ReportSink::new(&opts);
+    let con = Console::new(&opts);
 
-    println!("Figure 1: Read-Write and Write-Write aborts under 2PL ({threads} threads)");
-    println!();
-    print_row(
+    con.line(format!(
+        "Figure 1: Read-Write and Write-Write aborts under 2PL ({threads} threads)"
+    ));
+    con.blank();
+    con.row(
         "benchmark",
         &[
             "rw aborts".into(),
@@ -35,19 +39,28 @@ fn main() {
         .iter()
         .map(|w| w.name().to_string())
         .collect();
-    for (index, name) in names.iter().enumerate() {
-        let avg = run_avg(Protocol::TwoPl, opts.scale, index, &cfg, opts.seeds);
-        warn_truncated(&format!("2PL/{name}/{threads}T"), &avg);
-        let rw = avg.aborts_by_cause[AbortCause::ReadWrite.index()];
-        let ww = avg.aborts_by_cause[AbortCause::WriteWrite.index()];
-        let total: u64 = avg.aborts_by_cause.iter().sum();
+    let points: Vec<GridPoint> = (0..names.len())
+        .map(|index| GridPoint {
+            protocol: Protocol::TwoPl,
+            workload: index,
+            cores: threads,
+        })
+        .collect();
+    let cells = points.len() * opts.seeds as usize;
+    let (grid, wall_ms) = run_grid(&points, opts.scale, opts.seeds, &runner);
+
+    for (name, out) in names.iter().zip(&grid) {
+        warn_truncated(&format!("2PL/{name}/{threads}T"), &out.avg);
+        let rw = out.avg.aborts_by_cause[AbortCause::ReadWrite.index()];
+        let ww = out.avg.aborts_by_cause[AbortCause::WriteWrite.index()];
+        let total: u64 = out.avg.aborts_by_cause.iter().sum();
         let other = total - rw - ww;
         let share = if total == 0 {
             0.0
         } else {
             rw as f64 / total as f64 * 100.0
         };
-        print_row(
+        con.row(
             name,
             &[
                 rw.to_string(),
@@ -56,20 +69,14 @@ fn main() {
                 format!("{share:.1}%"),
             ],
         );
-        let mut report = report_from_avg(
-            "fig1_aborts",
-            Protocol::TwoPl,
-            name,
-            threads,
-            opts.seeds,
-            &avg,
-        );
+        let mut report = report_from_grid("fig1_aborts", name, opts.seeds, out);
         report.extra.insert("rw_share".into(), share / 100.0);
         sink.push(&report);
     }
-    println!();
-    println!("paper expectation: read-write conflicts cause 75-99% of 2PL aborts");
-    println!("in read-heavy benchmarks (kmeans is the RMW exception: all of its");
-    println!("read-write conflicts are simultaneously write-write).");
+    con.blank();
+    con.line("paper expectation: read-write conflicts cause 75-99% of 2PL aborts");
+    con.line("in read-heavy benchmarks (kmeans is the RMW exception: all of its");
+    con.line("read-write conflicts are simultaneously write-write).");
+    sink.push(&sweep_summary("fig1_aborts", &runner, cells, wall_ms));
     sink.finish();
 }

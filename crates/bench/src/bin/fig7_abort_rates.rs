@@ -8,11 +8,11 @@
 //! already rare.
 //!
 //! Usage: `cargo run --release -p sitm-bench --bin fig7_abort_rates
-//! [--quick] [--seeds N] [--json PATH]`
+//! [--quick] [--seeds N] [--jobs N] [--json PATH]`
 
 use sitm_bench::{
-    fmt_ratio, machine, print_row, report_from_avg, run_avg, warn_truncated, HarnessOpts, Protocol,
-    ReportSink,
+    fmt_ratio, report_from_grid, run_grid, sweep_summary, warn_truncated, Console, GridPoint,
+    HarnessOpts, Protocol, ReportSink, SweepRunner,
 };
 use sitm_workloads::all_workloads;
 
@@ -20,39 +20,55 @@ const THREADS: [usize; 3] = [8, 16, 32];
 
 fn main() {
     let opts = HarnessOpts::from_args();
-    let mut sink = ReportSink::new(&opts);
-    println!("Figure 7: abort rate relative to 2PL (lower is better; 1.000 = 2PL)");
-    println!();
+    let runner = SweepRunner::from_opts(&opts);
+    let sink = ReportSink::new(&opts);
+    let con = Console::new(&opts);
+    con.line("Figure 7: abort rate relative to 2PL (lower is better; 1.000 = 2PL)");
+    con.blank();
 
     let names: Vec<String> = all_workloads(opts.scale)
         .iter()
         .map(|w| w.name().to_string())
         .collect();
 
-    for (index, name) in names.iter().enumerate() {
-        println!("== {name} ==");
+    // The full grid, flattened in display order: every (workload,
+    // threads, protocol) point, each averaged over the seed schedule.
+    let mut points = Vec::new();
+    for index in 0..names.len() {
+        for &threads in &THREADS {
+            for proto in Protocol::PAPER {
+                points.push(GridPoint {
+                    protocol: proto,
+                    workload: index,
+                    cores: threads,
+                });
+            }
+        }
+    }
+    let cells = points.len() * opts.seeds as usize;
+    let (grid, wall_ms) = run_grid(&points, opts.scale, opts.seeds, &runner);
+
+    let mut outcomes = grid.iter();
+    for name in &names {
+        con.line(format!("== {name} =="));
         let mut header = vec!["threads".to_string()];
         header.extend(Protocol::PAPER.iter().map(|p| p.name().to_string()));
         header.push("SI abs".to_string());
-        print_row("", &header);
+        con.row("", &header);
         for &threads in &THREADS {
-            let cfg = machine(threads);
-            let mut rates = Vec::new();
-            let mut avgs = Vec::new();
-            for proto in Protocol::PAPER {
-                let avg = run_avg(proto, opts.scale, index, &cfg, opts.seeds);
-                warn_truncated(&format!("{}/{name}/{threads}T", proto.name()), &avg);
-                rates.push(avg.abort_rate);
-                avgs.push(avg);
-            }
+            let group: Vec<_> = Protocol::PAPER
+                .iter()
+                .map(|_| outcomes.next().expect("grid matches display loops"))
+                .collect();
+            let rates: Vec<f64> = group.iter().map(|o| o.avg.abort_rate).collect();
             let base = rates[0];
-            for (proto, avg) in Protocol::PAPER.into_iter().zip(&avgs) {
-                let mut report =
-                    report_from_avg("fig7_abort_rates", proto, name, threads, opts.seeds, avg);
+            for (proto, out) in Protocol::PAPER.into_iter().zip(&group) {
+                warn_truncated(&format!("{}/{name}/{threads}T", proto.name()), &out.avg);
+                let mut report = report_from_grid("fig7_abort_rates", name, opts.seeds, out);
                 if base > 0.0 {
                     report
                         .extra
-                        .insert("rate_rel_2pl".into(), avg.abort_rate / base);
+                        .insert("rate_rel_2pl".into(), out.avg.abort_rate / base);
                 }
                 sink.push(&report);
             }
@@ -69,11 +85,12 @@ fn main() {
                 }
             }));
             cells.push(format!("{:.2}%", rates[2] * 100.0));
-            print_row("", &cells);
+            con.row("", &cells);
         }
-        println!();
+        con.blank();
     }
-    println!("paper expectation (32 threads): array ~1/3000 of 2PL, list <1/30,");
-    println!("intruder ~1/50, vacation <1/100, bayes ~1/20; kmeans/labyrinth/ssca2 ~1.");
+    con.line("paper expectation (32 threads): array ~1/3000 of 2PL, list <1/30,");
+    con.line("intruder ~1/50, vacation <1/100, bayes ~1/20; kmeans/labyrinth/ssca2 ~1.");
+    sink.push(&sweep_summary("fig7_abort_rates", &runner, cells, wall_ms));
     sink.finish();
 }

@@ -12,10 +12,11 @@
 //! kmeans/labyrinth/ssca2.
 //!
 //! Usage: `cargo run --release -p sitm-bench --bin fig8_speedup
-//! [--quick] [--seeds N] [--json PATH]`
+//! [--quick] [--seeds N] [--jobs N] [--json PATH]`
 
 use sitm_bench::{
-    machine, print_row, report_from_avg, run_avg, warn_truncated, HarnessOpts, Protocol, ReportSink,
+    report_from_grid, run_grid, sweep_summary, warn_truncated, Console, GridPoint, HarnessOpts,
+    Protocol, ReportSink, SweepRunner,
 };
 use sitm_workloads::all_workloads;
 
@@ -23,68 +24,88 @@ const THREADS: [usize; 6] = [1, 2, 4, 8, 16, 32];
 
 fn main() {
     let opts = HarnessOpts::from_args();
-    let mut sink = ReportSink::new(&opts);
-    println!("Figure 8: speedup over the same system at 1 thread");
-    println!();
+    let runner = SweepRunner::from_opts(&opts);
+    let sink = ReportSink::new(&opts);
+    let con = Console::new(&opts);
+    con.line("Figure 8: speedup over the same system at 1 thread");
+    con.blank();
 
     let names: Vec<String> = all_workloads(opts.scale)
         .iter()
         .map(|w| w.name().to_string())
         .collect();
 
-    for (index, name) in names.iter().enumerate() {
-        println!("== {name} ==");
+    // Per workload: the three 1-thread baselines, then every scaled
+    // (threads > 1, protocol) point. The 1-thread table row reuses the
+    // baselines, exactly as the sequential harness always did.
+    let mut points = Vec::new();
+    for index in 0..names.len() {
+        for proto in Protocol::PAPER {
+            points.push(GridPoint {
+                protocol: proto,
+                workload: index,
+                cores: 1,
+            });
+        }
+        for &threads in THREADS.iter().filter(|&&t| t != 1) {
+            for proto in Protocol::PAPER {
+                points.push(GridPoint {
+                    protocol: proto,
+                    workload: index,
+                    cores: threads,
+                });
+            }
+        }
+    }
+    let cells = points.len() * opts.seeds as usize;
+    let (grid, wall_ms) = run_grid(&points, opts.scale, opts.seeds, &runner);
+
+    let mut outcomes = grid.iter();
+    for name in &names {
+        con.line(format!("== {name} =="));
         let mut header = vec!["threads".to_string()];
         header.extend(Protocol::PAPER.iter().map(|p| p.name().to_string()));
-        print_row("", &header);
+        con.row("", &header);
 
         // Baselines: throughput at one thread per protocol.
-        let base_cfg = machine(1);
         let baselines: Vec<f64> = Protocol::PAPER
             .iter()
             .map(|&p| {
-                let avg = run_avg(p, opts.scale, index, &base_cfg, opts.seeds);
-                warn_truncated(&format!("{}/{name}/1T", p.name()), &avg);
-                let mut report = report_from_avg("fig8_speedup", p, name, 1, opts.seeds, &avg);
+                let out = outcomes.next().expect("grid matches display loops");
+                warn_truncated(&format!("{}/{name}/1T", p.name()), &out.avg);
+                let mut report = report_from_grid("fig8_speedup", name, opts.seeds, out);
                 report.extra.insert("speedup".into(), 1.0);
                 sink.push(&report);
-                avg.throughput
+                out.avg.throughput
             })
             .collect();
 
         for &threads in &THREADS {
-            let cfg = machine(threads);
             let mut cells = vec![threads.to_string()];
             for (pi, &proto) in Protocol::PAPER.iter().enumerate() {
-                let avg = if threads == 1 {
-                    // reuse baseline
-                    None
+                let speedup = if threads == 1 {
+                    1.0
                 } else {
-                    Some(run_avg(proto, opts.scale, index, &cfg, opts.seeds))
-                };
-                let speedup = match avg {
-                    None => 1.0,
-                    Some(a) => {
-                        warn_truncated(&format!("{}/{name}/{threads}T", proto.name()), &a);
-                        let speedup = if baselines[pi] > 0.0 {
-                            a.throughput / baselines[pi]
-                        } else {
-                            f64::NAN
-                        };
-                        let mut report =
-                            report_from_avg("fig8_speedup", proto, name, threads, opts.seeds, &a);
-                        if speedup.is_finite() {
-                            report.extra.insert("speedup".into(), speedup);
-                        }
-                        sink.push(&report);
-                        speedup
+                    let out = outcomes.next().expect("grid matches display loops");
+                    warn_truncated(&format!("{}/{name}/{threads}T", proto.name()), &out.avg);
+                    let speedup = if baselines[pi] > 0.0 {
+                        out.avg.throughput / baselines[pi]
+                    } else {
+                        f64::NAN
+                    };
+                    let mut report = report_from_grid("fig8_speedup", name, opts.seeds, out);
+                    if speedup.is_finite() {
+                        report.extra.insert("speedup".into(), speedup);
                     }
+                    sink.push(&report);
+                    speedup
                 };
                 cells.push(format!("{speedup:.2}x"));
             }
-            print_row("", &cells);
+            con.row("", &cells);
         }
-        println!();
+        con.blank();
     }
+    sink.push(&sweep_summary("fig8_speedup", &runner, cells, wall_ms));
     sink.finish();
 }

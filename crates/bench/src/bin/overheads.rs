@@ -3,41 +3,42 @@
 //!
 //! Usage: `cargo run -p sitm-bench --bin overheads [--json PATH]`
 
-use sitm_bench::{HarnessOpts, ReportSink};
+use sitm_bench::{Console, HarnessOpts, ReportSink};
 use sitm_mvm::OverheadModel;
 use sitm_obs::RunReport;
 
 fn main() {
     let opts = HarnessOpts::from_args();
-    let mut sink = ReportSink::new(&opts);
-    println!("Section 3.2: MVM indirection-layer overheads");
-    println!();
+    let sink = ReportSink::new(&opts);
+    let con = Console::new(&opts);
+    con.line("Section 3.2: MVM indirection-layer overheads");
+    con.blank();
     let base = OverheadModel::new();
-    println!("per-line metadata: 4 x 32-bit reference + 4 x 32-bit timestamp");
-    println!(
+    con.line("per-line metadata: 4 x 32-bit reference + 4 x 32-bit timestamp");
+    con.line(format!(
         "capacity overhead, 4 active versions: {:>6.2}%  (paper: 12.5%)",
         base.capacity_overhead(4) * 100.0
-    );
-    println!(
+    ));
+    con.line(format!(
         "capacity overhead, 1 active version:  {:>6.2}%  (paper: 50% worst case)",
         base.capacity_overhead(1) * 100.0
-    );
+    ));
     let bundled = OverheadModel {
         version_cap: 4,
         bundle_lines: 8,
     };
-    println!(
+    con.line(format!(
         "worst case with 8-line bundles:       {:>6.2}%  (paper: ~6%)",
         bundled.capacity_overhead(1) * 100.0
-    );
-    println!(
+    ));
+    con.line(format!(
         "bundle copy-on-write cost:            {:>4} words per first write",
         bundled.copy_on_write_words()
-    );
-    println!(
+    ));
+    con.line(format!(
         "best-case bandwidth overhead:         {:>6.2}%  (paper: 12.5%)",
         base.best_case_bandwidth_overhead() * 100.0
-    );
+    ));
 
     // The overhead model is analytic, not a simulation run; the report
     // carries its outputs in `extra`.

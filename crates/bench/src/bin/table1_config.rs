@@ -2,17 +2,18 @@
 //!
 //! Usage: `cargo run -p sitm-bench --bin table1_config [--json PATH]`
 
-use sitm_bench::{HarnessOpts, ReportSink};
+use sitm_bench::{Console, HarnessOpts, ReportSink};
 use sitm_obs::RunReport;
 use sitm_sim::MachineConfig;
 
 fn main() {
     let opts = HarnessOpts::from_args();
-    let mut sink = ReportSink::new(&opts);
+    let sink = ReportSink::new(&opts);
+    let con = Console::new(&opts);
     let cfg = MachineConfig::default();
-    println!("Table 1: Simulated Architecture");
-    println!();
-    print!("{}", cfg.table1());
+    con.line("Table 1: Simulated Architecture");
+    con.blank();
+    con.line(cfg.table1().trim_end_matches('\n'));
 
     let mut report = RunReport::new("table1_config", "-", "-");
     report.threads = cfg.cores as u64;

@@ -8,9 +8,12 @@
 //! 4-version hardware cap.
 //!
 //! Usage: `cargo run --release -p sitm-bench --bin table2_versions
-//! [--quick] [--threads N] [--json PATH]`
+//! [--quick] [--threads N] [--jobs N] [--json PATH]`
 
-use sitm_bench::{machine, print_row, report_from_stats, run_si_tm, HarnessOpts, ReportSink};
+use sitm_bench::{
+    machine, report_from_stats, run_si_tm, sweep_summary, Console, HarnessOpts, ReportSink,
+    SweepRunner,
+};
 use sitm_core::SiTmConfig;
 use sitm_mvm::{OverflowPolicy, VersionDepthCensus};
 use sitm_obs::Observable;
@@ -20,13 +23,14 @@ use sitm_workloads::all_workloads;
 fn main() {
     let opts = HarnessOpts::from_args();
     let threads = opts.threads_or(32);
-    let cfg = machine(threads);
-    let mut sink = ReportSink::new(&opts);
+    let runner = SweepRunner::from_opts(&opts);
+    let sink = ReportSink::new(&opts);
+    let con = Console::new(&opts);
 
-    println!("Table 2: transactional accesses per MVM version depth");
-    println!("(SI-TM, unbounded versions, {threads} threads)");
-    println!();
-    print_row(
+    con.line("Table 2: transactional accesses per MVM version depth");
+    con.line(format!("(SI-TM, unbounded versions, {threads} threads)"));
+    con.blank();
+    con.row(
         "benchmark",
         &[
             "1st".into(),
@@ -39,16 +43,23 @@ fn main() {
         ],
     );
 
-    let n = all_workloads(opts.scale).len();
-    let mut worst_old_fraction: f64 = 0.0;
-    for index in 0..n {
-        let mut workloads = all_workloads(opts.scale);
+    let scale = opts.scale;
+    let n = all_workloads(scale).len();
+    let (results, wall_ms) = runner.run_timed((0..n).collect(), move |index| {
+        let cfg = machine(threads);
+        let mut workloads = all_workloads(scale);
         let w = workloads[index].as_mut();
-        let name = w.name().to_string();
         let mut si_cfg = SiTmConfig::default();
         si_cfg.mvm.version_cap = usize::MAX;
         si_cfg.mvm.overflow_policy = OverflowPolicy::Unbounded;
+        let start = std::time::Instant::now();
         let (stats, protocol) = run_si_tm(si_cfg, w, &cfg, 42);
+        (stats, protocol, start.elapsed().as_secs_f64() * 1e3)
+    });
+
+    let mut worst_old_fraction: f64 = 0.0;
+    for (stats, protocol, cell_wall) in &results {
+        let name = stats.workload.clone();
         assert!(stats.commits() > 0, "{name} must make progress");
         let census = protocol.store().census();
         let old = census.older_than(4);
@@ -56,25 +67,27 @@ fn main() {
         let mut cells: Vec<String> = (0..5).map(|d| census.at_depth(d).to_string()).collect();
         cells.push(census.tail().to_string());
         cells.push(format!("{:.2}%", old * 100.0));
-        print_row(&name, &cells);
+        con.row(&name, &cells);
 
-        let mut report = report_from_stats("table2_versions", &stats, 1);
+        let mut report = report_from_stats("table2_versions", stats, 1);
         for d in 0..VersionDepthCensus::REPORTED_DEPTHS {
             report.version_depth[d] = census.at_depth(d);
         }
         report.version_depth[VersionDepthCensus::REPORTED_DEPTHS] = census.tail();
         report.extra.insert("older_than_4".into(), old);
+        report.extra.insert("wall_ms".into(), *cell_wall);
         let mut reg = sitm_obs::MetricsRegistry::new();
         protocol.export_metrics(&mut reg);
         report.set_counters(&reg);
         sink.push(&report);
     }
-    println!();
-    println!(
+    con.blank();
+    con.line(format!(
         "worst-case share of accesses older than the 4th version: {:.2}%",
         worst_old_fraction * 100.0
-    );
-    println!("paper conclusion: <1% of accesses target versions older than the 4th,");
-    println!("so a 4-version MVM is adequate at this level of concurrency.");
+    ));
+    con.line("paper conclusion: <1% of accesses target versions older than the 4th,");
+    con.line("so a 4-version MVM is adequate at this level of concurrency.");
+    sink.push(&sweep_summary("table2_versions", &runner, n, wall_ms));
     sink.finish();
 }

@@ -16,10 +16,25 @@
 //! | `ablate_backoff` | Section 6.4 — exponential backoff on/off for the eager baselines |
 //!
 //! This library holds the shared runner: protocol dispatch, seed
-//! averaging, and plain-text table formatting.
+//! averaging, plain-text table formatting, and the **parallel sweep
+//! executor**. The evaluation grid (benchmark × protocol × core count ×
+//! seed) is embarrassingly parallel *across* cells even though every
+//! cell is a sequential deterministic simulation, so each binary
+//! flattens its grid into [`Cell`]s and hands them to a [`SweepRunner`]
+//! (`--jobs N` OS threads, default [`std::thread::available_parallelism`]).
+//! Results are collected in cell order and all randomness is per-cell
+//! seeded, so tables and `--json` output are byte-identical regardless
+//! of job count (wall-clock fields excepted).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+use std::time::Instant;
 
 use sitm_core::{SiTm, SiTmConfig, Sontm, SsiTm, TwoPl};
-use sitm_obs::{PhaseCycles, RunReport};
+use sitm_obs::{JsonlSink, PhaseCycles, RunReport};
 use sitm_sim::{AbortCause, Engine, MachineConfig, RunStats, Workload};
 use sitm_workloads::{all_workloads, Scale};
 
@@ -80,7 +95,7 @@ pub fn run_si_tm(
 }
 
 /// Averaged metrics over several seeds.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Averaged {
     /// Mean abort rate (aborts / attempts).
     pub abort_rate: f64,
@@ -101,9 +116,44 @@ pub struct Averaged {
     pub phase_cycles: PhaseCycles,
 }
 
+impl Averaged {
+    /// Folds one seed's statistics into the running sums. Call
+    /// [`Averaged::finalize`] once all seeds are accumulated.
+    pub fn accumulate(&mut self, stats: &RunStats) {
+        self.abort_rate += stats.abort_rate();
+        self.throughput += stats.throughput();
+        self.aborts += stats.aborts() as f64;
+        self.commits += stats.commits() as f64;
+        self.total_cycles += stats.total_cycles as f64;
+        self.truncated |= stats.truncated;
+        for cause in AbortCause::ALL {
+            self.aborts_by_cause[cause.index()] += stats.aborts_by(cause);
+        }
+        self.phase_cycles.merge(&stats.phase_cycles());
+    }
+
+    /// Divides the accumulated sums by the seed count, turning them into
+    /// means (abort-cause and phase-cycle totals stay summed).
+    pub fn finalize(&mut self, seeds: u64) {
+        let n = seeds as f64;
+        self.abort_rate /= n;
+        self.throughput /= n;
+        self.aborts /= n;
+        self.commits /= n;
+        self.total_cycles /= n;
+    }
+}
+
+/// The deterministic seed used for seed index `s` of any averaged run
+/// (the same schedule `run_avg` has always used).
+pub fn seed_for(s: u64) -> u64 {
+    1000 + s * 7919
+}
+
 /// Runs `protocol` over fresh instances of workload `index` from the
 /// registry, averaged over `seeds` seeds (the paper averages five runs
-/// with different random seeds).
+/// with different random seeds). Sequential; the sweep-based
+/// equivalent is [`run_grid`].
 pub fn run_avg(
     protocol: Protocol,
     scale: Scale,
@@ -115,26 +165,240 @@ pub fn run_avg(
     for seed in 0..seeds {
         let mut workloads = all_workloads(scale);
         let w = workloads[index].as_mut();
-        let stats = run_once(protocol, w, cfg, 1000 + seed * 7919);
-        acc.abort_rate += stats.abort_rate();
-        acc.throughput += stats.throughput();
-        acc.aborts += stats.aborts() as f64;
-        acc.commits += stats.commits() as f64;
-        acc.total_cycles += stats.total_cycles as f64;
-        acc.truncated |= stats.truncated;
-        for cause in AbortCause::ALL {
-            acc.aborts_by_cause[cause.index()] += stats.aborts_by(cause);
-        }
-        acc.phase_cycles.merge(&stats.phase_cycles());
+        let stats = run_once(protocol, w, cfg, seed_for(seed));
+        acc.accumulate(&stats);
     }
-    let n = seeds as f64;
-    acc.abort_rate /= n;
-    acc.throughput /= n;
-    acc.aborts /= n;
-    acc.commits /= n;
-    acc.total_cycles /= n;
+    acc.finalize(seeds);
     acc
 }
+
+// ---------------------------------------------------------------------------
+// The parallel sweep executor.
+// ---------------------------------------------------------------------------
+
+/// One cell of an evaluation grid: a single deterministic simulation of
+/// one workload under one protocol at one core count with one seed.
+///
+/// Cells carry registry *indices* rather than workload instances: each
+/// executing worker constructs a fresh workload from
+/// [`all_workloads`]`(scale)`, so every cell owns its state and cells
+/// share nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cell {
+    /// Protocol under test.
+    pub protocol: Protocol,
+    /// Benchmark scale the workload is constructed at.
+    pub scale: Scale,
+    /// Index into [`all_workloads`].
+    pub workload: usize,
+    /// Simulated core count (the machine is [`machine`]`(cores)`).
+    pub cores: usize,
+    /// Engine seed.
+    pub seed: u64,
+}
+
+/// The result of executing one [`Cell`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellOutcome {
+    /// The simulation statistics.
+    pub stats: RunStats,
+    /// Host wall-clock milliseconds the cell took to execute.
+    pub wall_ms: f64,
+}
+
+/// Executes one [`Cell`]: builds the Table 1 machine at `cell.cores`,
+/// constructs the workload fresh, and runs the simulation.
+pub fn run_cell(cell: Cell) -> CellOutcome {
+    let cfg = machine(cell.cores);
+    let start = Instant::now();
+    let mut workloads = all_workloads(cell.scale);
+    let w = workloads[cell.workload].as_mut();
+    let stats = run_once(cell.protocol, w, &cfg, cell.seed);
+    CellOutcome {
+        stats,
+        wall_ms: start.elapsed().as_secs_f64() * 1e3,
+    }
+}
+
+/// Work-stealing executor for sweep cells.
+///
+/// Cells are drawn from a shared queue by `jobs` worker OS threads and
+/// their results are collected *in cell order*, so downstream tables
+/// and JSONL records do not depend on execution order. Determinism
+/// comes from per-cell seeding: a cell's simulation never observes
+/// which host thread ran it or when.
+///
+/// `jobs == 1` executes inline on the calling thread, byte-for-byte
+/// preserving the harness's historical sequential behaviour.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepRunner {
+    jobs: usize,
+}
+
+impl SweepRunner {
+    /// A runner with `jobs` worker threads (clamped to at least 1).
+    pub fn new(jobs: usize) -> Self {
+        SweepRunner { jobs: jobs.max(1) }
+    }
+
+    /// A runner honoring `--jobs N` / `SITM_JOBS` from the parsed
+    /// harness options.
+    pub fn from_opts(opts: &HarnessOpts) -> Self {
+        SweepRunner::new(opts.jobs)
+    }
+
+    /// The number of worker threads this runner uses.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Executes `f` over every element of `cells`, returning the
+    /// results in input order.
+    pub fn run<T, R, F>(&self, cells: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        self.run_timed(cells, f).0
+    }
+
+    /// Like [`SweepRunner::run`], additionally returning the total
+    /// sweep wall-clock in milliseconds.
+    pub fn run_timed<T, R, F>(&self, cells: Vec<T>, f: F) -> (Vec<R>, f64)
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        let start = Instant::now();
+        let n = cells.len();
+        let results = if self.jobs <= 1 || n <= 1 {
+            cells.into_iter().map(&f).collect()
+        } else {
+            // Shared FIFO queue; idle workers steal the next cell.
+            let queue: Mutex<VecDeque<(usize, T)>> =
+                Mutex::new(cells.into_iter().enumerate().collect());
+            let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+            std::thread::scope(|scope| {
+                for _ in 0..self.jobs.min(n) {
+                    scope.spawn(|| loop {
+                        let next = queue.lock().expect("sweep queue poisoned").pop_front();
+                        let Some((i, cell)) = next else { break };
+                        let result = f(cell);
+                        *slots[i].lock().expect("sweep slot poisoned") = Some(result);
+                    });
+                }
+            });
+            slots
+                .into_iter()
+                .map(|slot| {
+                    slot.into_inner()
+                        .expect("sweep slot poisoned")
+                        .expect("every queued cell must produce a result")
+                })
+                .collect()
+        };
+        (results, start.elapsed().as_secs_f64() * 1e3)
+    }
+}
+
+/// One point of an averaged evaluation grid: a (protocol, workload,
+/// cores) configuration whose metrics are averaged over the seed
+/// schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GridPoint {
+    /// Protocol under test.
+    pub protocol: Protocol,
+    /// Index into [`all_workloads`].
+    pub workload: usize,
+    /// Simulated core count.
+    pub cores: usize,
+}
+
+/// The averaged result of one [`GridPoint`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridOutcome {
+    /// The point this outcome belongs to.
+    pub point: GridPoint,
+    /// Seed-averaged metrics (identical to [`run_avg`]'s).
+    pub avg: Averaged,
+    /// Summed wall-clock milliseconds of the point's seed cells.
+    pub wall_ms: f64,
+}
+
+/// Expands `points` × the seed schedule into [`Cell`]s, executes them
+/// on `runner`, and folds each point's seeds back into an [`Averaged`]
+/// — numerically identical to calling [`run_avg`] per point, because
+/// cells are seeded and folded in the same order. Returns the outcomes
+/// in `points` order plus the total sweep wall-clock in milliseconds.
+pub fn run_grid(
+    points: &[GridPoint],
+    scale: Scale,
+    seeds: u64,
+    runner: &SweepRunner,
+) -> (Vec<GridOutcome>, f64) {
+    let cells: Vec<Cell> = points
+        .iter()
+        .flat_map(|p| {
+            (0..seeds).map(move |s| Cell {
+                protocol: p.protocol,
+                scale,
+                workload: p.workload,
+                cores: p.cores,
+                seed: seed_for(s),
+            })
+        })
+        .collect();
+    let (outcomes, wall_ms) = runner.run_timed(cells, run_cell);
+    let mut grid = Vec::with_capacity(points.len());
+    let mut it = outcomes.into_iter();
+    for &point in points {
+        let mut avg = Averaged::default();
+        let mut point_wall = 0.0;
+        for _ in 0..seeds {
+            let outcome = it.next().expect("one outcome per expanded cell");
+            avg.accumulate(&outcome.stats);
+            point_wall += outcome.wall_ms;
+        }
+        avg.finalize(seeds);
+        grid.push(GridOutcome {
+            point,
+            avg,
+            wall_ms: point_wall,
+        });
+    }
+    (grid, wall_ms)
+}
+
+/// Report `extra` keys that carry host wall-clock measurements (and the
+/// job count that shaped them). These are the only fields allowed to
+/// differ between runs of the same sweep at different `--jobs` values;
+/// strip them with [`strip_wall_clock`] before byte-comparing JSONL.
+pub const WALL_CLOCK_KEYS: [&str; 3] = ["wall_ms", "sweep_wall_ms", "jobs"];
+
+/// Removes the [`WALL_CLOCK_KEYS`] from a report, leaving only the
+/// deterministic simulation results.
+pub fn strip_wall_clock(report: &mut RunReport) {
+    for key in WALL_CLOCK_KEYS {
+        report.extra.remove(key);
+    }
+}
+
+/// The summary record appended to a sweep's JSONL output: how many
+/// cells ran, on how many jobs, in how much host wall-clock — so the
+/// speedup from `--jobs` is itself observable in the run report.
+pub fn sweep_summary(bench: &str, runner: &SweepRunner, cells: usize, wall_ms: f64) -> RunReport {
+    let mut report = RunReport::new(&format!("{bench}/sweep"), "-", "-");
+    report.extra.insert("jobs".into(), runner.jobs() as f64);
+    report.extra.insert("cells".into(), cells as f64);
+    report.extra.insert("sweep_wall_ms".into(), wall_ms);
+    report
+}
+
+// ---------------------------------------------------------------------------
+// CLI options and output routing.
+// ---------------------------------------------------------------------------
 
 /// Harness CLI options shared by the figure binaries.
 #[derive(Debug, Clone)]
@@ -143,11 +407,31 @@ pub struct HarnessOpts {
     pub scale: Scale,
     /// Seeds averaged per data point.
     pub seeds: u64,
-    /// Thread-count override (`--threads N`); binaries fall back to
+    /// Simulated-core override (`--threads N`); binaries fall back to
     /// their experiment's default via [`HarnessOpts::threads_or`].
     pub threads: Option<usize>,
-    /// JSONL output path (`--json PATH`); see [`ReportSink`].
+    /// JSONL output path (`--json PATH`, `-` for stdout); see
+    /// [`ReportSink`].
     pub json: Option<String>,
+    /// Host worker threads for the sweep executor (`--jobs N`, or the
+    /// `SITM_JOBS` environment variable, defaulting to
+    /// [`std::thread::available_parallelism`]). Distinct from
+    /// `--threads`, which is the *simulated* core count.
+    pub jobs: usize,
+}
+
+/// `SITM_JOBS` if set and positive, else the host's available
+/// parallelism, else 1.
+fn default_jobs() -> usize {
+    std::env::var("SITM_JOBS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
 }
 
 impl Default for HarnessOpts {
@@ -157,14 +441,15 @@ impl Default for HarnessOpts {
             seeds: 3,
             threads: None,
             json: None,
+            jobs: default_jobs(),
         }
     }
 }
 
 impl HarnessOpts {
-    /// Parses `--quick` (tiny instances), `--seeds N`, `--threads N`
-    /// and `--json PATH` from the command line; everything else is
-    /// ignored.
+    /// Parses `--quick` (tiny instances), `--seeds N`, `--threads N`,
+    /// `--jobs N` and `--json PATH` from the command line; everything
+    /// else is ignored.
     pub fn from_args() -> Self {
         let mut opts = HarnessOpts::default();
         let args: Vec<String> = std::env::args().collect();
@@ -181,6 +466,11 @@ impl HarnessOpts {
                         opts.threads = Some(n);
                     }
                 }
+                "--jobs" => {
+                    if let Some(n) = args.get(i + 1).and_then(|s| s.parse::<usize>().ok()) {
+                        opts.jobs = n.max(1);
+                    }
+                }
                 "--json" => {
                     if let Some(p) = args.get(i + 1) {
                         opts.json = Some(p.clone());
@@ -195,6 +485,52 @@ impl HarnessOpts {
     /// The `--threads` override, or the experiment's default.
     pub fn threads_or(&self, default: usize) -> usize {
         self.threads.unwrap_or(default)
+    }
+
+    /// Whether JSONL goes to stdout (`--json -`), in which case all
+    /// narrative text must be suppressed so the output stays
+    /// machine-clean.
+    pub fn json_to_stdout(&self) -> bool {
+        self.json.as_deref() == Some("-")
+    }
+}
+
+/// Routes the binaries' narrative output (headers, tables, expectation
+/// text): printed to stdout normally, suppressed entirely under
+/// `--json -` so stdout carries nothing but JSONL.
+#[derive(Debug, Clone, Copy)]
+pub struct Console {
+    enabled: bool,
+}
+
+impl Console {
+    /// A console honoring `opts`' output mode.
+    pub fn new(opts: &HarnessOpts) -> Self {
+        Console {
+            enabled: !opts.json_to_stdout(),
+        }
+    }
+
+    /// Prints one line of narrative text (suppressed under `--json -`).
+    pub fn line(&self, text: impl std::fmt::Display) {
+        if self.enabled {
+            println!("{text}");
+        }
+    }
+
+    /// Prints an empty line (suppressed under `--json -`).
+    pub fn blank(&self) {
+        if self.enabled {
+            println!();
+        }
+    }
+
+    /// Prints a table row via [`print_row`] (suppressed under
+    /// `--json -`).
+    pub fn row(&self, label: &str, cells: &[String]) {
+        if self.enabled {
+            print_row(label, cells);
+        }
     }
 }
 
@@ -251,12 +587,33 @@ pub fn report_from_avg(
     report
 }
 
+/// Like [`report_from_avg`], additionally stamping the grid point's
+/// summed per-cell wall-clock into `extra["wall_ms"]`.
+pub fn report_from_grid(bench: &str, workload: &str, seeds: u64, out: &GridOutcome) -> RunReport {
+    let mut report = report_from_avg(
+        bench,
+        out.point.protocol,
+        workload,
+        out.point.cores,
+        seeds,
+        &out.avg,
+    );
+    report.extra.insert("wall_ms".into(), out.wall_ms);
+    report
+}
+
 /// Collects [`RunReport`]s and writes them as JSON Lines when the
 /// harness was given `--json PATH`; a silent no-op otherwise.
+///
+/// Backed by [`sitm_obs::JsonlSink`], so pushes are thread-safe through
+/// a shared reference and parallel sweep workers can report directly
+/// with [`ReportSink::push_ordered`]. `--json -` writes the document to
+/// stdout instead of a file (pair with [`Console`], which suppresses
+/// narrative text in that mode).
 #[derive(Debug, Default)]
 pub struct ReportSink {
     path: Option<String>,
-    lines: Vec<String>,
+    sink: JsonlSink,
 }
 
 impl ReportSink {
@@ -264,32 +621,42 @@ impl ReportSink {
     pub fn new(opts: &HarnessOpts) -> Self {
         ReportSink {
             path: opts.json.clone(),
-            lines: Vec::new(),
+            sink: JsonlSink::new(),
         }
     }
 
-    /// Records one report (serialized eagerly).
-    pub fn push(&mut self, report: &RunReport) {
+    /// Records one report (serialized eagerly) at the next position.
+    pub fn push(&self, report: &RunReport) {
         if self.path.is_some() {
-            self.lines.push(report.to_json_line());
+            self.sink.push(report);
         }
     }
 
-    /// Writes the collected JSONL file. Call once at the end of `main`.
+    /// Records one report at the deterministic position `order`
+    /// (for pushes racing from sweep workers).
+    pub fn push_ordered(&self, order: u64, report: &RunReport) {
+        if self.path.is_some() {
+            self.sink.push_ordered(order, report);
+        }
+    }
+
+    /// Writes the collected JSONL document. Call once at the end of
+    /// `main`.
     ///
     /// # Panics
     ///
     /// Panics if the file cannot be written: a figure binary asked for
     /// `--json` has no useful way to continue without its output.
     pub fn finish(self) {
-        if let Some(path) = self.path {
-            let mut text = self.lines.join("\n");
-            if !text.is_empty() {
-                text.push('\n');
-            }
+        let Some(path) = self.path else { return };
+        let count = self.sink.len();
+        let text = self.sink.into_jsonl();
+        if path == "-" {
+            print!("{text}");
+        } else {
             std::fs::write(&path, text)
                 .unwrap_or_else(|e| panic!("failed to write --json {path}: {e}"));
-            eprintln!("wrote {} report(s) to {path}", self.lines.len());
+            eprintln!("wrote {count} report(s) to {path}");
         }
     }
 }
@@ -337,8 +704,8 @@ pub fn print_row(label: &str, cells: &[String]) {
     println!();
 }
 
-/// Sanity helper used by the binaries: warns when a run was truncated by
-/// the safety ceiling.
+/// Sanity helper used by the binaries: warns (on stderr) when a run was
+/// truncated by the safety ceiling.
 pub fn warn_truncated(name: &str, avg: &Averaged) {
     if avg.truncated {
         eprintln!("warning: {name} hit the simulation cycle ceiling; numbers are lower bounds");
@@ -369,5 +736,52 @@ mod tests {
         assert_eq!(fmt_ratio(0.0), "0");
         assert_eq!(fmt_ratio(1.0), "1.000");
         assert!(fmt_ratio(0.0000321).contains('e'));
+    }
+
+    #[test]
+    fn sweep_runner_preserves_input_order() {
+        for jobs in [1, 4] {
+            let runner = SweepRunner::new(jobs);
+            // Uneven work so completion order differs from input order.
+            let out = runner.run((0..32u64).collect(), |i| {
+                if i % 3 == 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                }
+                i * 10
+            });
+            assert_eq!(out, (0..32u64).map(|i| i * 10).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn run_grid_matches_run_avg_exactly() {
+        let point = GridPoint {
+            protocol: Protocol::SiTm,
+            workload: 0,
+            cores: 2,
+        };
+        let (grid, _) = run_grid(&[point], Scale::Quick, 2, &SweepRunner::new(1));
+        let direct = run_avg(Protocol::SiTm, Scale::Quick, 0, &machine(2), 2);
+        assert_eq!(grid[0].avg, direct);
+    }
+
+    #[test]
+    fn sweep_summary_carries_wall_clock_keys() {
+        let runner = SweepRunner::new(3);
+        let mut report = sweep_summary("figX", &runner, 12, 450.0);
+        assert_eq!(report.bench, "figX/sweep");
+        assert_eq!(report.extra.get("jobs"), Some(&3.0));
+        assert_eq!(report.extra.get("cells"), Some(&12.0));
+        strip_wall_clock(&mut report);
+        // `cells` is deterministic and survives stripping; the
+        // wall-clock keys (and the job count that shaped them) do not.
+        assert_eq!(report.extra.get("cells"), Some(&12.0));
+        assert!(!report.extra.contains_key("jobs"));
+        assert!(!report.extra.contains_key("sweep_wall_ms"));
+    }
+
+    #[test]
+    fn jobs_clamp_to_at_least_one() {
+        assert_eq!(SweepRunner::new(0).jobs(), 1);
     }
 }

@@ -17,6 +17,8 @@
 //! - [`report`] — the versioned `sitm.run_report.v1` JSONL schema every
 //!   bench binary emits via `--json`, built on the in-tree [`json`]
 //!   module.
+//! - [`sink`] — the thread-safe, cell-ordered JSONL aggregator used by
+//!   the bench harness's parallel sweep executor (`--jobs N`).
 //! - [`rng`] — a small deterministic xoshiro256++ PRNG (the workspace
 //!   previously pulled `rand` for this; the hermetic build cannot).
 
@@ -29,6 +31,7 @@ pub mod metrics;
 pub mod phase;
 pub mod report;
 pub mod rng;
+pub mod sink;
 pub mod trace;
 
 pub use event::{EventKind, TraceRecord};
@@ -37,4 +40,5 @@ pub use metrics::{Histogram, MetricsRegistry, Observable};
 pub use phase::{Phase, PhaseCycles};
 pub use report::{ReportError, RunReport};
 pub use rng::SmallRng;
+pub use sink::JsonlSink;
 pub use trace::{merge_traces, Tracer};

@@ -1,0 +1,156 @@
+//! Thread-safe, order-preserving aggregation of [`RunReport`] JSONL
+//! lines.
+//!
+//! The bench harness executes sweep cells on worker OS threads (see
+//! `sitm-bench`'s `SweepRunner`), and every cell may contribute a
+//! report. [`JsonlSink`] lets any number of threads append concurrently
+//! through a shared reference while guaranteeing that the final JSONL
+//! document is ordered by the caller-supplied *cell order*, never by
+//! completion order — so `--json` output is byte-identical regardless
+//! of how many jobs executed the sweep.
+
+use crate::report::RunReport;
+use std::sync::Mutex;
+
+/// A concurrent collector of serialized [`RunReport`] lines.
+///
+/// Lines are sorted by `(order, insertion sequence)` when the document
+/// is assembled: reports pushed with [`JsonlSink::push`] from a single
+/// coordinating thread keep their push order, while workers racing on
+/// [`JsonlSink::push_ordered`] land at their cell's deterministic
+/// position no matter which finishes first.
+///
+/// # Examples
+///
+/// ```
+/// use sitm_obs::{JsonlSink, RunReport};
+/// let sink = JsonlSink::new();
+/// std::thread::scope(|s| {
+///     for i in (0..4u64).rev() {
+///         let sink = &sink;
+///         s.spawn(move || {
+///             let mut r = RunReport::new("demo", "SI-TM", "array");
+///             r.threads = i;
+///             sink.push_ordered(i, &r);
+///         });
+///     }
+/// });
+/// let doc = sink.into_jsonl();
+/// let lines: Vec<&str> = doc.lines().collect();
+/// assert_eq!(lines.len(), 4);
+/// assert!(lines[0].contains("\"threads\":0"));
+/// assert!(lines[3].contains("\"threads\":3"));
+/// ```
+#[derive(Debug, Default)]
+pub struct JsonlSink {
+    /// `(order key, insertion sequence, serialized line)`.
+    lines: Mutex<Vec<(u64, u64, String)>>,
+}
+
+impl JsonlSink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        JsonlSink::default()
+    }
+
+    /// Appends `report` with an order key equal to its insertion
+    /// sequence (use from a single coordinating thread).
+    pub fn push(&self, report: &RunReport) {
+        let mut lines = self.lines.lock().expect("report sink poisoned");
+        let seq = lines.len() as u64;
+        lines.push((seq, seq, report.to_json_line()));
+    }
+
+    /// Appends `report` at the deterministic position `order` (use from
+    /// sweep workers; ties keep insertion order).
+    pub fn push_ordered(&self, order: u64, report: &RunReport) {
+        let mut lines = self.lines.lock().expect("report sink poisoned");
+        let seq = lines.len() as u64;
+        lines.push((order, seq, report.to_json_line()));
+    }
+
+    /// Number of collected reports.
+    pub fn len(&self) -> usize {
+        self.lines.lock().expect("report sink poisoned").len()
+    }
+
+    /// Whether no report has been collected.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Assembles the final JSONL document: lines sorted by order key,
+    /// one per line, with a trailing newline when non-empty.
+    pub fn into_jsonl(self) -> String {
+        let mut lines = self.lines.into_inner().expect("report sink poisoned");
+        lines.sort_by_key(|&(order, seq, _)| (order, seq));
+        let mut text = lines
+            .into_iter()
+            .map(|(_, _, l)| l)
+            .collect::<Vec<_>>()
+            .join("\n");
+        if !text.is_empty() {
+            text.push('\n');
+        }
+        text
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_keeps_insertion_order() {
+        let sink = JsonlSink::new();
+        for name in ["a", "b", "c"] {
+            sink.push(&RunReport::new(name, "-", "-"));
+        }
+        let doc = sink.into_jsonl();
+        for (want, line) in ["a", "b", "c"].iter().zip(doc.lines()) {
+            assert!(line.contains(&format!("\"bench\":\"{want}\"")), "{line}");
+        }
+        assert_eq!(doc.lines().count(), 3);
+    }
+
+    #[test]
+    fn push_ordered_sorts_by_key_not_arrival() {
+        let sink = JsonlSink::new();
+        sink.push_ordered(2, &RunReport::new("late", "-", "-"));
+        sink.push_ordered(0, &RunReport::new("early", "-", "-"));
+        sink.push_ordered(1, &RunReport::new("mid", "-", "-"));
+        let doc = sink.into_jsonl();
+        let order: Vec<bool> = ["early", "mid", "late"]
+            .iter()
+            .zip(doc.lines())
+            .map(|(want, line)| line.contains(want))
+            .collect();
+        assert_eq!(order, vec![true, true, true]);
+    }
+
+    #[test]
+    fn empty_sink_produces_empty_document() {
+        let sink = JsonlSink::new();
+        assert!(sink.is_empty());
+        assert_eq!(sink.into_jsonl(), "");
+    }
+
+    #[test]
+    fn concurrent_pushes_land_at_their_cell_position() {
+        let sink = JsonlSink::new();
+        std::thread::scope(|s| {
+            for i in 0..8u64 {
+                let sink = &sink;
+                s.spawn(move || {
+                    let mut r = RunReport::new("cell", "-", "-");
+                    r.threads = i;
+                    sink.push_ordered(i, &r);
+                });
+            }
+        });
+        assert_eq!(sink.len(), 8);
+        for (i, line) in sink.into_jsonl().lines().enumerate() {
+            assert!(line.contains(&format!("\"threads\":{i}")), "{line}");
+        }
+    }
+}

@@ -57,7 +57,12 @@ pub enum TxOp {
 /// After an abort the engine calls [`TxProgram::reset`] and re-runs the
 /// program from the start; programs must be re-executable (they may
 /// observe different values on the retry, since memory has moved on).
-pub trait TxProgram {
+///
+/// Programs are `Send` so that whole simulation cells — engine,
+/// protocol, and workload state — can be executed on worker OS threads
+/// by the bench harness's parallel sweep executor. Each cell owns its
+/// state exclusively; nothing is shared across cells.
+pub trait TxProgram: Send {
     /// Produces the next operation. `input` carries the value returned by
     /// the immediately preceding [`TxOp::Read`], and is `None` on the
     /// first call and after non-read ops.
@@ -119,7 +124,10 @@ impl TxProgram for ScriptedTx {
 }
 
 /// The stream of transactions executed by one logical thread.
-pub trait ThreadWorkload {
+///
+/// `Send` for the same reason as [`TxProgram`]: a cell's thread streams
+/// travel with it onto a sweep worker thread.
+pub trait ThreadWorkload: Send {
     /// The next transaction to run, or `None` when the thread's share of
     /// work is complete.
     fn next_transaction(&mut self) -> Option<Box<dyn TxProgram>>;
@@ -158,7 +166,13 @@ impl ThreadWorkload for QueueWorkload {
 
 /// A complete benchmark: initializes shared memory and manufactures the
 /// per-thread transaction streams.
-pub trait Workload {
+///
+/// `Send` so that a sweep cell can construct its workload on the
+/// coordinating thread (or any worker) and run it on another: all
+/// inputs to [`crate::Engine::new`] / [`crate::Engine::run`] are
+/// `Send`, making each grid cell of a parameter sweep an independent
+/// unit of work.
+pub trait Workload: Send {
     /// Short name used in reports (e.g. `"array"`, `"vacation"`).
     fn name(&self) -> &str;
 

@@ -184,7 +184,11 @@ pub enum CommitOutcome {
 /// cost model; the engine owns scheduling, retry and statistics. All
 /// methods take the caller's current virtual time `now`, which protocols
 /// use for globally serialized resources (commit tokens).
-pub trait TmProtocol {
+///
+/// Protocols are `Send` (they own all their state — store, clocks,
+/// per-thread sets) so an entire [`crate::Engine`] can run on a sweep
+/// worker thread and hand the protocol back for post-run inspection.
+pub trait TmProtocol: Send {
     /// Human-readable protocol name (`"SI-TM"`, `"2PL"`, ...).
     fn name(&self) -> &'static str;
 

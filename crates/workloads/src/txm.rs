@@ -135,7 +135,9 @@ impl TxMemory {
 ///
 /// Implementations must be deterministic given the values in the
 /// [`TxMemory`]: any randomness must be fixed at construction time.
-pub trait TxLogic {
+/// `Send` is required so [`LogicTx`] satisfies `TxProgram: Send` and
+/// whole cells can migrate onto sweep worker threads.
+pub trait TxLogic: Send {
     /// Runs (or re-runs) the algorithm.
     ///
     /// # Errors
