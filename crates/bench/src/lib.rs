@@ -14,6 +14,7 @@
 //! | `ablate_version_cap` | Section 3.1 — cap-4 vs discard-oldest vs unbounded |
 //! | `ablate_coalescing` | Section 3.1 — version coalescing on/off |
 //! | `ablate_backoff` | Section 6.4 — exponential backoff on/off for the eager baselines |
+//! | `stm_scaling` | real-thread `sitm-stm` throughput scaling (host wall-clock, not simulated) |
 //!
 //! This library holds the shared runner: protocol dispatch, seed
 //! averaging, plain-text table formatting, and the **parallel sweep

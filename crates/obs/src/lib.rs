@@ -9,8 +9,10 @@
 //!   recording the [`event`] taxonomy, compiled to zero-sized no-ops
 //!   unless the `trace` cargo feature is enabled.
 //! - [`metrics`] — named counters, gauges and log2-bucketed histograms
-//!   behind one [`metrics::MetricsRegistry`], plus the
-//!   [`metrics::Observable`] trait every protocol model implements.
+//!   behind one [`metrics::MetricsRegistry`], the lock-free
+//!   [`metrics::AtomicHistogram`] for hot paths recorded from many
+//!   threads, plus the [`metrics::Observable`] trait every protocol
+//!   model implements.
 //! - [`phase`] — the phase-cycle taxonomy the simulator charges virtual
 //!   cycles to (begin / read / write / compute / validate / commit /
 //!   backoff / stall).
@@ -36,7 +38,7 @@ pub mod trace;
 
 pub use event::{EventKind, TraceRecord};
 pub use json::Json;
-pub use metrics::{Histogram, MetricsRegistry, Observable};
+pub use metrics::{AtomicHistogram, Histogram, MetricsRegistry, Observable};
 pub use phase::{Phase, PhaseCycles};
 pub use report::{ReportError, RunReport};
 pub use rng::SmallRng;

@@ -8,6 +8,7 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A histogram over `u64` samples with logarithmic buckets: bucket `i`
 /// counts samples whose value `v` satisfies `floor(log2(v)) == i - 1`,
@@ -106,6 +107,77 @@ impl fmt::Display for Histogram {
             self.mean(),
             self.max
         )
+    }
+}
+
+/// Number of log2 buckets covering the whole `u64` domain: bucket 0
+/// for zero plus one bucket per bit position.
+const BUCKETS: usize = 65;
+
+/// A lock-free counterpart of [`Histogram`]: the same log2 buckets over
+/// plain atomics, so many threads can record concurrently (e.g. every
+/// committing STM transaction) without serializing through a mutex.
+///
+/// Reads go through [`AtomicHistogram::snapshot`], which folds the
+/// atomics into an ordinary [`Histogram`] — export paths
+/// ([`MetricsRegistry::merge_histogram`], JSONL) are therefore
+/// byte-identical to the mutex-guarded `Histogram` they replace. A
+/// snapshot taken while writers are active is a consistent *lower
+/// bound* per bucket, not an atomic cut; take it after the racing
+/// threads quiesce when exactness matters.
+#[derive(Debug)]
+pub struct AtomicHistogram {
+    counts: [AtomicU64; BUCKETS],
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for AtomicHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AtomicHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        AtomicHistogram {
+            counts: [const { AtomicU64::new(0) }; BUCKETS],
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample. Lock-free; safe to call from any thread
+    /// through a shared reference.
+    pub fn record(&self, value: u64) {
+        self.counts[Histogram::bucket_of(value) as usize].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Number of samples recorded (sum of all bucket counts).
+    pub fn total(&self) -> u64 {
+        self.counts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Folds the current contents into an ordinary [`Histogram`].
+    pub fn snapshot(&self) -> Histogram {
+        let mut counts = BTreeMap::new();
+        let mut total = 0u64;
+        for (bucket, count) in self.counts.iter().enumerate() {
+            let c = count.load(Ordering::Relaxed);
+            if c > 0 {
+                counts.insert(bucket as u32, c);
+                total += c;
+            }
+        }
+        Histogram {
+            counts,
+            total,
+            sum: self.sum.load(Ordering::Relaxed) as u128,
+            max: self.max.load(Ordering::Relaxed),
+        }
     }
 }
 
@@ -278,6 +350,38 @@ mod tests {
         h.merge(&other);
         assert_eq!(h.total(), 6);
         assert_eq!(h.count_in(Histogram::bucket_of(100)), 2);
+    }
+
+    #[test]
+    fn atomic_histogram_matches_sequential_histogram() {
+        let atomic = AtomicHistogram::new();
+        let mut plain = Histogram::new();
+        for v in [0, 1, 2, 3, 7, 100, 1 << 40] {
+            atomic.record(v);
+            plain.record(v);
+        }
+        assert_eq!(atomic.snapshot(), plain);
+        assert_eq!(atomic.total(), plain.total());
+    }
+
+    #[test]
+    fn atomic_histogram_concurrent_records_are_not_lost() {
+        let h = AtomicHistogram::new();
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let h = &h;
+                s.spawn(move || {
+                    for i in 0..1000 {
+                        h.record(t * 1000 + i);
+                    }
+                });
+            }
+        });
+        let snap = h.snapshot();
+        assert_eq!(snap.total(), 4000);
+        assert_eq!(snap.max(), 3999);
+        let bucket_sum: u64 = snap.buckets().map(|(_, c)| c).sum();
+        assert_eq!(bucket_sum, 4000);
     }
 
     #[test]

@@ -1,16 +1,21 @@
 //! The STM runtime: isolation configuration, the retry loop, and
 //! statistics.
 
+use std::cell::RefCell;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-use sitm_obs::{Histogram, MetricsRegistry, Observable};
+use sitm_obs::{AtomicHistogram, Histogram, MetricsRegistry, Observable, SmallRng};
 
 use crate::error::{Conflict, StmError};
 use crate::recorder::Recorder;
 use crate::txn::{IsolationLevel, Tx};
 
-/// Commit/abort counters of an [`Stm`] runtime.
+/// Commit/abort counters of an [`Stm`] runtime. Every field is a plain
+/// atomic (including the retry distribution, an
+/// [`AtomicHistogram`]), so recording from the commit path never takes
+/// a lock and scales with committing threads.
 #[derive(Debug, Default)]
 pub struct StmStats {
     commits: AtomicU64,
@@ -19,7 +24,12 @@ pub struct StmStats {
     read_validation_aborts: AtomicU64,
     /// Log2-bucketed distribution of aborted attempts per committed
     /// transaction (0 = first-try commit).
-    retries: Mutex<Histogram>,
+    retries: AtomicHistogram,
+    /// Backoff waits performed (one per aborted attempt of
+    /// [`Stm::atomically`]).
+    backoffs: AtomicU64,
+    /// Total host nanoseconds spent waiting in backoff.
+    backoff_ns: AtomicU64,
 }
 
 impl StmStats {
@@ -52,13 +62,18 @@ impl StmStats {
     /// A copy of the retry distribution (aborted attempts per committed
     /// transaction, log2 buckets).
     pub fn retry_histogram(&self) -> Histogram {
-        self.lock_retries().clone()
+        self.retries.snapshot()
     }
 
-    fn lock_retries(&self) -> std::sync::MutexGuard<'_, Histogram> {
-        self.retries
-            .lock()
-            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    /// Backoff waits performed (one per aborted [`Stm::atomically`]
+    /// attempt).
+    pub fn backoffs(&self) -> u64 {
+        self.backoffs.load(Ordering::Relaxed)
+    }
+
+    /// Total host nanoseconds spent waiting in contention backoff.
+    pub fn backoff_ns(&self) -> u64 {
+        self.backoff_ns.load(Ordering::Relaxed)
     }
 
     fn count(&self, conflict: Conflict) {
@@ -80,7 +95,9 @@ impl Observable for StmStats {
             self.snapshot_too_old_aborts(),
         );
         reg.count("stm.aborts.read_validation", self.read_validation_aborts());
-        reg.merge_histogram("stm.retries", &self.lock_retries());
+        reg.count("stm.backoffs", self.backoffs());
+        reg.count("stm.backoff_ns", self.backoff_ns());
+        reg.merge_histogram("stm.retries", &self.retries.snapshot());
     }
 }
 
@@ -174,18 +191,25 @@ impl Stm {
     ///
     /// The body may run multiple times; side effects other than
     /// transactional reads/writes must be idempotent. Retries use
-    /// bounded exponential backoff (spin then yield).
+    /// capped exponential backoff — spin, then yield, then park — with
+    /// deterministic per-thread jitter; the attempts distribution and
+    /// total wait time are exported through [`StmStats`].
     pub fn atomically<T>(&self, mut body: impl FnMut(&mut Tx) -> Result<T, StmError>) -> T {
         let mut attempt = 0u32;
         loop {
             match self.try_atomically(&mut body) {
                 Ok(value) => {
-                    self.stats.lock_retries().record(attempt as u64);
+                    self.stats.retries.record(attempt as u64);
                     return value;
                 }
                 Err(conflict) => {
                     let _ = conflict;
-                    backoff(attempt);
+                    let waited = Instant::now();
+                    BACKOFF_RNG.with(|rng| backoff(attempt, &mut rng.borrow_mut()));
+                    self.stats.backoffs.fetch_add(1, Ordering::Relaxed);
+                    self.stats
+                        .backoff_ns
+                        .fetch_add(waited.elapsed().as_nanos() as u64, Ordering::Relaxed);
                     attempt = attempt.saturating_add(1);
                 }
             }
@@ -223,14 +247,57 @@ impl Stm {
     }
 }
 
-/// Spin briefly, then yield to the scheduler, with exponential growth.
-fn backoff(attempt: u32) {
-    if attempt < 4 {
-        for _ in 0..(1u32 << attempt.min(10)) * 8 {
+/// Seeds for the per-thread backoff jitter generators: each thread
+/// draws one seed from this counter at first use, so backoff sequences
+/// are deterministic per thread yet decorrelated across threads.
+static BACKOFF_SEED: AtomicU64 = AtomicU64::new(0x51_7A);
+
+thread_local! {
+    static BACKOFF_RNG: RefCell<SmallRng> = RefCell::new(SmallRng::seed_from_u64(
+        BACKOFF_SEED.fetch_add(1, Ordering::Relaxed),
+    ));
+}
+
+/// Attempts that spin on the CPU (cheapest; conflicts usually clear in
+/// nanoseconds).
+const SPIN_ATTEMPTS: u32 = 4;
+/// Attempts (beyond the spin tier) that yield to the scheduler.
+const YIELD_ATTEMPTS: u32 = 8;
+/// Ceiling for one parked wait — the "bounded" in bounded exponential
+/// backoff. Keeps worst-case added latency per retry far below a
+/// scheduler quantum while still draining convoys.
+const PARK_CAP_MICROS: u64 = 512;
+
+/// Capped exponential backoff with jitter, escalating through three
+/// tiers as an `atomically` transaction keeps aborting:
+///
+/// * attempts 0–3: busy-spin an exponentially growing, jittered
+///   iteration count (nominal 8 << attempt, ±50%);
+/// * attempts 4–7: yield to the scheduler a jittered 1..=2^k times;
+/// * attempts ≥ 8: park the thread for an exponentially growing
+///   duration, jittered within [cap/2, cap] and capped at
+///   [`PARK_CAP_MICROS`], so heavily contended transactions stop
+///   burning cycles without ever sleeping unboundedly.
+///
+/// The jitter decorrelates competing threads (the paper's §4.3
+/// randomized-backoff point: deterministic equal backoffs re-collide
+/// indefinitely) while staying reproducible per thread thanks to the
+/// per-thread seeding of [`BACKOFF_RNG`].
+fn backoff(attempt: u32, rng: &mut SmallRng) {
+    if attempt < SPIN_ATTEMPTS {
+        let base = 8u64 << attempt;
+        for _ in 0..rng.gen_range(base - base / 2..=base + base / 2) {
             std::hint::spin_loop();
         }
+    } else if attempt < YIELD_ATTEMPTS {
+        for _ in 0..rng.gen_range(1..=1u64 << (attempt - SPIN_ATTEMPTS + 1)) {
+            std::thread::yield_now();
+        }
     } else {
-        std::thread::yield_now();
+        let exp = (attempt - YIELD_ATTEMPTS).min(9);
+        let cap = (1u64 << exp).min(PARK_CAP_MICROS);
+        let micros = rng.gen_range(cap - cap / 2..=cap).max(1);
+        std::thread::park_timeout(Duration::from_micros(micros));
     }
 }
 
@@ -400,6 +467,54 @@ mod tests {
         });
         assert!(t1.commit().is_err());
         assert_eq!(stm.stats().commits(), 1);
+    }
+
+    #[test]
+    fn backoff_is_capped_at_every_attempt() {
+        // The doc promise is *bounded* exponential backoff: arbitrarily
+        // high attempt numbers must produce short, capped waits instead
+        // of growing without limit (or collapsing to a bare yield).
+        let mut rng = SmallRng::seed_from_u64(7);
+        let start = Instant::now();
+        for attempt in [0, SPIN_ATTEMPTS, YIELD_ATTEMPTS, 20, 63, u32::MAX] {
+            backoff(attempt, &mut rng);
+        }
+        assert!(
+            start.elapsed() < Duration::from_millis(250),
+            "six backoffs at a {PARK_CAP_MICROS}us cap must finish quickly"
+        );
+    }
+
+    #[test]
+    fn contention_stats_track_backoffs() {
+        let stm = Arc::new(Stm::snapshot());
+        let counter = TVar::new(0u64);
+        thread::scope(|s| {
+            for _ in 0..4 {
+                let stm = Arc::clone(&stm);
+                let counter = counter.clone();
+                s.spawn(move || {
+                    for _ in 0..100 {
+                        stm.atomically(|tx| {
+                            let v = tx.read(&counter)?;
+                            tx.write(&counter, v + 1);
+                            Ok(())
+                        });
+                    }
+                });
+            }
+        });
+        let stats = stm.stats();
+        assert_eq!(
+            stats.backoffs(),
+            stats.aborts(),
+            "every aborted attempt waits exactly once"
+        );
+        assert_eq!(stats.retry_histogram().total(), stats.commits());
+        let mut reg = sitm_obs::MetricsRegistry::new();
+        stm.export_metrics(&mut reg);
+        assert_eq!(reg.counter("stm.backoffs"), stats.backoffs());
+        assert_eq!(reg.counter("stm.backoff_ns"), stats.backoff_ns());
     }
 
     #[test]

@@ -7,6 +7,13 @@
 //! 4-version hardware cap under the discard-oldest policy: a reader
 //! whose snapshot predates the oldest retained version aborts and
 //! retries on a fresh snapshot.
+//!
+//! Each variable additionally carries a TL2-style *versioned commit
+//! lock* (an atomic word combining the newest write timestamp with a
+//! lock bit) — the per-location software rendition of SI-TM's per-line
+//! timestamped versions. Commits lock exactly the variables they wrote
+//! or must validate, so transactions with disjoint footprints share no
+//! synchronization state at all; see `txn.rs` for the protocol.
 
 use std::any::Any;
 use std::collections::VecDeque;
@@ -37,13 +44,48 @@ struct Version<T> {
     value: T,
 }
 
+/// Bit 0 of [`VarInner::stamp`]: set while a committing transaction
+/// holds this variable's commit lock.
+const LOCK_BIT: u64 = 1;
+
 #[derive(Debug)]
 pub(crate) struct VarInner<T> {
     id: u64,
     label: Option<Arc<str>>,
     history: usize,
+    /// The TL2-style versioned commit-lock word:
+    /// `(newest_committed_ts << 1) | lock_bit`. Commits acquire the
+    /// lock bit (in ascending id order across their whole lock set),
+    /// validate and install while holding it, and release it after
+    /// publishing the new write stamp — so `stamp >> 1` is always the
+    /// timestamp of the newest *fully installed* version, and a set
+    /// lock bit marks an installation in flight.
+    stamp: AtomicU64,
     /// Versions newest-first.
     versions: Mutex<VecDeque<Version<T>>>,
+}
+
+impl<T> VarInner<T> {
+    /// Spins (then yields) until no commit holds this variable's lock.
+    ///
+    /// Readers call this before scanning the version list: a snapshot
+    /// new enough to observe an in-flight commit's end timestamp can
+    /// only exist *after* that commit ticked the global clock, which
+    /// happens while the lock is held — so waiting for the release
+    /// guarantees the reader sees the fully installed version. Commits
+    /// never wait on readers, and readers never hold commit locks, so
+    /// this cannot deadlock.
+    fn wait_unlocked(&self) {
+        let mut spins = 0u32;
+        while self.stamp.load(Ordering::Acquire) & LOCK_BIT != 0 {
+            spins += 1;
+            if spins < 128 {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+    }
 }
 
 /// A transactional variable holding multiversioned values of type `T`.
@@ -109,6 +151,7 @@ impl<T: Clone + Send + Sync + 'static> TVar<T> {
                 id: NEXT_VAR_ID.fetch_add(1, Ordering::Relaxed),
                 label,
                 history,
+                stamp: AtomicU64::new(0),
                 versions: Mutex::new(versions),
             }),
         }
@@ -134,8 +177,11 @@ impl<T: Clone + Send + Sync + 'static> TVar<T> {
             .clone()
     }
 
-    /// Reads the newest version at or below `snapshot`.
+    /// Reads the newest version at or below `snapshot`, waiting out any
+    /// in-flight commit on this variable first (see
+    /// [`VarInner::wait_unlocked`]).
     pub(crate) fn read_at(&self, snapshot: u64) -> Result<T, Conflict> {
+        self.inner.wait_unlocked();
         let versions = lock_versions(&self.inner.versions);
         for v in versions.iter() {
             if v.ts <= snapshot {
@@ -152,16 +198,35 @@ impl<T: Clone + Send + Sync + 'static> TVar<T> {
 }
 
 /// Type-erased per-variable operations used by the commit protocol.
+///
+/// The locking methods implement the per-variable half of the TL2-style
+/// commit: a committing transaction calls [`VarOps::lock_commit`] on
+/// every written *and* validated variable in ascending id order (the
+/// global order that makes concurrent commits deadlock-free), then
+/// [`VarOps::newest_ts`] to validate first-committer-wins, then
+/// [`VarOps::install`] for its writes, and finally
+/// [`VarOps::unlock_commit`] on everything. Transactions with disjoint
+/// lock sets never touch a shared lock.
 pub(crate) trait VarOps: Send + Sync {
     fn id(&self) -> u64;
-    /// Timestamp of the newest committed version.
+    /// Timestamp of the newest fully installed version (from the
+    /// stamp word; never blocks).
     fn newest_ts(&self) -> u64;
-    /// Installs `value` (of the variable's concrete type) at `ts`.
+    /// Acquires this variable's commit lock, spinning (then yielding)
+    /// while another commit holds it.
+    fn lock_commit(&self);
+    /// Releases the commit lock, preserving the write stamp.
+    fn unlock_commit(&self);
+    /// Installs `value` (of the variable's concrete type) at `ts`. The
+    /// caller must hold the commit lock; the new write stamp is
+    /// published into the lock word (still locked) so it becomes the
+    /// validation timestamp the instant the lock is released.
     ///
     /// # Panics
     ///
     /// Panics if `value` has the wrong type (unreachable through the
-    /// typed API) or `ts` is not newer than the newest version.
+    /// typed API), `ts` is not newer than the newest version, or the
+    /// commit lock is not held.
     fn install(&self, ts: u64, value: Box<dyn Any + Send>);
 }
 
@@ -171,13 +236,39 @@ impl<T: Clone + Send + Sync + 'static> VarOps for VarInner<T> {
     }
 
     fn newest_ts(&self) -> u64 {
-        lock_versions(&self.versions)
-            .front()
-            .expect("a TVar always has at least one version")
-            .ts
+        self.stamp.load(Ordering::Acquire) >> 1
+    }
+
+    fn lock_commit(&self) {
+        let mut spins = 0u32;
+        loop {
+            let s = self.stamp.load(Ordering::Relaxed);
+            if s & LOCK_BIT == 0
+                && self
+                    .stamp
+                    .compare_exchange_weak(s, s | LOCK_BIT, Ordering::Acquire, Ordering::Relaxed)
+                    .is_ok()
+            {
+                return;
+            }
+            spins += 1;
+            if spins < 128 {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    fn unlock_commit(&self) {
+        self.stamp.fetch_and(!LOCK_BIT, Ordering::Release);
     }
 
     fn install(&self, ts: u64, value: Box<dyn Any + Send>) {
+        assert!(
+            self.stamp.load(Ordering::Relaxed) & LOCK_BIT != 0,
+            "install requires the commit lock"
+        );
         let value = *value
             .downcast::<T>()
             .expect("pending write type matches its TVar");
@@ -188,12 +279,23 @@ impl<T: Clone + Send + Sync + 'static> VarOps for VarInner<T> {
         while versions.len() > self.history {
             versions.pop_back();
         }
+        // Publish the new write stamp while still holding the lock:
+        // validators that acquire this lock next see `ts` immediately.
+        self.stamp.store((ts << 1) | LOCK_BIT, Ordering::Release);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Installs a version through the full lock protocol, the way the
+    /// commit path does.
+    fn install<T: Clone + Send + Sync + 'static>(v: &TVar<T>, ts: u64, value: T) {
+        v.inner.lock_commit();
+        v.inner.install(ts, Box::new(value));
+        v.inner.unlock_commit();
+    }
 
     #[test]
     fn ids_are_unique() {
@@ -205,15 +307,15 @@ mod tests {
     #[test]
     fn load_sees_newest() {
         let v = TVar::new(5u32);
-        v.inner.install(3, Box::new(9u32));
+        install(&v, 3, 9u32);
         assert_eq!(v.load(), 9);
     }
 
     #[test]
     fn read_at_respects_snapshot() {
         let v = TVar::new(1u32);
-        v.inner.install(10, Box::new(2u32));
-        v.inner.install(20, Box::new(3u32));
+        install(&v, 10, 2u32);
+        install(&v, 20, 3u32);
         assert_eq!(v.read_at(0), Ok(1));
         assert_eq!(v.read_at(15), Ok(2));
         assert_eq!(v.read_at(25), Ok(3));
@@ -222,11 +324,40 @@ mod tests {
     #[test]
     fn bounded_history_evicts_oldest() {
         let v = TVar::with_history(0u32, 2);
-        v.inner.install(1, Box::new(1u32));
-        v.inner.install(2, Box::new(2u32));
+        install(&v, 1, 1u32);
+        install(&v, 2, 2u32);
         assert_eq!(v.version_count(), 2);
         assert_eq!(v.read_at(0), Err(Conflict::SnapshotTooOld));
         assert_eq!(v.read_at(1), Ok(1));
+    }
+
+    #[test]
+    fn stamp_word_tracks_newest_install() {
+        let v = TVar::new(0u32);
+        assert_eq!(v.inner.newest_ts(), 0);
+        install(&v, 7, 1u32);
+        assert_eq!(v.inner.newest_ts(), 7);
+        // The lock bit does not leak into the timestamp.
+        v.inner.lock_commit();
+        assert_eq!(v.inner.newest_ts(), 7);
+        v.inner.unlock_commit();
+        assert_eq!(v.inner.newest_ts(), 7);
+    }
+
+    #[test]
+    fn readers_wait_out_an_in_flight_commit() {
+        let v = TVar::new(0u32);
+        v.inner.lock_commit();
+        let reader = {
+            let v = v.clone();
+            std::thread::spawn(move || v.read_at(u64::MAX))
+        };
+        // The reader spins against the held lock; install the pending
+        // version, then release — the reader must observe it.
+        v.inner.install(5, Box::new(42u32));
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        v.inner.unlock_commit();
+        assert_eq!(reader.join().unwrap(), Ok(42));
     }
 
     #[test]
@@ -246,7 +377,14 @@ mod tests {
     #[should_panic(expected = "install out of order")]
     fn out_of_order_install_panics() {
         let v = TVar::new(0u32);
+        install(&v, 5, 1u32);
+        install(&v, 5, 2u32);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires the commit lock")]
+    fn unlocked_install_panics() {
+        let v = TVar::new(0u32);
         v.inner.install(5, Box::new(1u32));
-        v.inner.install(5, Box::new(2u32));
     }
 }

@@ -2,62 +2,86 @@
 //! validation.
 //!
 //! The commit protocol is the software rendition of SI-TM's `TM_COMMIT`
-//! (section 4.2):
+//! (section 4.2), with TL2-style *per-variable* versioned commit locks
+//! instead of any process-global lock structure:
 //!
 //! 1. read-only transactions commit with no timestamp and no checks;
-//! 2. writers lock their written variables in id order (deadlock-free),
-//!    validate that no variable has a version newer than the snapshot
+//! 2. writers acquire the commit locks of exactly their write +
+//!    validation sets in ascending `var_id` order (a global order, so
+//!    commits are deadlock-free), validate first-committer-wins that no
+//!    locked variable has a version newer than the snapshot
 //!    (write-write conflicts; plus read/promoted-set validation under
 //!    the serializable level), obtain an end timestamp from the global
 //!    clock, install the new versions, and unlock.
 //!
-//! Because validation and installation happen while holding all written
-//! variables' stripe locks, the commit point is atomic with respect to
-//! conflicting commits, mirroring the paper's delta-reservation
-//! argument without needing it (software can afford the locks).
+//! Because validation and installation happen while holding the locks
+//! of every variable involved, the commit point is atomic with respect
+//! to conflicting commits, mirroring the paper's delta-reservation
+//! argument without needing it — while transactions with disjoint
+//! footprints proceed fully in parallel, sharing nothing but one
+//! fetch-add on the (cache-line-padded) global clock. Snapshot reads
+//! never take a lock: they only wait out a commit caught mid-install on
+//! the variable being read (`VarInner::wait_unlocked`), which is the
+//! section 4.2 half-published-write-set race — a snapshot can only name
+//! an in-flight commit's end timestamp after that commit ticked the
+//! clock, which happens while its locks are held.
 
 use std::any::Any;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use std::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
-
 use crate::error::{Conflict, StmError};
 use crate::recorder::{Recorder, TxEvent};
 use crate::tvar::{TVar, VarOps};
 
-/// The global version clock shared by every transaction in the process.
-static GLOBAL_CLOCK: AtomicU64 = AtomicU64::new(0);
+/// The global version clock shared by every transaction in the process,
+/// alone on its cache line so the commit-time fetch-add does not
+/// false-share with unrelated statics.
+#[repr(align(128))]
+struct PaddedClock(AtomicU64);
 
-/// Commit-lock stripes: variables hash to stripes by id. Commits take
-/// their stripes exclusively (in order) across the whole
-/// validate–tick–install window; transactional reads take their
-/// variable's stripe shared. This closes the section 4.2 race — a
-/// transaction beginning mid-commit cannot observe a half-published
-/// write set, because any snapshot taken before the commit's clock tick
-/// is strictly older than the commit's end timestamp.
-const STRIPES: usize = 64;
-static STRIPE_LOCKS: [RwLock<()>; STRIPES] = [const { RwLock::new(()) }; STRIPES];
-
-pub(crate) fn stripe_read(var_id: u64) -> RwLockReadGuard<'static, ()> {
-    let lock = &STRIPE_LOCKS[(var_id % STRIPES as u64) as usize];
-    // The guarded value is (), so a poisoned stripe is still usable.
-    lock.read().unwrap_or_else(|poisoned| poisoned.into_inner())
-}
-
-fn stripe_write(stripe: usize) -> RwLockWriteGuard<'static, ()> {
-    STRIPE_LOCKS[stripe]
-        .write()
-        .unwrap_or_else(|poisoned| poisoned.into_inner())
-}
+static GLOBAL_CLOCK: PaddedClock = PaddedClock(AtomicU64::new(0));
 
 pub(crate) fn clock_now() -> u64 {
-    GLOBAL_CLOCK.load(Ordering::SeqCst)
+    GLOBAL_CLOCK.0.load(Ordering::SeqCst)
 }
 
 fn clock_tick() -> u64 {
-    GLOBAL_CLOCK.fetch_add(1, Ordering::SeqCst) + 1
+    GLOBAL_CLOCK.0.fetch_add(1, Ordering::SeqCst) + 1
+}
+
+/// RAII holder of a commit's per-variable locks: acquired in ascending
+/// `var_id` order, released (in any order — release order cannot
+/// deadlock) when dropped, including on validation failure and on
+/// panic, so a dying commit can never strand a variable locked.
+struct CommitLocks {
+    vars: Vec<Arc<dyn VarOps>>,
+}
+
+impl CommitLocks {
+    /// Locks every variable yielded by `vars`, which must arrive in
+    /// ascending id order (callers iterate a `BTreeMap` keyed by id).
+    fn acquire<'a>(vars: impl Iterator<Item = &'a Arc<dyn VarOps>>) -> Self {
+        let mut locked: Vec<Arc<dyn VarOps>> = Vec::with_capacity(vars.size_hint().0);
+        for var in vars {
+            debug_assert!(
+                locked.last().is_none_or(|prev| prev.id() < var.id()),
+                "commit locks must be acquired in ascending id order"
+            );
+            var.lock_commit();
+            locked.push(Arc::clone(var));
+        }
+        CommitLocks { vars: locked }
+    }
+}
+
+impl Drop for CommitLocks {
+    fn drop(&mut self) {
+        for var in &self.vars {
+            var.unlock_commit();
+        }
+    }
 }
 
 /// How strictly transactions are isolated.
@@ -161,11 +185,10 @@ impl Tx {
                 label: var.label(),
             });
         }
-        if self.level == IsolationLevel::Serializable {
-            self.read_log
-                .entry(var.id())
-                .or_insert_with(|| var.inner.clone() as Arc<dyn VarOps>);
-        }
+        // Serve self-reads straight from the write buffer: the value
+        // never touched shared state, so it needs no read logging (the
+        // write itself is validated at commit, which subsumes any
+        // read-set check) and costs no validation work.
         if let Some(pending) = self.writes.get(&var.id()) {
             let value = pending
                 .value
@@ -173,7 +196,11 @@ impl Tx {
                 .expect("buffered value type matches its TVar");
             return Ok(value.clone());
         }
-        let _guard = stripe_read(var.id());
+        if self.level == IsolationLevel::Serializable {
+            self.read_log
+                .entry(var.id())
+                .or_insert_with(|| var.inner.clone() as Arc<dyn VarOps>);
+        }
         var.read_at(self.snapshot).map_err(StmError::from)
     }
 
@@ -250,20 +277,25 @@ impl Tx {
         if read_only && validate.is_empty() {
             return Ok(());
         }
-        // Take the stripe locks of every variable to be validated, in
-        // order, deduplicated.
-        let mut stripes: Vec<usize> = self
-            .writes
-            .keys()
-            .chain(validate.iter().map(|(id, _)| *id))
-            .map(|id| (id % STRIPES as u64) as usize)
-            .collect();
-        stripes.sort_unstable();
-        stripes.dedup();
-        let _guards: Vec<_> = stripes.iter().map(|&s| stripe_write(s)).collect();
+        // Acquire the commit locks of exactly this transaction's write
+        // + validation sets, in ascending var-id order (BTreeMap
+        // iteration order), deduplicated. Disjoint transactions touch
+        // disjoint locks; the guard releases everything on every exit
+        // path, including panics.
+        let mut lock_set: BTreeMap<u64, &Arc<dyn VarOps>> = BTreeMap::new();
+        for (&id, w) in &self.writes {
+            lock_set.insert(id, &w.var);
+        }
+        for &(&id, var) in &validate {
+            lock_set.entry(id).or_insert(var);
+        }
+        let _locks = CommitLocks::acquire(lock_set.into_values());
 
-        // Validation: written and promoted/read-validated variables must
-        // not have versions newer than the snapshot.
+        // Validation (first-committer-wins): written and
+        // promoted/read-validated variables must not have versions
+        // newer than the snapshot. Holding their locks pins their write
+        // stamps, so a concurrent commit can neither slip a version in
+        // under us nor observe ours until we release.
         for w in self.writes.values() {
             if w.var.newest_ts() > self.snapshot {
                 return Err(Conflict::WriteWrite);
@@ -374,6 +406,48 @@ mod tests {
         assert_eq!(a.commit(), Err(Conflict::ReadValidation));
         // The promoted read did not create a version.
         assert_eq!(var.load(), 9);
+    }
+
+    #[test]
+    fn serializable_self_reads_skip_the_read_log() {
+        let var = TVar::new(0u32);
+        let mut tx = Tx::begin(IsolationLevel::Serializable, None);
+        tx.write(&var, 5);
+        // A read served from the write buffer must not inflate the
+        // validation set.
+        assert_eq!(tx.read(&var).unwrap(), 5);
+        assert!(tx.read_log.is_empty(), "self-read logged nothing");
+        tx.commit().unwrap();
+
+        // A read that observed shared state *before* the write is
+        // logged (and later subsumed by write validation).
+        let other = TVar::new(0u32);
+        let mut tx = Tx::begin(IsolationLevel::Serializable, None);
+        let _ = tx.read(&other).unwrap();
+        tx.write(&other, 1);
+        assert_eq!(tx.read_log.len(), 1);
+        tx.commit().unwrap();
+    }
+
+    #[test]
+    fn commit_releases_every_lock_on_conflict() {
+        let var = TVar::new(0u32);
+        let other = TVar::new(0u32);
+        let mut loser = Tx::begin(IsolationLevel::Snapshot, None);
+        loser.write(&var, 1);
+        loser.write(&other, 1);
+        let mut winner = Tx::begin(IsolationLevel::Snapshot, None);
+        winner.write(&var, 2);
+        winner.commit().unwrap();
+        assert_eq!(loser.commit(), Err(Conflict::WriteWrite));
+        // Both variables must be unlocked again: a fresh disjoint
+        // commit on each succeeds without blocking.
+        for (v, val) in [(&var, 7u32), (&other, 8u32)] {
+            let mut tx = Tx::begin(IsolationLevel::Snapshot, None);
+            tx.write(v, val);
+            tx.commit().unwrap();
+            assert_eq!(v.load(), val);
+        }
     }
 
     #[test]

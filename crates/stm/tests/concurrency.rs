@@ -1,0 +1,244 @@
+//! Cross-thread stress and anomaly tests for the software STM.
+//!
+//! These exercise the per-variable commit protocol from real threads:
+//! money-conservation under concurrent transfers with read-only
+//! auditors (who must never abort under snapshot isolation), the
+//! write-skew anomaly admitted by SI and rejected by serializable
+//! validation or read promotion, and the transactional collections
+//! under structural contention.
+
+use std::sync::{Arc, Barrier};
+use std::thread;
+
+use sitm_obs::SmallRng;
+use sitm_stm::{Conflict, Stm, THashMap, TList, TVar};
+
+/// Bank with enough version history that bounded-history reclamation
+/// can never push an auditor's snapshot out of range.
+fn make_bank(accounts: usize, initial: u64) -> Vec<TVar<u64>> {
+    (0..accounts)
+        .map(|_| TVar::with_history(initial, 16_384))
+        .collect()
+}
+
+#[test]
+fn transfers_conserve_money_and_auditors_never_abort() {
+    const ACCOUNTS: usize = 8;
+    const INITIAL: u64 = 1_000;
+    const TOTAL: u64 = ACCOUNTS as u64 * INITIAL;
+    const TRANSFER_THREADS: usize = 4;
+    const TRANSFERS: usize = 300;
+    const AUDITS: usize = 200;
+
+    let bank = make_bank(ACCOUNTS, INITIAL);
+    let writer_stm = Arc::new(Stm::snapshot());
+    // Auditors get their own `Stm` handle so their abort counter is
+    // theirs alone; all handles share the TVars and the global clock.
+    let auditor_stm = Arc::new(Stm::snapshot());
+
+    thread::scope(|s| {
+        for t in 0..TRANSFER_THREADS {
+            let stm = Arc::clone(&writer_stm);
+            let bank = bank.clone();
+            s.spawn(move || {
+                let mut rng = SmallRng::seed_from_u64(0xBA2C + t as u64);
+                for _ in 0..TRANSFERS {
+                    let src = rng.gen_range(0..ACCOUNTS as u64) as usize;
+                    let dst = rng.gen_range(0..ACCOUNTS as u64) as usize;
+                    if src == dst {
+                        continue;
+                    }
+                    let amount = rng.gen_range(1..=10u64);
+                    stm.atomically(|tx| {
+                        let from = tx.read(&bank[src])?;
+                        if from >= amount {
+                            let to = tx.read(&bank[dst])?;
+                            tx.write(&bank[src], from - amount);
+                            tx.write(&bank[dst], to + amount);
+                        }
+                        Ok(())
+                    });
+                }
+            });
+        }
+        for _ in 0..2 {
+            let stm = Arc::clone(&auditor_stm);
+            let bank = bank.clone();
+            s.spawn(move || {
+                for _ in 0..AUDITS {
+                    let sum = stm.atomically(|tx| {
+                        let mut sum = 0u64;
+                        for account in &bank {
+                            sum += tx.read(account)?;
+                        }
+                        Ok(sum)
+                    });
+                    assert_eq!(sum, TOTAL, "snapshot reads must balance mid-run");
+                }
+            });
+        }
+    });
+
+    let finale: u64 = bank.iter().map(TVar::load).sum();
+    assert_eq!(finale, TOTAL, "transfers must conserve money");
+    assert_eq!(
+        auditor_stm.stats().aborts(),
+        0,
+        "read-only transactions never abort under snapshot isolation"
+    );
+    assert_eq!(auditor_stm.stats().commits(), 2 * AUDITS as u64);
+}
+
+/// Runs the classic two-account write-skew schedule: both threads read
+/// both balances on overlapping snapshots (a barrier between the reads
+/// and the commits forces the overlap), then each withdraws from its
+/// own account, believing the combined balance covers it. Returns the
+/// per-thread commit outcomes and the final balances.
+fn run_write_skew(stm: &Arc<Stm>, promote_other: bool) -> ([Result<(), Conflict>; 2], i64, i64) {
+    let x = TVar::new(50i64);
+    let y = TVar::new(50i64);
+    let barrier = Arc::new(Barrier::new(2));
+
+    let outcomes = thread::scope(|s| {
+        let handles = [
+            (0usize, x.clone(), y.clone()),
+            (1usize, y.clone(), x.clone()),
+        ]
+        .map(|(who, mine, other)| {
+            let stm = Arc::clone(stm);
+            let barrier = Arc::clone(&barrier);
+            s.spawn(move || {
+                stm.try_atomically(&mut |tx| {
+                    let own = tx.read(&mine)?;
+                    let combined = own + tx.read(&other)?;
+                    if promote_other {
+                        tx.promote(&other);
+                    }
+                    // Overlap the two snapshots before either commits.
+                    barrier.wait();
+                    if combined >= 60 {
+                        tx.write(&mine, own - 60);
+                    }
+                    let _ = who;
+                    Ok(())
+                })
+            })
+        });
+        handles.map(|h| h.join().expect("skew thread panicked"))
+    });
+
+    (outcomes, x.load(), y.load())
+}
+
+#[test]
+fn write_skew_is_admitted_under_snapshot_isolation() {
+    let stm = Arc::new(Stm::snapshot());
+    let (outcomes, x, y) = run_write_skew(&stm, false);
+    assert!(
+        outcomes.iter().all(Result::is_ok),
+        "disjoint write sets both commit under SI: {outcomes:?}"
+    );
+    assert_eq!((x, y), (-10, -10));
+    assert!(
+        x + y < 0,
+        "the anomaly violates the combined-balance invariant"
+    );
+}
+
+#[test]
+fn write_skew_is_rejected_under_serializable() {
+    let stm = Arc::new(Stm::serializable());
+    let (outcomes, x, y) = run_write_skew(&stm, false);
+    let commits = outcomes.iter().filter(|o| o.is_ok()).count();
+    assert_eq!(
+        commits, 1,
+        "first committer wins, the other validates and aborts"
+    );
+    assert!(
+        outcomes.contains(&Err(Conflict::ReadValidation)),
+        "the loser aborts on read validation: {outcomes:?}"
+    );
+    assert!(x + y >= 0, "the invariant survives: x={x} y={y}");
+}
+
+#[test]
+fn write_skew_is_rejected_by_read_promotion_under_snapshot() {
+    let stm = Arc::new(Stm::snapshot());
+    let (outcomes, x, y) = run_write_skew(&stm, true);
+    let commits = outcomes.iter().filter(|o| o.is_ok()).count();
+    assert_eq!(commits, 1, "promotion makes the cross-reads conflict");
+    assert!(x + y >= 0, "the invariant survives: x={x} y={y}");
+}
+
+#[test]
+fn thashmap_concurrent_increments_lose_no_updates() {
+    const KEYS: u64 = 16;
+    const THREADS: usize = 4;
+    const OPS: usize = 400;
+
+    let stm = Arc::new(Stm::snapshot());
+    let map: Arc<THashMap<u64>> = Arc::new(THashMap::new(8));
+
+    thread::scope(|s| {
+        for t in 0..THREADS {
+            let stm = Arc::clone(&stm);
+            let map = Arc::clone(&map);
+            s.spawn(move || {
+                let mut rng = SmallRng::seed_from_u64(0x4A5 + t as u64);
+                for _ in 0..OPS {
+                    let key = rng.gen_range(0..KEYS);
+                    stm.atomically(|tx| {
+                        let current = map.get(tx, key)?.unwrap_or(0);
+                        map.insert(tx, key, current + 1)?;
+                        Ok(())
+                    });
+                }
+            });
+        }
+    });
+
+    let total: u64 = stm.atomically(|tx| Ok(map.entries(tx)?.into_iter().map(|(_, v)| v).sum()));
+    assert_eq!(
+        total,
+        (THREADS * OPS) as u64,
+        "read-modify-write increments must serialize via write-write conflicts"
+    );
+}
+
+#[test]
+fn tlist_survives_adjacent_structural_churn() {
+    const THREADS: u64 = 4;
+    const SPAN: u64 = 64;
+    const ROUNDS: usize = 8;
+
+    let stm = Arc::new(Stm::snapshot());
+    let list = TList::new();
+
+    // Thread t owns the keys congruent to t mod THREADS, so every
+    // structural neighbour of a key belongs to a different thread and
+    // adjacent insert/remove pairs constantly interleave — the exact
+    // shape of the paper's Listing 2 anomaly.
+    thread::scope(|s| {
+        for t in 0..THREADS {
+            let stm = Arc::clone(&stm);
+            let list = list.clone();
+            s.spawn(move || {
+                for _ in 0..ROUNDS {
+                    for key in (t..SPAN).step_by(THREADS as usize) {
+                        stm.atomically(|tx| list.insert(tx, key).map(|_| ()));
+                    }
+                    for key in (t..SPAN).step_by(THREADS as usize) {
+                        assert!(stm.atomically(|tx| list.remove(tx, key)));
+                    }
+                }
+            });
+        }
+    });
+
+    let (contents, len) = stm.atomically(|tx| Ok((list.to_vec(tx)?, list.len(tx)?)));
+    assert!(
+        contents.is_empty(),
+        "all inserted keys were removed: {contents:?}"
+    );
+    assert_eq!(len, 0);
+}
