@@ -83,6 +83,45 @@ pub fn run_once(
     }
 }
 
+/// Runs `workload` under `protocol` once with history recording enabled
+/// (bounded at `capacity` finished attempts) and returns the statistics.
+/// `RunStats::history` is always `Some`; the `check_fuzz` harness feeds
+/// it to the [`sitm_check`] oracle.
+pub fn run_once_with_history(
+    protocol: Protocol,
+    workload: &mut dyn Workload,
+    cfg: &MachineConfig,
+    seed: u64,
+    capacity: usize,
+) -> RunStats {
+    match protocol {
+        Protocol::TwoPl => {
+            Engine::new(TwoPl::new(cfg), workload, cfg, seed)
+                .record_history(capacity)
+                .run()
+                .0
+        }
+        Protocol::Sontm => {
+            Engine::new(Sontm::new(cfg), workload, cfg, seed)
+                .record_history(capacity)
+                .run()
+                .0
+        }
+        Protocol::SiTm => {
+            Engine::new(SiTm::new(cfg), workload, cfg, seed)
+                .record_history(capacity)
+                .run()
+                .0
+        }
+        Protocol::SsiTm => {
+            Engine::new(SsiTm::new(cfg), workload, cfg, seed)
+                .record_history(capacity)
+                .run()
+                .0
+        }
+    }
+}
+
 /// Runs an SI-TM variant with a custom protocol configuration (for the
 /// ablations and the Table 2 census) and returns the statistics together
 /// with the protocol model for post-run inspection.

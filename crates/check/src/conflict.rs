@@ -1,0 +1,165 @@
+//! Conflict serializability for protocols without version timestamps
+//! (2PL, SONTM): the precedence graph over committed transactions,
+//! with edges derived from the recorder's global operation order, must
+//! be acyclic.
+//!
+//! Edges over each conflict-detection line:
+//!
+//! * **ww** — committed writers in commit order (consecutive pairs;
+//!   transitivity supplies the rest),
+//! * **wr** — the last writer committed before a read precedes the
+//!   reader,
+//! * **rw** — a reader precedes the first writer committed after its
+//!   read. Promotions contribute only this rw direction: a promotion
+//!   validates the read against later writers but observes nothing.
+//!
+//! A read of a line the reader itself later commits a write to needs no
+//! rw edge (its own position in the ww chain orders it before every
+//! later writer).
+
+use std::collections::{BTreeMap, HashMap};
+
+use sitm_obs::{History, OpKind};
+
+use crate::oracle::Violation;
+
+/// Edge provenance: the conflict kind and the line it arose on.
+pub(crate) type EdgeInfo = (&'static str, u64);
+
+/// Adjacency of a dependency graph, deterministic iteration order.
+pub(crate) type Graph = BTreeMap<u64, BTreeMap<u64, EdgeInfo>>;
+
+pub(crate) fn check_conflict_serializable(history: &History, out: &mut Vec<Violation>) {
+    let mut graph: Graph = BTreeMap::new();
+
+    // Committed writers of each line, in commit order. Lock-based
+    // protocols publish writes at commit, so the commit's sequence
+    // number is the point a writer starts conflicting with readers.
+    let mut writers_by_line: HashMap<u64, Vec<(u64, u64)>> = HashMap::new();
+    for r in history.committed() {
+        graph.entry(r.txn).or_default();
+        let mut lines: Vec<u64> = r.write_lines().collect();
+        lines.sort_unstable();
+        lines.dedup();
+        for line in lines {
+            writers_by_line
+                .entry(line)
+                .or_default()
+                .push((r.end_seq, r.txn));
+        }
+    }
+    for writers in writers_by_line.values_mut() {
+        writers.sort_unstable();
+    }
+
+    let add_edge = |graph: &mut Graph, from: u64, to: u64, kind: &'static str, line: u64| {
+        if from != to {
+            graph
+                .entry(from)
+                .or_default()
+                .entry(to)
+                .or_insert((kind, line));
+        }
+    };
+
+    for (line, writers) in &writers_by_line {
+        for pair in writers.windows(2) {
+            add_edge(&mut graph, pair[0].1, pair[1].1, "ww", *line);
+        }
+    }
+
+    for r in history.committed() {
+        for op in &r.ops {
+            let (line, observes) = match op.kind {
+                OpKind::Read { line, .. } => (line, true),
+                OpKind::Promote { line } => (line, false),
+                OpKind::Write { .. } => continue,
+            };
+            let empty = Vec::new();
+            let writers = writers_by_line.get(&line).unwrap_or(&empty);
+            if observes {
+                if let Some(&(_, writer)) = writers
+                    .iter()
+                    .rev()
+                    .find(|&&(end, txn)| end < op.seq && txn != r.txn)
+                {
+                    add_edge(&mut graph, writer, r.txn, "wr", line);
+                }
+            }
+            if let Some(&(_, writer)) = writers.iter().find(|&&(end, _)| end > op.seq) {
+                // First overwriter being the reader itself means the
+                // reader's own ww-chain position already orders it.
+                add_edge(&mut graph, r.txn, writer, "rw", line);
+            }
+        }
+    }
+
+    if let Some(cycle) = find_cycle(&graph) {
+        out.push(cycle_violation("conflict-cycle", &graph, cycle));
+    }
+}
+
+/// Renders a cycle as a violation, spelling out each edge's kind and
+/// line so the offending dependency pair is legible.
+pub(crate) fn cycle_violation(rule: &'static str, graph: &Graph, cycle: Vec<u64>) -> Violation {
+    let mut detail = String::new();
+    for (i, &from) in cycle.iter().enumerate() {
+        let to = cycle[(i + 1) % cycle.len()];
+        let (kind, line) = graph[&from][&to];
+        if i > 0 {
+            detail.push_str(", ");
+        }
+        detail.push_str(&format!("txn {from} -{kind}(line {line})-> txn {to}"));
+    }
+    Violation {
+        rule,
+        txns: cycle,
+        line: None,
+        detail,
+    }
+}
+
+/// Iterative three-colour DFS; returns the first cycle found as the
+/// list of transactions along it (each holding an edge to the next,
+/// wrapping around).
+pub(crate) fn find_cycle(graph: &Graph) -> Option<Vec<u64>> {
+    const WHITE: u8 = 0;
+    const GRAY: u8 = 1;
+    const BLACK: u8 = 2;
+    let mut color: HashMap<u64, u8> = graph.keys().map(|&n| (n, WHITE)).collect();
+    for &root in graph.keys() {
+        if color[&root] != WHITE {
+            continue;
+        }
+        // The stack of gray nodes is exactly the current path.
+        let mut stack: Vec<(u64, Vec<u64>, usize)> = Vec::new();
+        color.insert(root, GRAY);
+        let succ = graph[&root].keys().copied().collect();
+        stack.push((root, succ, 0));
+        while let Some((node, succ, idx)) = stack.last_mut() {
+            if *idx >= succ.len() {
+                color.insert(*node, BLACK);
+                stack.pop();
+                continue;
+            }
+            let next = succ[*idx];
+            *idx += 1;
+            match color.get(&next).copied().unwrap_or(WHITE) {
+                WHITE => {
+                    color.insert(next, GRAY);
+                    let succ = graph.get(&next).map(|m| m.keys().copied().collect());
+                    stack.push((next, succ.unwrap_or_default(), 0));
+                }
+                GRAY => {
+                    let start = stack
+                        .iter()
+                        .position(|&(n, _, _)| n == next)
+                        .expect("gray nodes are on the DFS path");
+                    return Some(stack[start..].iter().map(|&(n, _, _)| n).collect());
+                }
+                _ => {}
+            }
+        }
+    }
+    None
+}

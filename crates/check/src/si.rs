@@ -1,0 +1,190 @@
+//! The two snapshot-isolation axioms, checked over begin/commit
+//! timestamps (Raad–Lahav–Vafeiadis style, specialised to the
+//! recorder's schema):
+//!
+//! 1. **Snapshot read** — every read of a committed transaction `T`
+//!    observes exactly the newest version of its line committed at or
+//!    before `T.begin_ts` (timestamp 0 being the pre-run image).
+//! 2. **First committer wins** — no two committed transactions that
+//!    wrote the same line have overlapping `[begin_ts, commit_ts]`
+//!    windows.
+//!
+//! Timestamps are only comparable within one clock epoch (protocols
+//! that recover from clock overflow reset their clock and bump the
+//! epoch; the recorder guarantees no committed transaction spans a
+//! reset), so all checks group committed transactions by epoch first.
+
+use std::collections::HashMap;
+
+use sitm_obs::{History, OpKind, TxnRecord};
+
+use crate::oracle::Violation;
+
+/// A committed writer of one line: `(commit_ts, begin_ts, txn)`.
+type Writer = (u64, u64, u64);
+
+/// Checks the SI axioms, appending violations to `out` and counting
+/// verified read observations into `reads_checked`.
+pub(crate) fn check_si(history: &History, out: &mut Vec<Violation>, reads_checked: &mut usize) {
+    let mut epochs: HashMap<u64, Vec<&TxnRecord>> = HashMap::new();
+    for r in history.committed() {
+        epochs.entry(r.epoch).or_default().push(r);
+    }
+    let mut epoch_ids: Vec<u64> = epochs.keys().copied().collect();
+    epoch_ids.sort_unstable();
+    for epoch in epoch_ids {
+        check_epoch(&epochs[&epoch], out, reads_checked);
+    }
+}
+
+fn check_epoch(committed: &[&TxnRecord], out: &mut Vec<Violation>, reads_checked: &mut usize) {
+    // Index committed writers per line, and sanity-check timestamps
+    // while doing so. A committed record is a *writer* when it reserved
+    // a commit timestamp; read-only and promotion-only commits carry
+    // `commit_ts: None` and install nothing.
+    let mut writers_by_line: HashMap<u64, Vec<Writer>> = HashMap::new();
+    let mut ts_owner: HashMap<u64, u64> = HashMap::new();
+    for r in committed {
+        let Some(end) = r.commit_ts else { continue };
+        let Some(begin) = r.begin_ts else {
+            out.push(Violation {
+                rule: "timestamp",
+                txns: vec![r.txn],
+                line: None,
+                detail: format!("writer committed at ts {end} but recorded no begin timestamp"),
+            });
+            continue;
+        };
+        if end <= begin {
+            out.push(Violation {
+                rule: "timestamp",
+                txns: vec![r.txn],
+                line: None,
+                detail: format!("commit ts {end} not after begin ts {begin}"),
+            });
+        }
+        if let Some(&other) = ts_owner.get(&end) {
+            out.push(Violation {
+                rule: "timestamp",
+                txns: vec![other, r.txn],
+                line: None,
+                detail: format!("two committed writers share commit ts {end}"),
+            });
+        } else {
+            ts_owner.insert(end, r.txn);
+        }
+        let mut lines: Vec<u64> = r.write_lines().collect();
+        lines.sort_unstable();
+        lines.dedup();
+        for line in lines {
+            writers_by_line
+                .entry(line)
+                .or_default()
+                .push((end, begin, r.txn));
+        }
+    }
+    for writers in writers_by_line.values_mut() {
+        writers.sort_unstable();
+    }
+
+    check_snapshot_reads(committed, &writers_by_line, out, reads_checked);
+    check_first_committer_wins(&writers_by_line, out);
+}
+
+/// Axiom 1: each read observation equals the newest commit at or below
+/// the reader's begin timestamp.
+fn check_snapshot_reads(
+    committed: &[&TxnRecord],
+    writers_by_line: &HashMap<u64, Vec<Writer>>,
+    out: &mut Vec<Violation>,
+    reads_checked: &mut usize,
+) {
+    for r in committed {
+        let observed_reads: Vec<(u64, u64)> = r
+            .ops
+            .iter()
+            .filter_map(|op| match op.kind {
+                // `observed: None` marks reads served from the
+                // transaction's own write buffer; they never touch
+                // shared versions and carry no observation to check.
+                OpKind::Read {
+                    line,
+                    observed: Some(o),
+                } => Some((line, o)),
+                _ => None,
+            })
+            .collect();
+        if observed_reads.is_empty() {
+            continue;
+        }
+        let Some(begin) = r.begin_ts else {
+            out.push(Violation {
+                rule: "timestamp",
+                txns: vec![r.txn],
+                line: None,
+                detail: "committed reader recorded version observations but no begin timestamp"
+                    .to_string(),
+            });
+            continue;
+        };
+        for (line, observed) in observed_reads {
+            *reads_checked += 1;
+            let empty = Vec::new();
+            let writers = writers_by_line.get(&line).unwrap_or(&empty);
+            // Newest committed version at or below the snapshot; the
+            // pre-run image is version 0.
+            let expected = writers
+                .iter()
+                .rev()
+                .find(|&&(end, _, txn)| end <= begin && txn != r.txn)
+                .map_or(0, |&(end, _, _)| end);
+            if observed == expected {
+                continue;
+            }
+            // Pinpoint the partner: the writer whose version should
+            // have been seen (stale read), or the writer whose version
+            // was seen from the future.
+            let partner = writers
+                .iter()
+                .find(|&&(end, _, _)| end == expected.max(observed))
+                .map(|&(_, _, txn)| txn);
+            out.push(Violation {
+                rule: "snapshot-read",
+                txns: std::iter::once(r.txn).chain(partner).collect(),
+                line: Some(line),
+                detail: format!(
+                    "read at snapshot {begin} observed version {observed}, expected {expected}"
+                ),
+            });
+        }
+    }
+}
+
+/// Axiom 2: committed writers of a line must not overlap in time.
+/// `writers` is sorted by commit ts, so writer `j` overlaps an earlier
+/// committer `i` exactly when `i`'s commit falls after `j`'s begin.
+fn check_first_committer_wins(
+    writers_by_line: &HashMap<u64, Vec<Writer>>,
+    out: &mut Vec<Violation>,
+) {
+    let mut lines: Vec<u64> = writers_by_line.keys().copied().collect();
+    lines.sort_unstable();
+    for line in lines {
+        let writers = &writers_by_line[&line];
+        for (j, &(end_j, begin_j, txn_j)) in writers.iter().enumerate() {
+            for &(end_i, _, txn_i) in &writers[..j] {
+                if end_i > begin_j && txn_i != txn_j {
+                    out.push(Violation {
+                        rule: "first-committer-wins",
+                        txns: vec![txn_i, txn_j],
+                        line: Some(line),
+                        detail: format!(
+                            "overlapping committed writers: txn {txn_i} committed at {end_i} \
+                             inside txn {txn_j}'s window [{begin_j}, {end_j}]"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,337 @@
+//! Unit tests of the oracle over hand-built histories: each axiom is
+//! exercised with one minimal satisfying history and one minimal
+//! violating history, so a silently weakened check fails here before
+//! the mutation self-tests even run.
+
+use sitm_check::{check, Discipline};
+use sitm_obs::{History, OpKind, TxnBuilder};
+
+/// A committed writer: reads `line` (observing `observed`), writes it,
+/// commits. Sequence numbers are packed from `seq_base`.
+fn writer(
+    txn: u64,
+    line: u64,
+    begin_ts: u64,
+    commit_ts: u64,
+    observed: u64,
+    seq_base: u64,
+) -> sitm_obs::TxnRecord {
+    let mut b = TxnBuilder::new(txn, txn as usize, 0, seq_base, Some(begin_ts));
+    b.op(
+        seq_base + 1,
+        OpKind::Read {
+            line,
+            observed: Some(observed),
+        },
+    );
+    b.op(seq_base + 2, OpKind::Write { line });
+    b.commit(seq_base + 3, Some(commit_ts))
+}
+
+/// A committed reader of `line` observing `observed`.
+fn reader(txn: u64, line: u64, begin_ts: u64, observed: u64, seq_base: u64) -> sitm_obs::TxnRecord {
+    let mut b = TxnBuilder::new(txn, txn as usize, 0, seq_base, Some(begin_ts));
+    b.op(
+        seq_base + 1,
+        OpKind::Read {
+            line,
+            observed: Some(observed),
+        },
+    );
+    b.commit(seq_base + 2, None)
+}
+
+#[test]
+fn clean_si_history_passes() {
+    let mut h = History::default();
+    // Serial chain of read-modify-writes, each observing the previous.
+    h.push(writer(0, 7, 0, 1, 0, 0));
+    h.push(writer(1, 7, 1, 2, 1, 10));
+    h.push(reader(2, 7, 2, 2, 20));
+    let report = check(Discipline::SnapshotIsolation, &h);
+    assert!(report.is_ok(), "{report}");
+    assert_eq!(report.committed, 3);
+    assert_eq!(report.reads_checked, 3);
+}
+
+#[test]
+fn stale_read_is_flagged_with_the_missed_writer() {
+    let mut h = History::default();
+    h.push(writer(0, 7, 0, 1, 0, 0));
+    // Txn 1 begins at ts 1 (so version 1 is in its snapshot) but
+    // observes the pre-run image 0: a stale read.
+    h.push(reader(1, 7, 1, 0, 10));
+    let report = check(Discipline::SnapshotIsolation, &h);
+    assert_eq!(report.violations.len(), 1, "{report}");
+    let v = &report.violations[0];
+    assert_eq!(v.rule, "snapshot-read");
+    assert_eq!(v.txns, vec![1, 0], "reader plus the writer it missed");
+    assert_eq!(v.line, Some(7));
+}
+
+#[test]
+fn read_from_the_future_is_flagged() {
+    let mut h = History::default();
+    h.push(writer(0, 7, 2, 5, 0, 0));
+    // Txn 1's snapshot is ts 1, before version 5 existed — yet it
+    // observed it.
+    h.push(reader(1, 7, 1, 5, 10));
+    let report = check(Discipline::SnapshotIsolation, &h);
+    let v = &report.violations[0];
+    assert_eq!(v.rule, "snapshot-read");
+    assert_eq!(v.txns, vec![1, 0]);
+}
+
+#[test]
+fn phantom_version_observation_is_flagged() {
+    let mut h = History::default();
+    // No writer ever committed ts 9 on line 7.
+    h.push(reader(1, 7, 10, 9, 0));
+    let report = check(Discipline::SnapshotIsolation, &h);
+    let v = &report.violations[0];
+    assert_eq!(v.rule, "snapshot-read");
+    assert_eq!(v.txns, vec![1], "no partner writer exists to pinpoint");
+}
+
+#[test]
+fn overlapping_writers_violate_first_committer_wins() {
+    let mut h = History::default();
+    // Both began at ts 0; both committed a write of line 3.
+    h.push(writer(0, 3, 0, 1, 0, 0));
+    h.push(writer(1, 3, 0, 2, 0, 10));
+    let report = check(Discipline::SnapshotIsolation, &h);
+    let fcw: Vec<_> = report
+        .violations
+        .iter()
+        .filter(|v| v.rule == "first-committer-wins")
+        .collect();
+    assert_eq!(fcw.len(), 1, "{report}");
+    assert_eq!(fcw[0].txns, vec![0, 1]);
+    assert_eq!(fcw[0].line, Some(3));
+}
+
+#[test]
+fn disjoint_lifetimes_satisfy_first_committer_wins() {
+    let mut h = History::default();
+    h.push(writer(0, 3, 0, 1, 0, 0));
+    h.push(writer(1, 3, 1, 2, 1, 10)); // begins exactly at 0's commit
+    assert!(check(Discipline::SnapshotIsolation, &h).is_ok());
+}
+
+#[test]
+fn timestamp_sanity_is_enforced() {
+    let mut h = History::default();
+    // Commit not after begin.
+    let b = TxnBuilder::new(0, 0, 0, 0, Some(5));
+    h.push(b.commit(1, Some(5)));
+    // Duplicate commit timestamp.
+    h.push(writer(1, 1, 0, 9, 0, 10));
+    h.push(writer(2, 2, 0, 9, 0, 20));
+    let report = check(Discipline::SnapshotIsolation, &h);
+    let rules: Vec<&str> = report.violations.iter().map(|v| v.rule).collect();
+    assert_eq!(rules, vec!["timestamp", "timestamp"], "{report}");
+    assert_eq!(report.violations[1].txns, vec![1, 2]);
+}
+
+#[test]
+fn epochs_are_checked_independently() {
+    let mut h = History::default();
+    // Same commit ts 1 in two different epochs: legal.
+    h.push(writer(0, 7, 0, 1, 0, 0));
+    let mut b = TxnBuilder::new(1, 0, 1, 10, Some(0));
+    b.op(
+        11,
+        OpKind::Read {
+            line: 7,
+            observed: Some(0),
+        },
+    );
+    b.op(12, OpKind::Write { line: 7 });
+    h.push(b.commit(13, Some(1)));
+    assert!(check(Discipline::SnapshotIsolation, &h).is_ok());
+}
+
+#[test]
+fn aborted_attempts_are_unconstrained() {
+    let mut h = History::default();
+    h.push(writer(0, 7, 0, 1, 0, 0));
+    // An aborted attempt with a blatantly stale read must not trip the
+    // oracle: aborted work installs nothing.
+    let mut b = TxnBuilder::new(1, 1, 0, 10, Some(5));
+    b.op(
+        11,
+        OpKind::Read {
+            line: 7,
+            observed: Some(0),
+        },
+    );
+    h.push(b.abort(12, "write-write"));
+    let report = check(Discipline::SnapshotIsolation, &h);
+    assert!(report.is_ok(), "{report}");
+    assert_eq!(report.aborted, 1);
+}
+
+#[test]
+fn dropped_records_refuse_certification() {
+    let mut h = History::with_capacity(1);
+    h.push(writer(0, 7, 0, 1, 0, 0));
+    h.push(writer(1, 7, 1, 2, 1, 10)); // dropped
+    let report = check(Discipline::SnapshotIsolation, &h);
+    assert_eq!(report.violations.len(), 1);
+    assert_eq!(report.violations[0].rule, "dropped-records");
+}
+
+// ---------------------------------------------------------------------------
+// Conflict serializability (sequence-order graph, no timestamps).
+// ---------------------------------------------------------------------------
+
+/// A committed record without timestamps: `(line, kind)` ops at
+/// consecutive sequence numbers from `seq_base`, committing at
+/// `end_seq`.
+fn seq_txn(txn: u64, ops: &[(u64, char)], seq_base: u64, end_seq: u64) -> sitm_obs::TxnRecord {
+    let mut b = TxnBuilder::new(txn, txn as usize, 0, seq_base, None);
+    for (i, &(line, kind)) in ops.iter().enumerate() {
+        let seq = seq_base + 1 + i as u64;
+        match kind {
+            'r' => b.op(
+                seq,
+                OpKind::Read {
+                    line,
+                    observed: None,
+                },
+            ),
+            'w' => b.op(seq, OpKind::Write { line }),
+            'p' => b.op(seq, OpKind::Promote { line }),
+            _ => unreachable!(),
+        }
+    }
+    b.commit(end_seq, None)
+}
+
+#[test]
+fn serial_rmw_chain_is_conflict_serializable() {
+    let mut h = History::default();
+    h.push(seq_txn(0, &[(7, 'r'), (7, 'w')], 0, 5));
+    h.push(seq_txn(1, &[(7, 'r'), (7, 'w')], 10, 15));
+    h.push(seq_txn(2, &[(7, 'r')], 20, 25));
+    assert!(check(Discipline::ConflictSerializable, &h).is_ok());
+}
+
+#[test]
+fn lost_update_forms_a_conflict_cycle() {
+    // Classic lost update: both read line 7 before either commits a
+    // write to it. rw: 0 -> 1 (0 read before 1's commit), and 1 read
+    // before 0's commit gives rw: 1 -> 0.
+    let mut h = History::default();
+    h.push(seq_txn(0, &[(7, 'r'), (7, 'w')], 0, 10));
+    h.push(seq_txn(1, &[(7, 'r'), (7, 'w')], 1, 11));
+    let report = check(Discipline::ConflictSerializable, &h);
+    assert_eq!(report.violations.len(), 1, "{report}");
+    let v = &report.violations[0];
+    assert_eq!(v.rule, "conflict-cycle");
+    let mut pair = v.txns.clone();
+    pair.sort_unstable();
+    assert_eq!(pair, vec![0, 1], "the cycle pinpoints the lost update");
+    assert!(v.detail.contains("line 7"), "{}", v.detail);
+}
+
+#[test]
+fn promotion_contributes_an_rw_edge() {
+    // Txn 0 promotes line 7 (validated read) at seq 1; txn 1 overwrites
+    // line 7 and commits at 5, but also reads line 9 (seq 4) which
+    // txn 0 overwrites at commit 10: cycle 0 -rw-> 1 -rw-> 0.
+    let mut h = History::default();
+    h.push(seq_txn(0, &[(7, 'p'), (9, 'w')], 0, 10));
+    h.push(seq_txn(1, &[(9, 'r'), (7, 'w')], 3, 5));
+    let report = check(Discipline::ConflictSerializable, &h);
+    assert_eq!(report.violations.len(), 1, "{report}");
+    assert_eq!(report.violations[0].rule, "conflict-cycle");
+}
+
+#[test]
+fn read_own_write_is_not_a_cycle() {
+    // A transaction reading a line it later writes must not form a
+    // self-dependency with its own commit.
+    let mut h = History::default();
+    h.push(seq_txn(0, &[(7, 'r'), (7, 'w'), (7, 'r')], 0, 10));
+    assert!(check(Discipline::ConflictSerializable, &h).is_ok());
+}
+
+// ---------------------------------------------------------------------------
+// Serializable snapshot isolation (SI + MVSG acyclicity).
+// ---------------------------------------------------------------------------
+
+#[test]
+fn write_skew_passes_si_but_fails_ssi() {
+    // The textbook write skew: both transactions read lines 1 and 2 at
+    // the pre-run snapshot, then write disjoint lines. Legal under
+    // plain SI (disjoint write sets, consistent snapshots) but not
+    // serializable: the MVSG has rw edges both ways.
+    let mut h = History::default();
+    let mut t1 = TxnBuilder::new(0, 0, 0, 0, Some(0));
+    t1.op(
+        1,
+        OpKind::Read {
+            line: 1,
+            observed: Some(0),
+        },
+    );
+    t1.op(
+        2,
+        OpKind::Read {
+            line: 2,
+            observed: Some(0),
+        },
+    );
+    t1.op(3, OpKind::Write { line: 1 });
+    h.push(t1.commit(4, Some(1)));
+    let mut t2 = TxnBuilder::new(1, 1, 0, 5, Some(0));
+    t2.op(
+        6,
+        OpKind::Read {
+            line: 1,
+            observed: Some(0),
+        },
+    );
+    t2.op(
+        7,
+        OpKind::Read {
+            line: 2,
+            observed: Some(0),
+        },
+    );
+    t2.op(8, OpKind::Write { line: 2 });
+    h.push(t2.commit(9, Some(2)));
+
+    let si = check(Discipline::SnapshotIsolation, &h);
+    assert!(si.is_ok(), "write skew is legal SI: {si}");
+
+    let ssi = check(Discipline::SerializableSnapshot, &h);
+    assert_eq!(ssi.violations.len(), 1, "{ssi}");
+    let v = &ssi.violations[0];
+    assert_eq!(v.rule, "mvsg-cycle");
+    let mut pair = v.txns.clone();
+    pair.sort_unstable();
+    assert_eq!(pair, vec![0, 1]);
+}
+
+#[test]
+fn serial_history_satisfies_ssi() {
+    let mut h = History::default();
+    h.push(writer(0, 1, 0, 1, 0, 0));
+    h.push(writer(1, 1, 1, 2, 1, 10));
+    h.push(reader(2, 1, 2, 2, 20));
+    let report = check(Discipline::SerializableSnapshot, &h);
+    assert!(report.is_ok(), "{report}");
+}
+
+#[test]
+fn report_display_names_the_rule() {
+    let mut h = History::default();
+    h.push(writer(0, 3, 0, 1, 0, 0));
+    h.push(writer(1, 3, 0, 2, 0, 10));
+    let report = check(Discipline::SnapshotIsolation, &h);
+    let text = report.to_string();
+    assert!(text.contains("first-committer-wins"), "{text}");
+    assert!(text.contains("violation"), "{text}");
+}

@@ -79,6 +79,14 @@ pub struct SiTm {
     /// L1-sized threshold above which written lines spill as transients
     /// (cost modeling only; never an abort).
     spill_threshold: usize,
+    /// Per-thread timestamp of the version served by the most recent
+    /// successful read (`None` for read-own-write), reported to the
+    /// history recorder.
+    last_reads: Vec<Option<u64>>,
+    /// Per-thread end timestamp of the most recent successful commit
+    /// (`None` when nothing was installed), reported to the history
+    /// recorder.
+    last_commits: Vec<Option<u64>>,
 }
 
 impl SiTm {
@@ -106,6 +114,8 @@ impl SiTm {
             cfg,
             txs: (0..machine.cores).map(|_| None).collect(),
             spill_threshold: machine.version_buffer_lines(),
+            last_reads: vec![None; machine.cores],
+            last_commits: vec![None; machine.cores],
         }
     }
 
@@ -221,6 +231,7 @@ impl TmProtocol for SiTm {
         let line = addr.line();
         // Read-own-writes from the buffer first.
         if let Some(value) = self.tx(tid).writes.get(addr) {
+            self.last_reads[tid.0] = None;
             let cycles = self.base.mem.l1_write(tid.0, line); // L1 hit cost
             return ReadOutcome::Ok {
                 value,
@@ -230,7 +241,10 @@ impl TmProtocol for SiTm {
         }
         let start = self.tx(tid).start;
         let base_data = match self.base.store.read_snapshot(line, start) {
-            Some(snap) => snap.data,
+            Some(snap) => {
+                self.last_reads[tid.0] = Some(snap.ts.0);
+                snap.data
+            }
             None => {
                 // The snapshot's version was discarded (discard-oldest
                 // policy): the reader aborts.
@@ -309,6 +323,7 @@ impl TmProtocol for SiTm {
                 .as_ref()
                 .expect("commit outside transaction");
             if tx.writes.is_empty() && tx.promoted.is_empty() {
+                self.last_commits[tid.0] = None;
                 self.teardown(tid);
                 return CommitOutcome::Committed {
                     cycles: 0,
@@ -333,6 +348,7 @@ impl TmProtocol for SiTm {
                     };
                 }
             }
+            self.last_commits[tid.0] = None;
             self.teardown(tid);
             return CommitOutcome::Committed {
                 cycles,
@@ -453,6 +469,7 @@ impl TmProtocol for SiTm {
             };
         }
 
+        self.last_commits[tid.0] = Some(end.0);
         self.teardown(tid);
         self.clock.finish_commit(end);
         CommitOutcome::Committed {
@@ -474,6 +491,22 @@ impl TmProtocol for SiTm {
 
     fn store_mut(&mut self) -> &mut MvmStore {
         &mut self.base.store
+    }
+
+    fn begin_ts(&self, tid: ThreadId) -> Option<u64> {
+        self.txs[tid.0].as_ref().map(|tx| tx.start.0)
+    }
+
+    fn last_commit_ts(&self, tid: ThreadId) -> Option<u64> {
+        self.last_commits[tid.0]
+    }
+
+    fn last_read_version(&self, tid: ThreadId) -> Option<u64> {
+        self.last_reads[tid.0]
+    }
+
+    fn epoch(&self) -> u64 {
+        self.clock.overflows()
     }
 }
 

@@ -13,17 +13,27 @@
 //! On top of the SI-TM machinery this model adds:
 //!
 //! * read-set tracking (SI proper needs none),
-//! * a per-transaction *reader-conflict* flag, set when the transaction
-//!   reads a line for which a newer committed version exists (it read
-//!   old data that an overlapping transaction overwrote),
-//! * a per-transaction *writer-conflict* flag, set at commit when the
-//!   write set intersects the read set of an active transaction, or of a
-//!   transaction that committed during this transaction's lifetime (a
-//!   bounded committed-readers window, the analogue of Cahill et al.'s
-//!   committed-pivot tracking),
+//! * a per-transaction *reader-conflict* flag (an outgoing
+//!   rw-dependency), set when the transaction reads a line for which a
+//!   newer committed version exists (it read old data that an
+//!   overlapping transaction overwrote),
+//! * a per-transaction *writer-conflict* flag (an incoming
+//!   rw-dependency), set at commit when the write set intersects the
+//!   read set of an active transaction, or of a transaction that
+//!   committed during this transaction's lifetime,
 //! * the abort rule: a transaction observed with both flags aborts
 //!   ([`AbortCause::Order`]); the committer dooms conflicting active
 //!   readers whose flags complete a dangerous structure.
+//!
+//! Because versioning is lazy, a transaction's rw-edges can keep
+//! materialising *after* it commits: a later reader observes old data
+//! the committed transaction overwrote (completing its incoming edge),
+//! or a later committer overwrites data it read (completing its
+//! outgoing edge). The committed-transaction window therefore retains
+//! both flags alongside the read and write sets (the analogue of Cahill
+//! et al.'s committed-pivot tracking), and the transaction whose action
+//! completes a committed pivot's second flag aborts itself — it is too
+//! late to abort the pivot.
 //!
 //! Write-write conflicts abort exactly as in SI-TM.
 
@@ -52,12 +62,22 @@ struct SsiTx {
     writer_conflict: bool,
 }
 
-/// Read set of a recently committed transaction, retained while active
-/// transactions overlap its lifetime.
+/// Footprint and conflict flags of a recently committed transaction,
+/// retained while active transactions overlap its lifetime: its rw-edges
+/// can still be completed by later reads and commits (lazy versioning),
+/// at which point a committed pivot can only be resolved by aborting the
+/// transaction that completed the structure.
 #[derive(Debug)]
-struct CommittedReader {
+struct CommittedTx {
     end: Timestamp,
     read_set: BTreeSet<LineAddr>,
+    write_set: BTreeSet<LineAddr>,
+    /// Incoming rw-dependency: someone read old data this transaction
+    /// overwrote (its `writer_conflict` at commit, or marked later).
+    in_conflict: bool,
+    /// Outgoing rw-dependency: this transaction read old data someone
+    /// overwrote (its `reader_conflict` at commit, or marked later).
+    out_conflict: bool,
 }
 
 /// The serializable-SI protocol model. See the module docs above.
@@ -66,8 +86,16 @@ pub struct SsiTm {
     base: ProtocolBase,
     clock: GlobalClock,
     txs: Vec<Option<SsiTx>>,
-    /// Read sets of committed transactions still overlapping someone.
-    committed_readers: Vec<CommittedReader>,
+    /// Committed transactions still overlapping someone.
+    committed_window: Vec<CommittedTx>,
+    /// Per-thread timestamp of the version served by the most recent
+    /// successful read (`None` for read-own-write), reported to the
+    /// history recorder.
+    last_reads: Vec<Option<u64>>,
+    /// Per-thread end timestamp of the most recent successful commit
+    /// (`None` when nothing was installed), reported to the history
+    /// recorder.
+    last_commits: Vec<Option<u64>>,
 }
 
 impl SsiTm {
@@ -77,7 +105,9 @@ impl SsiTm {
             base: ProtocolBase::new(MvmStore::new(), machine),
             clock: GlobalClock::new(machine.cores),
             txs: (0..machine.cores).map(|_| None).collect(),
-            committed_readers: Vec::new(),
+            committed_window: Vec::new(),
+            last_reads: vec![None; machine.cores],
+            last_commits: vec![None; machine.cores],
         }
     }
 
@@ -93,17 +123,17 @@ impl SsiTm {
         self.base
             .mem
             .invalidate_own(tid.0, tx.touched.iter().copied());
-        self.prune_committed_readers();
+        self.prune_committed_window();
         Some(tx)
     }
 
-    /// Drops committed-reader records that no active transaction
+    /// Drops committed-transaction records that no active transaction
     /// overlaps any more.
-    fn prune_committed_readers(&mut self) {
+    fn prune_committed_window(&mut self) {
         let oldest_active = self.base.store.active().oldest_start();
         match oldest_active {
-            None => self.committed_readers.clear(),
-            Some(oldest) => self.committed_readers.retain(|c| c.end > oldest),
+            None => self.committed_window.clear(),
+            Some(oldest) => self.committed_window.retain(|c| c.end > oldest),
         }
     }
 }
@@ -133,6 +163,7 @@ impl TmProtocol for SsiTm {
     fn read(&mut self, tid: ThreadId, addr: Addr, _now: Cycles) -> ReadOutcome {
         let line = addr.line();
         if let Some(value) = self.tx(tid).writes.get(addr) {
+            self.last_reads[tid.0] = None;
             let cycles = self.base.mem.l1_write(tid.0, line);
             return ReadOutcome::Ok {
                 value,
@@ -146,17 +177,34 @@ impl TmProtocol for SsiTm {
             .store
             .read_snapshot(line, start)
             .expect("default policy never discards reachable snapshots");
+        self.last_reads[tid.0] = Some(snap.ts.0);
         // Reading old data that a later commit overwrote: this
         // transaction is the reader of an rw-dependency.
         let read_old = self.base.store.newer_than(line, start);
+        let mut committed_pivot = false;
+        if read_old {
+            // The overlapping committed writers of the newer versions
+            // gain an incoming rw-edge. One that committed already
+            // carrying an outgoing edge becomes a complete pivot; the
+            // only transaction left to abort is this reader.
+            for c in &mut self.committed_window {
+                if c.end > start && c.write_set.contains(&line) {
+                    c.in_conflict = true;
+                    if c.out_conflict {
+                        committed_pivot = true;
+                    }
+                }
+            }
+        }
         let tx = self.tx(tid);
         tx.read_set.insert(line);
         tx.touched.insert(line);
         if read_old {
             tx.reader_conflict = true;
-            if tx.writer_conflict {
+            if tx.writer_conflict || committed_pivot {
                 // Dangerous structure: both flag kinds on one
-                // transaction.
+                // transaction (this one, or a committed writer it read
+                // around).
                 let cycles = self.rollback(tid);
                 return ReadOutcome::Abort {
                     cause: AbortCause::Order,
@@ -208,15 +256,20 @@ impl TmProtocol for SsiTm {
             .writes
             .is_empty();
         if read_only {
-            // A read-only transaction cannot be a pivot under SI: it has
-            // no outgoing writes. Record its reads for writers that
-            // overlap it, then commit free of charge.
+            // A read-only transaction cannot be a pivot under SI: it
+            // installs nothing, so it never gains an incoming rw-edge.
+            // Record its reads for writers that overlap it, then commit
+            // free of charge.
             let end = self.clock.now();
             let tx = self.txs[tid.0].as_ref().unwrap();
-            self.committed_readers.push(CommittedReader {
+            self.committed_window.push(CommittedTx {
                 end,
                 read_set: tx.read_set.clone(),
+                write_set: BTreeSet::new(),
+                in_conflict: false,
+                out_conflict: tx.reader_conflict,
             });
+            self.last_commits[tid.0] = None;
             self.teardown(tid);
             return CommitOutcome::Committed {
                 cycles: 0,
@@ -274,14 +327,22 @@ impl TmProtocol for SsiTm {
                 }
             }
         }
-        for c in &self.committed_readers {
+        let mut committed_pivot = false;
+        for c in &mut self.committed_window {
             // Overlap: the committed reader's lifetime intersected mine.
             if c.end > start && lines.iter().any(|l| c.read_set.contains(l)) {
                 writer_conflict = true;
+                // The committed reader gains an outgoing rw-edge. If it
+                // already carries an incoming one it is a complete
+                // pivot, and this commit is the only abortable party.
+                c.out_conflict = true;
+                if c.in_conflict {
+                    committed_pivot = true;
+                }
             }
         }
         let reader_conflict = self.txs[tid.0].as_ref().unwrap().reader_conflict;
-        if writer_conflict && reader_conflict {
+        if (writer_conflict && reader_conflict) || committed_pivot {
             let rollback = self.rollback(tid);
             self.clock.finish_commit(end);
             return CommitOutcome::Abort {
@@ -321,14 +382,17 @@ impl TmProtocol for SsiTm {
             installed.push(line);
         }
 
-        // Retain my read set for later writers while I overlap someone.
+        // Retain my footprint and flags while I overlap someone: later
+        // reads and commits can still complete my rw-edges.
         let tx = self.txs[tid.0].as_ref().unwrap();
-        if !tx.read_set.is_empty() {
-            self.committed_readers.push(CommittedReader {
-                end,
-                read_set: tx.read_set.clone(),
-            });
-        }
+        self.committed_window.push(CommittedTx {
+            end,
+            read_set: tx.read_set.clone(),
+            write_set: lines.iter().copied().collect(),
+            in_conflict: writer_conflict,
+            out_conflict: reader_conflict,
+        });
+        self.last_commits[tid.0] = Some(end.0);
         self.teardown(tid);
         self.clock.finish_commit(end);
         CommitOutcome::Committed { cycles, victims }
@@ -348,6 +412,22 @@ impl TmProtocol for SsiTm {
     fn store_mut(&mut self) -> &mut MvmStore {
         &mut self.base.store
     }
+
+    fn begin_ts(&self, tid: ThreadId) -> Option<u64> {
+        self.txs[tid.0].as_ref().map(|tx| tx.start.0)
+    }
+
+    fn last_commit_ts(&self, tid: ThreadId) -> Option<u64> {
+        self.last_commits[tid.0]
+    }
+
+    fn last_read_version(&self, tid: ThreadId) -> Option<u64> {
+        self.last_reads[tid.0]
+    }
+
+    fn epoch(&self) -> u64 {
+        self.clock.overflows()
+    }
 }
 
 impl sitm_obs::Observable for SsiTm {
@@ -355,8 +435,8 @@ impl sitm_obs::Observable for SsiTm {
         sitm_obs::Observable::export_metrics(&self.base.store, reg);
         reg.count("ssi_tm.clock.overflows", self.clock.overflows());
         reg.count(
-            "ssi_tm.committed_readers.retained",
-            self.committed_readers.len() as u64,
+            "ssi_tm.committed_window.retained",
+            self.committed_window.len() as u64,
         );
     }
 }
@@ -509,6 +589,60 @@ mod tests {
                                     // writer flag + reader flag = dangerous, abort.
         write(&mut p, 1, a, 5);
         assert_eq!(commit(&mut p, 1), Err(AbortCause::Order));
+    }
+
+    /// A pivot that committed with its incoming rw-edge set cannot be
+    /// aborted any more when a later commit completes its outgoing
+    /// edge; the completing committer must abort instead. (Found by
+    /// `check_fuzz`: MVSG cycles escaped when the pivot's second edge
+    /// materialised after its commit.)
+    #[test]
+    fn committed_pivot_dooms_later_committer() {
+        let cfg = MachineConfig::with_cores(3);
+        let mut p = SsiTm::new(&cfg);
+        let x = p.store_mut().alloc_words(1);
+        let y = p.store_mut().alloc_lines(1).word(0);
+
+        begin(&mut p, 0); // TX0: active reader of x
+        begin(&mut p, 1); // TX1: the pivot
+        begin(&mut p, 2); // TX2: commits last, completes the pivot
+        assert_eq!(read(&mut p, 0, x).unwrap(), 0);
+        assert_eq!(read(&mut p, 1, y).unwrap(), 0);
+        write(&mut p, 1, x, 7);
+        // Pivot commits: TX0's read of x gives it the incoming edge;
+        // with no outgoing edge yet it commits legitimately.
+        assert_eq!(commit(&mut p, 1), Ok(vec![]));
+        // TX2 overwrites y, which the committed pivot read: the pivot's
+        // outgoing edge completes, so TX2 aborts.
+        write(&mut p, 2, y, 9);
+        assert_eq!(commit(&mut p, 2), Err(AbortCause::Order));
+    }
+
+    /// A pivot that committed with its outgoing rw-edge set is
+    /// completed by a later snapshot read of data it overwrote; the
+    /// reader must abort. (Found by `check_fuzz`, as above.)
+    #[test]
+    fn committed_pivot_dooms_later_reader() {
+        let cfg = MachineConfig::with_cores(3);
+        let mut p = SsiTm::new(&cfg);
+        let x = p.store_mut().alloc_words(1);
+        let y = p.store_mut().alloc_lines(1).word(0);
+
+        begin(&mut p, 0); // TX0: the late reader of x
+        begin(&mut p, 1); // TX1: the pivot
+                          // TX2 overwrites y so the pivot's read of y is an outgoing
+                          // rw-edge.
+        begin(&mut p, 2);
+        write(&mut p, 2, y, 3);
+        assert_eq!(commit(&mut p, 2), Ok(vec![]));
+        assert_eq!(read(&mut p, 1, y).unwrap(), 0, "snapshot-consistent y");
+        write(&mut p, 1, x, 7);
+        // Pivot commits with only the outgoing edge: legitimate.
+        assert_eq!(commit(&mut p, 1), Ok(vec![]));
+        // TX0's snapshot read of x observes data the committed pivot
+        // overwrote: the pivot's incoming edge completes, the reader
+        // aborts.
+        assert_eq!(read(&mut p, 0, x), Err(AbortCause::Order));
     }
 
     /// Read-only transactions always commit, even amid conflicts.

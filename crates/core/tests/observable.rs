@@ -51,7 +51,7 @@ fn protocol_specific_namespaces_are_present() {
 
     let mut reg = MetricsRegistry::new();
     SsiTm::new(&machine).export_metrics(&mut reg);
-    assert_eq!(reg.counter("ssi_tm.committed_readers.retained"), 0);
+    assert_eq!(reg.counter("ssi_tm.committed_window.retained"), 0);
 
     let mut reg = MetricsRegistry::new();
     TwoPl::new(&machine).export_metrics(&mut reg);

@@ -223,6 +223,7 @@ impl MvmStore {
             None => Some(SnapshotRead {
                 data: ZERO_LINE,
                 depth: 0,
+                ts: Timestamp::ZERO,
             }),
             Some(vl) => {
                 let r = vl.read_snapshot(start)?;

@@ -79,6 +79,12 @@ pub struct SnapshotRead {
     /// Version depth: 0 for the most recent committed version, 1 for the
     /// second most recent, and so on.
     pub depth: usize,
+    /// Commit timestamp of the version that served the read
+    /// ([`Timestamp::ZERO`] for the initial image of a line no
+    /// transaction has committed to). The history recorder exports this
+    /// so the isolation oracle can check every read against the
+    /// snapshot-read axiom.
+    pub ts: Timestamp,
 }
 
 /// The bounded, timestamped version history of a single cache line.
@@ -134,6 +140,7 @@ impl VersionList {
                 return Some(SnapshotRead {
                     data: v.data,
                     depth,
+                    ts: v.ts,
                 });
             }
         }
@@ -143,6 +150,7 @@ impl VersionList {
             Some(SnapshotRead {
                 data: ZERO_LINE,
                 depth: self.versions.len(),
+                ts: Timestamp::ZERO,
             })
         }
     }
@@ -625,6 +633,127 @@ mod tests {
         assert_eq!(vl.transient_of(ThreadId(1)), Some(&line(12)));
         assert_eq!(vl.take_transient(ThreadId(1)), Some(line(12)));
         assert_eq!(vl.take_transient(ThreadId(1)), None);
+    }
+
+    #[test]
+    fn snapshot_reports_serving_version_timestamp() {
+        let mut vl = VersionList::new();
+        let mut active = ActiveTransactions::new();
+        active.register(ThreadId(0), Timestamp(0));
+        active.register(ThreadId(1), Timestamp(2));
+        install_all(&mut vl, &[1, 3], &active, 8, OverflowPolicy::AbortWriter);
+        assert_eq!(vl.read_snapshot(Timestamp(2)).unwrap().ts, Timestamp(1));
+        assert_eq!(vl.read_snapshot(Timestamp(3)).unwrap().ts, Timestamp(3));
+        // Below every version: the zero-line fallback reports TS 0.
+        assert_eq!(vl.read_snapshot(Timestamp(0)).unwrap().ts, Timestamp::ZERO);
+    }
+
+    /// A fifth install at the default cap of 4, exercised under every
+    /// overflow policy with live snapshots pinning all four versions.
+    #[test]
+    fn cap4_fifth_install_under_every_policy() {
+        let pinned_active = || {
+            let mut active = ActiveTransactions::new();
+            for (i, s) in [2u64, 4, 6, 8, 10].into_iter().enumerate() {
+                active.register(ThreadId(i), Timestamp(s));
+            }
+            active
+        };
+        let full_list = |active: &ActiveTransactions, policy: OverflowPolicy| {
+            let mut vl = VersionList::new();
+            install_all(&mut vl, &[1, 3, 5, 7], active, DEFAULT_VERSION_CAP, policy);
+            assert_eq!(vl.version_count(), 4);
+            vl
+        };
+
+        // AbortWriter: the install fails and leaves the list untouched.
+        let active = pinned_active();
+        let mut vl = full_list(&active, OverflowPolicy::AbortWriter);
+        assert_eq!(
+            vl.install(
+                Timestamp(9),
+                line(9),
+                &active,
+                DEFAULT_VERSION_CAP,
+                OverflowPolicy::AbortWriter,
+            ),
+            Err(VersionOverflow)
+        );
+        assert_eq!(
+            vl.version_timestamps(),
+            vec![Timestamp(7), Timestamp(5), Timestamp(3), Timestamp(1)]
+        );
+        assert_eq!(vl.read_snapshot(Timestamp(2)).unwrap().data, line(1));
+
+        // DiscardOldest: version 1 is evicted, the count holds at 4, and
+        // the reader whose snapshot needed version 1 now aborts.
+        let active = pinned_active();
+        let mut vl = full_list(&active, OverflowPolicy::DiscardOldest);
+        assert_eq!(
+            vl.install(
+                Timestamp(9),
+                line(9),
+                &active,
+                DEFAULT_VERSION_CAP,
+                OverflowPolicy::DiscardOldest,
+            ),
+            Ok(true)
+        );
+        assert_eq!(
+            vl.version_timestamps(),
+            vec![Timestamp(9), Timestamp(7), Timestamp(5), Timestamp(3)]
+        );
+        assert_eq!(vl.read_snapshot(Timestamp(2)), None);
+        assert_eq!(vl.read_snapshot(Timestamp(4)).unwrap().data, line(3));
+
+        // Unbounded: the cap is ignored and all five versions remain.
+        let active = pinned_active();
+        let mut vl = full_list(&active, OverflowPolicy::Unbounded);
+        assert_eq!(
+            vl.install(
+                Timestamp(9),
+                line(9),
+                &active,
+                DEFAULT_VERSION_CAP,
+                OverflowPolicy::Unbounded,
+            ),
+            Ok(true)
+        );
+        assert_eq!(vl.version_count(), 5);
+        assert_eq!(vl.read_snapshot(Timestamp(2)).unwrap().data, line(1));
+    }
+
+    /// With no transaction in flight, every install coalesces: the list
+    /// never grows past one version no matter how many commits land.
+    #[test]
+    fn coalescing_with_empty_active_collapses_to_one_version() {
+        let mut vl = VersionList::new();
+        let active = ActiveTransactions::new();
+        assert!(active.is_empty());
+        let created = vl
+            .install(
+                Timestamp(1),
+                line(1),
+                &active,
+                DEFAULT_VERSION_CAP,
+                OverflowPolicy::AbortWriter,
+            )
+            .unwrap();
+        assert!(created, "the first install always creates a slot");
+        for ts in [2u64, 5, 9, 40] {
+            let created = vl
+                .install(
+                    Timestamp(ts),
+                    line(ts),
+                    &active,
+                    DEFAULT_VERSION_CAP,
+                    OverflowPolicy::AbortWriter,
+                )
+                .unwrap();
+            assert!(!created, "install at TS {ts} must coalesce");
+            assert_eq!(vl.version_timestamps(), vec![Timestamp(ts)]);
+            assert_eq!(vl.newest_data(), line(ts));
+        }
     }
 
     #[test]

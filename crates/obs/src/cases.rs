@@ -1,0 +1,84 @@
+//! Shared driver for seeded randomized tests.
+//!
+//! The workspace replaced its external property-testing dependency with
+//! plain seeded-RNG case loops (the build environment is hermetic).
+//! Every such test wants the same three things: a case count that an
+//! environment variable can crank up for soak runs, a deterministic
+//! per-case seed, and — crucially — the failing seed printed when a
+//! case panics, so the failure reproduces with a one-liner instead of a
+//! bisection. [`run_seeded_cases`] packages all three.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+use crate::rng::SmallRng;
+
+/// The environment variable the seeded-test helpers consult.
+pub const CASES_ENV: &str = "SITM_PROPTEST_CASES";
+
+/// Number of cases a seeded test should run: the value of the `env`
+/// variable when set to a positive integer, `default` otherwise.
+pub fn test_cases(env: &str, default: u64) -> u64 {
+    match std::env::var(env) {
+        Ok(v) => v.trim().parse().ok().filter(|&n| n > 0).unwrap_or(default),
+        Err(_) => default,
+    }
+}
+
+/// Runs `case` once per seed in `base_seed..base_seed + cases`, where
+/// `cases` comes from [`test_cases`]`(`[`CASES_ENV`]`, default)`. Each
+/// case receives its index and an RNG seeded with `base_seed + index`.
+/// When a case panics, the failing seed (and how to rerun it) is printed
+/// before the panic propagates.
+pub fn run_seeded_cases(default: u64, base_seed: u64, mut case: impl FnMut(u64, &mut SmallRng)) {
+    let cases = test_cases(CASES_ENV, default);
+    for index in 0..cases {
+        let seed = base_seed.wrapping_add(index);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| case(index, &mut rng))) {
+            eprintln!(
+                "seeded case {index}/{cases} failed: seed {seed:#x} \
+                 (base {base_seed:#x} + {index}); set {CASES_ENV} to adjust the case count"
+            );
+            resume_unwind(payload);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_applies_without_env() {
+        assert_eq!(test_cases("SITM_TEST_CASES_UNSET_VAR", 42), 42);
+    }
+
+    #[test]
+    fn env_overrides_and_garbage_falls_back() {
+        std::env::set_var("SITM_TEST_CASES_SET_VAR", "7");
+        assert_eq!(test_cases("SITM_TEST_CASES_SET_VAR", 42), 7);
+        std::env::set_var("SITM_TEST_CASES_SET_VAR", "zero");
+        assert_eq!(test_cases("SITM_TEST_CASES_SET_VAR", 42), 42);
+        std::env::set_var("SITM_TEST_CASES_SET_VAR", "0");
+        assert_eq!(test_cases("SITM_TEST_CASES_SET_VAR", 42), 42);
+        std::env::remove_var("SITM_TEST_CASES_SET_VAR");
+    }
+
+    #[test]
+    fn seeds_are_deterministic_per_index() {
+        let mut first_pass = Vec::new();
+        run_seeded_cases(4, 0x100, |i, rng| first_pass.push((i, rng.next_u64())));
+        let mut second_pass = Vec::new();
+        run_seeded_cases(4, 0x100, |i, rng| second_pass.push((i, rng.next_u64())));
+        assert_eq!(first_pass, second_pass);
+        assert_eq!(first_pass.len(), 4);
+    }
+
+    #[test]
+    fn failing_case_propagates_panic() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            run_seeded_cases(3, 0, |i, _| assert!(i < 2, "boom"));
+        }));
+        assert!(result.is_err(), "the case panic must propagate");
+    }
+}

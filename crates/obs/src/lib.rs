@@ -23,11 +23,18 @@
 //!   the bench harness's parallel sweep executor (`--jobs N`).
 //! - [`rng`] — a small deterministic xoshiro256++ PRNG (the workspace
 //!   previously pulled `rand` for this; the hermetic build cannot).
+//! - [`history`] — the per-transaction execution-history schema the
+//!   isolation oracle (`sitm-check`) consumes, with bounded in-memory
+//!   logging and `sitm.txn.v1` JSONL export.
+//! - [`cases`] — the seeded-case driver shared by the randomized tests
+//!   (env-tunable case count, failing seed always printed).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cases;
 pub mod event;
+pub mod history;
 pub mod json;
 pub mod metrics;
 pub mod phase;
@@ -36,7 +43,9 @@ pub mod rng;
 pub mod sink;
 pub mod trace;
 
+pub use cases::{run_seeded_cases, test_cases, CASES_ENV};
 pub use event::{EventKind, TraceRecord};
+pub use history::{History, HistoryOp, OpKind, TxnBuilder, TxnOutcome, TxnRecord};
 pub use json::Json;
 pub use metrics::{AtomicHistogram, Histogram, MetricsRegistry, Observable};
 pub use phase::{Phase, PhaseCycles};

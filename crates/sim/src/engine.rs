@@ -13,7 +13,9 @@
 //! harnesses.
 
 use sitm_mvm::ThreadId;
-use sitm_obs::{merge_traces, EventKind, Phase as ProfPhase, SmallRng, Tracer};
+use sitm_obs::{
+    merge_traces, EventKind, History, OpKind, Phase as ProfPhase, SmallRng, Tracer, TxnBuilder,
+};
 
 use crate::config::{BackoffConfig, Cycles, MachineConfig};
 use crate::program::{ThreadWorkload, TxOp, TxProgram, Workload};
@@ -50,6 +52,11 @@ struct ThreadState {
     stats: ThreadStats,
     rng: SmallRng,
     tracer: Tracer,
+    /// In-flight history record of the current transaction attempt
+    /// (`None` unless history recording is enabled and a begin
+    /// succeeded). Builders still open when a run is truncated are
+    /// dropped: the oracle only reasons about finished attempts.
+    builder: Option<TxnBuilder>,
 }
 
 impl ThreadState {
@@ -79,6 +86,14 @@ pub struct Engine<P: TmProtocol> {
     max_cycles: Cycles,
     truncated: bool,
     workload_name: String,
+    /// Transaction log for the isolation oracle; `None` (the default)
+    /// records nothing and adds no per-operation work.
+    history: Option<History>,
+    /// Global operation sequence counter (total order over recorded
+    /// operations; engine scheduling is already serial).
+    next_seq: u64,
+    /// Next transaction-attempt id.
+    next_txn: u64,
 }
 
 impl<P: TmProtocol> Engine<P> {
@@ -107,6 +122,7 @@ impl<P: TmProtocol> Engine<P> {
                 stats: ThreadStats::default(),
                 rng: SmallRng::seed_from_u64(seed.wrapping_add(tid as u64)),
                 tracer: Tracer::new(),
+                builder: None,
             })
             .collect();
         Engine {
@@ -116,6 +132,35 @@ impl<P: TmProtocol> Engine<P> {
             max_cycles: cfg.max_cycles,
             truncated: false,
             workload_name: workload.name().to_string(),
+            history: None,
+            next_seq: 0,
+            next_txn: 0,
+        }
+    }
+
+    /// Enables history recording: every transaction attempt is logged as
+    /// a [`sitm_obs::TxnRecord`] (at most `capacity` of them) and
+    /// returned in [`RunStats::history`] for the isolation oracle.
+    pub fn record_history(mut self, capacity: usize) -> Self {
+        self.history = Some(History::with_capacity(capacity));
+        self
+    }
+
+    /// Next global operation sequence number.
+    fn seq(&mut self) -> u64 {
+        let s = self.next_seq;
+        self.next_seq += 1;
+        s
+    }
+
+    /// Appends `kind` to `tid`'s open history record, if recording.
+    fn record_op(&mut self, tid: usize, kind: OpKind) {
+        if self.history.is_none() {
+            return;
+        }
+        let seq = self.seq();
+        if let Some(b) = self.threads[tid].builder.as_mut() {
+            b.op(seq, kind);
         }
     }
 
@@ -148,6 +193,7 @@ impl<P: TmProtocol> Engine<P> {
                 total_cycles,
                 truncated: self.truncated,
                 trace: merge_traces(traces),
+                history: self.history,
             },
             self.protocol,
         )
@@ -184,6 +230,15 @@ impl<P: TmProtocol> Engine<P> {
                 let now = self.threads[tid].clock;
                 match self.protocol.begin(ThreadId(tid), now) {
                     BeginOutcome::Started { cycles, victims } => {
+                        if self.history.is_some() {
+                            let txn = self.next_txn;
+                            self.next_txn += 1;
+                            let epoch = self.protocol.epoch();
+                            let begin_ts = self.protocol.begin_ts(ThreadId(tid));
+                            let seq = self.seq();
+                            self.threads[tid].builder =
+                                Some(TxnBuilder::new(txn, tid, epoch, seq, begin_ts));
+                        }
                         let t = &mut self.threads[tid];
                         t.charge(ProfPhase::Begin, cycles);
                         t.tracer.record(t.clock, tid as u32, EventKind::Begin(now));
@@ -227,6 +282,16 @@ impl<P: TmProtocol> Engine<P> {
                         cycles,
                         victims,
                     } => {
+                        if self.history.is_some() {
+                            let observed = self.protocol.last_read_version(ThreadId(tid));
+                            self.record_op(
+                                tid,
+                                OpKind::Read {
+                                    line: addr.line().0,
+                                    observed,
+                                },
+                            );
+                        }
                         let t = &mut self.threads[tid];
                         t.charge(ProfPhase::Read, cycles);
                         t.tracer
@@ -249,6 +314,12 @@ impl<P: TmProtocol> Engine<P> {
                 self.threads[tid].stats.writes += 1;
                 match self.protocol.write(ThreadId(tid), addr, value, now) {
                     WriteOutcome::Ok { cycles, victims } => {
+                        self.record_op(
+                            tid,
+                            OpKind::Write {
+                                line: addr.line().0,
+                            },
+                        );
                         let t = &mut self.threads[tid];
                         t.charge(ProfPhase::Write, cycles);
                         t.tracer
@@ -270,6 +341,12 @@ impl<P: TmProtocol> Engine<P> {
                 self.threads[tid].stats.promotions += 1;
                 match self.protocol.promote(ThreadId(tid), addr, now) {
                     WriteOutcome::Ok { cycles, victims } => {
+                        self.record_op(
+                            tid,
+                            OpKind::Promote {
+                                line: addr.line().0,
+                            },
+                        );
                         let t = &mut self.threads[tid];
                         t.charge(ProfPhase::Write, cycles);
                         t.tracer
@@ -296,6 +373,15 @@ impl<P: TmProtocol> Engine<P> {
             }
             TxOp::Commit => match self.protocol.commit(ThreadId(tid), now) {
                 CommitOutcome::Committed { cycles, victims } => {
+                    if self.history.is_some() {
+                        let commit_ts = self.protocol.last_commit_ts(ThreadId(tid));
+                        let seq = self.seq();
+                        if let Some(b) = self.threads[tid].builder.take() {
+                            if let Some(h) = self.history.as_mut() {
+                                h.push(b.commit(seq, commit_ts));
+                            }
+                        }
+                    }
                     let t = &mut self.threads[tid];
                     t.charge(ProfPhase::Commit, cycles);
                     t.tracer.record(t.clock, tid as u32, EventKind::Commit);
@@ -321,6 +407,14 @@ impl<P: TmProtocol> Engine<P> {
     /// Records an abort of `tid`'s current transaction (protocol state
     /// already rolled back), applies backoff, and schedules re-execution.
     fn handle_abort(&mut self, tid: usize, cause: AbortCause) {
+        if self.history.is_some() {
+            let seq = self.seq();
+            if let Some(b) = self.threads[tid].builder.take() {
+                if let Some(h) = self.history.as_mut() {
+                    h.push(b.abort(seq, cause.label()));
+                }
+            }
+        }
         let t = &mut self.threads[tid];
         t.stats.aborts[cause.index()] += 1;
         t.consecutive_aborts += 1;
@@ -723,6 +817,68 @@ mod tests {
         };
         let stats = run_simulation(NullProtocol::default(), &mut w, &cfg, 9);
         assert!(stats.trace.is_empty());
+    }
+
+    #[test]
+    fn history_is_off_by_default() {
+        let cfg = MachineConfig::with_cores(1);
+        let mut w = CounterWorkload {
+            txs_per_thread: 2,
+            base: None,
+        };
+        let stats = run_simulation(NullProtocol::default(), &mut w, &cfg, 9);
+        assert!(stats.history.is_none());
+    }
+
+    #[test]
+    fn history_records_every_finished_attempt() {
+        use sitm_obs::TxnOutcome;
+        let cfg = MachineConfig::with_cores(2);
+        let mut w = CounterWorkload {
+            txs_per_thread: 3,
+            base: None,
+        };
+        let (stats, _) = Engine::new(FlakyProtocol::default(), &mut w, &cfg, 11)
+            .record_history(1024)
+            .run();
+        let h = stats.history.as_ref().expect("history was enabled");
+        assert_eq!(h.dropped(), 0);
+        assert_eq!(h.len() as u64, stats.commits() + stats.aborts());
+        assert_eq!(h.committed().count() as u64, stats.commits());
+        for r in h.records() {
+            // The global sequence numbers bracket and order the ops.
+            let mut prev = r.begin_seq;
+            for op in &r.ops {
+                assert!(op.seq > prev, "ops must be globally ordered");
+                prev = op.seq;
+            }
+            assert!(r.end_seq > prev);
+            // CounterWorkload: one read + one write of the same line.
+            assert_eq!(r.ops.len(), 2);
+            assert_eq!(r.ops[0].kind.line(), r.ops[1].kind.line());
+            match r.outcome {
+                TxnOutcome::Committed => assert_eq!(r.commit_ts, None),
+                TxnOutcome::Aborted(cause) => assert_eq!(cause, "write-write"),
+            }
+        }
+        // FlakyProtocol reports no timestamps (default hooks).
+        assert!(h.records().iter().all(|r| r.begin_ts.is_none()));
+    }
+
+    #[test]
+    fn history_recording_is_deterministic() {
+        let cfg = MachineConfig::with_cores(3);
+        let run = || {
+            let mut w = CounterWorkload {
+                txs_per_thread: 4,
+                base: None,
+            };
+            Engine::new(FlakyProtocol::default(), &mut w, &cfg, 21)
+                .record_history(1 << 12)
+                .run()
+                .0
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

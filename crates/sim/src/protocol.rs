@@ -230,6 +230,45 @@ pub trait TmProtocol: Send {
     /// Mutable access to the backing store (initialization only; calling
     /// this mid-run would bypass the protocol).
     fn store_mut(&mut self) -> &mut MvmStore;
+
+    // --- History-recorder introspection hooks (sitm-check) -----------
+    //
+    // Timestamp-based protocols report their begin/commit/read-version
+    // timestamps so the engine's history recorder can log them for the
+    // isolation oracle. The defaults (`None` / epoch 0) are correct for
+    // protocols without a global version clock (2PL, SONTM): the oracle
+    // falls back to operation-order serializability checking for those.
+
+    /// Begin (snapshot) timestamp of `tid`'s in-flight transaction, if
+    /// the protocol assigns one.
+    fn begin_ts(&self, tid: ThreadId) -> Option<u64> {
+        let _ = tid;
+        None
+    }
+
+    /// End timestamp reserved by `tid`'s most recent successful commit
+    /// (`None` if that commit installed nothing — read-only or
+    /// promotion-only — or the protocol has no commit timestamps).
+    fn last_commit_ts(&self, tid: ThreadId) -> Option<u64> {
+        let _ = tid;
+        None
+    }
+
+    /// Timestamp of the committed version observed by `tid`'s most
+    /// recent successful read (`None` when the read was served from the
+    /// transaction's own write buffer, or the protocol is not
+    /// timestamp-based).
+    fn last_read_version(&self, tid: ThreadId) -> Option<u64> {
+        let _ = tid;
+        None
+    }
+
+    /// Current timestamp epoch: bumped each time the protocol recovers
+    /// from a clock overflow by resetting its global clock. Timestamp
+    /// comparisons are only meaningful within one epoch.
+    fn epoch(&self) -> u64 {
+        0
+    }
 }
 
 #[cfg(test)]

@@ -4,7 +4,7 @@
 
 use crate::config::Cycles;
 use crate::protocol::AbortCause;
-use sitm_obs::{PhaseCycles, TraceRecord};
+use sitm_obs::{History, PhaseCycles, TraceRecord};
 
 /// Statistics of one logical thread across a run.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -55,6 +55,10 @@ pub struct RunStats {
     /// Empty unless the `trace` cargo feature is enabled (the tracer is
     /// compiled out otherwise).
     pub trace: Vec<TraceRecord>,
+    /// Per-transaction execution history for the isolation oracle
+    /// (`sitm-check`). `None` unless the run was started through
+    /// [`crate::Engine::record_history`].
+    pub history: Option<History>,
 }
 
 impl RunStats {
@@ -172,6 +176,7 @@ mod tests {
             total_cycles: 1000,
             truncated: false,
             trace: Vec::new(),
+            history: None,
         }
     }
 

@@ -1,0 +1,43 @@
+//! Golden-file test for the `skew_analyze` report rendering.
+//!
+//! The report's `Display` output is the CLI's public interface — test
+//! pipelines grep it — so format drift should be a deliberate,
+//! reviewed change. The fixture trace covers every rendering branch:
+//! multiple patterns, example cycles, and the promotion list. To accept
+//! an intentional format change, rerun with `SITM_UPDATE_GOLDEN=1` and
+//! review the diff of `tests/fixtures/banking.report`.
+
+use std::path::Path;
+
+#[test]
+fn banking_trace_report_matches_golden() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let text = std::fs::read_to_string(dir.join("banking.trace")).expect("fixture trace");
+    let events = sitm_skew::parse_trace(&text).expect("fixture trace parses");
+    let report = sitm_skew::analyze(&events);
+
+    // Structural sanity first, so a drifted golden file cannot mask an
+    // analysis regression.
+    assert_eq!(report.transactions_analyzed, 5);
+    assert_eq!(report.findings.len(), 2, "both planted skews are found");
+    assert!(report
+        .promotions_by_variable()
+        .iter()
+        .map(String::as_str)
+        .eq(["checking", "saving", "x", "y"]));
+
+    let rendered = report.to_string();
+    let golden_path = dir.join("banking.report");
+    if std::env::var_os("SITM_UPDATE_GOLDEN").is_some() {
+        std::fs::write(&golden_path, &rendered).expect("write golden file");
+    }
+    let golden = std::fs::read_to_string(&golden_path)
+        .expect("golden file missing; run once with SITM_UPDATE_GOLDEN=1");
+    assert_eq!(
+        rendered,
+        golden,
+        "report format drifted from {}; if intentional, rerun with \
+         SITM_UPDATE_GOLDEN=1 and review the diff",
+        golden_path.display()
+    );
+}

@@ -20,6 +20,18 @@ pub enum Conflict {
     ReadValidation,
 }
 
+impl Conflict {
+    /// Short static label, used as the abort cause in recorded
+    /// transaction histories (`sitm.txn.v1`).
+    pub fn label(self) -> &'static str {
+        match self {
+            Conflict::WriteWrite => "write-write",
+            Conflict::SnapshotTooOld => "snapshot-too-old",
+            Conflict::ReadValidation => "read-validation",
+        }
+    }
+}
+
 impl fmt::Display for Conflict {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

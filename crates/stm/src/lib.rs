@@ -17,6 +17,10 @@
 //!   *read promotion* remedy against write skew.
 //! * [`Recorder`] — trace hooks feeding the `sitm-skew` write-skew
 //!   detection tool.
+//! * [`Stm::with_history`] — optional recording of every finished
+//!   transaction attempt (snapshot, commit timestamp, read/write sets
+//!   with observed versions) as a [`sitm_obs::History`], the input the
+//!   `sitm-check` isolation oracle machine-checks SI axioms against.
 //!
 //! # Examples
 //!

@@ -6,11 +6,11 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use sitm_obs::{AtomicHistogram, Histogram, MetricsRegistry, Observable, SmallRng};
+use sitm_obs::{AtomicHistogram, Histogram, History, MetricsRegistry, Observable, SmallRng};
 
 use crate::error::{Conflict, StmError};
 use crate::recorder::Recorder;
-use crate::txn::{IsolationLevel, Tx};
+use crate::txn::{HistorySink, IsolationLevel, Tx};
 
 /// Commit/abort counters of an [`Stm`] runtime. Every field is a plain
 /// atomic (including the retry distribution, an
@@ -129,6 +129,7 @@ pub struct Stm {
     level: IsolationLevel,
     stats: StmStats,
     recorder: Option<Arc<dyn Recorder>>,
+    history: Option<Arc<HistorySink>>,
 }
 
 impl std::fmt::Debug for Stm {
@@ -137,6 +138,7 @@ impl std::fmt::Debug for Stm {
             .field("level", &self.level)
             .field("stats", &self.stats)
             .field("recorder", &self.recorder.is_some())
+            .field("history", &self.history.is_some())
             .finish()
     }
 }
@@ -160,6 +162,7 @@ impl Stm {
             level,
             stats: StmStats::default(),
             recorder: None,
+            history: None,
         }
     }
 
@@ -168,6 +171,22 @@ impl Stm {
     pub fn with_recorder(mut self, recorder: Arc<dyn Recorder>) -> Self {
         self.recorder = Some(recorder);
         self
+    }
+
+    /// Turns on transaction-history recording (the `sitm.txn.v1`
+    /// record stream consumed by the `sitm-check` oracle): every
+    /// finished attempt — committed or aborted — is appended to a
+    /// bounded in-memory [`History`] of at most `capacity` records.
+    /// Returns `self` for builder-style use.
+    pub fn with_history(mut self, capacity: usize) -> Self {
+        self.history = Some(Arc::new(HistorySink::with_capacity(capacity)));
+        self
+    }
+
+    /// A snapshot of the recorded transaction history, or `None` when
+    /// recording was never enabled via [`Stm::with_history`].
+    pub fn history(&self) -> Option<History> {
+        self.history.as_ref().map(|sink| sink.snapshot())
     }
 
     /// The configured isolation level.
@@ -227,7 +246,7 @@ impl Stm {
         &self,
         body: &mut impl FnMut(&mut Tx) -> Result<T, StmError>,
     ) -> Result<T, Conflict> {
-        let mut tx = Tx::begin(self.level, self.recorder.clone());
+        let mut tx = Tx::begin_recorded(self.level, self.recorder.clone(), self.history.clone());
         match body(&mut tx) {
             Ok(value) => match tx.commit() {
                 Ok(()) => {
@@ -241,6 +260,7 @@ impl Stm {
             },
             Err(StmError::Conflict(conflict)) => {
                 self.stats.count(conflict);
+                tx.record_failure(conflict);
                 Err(conflict)
             }
         }
@@ -515,6 +535,103 @@ mod tests {
         stm.export_metrics(&mut reg);
         assert_eq!(reg.counter("stm.backoffs"), stats.backoffs());
         assert_eq!(reg.counter("stm.backoff_ns"), stats.backoff_ns());
+    }
+
+    #[test]
+    fn history_is_off_by_default() {
+        let stm = Stm::snapshot();
+        stm.atomically(|_tx| Ok(()));
+        assert!(stm.history().is_none());
+    }
+
+    #[test]
+    fn history_records_attempts_with_observed_versions() {
+        use sitm_obs::OpKind;
+        let stm = Stm::snapshot().with_history(1024);
+        let v = TVar::new(0u64);
+        stm.atomically(|tx| {
+            let cur = tx.read(&v)?;
+            tx.write(&v, cur + 1);
+            Ok(())
+        });
+        let _ = stm.atomically(|tx| tx.read(&v));
+        let h = stm.history().expect("recording enabled");
+        assert_eq!(h.len(), 2);
+        assert_eq!(h.dropped(), 0);
+
+        let rmw = &h.records()[0];
+        assert!(rmw.committed());
+        let begin = rmw.begin_ts.expect("snapshot timestamp recorded");
+        let end = rmw.commit_ts.expect("writer reserves a commit timestamp");
+        assert!(end > begin);
+        assert!(matches!(
+            rmw.ops[0].kind,
+            OpKind::Read {
+                observed: Some(0),
+                ..
+            }
+        ));
+        assert!(matches!(rmw.ops[1].kind, OpKind::Write { .. }));
+        assert_eq!(rmw.ops[0].kind.line(), rmw.ops[1].kind.line());
+        assert!(rmw.begin_seq < rmw.ops[0].seq && rmw.ops[1].seq < rmw.end_seq);
+
+        let reader = &h.records()[1];
+        assert!(reader.committed());
+        assert_eq!(
+            reader.commit_ts, None,
+            "read-only commits take no clock tick"
+        );
+        // The read observed exactly the version the writer installed.
+        assert!(matches!(
+            reader.ops[0].kind,
+            OpKind::Read { observed, .. } if observed == Some(end)
+        ));
+    }
+
+    #[test]
+    fn history_labels_first_committer_wins_aborts() {
+        use sitm_obs::TxnOutcome;
+        let stm = Stm::snapshot().with_history(1024);
+        let v = TVar::new(0u64);
+        let result = stm.try_atomically(&mut |tx| {
+            let cur = tx.read(&v)?;
+            tx.write(&v, cur + 1);
+            // A competitor commits a newer version before our commit:
+            // first-committer-wins must abort us.
+            stm.atomically(|t| {
+                let c = t.read(&v)?;
+                t.write(&v, c + 10);
+                Ok(())
+            });
+            Ok(())
+        });
+        assert_eq!(result, Err(Conflict::WriteWrite));
+        let h = stm.history().unwrap();
+        assert_eq!(h.len(), 2);
+        assert_eq!(h.records()[0].outcome, TxnOutcome::Committed);
+        assert_eq!(h.records()[1].outcome, TxnOutcome::Aborted("write-write"));
+    }
+
+    #[test]
+    fn history_captures_body_conflicts() {
+        use sitm_obs::TxnOutcome;
+        let stm = Stm::snapshot().with_history(64);
+        let v = TVar::with_history(0u64, 1);
+        let result = stm.try_atomically(&mut |tx| {
+            // Evict the only version our snapshot could read (capacity
+            // 1: the competitor's install discards the initial image).
+            stm.atomically(|t| {
+                t.write(&v, 1);
+                Ok(())
+            });
+            tx.read(&v)?;
+            Ok(())
+        });
+        assert_eq!(result, Err(Conflict::SnapshotTooOld));
+        let h = stm.history().unwrap();
+        let last = h.records().last().unwrap();
+        assert_eq!(last.outcome, TxnOutcome::Aborted("snapshot-too-old"));
+        assert_eq!(last.commit_ts, None);
     }
 
     #[test]

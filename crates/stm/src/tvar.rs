@@ -180,12 +180,22 @@ impl<T: Clone + Send + Sync + 'static> TVar<T> {
     /// Reads the newest version at or below `snapshot`, waiting out any
     /// in-flight commit on this variable first (see
     /// [`VarInner::wait_unlocked`]).
+    #[cfg(test)]
     pub(crate) fn read_at(&self, snapshot: u64) -> Result<T, Conflict> {
+        self.read_versioned_at(snapshot).map(|(value, _)| value)
+    }
+
+    /// Reads the newest version at or below `snapshot` (waiting out any
+    /// in-flight commit first), returning the value together with the
+    /// commit timestamp of the version that served the read (0 for the
+    /// initial value) — the observation the history recorder exports
+    /// for the isolation oracle.
+    pub(crate) fn read_versioned_at(&self, snapshot: u64) -> Result<(T, u64), Conflict> {
         self.inner.wait_unlocked();
         let versions = lock_versions(&self.inner.versions);
         for v in versions.iter() {
             if v.ts <= snapshot {
-                return Ok(v.value.clone());
+                return Ok((v.value.clone(), v.ts));
             }
         }
         Err(Conflict::SnapshotTooOld)

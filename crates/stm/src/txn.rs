@@ -28,12 +28,14 @@
 
 use std::any::Any;
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use sitm_obs::{History, OpKind, TxnBuilder, TxnRecord};
 
 use crate::error::{Conflict, StmError};
 use crate::recorder::{Recorder, TxEvent};
-use crate::tvar::{TVar, VarOps};
+use crate::tvar::{lock_versions, TVar, VarOps};
 
 /// The global version clock shared by every transaction in the process,
 /// alone on its cache line so the commit-time fetch-add does not
@@ -49,6 +51,48 @@ pub(crate) fn clock_now() -> u64 {
 
 fn clock_tick() -> u64 {
     GLOBAL_CLOCK.0.fetch_add(1, Ordering::SeqCst) + 1
+}
+
+/// Dense per-thread indices for history records: each OS thread draws
+/// one on first transactional use.
+static NEXT_THREAD_INDEX: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static THREAD_INDEX: usize = NEXT_THREAD_INDEX.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Thread-safe collector of finished transaction records plus the
+/// global operation sequence counter, shared by every [`Tx`] an
+/// [`crate::Stm`] runtime starts when history recording is enabled
+/// ([`crate::Stm::with_history`]).
+#[derive(Debug)]
+pub(crate) struct HistorySink {
+    history: Mutex<History>,
+    seq: AtomicU64,
+}
+
+impl HistorySink {
+    pub(crate) fn with_capacity(capacity: usize) -> Self {
+        HistorySink {
+            history: Mutex::new(History::with_capacity(capacity)),
+            seq: AtomicU64::new(0),
+        }
+    }
+
+    /// Next global operation sequence number. `SeqCst` so sequence
+    /// order agrees with the clock order commits establish.
+    fn next_seq(&self) -> u64 {
+        self.seq.fetch_add(1, Ordering::SeqCst)
+    }
+
+    fn push(&self, record: TxnRecord) {
+        lock_versions(&self.history).push(record);
+    }
+
+    /// A copy of the log collected so far.
+    pub(crate) fn snapshot(&self) -> History {
+        lock_versions(&self.history).clone()
+    }
 }
 
 /// RAII holder of a commit's per-variable locks: acquired in ascending
@@ -129,6 +173,9 @@ pub struct Tx {
     recorder: Option<Arc<dyn Recorder>>,
     /// Monotone id of this attempt (for tracing).
     attempt_id: u64,
+    /// History sink plus the open record of this attempt, when the
+    /// runtime records histories for the isolation oracle.
+    history: Option<(Arc<HistorySink>, TxnBuilder)>,
 }
 
 impl std::fmt::Debug for Tx {
@@ -144,7 +191,16 @@ impl std::fmt::Debug for Tx {
 static NEXT_ATTEMPT: AtomicU64 = AtomicU64::new(1);
 
 impl Tx {
+    #[cfg(test)]
     pub(crate) fn begin(level: IsolationLevel, recorder: Option<Arc<dyn Recorder>>) -> Self {
+        Self::begin_recorded(level, recorder, None)
+    }
+
+    pub(crate) fn begin_recorded(
+        level: IsolationLevel,
+        recorder: Option<Arc<dyn Recorder>>,
+        sink: Option<Arc<HistorySink>>,
+    ) -> Self {
         let snapshot = clock_now();
         let attempt_id = NEXT_ATTEMPT.fetch_add(1, Ordering::Relaxed);
         if let Some(r) = &recorder {
@@ -153,6 +209,16 @@ impl Tx {
                 snapshot,
             });
         }
+        let history = sink.map(|h| {
+            let builder = TxnBuilder::new(
+                attempt_id,
+                THREAD_INDEX.with(|&i| i),
+                0, // the 64-bit software clock never overflows
+                h.next_seq(),
+                Some(snapshot),
+            );
+            (h, builder)
+        });
         Tx {
             snapshot,
             level,
@@ -161,6 +227,15 @@ impl Tx {
             promoted: BTreeMap::new(),
             recorder,
             attempt_id,
+            history,
+        }
+    }
+
+    /// Appends `kind` to this attempt's open history record, if any.
+    fn record_op(&mut self, kind: OpKind) {
+        if let Some((sink, builder)) = &mut self.history {
+            let seq = sink.next_seq();
+            builder.op(seq, kind);
         }
     }
 
@@ -193,15 +268,25 @@ impl Tx {
             let value = pending
                 .value
                 .downcast_ref::<T>()
-                .expect("buffered value type matches its TVar");
-            return Ok(value.clone());
+                .expect("buffered value type matches its TVar")
+                .clone();
+            self.record_op(OpKind::Read {
+                line: var.id(),
+                observed: None,
+            });
+            return Ok(value);
         }
         if self.level == IsolationLevel::Serializable {
             self.read_log
                 .entry(var.id())
                 .or_insert_with(|| var.inner.clone() as Arc<dyn VarOps>);
         }
-        var.read_at(self.snapshot).map_err(StmError::from)
+        let (value, ts) = var.read_versioned_at(self.snapshot)?;
+        self.record_op(OpKind::Read {
+            line: var.id(),
+            observed: Some(ts),
+        });
+        Ok(value)
     }
 
     /// Buffers a write of `value` into `var`, visible to this
@@ -215,6 +300,7 @@ impl Tx {
                 label: var.label(),
             });
         }
+        self.record_op(OpKind::Write { line: var.id() });
         self.writes.insert(
             var.id(),
             PendingWrite {
@@ -237,6 +323,7 @@ impl Tx {
                 label: var.label(),
             });
         }
+        self.record_op(OpKind::Promote { line: var.id() });
         self.promoted
             .entry(var.id())
             .or_insert_with(|| var.inner.clone() as Arc<dyn VarOps>);
@@ -248,20 +335,42 @@ impl Tx {
     }
 
     /// Attempts to commit. Consumes the transaction.
-    pub(crate) fn commit(self) -> Result<(), Conflict> {
+    pub(crate) fn commit(mut self) -> Result<(), Conflict> {
         let recorder = self.recorder.clone();
         let attempt_id = self.attempt_id;
+        let history = self.history.take();
         let result = self.commit_inner();
         if let Some(r) = &recorder {
             r.record(match result {
-                Ok(()) => TxEvent::Commit { tx: attempt_id },
+                Ok(_) => TxEvent::Commit { tx: attempt_id },
                 Err(_) => TxEvent::Abort { tx: attempt_id },
             });
         }
-        result
+        if let Some((sink, builder)) = history {
+            let seq = sink.next_seq();
+            sink.push(match result {
+                Ok(end) => builder.commit(seq, end),
+                Err(conflict) => builder.abort(seq, conflict.label()),
+            });
+        }
+        result.map(|_| ())
     }
 
-    fn commit_inner(self) -> Result<(), Conflict> {
+    /// Records the abort of a transaction whose *body* hit a conflict
+    /// (e.g. [`Conflict::SnapshotTooOld`] on a read), so `commit` never
+    /// runs. Without this the attempt would silently vanish from the
+    /// history and the oracle would refuse to certify it.
+    pub(crate) fn record_failure(mut self, conflict: Conflict) {
+        if let Some((sink, builder)) = self.history.take() {
+            let seq = sink.next_seq();
+            sink.push(builder.abort(seq, conflict.label()));
+        }
+    }
+
+    /// On success returns the commit timestamp the writes were
+    /// installed at, or `None` for read-only / promotion-only commits
+    /// (which publish nothing and take no clock tick).
+    fn commit_inner(self) -> Result<Option<u64>, Conflict> {
         // Read-only transactions validate only explicit promotions: a
         // pure snapshot reader is consistent as-of its snapshot and
         // commits free of charge even under `Serializable` (it
@@ -275,7 +384,7 @@ impl Tx {
             self.promoted.iter().chain(self.read_log.iter()).collect()
         };
         if read_only && validate.is_empty() {
-            return Ok(());
+            return Ok(None);
         }
         // Acquire the commit locks of exactly this transaction's write
         // + validation sets, in ascending var-id order (BTreeMap
@@ -312,7 +421,7 @@ impl Tx {
         if self.writes.is_empty() {
             // Promotion-only transaction: validation passed, nothing to
             // install.
-            return Ok(());
+            return Ok(None);
         }
 
         // Publish.
@@ -320,7 +429,7 @@ impl Tx {
         for (_, w) in self.writes {
             w.var.install(end, w.value);
         }
-        Ok(())
+        Ok(Some(end))
     }
 }
 

@@ -10,8 +10,16 @@
 use std::sync::{Arc, Barrier};
 use std::thread;
 
-use sitm_obs::SmallRng;
+use sitm_obs::{test_cases, SmallRng, CASES_ENV};
 use sitm_stm::{Conflict, Stm, THashMap, TList, TVar};
+
+/// Per-thread operation count for the stress tests: the default,
+/// scaled by `SITM_PROPTEST_CASES` (relative to its own default of
+/// 200) so soak runs crank every seeded test in the workspace with one
+/// knob.
+fn ops(default: usize) -> usize {
+    (default * test_cases(CASES_ENV, 200) as usize).div_ceil(200)
+}
 
 /// Bank with enough version history that bounded-history reclamation
 /// can never push an auditor's snapshot out of range.
@@ -27,8 +35,8 @@ fn transfers_conserve_money_and_auditors_never_abort() {
     const INITIAL: u64 = 1_000;
     const TOTAL: u64 = ACCOUNTS as u64 * INITIAL;
     const TRANSFER_THREADS: usize = 4;
-    const TRANSFERS: usize = 300;
-    const AUDITS: usize = 200;
+    let transfers = ops(300);
+    let audits = ops(200);
 
     let bank = make_bank(ACCOUNTS, INITIAL);
     let writer_stm = Arc::new(Stm::snapshot());
@@ -42,7 +50,7 @@ fn transfers_conserve_money_and_auditors_never_abort() {
             let bank = bank.clone();
             s.spawn(move || {
                 let mut rng = SmallRng::seed_from_u64(0xBA2C + t as u64);
-                for _ in 0..TRANSFERS {
+                for _ in 0..transfers {
                     let src = rng.gen_range(0..ACCOUNTS as u64) as usize;
                     let dst = rng.gen_range(0..ACCOUNTS as u64) as usize;
                     if src == dst {
@@ -65,7 +73,7 @@ fn transfers_conserve_money_and_auditors_never_abort() {
             let stm = Arc::clone(&auditor_stm);
             let bank = bank.clone();
             s.spawn(move || {
-                for _ in 0..AUDITS {
+                for _ in 0..audits {
                     let sum = stm.atomically(|tx| {
                         let mut sum = 0u64;
                         for account in &bank {
@@ -86,7 +94,7 @@ fn transfers_conserve_money_and_auditors_never_abort() {
         0,
         "read-only transactions never abort under snapshot isolation"
     );
-    assert_eq!(auditor_stm.stats().commits(), 2 * AUDITS as u64);
+    assert_eq!(auditor_stm.stats().commits(), 2 * audits as u64);
 }
 
 /// Runs the classic two-account write-skew schedule: both threads read
@@ -174,7 +182,7 @@ fn write_skew_is_rejected_by_read_promotion_under_snapshot() {
 fn thashmap_concurrent_increments_lose_no_updates() {
     const KEYS: u64 = 16;
     const THREADS: usize = 4;
-    const OPS: usize = 400;
+    let per_thread = ops(400);
 
     let stm = Arc::new(Stm::snapshot());
     let map: Arc<THashMap<u64>> = Arc::new(THashMap::new(8));
@@ -185,7 +193,7 @@ fn thashmap_concurrent_increments_lose_no_updates() {
             let map = Arc::clone(&map);
             s.spawn(move || {
                 let mut rng = SmallRng::seed_from_u64(0x4A5 + t as u64);
-                for _ in 0..OPS {
+                for _ in 0..per_thread {
                     let key = rng.gen_range(0..KEYS);
                     stm.atomically(|tx| {
                         let current = map.get(tx, key)?.unwrap_or(0);
@@ -200,7 +208,7 @@ fn thashmap_concurrent_increments_lose_no_updates() {
     let total: u64 = stm.atomically(|tx| Ok(map.entries(tx)?.into_iter().map(|(_, v)| v).sum()));
     assert_eq!(
         total,
-        (THREADS * OPS) as u64,
+        (THREADS * per_thread) as u64,
         "read-modify-write increments must serialize via write-write conflicts"
     );
 }
@@ -209,7 +217,7 @@ fn thashmap_concurrent_increments_lose_no_updates() {
 fn tlist_survives_adjacent_structural_churn() {
     const THREADS: u64 = 4;
     const SPAN: u64 = 64;
-    const ROUNDS: usize = 8;
+    let rounds = ops(8);
 
     let stm = Arc::new(Stm::snapshot());
     let list = TList::new();
@@ -223,7 +231,7 @@ fn tlist_survives_adjacent_structural_churn() {
             let stm = Arc::clone(&stm);
             let list = list.clone();
             s.spawn(move || {
-                for _ in 0..ROUNDS {
+                for _ in 0..rounds {
                     for key in (t..SPAN).step_by(THREADS as usize) {
                         stm.atomically(|tx| list.insert(tx, key).map(|_| ()));
                     }

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Runs the workspace test suite and prints a per-suite timing summary,
+# slowest first. Stable libtest has no --report-time, so the timings
+# are derived from the harness's own "Running <suite>" / "finished in
+# <t>s" output. Extra arguments are forwarded to `cargo test`.
+set -euo pipefail
+
+log="$(mktemp)"
+trap 'rm -f "$log"' EXIT
+
+cargo test --workspace "$@" 2>&1 | tee "$log"
+
+echo
+echo "== per-suite timings (slowest first) =="
+awk '
+    /^[[:space:]]+Running / {
+        suite = $2
+        # The parenthesized binary path carries the crate name, which
+        # "Running unittests src/lib.rs" alone does not.
+        if (match($0, /\(target\/[^)]*\)/)) {
+            bin = substr($0, RSTART + 1, RLENGTH - 2)
+            n = split(bin, parts, "/")
+            name = parts[n]
+            sub(/-[0-9a-f]+$/, "", name)
+            suite = suite " [" name "]"
+        }
+    }
+    /^[[:space:]]+Doc-tests / { suite = "doc-tests " $2 }
+    /^test result:/ {
+        t = $NF
+        sub(/s$/, "", t)
+        printf "%9.2fs  %s\n", t, suite
+    }
+' "$log" | sort -rn

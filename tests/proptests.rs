@@ -3,14 +3,17 @@
 //!
 //! These were originally property-based tests; the hermetic build has no
 //! external generator crate, so each property now runs against a few
-//! hundred deterministic seeded cases from the in-tree
-//! [`sitm_obs::SmallRng`]. A failure message always includes the case
-//! seed, so any counterexample reproduces exactly.
+//! hundred deterministic seeded cases through
+//! [`sitm_obs::run_seeded_cases`], which prints the failing seed on any
+//! panic and scales the case count via `SITM_PROPTEST_CASES`. The
+//! proptest shrink database this replaced is gone; its one surviving
+//! counterexample (five repeated writes to one line) is pinned as the
+//! deterministic prologue of `store_snapshot_reads_are_committed_prefixes`.
 
 use sitm_mvm::{
     ActiveTransactions, MvmStore, OverflowPolicy, ThreadId, Timestamp, VersionList, ZERO_LINE,
 };
-use sitm_obs::SmallRng;
+use sitm_obs::{run_seeded_cases, SmallRng};
 
 const CASES: u64 = 200;
 
@@ -50,10 +53,9 @@ fn vec_of(
 /// version list agrees with the naive model for every snapshot point.
 #[test]
 fn version_list_matches_model_unbounded() {
-    for seed in 0..CASES {
-        let mut rng = SmallRng::seed_from_u64(0x5157_0000 + seed);
-        let installs = vec_of(&mut rng, 1..40, |r| r.gen_range(1u64..500));
-        let snapshots = vec_of(&mut rng, 1..20, |r| r.gen_range(0u64..600));
+    run_seeded_cases(CASES, 0x5157_0000, |_, rng| {
+        let installs = vec_of(rng, 1..40, |r| r.gen_range(1u64..500));
+        let snapshots = vec_of(rng, 1..20, |r| r.gen_range(0u64..600));
 
         let mut vl = VersionList::new();
         let mut model = ModelList::default();
@@ -83,8 +85,43 @@ fn version_list_matches_model_unbounded() {
             // A never-truncated line with no old-enough version reads
             // as the zero line.
             let expected = Some(model.read(snap).unwrap_or(ZERO_LINE[0]));
-            assert_eq!(real, expected, "seed {seed}, snapshot {snap}");
+            assert_eq!(real, expected, "snapshot {snap}");
         }
+    });
+}
+
+/// Drives one write schedule against a pin-per-install store and checks
+/// that a maximal snapshot sees exactly the newest committed values.
+fn check_committed_prefix(writes: &[(u64, u64)]) {
+    // Unbounded policy: the schedule pins a snapshot per install, which
+    // legitimately overflows the default 4-version cap.
+    let mut mem = MvmStore::with_config(sitm_mvm::MvmConfig {
+        version_cap: usize::MAX,
+        overflow_policy: OverflowPolicy::Unbounded,
+        coalescing: true,
+    });
+    let base = mem.alloc_lines(4);
+    let mut newest = [0u64; 4];
+    let mut ts = 0u64;
+    // An ancient pinned reader plus per-install snapshots.
+    mem.register_transaction(ThreadId(100), Timestamp(0));
+    for (i, (lineno, value)) in writes.iter().enumerate() {
+        ts += 2;
+        mem.register_transaction(ThreadId(i), Timestamp(ts - 1));
+        let line = sitm_mvm::LineAddr(base.0 + lineno);
+        let mut data = mem.read_line(line);
+        data[0] = *value;
+        mem.install(line, Timestamp(ts), data).unwrap();
+        newest[*lineno as usize] = *value;
+    }
+    // A maximal snapshot sees exactly the newest committed values.
+    for lineno in 0..4u64 {
+        let line = sitm_mvm::LineAddr(base.0 + lineno);
+        let got = mem
+            .read_snapshot(line, Timestamp(u64::MAX - 10))
+            .unwrap()
+            .data[0];
+        assert_eq!(got, newest[lineno as usize], "line {lineno}");
     }
 }
 
@@ -93,44 +130,18 @@ fn version_list_matches_model_unbounded() {
 /// write wins for fresh snapshots.
 #[test]
 fn store_snapshot_reads_are_committed_prefixes() {
-    for seed in 0..CASES {
-        let mut rng = SmallRng::seed_from_u64(0x5157_1000 + seed);
+    // The counterexample from the retired proptest shrink database:
+    // repeated same-value writes to one line exercised a coalescing
+    // bug.
+    check_committed_prefix(&[(0, 1); 5]);
+
+    run_seeded_cases(CASES, 0x5157_1000, |_, rng| {
         let n = rng.gen_range(1..30usize);
         let writes: Vec<(u64, u64)> = (0..n)
             .map(|_| (rng.gen_range(0u64..4), rng.gen_range(1u64..1000)))
             .collect();
-
-        // Unbounded policy: the test pins a snapshot per install, which
-        // legitimately overflows the default 4-version cap.
-        let mut mem = MvmStore::with_config(sitm_mvm::MvmConfig {
-            version_cap: usize::MAX,
-            overflow_policy: OverflowPolicy::Unbounded,
-            coalescing: true,
-        });
-        let base = mem.alloc_lines(4);
-        let mut newest = [0u64; 4];
-        let mut ts = 0u64;
-        // An ancient pinned reader plus per-install snapshots.
-        mem.register_transaction(ThreadId(100), Timestamp(0));
-        for (i, (lineno, value)) in writes.iter().enumerate() {
-            ts += 2;
-            mem.register_transaction(ThreadId(i), Timestamp(ts - 1));
-            let line = sitm_mvm::LineAddr(base.0 + lineno);
-            let mut data = mem.read_line(line);
-            data[0] = *value;
-            mem.install(line, Timestamp(ts), data).unwrap();
-            newest[*lineno as usize] = *value;
-        }
-        // A maximal snapshot sees exactly the newest committed values.
-        for lineno in 0..4u64 {
-            let line = sitm_mvm::LineAddr(base.0 + lineno);
-            let got = mem
-                .read_snapshot(line, Timestamp(u64::MAX - 10))
-                .unwrap()
-                .data[0];
-            assert_eq!(got, newest[lineno as usize], "seed {seed}, line {lineno}");
-        }
-    }
+        check_committed_prefix(&writes);
+    });
 }
 
 /// The coalescing rule preserves exactly the versions some live snapshot
@@ -139,10 +150,9 @@ fn store_snapshot_reads_are_committed_prefixes() {
 /// unbounded model.
 #[test]
 fn coalescing_preserves_live_snapshot_reads() {
-    for seed in 0..CASES {
-        let mut rng = SmallRng::seed_from_u64(0x5157_2000 + seed);
-        let gaps = vec_of(&mut rng, 1..25, |r| r.gen_range(1u64..20));
-        let snap_points = vec_of(&mut rng, 1..8, |r| r.gen_range(0u64..300));
+    run_seeded_cases(CASES, 0x5157_2000, |_, rng| {
+        let gaps = vec_of(rng, 1..25, |r| r.gen_range(1u64..20));
+        let snap_points = vec_of(rng, 1..8, |r| r.gen_range(0u64..300));
 
         let mut active = ActiveTransactions::new();
         for (i, s) in snap_points.iter().enumerate() {
@@ -166,27 +176,25 @@ fn coalescing_preserves_live_snapshot_reads() {
         for s in &snap_points {
             let real = vl.read_snapshot(Timestamp(*s)).map(|r| r.data[0]);
             let expected = Some(model.read(*s).unwrap_or(0));
-            assert_eq!(real, expected, "seed {seed}, snapshot {s}");
+            assert_eq!(real, expected, "snapshot {s}");
         }
         // And the newest version is always readable.
         assert_eq!(
             vl.read_snapshot(Timestamp(u64::MAX - 1)).unwrap().data[0],
-            ts,
-            "seed {seed}"
+            ts
         );
-    }
+    });
 }
 
 mod stm_props {
-    use sitm_obs::SmallRng;
+    use sitm_obs::run_seeded_cases;
     use sitm_stm::{Stm, TVar};
 
     /// Sequential transactional execution of arbitrary transfer
     /// sequences conserves the total balance.
     #[test]
     fn transfers_conserve_total() {
-        for seed in 0..super::CASES {
-            let mut rng = SmallRng::seed_from_u64(0x5157_3000 + seed);
+        run_seeded_cases(super::CASES, 0x5157_3000, |_, rng| {
             let n = rng.gen_range(1..60usize);
             let transfers: Vec<(usize, usize, i64)> = (0..n)
                 .map(|_| {
@@ -216,16 +224,15 @@ mod stm_props {
                 });
             }
             let total: i64 = accounts.iter().map(TVar::load).sum();
-            assert_eq!(total, 800, "seed {seed}");
-        }
+            assert_eq!(total, 800);
+        });
     }
 
     /// try_atomically with a conflicting concurrent commit reports the
     /// conflict and leaves no partial state.
     #[test]
     fn aborted_attempts_leave_no_trace() {
-        for seed in 0..super::CASES {
-            let mut rng = SmallRng::seed_from_u64(0x5157_4000 + seed);
+        run_seeded_cases(super::CASES, 0x5157_4000, |_, rng| {
             let value = rng.gen_range(1u64..1000);
 
             let stm = Stm::snapshot();
@@ -241,22 +248,15 @@ mod stm_props {
                 tx.write(&var, v + 1);
                 Ok(())
             });
-            assert!(
-                conflict.is_err(),
-                "seed {seed}: stale snapshot must fail validation"
-            );
-            assert_eq!(
-                var.load(),
-                value,
-                "seed {seed}: the failed attempt published nothing"
-            );
-        }
+            assert!(conflict.is_err(), "stale snapshot must fail validation");
+            assert_eq!(var.load(), value, "the failed attempt published nothing");
+        });
     }
 }
 
 mod rbtree_props {
     use sitm_mvm::{MvmStore, Word};
-    use sitm_obs::SmallRng;
+    use sitm_obs::run_seeded_cases;
     use std::collections::BTreeSet;
 
     /// Arbitrary interleavings of insert/remove through the
@@ -269,8 +269,7 @@ mod rbtree_props {
 
         // The tree check walks the whole structure after every op, so
         // use fewer (larger) cases than the cheap properties.
-        for seed in 0..64u64 {
-            let mut rng = SmallRng::seed_from_u64(0x5157_5000 + seed);
+        run_seeded_cases(64, 0x5157_5000, |_, rng| {
             let n = rng.gen_range(1..120usize);
             let ops: Vec<(bool, u64)> = (0..n)
                 .map(|_| (rng.gen_bool(0.5), rng.gen_range(1u64..64)))
@@ -307,10 +306,10 @@ mod rbtree_props {
                     reference.remove(&key);
                 }
                 let keys = check_tree(&mem, root_ptr)
-                    .unwrap_or_else(|e| panic!("seed {seed}: invariant violated: {e}"));
+                    .unwrap_or_else(|e| panic!("invariant violated: {e}"));
                 let expect: Vec<Word> = reference.iter().copied().collect();
-                assert_eq!(keys, expect, "seed {seed}");
+                assert_eq!(keys, expect);
             }
-        }
+        });
     }
 }
