@@ -1,0 +1,288 @@
+//! `perf` — host-side throughput benchmark of the simulator hot path,
+//! with a pinned baseline for cross-PR trajectories.
+//!
+//! Unlike every other binary in this crate, `perf` does not reproduce a
+//! figure of the paper: it measures how fast the *simulator itself*
+//! runs on the host, so hot-path changes (the MVM line table, the
+//! version lists, the cache model) have a recorded perf trajectory.
+//! Two metrics are reported:
+//!
+//! * **simulated-ops/sec** — transactional operations (reads + writes +
+//!   promotions, including re-executions of aborted attempts) the
+//!   engine executes per host second, per protocol, on the array and
+//!   list registry workloads. This is the inner-loop metric: every op
+//!   funnels through `MvmStore` → `VersionList` → the cache model.
+//! * **sweep cells/sec** — cells of a fig7-style evaluation grid
+//!   completed per host second through the parallel sweep executor
+//!   (protocol × workload × cores × seed), the end-to-end metric a
+//!   full figure regeneration experiences.
+//!
+//! Methodology: every measurement runs once as warmup, then `--reps N`
+//! (default 5) timed repetitions; the *best* repetition is reported,
+//! which is the standard way to suppress host scheduling noise for a
+//! deterministic workload (the simulation is bit-identical across
+//! reps, so only the host varies). Simulated results are asserted
+//! identical across reps — a perf run doubles as a determinism check.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p sitm-bench --bin perf -- \
+//!     [--quick] [--reps N] [--seeds N] [--jobs N] [--json PATH] \
+//!     [--baseline PATH]
+//! ```
+//!
+//! `--baseline PATH` additionally writes a single-object JSON summary
+//! (schema `sitm.perf_baseline.v1`) — the repository pins one at
+//! `BENCH_5.json`, see EXPERIMENTS.md § Performance.
+
+use std::time::Instant;
+
+use sitm_bench::{
+    machine, run_grid, run_once, sweep_summary, Console, GridPoint, HarnessOpts, Protocol,
+    ReportSink, SweepRunner,
+};
+use sitm_obs::{Json, RunReport};
+use sitm_sim::RunStats;
+use sitm_workloads::all_workloads;
+
+/// Registry indices of the ops/sec workloads (array, list).
+const OPS_WORKLOADS: [usize; 2] = [0, 1];
+/// Simulated cores for the ops/sec measurement.
+const OPS_CORES: usize = 8;
+/// Engine seed for the ops/sec measurement.
+const OPS_SEED: u64 = 42;
+
+/// All four protocols, paper order plus the SSI extension.
+const PROTOCOLS: [Protocol; 4] = [
+    Protocol::TwoPl,
+    Protocol::Sontm,
+    Protocol::SiTm,
+    Protocol::SsiTm,
+];
+
+/// Simulated transactional operations executed by a run, counting
+/// re-executions of aborted attempts: the number of trips through the
+/// engine → protocol → MVM → cache-model inner loop.
+fn sim_ops(stats: &RunStats) -> u64 {
+    stats.reads() + stats.writes() + stats.per_thread.iter().map(|t| t.promotions).sum::<u64>()
+}
+
+/// One ops/sec measurement: protocol × workload, best of `reps`.
+struct OpsResult {
+    protocol: Protocol,
+    workload: String,
+    ops: u64,
+    commits: u64,
+    best_ms: f64,
+    ops_per_sec: f64,
+}
+
+fn measure_ops(opts: &HarnessOpts, reps: u32) -> Vec<OpsResult> {
+    let cfg = machine(opts.threads_or(OPS_CORES));
+    let mut results = Vec::new();
+    for protocol in PROTOCOLS {
+        for index in OPS_WORKLOADS {
+            let run = || {
+                let mut workloads = all_workloads(opts.scale);
+                let w = workloads[index].as_mut();
+                run_once(protocol, w, &cfg, OPS_SEED)
+            };
+            let reference = run(); // warmup; also the reference result
+            let ops = sim_ops(&reference);
+            let mut best_ms = f64::INFINITY;
+            for _ in 0..reps {
+                let start = Instant::now();
+                let stats = run();
+                let ms = start.elapsed().as_secs_f64() * 1e3;
+                assert_eq!(
+                    stats, reference,
+                    "simulation must be bit-identical across reps"
+                );
+                best_ms = best_ms.min(ms);
+            }
+            results.push(OpsResult {
+                protocol,
+                workload: reference.workload.clone(),
+                ops,
+                commits: reference.commits(),
+                best_ms,
+                ops_per_sec: ops as f64 / (best_ms / 1e3),
+            });
+        }
+    }
+    results
+}
+
+/// One sweep measurement: cells/sec over a fig7-style grid, best of
+/// `reps`.
+struct SweepResult {
+    cells: usize,
+    jobs: usize,
+    best_ms: f64,
+    cells_per_sec: f64,
+}
+
+fn measure_sweep(opts: &HarnessOpts, reps: u32) -> SweepResult {
+    let runner = SweepRunner::from_opts(opts);
+    let mut points = Vec::new();
+    for workload in OPS_WORKLOADS {
+        for cores in [2, 4] {
+            for protocol in PROTOCOLS {
+                points.push(GridPoint {
+                    protocol,
+                    workload,
+                    cores,
+                });
+            }
+        }
+    }
+    let cells = points.len() * opts.seeds as usize;
+    let mut best_ms = f64::INFINITY;
+    let _ = run_grid(&points, opts.scale, opts.seeds, &runner); // warmup
+    for _ in 0..reps {
+        let (_, wall_ms) = run_grid(&points, opts.scale, opts.seeds, &runner);
+        best_ms = best_ms.min(wall_ms);
+    }
+    SweepResult {
+        cells,
+        jobs: runner.jobs(),
+        best_ms,
+        cells_per_sec: cells as f64 / (best_ms / 1e3),
+    }
+}
+
+/// `--reps N` (default 5) and `--baseline PATH` (default none).
+fn extra_args() -> (u32, Option<String>) {
+    let args: Vec<String> = std::env::args().collect();
+    let mut reps = 5u32;
+    let mut baseline = None;
+    for (i, arg) in args.iter().enumerate() {
+        match arg.as_str() {
+            "--reps" => {
+                if let Some(n) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                    reps = n;
+                }
+            }
+            "--baseline" => baseline = args.get(i + 1).cloned(),
+            _ => {}
+        }
+    }
+    (reps.max(1), baseline)
+}
+
+fn baseline_json(opts: &HarnessOpts, reps: u32, ops: &[OpsResult], sweep: &SweepResult) -> String {
+    let ops_obj = Json::Obj(
+        ops.iter()
+            .map(|r| {
+                (
+                    format!("{}/{}", r.protocol.name(), r.workload),
+                    Json::Num(r.ops_per_sec.round()),
+                )
+            })
+            .collect(),
+    );
+    let doc = Json::obj([
+        ("schema", Json::Str("sitm.perf_baseline.v1".into())),
+        ("bench", Json::Str("perf".into())),
+        (
+            "scale",
+            Json::Str(format!("{:?}", opts.scale).to_lowercase()),
+        ),
+        ("cores", Json::Num(opts.threads_or(OPS_CORES) as f64)),
+        ("seed", Json::Num(OPS_SEED as f64)),
+        ("reps", Json::Num(reps as f64)),
+        ("sim_ops_per_sec", ops_obj),
+        ("sweep_cells", Json::Num(sweep.cells as f64)),
+        ("sweep_jobs", Json::Num(sweep.jobs as f64)),
+        (
+            "sweep_cells_per_sec",
+            Json::Num(sweep.cells_per_sec.round()),
+        ),
+        (
+            "methodology",
+            Json::Str(
+                "best of N timed reps after one warmup; deterministic simulation, \
+                 results asserted bit-identical across reps; ops = transactional \
+                 reads+writes+promotions incl. aborted attempts"
+                    .into(),
+            ),
+        ),
+    ]);
+    let mut text = doc.to_line();
+    text.push('\n');
+    text
+}
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let (reps, baseline) = extra_args();
+    let sink = ReportSink::new(&opts);
+    let con = Console::new(&opts);
+
+    con.line("perf: simulator hot-path throughput (host wall-clock)");
+    con.line(format!(
+        "(scale {:?}, {} simulated cores, seed {OPS_SEED}, best of {reps} reps)",
+        opts.scale,
+        opts.threads_or(OPS_CORES),
+    ));
+    con.blank();
+    con.row(
+        "protocol",
+        &[
+            "workload".into(),
+            "sim ops".into(),
+            "commits".into(),
+            "best ms".into(),
+            "Mops/s".into(),
+        ],
+    );
+
+    let ops = measure_ops(&opts, reps);
+    for r in &ops {
+        con.row(
+            r.protocol.name(),
+            &[
+                r.workload.clone(),
+                r.ops.to_string(),
+                r.commits.to_string(),
+                format!("{:.2}", r.best_ms),
+                format!("{:.3}", r.ops_per_sec / 1e6),
+            ],
+        );
+        let mut report = RunReport::new("perf/ops", r.protocol.name(), &r.workload);
+        report.threads = opts.threads_or(OPS_CORES) as u64;
+        report.commits = r.commits;
+        report.extra.insert("sim_ops".into(), r.ops as f64);
+        report.extra.insert("reps".into(), reps as f64);
+        report.extra.insert("wall_ms".into(), r.best_ms);
+        report.extra.insert("ops_per_sec".into(), r.ops_per_sec);
+        sink.push(&report);
+    }
+
+    let sweep = measure_sweep(&opts, reps);
+    con.blank();
+    con.line(format!(
+        "sweep: {} cells on {} jobs, best {:.1} ms -> {:.1} cells/s",
+        sweep.cells, sweep.jobs, sweep.best_ms, sweep.cells_per_sec
+    ));
+    let mut report = sweep_summary(
+        "perf",
+        &SweepRunner::new(sweep.jobs),
+        sweep.cells,
+        sweep.best_ms,
+    );
+    report
+        .extra
+        .insert("cells_per_sec".into(), sweep.cells_per_sec);
+    report.extra.insert("reps".into(), reps as f64);
+    sink.push(&report);
+    sink.finish();
+
+    if let Some(path) = baseline {
+        let text = baseline_json(&opts, reps, &ops, &sweep);
+        std::fs::write(&path, text)
+            .unwrap_or_else(|e| panic!("failed to write --baseline {path}: {e}"));
+        eprintln!("wrote perf baseline to {path}");
+    }
+}

@@ -1,0 +1,119 @@
+//! Observational-equivalence goldens for the hot-path data structures.
+//!
+//! The golden file was generated against the original implementations
+//! (line `HashMap`, heap-`Vec` version lists, `Vec<Vec<u64>>` caches)
+//! and then pinned, so the flattened replacements (dense paged line
+//! table, inline version slots, packed-LRU tag array) must reproduce
+//! every report **byte-for-byte** — not merely "statistically close".
+//! The runs are chosen to exercise the branches a layout rewrite could
+//! plausibly disturb:
+//!
+//! * all four protocols on the array and list registry workloads
+//!   (seed-averaged run reports: commits, aborts by cause, cycle
+//!   counts, phase profiles);
+//! * an unbounded-census SI-TM run per workload, pinning the version
+//!   depth census and every store counter (`mvm.lines`,
+//!   `mvm.installs_*`, `mvm.gc_reclaimed`) — the counters most
+//!   sensitive to when a line is considered "materialized";
+//! * a cap-1 abort-writer run (overflow abort + rollback path) and a
+//!   cap-2 discard-oldest run (truncation / reclaim path).
+//!
+//! Regenerate only for a deliberate semantic change, with
+//! `SITM_UPDATE_GOLDEN=1 cargo test -p sitm-bench --test
+//! flat_equivalence`, and review the diff.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use sitm_bench::{machine, report_from_avg, report_from_stats, run_avg, run_si_tm, Protocol};
+use sitm_core::SiTmConfig;
+use sitm_mvm::{OverflowPolicy, VersionDepthCensus};
+use sitm_obs::Observable;
+use sitm_sim::TmProtocol;
+use sitm_workloads::{all_workloads, Scale};
+
+const CORES: usize = 4;
+const SEEDS: u64 = 2;
+const SEED: u64 = 42;
+/// Registry indices covered: array (0) and list (1).
+const WORKLOADS: [usize; 2] = [0, 1];
+
+/// One pinned SI-TM variant run: protocol stats + census + store
+/// counters, serialized as a run report.
+fn variant_line(tag: &str, si_cfg: SiTmConfig, index: usize) -> String {
+    let cfg = machine(CORES);
+    let mut workloads = all_workloads(Scale::Quick);
+    let w = workloads[index].as_mut();
+    let (stats, protocol) = run_si_tm(si_cfg, w, &cfg, SEED);
+    let mut report = report_from_stats(&format!("flat_equivalence/{tag}"), &stats, 1);
+    let census = protocol.store().census();
+    for d in 0..VersionDepthCensus::REPORTED_DEPTHS {
+        report.version_depth[d] = census.at_depth(d);
+    }
+    report.version_depth[VersionDepthCensus::REPORTED_DEPTHS] = census.tail();
+    let mut reg = sitm_obs::MetricsRegistry::new();
+    protocol.export_metrics(&mut reg);
+    report.set_counters(&reg);
+    report.to_json_line()
+}
+
+fn rendered_reports() -> String {
+    let mut out = String::new();
+
+    // Seed-averaged run reports, every protocol x {array, list}.
+    for protocol in [
+        Protocol::TwoPl,
+        Protocol::Sontm,
+        Protocol::SiTm,
+        Protocol::SsiTm,
+    ] {
+        for index in WORKLOADS {
+            let name = all_workloads(Scale::Quick)[index].name().to_string();
+            let avg = run_avg(protocol, Scale::Quick, index, &machine(CORES), SEEDS);
+            let report =
+                report_from_avg("flat_equivalence/avg", protocol, &name, CORES, SEEDS, &avg);
+            writeln!(out, "{}", report.to_json_line()).unwrap();
+        }
+    }
+
+    // Unbounded census: pins depth counts and the store counters.
+    for index in WORKLOADS {
+        let mut si_cfg = SiTmConfig::default();
+        si_cfg.mvm.version_cap = usize::MAX;
+        si_cfg.mvm.overflow_policy = OverflowPolicy::Unbounded;
+        writeln!(out, "{}", variant_line("census", si_cfg, index)).unwrap();
+    }
+
+    // Cap-1 abort-writer: forces the overflow-abort + rollback path.
+    let mut abort_cfg = SiTmConfig::default();
+    abort_cfg.mvm.version_cap = 1;
+    writeln!(out, "{}", variant_line("cap1", abort_cfg, 0)).unwrap();
+
+    // Cap-2 discard-oldest: forces truncation and reclaim accounting.
+    let mut discard_cfg = SiTmConfig::default();
+    discard_cfg.mvm.version_cap = 2;
+    discard_cfg.mvm.overflow_policy = OverflowPolicy::DiscardOldest;
+    writeln!(out, "{}", variant_line("discard2", discard_cfg, 1)).unwrap();
+
+    out
+}
+
+#[test]
+fn flat_structures_match_pre_rewrite_goldens() {
+    let rendered = rendered_reports();
+    let golden_path =
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/flat_equivalence.jsonl");
+    if std::env::var_os("SITM_UPDATE_GOLDEN").is_some() {
+        std::fs::write(&golden_path, &rendered).expect("write golden file");
+    }
+    let golden = std::fs::read_to_string(&golden_path)
+        .expect("golden file missing; run once with SITM_UPDATE_GOLDEN=1");
+    assert_eq!(
+        rendered,
+        golden,
+        "hot-path output drifted from the pre-rewrite goldens in {}; the flat \
+         structures must be observationally identical (regenerate with \
+         SITM_UPDATE_GOLDEN=1 only for a deliberate semantic change)",
+        golden_path.display()
+    );
+}
