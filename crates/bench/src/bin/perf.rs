@@ -83,18 +83,20 @@ fn measure_ops(opts: &HarnessOpts, reps: u32) -> Vec<OpsResult> {
     let mut results = Vec::new();
     for protocol in PROTOCOLS {
         for index in OPS_WORKLOADS {
+            // Workload construction happens outside the timed region:
+            // the metric is simulator throughput, not setup cost.
             let run = || {
                 let mut workloads = all_workloads(opts.scale);
                 let w = workloads[index].as_mut();
-                run_once(protocol, w, &cfg, OPS_SEED)
+                let start = Instant::now();
+                let stats = run_once(protocol, w, &cfg, OPS_SEED);
+                (stats, start.elapsed().as_secs_f64() * 1e3)
             };
-            let reference = run(); // warmup; also the reference result
+            let (reference, _) = run(); // warmup; also the reference result
             let ops = sim_ops(&reference);
             let mut best_ms = f64::INFINITY;
             for _ in 0..reps {
-                let start = Instant::now();
-                let stats = run();
-                let ms = start.elapsed().as_secs_f64() * 1e3;
+                let (stats, ms) = run();
                 assert_eq!(
                     stats, reference,
                     "simulation must be bit-identical across reps"

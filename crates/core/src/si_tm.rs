@@ -27,15 +27,13 @@
 //!   exists; install new versions on success, remove them and roll back
 //!   on a write-write conflict.
 
-use std::collections::BTreeSet;
-
 use sitm_mvm::{Addr, GlobalClock, LineAddr, MvmConfig, MvmStore, ThreadId, Timestamp, Word};
 use sitm_sim::{
     AbortCause, BeginOutcome, CommitOutcome, Cycles, MachineConfig, ReadOutcome, TmProtocol,
     Victims, WriteOutcome,
 };
 
-use crate::base::{ProtocolBase, WriteBuffer};
+use crate::base::{LineSet, ProtocolBase, TouchedLines, WriteBuffer};
 
 /// Tuning knobs of the SI-TM model.
 #[derive(Debug, Clone, Copy, Default)]
@@ -61,12 +59,12 @@ struct SiTx {
     /// Lines fetched transactionally into the private caches; flash
     /// invalidated at transaction end so later transactions refetch
     /// current state.
-    touched: BTreeSet<LineAddr>,
+    touched: TouchedLines,
     /// Lines spilled to the MVM as transient versions.
-    spilled: BTreeSet<LineAddr>,
+    spilled: LineSet,
     /// Promoted reads: validated like writes at commit, but no version
     /// is created (the section 5.1 write-skew remedy).
-    promoted: BTreeSet<LineAddr>,
+    promoted: LineSet,
 }
 
 /// The SI-TM protocol model. See the module docs above for semantics.
@@ -240,10 +238,14 @@ impl TmProtocol for SiTm {
             };
         }
         let start = self.tx(tid).start;
-        let base_data = match self.base.store.read_snapshot(line, start) {
-            Some(snap) => {
-                self.last_reads[tid.0] = Some(snap.ts.0);
-                snap.data
+        // Word-granular snapshot read: the read-own-writes check above
+        // already returned `None` for this exact address, so no buffered
+        // write can affect the word read and the full line image is
+        // never needed.
+        let value = match self.base.store.read_word_snapshot_ts(addr, start) {
+            Some((value, ts)) => {
+                self.last_reads[tid.0] = Some(ts.0);
+                value
             }
             None => {
                 // The snapshot's version was discarded (discard-oldest
@@ -256,15 +258,10 @@ impl TmProtocol for SiTm {
                 };
             }
         };
-        let merged = self.txs[tid.0]
-            .as_ref()
-            .expect("read outside transaction")
-            .writes
-            .apply_to(line, base_data);
         let cycles = self.base.mem.mvm_access(tid.0, line);
         self.tx(tid).touched.insert(line);
         ReadOutcome::Ok {
-            value: merged[addr.offset()],
+            value,
             cycles,
             victims: vec![],
         }

@@ -35,7 +35,7 @@
 //! TX1 commit while TX2 and TX3 abort; in Figure 6, the long
 //! reader aborts under CS but commits under SSI-TM.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::HashMap;
 
 use sitm_mvm::{Addr, LineAddr, MvmStore, ThreadId, Word};
 use sitm_sim::{
@@ -43,7 +43,7 @@ use sitm_sim::{
     WriteOutcome,
 };
 
-use crate::base::{ProtocolBase, WriteBuffer};
+use crate::base::{LineSet, ProtocolBase, TouchedLines, WriteBuffer};
 
 /// SON values; `NO_BOUND` marks an unconstrained upper limit.
 type Son = u64;
@@ -54,9 +54,9 @@ const NO_BOUND: Son = u64::MAX;
 struct SontmTx {
     lo: Son,
     hi: Son,
-    read_set: BTreeSet<LineAddr>,
+    read_set: LineSet,
     writes: WriteBuffer,
-    touched: BTreeSet<LineAddr>,
+    touched: TouchedLines,
 }
 
 impl Default for SontmTx {
@@ -64,9 +64,9 @@ impl Default for SontmTx {
         SontmTx {
             lo: 0,
             hi: NO_BOUND,
-            read_set: BTreeSet::new(),
+            read_set: LineSet::new(),
             writes: WriteBuffer::new(),
-            touched: BTreeSet::new(),
+            touched: TouchedLines::new(),
         }
     }
 }
@@ -151,14 +151,11 @@ impl TmProtocol for Sontm {
         tx.read_set.insert(line);
         tx.touched.insert(line);
         let (cycles, _) = self.base.mem.access(tid.0, line);
+        // The read-own-writes check above returned `None` for this exact
+        // address, so no buffered write can affect the word read.
         let base_data = self.base.store.read_line(line);
-        let merged = self.txs[tid.0]
-            .as_ref()
-            .unwrap()
-            .writes
-            .apply_to(line, base_data);
         ReadOutcome::Ok {
-            value: merged[addr.offset()],
+            value: base_data[addr.offset()],
             cycles: cycles + self.hash_cost,
             victims: vec![],
         }

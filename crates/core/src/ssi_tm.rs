@@ -37,23 +37,21 @@
 //!
 //! Write-write conflicts abort exactly as in SI-TM.
 
-use std::collections::BTreeSet;
-
 use sitm_mvm::{Addr, GlobalClock, LineAddr, MvmStore, ThreadId, Timestamp, Word};
 use sitm_sim::{
     AbortCause, BeginOutcome, CommitOutcome, Cycles, MachineConfig, ReadOutcome, TmProtocol,
     Victims, WriteOutcome,
 };
 
-use crate::base::{ProtocolBase, WriteBuffer};
+use crate::base::{LineSet, ProtocolBase, TouchedLines, WriteBuffer};
 
 /// Per-transaction state.
 #[derive(Debug, Default)]
 struct SsiTx {
     start: Timestamp,
     writes: WriteBuffer,
-    read_set: BTreeSet<LineAddr>,
-    touched: BTreeSet<LineAddr>,
+    read_set: LineSet,
+    touched: TouchedLines,
     /// This transaction read data an overlapping transaction overwrote
     /// (it is the reader of an rw-dependency).
     reader_conflict: bool,
@@ -70,8 +68,8 @@ struct SsiTx {
 #[derive(Debug)]
 struct CommittedTx {
     end: Timestamp,
-    read_set: BTreeSet<LineAddr>,
-    write_set: BTreeSet<LineAddr>,
+    read_set: LineSet,
+    write_set: LineSet,
     /// Incoming rw-dependency: someone read old data this transaction
     /// overwrote (its `writer_conflict` at commit, or marked later).
     in_conflict: bool,
@@ -172,12 +170,16 @@ impl TmProtocol for SsiTm {
             };
         }
         let start = self.tx(tid).start;
-        let snap = self
+        // Word-granular snapshot read: the read-own-writes check above
+        // returned `None` for this exact address, so no buffered write
+        // can affect the word read and the full line image is never
+        // needed.
+        let (value, served_ts) = self
             .base
             .store
-            .read_snapshot(line, start)
+            .read_word_snapshot_ts(addr, start)
             .expect("default policy never discards reachable snapshots");
-        self.last_reads[tid.0] = Some(snap.ts.0);
+        self.last_reads[tid.0] = Some(served_ts.0);
         // Reading old data that a later commit overwrote: this
         // transaction is the reader of an rw-dependency.
         let read_old = self.base.store.newer_than(line, start);
@@ -213,14 +215,9 @@ impl TmProtocol for SsiTm {
                 };
             }
         }
-        let merged = self.txs[tid.0]
-            .as_ref()
-            .unwrap()
-            .writes
-            .apply_to(line, snap.data);
         let cycles = self.base.mem.mvm_access(tid.0, line);
         ReadOutcome::Ok {
-            value: merged[addr.offset()],
+            value,
             cycles,
             victims: vec![],
         }
@@ -265,7 +262,7 @@ impl TmProtocol for SsiTm {
             self.committed_window.push(CommittedTx {
                 end,
                 read_set: tx.read_set.clone(),
-                write_set: BTreeSet::new(),
+                write_set: LineSet::new(),
                 in_conflict: false,
                 out_conflict: tx.reader_conflict,
             });

@@ -24,23 +24,21 @@
 //! a victim holding it in its write set when a write arrives aborts
 //! *write-write*.
 
-use std::collections::BTreeSet;
-
 use sitm_mvm::{Addr, LineAddr, MvmStore, ThreadId, Word};
 use sitm_sim::{
     AbortCause, BeginOutcome, CommitOutcome, Cycles, MachineConfig, ReadOutcome, TmProtocol,
     Victims, WriteOutcome,
 };
 
-use crate::base::{ProtocolBase, WriteBuffer};
+use crate::base::{LineSet, ProtocolBase, TouchedLines, WriteBuffer};
 
 /// Per-transaction state: perfect-signature read/write sets plus the
 /// buffered store values.
 #[derive(Debug, Default)]
 struct TwoPlTx {
-    read_set: BTreeSet<LineAddr>,
+    read_set: LineSet,
     writes: WriteBuffer,
-    touched: BTreeSet<LineAddr>,
+    touched: TouchedLines,
 }
 
 /// The eager 2PL HTM baseline. See the module docs above.
@@ -152,15 +150,12 @@ impl TmProtocol for TwoPl {
         tx.read_set.insert(line);
         tx.touched.insert(line);
         // Requester wins: the read observes committed memory (victims'
-        // buffered writes were never published).
+        // buffered writes were never published), and the read-own-writes
+        // check above returned `None` for this exact address, so no
+        // buffered write of our own can affect the word read.
         let base_data = self.base.store.read_line(line);
-        let merged = self.txs[tid.0]
-            .as_ref()
-            .unwrap()
-            .writes
-            .apply_to(line, base_data);
         ReadOutcome::Ok {
-            value: merged[addr.offset()],
+            value: base_data[addr.offset()],
             cycles,
             victims,
         }

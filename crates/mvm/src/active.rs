@@ -37,6 +37,14 @@ use crate::types::ThreadId;
 pub struct ActiveTransactions {
     /// `(start_ts, owner)` pairs sorted by start timestamp.
     live: Vec<(Timestamp, ThreadId)>,
+    /// Bumped whenever the registry changes in a way that could make
+    /// previously-retained versions reclaimable: the oldest member
+    /// leaving (which raises `oldest_start` or empties the set).
+    /// Version lists stamp the generation of their last completed GC
+    /// scan and skip the scan while it is unchanged — registering a
+    /// transaction or removing a non-oldest one can only *extend* what
+    /// must be retained, never shrink it, so neither bumps.
+    generation: u64,
 }
 
 impl ActiveTransactions {
@@ -49,10 +57,12 @@ impl ActiveTransactions {
     ///
     /// # Panics
     ///
-    /// Panics if `thread` already has a registered transaction; a hardware
-    /// thread runs at most one transaction at a time.
+    /// Panics (in debug builds) if `thread` already has a registered
+    /// transaction; a hardware thread runs at most one transaction at a
+    /// time, and the protocol cores uphold that invariant, so release
+    /// builds skip the O(threads) scan on every begin.
     pub fn register(&mut self, thread: ThreadId, start: Timestamp) {
-        assert!(
+        debug_assert!(
             !self.live.iter().any(|&(_, t)| t == thread),
             "{thread} already has an in-flight transaction"
         );
@@ -64,7 +74,20 @@ impl ActiveTransactions {
     /// start timestamp, or `None` if the thread had no live transaction.
     pub fn unregister(&mut self, thread: ThreadId) -> Option<Timestamp> {
         let pos = self.live.iter().position(|&(_, t)| t == thread)?;
+        if pos == 0 {
+            // The oldest member left: `oldest_start` rose (or the set
+            // emptied), so retained versions may now be reclaimable.
+            self.generation += 1;
+        }
         Some(self.live.remove(pos).0)
+    }
+
+    /// Opaque counter identifying the current "GC epoch": it changes
+    /// exactly when a completed garbage-collection scan could find more
+    /// to reclaim than the previous one. See the field docs for why
+    /// `register` does not bump it.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Start timestamp of the oldest in-flight transaction, i.e. the head
@@ -109,6 +132,9 @@ impl ActiveTransactions {
     /// Drops every registration (used by the clock-overflow abort-all
     /// path).
     pub fn clear(&mut self) {
+        if !self.live.is_empty() {
+            self.generation += 1;
+        }
         self.live.clear();
     }
 }
@@ -146,11 +172,34 @@ mod tests {
     }
 
     #[test]
+    #[cfg(debug_assertions)]
     #[should_panic(expected = "already has an in-flight transaction")]
     fn double_register_panics() {
         let mut a = ActiveTransactions::new();
         a.register(ThreadId(0), Timestamp(1));
         a.register(ThreadId(0), Timestamp(2));
+    }
+
+    #[test]
+    fn generation_tracks_reclaim_opportunities() {
+        let mut a = ActiveTransactions::new();
+        let g0 = a.generation();
+        // Registering never bumps: it can only extend what GC retains.
+        a.register(ThreadId(0), Timestamp(5));
+        a.register(ThreadId(1), Timestamp(9));
+        assert_eq!(a.generation(), g0);
+        // Removing a non-oldest member leaves `oldest_start` unchanged.
+        a.unregister(ThreadId(1));
+        assert_eq!(a.generation(), g0);
+        // Removing the oldest raises `oldest_start` (or empties the set).
+        a.unregister(ThreadId(0));
+        assert_eq!(a.generation(), g0 + 1);
+        // Clearing an empty set is a no-op; clearing a non-empty one bumps.
+        a.clear();
+        assert_eq!(a.generation(), g0 + 1);
+        a.register(ThreadId(2), Timestamp(1));
+        a.clear();
+        assert_eq!(a.generation(), g0 + 2);
     }
 
     #[test]

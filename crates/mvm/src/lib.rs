@@ -64,6 +64,7 @@
 #![warn(missing_debug_implementations)]
 
 mod active;
+mod line_table;
 mod stats;
 mod store;
 mod timestamp;

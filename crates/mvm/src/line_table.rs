@@ -1,0 +1,211 @@
+//! Dense paged table of per-line version lists.
+//!
+//! Line addresses are bump-allocated from 0 ([`MvmStore::alloc_lines`]),
+//! so the version-list map is better served by direct indexing than by a
+//! hash map: a lookup is a shift, a mask, and two dependent loads, with
+//! neighbouring lines adjacent in memory. Pages materialize lazily so a
+//! sparse address range (or a workload that allocates far more lines
+//! than it writes) does not pay for untouched slots.
+//!
+//! A per-slot *present* bit distinguishes "line never entered" from
+//! "line entered but still trivial": the store's observable metrics
+//! (`mvm.lines`, the census's absent-line fast path) depend on exactly
+//! which lines a `HashMap` would have held, so [`LineTable::entry`]
+//! marks the slot present even when the caller leaves the list in its
+//! default state — precisely mirroring `HashMap::entry(..).or_default()`.
+//!
+//! [`MvmStore::alloc_lines`]: crate::store::MvmStore::alloc_lines
+
+use crate::types::LineAddr;
+use crate::version_list::VersionList;
+
+/// log2 of the page size: 512 lines (32 KiB of simulated memory) per page.
+const PAGE_SHIFT: u32 = 9;
+/// Version-list slots per page.
+const PAGE_LINES: usize = 1 << PAGE_SHIFT;
+/// Words of the per-page present bitmap.
+const PRESENT_WORDS: usize = PAGE_LINES / 64;
+
+/// One lazily-materialized page of version-list slots.
+#[derive(Debug, Clone, Default)]
+struct Page {
+    /// Bit per slot: set once the line has been materialized via `entry`.
+    present: [u64; PRESENT_WORDS],
+    /// Slot storage; empty until the first `entry` into this page, then
+    /// exactly [`PAGE_LINES`] long.
+    lines: Vec<VersionList>,
+}
+
+impl Page {
+    #[inline]
+    fn is_present(&self, slot: usize) -> bool {
+        self.present[slot >> 6] & (1u64 << (slot & 63)) != 0
+    }
+}
+
+/// Dense paged map from [`LineAddr`] to [`VersionList`].
+#[derive(Debug, Clone, Default)]
+pub(crate) struct LineTable {
+    pages: Vec<Page>,
+    /// Number of present (materialized) lines across all pages; the
+    /// equivalent of a `HashMap`'s `len()`.
+    present_count: usize,
+}
+
+impl LineTable {
+    #[inline]
+    fn split(line: LineAddr) -> (usize, usize) {
+        (
+            (line.0 >> PAGE_SHIFT) as usize,
+            (line.0 & (PAGE_LINES as u64 - 1)) as usize,
+        )
+    }
+
+    /// The version list of `line`, if the line has been materialized.
+    #[inline]
+    pub fn get(&self, line: LineAddr) -> Option<&VersionList> {
+        let (page_idx, slot) = Self::split(line);
+        let page = self.pages.get(page_idx)?;
+        if page.is_present(slot) {
+            Some(&page.lines[slot])
+        } else {
+            None
+        }
+    }
+
+    /// Mutable variant of [`LineTable::get`].
+    #[inline]
+    pub fn get_mut(&mut self, line: LineAddr) -> Option<&mut VersionList> {
+        let (page_idx, slot) = Self::split(line);
+        let page = self.pages.get_mut(page_idx)?;
+        if page.is_present(slot) {
+            Some(&mut page.lines[slot])
+        } else {
+            None
+        }
+    }
+
+    /// The version list of `line`, materializing the page and the slot if
+    /// needed (the analogue of `HashMap::entry(line).or_default()`).
+    #[inline]
+    pub fn entry(&mut self, line: LineAddr) -> &mut VersionList {
+        let (page_idx, slot) = Self::split(line);
+        if page_idx >= self.pages.len() {
+            self.pages.resize_with(page_idx + 1, Page::default);
+        }
+        let page = &mut self.pages[page_idx];
+        if page.lines.is_empty() {
+            page.lines.resize_with(PAGE_LINES, VersionList::default);
+        }
+        if !page.is_present(slot) {
+            page.present[slot >> 6] |= 1u64 << (slot & 63);
+            self.present_count += 1;
+        }
+        &mut page.lines[slot]
+    }
+
+    /// Number of materialized lines.
+    pub fn len(&self) -> usize {
+        self.present_count
+    }
+
+    /// Iterates over the materialized version lists (table order).
+    pub fn iter(&self) -> impl Iterator<Item = &VersionList> {
+        self.pages.iter().flat_map(|page| {
+            page.lines
+                .iter()
+                .enumerate()
+                .filter(|&(slot, _)| page.is_present(slot))
+                .map(|(_, vl)| vl)
+        })
+    }
+
+    /// Mutable variant of [`LineTable::iter`].
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut VersionList> {
+        self.pages.iter_mut().flat_map(|page| {
+            let present = &page.present;
+            page.lines
+                .iter_mut()
+                .enumerate()
+                .filter(move |&(slot, _)| present[slot >> 6] & (1u64 << (slot & 63)) != 0)
+                .map(|(_, vl)| vl)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timestamp::Timestamp;
+    use crate::types::ZERO_LINE;
+
+    #[test]
+    fn absent_until_entered() {
+        let mut table = LineTable::default();
+        assert!(table.get(LineAddr(7)).is_none());
+        assert_eq!(table.len(), 0);
+        table.entry(LineAddr(7));
+        assert!(table.get(LineAddr(7)).is_some());
+        assert_eq!(table.len(), 1);
+        // Neighbouring slots of the same page stay absent.
+        assert!(table.get(LineAddr(6)).is_none());
+        assert!(table.get(LineAddr(8)).is_none());
+        assert!(table.get_mut(LineAddr(6)).is_none());
+    }
+
+    #[test]
+    fn entry_is_idempotent_and_preserves_state() {
+        let mut table = LineTable::default();
+        let active = crate::ActiveTransactions::new();
+        table
+            .entry(LineAddr(3))
+            .install(
+                Timestamp(5),
+                [9; 8],
+                &active,
+                4,
+                crate::OverflowPolicy::AbortWriter,
+            )
+            .unwrap();
+        assert_eq!(table.len(), 1);
+        // Re-entering the same line returns the same list, unchanged.
+        assert_eq!(table.entry(LineAddr(3)).newest_ts(), Some(Timestamp(5)));
+        assert_eq!(table.len(), 1);
+    }
+
+    #[test]
+    fn spans_multiple_pages() {
+        let mut table = LineTable::default();
+        let far = LineAddr(3 * PAGE_LINES as u64 + 17);
+        table.entry(far);
+        table.entry(LineAddr(0));
+        assert_eq!(table.len(), 2);
+        assert!(table.get(far).is_some());
+        assert!(table.get(LineAddr(0)).is_some());
+        // The intermediate pages exist but hold nothing.
+        assert!(table.get(LineAddr(PAGE_LINES as u64)).is_none());
+        assert_eq!(table.iter().count(), 2);
+        assert_eq!(table.iter_mut().count(), 2);
+    }
+
+    #[test]
+    fn iter_visits_exactly_the_present_lines() {
+        let mut table = LineTable::default();
+        for i in [0u64, 63, 64, 511, 512, 1000] {
+            table
+                .entry(LineAddr(i))
+                .put_transient(crate::ThreadId(0), [i; 8]);
+        }
+        assert_eq!(table.len(), 6);
+        let mut seen: Vec<u64> = table
+            .iter()
+            .map(|vl| vl.transient_of(crate::ThreadId(0)).unwrap()[0])
+            .collect();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 63, 64, 511, 512, 1000]);
+        // A present-but-trivial line is still visited (HashMap parity).
+        table.entry(LineAddr(2048));
+        assert_eq!(table.iter().count(), 7);
+        assert!(table.get(LineAddr(2048)).unwrap().newest_data() == ZERO_LINE);
+    }
+}

@@ -11,13 +11,14 @@
 //!
 //! Version lists materialize lazily on first write; an address that was
 //! allocated but never written reads as zero, mirroring the paper's lazy
-//! population of physical lines.
-
-use std::collections::HashMap;
+//! population of physical lines. Since line addresses are bump-allocated
+//! from zero, the lists live in a dense paged [`LineTable`] rather than
+//! a hash map: lookups index directly by line address.
 
 use sitm_obs::{EventKind, MetricsRegistry, Observable, TraceRecord, Tracer};
 
 use crate::active::ActiveTransactions;
+use crate::line_table::LineTable;
 use crate::stats::VersionDepthCensus;
 use crate::timestamp::Timestamp;
 use crate::types::{Addr, LineAddr, LineData, ThreadId, Word, WORDS_PER_LINE, ZERO_LINE};
@@ -61,7 +62,7 @@ impl Default for MvmConfig {
 #[derive(Debug, Clone, Default)]
 pub struct MvmStore {
     config: MvmConfig,
-    lines: HashMap<LineAddr, VersionList>,
+    lines: LineTable,
     active: ActiveTransactions,
     census: VersionDepthCensus,
     next_line: u64,
@@ -150,14 +151,14 @@ impl MvmStore {
     /// Reads `addr` non-transactionally: the newest committed version.
     pub fn read_word(&self, addr: Addr) -> Word {
         self.lines
-            .get(&addr.line())
+            .get(addr.line())
             .map_or(0, |vl| vl.newest_data()[addr.offset()])
     }
 
     /// Reads a whole line non-transactionally.
     pub fn read_line(&self, line: LineAddr) -> LineData {
         self.lines
-            .get(&line)
+            .get(line)
             .map_or(ZERO_LINE, |vl| vl.newest_data())
     }
 
@@ -166,7 +167,7 @@ impl MvmStore {
     /// existed). Used for initialization and for the 2PL/SONTM baselines,
     /// which keep a single in-place version.
     pub fn write_word(&mut self, addr: Addr, value: Word) {
-        let vl = self.lines.entry(addr.line()).or_default();
+        let vl = self.lines.entry(addr.line());
         let mut data = vl.newest_data();
         data[addr.offset()] = value;
         Self::overwrite_newest(vl, data, &self.active, &self.config);
@@ -174,7 +175,7 @@ impl MvmStore {
 
     /// Writes a whole line non-transactionally, in place.
     pub fn write_line(&mut self, line: LineAddr, data: LineData) {
-        let vl = self.lines.entry(line).or_default();
+        let vl = self.lines.entry(line);
         Self::overwrite_newest(vl, data, &self.active, &self.config);
     }
 
@@ -219,7 +220,7 @@ impl MvmStore {
     /// Returns `None` when no version old enough survives (the snapshot
     /// was garbage collected or discarded): the reader must abort.
     pub fn read_snapshot(&mut self, line: LineAddr, start: Timestamp) -> Option<SnapshotRead> {
-        match self.lines.get(&line) {
+        match self.lines.get(line) {
             None => Some(SnapshotRead {
                 data: ZERO_LINE,
                 depth: 0,
@@ -233,17 +234,35 @@ impl MvmStore {
         }
     }
 
+    /// Reads a single word as of snapshot `start` along with the served
+    /// version's timestamp, without copying the full line. Census
+    /// recording matches [`MvmStore::read_snapshot`].
+    pub fn read_word_snapshot_ts(
+        &mut self,
+        addr: Addr,
+        start: Timestamp,
+    ) -> Option<(Word, Timestamp)> {
+        match self.lines.get(addr.line()) {
+            None => Some((0, Timestamp::ZERO)),
+            Some(vl) => {
+                let (data, depth, ts) = vl.read_snapshot_ref(start)?;
+                let word = data[addr.offset()];
+                self.census.record(depth);
+                Some((word, ts))
+            }
+        }
+    }
+
     /// Reads a single word as of snapshot `start`; convenience over
-    /// [`MvmStore::read_snapshot`].
+    /// [`MvmStore::read_word_snapshot_ts`].
     pub fn read_word_snapshot(&mut self, addr: Addr, start: Timestamp) -> Option<Word> {
-        self.read_snapshot(addr.line(), start)
-            .map(|r| r.data[addr.offset()])
+        self.read_word_snapshot_ts(addr, start).map(|(w, _)| w)
     }
 
     /// Whether a committed version of `line` is newer than `start` — the
     /// write-write validation check.
     pub fn newer_than(&self, line: LineAddr, start: Timestamp) -> bool {
-        self.lines.get(&line).is_some_and(|vl| vl.newer_than(start))
+        self.lines.get(line).is_some_and(|vl| vl.newer_than(start))
     }
 
     /// Installs a committed version of `line` tagged `end`, applying
@@ -260,7 +279,7 @@ impl MvmStore {
         end: Timestamp,
         data: LineData,
     ) -> Result<(), VersionOverflow> {
-        let vl = self.lines.entry(line).or_default();
+        let vl = self.lines.entry(line);
         let gc_before = vl.gc_reclaimed_total();
         let result = if self.config.coalescing {
             vl.install(
@@ -318,7 +337,7 @@ impl MvmStore {
     /// overflow is discovered midway through a commit ("removes all
     /// written lines from the MVM").
     pub fn remove_installed(&mut self, line: LineAddr, end: Timestamp) {
-        if let Some(vl) = self.lines.get_mut(&line) {
+        if let Some(vl) = self.lines.get_mut(line) {
             vl.remove_version(end);
         }
     }
@@ -336,7 +355,7 @@ impl MvmStore {
             self.active.is_empty(),
             "flatten_all with transactions in flight"
         );
-        for vl in self.lines.values_mut() {
+        for vl in self.lines.iter_mut() {
             vl.flatten();
         }
     }
@@ -348,23 +367,20 @@ impl MvmStore {
     /// Spills an uncommitted line owned by `owner` into the MVM (the
     /// eviction path that makes transactions unbounded).
     pub fn put_transient(&mut self, owner: ThreadId, line: LineAddr, data: LineData) {
-        self.lines
-            .entry(line)
-            .or_default()
-            .put_transient(owner, data);
+        self.lines.entry(line).put_transient(owner, data);
     }
 
     /// Reads back `owner`'s transient version of `line`, if present.
     pub fn transient_of(&self, owner: ThreadId, line: LineAddr) -> Option<LineData> {
         self.lines
-            .get(&line)
+            .get(line)
             .and_then(|vl| vl.transient_of(owner).copied())
     }
 
     /// Removes and returns `owner`'s transient version of `line`.
     pub fn take_transient(&mut self, owner: ThreadId, line: LineAddr) -> Option<LineData> {
         self.lines
-            .get_mut(&line)
+            .get_mut(line)
             .and_then(|vl| vl.take_transient(owner))
     }
 
@@ -389,14 +405,14 @@ impl MvmStore {
 
     /// Number of committed versions currently held for `line`.
     pub fn version_count(&self, line: LineAddr) -> usize {
-        self.lines.get(&line).map_or(0, |vl| vl.version_count())
+        self.lines.get(line).map_or(0, |vl| vl.version_count())
     }
 
     /// Largest version-list population across all lines (diagnostics for
     /// the coalescing ablation).
     pub fn max_version_count(&self) -> usize {
         self.lines
-            .values()
+            .iter()
             .map(|vl| vl.version_count())
             .max()
             .unwrap_or(0)

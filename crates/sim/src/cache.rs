@@ -11,16 +11,35 @@ use sitm_mvm::LineAddr;
 
 use crate::config::{CacheParams, Cycles, MachineConfig};
 
+/// Key value marking an empty way. Stored keys are `line + 1`, so zero
+/// is unreachable for a real line and freshly calloc'd key arrays start
+/// all-empty with no explicit initialization pass — the multi-megabyte
+/// L3 and MVM-directory arrays are zero pages until touched.
+const EMPTY_KEY: u64 = 0;
+
+/// The stored key for `line` (shifted so zero means empty).
+#[inline]
+fn key_of(line: LineAddr) -> u64 {
+    debug_assert_ne!(line.0, u64::MAX, "line address collides with sentinel");
+    line.0 + 1
+}
+
 /// A set-associative cache with LRU replacement, tracking tags only.
 ///
-/// Each set keeps its tags in MRU-first order; a probe that hits moves the
-/// tag to the front, a fill evicts the last tag when the set is full.
+/// All sets share one contiguous tag array (`sets × ways`), each set a
+/// fixed-width window kept in MRU-first order with `EMPTY_KEY` padding
+/// after the valid entries: a probe that hits shifts the preceding tags
+/// down one slot and reinstalls the tag at the front, a fill of a full
+/// set pushes the last tag out. A whole set is scanned with one or two
+/// cache-line touches and no pointer chasing, and the hot case — an L1
+/// or L2 hit at or near the MRU slot — exits after a probe or two.
 #[derive(Debug, Clone)]
 pub struct Cache {
-    sets: Vec<Vec<u64>>,
+    tags: Box<[u64]>,
     ways: usize,
     set_mask: u64,
     set_shift: u32,
+    resident: usize,
 }
 
 impl Cache {
@@ -34,15 +53,15 @@ impl Cache {
         let sets = params.sets();
         assert!(sets.is_power_of_two(), "set count must be a power of two");
         Cache {
-            sets: vec![Vec::new(); sets],
+            tags: vec![EMPTY_KEY; sets * params.ways].into_boxed_slice(),
             ways: params.ways,
             set_mask: sets as u64 - 1,
             set_shift: 0,
+            resident: 0,
         }
     }
 
-    /// Builds a fully associative cache with `entries` slots (used for
-    /// the translation cache).
+    /// Builds a fully associative cache with `entries` slots.
     ///
     /// # Panics
     ///
@@ -50,57 +69,106 @@ impl Cache {
     pub fn fully_associative(entries: usize) -> Self {
         assert!(entries > 0, "cache must have at least one entry");
         Cache {
-            sets: vec![Vec::new()],
+            tags: vec![EMPTY_KEY; entries].into_boxed_slice(),
             ways: entries,
             set_mask: 0,
             set_shift: 0,
+            resident: 0,
         }
     }
 
+    /// The set's tag window, MRU first.
     #[inline]
-    fn set_of(&self, line: LineAddr) -> usize {
-        ((line.0 >> self.set_shift) & self.set_mask) as usize
+    fn set_of(&mut self, line: LineAddr) -> &mut [u64] {
+        let set = ((line.0 >> self.set_shift) & self.set_mask) as usize;
+        let base = set * self.ways;
+        &mut self.tags[base..base + self.ways]
+    }
+
+    /// Position of `key` among the set's valid entries (which are packed
+    /// before the first `EMPTY_KEY`).
+    #[inline]
+    fn find(set: &[u64], key: u64) -> Option<usize> {
+        for (pos, &t) in set.iter().enumerate() {
+            if t == key {
+                return Some(pos);
+            }
+            if t == EMPTY_KEY {
+                return None;
+            }
+        }
+        None
+    }
+
+    /// Shifts `set[..pos]` down one way and installs `key` as MRU.
+    #[inline]
+    fn to_front(set: &mut [u64], pos: usize, key: u64) {
+        set.copy_within(0..pos, 1);
+        set[0] = key;
     }
 
     /// Probes for `line`; on a hit the entry becomes most recently used.
     pub fn access(&mut self, line: LineAddr) -> bool {
+        let key = key_of(line);
         let set = self.set_of(line);
-        let ways = &mut self.sets[set];
-        if let Some(pos) = ways.iter().position(|&t| t == line.0) {
-            let tag = ways.remove(pos);
-            ways.insert(0, tag);
-            true
-        } else {
-            false
+        match Self::find(set, key) {
+            Some(pos) => {
+                Self::to_front(set, pos, key);
+                true
+            }
+            None => false,
         }
     }
 
     /// Inserts `line` as most recently used, evicting the LRU entry if
     /// the set is full. Returns the evicted line, if any.
     pub fn fill(&mut self, line: LineAddr) -> Option<LineAddr> {
-        let ways_cap = self.ways;
+        let key = key_of(line);
+        let ways = self.ways;
         let set = self.set_of(line);
-        let ways = &mut self.sets[set];
-        if let Some(pos) = ways.iter().position(|&t| t == line.0) {
-            let tag = ways.remove(pos);
-            ways.insert(0, tag);
+        if let Some(pos) = Self::find(set, key) {
+            Self::to_front(set, pos, key);
             return None;
         }
-        ways.insert(0, line.0);
-        if ways.len() > ways_cap {
-            return ways.pop().map(LineAddr);
+        let evicted = set[ways - 1];
+        Self::to_front(set, ways - 1, key);
+        if evicted == EMPTY_KEY {
+            self.resident += 1;
+            None
+        } else {
+            Some(LineAddr(evicted - 1))
         }
-        None
+    }
+
+    /// Probes for `line` and ensures it is resident as most recently
+    /// used afterwards: one set scan serving as `access` + `fill` on a
+    /// miss. Returns whether the probe hit.
+    pub fn probe_fill(&mut self, line: LineAddr) -> bool {
+        let key = key_of(line);
+        let ways = self.ways;
+        let set = self.set_of(line);
+        if let Some(pos) = Self::find(set, key) {
+            Self::to_front(set, pos, key);
+            return true;
+        }
+        let evicted = set[ways - 1];
+        Self::to_front(set, ways - 1, key);
+        if evicted == EMPTY_KEY {
+            self.resident += 1;
+        }
+        false
     }
 
     /// Removes `line` if present (coherence invalidation). Returns
     /// whether it was cached.
     pub fn invalidate(&mut self, line: LineAddr) -> bool {
+        let ways = self.ways;
         let set = self.set_of(line);
-        let ways = &mut self.sets[set];
-        match ways.iter().position(|&t| t == line.0) {
+        match Self::find(set, key_of(line)) {
             Some(pos) => {
-                ways.remove(pos);
+                set.copy_within(pos + 1..ways, pos);
+                set[ways - 1] = EMPTY_KEY;
+                self.resident -= 1;
                 true
             }
             None => false,
@@ -109,7 +177,77 @@ impl Cache {
 
     /// Number of lines currently resident.
     pub fn resident(&self) -> usize {
-        self.sets.iter().map(|s| s.len()).sum()
+        self.resident
+    }
+}
+
+/// A fully associative LRU cache as a rotating window: tags sit in
+/// MRU-first order starting at `head` and wrapping around, so a miss —
+/// the translation cache's overwhelmingly common case on large
+/// footprints — installs the new tag by stepping `head` back one slot
+/// over the LRU victim instead of shifting the whole window the way
+/// [`Cache`]'s packed layout would. Replacement decisions are identical
+/// to `Cache::fully_associative`; only the miss cost on the host drops.
+#[derive(Debug, Clone)]
+pub struct FaLru {
+    tags: Box<[u64]>,
+    head: usize,
+    mask: usize,
+}
+
+impl FaLru {
+    /// Builds a fully associative LRU cache with `entries` slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power of two (the rotating window
+    /// relies on masking).
+    pub fn new(entries: usize) -> Self {
+        assert!(
+            entries.is_power_of_two(),
+            "entry count must be a power of two"
+        );
+        FaLru {
+            tags: vec![EMPTY_KEY; entries].into_boxed_slice(),
+            head: 0,
+            mask: entries - 1,
+        }
+    }
+
+    /// Probes for `line` and ensures it is resident as most recently
+    /// used afterwards. Returns whether the probe hit.
+    pub fn probe_fill(&mut self, line: LineAddr) -> bool {
+        let key = key_of(line);
+        // Membership does not depend on recency order, so probe with a
+        // branchless sweep of the physical array (which vectorizes,
+        // unlike an early-exit scan) and only locate the slot — and
+        // translate it to an MRU offset — on a hit.
+        let hit = self.tags.iter().fold(false, |acc, &t| acc | (t == key));
+        match if hit {
+            self.tags.iter().position(|&t| t == key)
+        } else {
+            None
+        } {
+            Some(phys) => {
+                let (head, mask) = (self.head, self.mask);
+                let mru = (phys + mask + 1 - head) & mask;
+                // Rotate the more-recent entries down one slot and
+                // reinstall the tag at the front.
+                for j in (1..=mru).rev() {
+                    self.tags[(head + j) & mask] = self.tags[(head + j - 1) & mask];
+                }
+                self.tags[head] = key;
+                true
+            }
+            None => {
+                // Miss: the slot just before `head` is the LRU victim
+                // (or still empty); claiming it as the new head inserts
+                // in O(1).
+                self.head = (self.head + self.mask) & self.mask;
+                self.tags[self.head] = key;
+                false
+            }
+        }
     }
 }
 
@@ -134,7 +272,7 @@ pub struct MemorySystem {
     cfg: MachineConfig,
     l1: Vec<Cache>,
     l2: Vec<Cache>,
-    xlate: Vec<Cache>,
+    xlate: Vec<FaLru>,
     l3: Cache,
     /// Cache of version-list (indirection) lines in the L3's MVM
     /// partition.
@@ -150,7 +288,7 @@ impl MemorySystem {
             l1: (0..cfg.cores).map(|_| Cache::new(cfg.l1)).collect(),
             l2: (0..cfg.cores).map(|_| Cache::new(cfg.l2)).collect(),
             xlate: (0..cfg.cores)
-                .map(|_| Cache::fully_associative(cfg.translation_cache_entries))
+                .map(|_| FaLru::new(cfg.translation_cache_entries))
                 .collect(),
             l3: Cache::new(cfg.l3),
             mvm_dir: Cache::new(CacheParams {
@@ -158,7 +296,7 @@ impl MemorySystem {
                 ways: cfg.l3.ways,
                 latency: cfg.l3.latency,
             }),
-            cfg: cfg.clone(),
+            cfg: *cfg,
             accesses: 0,
             mem_accesses: 0,
         }
@@ -184,16 +322,15 @@ impl MemorySystem {
             self.l1[core].fill(line);
             return (self.cfg.l2.latency, ServedBy::L2);
         }
-        if self.l3.access(line) {
-            self.l2[core].fill(line);
-            self.l1[core].fill(line);
-            return (self.cfg.l3.latency, ServedBy::L3);
-        }
-        self.mem_accesses += 1;
-        self.l3.fill(line);
+        let (latency, served) = if self.l3.probe_fill(line) {
+            (self.cfg.l3.latency, ServedBy::L3)
+        } else {
+            self.mem_accesses += 1;
+            (self.cfg.mem_latency, ServedBy::Memory)
+        };
         self.l2[core].fill(line);
         self.l1[core].fill(line);
-        (self.cfg.mem_latency, ServedBy::Memory)
+        (latency, served)
     }
 
     /// A multiversioned read by `core`: versions live at the L3/DRAM
@@ -212,22 +349,17 @@ impl MemorySystem {
             self.l1[core].fill(line);
             return self.cfg.l2.latency;
         }
-        let indirection = if self.xlate[core].access(line) {
+        let indirection = if self.xlate[core].probe_fill(line) {
             0
-        } else {
-            self.xlate[core].fill(line);
-            if self.mvm_dir.access(line) {
-                self.cfg.l3.latency
-            } else {
-                self.mvm_dir.fill(line);
-                self.mem_accesses += 1;
-                self.cfg.mem_latency
-            }
-        };
-        let data = if self.l3.access(line) {
+        } else if self.mvm_dir.probe_fill(line) {
             self.cfg.l3.latency
         } else {
-            self.l3.fill(line);
+            self.mem_accesses += 1;
+            self.cfg.mem_latency
+        };
+        let data = if self.l3.probe_fill(line) {
+            self.cfg.l3.latency
+        } else {
             self.mem_accesses += 1;
             self.cfg.mem_latency
         };

@@ -66,7 +66,7 @@ impl Default for BackoffConfig {
 }
 
 /// The full simulated platform (Table 1) plus model-specific costs.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MachineConfig {
     /// Number of cores / hardware threads.
     pub cores: usize,

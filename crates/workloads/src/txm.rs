@@ -25,6 +25,7 @@
 //! models'.
 
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 
 use sitm_mvm::{Addr, Word};
 use sitm_sim::{TxOp, TxProgram};
@@ -46,12 +47,50 @@ pub const DIVERGED: Addr = Addr(u64::MAX);
 /// its footprint and trips the bound quickly.
 const READ_BUDGET_BASE: u64 = 10_000;
 
+/// Deterministic multiply-then-fold hasher for [`Addr`] keys.
+///
+/// `TxMemory::read` is the hottest call in the whole simulator (replay-
+/// on-miss re-reads the full footprint once per distinct address, so an
+/// N-address transaction issues O(N²) reads), and the default SipHash is
+/// most of its cost. Addresses need no DoS resistance — they are small,
+/// simulator-generated integers — so a single multiply by a 64-bit odd
+/// constant plus a fold of the high half (addresses are word-aligned,
+/// leaving plain-multiply low bits degenerate) replaces it. The hash is
+/// fixed across runs, which if anything *strengthens* determinism: map
+/// iteration order is only ever observed after sorting.
+#[derive(Debug, Default)]
+struct AddrHasher(u64);
+
+impl Hasher for AddrHasher {
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        let h = n.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        self.0 = h ^ (h >> 32);
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Unused by `Addr` keys (which hash as one `u64`); kept correct
+        // for completeness via a byte-wise FNV-1a fold.
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Address-keyed map with the cheap deterministic hasher above.
+type AddrMap = HashMap<Addr, Word, BuildHasherDefault<AddrHasher>>;
+
 /// The transactional view an algorithm runs against: values read so far
 /// this attempt plus the local write overlay.
 #[derive(Debug, Default)]
 pub struct TxMemory {
-    cache: HashMap<Addr, Word>,
-    overlay: HashMap<Addr, Word>,
+    cache: AddrMap,
+    overlay: AddrMap,
     write_order: Vec<Addr>,
     read_calls: u64,
 }
@@ -72,8 +111,12 @@ impl TxMemory {
             // transaction rather than loop forever on a torn view.
             return Err(NeedRead(DIVERGED));
         }
-        if let Some(&v) = self.overlay.get(&addr) {
-            return Ok(v);
+        // The overlay is empty for read-only logic and for the read
+        // phase of most updates; skip its probe entirely then.
+        if !self.overlay.is_empty() {
+            if let Some(&v) = self.overlay.get(&addr) {
+                return Ok(v);
+            }
         }
         if let Some(&v) = self.cache.get(&addr) {
             return Ok(v);
