@@ -1,0 +1,189 @@
+//! Abort forensics: where do aborts come from, per protocol and
+//! workload?
+//!
+//! Sweeps protocol x workload at one thread count with the forensic
+//! abort recorder enabled and renders, per cell:
+//!
+//! * the per-cause abort table (the `ForensicCause` taxonomy:
+//!   write-write first-committer-wins, read validation, SSI pivots,
+//!   lock timeouts, capacity evictions, explicit aborts),
+//! * the attribution rate (aborts carrying a concrete cause + line),
+//! * the hottest conflicting cache lines (top-K sketch).
+//!
+//! `--json PATH` writes one `sitm.abort_forensics.v1` JSONL record per
+//! (protocol, workload) cell. `--chrome PATH` additionally re-runs one
+//! representative cell (first workload under SI-TM, seed 0) and writes
+//! its transaction-lifecycle trace as a `chrome://tracing` /
+//! [Perfetto](https://ui.perfetto.dev) JSON array. With the `trace`
+//! feature disabled the recorder and tracer compile out and every
+//! snapshot is empty; the binary warns and the tables show zero
+//! attribution.
+//!
+//! Usage: `cargo run --release -p sitm-bench --features trace --bin
+//! abort_forensics [--quick] [--seeds N] [--threads N] [--json PATH]
+//! [--chrome PATH]`
+
+use sitm_bench::{
+    machine, run_once_forensic, seed_for, Console, HarnessOpts, Protocol, SweepRunner,
+};
+use sitm_obs::{chrome_trace, ForensicCause, Forensics, ForensicsReport, ForensicsSnapshot};
+use sitm_workloads::all_workloads;
+
+const PROTOCOLS: [Protocol; 4] = [
+    Protocol::TwoPl,
+    Protocol::Sontm,
+    Protocol::SiTm,
+    Protocol::SsiTm,
+];
+
+/// Parses the binary's own `--chrome PATH` flag (everything
+/// [`HarnessOpts`] knows is handled there).
+fn chrome_arg() -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--chrome")
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let chrome = chrome_arg();
+    let runner = SweepRunner::from_opts(&opts);
+    let con = Console::new(&opts);
+    let threads = opts.threads_or(16);
+    con.line(format!(
+        "Abort forensics: per-cause attribution at {threads} threads, {} seed(s)",
+        opts.seeds
+    ));
+    if !Forensics::enabled() {
+        con.line("warning: built without --features trace; the recorder is compiled out");
+    }
+    con.blank();
+
+    let names: Vec<String> = all_workloads(opts.scale)
+        .iter()
+        .map(|w| w.name().to_string())
+        .collect();
+
+    // Flatten the (workload, protocol, seed) grid into cells; each cell
+    // runs one forensic simulation and returns its merged-ready pieces.
+    let mut cells = Vec::new();
+    for index in 0..names.len() {
+        for proto in PROTOCOLS {
+            for s in 0..opts.seeds {
+                cells.push((index, proto, seed_for(s)));
+            }
+        }
+    }
+    let scale = opts.scale;
+    let outcomes = runner.run(cells, |(index, proto, seed)| {
+        let cfg = machine(threads);
+        let mut workloads = all_workloads(scale);
+        let stats = run_once_forensic(proto, workloads[index].as_mut(), &cfg, seed);
+        let aborts = stats.aborts();
+        let snapshot = stats.forensics.expect("forensic runs always snapshot");
+        (aborts, snapshot)
+    });
+
+    let mut jsonl = String::new();
+    let mut grand_aborts = 0u64;
+    let mut grand = ForensicsSnapshot::default();
+    let mut it = outcomes.into_iter();
+    for name in &names {
+        con.line(format!("== {name} =="));
+        let mut header = vec!["aborts".to_string(), "attrib".to_string()];
+        header.extend(ForensicCause::ALL.iter().map(|c| c.label().to_string()));
+        con.row("", &header);
+        for proto in PROTOCOLS {
+            let mut aborts = 0u64;
+            let mut merged = ForensicsSnapshot::default();
+            for _ in 0..opts.seeds {
+                let (cell_aborts, snapshot) = it.next().expect("grid matches display loops");
+                aborts += cell_aborts;
+                merged.merge(&snapshot);
+            }
+            grand_aborts += aborts;
+            grand.merge(&merged);
+            let mut row = vec![
+                aborts.to_string(),
+                format!("{:.1}%", merged.attribution_rate() * 100.0),
+            ];
+            row.extend(
+                ForensicCause::ALL
+                    .iter()
+                    .map(|&c| merged.count(c).to_string()),
+            );
+            con.row(proto.name(), &row);
+            if !merged.hot_lines.is_empty() {
+                let top: Vec<String> = merged
+                    .hot_lines
+                    .iter()
+                    .take(3)
+                    .map(|&(line, count)| format!("line {line:#x} x{count}"))
+                    .collect();
+                con.line(format!("  {} hottest: {}", proto.name(), top.join(", ")));
+            }
+            let report = ForensicsReport {
+                bench: "abort_forensics".to_string(),
+                protocol: proto.name().to_string(),
+                workload: name.clone(),
+                threads,
+                seeds: opts.seeds as usize,
+                snapshot: merged,
+            };
+            jsonl.push_str(&report.to_json_line());
+            jsonl.push('\n');
+        }
+        con.blank();
+    }
+
+    // Overall attribution: recorded-and-lined aborts over the engine's
+    // own abort count, so unrecorded aborts count against the rate too.
+    let overall = if grand_aborts > 0 {
+        grand.total as f64 / grand_aborts as f64 * grand.attribution_rate()
+    } else {
+        1.0
+    };
+    if Forensics::enabled() && grand_aborts > 0 {
+        con.line(format!(
+            "overall: {grand_aborts} aborts, {} recorded, {:.2}% attributed to a concrete cause",
+            grand.total,
+            overall * 100.0
+        ));
+    }
+
+    if let Some(path) = &opts.json {
+        if path == "-" {
+            print!("{jsonl}");
+        } else {
+            std::fs::write(path, &jsonl)
+                .unwrap_or_else(|e| panic!("failed to write --json {path}: {e}"));
+            eprintln!("wrote forensics JSONL to {path}");
+        }
+    }
+
+    if let Some(path) = &chrome {
+        // One representative lifecycle trace: the first workload under
+        // SI-TM at seed 0 — deterministic, so the export is stable.
+        let cfg = machine(threads);
+        let mut workloads = all_workloads(scale);
+        let stats = run_once_forensic(Protocol::SiTm, workloads[0].as_mut(), &cfg, seed_for(0));
+        if stats.trace.is_empty() {
+            con.line("warning: --chrome trace is empty (built without --features trace?)");
+        }
+        std::fs::write(path, chrome_trace(&stats.trace))
+            .unwrap_or_else(|e| panic!("failed to write --chrome {path}: {e}"));
+        eprintln!("wrote chrome://tracing JSON to {path}");
+    }
+
+    // Attribution gate (only meaningful with the recorder compiled in):
+    // every abort site must hand the recorder a concrete cause + line,
+    // so anything under 99% means a site regressed to anonymous aborts.
+    if Forensics::enabled() && overall < 0.99 {
+        eprintln!(
+            "abort_forensics: only {:.2}% of aborts attributed (< 99%) — failing",
+            overall * 100.0
+        );
+        std::process::exit(1);
+    }
+}

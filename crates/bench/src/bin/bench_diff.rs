@@ -1,0 +1,216 @@
+//! bench_diff: the perf-trajectory gate.
+//!
+//! Compares two benchmark result files — `BENCH_*.json` perf baselines
+//! (`sitm.perf_baseline.v1`), harness `--json` JSONL, or
+//! `abort_forensics` JSONL (`sitm.abort_forensics.v1`) — by flattening
+//! every numeric leaf into a dotted metric key, matching records by
+//! their (bench, protocol, workload, threads) identity, and printing a
+//! per-metric delta table.
+//!
+//! Exit status:
+//!
+//! * `0` — every shared metric within tolerance,
+//! * `1` — at least one metric moved more than `--tolerance-pct N`
+//!   (default 10) relative to the baseline,
+//! * `2` — a file could not be read or parsed.
+//!
+//! Tolerance is measured on the larger-over-smaller *ratio*, so it is
+//! symmetric in both directions: with `--tolerance-pct 900` a metric
+//! fails when it moved more than 10x up **or** more than 10x down
+//! (`-90%`). A plain signed-percent threshold could never catch large
+//! slowdowns, which saturate at `-100%`. Sign flips and zero/nonzero
+//! transitions are always out of tolerance.
+//!
+//! Host-wall-clock bookkeeping keys (`wall_ms`, `sweep_wall_ms`,
+//! `jobs`, `sweep_jobs`) are never compared: they describe the machine
+//! that ran the sweep, not the simulation. Throughput metrics like
+//! `sim_ops_per_sec` *are* compared — they are the trajectory this
+//! gate watches.
+//!
+//! Usage: `cargo run --release -p sitm-bench --bin bench_diff --
+//! BASELINE NEW [--tolerance-pct N]` (or `scripts/bench_diff`).
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+use sitm_obs::Json;
+
+/// Bookkeeping keys that vary with the host machine and job count, not
+/// with the code under test.
+const SKIP_KEYS: [&str; 4] = ["wall_ms", "sweep_wall_ms", "jobs", "sweep_jobs"];
+
+/// Flattens the numeric leaves of `value` into `out` under dotted
+/// `prefix` paths; arrays index numerically.
+fn flatten(prefix: &str, value: &Json, out: &mut BTreeMap<String, f64>) {
+    match value {
+        Json::Num(n) => {
+            out.insert(prefix.to_string(), *n);
+        }
+        Json::Obj(map) => {
+            for (key, v) in map {
+                if SKIP_KEYS.contains(&key.as_str()) {
+                    continue;
+                }
+                let path = if prefix.is_empty() {
+                    key.clone()
+                } else {
+                    format!("{prefix}.{key}")
+                };
+                flatten(&path, v, out);
+            }
+        }
+        Json::Arr(items) => {
+            for (i, v) in items.iter().enumerate() {
+                flatten(&format!("{prefix}[{i}]"), v, out);
+            }
+        }
+        Json::Null | Json::Bool(_) | Json::Str(_) => {}
+    }
+}
+
+/// The identity prefix of one JSONL record: enough of (bench, protocol,
+/// workload, threads) to match the same logical measurement across two
+/// runs of the same sweep.
+fn record_identity(value: &Json) -> String {
+    let mut parts = Vec::new();
+    for key in ["bench", "protocol", "workload"] {
+        if let Some(s) = value.get(key).and_then(Json::as_str) {
+            parts.push(s.to_string());
+        }
+    }
+    if let Some(t) = value.get("threads").and_then(Json::as_u64) {
+        parts.push(format!("{t}t"));
+    }
+    parts.join("/")
+}
+
+/// Parses `path` (a JSON object or JSONL document) into a flat metric
+/// map keyed by `identity.dotted.path`.
+fn load_metrics(path: &str) -> Result<BTreeMap<String, f64>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut metrics = BTreeMap::new();
+    let mut seen: BTreeMap<String, usize> = BTreeMap::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let value =
+            Json::parse(line).map_err(|e| format!("{path}:{}: parse error: {e:?}", lineno + 1))?;
+        // Identity keys (bench/protocol/workload/threads) are the match
+        // key, not metrics; disambiguate repeats by occurrence index.
+        let mut id = record_identity(&value);
+        let n = seen.entry(id.clone()).or_insert(0);
+        if *n > 0 {
+            id = format!("{id}#{n}");
+        }
+        *n += 1;
+        flatten(&id, &value, &mut metrics);
+    }
+    Ok(metrics)
+}
+
+/// Relative delta in percent; `None` when the baseline is zero and the
+/// value moved (an infinite relative change, always out of tolerance).
+fn delta_pct(old: f64, new: f64) -> Option<f64> {
+    if old == 0.0 {
+        if new == 0.0 {
+            Some(0.0)
+        } else {
+            None
+        }
+    } else {
+        Some((new - old) / old.abs() * 100.0)
+    }
+}
+
+/// Ratio-symmetric tolerance check: `tolerance` percent permits a
+/// larger-over-smaller ratio of up to `1 + tolerance/100` in either
+/// direction. Sign flips and zero/nonzero transitions always fail.
+fn out_of_tolerance(old: f64, new: f64, tolerance: f64) -> bool {
+    if old == new {
+        return false;
+    }
+    if old == 0.0 || new == 0.0 || (old < 0.0) != (new < 0.0) {
+        return true;
+    }
+    let ratio = (new / old).abs();
+    let limit = 1.0 + tolerance / 100.0;
+    ratio > limit || ratio < 1.0 / limit
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut files = Vec::new();
+    let mut tolerance = 10.0f64;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--tolerance-pct" => {
+                let Some(t) = args.get(i + 1).and_then(|s| s.parse::<f64>().ok()) else {
+                    eprintln!("--tolerance-pct needs a number");
+                    return ExitCode::from(2);
+                };
+                tolerance = t;
+                i += 2;
+            }
+            other => {
+                files.push(other.to_string());
+                i += 1;
+            }
+        }
+    }
+    if files.len() != 2 {
+        eprintln!("usage: bench_diff BASELINE NEW [--tolerance-pct N]");
+        return ExitCode::from(2);
+    }
+
+    let (old, new) = match (load_metrics(&files[0]), load_metrics(&files[1])) {
+        (Ok(old), Ok(new)) => (old, new),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("bench_diff: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let only_old: Vec<&String> = old.keys().filter(|k| !new.contains_key(*k)).collect();
+    let only_new: Vec<&String> = new.keys().filter(|k| !old.contains_key(*k)).collect();
+
+    println!(
+        "bench_diff: {} vs {} ({} shared metrics, tolerance {tolerance}%)",
+        files[0],
+        files[1],
+        old.keys().filter(|k| new.contains_key(*k)).count()
+    );
+    println!(
+        "{:<64} {:>14} {:>14} {:>9}",
+        "metric", "baseline", "new", "delta"
+    );
+    let mut failures = 0usize;
+    for (key, &old_v) in &old {
+        let Some(&new_v) = new.get(key) else { continue };
+        let delta_text = match delta_pct(old_v, new_v) {
+            Some(d) => format!("{d:+.1}%"),
+            None => "inf".to_string(),
+        };
+        if out_of_tolerance(old_v, new_v, tolerance) {
+            failures += 1;
+            println!("{key:<64} {old_v:>14.3} {new_v:>14.3} {delta_text:>8} !");
+        } else if delta_text != "+0.0%" {
+            println!("{key:<64} {old_v:>14.3} {new_v:>14.3} {delta_text:>9}");
+        }
+    }
+    for key in &only_old {
+        println!("{key:<64} (removed in new)");
+    }
+    for key in &only_new {
+        println!("{key:<64} (new metric)");
+    }
+
+    if failures > 0 {
+        eprintln!("bench_diff: {failures} metric(s) moved more than {tolerance}% — failing");
+        ExitCode::from(1)
+    } else {
+        println!("bench_diff: all shared metrics within {tolerance}%");
+        ExitCode::SUCCESS
+    }
+}

@@ -122,6 +122,44 @@ pub fn run_once_with_history(
     }
 }
 
+/// Runs `workload` under `protocol` once with abort forensics enabled
+/// and returns the statistics. `RunStats::forensics` is always `Some`;
+/// its snapshot is empty unless the `trace` feature compiled the
+/// recorder in (check [`sitm_obs::Forensics::enabled`]).
+pub fn run_once_forensic(
+    protocol: Protocol,
+    workload: &mut dyn Workload,
+    cfg: &MachineConfig,
+    seed: u64,
+) -> RunStats {
+    match protocol {
+        Protocol::TwoPl => {
+            Engine::new(TwoPl::new(cfg), workload, cfg, seed)
+                .record_forensics()
+                .run()
+                .0
+        }
+        Protocol::Sontm => {
+            Engine::new(Sontm::new(cfg), workload, cfg, seed)
+                .record_forensics()
+                .run()
+                .0
+        }
+        Protocol::SiTm => {
+            Engine::new(SiTm::new(cfg), workload, cfg, seed)
+                .record_forensics()
+                .run()
+                .0
+        }
+        Protocol::SsiTm => {
+            Engine::new(SsiTm::new(cfg), workload, cfg, seed)
+                .record_forensics()
+                .run()
+                .0
+        }
+    }
+}
+
 /// Runs an SI-TM variant with a custom protocol configuration (for the
 /// ablations and the Table 2 census) and returns the statistics together
 /// with the protocol model for post-run inspection.

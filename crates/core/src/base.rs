@@ -114,7 +114,7 @@ impl TouchedLines {
 ///
 /// Lazy version management buffers stores privately until commit; this
 /// structure is that buffer. Both the word map and the line set are
-/// sorted flat vectors (see [`LineSet`]): write sets are small, and the
+/// sorted flat vectors (see `LineSet`): write sets are small, and the
 /// `BTreeMap` this replaced spent more time allocating nodes than
 /// ordering keys. Iteration stays in ascending address order, which the
 /// discrete-event simulation relies on for determinism.

@@ -28,9 +28,10 @@
 //!   on a write-write conflict.
 
 use sitm_mvm::{Addr, GlobalClock, LineAddr, MvmConfig, MvmStore, ThreadId, Timestamp, Word};
+use sitm_obs::ForensicCause;
 use sitm_sim::{
-    AbortCause, BeginOutcome, CommitOutcome, Cycles, MachineConfig, ReadOutcome, TmProtocol,
-    Victims, WriteOutcome,
+    AbortCause, AbortDetail, BeginOutcome, CommitOutcome, Cycles, MachineConfig, ReadOutcome,
+    TmProtocol, Victims, WriteOutcome,
 };
 
 use crate::base::{LineSet, ProtocolBase, TouchedLines, WriteBuffer};
@@ -85,6 +86,10 @@ pub struct SiTm {
     /// (`None` when nothing was installed), reported to the history
     /// recorder.
     last_commits: Vec<Option<u64>>,
+    /// Per-thread detail of the most recent abort site, reported to the
+    /// engine's forensics recorder. Overwritten at every abort; survives
+    /// rollback (victim details are read at the victim's next step).
+    last_aborts: Vec<AbortDetail>,
 }
 
 impl SiTm {
@@ -114,6 +119,7 @@ impl SiTm {
             spill_threshold: machine.version_buffer_lines(),
             last_reads: vec![None; machine.cores],
             last_commits: vec![None; machine.cores],
+            last_aborts: vec![AbortDetail::default(); machine.cores],
         }
     }
 
@@ -152,6 +158,12 @@ impl SiTm {
             .filter(|(i, tx)| *i != tid.0 && tx.is_some())
             .map(|(i, _)| (ThreadId(i), AbortCause::ClockOverflow))
             .collect();
+        for &(victim, _) in &victims {
+            self.last_aborts[victim.0] = AbortDetail {
+                cause: Some(ForensicCause::Explicit),
+                ..AbortDetail::default()
+            };
+        }
         // The interrupt handler aborts every active transaction, clears
         // their registrations and transient versions, re-bases committed
         // state to the epoch, and resets the clock.
@@ -250,6 +262,12 @@ impl TmProtocol for SiTm {
             None => {
                 // The snapshot's version was discarded (discard-oldest
                 // policy): the reader aborts.
+                self.last_aborts[tid.0] = AbortDetail {
+                    cause: Some(ForensicCause::CapacityEviction),
+                    line: Some(line.0),
+                    winner_ts: self.base.store.newest_ts(line).map(|ts| ts.0),
+                    snapshot_ts: Some(start.0),
+                };
                 let cycles = self.rollback(tid);
                 return ReadOutcome::Abort {
                     cause: AbortCause::VersionOverflow,
@@ -337,6 +355,12 @@ impl TmProtocol for SiTm {
             for &line in &promoted {
                 cycles += self.base.per_line_validate_cost;
                 if self.base.store.newer_than(line, start) {
+                    self.last_aborts[tid.0] = AbortDetail {
+                        cause: Some(ForensicCause::WriteWriteFcw),
+                        line: Some(line.0),
+                        winner_ts: self.base.store.newest_ts(line).map(|ts| ts.0),
+                        snapshot_ts: Some(start.0),
+                    };
                     let rollback = self.rollback(tid);
                     return CommitOutcome::Abort {
                         cause: AbortCause::WriteWrite,
@@ -357,6 +381,10 @@ impl TmProtocol for SiTm {
             Ok(end) => end,
             Err(_) => {
                 // Clock overflow during commit: abort everything.
+                self.last_aborts[tid.0] = AbortDetail {
+                    cause: Some(ForensicCause::Explicit),
+                    ..AbortDetail::default()
+                };
                 let mut victims = self.overflow_reset(tid);
                 let cycles = self.rollback(tid);
                 victims.retain(|(v, _)| *v != tid);
@@ -383,7 +411,7 @@ impl TmProtocol for SiTm {
 
         // Timestamp-based write-write validation: a single comparison
         // against the version list per written (or promoted) line.
-        let mut conflict = false;
+        let mut conflict: Option<LineAddr> = None;
         for &line in &validate_lines {
             cycles += self.base.per_line_validate_cost;
             if self.base.store.newer_than(line, start) {
@@ -404,17 +432,23 @@ impl TmProtocol for SiTm {
                         newest[a.offset()] != snap[a.offset()] && newest[a.offset()] != v
                     });
                     if real {
-                        conflict = true;
+                        conflict = Some(line);
                         break;
                     }
                 } else {
-                    conflict = true;
+                    conflict = Some(line);
                     break;
                 }
             }
         }
 
-        if conflict {
+        if let Some(line) = conflict {
+            self.last_aborts[tid.0] = AbortDetail {
+                cause: Some(ForensicCause::WriteWriteFcw),
+                line: Some(line.0),
+                winner_ts: self.base.store.newest_ts(line).map(|ts| ts.0),
+                snapshot_ts: Some(start.0),
+            };
             let rollback = self.rollback(tid);
             self.clock.finish_commit(end);
             return CommitOutcome::Abort {
@@ -432,7 +466,7 @@ impl TmProtocol for SiTm {
         // Install new versions. A version overflow mid-install removes
         // the versions already created and aborts.
         let mut installed: Vec<LineAddr> = Vec::with_capacity(lines.len());
-        let mut overflow = false;
+        let mut overflow: Option<LineAddr> = None;
         for &line in &lines {
             // Merge onto the newest committed image. Under line
             // granularity validation guarantees it equals the snapshot;
@@ -448,12 +482,18 @@ impl TmProtocol for SiTm {
             match self.base.store.install(line, end, data) {
                 Ok(()) => installed.push(line),
                 Err(_) => {
-                    overflow = true;
+                    overflow = Some(line);
                     break;
                 }
             }
         }
-        if overflow {
+        if let Some(line) = overflow {
+            self.last_aborts[tid.0] = AbortDetail {
+                cause: Some(ForensicCause::CapacityEviction),
+                line: Some(line.0),
+                winner_ts: self.base.store.newest_ts(line).map(|ts| ts.0),
+                snapshot_ts: Some(start.0),
+            };
             for line in installed {
                 self.base.store.remove_installed(line, end);
             }
@@ -504,6 +544,10 @@ impl TmProtocol for SiTm {
 
     fn epoch(&self) -> u64 {
         self.clock.overflows()
+    }
+
+    fn last_abort_detail(&self, tid: ThreadId) -> AbortDetail {
+        self.last_aborts[tid.0]
     }
 }
 
@@ -794,6 +838,29 @@ mod tests {
         write(&mut p, 0, a, 1);
         assert!(p.rollback(ThreadId(0)) > 0);
         assert_eq!(p.rollback(ThreadId(0)), 0);
+    }
+
+    #[test]
+    fn abort_detail_names_the_conflicting_line_and_winner() {
+        let mut p = SiTm::new(&machine(2));
+        let a = p.store_mut().alloc_words(1);
+        begin(&mut p, 0);
+        begin(&mut p, 1);
+        write(&mut p, 0, a, 10);
+        write(&mut p, 1, a, 20);
+        commit_ok(&mut p, 0);
+        let winner_ts = p.last_commit_ts(ThreadId(0)).expect("writer committed");
+        let loser_start = p.begin_ts(ThreadId(1)).expect("loser in flight");
+        assert_eq!(commit_err(&mut p, 1), AbortCause::WriteWrite);
+        let d = p.last_abort_detail(ThreadId(1));
+        assert_eq!(d.cause, Some(ForensicCause::WriteWriteFcw));
+        assert_eq!(d.line, Some(a.line().0));
+        assert_eq!(d.winner_ts, Some(winner_ts));
+        assert_eq!(d.snapshot_ts, Some(loser_start));
+        assert!(
+            d.winner_ts > d.snapshot_ts,
+            "winner committed after the loser began"
+        );
     }
 
     #[test]

@@ -38,9 +38,10 @@
 use std::collections::HashMap;
 
 use sitm_mvm::{Addr, LineAddr, MvmStore, ThreadId, Word};
+use sitm_obs::ForensicCause;
 use sitm_sim::{
-    AbortCause, BeginOutcome, CommitOutcome, Cycles, MachineConfig, ReadOutcome, TmProtocol,
-    WriteOutcome,
+    AbortCause, AbortDetail, BeginOutcome, CommitOutcome, Cycles, MachineConfig, ReadOutcome,
+    TmProtocol, WriteOutcome,
 };
 
 use crate::base::{LineSet, ProtocolBase, TouchedLines, WriteBuffer};
@@ -57,6 +58,11 @@ struct SontmTx {
     read_set: LineSet,
     writes: WriteBuffer,
     touched: TouchedLines,
+    /// The last constraint that tightened `[lo, hi]`: the line it came
+    /// through and the SON of the committed transaction that imposed it.
+    /// When the range empties at commit, this names the culprit for
+    /// abort forensics.
+    pinch: Option<(LineAddr, Son)>,
 }
 
 impl Default for SontmTx {
@@ -67,6 +73,7 @@ impl Default for SontmTx {
             read_set: LineSet::new(),
             writes: WriteBuffer::new(),
             touched: TouchedLines::new(),
+            pinch: None,
         }
     }
 }
@@ -86,6 +93,8 @@ pub struct Sontm {
     hash_cost: Cycles,
     token_busy_until: Cycles,
     cores: usize,
+    /// Per-thread detail of the most recent abort site.
+    last_aborts: Vec<AbortDetail>,
 }
 
 impl Sontm {
@@ -99,6 +108,7 @@ impl Sontm {
             hash_cost: machine.sontm_hash_cost,
             token_busy_until: 0,
             cores: machine.cores,
+            last_aborts: vec![AbortDetail::default(); machine.cores],
         }
     }
 
@@ -146,7 +156,10 @@ impl TmProtocol for Sontm {
         let wn = self.write_numbers.get(&line).copied();
         let tx = self.tx(tid);
         if let Some(wn) = wn {
-            tx.lo = tx.lo.max(wn.saturating_add(1));
+            if wn.saturating_add(1) > tx.lo {
+                tx.lo = wn.saturating_add(1);
+                tx.pinch = Some((line, wn));
+            }
         }
         tx.read_set.insert(line);
         tx.touched.insert(line);
@@ -193,6 +206,7 @@ impl TmProtocol for Sontm {
         let read_lines: Vec<LineAddr> = tx.read_set.iter().copied().collect();
         let mut lo = tx.lo;
         let hi = tx.hi;
+        let mut pinch = tx.pinch;
         let mut cycles: Cycles = 0;
 
         // Final lower-bound constraints from the committed state: writers
@@ -201,14 +215,28 @@ impl TmProtocol for Sontm {
         for &line in &write_lines {
             cycles += self.hash_cost;
             if let Some(&wn) = self.write_numbers.get(&line) {
-                lo = lo.max(wn.saturating_add(1));
+                if wn.saturating_add(1) > lo {
+                    lo = wn.saturating_add(1);
+                    pinch = Some((line, wn));
+                }
             }
             if let Some(&rn) = self.read_numbers.get(&line) {
-                lo = lo.max(rn.saturating_add(1));
+                if rn.saturating_add(1) > lo {
+                    lo = rn.saturating_add(1);
+                    pinch = Some((line, rn));
+                }
             }
         }
 
         if lo > hi {
+            // An empty SON range is a validation failure of the read/write
+            // order; the pinch names the line and committed SON at fault.
+            self.last_aborts[tid.0] = AbortDetail {
+                cause: Some(ForensicCause::ReadValidation),
+                line: pinch.map(|(l, _)| l.0),
+                winner_ts: pinch.map(|(_, son)| son),
+                snapshot_ts: None,
+            };
             let rollback = self.rollback(tid);
             return CommitOutcome::Abort {
                 cause: AbortCause::Order,
@@ -236,14 +264,16 @@ impl TmProtocol for Sontm {
                 for &line in &write_lines {
                     // Anti-dependency: the active reader saw the old
                     // value, so it serializes before this commit.
-                    if other.read_set.contains(&line) {
-                        other.hi = other.hi.min(son.saturating_sub(1));
+                    if other.read_set.contains(&line) && son.saturating_sub(1) < other.hi {
+                        other.hi = son.saturating_sub(1);
+                        other.pinch = Some((line, son));
                     }
                     // Write ordering: the active writer will overwrite
                     // this commit's value in place, so it serializes
                     // after.
-                    if other.writes.touches_line(line) {
-                        other.lo = other.lo.max(son.saturating_add(1));
+                    if other.writes.touches_line(line) && son.saturating_add(1) > other.lo {
+                        other.lo = son.saturating_add(1);
+                        other.pinch = Some((line, son));
                     }
                 }
             }
@@ -303,6 +333,10 @@ impl TmProtocol for Sontm {
 
     fn store_mut(&mut self) -> &mut MvmStore {
         &mut self.base.store
+    }
+
+    fn last_abort_detail(&self, tid: ThreadId) -> AbortDetail {
+        self.last_aborts[tid.0]
     }
 }
 
@@ -384,6 +418,33 @@ mod tests {
         // TX0 after TX1, but the anti-dependency on A forced it before.
         assert_eq!(read(&mut p, 0, d), 1);
         assert_eq!(commit(&mut p, 0), Err(AbortCause::Order));
+    }
+
+    /// An Order abort carries a forensic detail naming the line whose
+    /// constraint emptied the SON range and the committed SON at fault.
+    #[test]
+    fn abort_detail_names_the_pinching_line() {
+        let cfg = MachineConfig::with_cores(2);
+        let mut p = Sontm::new(&cfg);
+        let a = p.store_mut().alloc_words(1);
+        let d = p.store_mut().alloc_words(1);
+
+        begin(&mut p, 0);
+        begin(&mut p, 1);
+        assert_eq!(read(&mut p, 0, a), 0);
+        write(&mut p, 1, a, 1);
+        write(&mut p, 1, d, 1);
+        assert_eq!(commit(&mut p, 1), Ok(()));
+        assert_eq!(read(&mut p, 0, d), 1); // flow dep raises lo past hi
+        assert_eq!(commit(&mut p, 0), Err(AbortCause::Order));
+        let detail = p.last_abort_detail(ThreadId(0));
+        assert_eq!(detail.cause, Some(ForensicCause::ReadValidation));
+        assert_eq!(
+            detail.line,
+            Some(d.line().0),
+            "last pinch was the flow dep on d"
+        );
+        assert_eq!(detail.winner_ts, Some(p.write_numbers[&d.line()]));
     }
 
     /// Committed-reader anti-dependency: a writer starting *after* a

@@ -38,9 +38,10 @@
 //! Write-write conflicts abort exactly as in SI-TM.
 
 use sitm_mvm::{Addr, GlobalClock, LineAddr, MvmStore, ThreadId, Timestamp, Word};
+use sitm_obs::ForensicCause;
 use sitm_sim::{
-    AbortCause, BeginOutcome, CommitOutcome, Cycles, MachineConfig, ReadOutcome, TmProtocol,
-    Victims, WriteOutcome,
+    AbortCause, AbortDetail, BeginOutcome, CommitOutcome, Cycles, MachineConfig, ReadOutcome,
+    TmProtocol, Victims, WriteOutcome,
 };
 
 use crate::base::{LineSet, ProtocolBase, TouchedLines, WriteBuffer};
@@ -94,6 +95,8 @@ pub struct SsiTm {
     /// (`None` when nothing was installed), reported to the history
     /// recorder.
     last_commits: Vec<Option<u64>>,
+    /// Per-thread detail of the most recent abort site.
+    last_aborts: Vec<AbortDetail>,
 }
 
 impl SsiTm {
@@ -106,6 +109,7 @@ impl SsiTm {
             committed_window: Vec::new(),
             last_reads: vec![None; machine.cores],
             last_commits: vec![None; machine.cores],
+            last_aborts: vec![AbortDetail::default(); machine.cores],
         }
     }
 
@@ -207,6 +211,12 @@ impl TmProtocol for SsiTm {
                 // Dangerous structure: both flag kinds on one
                 // transaction (this one, or a committed writer it read
                 // around).
+                self.last_aborts[tid.0] = AbortDetail {
+                    cause: Some(ForensicCause::SsiPivot),
+                    line: Some(line.0),
+                    winner_ts: self.base.store.newest_ts(line).map(|ts| ts.0),
+                    snapshot_ts: Some(start.0),
+                };
                 let cycles = self.rollback(tid);
                 return ReadOutcome::Abort {
                     cause: AbortCause::Order,
@@ -283,15 +293,21 @@ impl TmProtocol for SsiTm {
         let mut cycles: Cycles = 0;
 
         // Write-write validation, exactly as SI-TM.
-        let mut ww_conflict = false;
+        let mut ww_conflict: Option<LineAddr> = None;
         for &line in &lines {
             cycles += self.base.per_line_validate_cost;
             if self.base.store.newer_than(line, start) {
-                ww_conflict = true;
+                ww_conflict = Some(line);
                 break;
             }
         }
-        if ww_conflict {
+        if let Some(line) = ww_conflict {
+            self.last_aborts[tid.0] = AbortDetail {
+                cause: Some(ForensicCause::WriteWriteFcw),
+                line: Some(line.0),
+                winner_ts: self.base.store.newest_ts(line).map(|ts| ts.0),
+                snapshot_ts: Some(start.0),
+            };
             let rollback = self.rollback(tid);
             self.clock.finish_commit(end);
             return CommitOutcome::Abort {
@@ -305,6 +321,9 @@ impl TmProtocol for SsiTm {
         // (a) active transactions' read sets,
         // (b) committed transactions that overlapped me.
         let mut writer_conflict = self.txs[tid.0].as_ref().unwrap().writer_conflict;
+        // The line through which the dangerous structure materialised,
+        // for abort forensics.
+        let mut danger_line: Option<LineAddr> = None;
         let mut victims: Victims = vec![];
         for i in 0..self.txs.len() {
             if i == tid.0 {
@@ -313,13 +332,20 @@ impl TmProtocol for SsiTm {
             let Some(other) = self.txs[i].as_mut() else {
                 continue;
             };
-            if lines.iter().any(|l| other.read_set.contains(l)) {
+            if let Some(&overlap) = lines.iter().find(|l| other.read_set.contains(l)) {
                 writer_conflict = true;
+                danger_line.get_or_insert(overlap);
                 // The active reader is now the reader of an
                 // rw-dependency; if it is already a writer-conflict
                 // party, it forms a dangerous structure and aborts.
                 other.reader_conflict = true;
                 if other.writer_conflict {
+                    self.last_aborts[i] = AbortDetail {
+                        cause: Some(ForensicCause::SsiPivot),
+                        line: Some(overlap.0),
+                        winner_ts: Some(end.0),
+                        snapshot_ts: Some(other.start.0),
+                    };
                     victims.push((ThreadId(i), AbortCause::Order));
                 }
             }
@@ -327,19 +353,28 @@ impl TmProtocol for SsiTm {
         let mut committed_pivot = false;
         for c in &mut self.committed_window {
             // Overlap: the committed reader's lifetime intersected mine.
-            if c.end > start && lines.iter().any(|l| c.read_set.contains(l)) {
-                writer_conflict = true;
-                // The committed reader gains an outgoing rw-edge. If it
-                // already carries an incoming one it is a complete
-                // pivot, and this commit is the only abortable party.
-                c.out_conflict = true;
-                if c.in_conflict {
-                    committed_pivot = true;
+            if c.end > start {
+                if let Some(&overlap) = lines.iter().find(|l| c.read_set.contains(l)) {
+                    writer_conflict = true;
+                    danger_line.get_or_insert(overlap);
+                    // The committed reader gains an outgoing rw-edge. If it
+                    // already carries an incoming one it is a complete
+                    // pivot, and this commit is the only abortable party.
+                    c.out_conflict = true;
+                    if c.in_conflict {
+                        committed_pivot = true;
+                    }
                 }
             }
         }
         let reader_conflict = self.txs[tid.0].as_ref().unwrap().reader_conflict;
         if (writer_conflict && reader_conflict) || committed_pivot {
+            self.last_aborts[tid.0] = AbortDetail {
+                cause: Some(ForensicCause::SsiPivot),
+                line: danger_line.map(|l| l.0),
+                winner_ts: None,
+                snapshot_ts: Some(start.0),
+            };
             let rollback = self.rollback(tid);
             self.clock.finish_commit(end);
             return CommitOutcome::Abort {
@@ -368,6 +403,12 @@ impl TmProtocol for SsiTm {
                 for &l in &installed {
                     self.base.store.remove_installed(l, end);
                 }
+                self.last_aborts[tid.0] = AbortDetail {
+                    cause: Some(ForensicCause::CapacityEviction),
+                    line: Some(line.0),
+                    winner_ts: self.base.store.newest_ts(line).map(|ts| ts.0),
+                    snapshot_ts: Some(start.0),
+                };
                 let rollback = self.rollback(tid);
                 self.clock.finish_commit(end);
                 return CommitOutcome::Abort {
@@ -424,6 +465,10 @@ impl TmProtocol for SsiTm {
 
     fn epoch(&self) -> u64 {
         self.clock.overflows()
+    }
+
+    fn last_abort_detail(&self, tid: ThreadId) -> AbortDetail {
+        self.last_aborts[tid.0]
     }
 }
 
@@ -640,6 +685,45 @@ mod tests {
         // overwrote: the pivot's incoming edge completes, the reader
         // aborts.
         assert_eq!(read(&mut p, 0, x), Err(AbortCause::Order));
+    }
+
+    /// Abort forensics: a write-write loser names the line and the
+    /// winner's commit timestamp; a dangerous-structure abort is
+    /// classified as an SSI pivot with the overlapping line.
+    #[test]
+    fn abort_details_classify_ww_and_pivot() {
+        let cfg = MachineConfig::with_cores(2);
+        let mut p = SsiTm::new(&cfg);
+        let a = p.store_mut().alloc_words(1);
+        begin(&mut p, 0);
+        begin(&mut p, 1);
+        write(&mut p, 0, a, 1);
+        write(&mut p, 1, a, 2);
+        assert_eq!(commit(&mut p, 0), Ok(vec![]));
+        assert_eq!(commit(&mut p, 1), Err(AbortCause::WriteWrite));
+        let detail = p.last_abort_detail(ThreadId(1));
+        assert_eq!(detail.cause, Some(ForensicCause::WriteWriteFcw));
+        assert_eq!(detail.line, Some(a.line().0));
+        assert!(detail.winner_ts.unwrap() > detail.snapshot_ts.unwrap());
+
+        // Write skew: the losing side's abort is an SSI pivot.
+        let checking = p.store_mut().alloc_lines(1).word(0);
+        let saving = p.store_mut().alloc_lines(1).word(0);
+        begin(&mut p, 0);
+        begin(&mut p, 1);
+        let _ = read(&mut p, 0, checking);
+        let _ = read(&mut p, 0, saving);
+        let _ = read(&mut p, 1, checking);
+        let _ = read(&mut p, 1, saving);
+        write(&mut p, 0, checking, 1);
+        write(&mut p, 1, saving, 1);
+        let first = commit(&mut p, 0);
+        let second = commit(&mut p, 1);
+        let loser = if first.is_err() { 0 } else { 1 };
+        assert!(first.is_err() || second.is_err());
+        let detail = p.last_abort_detail(ThreadId(loser));
+        assert_eq!(detail.cause, Some(ForensicCause::SsiPivot));
+        assert!(detail.line.is_some(), "pivot names the overlapping line");
     }
 
     /// Read-only transactions always commit, even amid conflicts.

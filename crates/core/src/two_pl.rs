@@ -25,9 +25,10 @@
 //! *write-write*.
 
 use sitm_mvm::{Addr, LineAddr, MvmStore, ThreadId, Word};
+use sitm_obs::ForensicCause;
 use sitm_sim::{
-    AbortCause, BeginOutcome, CommitOutcome, Cycles, MachineConfig, ReadOutcome, TmProtocol,
-    Victims, WriteOutcome,
+    AbortCause, AbortDetail, BeginOutcome, CommitOutcome, Cycles, MachineConfig, ReadOutcome,
+    TmProtocol, Victims, WriteOutcome,
 };
 
 use crate::base::{LineSet, ProtocolBase, TouchedLines, WriteBuffer};
@@ -50,6 +51,9 @@ pub struct TwoPl {
     capacity_lines: usize,
     /// Virtual time until which the global commit token is held.
     token_busy_until: Cycles,
+    /// Per-thread detail of the most recent abort site (set when this
+    /// thread is doomed by a broadcast, or self-aborts on capacity).
+    last_aborts: Vec<AbortDetail>,
 }
 
 impl TwoPl {
@@ -60,6 +64,7 @@ impl TwoPl {
             txs: (0..machine.cores).map(|_| None).collect(),
             capacity_lines: machine.version_buffer_lines(),
             token_busy_until: 0,
+            last_aborts: vec![AbortDetail::default(); machine.cores],
         }
     }
 
@@ -141,6 +146,16 @@ impl TmProtocol for TwoPl {
             };
         }
         let victims = self.get_shared_victims(tid, line);
+        // Eager conflict resolution: the requester dooms the lock holder,
+        // which the forensics taxonomy classifies as a lock timeout (2PL
+        // has no clock, so no timestamps are attached).
+        for &(victim, _) in &victims {
+            self.last_aborts[victim.0] = AbortDetail {
+                cause: Some(ForensicCause::LockTimeout),
+                line: Some(line.0),
+                ..AbortDetail::default()
+            };
+        }
         let (mut cycles, served) = self.base.mem.access(tid.0, line);
         // A get-shared broadcast rides on the miss; L1 hits stay silent.
         if served != sitm_sim::ServedBy::L1 {
@@ -167,6 +182,11 @@ impl TmProtocol for TwoPl {
         // Version-buffer capacity: the L1 cannot hold another
         // transactional line.
         if first_touch && self.tx(tid).writes.line_count() >= self.capacity_lines {
+            self.last_aborts[tid.0] = AbortDetail {
+                cause: Some(ForensicCause::CapacityEviction),
+                line: Some(line.0),
+                ..AbortDetail::default()
+            };
             let cycles = self.rollback(tid);
             return WriteOutcome::Abort {
                 cause: AbortCause::Capacity,
@@ -181,6 +201,13 @@ impl TmProtocol for TwoPl {
         } else {
             vec![]
         };
+        for &(victim, _) in &victims {
+            self.last_aborts[victim.0] = AbortDetail {
+                cause: Some(ForensicCause::LockTimeout),
+                line: Some(line.0),
+                ..AbortDetail::default()
+            };
+        }
         let tx = self.tx(tid);
         tx.writes.insert(addr, value);
         tx.touched.insert(line);
@@ -255,6 +282,10 @@ impl TmProtocol for TwoPl {
 
     fn store_mut(&mut self) -> &mut MvmStore {
         &mut self.base.store
+    }
+
+    fn last_abort_detail(&self, tid: ThreadId) -> AbortDetail {
+        self.last_aborts[tid.0]
     }
 }
 
@@ -338,6 +369,23 @@ mod tests {
         p.rollback(ThreadId(1));
         commit_ok(&mut p, 2);
         assert_eq!(p.store().read_word(a), 2);
+    }
+
+    #[test]
+    fn abort_detail_classifies_doomed_holders_as_lock_timeouts() {
+        let cfg = MachineConfig::with_cores(2);
+        let mut p = TwoPl::new(&cfg);
+        let a = p.store_mut().alloc_words(1);
+
+        begin(&mut p, 0);
+        begin(&mut p, 1);
+        assert!(write(&mut p, 0, a, 9).is_empty());
+        let (_, victims) = read(&mut p, 1, a);
+        assert_eq!(victims.len(), 1);
+        let detail = p.last_abort_detail(ThreadId(0));
+        assert_eq!(detail.cause, Some(ForensicCause::LockTimeout));
+        assert_eq!(detail.line, Some(a.line().0));
+        assert_eq!(detail.winner_ts, None, "2PL has no commit clock");
     }
 
     #[test]

@@ -265,6 +265,14 @@ impl MvmStore {
         self.lines.get(line).is_some_and(|vl| vl.newer_than(start))
     }
 
+    /// Commit timestamp of the newest committed version of `line`
+    /// (`None` if the line has never been written transactionally).
+    /// Used by abort forensics to identify the winning committer at a
+    /// conflict site.
+    pub fn newest_ts(&self, line: LineAddr) -> Option<Timestamp> {
+        self.lines.get(line).and_then(|vl| vl.newest_ts())
+    }
+
     /// Installs a committed version of `line` tagged `end`, applying
     /// coalescing and GC.
     ///

@@ -1,0 +1,234 @@
+//! A `chrome://tracing` exporter for merged trace streams.
+//!
+//! Chrome's trace-event profiling format (also read by Perfetto and
+//! `ui.perfetto.dev`) is a JSON array of event objects. This exporter
+//! renders a merged [`TraceRecord`] stream (see
+//! [`crate::trace::merge_traces`]) into that format:
+//!
+//! - every record becomes an *instant* event (`"ph": "i"`, thread
+//!   scope) named by its [`EventKind::label`], with the payload decoded
+//!   into a readable argument (`addr`, `cause`, `start_ts`, ...);
+//! - in addition, each transaction attempt — the span from a `Begin` to
+//!   the next `Commit` or `Abort` on the same thread — is reconstructed
+//!   into a *complete* duration event (`"ph": "X"`, name `"txn"`)
+//!   carrying the outcome, so the timeline shows attempt bars with the
+//!   lifecycle instants layered on top.
+//!
+//! Timestamps are virtual cycles reported as microseconds (`"ts"`),
+//! which Chrome only uses for relative placement. Output is
+//! deterministic: events appear in input order, duration events are
+//! emitted at their closing instant, and all JSON comes from the
+//! deterministic in-tree [`crate::json::Json`] writer.
+
+use std::collections::BTreeMap;
+
+use crate::event::{EventKind, TraceRecord};
+use crate::json::Json;
+
+/// Decodes a record's payload into a `(key, value)` argument for the
+/// instant event, or `None` for payload-free kinds.
+fn event_arg(kind: &EventKind) -> Option<(&'static str, u64)> {
+    match *kind {
+        EventKind::Begin(ts) => Some(("start_ts", ts)),
+        EventKind::Read(addr) | EventKind::Write(addr) | EventKind::Promote(addr) => {
+            Some(("addr", addr))
+        }
+        EventKind::Abort(cause) => Some(("cause", cause as u64)),
+        EventKind::Commit => None,
+        EventKind::CommitReservationStall(cycles) => Some(("cycles", cycles)),
+        EventKind::MvmGc(reclaimed) => Some(("reclaimed", reclaimed)),
+        EventKind::MvmCoalesce(line) | EventKind::MvmVersionOverflow(line) => Some(("line", line)),
+        EventKind::ReadSetGrowth(size) => Some(("size", size)),
+        EventKind::CommitAcquire(accesses) => Some(("accesses", accesses)),
+        EventKind::Validate(cycles) => Some(("cycles", cycles)),
+        EventKind::Install(commit_ts) => Some(("commit_ts", commit_ts)),
+        EventKind::AbortLine(line) => Some(("line", line)),
+    }
+}
+
+fn instant_event(r: &TraceRecord) -> Json {
+    let mut pairs = vec![
+        ("name", Json::Str(r.kind.label().to_string())),
+        ("ph", Json::Str("i".to_string())),
+        ("ts", Json::Num(r.at as f64)),
+        ("pid", Json::Num(0.0)),
+        ("tid", Json::Num(r.thread as f64)),
+        ("s", Json::Str("t".to_string())),
+    ];
+    if let Some((key, value)) = event_arg(&r.kind) {
+        pairs.push(("args", Json::obj([(key, Json::Num(value as f64))])));
+    }
+    Json::obj(pairs)
+}
+
+fn span_event(thread: u32, begin_at: u64, end: &TraceRecord) -> Json {
+    let outcome = match end.kind {
+        EventKind::Commit => "commit",
+        _ => "abort",
+    };
+    let mut args = vec![("outcome", Json::Str(outcome.to_string()))];
+    if let EventKind::Abort(cause) = end.kind {
+        args.push(("cause", Json::Num(cause as f64)));
+    }
+    Json::obj([
+        ("name", Json::Str("txn".to_string())),
+        ("ph", Json::Str("X".to_string())),
+        ("ts", Json::Num(begin_at as f64)),
+        ("dur", Json::Num((end.at - begin_at) as f64)),
+        ("pid", Json::Num(0.0)),
+        ("tid", Json::Num(thread as f64)),
+        ("args", Json::obj(args)),
+    ])
+}
+
+/// Renders merged trace records as a Chrome trace-event JSON array.
+///
+/// The input should already be in global time order (as produced by
+/// [`crate::trace::merge_traces`]); open attempts with no closing
+/// `Commit`/`Abort` (in-flight when the trace was drained, or whose
+/// `Begin` was overwritten by ring wraparound) produce no duration
+/// event, only their instants.
+pub fn chrome_trace(records: &[TraceRecord]) -> String {
+    let mut events = Vec::with_capacity(records.len());
+    // Open attempt per thread: the `at` of its Begin.
+    let mut open: BTreeMap<u32, u64> = BTreeMap::new();
+    for r in records {
+        match r.kind {
+            EventKind::Begin(_) => {
+                open.insert(r.thread, r.at);
+            }
+            EventKind::Commit | EventKind::Abort(_) => {
+                if let Some(begin_at) = open.remove(&r.thread) {
+                    events.push(span_event(r.thread, begin_at, r));
+                }
+            }
+            _ => {}
+        }
+        events.push(instant_event(r));
+    }
+    Json::Arr(events).to_line()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(at: u64, thread: u32, kind: EventKind) -> TraceRecord {
+        TraceRecord { at, thread, kind }
+    }
+
+    #[test]
+    fn exports_spans_and_instants() {
+        let records = vec![
+            rec(10, 0, EventKind::Begin(7)),
+            rec(12, 0, EventKind::Read(64)),
+            rec(12, 0, EventKind::ReadSetGrowth(1)),
+            rec(20, 0, EventKind::CommitAcquire(1)),
+            rec(25, 0, EventKind::Install(9)),
+            rec(25, 0, EventKind::Commit),
+        ];
+        let out = chrome_trace(&records);
+        let doc = Json::parse(&out).expect("exporter emits valid JSON");
+        let events = doc.as_arr().expect("top level is an array");
+        // 6 instants + 1 duration span.
+        assert_eq!(events.len(), 7);
+        let span = events
+            .iter()
+            .find(|e| e.get("ph").and_then(Json::as_str) == Some("X"))
+            .expect("one duration event");
+        assert_eq!(span.get("name").unwrap().as_str(), Some("txn"));
+        assert_eq!(span.get("ts").unwrap().as_u64(), Some(10));
+        assert_eq!(span.get("dur").unwrap().as_u64(), Some(15));
+        assert_eq!(
+            span.get("args").unwrap().get("outcome").unwrap().as_str(),
+            Some("commit")
+        );
+        // The span is emitted before its closing instant.
+        let span_idx = events.iter().position(|e| e == span).unwrap();
+        let commit_idx = events
+            .iter()
+            .position(|e| e.get("name").and_then(Json::as_str) == Some("commit"))
+            .unwrap();
+        assert!(span_idx < commit_idx);
+    }
+
+    #[test]
+    fn abort_spans_carry_the_cause() {
+        let records = vec![
+            rec(5, 3, EventKind::Begin(1)),
+            rec(9, 3, EventKind::Validate(4)),
+            rec(9, 3, EventKind::Abort(1)),
+            rec(9, 3, EventKind::AbortLine(192)),
+        ];
+        let out = chrome_trace(&records);
+        let doc = Json::parse(&out).unwrap();
+        let events = doc.as_arr().unwrap();
+        let span = events
+            .iter()
+            .find(|e| e.get("ph").and_then(Json::as_str) == Some("X"))
+            .unwrap();
+        assert_eq!(
+            span.get("args").unwrap().get("outcome").unwrap().as_str(),
+            Some("abort")
+        );
+        assert_eq!(
+            span.get("args").unwrap().get("cause").unwrap().as_u64(),
+            Some(1)
+        );
+        assert_eq!(span.get("tid").unwrap().as_u64(), Some(3));
+        let line_instant = events
+            .iter()
+            .find(|e| e.get("name").and_then(Json::as_str) == Some("abort-line"))
+            .unwrap();
+        assert_eq!(
+            line_instant
+                .get("args")
+                .unwrap()
+                .get("line")
+                .unwrap()
+                .as_u64(),
+            Some(192)
+        );
+    }
+
+    #[test]
+    fn interleaved_threads_get_independent_spans() {
+        let records = vec![
+            rec(1, 0, EventKind::Begin(1)),
+            rec(2, 1, EventKind::Begin(2)),
+            rec(3, 1, EventKind::Commit),
+            rec(4, 0, EventKind::Abort(0)),
+        ];
+        let out = chrome_trace(&records);
+        let doc = Json::parse(&out).unwrap();
+        let spans: Vec<&Json> = doc
+            .as_arr()
+            .unwrap()
+            .iter()
+            .filter(|e| e.get("ph").and_then(Json::as_str) == Some("X"))
+            .collect();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].get("tid").unwrap().as_u64(), Some(1));
+        assert_eq!(spans[0].get("dur").unwrap().as_u64(), Some(1));
+        assert_eq!(spans[1].get("tid").unwrap().as_u64(), Some(0));
+        assert_eq!(spans[1].get("dur").unwrap().as_u64(), Some(3));
+    }
+
+    #[test]
+    fn unclosed_or_unopened_attempts_do_not_produce_spans() {
+        // A Commit with no Begin (wraparound dropped it) and a Begin
+        // with no close (in flight at drain) both degrade gracefully.
+        let records = vec![rec(1, 0, EventKind::Commit), rec(2, 0, EventKind::Begin(5))];
+        let doc = Json::parse(&chrome_trace(&records)).unwrap();
+        assert!(doc
+            .as_arr()
+            .unwrap()
+            .iter()
+            .all(|e| e.get("ph").and_then(Json::as_str) == Some("i")));
+    }
+
+    #[test]
+    fn empty_input_is_an_empty_array() {
+        assert_eq!(chrome_trace(&[]), "[]");
+    }
+}

@@ -41,6 +41,25 @@ pub enum EventKind {
     /// the abort-writer policy the commit fails; under discard-oldest
     /// the oldest version was dropped.
     MvmVersionOverflow(u64),
+    /// The attempt's read set grew (payload: new read-set size). Emitted
+    /// after each successful transactional read, so the growth curve of
+    /// an attempt can be reconstructed from its trace span.
+    ReadSetGrowth(u64),
+    /// The attempt entered its commit sequence (payload: number of
+    /// transactional accesses — reads + writes + promotions — the
+    /// attempt performed).
+    CommitAcquire(u64),
+    /// Commit-time validation failed (payload: cycles charged for the
+    /// failed validation and rollback). Emitted just before the `Abort`
+    /// event of a commit-time abort.
+    Validate(u64),
+    /// Commit-time validation passed and the write set was installed
+    /// (payload: the commit timestamp, 0 for protocols without one).
+    Install(u64),
+    /// The line a just-emitted `Abort` was attributed to (payload: line
+    /// address). Only emitted when the abort site knows the conflicting
+    /// line; pairs with the immediately preceding `Abort` event.
+    AbortLine(u64),
 }
 
 /// One traced event: who, when, what.
@@ -74,6 +93,11 @@ impl EventKind {
             EventKind::MvmGc(_) => "mvm-gc",
             EventKind::MvmCoalesce(_) => "mvm-coalesce",
             EventKind::MvmVersionOverflow(_) => "mvm-version-overflow",
+            EventKind::ReadSetGrowth(_) => "read-set-growth",
+            EventKind::CommitAcquire(_) => "commit-acquire",
+            EventKind::Validate(_) => "validate",
+            EventKind::Install(_) => "install",
+            EventKind::AbortLine(_) => "abort-line",
         }
     }
 }

@@ -1,0 +1,772 @@
+//! Abort forensics: structured conflict attribution behind the abort
+//! counters.
+//!
+//! The rest of the stack counts *that* transactions abort; this module
+//! records *why and where*. Every abort is classified into the
+//! [`ForensicCause`] taxonomy and, when the abort site knows them,
+//! carries the conflicting line (cache-line address in the simulator, a
+//! `TVar` id in the software STM), the winning transaction's commit
+//! timestamp, and the loser's snapshot timestamp. Recording follows the
+//! same compile-out discipline as [`crate::trace::Tracer`]: with the
+//! `trace` cargo feature **disabled** (the default), [`Forensics`] and
+//! [`SharedForensics`] are zero-sized and every `record` call is an
+//! empty inline function the optimizer deletes, so the simulator hot
+//! path stays allocation-free.
+//!
+//! Two recorders cover the two runtimes:
+//!
+//! - [`Forensics`] — an *owned* recorder for the deterministic
+//!   discrete-event engine. "Lock-free" by ownership (exactly like the
+//!   per-thread tracers): one engine, one recorder, no atomics, fully
+//!   deterministic output.
+//! - [`SharedForensics`] — a sharded atomic recorder for the real-thread
+//!   software STM. Threads record into `THREAD_SHARDS` shards chosen by
+//!   thread index; counts are exact, the hot-line sketch is a racy
+//!   space-saving approximation (standard for sketches).
+//!
+//! Both fold into a [`ForensicsSnapshot`], which is always compiled
+//! (plain data): per-cause counts, the top-K hot-line sketch, and a
+//! log2 histogram of *conflict age* (winner commit timestamp minus
+//! loser snapshot timestamp — how stale the loser's snapshot was when
+//! it lost). Snapshots serialize as `sitm.abort_forensics.v1` JSONL via
+//! [`ForensicsReport`].
+
+use crate::json::Json;
+use crate::metrics::Histogram;
+
+/// The forensic abort-cause taxonomy, unified across all four simulator
+/// protocol models and the software STM. Coarser than the simulator's
+/// own `AbortCause` (which feeds the paper's figures) and aligned with
+/// the snapshot-isolation literature: first-committer-wins, read
+/// validation, and SSI dangerous-structure (pivot) aborts are the three
+/// data-conflict families; lock conflicts, capacity evictions and
+/// explicit/system aborts cover the rest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ForensicCause {
+    /// First-committer-wins write-write validation failed: a newer
+    /// committed version of a written (or promoted) line exists.
+    WriteWriteFcw,
+    /// A read (or read-set validation) conflicted with a concurrent
+    /// writer: eager read-write dooms, serializable read-set validation,
+    /// SONTM order-range collapse.
+    ReadValidation,
+    /// An SSI dangerous structure completed and this transaction was the
+    /// pivot (or the only abortable party of one).
+    SsiPivot,
+    /// A lock conflict resolved against this transaction (the eager 2PL
+    /// model's requester-wins dooms stand in for lock timeouts).
+    LockTimeout,
+    /// Bounded state ran out: version-buffer capacity, version-cap
+    /// overflow, or a snapshot evicted by the discard-oldest policy.
+    CapacityEviction,
+    /// The transaction was aborted by explicit or system action
+    /// (self-restart sandboxing, clock-overflow abort-all).
+    Explicit,
+}
+
+impl ForensicCause {
+    /// All causes, for iteration in tables.
+    pub const ALL: [ForensicCause; 6] = [
+        ForensicCause::WriteWriteFcw,
+        ForensicCause::ReadValidation,
+        ForensicCause::SsiPivot,
+        ForensicCause::LockTimeout,
+        ForensicCause::CapacityEviction,
+        ForensicCause::Explicit,
+    ];
+
+    /// Dense index for table-building.
+    pub fn index(self) -> usize {
+        match self {
+            ForensicCause::WriteWriteFcw => 0,
+            ForensicCause::ReadValidation => 1,
+            ForensicCause::SsiPivot => 2,
+            ForensicCause::LockTimeout => 3,
+            ForensicCause::CapacityEviction => 4,
+            ForensicCause::Explicit => 5,
+        }
+    }
+
+    /// Short stable label (used by the JSONL schema and tables).
+    pub fn label(self) -> &'static str {
+        match self {
+            ForensicCause::WriteWriteFcw => "write-write-fcw",
+            ForensicCause::ReadValidation => "read-validation",
+            ForensicCause::SsiPivot => "ssi-pivot",
+            ForensicCause::LockTimeout => "lock-timeout",
+            ForensicCause::CapacityEviction => "capacity-eviction",
+            ForensicCause::Explicit => "explicit",
+        }
+    }
+
+    /// Parses a [`ForensicCause::label`] back.
+    pub fn from_label(label: &str) -> Option<ForensicCause> {
+        ForensicCause::ALL.into_iter().find(|c| c.label() == label)
+    }
+}
+
+impl std::fmt::Display for ForensicCause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Number of hot-line slots retained by the top-K sketch.
+pub const HOT_LINE_SLOTS: usize = 32;
+
+/// A deterministic space-saving top-K sketch over line addresses.
+///
+/// While fewer than [`HOT_LINE_SLOTS`] distinct lines have been seen the
+/// counts are exact. Past that, the minimum-count slot is evicted and
+/// the newcomer inherits `min + 1` — the classic space-saving
+/// overestimate, which preserves the guarantee that any line with true
+/// count above `total / K` is present. Ties evict the first minimal
+/// slot, so the sketch is deterministic for a deterministic input
+/// stream.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TopK {
+    slots: Vec<(u64, u64)>,
+}
+
+impl TopK {
+    /// Counts one occurrence of `line`.
+    pub fn record(&mut self, line: u64) {
+        if let Some(slot) = self.slots.iter_mut().find(|(l, _)| *l == line) {
+            slot.1 += 1;
+            return;
+        }
+        if self.slots.len() < HOT_LINE_SLOTS {
+            self.slots.push((line, 1));
+            return;
+        }
+        let min = self
+            .slots
+            .iter_mut()
+            .min_by_key(|(_, c)| *c)
+            .expect("sketch is non-empty at capacity");
+        *min = (line, min.1 + 1);
+    }
+
+    /// Merges another sketch: counts add by line, then the result is
+    /// re-truncated to the K heaviest lines.
+    pub fn merge(&mut self, other: &TopK) {
+        for &(line, count) in &other.slots {
+            if let Some(slot) = self.slots.iter_mut().find(|(l, _)| *l == line) {
+                slot.1 += count;
+            } else {
+                self.slots.push((line, count));
+            }
+        }
+        self.slots
+            .sort_by_key(|&(line, count)| (u64::MAX - count, line));
+        self.slots.truncate(HOT_LINE_SLOTS);
+    }
+
+    /// The retained `(line, approximate count)` pairs, heaviest first
+    /// (ties by ascending line address).
+    pub fn entries(&self) -> Vec<(u64, u64)> {
+        let mut out = self.slots.clone();
+        out.sort_by_key(|&(line, count)| (u64::MAX - count, line));
+        out
+    }
+}
+
+/// Everything an abort site knows about one abort, folded into
+/// recorders and exported by snapshots.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ForensicEvent {
+    /// The conflicting line (or `TVar` id), when the site knows it.
+    pub line: Option<u64>,
+    /// Commit timestamp of the conflicting winner, when known.
+    pub winner_ts: Option<u64>,
+    /// Snapshot (begin) timestamp of the aborted loser, when known.
+    pub snapshot_ts: Option<u64>,
+}
+
+/// The folded, always-compiled result of forensic recording: per-cause
+/// abort counts, attribution coverage, the hot-line sketch, and the
+/// conflict-age histogram.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ForensicsSnapshot {
+    /// Aborts per cause, indexed by [`ForensicCause::index`].
+    pub by_cause: [u64; ForensicCause::ALL.len()],
+    /// Total aborts recorded.
+    pub total: u64,
+    /// Aborts that carried a concrete conflicting line.
+    pub attributed: u64,
+    /// The heaviest aborting lines, heaviest first.
+    pub hot_lines: Vec<(u64, u64)>,
+    /// Log2 histogram of `winner_ts - snapshot_ts` for aborts where both
+    /// timestamps were known: how stale the loser's snapshot was.
+    pub conflict_age: Histogram,
+}
+
+impl ForensicsSnapshot {
+    /// Fraction of recorded aborts that carried a concrete line
+    /// (`1.0` when nothing was recorded — there is nothing unattributed).
+    pub fn attribution_rate(&self) -> f64 {
+        if self.total == 0 {
+            1.0
+        } else {
+            self.attributed as f64 / self.total as f64
+        }
+    }
+
+    /// Aborts recorded for `cause`.
+    pub fn count(&self, cause: ForensicCause) -> u64 {
+        self.by_cause[cause.index()]
+    }
+
+    /// Merges another snapshot (per-cause counts add, sketches merge,
+    /// histograms merge).
+    pub fn merge(&mut self, other: &ForensicsSnapshot) {
+        for (into, from) in self.by_cause.iter_mut().zip(other.by_cause.iter()) {
+            *into += from;
+        }
+        self.total += other.total;
+        self.attributed += other.attributed;
+        let mut sketch = TopK {
+            slots: self.hot_lines.clone(),
+        };
+        sketch.merge(&TopK {
+            slots: other.hot_lines.clone(),
+        });
+        self.hot_lines = sketch.entries();
+        self.conflict_age.merge(&other.conflict_age);
+    }
+
+    /// The snapshot as a JSON object fragment (no schema envelope; see
+    /// [`ForensicsReport`] for full `sitm.abort_forensics.v1` lines).
+    pub fn to_json(&self) -> Json {
+        let by_cause = ForensicCause::ALL
+            .into_iter()
+            .filter(|c| self.count(*c) > 0)
+            .map(|c| (c.label(), Json::Num(self.count(c) as f64)))
+            .collect::<Vec<_>>();
+        let hot = self
+            .hot_lines
+            .iter()
+            .map(|&(line, count)| Json::Arr(vec![Json::Num(line as f64), Json::Num(count as f64)]))
+            .collect();
+        Json::obj([
+            ("total", Json::Num(self.total as f64)),
+            ("attributed", Json::Num(self.attributed as f64)),
+            ("by_cause", Json::obj(by_cause)),
+            ("hot_lines", Json::Arr(hot)),
+            ("conflict_age", self.conflict_age.to_json()),
+        ])
+    }
+
+    /// Parses a [`ForensicsSnapshot::to_json`] object back.
+    pub fn from_json(v: &Json) -> Option<ForensicsSnapshot> {
+        let mut snap = ForensicsSnapshot {
+            total: v.get("total")?.as_u64()?,
+            attributed: v.get("attributed")?.as_u64()?,
+            ..ForensicsSnapshot::default()
+        };
+        if let Some(Json::Obj(by_cause)) = v.get("by_cause") {
+            for (label, count) in by_cause {
+                let cause = ForensicCause::from_label(label)?;
+                snap.by_cause[cause.index()] = count.as_u64()?;
+            }
+        }
+        if let Some(Json::Arr(hot)) = v.get("hot_lines") {
+            for pair in hot {
+                let Json::Arr(lc) = pair else { return None };
+                snap.hot_lines
+                    .push((lc.first()?.as_u64()?, lc.get(1)?.as_u64()?));
+            }
+        }
+        snap.conflict_age = Histogram::from_json(v.get("conflict_age")?)?;
+        Some(snap)
+    }
+}
+
+/// The `sitm.abort_forensics.v1` JSONL schema: one line per sweep cell,
+/// pairing the run context with its [`ForensicsSnapshot`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ForensicsReport {
+    /// Bench binary that produced the line.
+    pub bench: String,
+    /// Protocol under test.
+    pub protocol: String,
+    /// Workload name.
+    pub workload: String,
+    /// Simulated core count.
+    pub threads: usize,
+    /// Seeds aggregated into the snapshot.
+    pub seeds: usize,
+    /// The aggregated forensics.
+    pub snapshot: ForensicsSnapshot,
+}
+
+impl ForensicsReport {
+    /// The JSONL schema identifier.
+    pub const SCHEMA: &'static str = "sitm.abort_forensics.v1";
+
+    /// The report as one JSONL line (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        let mut map = std::collections::BTreeMap::new();
+        map.insert("schema".to_string(), Json::Str(Self::SCHEMA.to_string()));
+        map.insert("bench".to_string(), Json::Str(self.bench.clone()));
+        map.insert("protocol".to_string(), Json::Str(self.protocol.clone()));
+        map.insert("workload".to_string(), Json::Str(self.workload.clone()));
+        map.insert("threads".to_string(), Json::Num(self.threads as f64));
+        map.insert("seeds".to_string(), Json::Num(self.seeds as f64));
+        if let Json::Obj(snapshot) = self.snapshot.to_json() {
+            map.extend(snapshot);
+        }
+        Json::Obj(map).to_line()
+    }
+
+    /// Parses one JSONL line back (returns `None` on schema mismatch or
+    /// malformed fields).
+    pub fn from_json_line(line: &str) -> Option<ForensicsReport> {
+        let v = Json::parse(line).ok()?;
+        if v.get("schema").and_then(Json::as_str) != Some(Self::SCHEMA) {
+            return None;
+        }
+        Some(ForensicsReport {
+            bench: v.get("bench")?.as_str()?.to_string(),
+            protocol: v.get("protocol")?.as_str()?.to_string(),
+            workload: v.get("workload")?.as_str()?.to_string(),
+            threads: v.get("threads")?.as_u64()? as usize,
+            seeds: v.get("seeds")?.as_u64()? as usize,
+            snapshot: ForensicsSnapshot::from_json(&v)?,
+        })
+    }
+}
+
+/// The owned, deterministic forensic recorder used by the simulator
+/// engine. Zero-sized and inert unless the `trace` cargo feature is
+/// enabled; [`Forensics::snapshot`] then returns an empty snapshot.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Forensics {
+    #[cfg(feature = "trace")]
+    inner: imp::State,
+}
+
+impl Forensics {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether forensic recording is compiled in at all.
+    pub const fn enabled() -> bool {
+        cfg!(feature = "trace")
+    }
+
+    /// Records one abort. A no-op (inlined away) when the `trace`
+    /// feature is off.
+    #[inline(always)]
+    #[allow(unused_variables)]
+    pub fn record(&mut self, cause: ForensicCause, event: ForensicEvent) {
+        #[cfg(feature = "trace")]
+        self.inner.record(cause, event);
+    }
+
+    /// Folds the recording into a snapshot (empty with the feature off).
+    pub fn snapshot(&self) -> ForensicsSnapshot {
+        #[cfg(feature = "trace")]
+        {
+            self.inner.snapshot()
+        }
+        #[cfg(not(feature = "trace"))]
+        {
+            ForensicsSnapshot::default()
+        }
+    }
+}
+
+#[cfg(feature = "trace")]
+mod imp {
+    use super::{ForensicCause, ForensicEvent, ForensicsSnapshot, TopK};
+    use crate::metrics::Histogram;
+
+    /// The actual recorder state, only compiled under `trace`.
+    #[derive(Debug, Clone, Default, PartialEq)]
+    pub(super) struct State {
+        by_cause: [u64; ForensicCause::ALL.len()],
+        total: u64,
+        attributed: u64,
+        hot_lines: TopK,
+        conflict_age: Histogram,
+    }
+
+    impl State {
+        pub(super) fn record(&mut self, cause: ForensicCause, event: ForensicEvent) {
+            self.by_cause[cause.index()] += 1;
+            self.total += 1;
+            if let Some(line) = event.line {
+                self.attributed += 1;
+                self.hot_lines.record(line);
+            }
+            if let (Some(winner), Some(snapshot)) = (event.winner_ts, event.snapshot_ts) {
+                self.conflict_age.record(winner.saturating_sub(snapshot));
+            }
+        }
+
+        pub(super) fn snapshot(&self) -> ForensicsSnapshot {
+            ForensicsSnapshot {
+                by_cause: self.by_cause,
+                total: self.total,
+                attributed: self.attributed,
+                hot_lines: self.hot_lines.entries(),
+                conflict_age: self.conflict_age.clone(),
+            }
+        }
+    }
+}
+
+/// Number of shards in [`SharedForensics`]; recording threads map to
+/// shards by `thread_index % THREAD_SHARDS`.
+pub const THREAD_SHARDS: usize = 16;
+
+/// The sharded atomic forensic recorder used by the real-thread
+/// software STM. Zero-sized and inert unless the `trace` cargo feature
+/// is enabled. Per-cause counts are exact (relaxed atomic adds); the
+/// hot-line sketch races benignly between threads of one shard and is
+/// approximate, as sketches are.
+#[derive(Debug, Default)]
+pub struct SharedForensics {
+    #[cfg(feature = "trace")]
+    shards: shared_imp::Shards,
+}
+
+impl SharedForensics {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one abort from the thread with dense index
+    /// `thread_index`. A no-op (inlined away) when the `trace` feature
+    /// is off. Lock-free: relaxed atomics only.
+    #[inline(always)]
+    #[allow(unused_variables)]
+    pub fn record(&self, thread_index: usize, cause: ForensicCause, event: ForensicEvent) {
+        #[cfg(feature = "trace")]
+        self.shards.record(thread_index, cause, event);
+    }
+
+    /// Folds all shards into a snapshot (empty with the feature off).
+    /// A snapshot taken while writers are active is a consistent lower
+    /// bound, not an atomic cut.
+    pub fn snapshot(&self) -> ForensicsSnapshot {
+        #[cfg(feature = "trace")]
+        {
+            self.shards.snapshot()
+        }
+        #[cfg(not(feature = "trace"))]
+        {
+            ForensicsSnapshot::default()
+        }
+    }
+}
+
+#[cfg(feature = "trace")]
+mod shared_imp {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    use super::{
+        ForensicCause, ForensicEvent, ForensicsSnapshot, TopK, HOT_LINE_SLOTS, THREAD_SHARDS,
+    };
+    use crate::metrics::AtomicHistogram;
+
+    /// Sentinel marking an unclaimed hot-line slot (line addresses and
+    /// `TVar` ids never take this value in practice).
+    const EMPTY: u64 = u64::MAX;
+
+    #[derive(Debug)]
+    struct Shard {
+        by_cause: [AtomicU64; ForensicCause::ALL.len()],
+        total: AtomicU64,
+        attributed: AtomicU64,
+        /// Racy space-saving slots: `(line, count)` pairs. A slot is
+        /// claimed by storing its line; concurrent claims of one slot
+        /// can drop a count — acceptable sketch error.
+        hot_lines: [(AtomicU64, AtomicU64); HOT_LINE_SLOTS],
+        conflict_age: AtomicHistogram,
+    }
+
+    impl Default for Shard {
+        fn default() -> Self {
+            Shard {
+                by_cause: [const { AtomicU64::new(0) }; ForensicCause::ALL.len()],
+                total: AtomicU64::new(0),
+                attributed: AtomicU64::new(0),
+                hot_lines: [const { (AtomicU64::new(EMPTY), AtomicU64::new(0)) }; HOT_LINE_SLOTS],
+                conflict_age: AtomicHistogram::new(),
+            }
+        }
+    }
+
+    impl Shard {
+        fn record_line(&self, line: u64) {
+            // Pass 1: the line already owns a slot.
+            for (slot_line, count) in &self.hot_lines {
+                if slot_line.load(Ordering::Relaxed) == line {
+                    count.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+            }
+            // Pass 2: claim an empty slot.
+            for (slot_line, count) in &self.hot_lines {
+                if slot_line
+                    .compare_exchange(EMPTY, line, Ordering::Relaxed, Ordering::Relaxed)
+                    .is_ok()
+                {
+                    count.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+            }
+            // Pass 3: space-saving eviction of the minimum-count slot.
+            let mut min_idx = 0;
+            let mut min_count = u64::MAX;
+            for (i, (_, count)) in self.hot_lines.iter().enumerate() {
+                let c = count.load(Ordering::Relaxed);
+                if c < min_count {
+                    min_count = c;
+                    min_idx = i;
+                }
+            }
+            let (slot_line, count) = &self.hot_lines[min_idx];
+            slot_line.store(line, Ordering::Relaxed);
+            count.store(min_count + 1, Ordering::Relaxed);
+        }
+    }
+
+    #[derive(Debug)]
+    pub(super) struct Shards {
+        shards: Vec<Shard>,
+    }
+
+    impl Default for Shards {
+        fn default() -> Self {
+            Shards {
+                shards: (0..THREAD_SHARDS).map(|_| Shard::default()).collect(),
+            }
+        }
+    }
+
+    impl Shards {
+        pub(super) fn record(
+            &self,
+            thread_index: usize,
+            cause: ForensicCause,
+            event: ForensicEvent,
+        ) {
+            let shard = &self.shards[thread_index % THREAD_SHARDS];
+            shard.by_cause[cause.index()].fetch_add(1, Ordering::Relaxed);
+            shard.total.fetch_add(1, Ordering::Relaxed);
+            if let Some(line) = event.line {
+                shard.attributed.fetch_add(1, Ordering::Relaxed);
+                shard.record_line(line);
+            }
+            if let (Some(winner), Some(snapshot)) = (event.winner_ts, event.snapshot_ts) {
+                shard.conflict_age.record(winner.saturating_sub(snapshot));
+            }
+        }
+
+        pub(super) fn snapshot(&self) -> ForensicsSnapshot {
+            let mut snap = ForensicsSnapshot::default();
+            let mut sketch = TopK::default();
+            for shard in &self.shards {
+                for (i, c) in shard.by_cause.iter().enumerate() {
+                    snap.by_cause[i] += c.load(Ordering::Relaxed);
+                }
+                snap.total += shard.total.load(Ordering::Relaxed);
+                snap.attributed += shard.attributed.load(Ordering::Relaxed);
+                let mut local = TopK::default();
+                for (slot_line, count) in &shard.hot_lines {
+                    let line = slot_line.load(Ordering::Relaxed);
+                    let c = count.load(Ordering::Relaxed);
+                    if line != EMPTY && c > 0 {
+                        local.slots.push((line, c));
+                    }
+                }
+                sketch.merge(&local);
+                snap.conflict_age.merge(&shard.conflict_age.snapshot());
+            }
+            snap.hot_lines = sketch.entries();
+            snap
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cause_indices_are_dense_and_labels_round_trip() {
+        let mut seen = [false; ForensicCause::ALL.len()];
+        for cause in ForensicCause::ALL {
+            let i = cause.index();
+            assert!(!seen[i], "duplicate index {i}");
+            seen[i] = true;
+            assert_eq!(ForensicCause::from_label(cause.label()), Some(cause));
+            assert_eq!(cause.to_string(), cause.label());
+        }
+        assert!(seen.iter().all(|&s| s));
+        assert_eq!(ForensicCause::from_label("no-such-cause"), None);
+    }
+
+    #[test]
+    fn topk_is_exact_below_capacity() {
+        let mut k = TopK::default();
+        for _ in 0..3 {
+            k.record(64);
+        }
+        k.record(128);
+        assert_eq!(k.entries(), vec![(64, 3), (128, 1)]);
+    }
+
+    #[test]
+    fn topk_evicts_the_minimum_and_overestimates() {
+        let mut k = TopK::default();
+        // Fill every slot with distinct lines.
+        for line in 0..HOT_LINE_SLOTS as u64 {
+            k.record(line * 64);
+        }
+        // A heavy hitter arrives after the sketch is full: it must be
+        // retained (space-saving guarantee) with count >= its true count.
+        for _ in 0..10 {
+            k.record(999_936);
+        }
+        let entries = k.entries();
+        assert_eq!(entries.len(), HOT_LINE_SLOTS);
+        let (line, count) = entries[0];
+        assert_eq!(line, 999_936);
+        assert!(count >= 10);
+    }
+
+    #[test]
+    fn topk_merge_re_truncates_to_capacity() {
+        let mut a = TopK::default();
+        let mut b = TopK::default();
+        for line in 0..HOT_LINE_SLOTS as u64 {
+            a.record(line);
+            a.record(line);
+            b.record(line + HOT_LINE_SLOTS as u64);
+        }
+        a.merge(&b);
+        let entries = a.entries();
+        assert_eq!(entries.len(), HOT_LINE_SLOTS);
+        // The doubly-counted lines win over the singly-counted ones.
+        assert!(entries.iter().all(|&(_, c)| c == 2));
+    }
+
+    #[test]
+    fn snapshot_merge_adds_counts_and_rates() {
+        let mut a = ForensicsSnapshot::default();
+        a.by_cause[ForensicCause::WriteWriteFcw.index()] = 3;
+        a.total = 4;
+        a.attributed = 3;
+        a.hot_lines = vec![(64, 3)];
+        let mut b = ForensicsSnapshot::default();
+        b.by_cause[ForensicCause::WriteWriteFcw.index()] = 1;
+        b.total = 1;
+        b.attributed = 1;
+        b.hot_lines = vec![(64, 1)];
+        a.merge(&b);
+        assert_eq!(a.count(ForensicCause::WriteWriteFcw), 4);
+        assert_eq!(a.total, 5);
+        assert_eq!(a.hot_lines, vec![(64, 4)]);
+        assert!((a.attribution_rate() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_snapshot_is_fully_attributed() {
+        assert_eq!(ForensicsSnapshot::default().attribution_rate(), 1.0);
+    }
+
+    #[test]
+    fn report_json_line_round_trips() {
+        let mut snapshot = ForensicsSnapshot::default();
+        snapshot.by_cause[ForensicCause::WriteWriteFcw.index()] = 7;
+        snapshot.by_cause[ForensicCause::CapacityEviction.index()] = 2;
+        snapshot.total = 10;
+        snapshot.attributed = 9;
+        snapshot.hot_lines = vec![(192, 6), (64, 3)];
+        snapshot.conflict_age.record(3);
+        snapshot.conflict_age.record(40);
+        let report = ForensicsReport {
+            bench: "abort_forensics".into(),
+            protocol: "SI-TM".into(),
+            workload: "array".into(),
+            threads: 16,
+            seeds: 3,
+            snapshot,
+        };
+        let line = report.to_json_line();
+        assert!(line.contains("sitm.abort_forensics.v1"));
+        let back = ForensicsReport::from_json_line(&line).expect("round-trip parses");
+        assert_eq!(back, report);
+        assert_eq!(back.to_json_line(), line, "serialization is a fixed point");
+        assert_eq!(
+            ForensicsReport::from_json_line("{\"schema\":\"other\"}"),
+            None
+        );
+    }
+
+    #[test]
+    fn owned_recorder_is_inert_or_exact() {
+        let mut f = Forensics::new();
+        f.record(
+            ForensicCause::WriteWriteFcw,
+            ForensicEvent {
+                line: Some(64),
+                winner_ts: Some(9),
+                snapshot_ts: Some(5),
+            },
+        );
+        f.record(ForensicCause::Explicit, ForensicEvent::default());
+        let snap = f.snapshot();
+        if Forensics::enabled() {
+            assert_eq!(snap.total, 2);
+            assert_eq!(snap.attributed, 1);
+            assert_eq!(snap.count(ForensicCause::WriteWriteFcw), 1);
+            assert_eq!(snap.hot_lines, vec![(64, 1)]);
+            assert_eq!(snap.conflict_age.total(), 1);
+            assert_eq!(snap.conflict_age.max(), 4);
+        } else {
+            assert_eq!(snap, ForensicsSnapshot::default());
+            assert_eq!(std::mem::size_of::<Forensics>(), 0, "must be a ZST");
+            assert_eq!(std::mem::size_of::<SharedForensics>(), 0, "must be a ZST");
+        }
+    }
+
+    #[cfg(feature = "trace")]
+    #[test]
+    fn shared_recorder_counts_across_threads_exactly() {
+        let f = SharedForensics::new();
+        std::thread::scope(|s| {
+            for t in 0..8 {
+                let f = &f;
+                s.spawn(move || {
+                    for i in 0..500u64 {
+                        f.record(
+                            t,
+                            ForensicCause::WriteWriteFcw,
+                            ForensicEvent {
+                                line: Some((i % 4) * 64),
+                                winner_ts: Some(i + 1),
+                                snapshot_ts: Some(i),
+                            },
+                        );
+                    }
+                });
+            }
+        });
+        let snap = f.snapshot();
+        assert_eq!(snap.total, 4000);
+        assert_eq!(snap.attributed, 4000);
+        assert_eq!(snap.count(ForensicCause::WriteWriteFcw), 4000);
+        // Only 4 distinct lines: the sketch is exact.
+        let total_sketched: u64 = snap.hot_lines.iter().map(|&(_, c)| c).sum();
+        assert_eq!(total_sketched, 4000);
+        assert_eq!(snap.conflict_age.total(), 4000);
+    }
+}

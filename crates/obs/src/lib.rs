@@ -28,12 +28,20 @@
 //!   logging and `sitm.txn.v1` JSONL export.
 //! - [`cases`] — the seeded-case driver shared by the randomized tests
 //!   (env-tunable case count, failing seed always printed).
+//! - [`forensics`] — structured abort attribution: the
+//!   [`forensics::ForensicCause`] taxonomy, top-K hot-line sketches and
+//!   conflict-age histograms, compiled out behind the `trace` feature,
+//!   exported as `sitm.abort_forensics.v1` JSONL.
+//! - [`chrome`] — a `chrome://tracing` JSON-array exporter for merged
+//!   trace streams, reconstructing transaction-lifecycle spans.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cases;
+pub mod chrome;
 pub mod event;
+pub mod forensics;
 pub mod history;
 pub mod json;
 pub mod metrics;
@@ -44,7 +52,11 @@ pub mod sink;
 pub mod trace;
 
 pub use cases::{run_seeded_cases, test_cases, CASES_ENV};
+pub use chrome::chrome_trace;
 pub use event::{EventKind, TraceRecord};
+pub use forensics::{
+    ForensicCause, ForensicEvent, Forensics, ForensicsReport, ForensicsSnapshot, SharedForensics,
+};
 pub use history::{History, HistoryOp, OpKind, TxnBuilder, TxnOutcome, TxnRecord};
 pub use json::Json;
 pub use metrics::{AtomicHistogram, Histogram, MetricsRegistry, Observable};

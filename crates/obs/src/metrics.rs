@@ -92,6 +92,50 @@ impl Histogram {
         self.sum += other.sum;
         self.max = self.max.max(other.max);
     }
+
+    /// The histogram as a JSON object:
+    /// `{"buckets": [[bucket, count], ...], "sum": s, "max": m}`.
+    /// Buckets appear in ascending order (deterministic). `sum` is
+    /// exact as long as it fits in 2^53 (JSON numbers are `f64`), which
+    /// covers every histogram this repository emits.
+    pub fn to_json(&self) -> crate::json::Json {
+        use crate::json::Json;
+        let buckets = self
+            .buckets()
+            .map(|(b, c)| Json::Arr(vec![Json::Num(b as f64), Json::Num(c as f64)]))
+            .collect();
+        Json::obj([
+            ("buckets", Json::Arr(buckets)),
+            ("sum", Json::Num(self.sum as f64)),
+            ("max", Json::Num(self.max as f64)),
+        ])
+    }
+
+    /// Parses a [`Histogram::to_json`] object back. `total` is
+    /// recomputed from the bucket counts; returns `None` on any
+    /// malformed field.
+    pub fn from_json(v: &crate::json::Json) -> Option<Histogram> {
+        use crate::json::Json;
+        let mut h = Histogram {
+            sum: v.get("sum")?.as_u64()? as u128,
+            max: v.get("max")?.as_u64()?,
+            ..Histogram::default()
+        };
+        let Some(Json::Arr(buckets)) = v.get("buckets") else {
+            return None;
+        };
+        for pair in buckets {
+            let Json::Arr(bc) = pair else { return None };
+            let bucket = bc.first()?.as_u64()?;
+            let count = bc.get(1)?.as_u64()?;
+            if bucket >= BUCKETS as u64 {
+                return None;
+            }
+            h.counts.insert(bucket as u32, count);
+            h.total += count;
+        }
+        Some(h)
+    }
 }
 
 impl fmt::Display for Histogram {
@@ -350,6 +394,65 @@ mod tests {
         h.merge(&other);
         assert_eq!(h.total(), 6);
         assert_eq!(h.count_in(Histogram::bucket_of(100)), 2);
+    }
+
+    #[test]
+    fn histogram_json_round_trips() {
+        let mut h = Histogram::new();
+        for v in [0, 1, 1, 2, 3, 4, 7, 8, 100, 1 << 40] {
+            h.record(v);
+        }
+        let line = h.to_json().to_line();
+        let back = Histogram::from_json(&crate::json::Json::parse(&line).unwrap())
+            .expect("round-trip parses");
+        assert_eq!(back, h);
+        assert_eq!(back.to_json().to_line(), line, "fixed point");
+        // Empty histograms round-trip too.
+        let empty = Histogram::new();
+        let back =
+            Histogram::from_json(&crate::json::Json::parse(&empty.to_json().to_line()).unwrap())
+                .unwrap();
+        assert_eq!(back, empty);
+        // Malformed inputs are rejected, not mis-parsed.
+        for bad in [
+            r#"{"sum":1,"max":1}"#,
+            r#"{"buckets":[[99,1]],"sum":1,"max":1}"#,
+            r#"{"buckets":[[1]],"sum":1,"max":1}"#,
+        ] {
+            assert_eq!(
+                Histogram::from_json(&crate::json::Json::parse(bad).unwrap()),
+                None,
+                "{bad}"
+            );
+        }
+    }
+
+    #[test]
+    fn atomic_histogram_snapshot_round_trips_through_json() {
+        // The satellite contract: edge values land in deterministic
+        // buckets and an AtomicHistogram snapshot survives the JSONL
+        // export/import path bit-for-bit.
+        let atomic = AtomicHistogram::new();
+        for v in [0, 1, 2, 3, 4, 7, 8, (1 << 20) - 1, 1 << 20, u64::MAX] {
+            atomic.record(v);
+        }
+        let snap = atomic.snapshot();
+        // u64::MAX wraps the atomic sum; the snapshot still reports the
+        // wrapped value consistently, so only check bucket placement.
+        assert_eq!(snap.count_in(0), 1); // 0
+        assert_eq!(snap.count_in(1), 1); // 1
+        assert_eq!(snap.count_in(2), 2); // 2, 3
+        assert_eq!(snap.count_in(3), 2); // 4, 7
+        assert_eq!(snap.count_in(4), 1); // 8
+        assert_eq!(snap.count_in(20), 1); // 2^20 - 1
+        assert_eq!(snap.count_in(21), 1); // 2^20
+        assert_eq!(snap.count_in(64), 1); // u64::MAX
+        let line = snap.to_json().to_line();
+        let back = Histogram::from_json(&crate::json::Json::parse(&line).unwrap()).unwrap();
+        assert_eq!(back.total(), snap.total());
+        assert_eq!(back.max(), snap.max());
+        let counts_match = (0..=64u32).all(|b| back.count_in(b) == snap.count_in(b));
+        assert!(counts_match);
     }
 
     #[test]

@@ -1,0 +1,164 @@
+//! Golden files for the two forensic export formats:
+//!
+//! * `tests/golden/chrome_trace.json` — the Chrome trace-event JSON
+//!   array the [`sitm_obs::chrome_trace`] exporter renders from a fixed
+//!   synthetic transaction-lifecycle trace;
+//! * `tests/golden/abort_forensics.jsonl` — `sitm.abort_forensics.v1`
+//!   records rendered from fixed [`ForensicsSnapshot`]s.
+//!
+//! Both exports are pure functions of always-compiled types, so these
+//! tests run (and must pass) with and without the `trace` feature. On
+//! an intentional format change regenerate with `SITM_UPDATE_GOLDEN=1
+//! cargo test -p sitm-obs --test golden_forensics` and review the diff.
+
+use std::path::Path;
+
+use sitm_obs::forensics::TopK;
+use sitm_obs::{
+    chrome_trace, EventKind, ForensicCause, ForensicEvent, ForensicsReport, ForensicsSnapshot,
+    Histogram, TraceRecord,
+};
+
+/// A fixed two-thread lifecycle trace: thread 0 commits, thread 1
+/// aborts on a write-write conflict at line 0x40, thread 0's second
+/// attempt is left open (no span).
+fn golden_trace() -> Vec<TraceRecord> {
+    let rec = |at, thread, kind| TraceRecord { at, thread, kind };
+    vec![
+        rec(10, 0, EventKind::Begin(3)),
+        rec(12, 1, EventKind::Begin(4)),
+        rec(20, 0, EventKind::Read(0x40)),
+        rec(20, 0, EventKind::ReadSetGrowth(1)),
+        rec(25, 1, EventKind::Write(0x40)),
+        rec(30, 0, EventKind::Write(0x80)),
+        rec(40, 0, EventKind::CommitAcquire(2)),
+        rec(55, 0, EventKind::Install(7)),
+        rec(55, 0, EventKind::Commit),
+        rec(60, 1, EventKind::CommitAcquire(1)),
+        rec(70, 1, EventKind::Validate(15)),
+        rec(70, 1, EventKind::Abort(1)),
+        rec(70, 1, EventKind::AbortLine(0x40)),
+        rec(90, 0, EventKind::Begin(8)),
+        rec(95, TraceRecord::NO_THREAD, EventKind::MvmGc(3)),
+    ]
+}
+
+/// Two fixed forensics records: a contended SI-TM cell and an empty
+/// 2PL cell (zero aborts, vacuously fully attributed).
+fn golden_reports() -> Vec<ForensicsReport> {
+    let mut hot = ForensicsSnapshot::default();
+    {
+        // Build deterministically through the same TopK/merge machinery
+        // the recorders use.
+        let mut sketch = TopK::default();
+        for _ in 0..3 {
+            sketch.record(0x40);
+        }
+        sketch.record(0x80);
+        hot.hot_lines = sketch.entries();
+    }
+    hot.by_cause[ForensicCause::WriteWriteFcw.index()] = 3;
+    hot.by_cause[ForensicCause::CapacityEviction.index()] = 1;
+    hot.total = 4;
+    hot.attributed = 4;
+    // Conflict ages matching the recorded events below: three aborts
+    // whose winner committed at 7 against snapshot 5 (age 2), one whose
+    // winner committed at 260 against snapshot 4 (age 256).
+    let mut age = Histogram::new();
+    for sample in [2, 2, 2, 256] {
+        age.record(sample);
+    }
+    hot.conflict_age = age;
+
+    vec![
+        ForensicsReport {
+            bench: "abort_forensics".into(),
+            protocol: "SI-TM".into(),
+            workload: "array".into(),
+            threads: 16,
+            seeds: 3,
+            snapshot: hot,
+        },
+        ForensicsReport {
+            bench: "abort_forensics".into(),
+            protocol: "2PL".into(),
+            workload: "ssca2".into(),
+            threads: 16,
+            seeds: 3,
+            snapshot: ForensicsSnapshot::default(),
+        },
+    ]
+}
+
+fn check_golden(name: &str, rendered: &str) {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join(format!("tests/golden/{name}"));
+    if std::env::var_os("SITM_UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, rendered).expect("write golden file");
+    }
+    let golden = std::fs::read_to_string(&path)
+        .expect("golden file missing; run once with SITM_UPDATE_GOLDEN=1");
+    assert_eq!(
+        rendered, golden,
+        "{name} drifted from its golden file; regenerate with SITM_UPDATE_GOLDEN=1 \
+         only for a deliberate format change and review the diff"
+    );
+}
+
+#[test]
+fn chrome_export_matches_golden() {
+    let mut rendered = chrome_trace(&golden_trace());
+    rendered.push('\n');
+    check_golden("chrome_trace.json", &rendered);
+}
+
+#[test]
+fn forensics_jsonl_matches_golden() {
+    let mut rendered = String::new();
+    for report in golden_reports() {
+        rendered.push_str(&report.to_json_line());
+        rendered.push('\n');
+    }
+    check_golden("abort_forensics.jsonl", &rendered);
+}
+
+#[test]
+fn forensics_jsonl_round_trips_through_the_parser() {
+    for report in golden_reports() {
+        let line = report.to_json_line();
+        let back = ForensicsReport::from_json_line(&line).expect("round-trip parses");
+        assert_eq!(back, report);
+        assert_eq!(back.to_json_line(), line, "serialization is a fixed point");
+    }
+}
+
+#[test]
+fn recording_forensics_matches_the_handwritten_snapshot() {
+    // The owned recorder (when compiled in) reproduces the first golden
+    // snapshot from its constituent events — tying the golden file to
+    // the real recording path, not just the serializer.
+    let mut forensics = sitm_obs::Forensics::new();
+    for _ in 0..3 {
+        forensics.record(
+            ForensicCause::WriteWriteFcw,
+            ForensicEvent {
+                line: Some(0x40),
+                winner_ts: Some(7),
+                snapshot_ts: Some(5),
+            },
+        );
+    }
+    forensics.record(
+        ForensicCause::CapacityEviction,
+        ForensicEvent {
+            line: Some(0x80),
+            winner_ts: Some(260),
+            snapshot_ts: Some(4),
+        },
+    );
+    let snapshot = forensics.snapshot();
+    if sitm_obs::Forensics::enabled() {
+        assert_eq!(snapshot, golden_reports()[0].snapshot);
+    } else {
+        assert_eq!(snapshot, ForensicsSnapshot::default());
+    }
+}

@@ -9,6 +9,7 @@
 //! the engine dooms them.
 
 use sitm_mvm::{Addr, MvmStore, ThreadId, Word};
+use sitm_obs::ForensicCause;
 
 use crate::config::Cycles;
 
@@ -78,6 +79,22 @@ impl AbortCause {
             AbortCause::Inconsistent => "inconsistent",
         }
     }
+
+    /// The generic [`ForensicCause`] this simulator cause maps to when a
+    /// protocol supplies no site-specific [`AbortDetail`]. Protocols
+    /// should override via [`TmProtocol::last_abort_detail`] where the
+    /// abort site knows better (e.g. SSI-TM's `Order` aborts are
+    /// [`ForensicCause::SsiPivot`], while SONTM's are range collapses
+    /// rooted in read-write conflicts).
+    pub fn fallback_forensic(self) -> ForensicCause {
+        match self {
+            AbortCause::ReadWrite => ForensicCause::ReadValidation,
+            AbortCause::WriteWrite => ForensicCause::WriteWriteFcw,
+            AbortCause::Capacity | AbortCause::VersionOverflow => ForensicCause::CapacityEviction,
+            AbortCause::Order => ForensicCause::ReadValidation,
+            AbortCause::ClockOverflow | AbortCause::Inconsistent => ForensicCause::Explicit,
+        }
+    }
 }
 
 impl std::fmt::Display for AbortCause {
@@ -90,6 +107,30 @@ impl std::fmt::Display for AbortCause {
 /// (eager conflict detection's "requester wins", SSI dangerous-structure
 /// resolution, clock-overflow abort-all).
 pub type Victims = Vec<(ThreadId, AbortCause)>;
+
+/// Everything an abort site knew about the most recent abort of a
+/// thread's transaction: the forensic classification, the conflicting
+/// line, the winning committer's timestamp and the loser's snapshot
+/// timestamp — each `None` when the site could not know it.
+///
+/// Protocols keep one slot per thread and overwrite it at every abort
+/// site (both self-aborts and victim dooms); the engine reads the slot
+/// via [`TmProtocol::last_abort_detail`] when it processes the abort.
+/// The slot must *survive rollback* — victims are rolled back
+/// immediately but their abort is handled at their next scheduling
+/// step.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AbortDetail {
+    /// Site-specific forensic cause (`None` → the engine falls back to
+    /// [`AbortCause::fallback_forensic`]).
+    pub cause: Option<ForensicCause>,
+    /// The conflicting line address.
+    pub line: Option<u64>,
+    /// Commit timestamp of the winning (conflicting) transaction.
+    pub winner_ts: Option<u64>,
+    /// Snapshot/begin timestamp of the aborted transaction.
+    pub snapshot_ts: Option<u64>,
+}
 
 /// Outcome of starting a transaction.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -268,6 +309,16 @@ pub trait TmProtocol: Send {
     /// comparisons are only meaningful within one epoch.
     fn epoch(&self) -> u64 {
         0
+    }
+
+    /// What the protocol knows about the most recent abort of `tid`'s
+    /// transaction (self-abort or victim doom). The default — an empty
+    /// detail — makes the engine classify by
+    /// [`AbortCause::fallback_forensic`] with no line attribution;
+    /// the in-tree protocol models all override this.
+    fn last_abort_detail(&self, tid: ThreadId) -> AbortDetail {
+        let _ = tid;
+        AbortDetail::default()
     }
 }
 

@@ -4,7 +4,7 @@
 
 use crate::config::Cycles;
 use crate::protocol::AbortCause;
-use sitm_obs::{History, PhaseCycles, TraceRecord};
+use sitm_obs::{ForensicsSnapshot, History, PhaseCycles, TraceRecord};
 
 /// Statistics of one logical thread across a run.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -59,6 +59,13 @@ pub struct RunStats {
     /// (`sitm-check`). `None` unless the run was started through
     /// [`crate::Engine::record_history`].
     pub history: Option<History>,
+    /// Structured abort attribution (per-cause counts, hot lines,
+    /// conflict ages). `None` unless the run was started through
+    /// [`crate::Engine::record_forensics`]; empty (all zero) when that
+    /// was requested but the `trace` cargo feature is compiled out.
+    /// Deliberately *not* part of any figure or report schema: forensic
+    /// recording must never change what the simulator reports.
+    pub forensics: Option<ForensicsSnapshot>,
 }
 
 impl RunStats {
@@ -177,6 +184,7 @@ mod tests {
             truncated: false,
             trace: Vec::new(),
             history: None,
+            forensics: None,
         }
     }
 

@@ -6,7 +6,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use sitm_obs::{AtomicHistogram, Histogram, History, MetricsRegistry, Observable, SmallRng};
+use sitm_obs::{
+    AtomicHistogram, ForensicsSnapshot, Histogram, History, MetricsRegistry, Observable,
+    SharedForensics, SmallRng,
+};
 
 use crate::error::{Conflict, StmError};
 use crate::recorder::Recorder;
@@ -130,6 +133,7 @@ pub struct Stm {
     stats: StmStats,
     recorder: Option<Arc<dyn Recorder>>,
     history: Option<Arc<HistorySink>>,
+    forensics: Option<Arc<SharedForensics>>,
 }
 
 impl std::fmt::Debug for Stm {
@@ -139,6 +143,7 @@ impl std::fmt::Debug for Stm {
             .field("stats", &self.stats)
             .field("recorder", &self.recorder.is_some())
             .field("history", &self.history.is_some())
+            .field("forensics", &self.forensics.is_some())
             .finish()
     }
 }
@@ -163,6 +168,7 @@ impl Stm {
             stats: StmStats::default(),
             recorder: None,
             history: None,
+            forensics: None,
         }
     }
 
@@ -187,6 +193,24 @@ impl Stm {
     /// recording was never enabled via [`Stm::with_history`].
     pub fn history(&self) -> Option<History> {
         self.history.as_ref().map(|sink| sink.snapshot())
+    }
+
+    /// Turns on abort forensics: every abort is attributed to a
+    /// [`sitm_obs::ForensicCause`] carrying the conflicting `TVar` id
+    /// and the winning commit timestamp. The recorder is lock-free
+    /// (per-thread sharded counters) and compiles out to a no-op unless
+    /// the `trace` feature is enabled. Returns `self` for builder-style
+    /// use.
+    pub fn with_forensics(mut self) -> Self {
+        self.forensics = Some(Arc::new(SharedForensics::new()));
+        self
+    }
+
+    /// A snapshot of the forensic abort attribution, or `None` when
+    /// forensics were never enabled via [`Stm::with_forensics`]. With
+    /// the `trace` feature disabled the snapshot is present but empty.
+    pub fn forensics(&self) -> Option<ForensicsSnapshot> {
+        self.forensics.as_ref().map(|f| f.snapshot())
     }
 
     /// The configured isolation level.
@@ -246,7 +270,12 @@ impl Stm {
         &self,
         body: &mut impl FnMut(&mut Tx) -> Result<T, StmError>,
     ) -> Result<T, Conflict> {
-        let mut tx = Tx::begin_recorded(self.level, self.recorder.clone(), self.history.clone());
+        let mut tx = Tx::begin_recorded(
+            self.level,
+            self.recorder.clone(),
+            self.history.clone(),
+            self.forensics.clone(),
+        );
         match body(&mut tx) {
             Ok(value) => match tx.commit() {
                 Ok(()) => {
@@ -535,6 +564,77 @@ mod tests {
         stm.export_metrics(&mut reg);
         assert_eq!(reg.counter("stm.backoffs"), stats.backoffs());
         assert_eq!(reg.counter("stm.backoff_ns"), stats.backoff_ns());
+    }
+
+    #[test]
+    fn forensics_are_off_by_default_and_empty_when_on() {
+        let stm = Stm::snapshot();
+        stm.atomically(|_tx| Ok(()));
+        assert!(stm.forensics().is_none());
+
+        let stm = Stm::snapshot().with_forensics();
+        stm.atomically(|_tx| Ok(()));
+        let snap = stm.forensics().expect("enabled");
+        assert_eq!(snap.total, 0, "no aborts, nothing recorded");
+        assert!((snap.attribution_rate() - 1.0).abs() < f64::EPSILON);
+    }
+
+    #[cfg(feature = "trace")]
+    #[test]
+    fn forensics_attribute_every_conflict_kind() {
+        use sitm_obs::ForensicCause;
+        let stm = Arc::new(Stm::serializable().with_forensics());
+        let v = TVar::new(0u64);
+        let other = TVar::new(0u64);
+
+        // Write-write: a competitor commits between our read and commit.
+        let result = stm.try_atomically(&mut |tx| {
+            let cur = tx.read(&v)?;
+            tx.write(&v, cur + 1);
+            stm.atomically(|t| {
+                let c = t.read(&v)?;
+                t.write(&v, c + 10);
+                Ok(())
+            });
+            Ok(())
+        });
+        assert_eq!(result, Err(Conflict::WriteWrite));
+
+        // Read validation: serializable reader invalidated by a writer.
+        let result = stm.try_atomically(&mut |tx| {
+            let _ = tx.read(&v)?;
+            tx.write(&other, 1);
+            stm.atomically(|t| {
+                let c = t.read(&v)?;
+                t.write(&v, c + 1);
+                Ok(())
+            });
+            Ok(())
+        });
+        assert_eq!(result, Err(Conflict::ReadValidation));
+
+        // Snapshot-too-old: the only reachable version is evicted.
+        let bounded = TVar::with_history(0u64, 1);
+        let result = stm.try_atomically(&mut |tx| {
+            stm.atomically(|t| {
+                t.write(&bounded, 1);
+                Ok(())
+            });
+            tx.read(&bounded)?;
+            Ok(())
+        });
+        assert_eq!(result, Err(Conflict::SnapshotTooOld));
+
+        let snap = stm.forensics().expect("enabled");
+        assert_eq!(snap.count(ForensicCause::WriteWriteFcw), 1);
+        assert_eq!(snap.count(ForensicCause::ReadValidation), 1);
+        assert_eq!(snap.count(ForensicCause::CapacityEviction), 1);
+        assert_eq!(snap.total, stm.stats().aborts());
+        assert!((snap.attribution_rate() - 1.0).abs() < f64::EPSILON);
+        assert!(
+            snap.hot_lines.iter().any(|&(line, _)| line == v.id()),
+            "the contended TVar shows up in the hot-line sketch"
+        );
     }
 
     #[test]

@@ -31,7 +31,9 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
-use sitm_obs::{History, OpKind, TxnBuilder, TxnRecord};
+use sitm_obs::{
+    ForensicCause, ForensicEvent, History, OpKind, SharedForensics, TxnBuilder, TxnRecord,
+};
 
 use crate::error::{Conflict, StmError};
 use crate::recorder::{Recorder, TxEvent};
@@ -176,6 +178,9 @@ pub struct Tx {
     /// History sink plus the open record of this attempt, when the
     /// runtime records histories for the isolation oracle.
     history: Option<(Arc<HistorySink>, TxnBuilder)>,
+    /// Shared abort-forensics recorder (a no-op unless the `trace`
+    /// feature is enabled), when the runtime collects forensics.
+    forensics: Option<Arc<SharedForensics>>,
 }
 
 impl std::fmt::Debug for Tx {
@@ -193,13 +198,14 @@ static NEXT_ATTEMPT: AtomicU64 = AtomicU64::new(1);
 impl Tx {
     #[cfg(test)]
     pub(crate) fn begin(level: IsolationLevel, recorder: Option<Arc<dyn Recorder>>) -> Self {
-        Self::begin_recorded(level, recorder, None)
+        Self::begin_recorded(level, recorder, None, None)
     }
 
     pub(crate) fn begin_recorded(
         level: IsolationLevel,
         recorder: Option<Arc<dyn Recorder>>,
         sink: Option<Arc<HistorySink>>,
+        forensics: Option<Arc<SharedForensics>>,
     ) -> Self {
         let snapshot = clock_now();
         let attempt_id = NEXT_ATTEMPT.fetch_add(1, Ordering::Relaxed);
@@ -228,6 +234,24 @@ impl Tx {
             recorder,
             attempt_id,
             history,
+            forensics,
+        }
+    }
+
+    /// Attributes an abort to `cause` at `var_id` in the shared
+    /// forensics recorder, if one is installed. `winner_ts` is the
+    /// commit timestamp of the conflicting version, when known.
+    fn record_forensic(&self, cause: ForensicCause, var_id: u64, winner_ts: Option<u64>) {
+        if let Some(f) = &self.forensics {
+            f.record(
+                THREAD_INDEX.with(|&i| i),
+                cause,
+                ForensicEvent {
+                    line: Some(var_id),
+                    winner_ts,
+                    snapshot_ts: Some(self.snapshot),
+                },
+            );
         }
     }
 
@@ -281,7 +305,19 @@ impl Tx {
                 .entry(var.id())
                 .or_insert_with(|| var.inner.clone() as Arc<dyn VarOps>);
         }
-        let (value, ts) = var.read_versioned_at(self.snapshot)?;
+        let (value, ts) = match var.read_versioned_at(self.snapshot) {
+            Ok(read) => read,
+            Err(err) => {
+                // The snapshot's version fell off the bounded history:
+                // a capacity eviction in the forensic taxonomy.
+                self.record_forensic(
+                    ForensicCause::CapacityEviction,
+                    var.id(),
+                    Some(var.inner.newest_ts()),
+                );
+                return Err(err.into());
+            }
+        };
         self.record_op(OpKind::Read {
             line: var.id(),
             observed: Some(ts),
@@ -406,7 +442,11 @@ impl Tx {
         // stamps, so a concurrent commit can neither slip a version in
         // under us nor observe ours until we release.
         for w in self.writes.values() {
-            if w.var.newest_ts() > self.snapshot {
+            let newest = w.var.newest_ts();
+            if newest > self.snapshot {
+                // First-committer-wins: the winner's install stamped
+                // `newest`, which names it for forensics.
+                self.record_forensic(ForensicCause::WriteWriteFcw, w.var.id(), Some(newest));
                 return Err(Conflict::WriteWrite);
             }
         }
@@ -414,7 +454,9 @@ impl Tx {
             if self.writes.contains_key(id) {
                 continue; // already checked as a write
             }
-            if var.newest_ts() > self.snapshot {
+            let newest = var.newest_ts();
+            if newest > self.snapshot {
+                self.record_forensic(ForensicCause::ReadValidation, *id, Some(newest));
                 return Err(Conflict::ReadValidation);
             }
         }
