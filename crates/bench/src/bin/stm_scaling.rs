@@ -2,9 +2,10 @@
 //!
 //! Unlike the figure binaries, which replay the paper's *simulated*
 //! machine, this experiment measures the crate's actual commit path —
-//! per-`TVar` versioned commit locks, a padded global version clock,
-//! and capped jittered backoff — from real OS threads on the host, in
-//! host wall-clock time. Four workloads span the contention spectrum:
+//! per-`TVar` versioned commit locks, the sharded epoch clock,
+//! watermark-driven version GC, and capped jittered backoff — from
+//! real OS threads on the host, in host wall-clock time. Six workloads
+//! span the contention spectrum:
 //!
 //! | workload | shape |
 //! |---|---|
@@ -12,14 +13,29 @@
 //! | `hashmap-ops` | 70/20/10 get/insert/remove over a 256-key [`THashMap`] |
 //! | `bank-transfer` | two-account transfers over 64 accounts (write hot) |
 //! | `read-mostly-audit` | 90% whole-bank read-only audits, 10% transfers |
+//! | `long-scan` | 1 long-scan reader over 256 dynamic `TVar`s + hot writers |
+//! | `long-scan-capped` | the same, over 8-version capped `TVar`s (the PR 3 design) |
 //!
 //! Each (workload × isolation level × thread count) point is repeated
 //! over the seed schedule and reported as mean commits **per second**
 //! (the `throughput` field of the JSONL line — host seconds here, not
 //! simulated cycles). The audit workload runs its auditors on their own
-//! [`Stm`] handle and reports `auditor_aborts` separately: under
-//! snapshot isolation read-only transactions never abort, which is the
-//! property the paper builds on.
+//! [`Stm`] handle and reports `auditor_aborts` separately; the
+//! long-scan workloads do the same for their reader
+//! (`reader_commits`/`reader_aborts`): under snapshot isolation
+//! read-only transactions never abort, which is the property the paper
+//! builds on. The capped variant exists as the *before* column of that
+//! claim — its reader aborts with `snapshot-too-old` whenever writer
+//! churn evicts the version its snapshot needs.
+//!
+//! **Gate:** the run exits nonzero if the `long-scan` reader records
+//! any abort under Snapshot isolation — dynamic retention makes reader
+//! aborts impossible, and this binary is the regression tripwire for
+//! that guarantee. Forensic attribution of the reader runtime is
+//! exported alongside as `reader_forensic_aborts`; like all abort
+//! forensics it is live only in `--features trace` builds (the CI gate
+//! runs traced so every reader abort would also be *attributed*) and
+//! reads zero in default builds.
 //!
 //! Timing cells always execute sequentially — each cell owns the host's
 //! cores while it runs — so `--jobs` shapes nothing here; the flag is
@@ -29,8 +45,10 @@
 //! rather than parallel speedup (see EXPERIMENTS.md).
 //!
 //! Usage: `cargo run --release -p sitm-bench --bin stm_scaling
-//! [--quick] [--seeds N] [--threads N] [--jobs N] [--json PATH]`
+//! [--quick] [--seeds N] [--threads N] [--jobs N] [--json PATH]
+//! [--ops N] [--workload NAME]`
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread;
 use std::time::Instant;
@@ -56,13 +74,21 @@ enum Work {
     HashMapOps,
     BankTransfer,
     ReadMostlyAudit,
+    /// One long-scan reader over dynamically retained `TVar`s plus
+    /// `threads - 1` hot writers.
+    LongScan,
+    /// The same access pattern over 8-version capped `TVar`s — the
+    /// PR 3 single-clock-era design, kept as the abort-rate baseline.
+    LongScanCapped,
 }
 
-const WORKLOADS: [Work; 4] = [
+const WORKLOADS: [Work; 6] = [
     Work::CounterArray,
     Work::HashMapOps,
     Work::BankTransfer,
     Work::ReadMostlyAudit,
+    Work::LongScan,
+    Work::LongScanCapped,
 ];
 
 impl Work {
@@ -72,6 +98,8 @@ impl Work {
             Work::HashMapOps => "hashmap-ops",
             Work::BankTransfer => "bank-transfer",
             Work::ReadMostlyAudit => "read-mostly-audit",
+            Work::LongScan => "long-scan",
+            Work::LongScanCapped => "long-scan-capped",
         }
     }
 }
@@ -91,6 +119,12 @@ struct CellStats {
     /// (read-mostly-audit only).
     auditor_commits: u64,
     auditor_aborts: u64,
+    /// Commit/abort tallies of the long-scan reader's dedicated
+    /// runtime (long-scan workloads only), plus its forensic abort
+    /// attribution (nonzero only with the `trace` feature).
+    reader_commits: u64,
+    reader_aborts: u64,
+    reader_forensic_aborts: u64,
 }
 
 impl CellStats {
@@ -243,6 +277,87 @@ fn run_cell(work: Work, level: IsolationLevel, threads: usize, ops: usize, seed:
             cell.auditor_aborts = auditors.stats().aborts();
             cell.absorb(&auditors);
         }
+        Work::LongScan | Work::LongScanCapped => {
+            const SCAN_VARS: usize = 256;
+            // Writers concentrate on a hot range at the *end* of the
+            // scan order, so a capped history has the whole scan
+            // duration to churn a version out from under the reader's
+            // snapshot before the reader arrives there.
+            const HOT_VARS: usize = 32;
+            const CAP: usize = 8;
+            /// Bounded retries per scan so the capped baseline reports
+            /// its abort rate instead of livelocking against churn
+            /// (under sustained churn a capped scan never succeeds, so
+            /// every extra attempt only multiplies wall time).
+            const MAX_ATTEMPTS: usize = 8;
+            let capped = work == Work::LongScanCapped;
+            let vars: Vec<TVar<u64>> = (0..SCAN_VARS)
+                .map(|v| {
+                    if capped {
+                        TVar::with_history(v as u64, CAP)
+                    } else {
+                        TVar::new(v as u64)
+                    }
+                })
+                .collect();
+            let reader_stm = Arc::new(Stm::with_level(level).with_forensics());
+            // Scans are ~256x heavier than the short transactions of
+            // the other workloads (and stretched by yields), so scale
+            // the count down from the per-thread op budget.
+            let scans = (ops / 64).max(1);
+            // Writers churn until the reader finishes every scan —
+            // bounding them by op count instead would let them drain in
+            // milliseconds and leave most scans running unopposed.
+            let done = AtomicBool::new(false);
+            thread::scope(|s| {
+                {
+                    let reader_stm = Arc::clone(&reader_stm);
+                    let vars = &vars;
+                    let done = &done;
+                    s.spawn(move || {
+                        for _ in 0..scans {
+                            for _attempt in 0..MAX_ATTEMPTS {
+                                let scanned = reader_stm.try_atomically(&mut |tx| {
+                                    let mut sum = 0u64;
+                                    for (i, var) in vars.iter().enumerate() {
+                                        sum += tx.read(var)?;
+                                        if i % 32 == 31 {
+                                            thread::yield_now(); // stretch the scan
+                                        }
+                                    }
+                                    Ok(sum)
+                                });
+                                if scanned.is_ok() {
+                                    break;
+                                }
+                            }
+                        }
+                        done.store(true, Ordering::Release);
+                    });
+                }
+                for t in 0..threads.saturating_sub(1) {
+                    let stm = Arc::clone(&stm);
+                    let vars = &vars;
+                    let done = &done;
+                    s.spawn(move || {
+                        let mut rng = SmallRng::seed_from_u64(seed ^ (t as u64) << 32);
+                        while !done.load(Ordering::Acquire) {
+                            let i =
+                                SCAN_VARS - HOT_VARS + rng.gen_range(0..HOT_VARS as u64) as usize;
+                            stm.atomically(|tx| {
+                                let v = tx.read(&vars[i])?;
+                                tx.write(&vars[i], v + 1);
+                                Ok(())
+                            });
+                        }
+                    });
+                }
+            });
+            cell.reader_commits = reader_stm.stats().commits();
+            cell.reader_aborts = reader_stm.stats().aborts();
+            cell.reader_forensic_aborts = reader_stm.forensics().map_or(0, |f| f.total);
+            cell.absorb(&reader_stm);
+        }
     }
     cell.wall_s = start.elapsed().as_secs_f64();
     cell.absorb(&stm);
@@ -258,15 +373,36 @@ fn main() {
         _ => 20_000,
     };
     // `--ops N` overrides the per-thread transaction count (scale
-    // studies and CI smoke).
+    // studies and CI smoke); `--workload NAME` restricts the sweep to
+    // one workload (repeatable).
     let argv: Vec<String> = std::env::args().collect();
+    let mut only: Vec<&'static str> = Vec::new();
     for (i, arg) in argv.iter().enumerate() {
         if arg == "--ops" {
             if let Some(n) = argv.get(i + 1).and_then(|s| s.parse::<usize>().ok()) {
                 ops = n.max(1);
             }
         }
+        if arg == "--workload" {
+            match argv
+                .get(i + 1)
+                .and_then(|name| WORKLOADS.iter().find(|w| w.name() == name))
+            {
+                Some(w) => only.push(w.name()),
+                None => {
+                    eprintln!(
+                        "unknown --workload (expected one of: {})",
+                        WORKLOADS.map(Work::name).join(", ")
+                    );
+                    std::process::exit(2);
+                }
+            }
+        }
     }
+    let workloads: Vec<Work> = WORKLOADS
+        .into_iter()
+        .filter(|w| only.is_empty() || only.contains(&w.name()))
+        .collect();
     let threads: Vec<usize> = match opts.threads {
         Some(n) => vec![n.max(1)],
         None => THREADS.to_vec(),
@@ -281,8 +417,9 @@ fn main() {
     con.blank();
 
     let mut cells = 0usize;
+    let mut gate_failures: Vec<String> = Vec::new();
     let sweep_start = Instant::now();
-    for work in WORKLOADS {
+    for work in workloads {
         con.line(format!("== {} ==", work.name()));
         let mut header = vec!["threads".to_string()];
         header.extend(LEVELS.iter().map(|&(_, name)| format!("{name} c/s")));
@@ -308,6 +445,9 @@ fn main() {
                     total.wall_s += cell.wall_s;
                     total.auditor_commits += cell.auditor_commits;
                     total.auditor_aborts += cell.auditor_aborts;
+                    total.reader_commits += cell.reader_commits;
+                    total.reader_aborts += cell.reader_aborts;
+                    total.reader_forensic_aborts += cell.reader_forensic_aborts;
                     cells += 1;
                 }
                 reg.count("stm.commits", total.commits);
@@ -350,6 +490,31 @@ fn main() {
                         .extra
                         .insert("auditor_aborts".into(), total.auditor_aborts as f64);
                 }
+                if matches!(work, Work::LongScan | Work::LongScanCapped) {
+                    report
+                        .extra
+                        .insert("reader_commits".into(), total.reader_commits as f64);
+                    report
+                        .extra
+                        .insert("reader_aborts".into(), total.reader_aborts as f64);
+                    report.extra.insert(
+                        "reader_forensic_aborts".into(),
+                        total.reader_forensic_aborts as f64,
+                    );
+                    // The regression gate: dynamic retention must make
+                    // the Snapshot-isolated long reader abort-free.
+                    if work == Work::LongScan
+                        && level == IsolationLevel::Snapshot
+                        && total.reader_aborts > 0
+                    {
+                        gate_failures.push(format!(
+                            "long-scan @ {t} threads: {} reader abort(s) under Snapshot \
+                             (forensic attribution: {}) — dynamic retention must keep \
+                             readers abort-free",
+                            total.reader_aborts, total.reader_forensic_aborts
+                        ));
+                    }
+                }
                 sink.push(&report);
 
                 row.push(format!("{mean_cps:.0}"));
@@ -369,4 +534,11 @@ fn main() {
         sweep_start.elapsed().as_secs_f64() * 1e3,
     ));
     sink.finish();
+
+    if !gate_failures.is_empty() {
+        for failure in &gate_failures {
+            eprintln!("GATE FAILED: {failure}");
+        }
+        std::process::exit(1);
+    }
 }

@@ -12,8 +12,11 @@ pub enum Conflict {
     /// aborts under plain snapshot isolation).
     WriteWrite,
     /// A read could not be served: every retained version of the
-    /// variable is newer than this transaction's snapshot (bounded
-    /// version history, the paper's discard-oldest policy).
+    /// variable is newer than this transaction's snapshot. Only
+    /// reachable on *capped* variables ([`crate::TVar::with_history`],
+    /// the paper's bounded discard-oldest policy) — dynamically
+    /// retained variables ([`crate::TVar::new`]) keep every version a
+    /// live snapshot can reach, so their readers never see this.
     SnapshotTooOld,
     /// Under [`crate::IsolationLevel::Serializable`], a variable this
     /// transaction read (or explicitly promoted) changed before commit.

@@ -6,12 +6,18 @@
 //! threads today:
 //!
 //! * [`TVar<T>`] — a multiversioned transactional variable (the software
-//!   analogue of an MVM cache line), with a bounded version history and
-//!   the discard-oldest policy.
+//!   analogue of an MVM cache line). By default versions are retained
+//!   *dynamically*: old versions stay alive exactly while a live
+//!   snapshot can still read them and are reclaimed by epoch GC against
+//!   the live-snapshot [`watermark`] afterwards, so readers — however
+//!   long-running — never abort. [`TVar::with_history`] opts into the
+//!   paper's bounded discard-oldest policy instead.
 //! * [`Stm::atomically`] — run closures transactionally with consistent
 //!   snapshot reads and commit-time **write-write** validation only:
 //!   readers never abort writers and read-only transactions always
-//!   commit, exactly the SI-TM property.
+//!   commit, exactly the SI-TM property. Commit timestamps come from a
+//!   sharded clock (one padded shard per thread group), so commits
+//!   never serialize on a single atomic.
 //! * [`IsolationLevel::Serializable`] — opt-in serializability by
 //!   read-set validation, and [`Tx::promote`] for the paper's selective
 //!   *read promotion* remedy against write skew.
@@ -51,9 +57,10 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod collections;
+mod epoch;
 mod error;
 mod recorder;
 mod stm;
@@ -61,6 +68,7 @@ mod tvar;
 mod txn;
 
 pub use collections::{TCounter, THashMap, TList};
+pub use epoch::{live_snapshots, refresh_watermark, watermark};
 pub use error::{Conflict, StmError};
 pub use recorder::{Recorder, TxEvent, VecRecorder};
 pub use stm::{Stm, StmStats};

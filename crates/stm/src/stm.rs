@@ -33,6 +33,13 @@ pub struct StmStats {
     backoffs: AtomicU64,
     /// Total host nanoseconds spent waiting in backoff.
     backoff_ns: AtomicU64,
+    /// Versions reclaimed by epoch GC / capped eviction while this
+    /// runtime's commits installed writes.
+    versions_retired: AtomicU64,
+    /// Largest observed distance from a commit timestamp down to the
+    /// GC watermark it installed against — how much retention a
+    /// long-lived snapshot forced at its worst.
+    watermark_lag_max: AtomicU64,
 }
 
 impl StmStats {
@@ -79,6 +86,21 @@ impl StmStats {
         self.backoff_ns.load(Ordering::Relaxed)
     }
 
+    /// Versions reclaimed (epoch GC on dynamically retained `TVar`s,
+    /// discard-oldest eviction on capped ones) by this runtime's
+    /// commits.
+    pub fn versions_retired(&self) -> u64 {
+        self.versions_retired.load(Ordering::Relaxed)
+    }
+
+    /// Largest observed gap between a commit timestamp and the GC
+    /// watermark it installed against, in clock units — the retention
+    /// overhang long-lived snapshots imposed at their worst. Zero until
+    /// the first write commit.
+    pub fn watermark_lag_max(&self) -> u64 {
+        self.watermark_lag_max.load(Ordering::Relaxed)
+    }
+
     fn count(&self, conflict: Conflict) {
         let counter = match conflict {
             Conflict::WriteWrite => &self.write_write_aborts,
@@ -100,6 +122,8 @@ impl Observable for StmStats {
         reg.count("stm.aborts.read_validation", self.read_validation_aborts());
         reg.count("stm.backoffs", self.backoffs());
         reg.count("stm.backoff_ns", self.backoff_ns());
+        reg.count("stm.versions_retired", self.versions_retired());
+        reg.gauge("stm.watermark_lag_max", self.watermark_lag_max() as f64);
         reg.merge_histogram("stm.retries", &self.retries.snapshot());
     }
 }
@@ -237,6 +261,43 @@ impl Stm {
     /// capped exponential backoff — spin, then yield, then park — with
     /// deterministic per-thread jitter; the attempts distribution and
     /// total wait time are exported through [`StmStats`].
+    ///
+    /// # Examples
+    ///
+    /// Each retry runs the body again on a *fresh* snapshot, so a body
+    /// that conflicts (here: forced with an explicit [`Conflict`]
+    /// through [`Stm::try_atomically`], which surfaces the conflict
+    /// instead of retrying) simply reruns until it commits:
+    ///
+    /// ```
+    /// use sitm_stm::{Conflict, Stm, TVar};
+    ///
+    /// let stm = Stm::snapshot();
+    /// let v = TVar::new(0u64);
+    ///
+    /// // try_atomically: one attempt, the conflict is returned...
+    /// let aborted = stm.try_atomically(&mut |tx| {
+    ///     let cur = tx.read(&v)?;
+    ///     tx.write(&v, cur + 1);
+    ///     // A competitor slips in a commit before ours:
+    ///     stm.atomically(|t| {
+    ///         let c = t.read(&v)?;
+    ///         t.write(&v, c + 10);
+    ///         Ok(())
+    ///     });
+    ///     Ok(())
+    /// });
+    /// assert_eq!(aborted, Err(Conflict::WriteWrite));
+    ///
+    /// // ...while atomically would have retried on a fresh snapshot
+    /// // (observing the competitor's write) and committed:
+    /// stm.atomically(|tx| {
+    ///     let cur = tx.read(&v)?;
+    ///     tx.write(&v, cur + 1);
+    ///     Ok(())
+    /// });
+    /// assert_eq!(v.load(), 11);
+    /// ```
     pub fn atomically<T>(&self, mut body: impl FnMut(&mut Tx) -> Result<T, StmError>) -> T {
         let mut attempt = 0u32;
         loop {
@@ -278,8 +339,18 @@ impl Stm {
         );
         match body(&mut tx) {
             Ok(value) => match tx.commit() {
-                Ok(()) => {
+                Ok(receipt) => {
                     self.stats.commits.fetch_add(1, Ordering::Relaxed);
+                    if receipt.versions_retired > 0 {
+                        self.stats
+                            .versions_retired
+                            .fetch_add(receipt.versions_retired, Ordering::Relaxed);
+                    }
+                    if let Some(lag) = receipt.watermark_lag {
+                        self.stats
+                            .watermark_lag_max
+                            .fetch_max(lag, Ordering::Relaxed);
+                    }
                     Ok(value)
                 }
                 Err(conflict) => {

@@ -18,50 +18,34 @@
 //! of every variable involved, the commit point is atomic with respect
 //! to conflicting commits, mirroring the paper's delta-reservation
 //! argument without needing it — while transactions with disjoint
-//! footprints proceed fully in parallel, sharing nothing but one
-//! fetch-add on the (cache-line-padded) global clock. Snapshot reads
-//! never take a lock: they only wait out a commit caught mid-install on
-//! the variable being read (`VarInner::wait_unlocked`), which is the
-//! section 4.2 half-published-write-set race — a snapshot can only name
-//! an in-flight commit's end timestamp after that commit ticked the
-//! clock, which happens while its locks are held.
+//! footprints proceed fully in parallel, sharing nothing but one CAS
+//! on the committing thread's own clock shard (`epoch::commit_tick`;
+//! see `epoch.rs` for why sharded timestamps still totally order
+//! commits). Snapshot reads never take a lock: they only wait out a
+//! commit caught mid-install on the variable being read
+//! (`VarInner::wait_unlocked`), which is the section 4.2
+//! half-published-write-set race — a snapshot can only name an
+//! in-flight commit's end timestamp after that commit ticked its clock
+//! shard, which happens while its locks are held.
+//!
+//! Every transaction also registers in the epoch registry for its
+//! lifetime (the `epoch::SnapshotGuard` field of [`Tx`]): the
+//! registry's watermark is what lets commits garbage-collect versions
+//! no live snapshot can reach (DESIGN.md §14).
 
 use std::any::Any;
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use sitm_obs::{
     ForensicCause, ForensicEvent, History, OpKind, SharedForensics, TxnBuilder, TxnRecord,
 };
 
+use crate::epoch;
 use crate::error::{Conflict, StmError};
 use crate::recorder::{Recorder, TxEvent};
 use crate::tvar::{lock_versions, TVar, VarOps};
-
-/// The global version clock shared by every transaction in the process,
-/// alone on its cache line so the commit-time fetch-add does not
-/// false-share with unrelated statics.
-#[repr(align(128))]
-struct PaddedClock(AtomicU64);
-
-static GLOBAL_CLOCK: PaddedClock = PaddedClock(AtomicU64::new(0));
-
-pub(crate) fn clock_now() -> u64 {
-    GLOBAL_CLOCK.0.load(Ordering::SeqCst)
-}
-
-fn clock_tick() -> u64 {
-    GLOBAL_CLOCK.0.fetch_add(1, Ordering::SeqCst) + 1
-}
-
-/// Dense per-thread indices for history records: each OS thread draws
-/// one on first transactional use.
-static NEXT_THREAD_INDEX: AtomicUsize = AtomicUsize::new(0);
-
-thread_local! {
-    static THREAD_INDEX: usize = NEXT_THREAD_INDEX.fetch_add(1, Ordering::Relaxed);
-}
 
 /// Thread-safe collector of finished transaction records plus the
 /// global operation sequence counter, shared by every [`Tx`] an
@@ -181,6 +165,11 @@ pub struct Tx {
     /// Shared abort-forensics recorder (a no-op unless the `trace`
     /// feature is enabled), when the runtime collects forensics.
     forensics: Option<Arc<SharedForensics>>,
+    /// This transaction's registration in the live-snapshot registry.
+    /// Held for the whole transaction (released on drop, on every exit
+    /// path), so epoch GC can never reclaim a version this snapshot
+    /// might still read.
+    _epoch: epoch::SnapshotGuard,
 }
 
 impl std::fmt::Debug for Tx {
@@ -207,7 +196,11 @@ impl Tx {
         sink: Option<Arc<HistorySink>>,
         forensics: Option<Arc<SharedForensics>>,
     ) -> Self {
-        let snapshot = clock_now();
+        // Register in the epoch registry *and* draw the snapshot in
+        // one step: the registration is published before the clock is
+        // read, which is what keeps the GC watermark at or below this
+        // snapshot for as long as the guard lives.
+        let (snapshot, guard) = epoch::enter();
         let attempt_id = NEXT_ATTEMPT.fetch_add(1, Ordering::Relaxed);
         if let Some(r) = &recorder {
             r.record(TxEvent::Begin {
@@ -218,7 +211,7 @@ impl Tx {
         let history = sink.map(|h| {
             let builder = TxnBuilder::new(
                 attempt_id,
-                THREAD_INDEX.with(|&i| i),
+                epoch::thread_index(),
                 0, // the 64-bit software clock never overflows
                 h.next_seq(),
                 Some(snapshot),
@@ -235,6 +228,7 @@ impl Tx {
             attempt_id,
             history,
             forensics,
+            _epoch: guard,
         }
     }
 
@@ -244,7 +238,7 @@ impl Tx {
     fn record_forensic(&self, cause: ForensicCause, var_id: u64, winner_ts: Option<u64>) {
         if let Some(f) = &self.forensics {
             f.record(
-                THREAD_INDEX.with(|&i| i),
+                epoch::thread_index(),
                 cause,
                 ForensicEvent {
                     line: Some(var_id),
@@ -269,13 +263,33 @@ impl Tx {
     }
 
     /// Reads `var` from the transaction's snapshot (or its own buffered
-    /// write).
+    /// write). Every read in one transaction observes the same
+    /// snapshot, no matter what commits in between.
     ///
     /// # Errors
     ///
-    /// Returns [`Conflict::SnapshotTooOld`] (wrapped in [`StmError`]) if
-    /// the snapshot's version has been evicted from the variable's
-    /// bounded history; the retry loop restarts on a fresh snapshot.
+    /// Returns [`Conflict::SnapshotTooOld`] (wrapped in [`StmError`])
+    /// if the snapshot's version was evicted from a *capped* variable
+    /// ([`TVar::with_history`]); the retry loop restarts on a fresh
+    /// snapshot. Dynamically retained variables ([`TVar::new`]) keep
+    /// every version a live snapshot can reach, so reading them cannot
+    /// fail.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sitm_stm::{Stm, TVar};
+    ///
+    /// let stm = Stm::snapshot();
+    /// let a = TVar::new(2u64);
+    /// let b = TVar::new(3u64);
+    /// let product = stm.atomically(|tx| {
+    ///     let a = tx.read(&a)?; // both reads: one consistent snapshot
+    ///     let b = tx.read(&b)?;
+    ///     Ok(a * b)
+    /// });
+    /// assert_eq!(product, 6);
+    /// ```
     pub fn read<T: Clone + Send + Sync + 'static>(&mut self, var: &TVar<T>) -> Result<T, StmError> {
         if let Some(r) = &self.recorder {
             r.record(TxEvent::Read {
@@ -371,7 +385,7 @@ impl Tx {
     }
 
     /// Attempts to commit. Consumes the transaction.
-    pub(crate) fn commit(mut self) -> Result<(), Conflict> {
+    pub(crate) fn commit(mut self) -> Result<CommitReceipt, Conflict> {
         let recorder = self.recorder.clone();
         let attempt_id = self.attempt_id;
         let history = self.history.take();
@@ -385,11 +399,11 @@ impl Tx {
         if let Some((sink, builder)) = history {
             let seq = sink.next_seq();
             sink.push(match result {
-                Ok(end) => builder.commit(seq, end),
+                Ok(receipt) => builder.commit(seq, receipt.end),
                 Err(conflict) => builder.abort(seq, conflict.label()),
             });
         }
-        result.map(|_| ())
+        result
     }
 
     /// Records the abort of a transaction whose *body* hit a conflict
@@ -403,10 +417,11 @@ impl Tx {
         }
     }
 
-    /// On success returns the commit timestamp the writes were
-    /// installed at, or `None` for read-only / promotion-only commits
-    /// (which publish nothing and take no clock tick).
-    fn commit_inner(self) -> Result<Option<u64>, Conflict> {
+    /// On success returns the commit receipt: the timestamp the writes
+    /// were installed at (`None` for read-only / promotion-only
+    /// commits, which publish nothing and take no clock tick) plus the
+    /// epoch-GC accounting of the install pass.
+    fn commit_inner(self) -> Result<CommitReceipt, Conflict> {
         // Read-only transactions validate only explicit promotions: a
         // pure snapshot reader is consistent as-of its snapshot and
         // commits free of charge even under `Serializable` (it
@@ -420,7 +435,7 @@ impl Tx {
             self.promoted.iter().chain(self.read_log.iter()).collect()
         };
         if read_only && validate.is_empty() {
-            return Ok(None);
+            return Ok(CommitReceipt::UNPUBLISHED);
         }
         // Acquire the commit locks of exactly this transaction's write
         // + validation sets, in ascending var-id order (BTreeMap
@@ -463,16 +478,53 @@ impl Tx {
         if self.writes.is_empty() {
             // Promotion-only transaction: validation passed, nothing to
             // install.
-            return Ok(None);
+            return Ok(CommitReceipt::UNPUBLISHED);
         }
 
-        // Publish.
-        let end = clock_tick();
+        // Publish. The end timestamp comes from this thread's clock
+        // shard, floored above the snapshot so `end > snapshot` holds
+        // regardless of how far other shards have advanced; each
+        // install also trims versions the live-snapshot watermark
+        // proves unreachable. (The watermark cannot pass our own
+        // snapshot: this transaction is still registered.)
+        let end = epoch::commit_tick(self.snapshot);
+        let watermark = epoch::gc_watermark(end);
+        let mut retired = 0;
         for (_, w) in self.writes {
-            w.var.install(end, w.value);
+            retired += w.var.install(end, w.value, watermark);
         }
-        Ok(Some(end))
+        Ok(CommitReceipt {
+            end: Some(end),
+            versions_retired: retired,
+            watermark_lag: Some(end - watermark),
+        })
     }
+}
+
+/// What a successful commit did, consumed by the runtime's statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct CommitReceipt {
+    /// Commit timestamp of the installed writes, or `None` for
+    /// read-only / promotion-only commits (which publish nothing and
+    /// take no clock tick).
+    pub(crate) end: Option<u64>,
+    /// Versions reclaimed by epoch GC / capped eviction while
+    /// installing this commit's writes.
+    pub(crate) versions_retired: u64,
+    /// Distance from the commit timestamp down to the GC watermark
+    /// used for the install pass (`None` when nothing was installed) —
+    /// the retention overhang a long-lived snapshot is currently
+    /// imposing.
+    pub(crate) watermark_lag: Option<u64>,
+}
+
+impl CommitReceipt {
+    /// The receipt of a commit that published nothing.
+    const UNPUBLISHED: CommitReceipt = CommitReceipt {
+        end: None,
+        versions_retired: 0,
+        watermark_lag: None,
+    };
 }
 
 #[cfg(test)]
@@ -540,7 +592,7 @@ mod tests {
         let mut w = Tx::begin(IsolationLevel::Snapshot, None);
         w.write(&var, 9);
         w.commit().unwrap();
-        assert_eq!(a.commit(), Ok(()));
+        assert!(a.commit().is_ok());
     }
 
     #[test]
@@ -613,6 +665,8 @@ mod tests {
         // Serializable (its snapshot is a consistent serialization
         // point).
         assert!(reader.is_read_only());
-        assert_eq!(reader.commit(), Ok(()));
+        let receipt = reader.commit().unwrap();
+        assert_eq!(receipt.end, None, "read-only commits take no tick");
+        assert_eq!(receipt.versions_retired, 0);
     }
 }
