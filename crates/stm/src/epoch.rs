@@ -12,7 +12,11 @@
 //!   cross-shard coordination. Reading the clock ([`clock_now`]) takes
 //!   the maximum over all shards, which is a valid snapshot point: it
 //!   is at least as new as every commit that finished before the scan
-//!   began.
+//!   began. A committing transaction must floor its tick above a fold
+//!   of *all* shards taken while its commit locks are held (see
+//!   [`commit_tick`]) — ticking only its own shard would let a commit
+//!   publish an end timestamp below an already-issued snapshot and
+//!   tear that snapshot's view of the write set.
 //!
 //! * **The live-snapshot registry.** Every transaction registers its
 //!   begin timestamp in a cache-padded per-thread slot for the
@@ -158,9 +162,19 @@ pub(crate) fn clock_now() -> u64 {
 
 /// Draws a commit timestamp from this thread's clock shard:
 /// the smallest unissued value of the shard's residue class strictly
-/// greater than both the shard's current value and `at_least`. Passing
-/// the transaction's snapshot as `at_least` guarantees `end >
-/// snapshot` even though other shards may lag this one.
+/// greater than both the shard's current value and `at_least`.
+///
+/// The commit path passes `at_least = max(snapshot, clock_now())`,
+/// with the [`clock_now`] fold taken **while holding every commit
+/// lock**. The snapshot half guarantees `end > begin` per transaction;
+/// the fold half guarantees atomic visibility of the whole write set:
+/// no shard holds a value `>= end` until this tick, so a reader whose
+/// snapshot covers `end` must have folded the clock after the
+/// committer did — after the locks were taken — and waits out the
+/// complete install on every written variable. Flooring at the
+/// snapshot alone is not enough: a shard that trails the others could
+/// issue an `end` below an already-issued snapshot, making the commit
+/// visible mid-transaction to a live reader (a torn snapshot).
 pub(crate) fn commit_tick(at_least: u64) -> u64 {
     let shard = thread_index() % SHARDS;
     let cell = &CLOCK[shard].0;

@@ -14,7 +14,9 @@
 //! * **Dynamic** ([`TVar::new`], the default): superseded versions are
 //!   retained exactly while a live snapshot's begin timestamp can
 //!   still reach them, and reclaimed by epoch GC once the
-//!   live-snapshot watermark passes them. Readers of such variables
+//!   live-snapshot watermark passes them (GC runs on installs;
+//!   [`TVar::compact`] trims a cold, no-longer-written variable on
+//!   demand). Readers of such variables
 //!   can never lose their version — [`Conflict::SnapshotTooOld`] is
 //!   unreachable — which is what makes the paper's "readers never
 //!   abort" property hold for arbitrarily long transactions.
@@ -81,6 +83,28 @@ struct Chain<T> {
     truncated: bool,
 }
 
+impl<T> Chain<T> {
+    /// Epoch GC: drops every spilled version no snapshot at or above
+    /// `watermark` can bind to, returning how many were dropped. Every
+    /// snapshot that is live or can still begin has `begin_ts >=
+    /// watermark` (the epoch invariant), and a snapshot `s` is served
+    /// by the newest version with `ts <= s` — so the newest version
+    /// with `ts <= watermark`, and everything newer, must stay;
+    /// everything older is unreachable forever.
+    fn trim(&mut self, watermark: u64) -> u64 {
+        if self.newest_ts <= watermark {
+            // The inline newest serves every surviving snapshot.
+            let dead = self.older.len();
+            self.older.clear();
+            dead as u64
+        } else {
+            let reachable_from = self.older.partition_point(|&(vts, _)| vts <= watermark);
+            let dead = reachable_from.saturating_sub(1);
+            self.older.drain(..dead).count() as u64
+        }
+    }
+}
+
 #[derive(Debug)]
 pub(crate) struct VarInner<T> {
     id: u64,
@@ -109,9 +133,10 @@ impl<T> VarInner<T> {
     ///
     /// Readers call this before scanning the version chain: a snapshot
     /// new enough to observe an in-flight commit's end timestamp can
-    /// only exist *after* that commit ticked its clock shard, which
-    /// happens while the lock is held — so waiting for the release
-    /// guarantees the reader sees the fully installed version. Commits
+    /// only exist *after* that commit floored its clock tick over all
+    /// shards, which happens while the lock is held — so waiting for
+    /// the release guarantees the reader sees the fully installed
+    /// version (the §14 atomic-visibility argument). Commits
     /// never wait on readers, and readers never hold commit locks, so
     /// this cannot deadlock.
     fn wait_unlocked(&self) {
@@ -304,6 +329,55 @@ impl<T: Clone + Send + Sync + 'static> TVar<T> {
     pub fn retired_total(&self) -> u64 {
         self.inner.retired.load(Ordering::Relaxed)
     }
+
+    /// Reclaims this variable's retired versions *now*, against a
+    /// freshly scanned live-snapshot watermark, and returns how many
+    /// were reclaimed.
+    ///
+    /// Epoch GC normally piggybacks on installs, so a variable that
+    /// stops being written keeps whatever spill a since-finished long
+    /// reader forced it to retain — indefinitely, if no writer ever
+    /// touches it again (DESIGN.md §14). `compact` is the explicit
+    /// trim hook for such cold variables; it is always safe (it drops
+    /// only versions the watermark proves unreachable, so a concurrent
+    /// reader can never lose its version) and never blocks commits.
+    ///
+    /// Reclamations made here count toward [`TVar::retired_total`] but
+    /// not toward any runtime's `StmStats` aggregate — no transaction
+    /// is involved. On capped variables ([`TVar::with_history`]) this
+    /// is a no-op returning 0: their retention is already bounded at
+    /// install time.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sitm_stm::{Stm, TVar};
+    /// let stm = Stm::snapshot();
+    /// let cell = TVar::new(0u32);
+    /// for i in 1..=4 {
+    ///     stm.atomically(|tx| {
+    ///         tx.write(&cell, i);
+    ///         Ok(())
+    ///     });
+    /// }
+    /// // No snapshot is live, so everything superseded is
+    /// // reclaimable without waiting for the next write.
+    /// cell.compact();
+    /// assert_eq!(cell.version_count(), 1);
+    /// ```
+    pub fn compact(&self) -> u64 {
+        if self.inner.cap != DYNAMIC {
+            return 0;
+        }
+        let watermark = crate::epoch::refresh_watermark();
+        let mut chain = lock_versions(&self.inner.chain);
+        let dropped = chain.trim(watermark);
+        if dropped > 0 {
+            chain.truncated = true;
+            self.inner.retired.fetch_add(dropped, Ordering::Relaxed);
+        }
+        dropped
+    }
 }
 
 /// Type-erased per-variable operations used by the commit protocol.
@@ -396,22 +470,7 @@ impl<T: Clone + Send + Sync + 'static> VarOps for VarInner<T> {
         let prev = std::mem::replace(&mut chain.newest, value);
         chain.older.push_back((prev_ts, prev));
         let dropped = if self.cap == DYNAMIC {
-            // Epoch GC: every snapshot that can still begin has
-            // begin_ts >= watermark (the epoch invariant), and a
-            // snapshot s is served by the newest version with
-            // ts <= s. So the newest version with ts <= watermark —
-            // and everything newer — must stay; everything older is
-            // unreachable forever.
-            if chain.newest_ts <= watermark {
-                // The inline newest serves every surviving snapshot.
-                let dead = chain.older.len();
-                chain.older.clear();
-                dead as u64
-            } else {
-                let reachable_from = chain.older.partition_point(|&(vts, _)| vts <= watermark);
-                let dead = reachable_from.saturating_sub(1);
-                chain.older.drain(..dead).count() as u64
-            }
+            chain.trim(watermark)
         } else {
             // Discard-oldest within the version cap.
             let mut dead = 0;

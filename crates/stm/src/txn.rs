@@ -18,15 +18,15 @@
 //! of every variable involved, the commit point is atomic with respect
 //! to conflicting commits, mirroring the paper's delta-reservation
 //! argument without needing it — while transactions with disjoint
-//! footprints proceed fully in parallel, sharing nothing but one CAS
-//! on the committing thread's own clock shard (`epoch::commit_tick`;
-//! see `epoch.rs` for why sharded timestamps still totally order
-//! commits). Snapshot reads never take a lock: they only wait out a
-//! commit caught mid-install on the variable being read
-//! (`VarInner::wait_unlocked`), which is the section 4.2
-//! half-published-write-set race — a snapshot can only name an
-//! in-flight commit's end timestamp after that commit ticked its clock
-//! shard, which happens while its locks are held.
+//! footprints proceed fully in parallel, sharing nothing but one read
+//! fold of the clock shards and one CAS on the committing thread's own
+//! shard (`epoch::commit_tick`). Snapshot reads never take a lock:
+//! they only wait out a commit caught mid-install on the variable
+//! being read (`VarInner::wait_unlocked`), which is the section 4.2
+//! half-published-write-set race — a snapshot can only cover an
+//! in-flight commit's end timestamp if it folded the clock after that
+//! commit floored its tick over all shards, which happens while its
+//! locks are held (the atomic-visibility argument of DESIGN.md §14).
 //!
 //! Every transaction also registers in the epoch registry for its
 //! lifetime (the `epoch::SnapshotGuard` field of [`Tx`]): the
@@ -482,12 +482,20 @@ impl Tx {
         }
 
         // Publish. The end timestamp comes from this thread's clock
-        // shard, floored above the snapshot so `end > snapshot` holds
-        // regardless of how far other shards have advanced; each
-        // install also trims versions the live-snapshot watermark
-        // proves unreachable. (The watermark cannot pass our own
-        // snapshot: this transaction is still registered.)
-        let end = epoch::commit_tick(self.snapshot);
+        // shard, floored — while every commit lock is held — above
+        // both the snapshot (so `end > begin` per transaction) and a
+        // fold of all shards (`clock_now`). The fold is what makes the
+        // installs atomically visible: no shard held a value >= `end`
+        // before this thread's tick, so any snapshot that covers `end`
+        // was folded after this point — i.e. after the locks were
+        // acquired — and waits out the install on every written
+        // variable (`wait_unlocked`). A snapshot therefore observes
+        // this commit's whole write set or none of it, never a prefix
+        // (DESIGN.md §14). Each install also trims versions the
+        // live-snapshot watermark proves unreachable. (The watermark
+        // cannot pass our own snapshot: this transaction is still
+        // registered.)
+        let end = epoch::commit_tick(self.snapshot.max(epoch::clock_now()));
         let watermark = epoch::gc_watermark(end);
         let mut retired = 0;
         for (_, w) in self.writes {
@@ -540,6 +548,47 @@ mod tests {
         assert_eq!(tx.read(&var).unwrap(), 2);
         tx.commit().unwrap();
         assert_eq!(var.load(), 2);
+    }
+
+    #[test]
+    fn commit_end_covers_snapshots_issued_before_publish() {
+        // Regression test for a torn-snapshot bug: begin a writer
+        // early (while its own clock shard lags), advance a *different*
+        // shard far ahead, then issue a snapshot. The writer's commit
+        // must land above that snapshot — flooring the tick only at
+        // the writer's own begin timestamp published an `end` below
+        // the already-issued snapshot, so the installs became visible
+        // inside a live reader's view mid-transaction.
+        let var = TVar::new(0u32);
+        let mut tx = Tx::begin(IsolationLevel::Snapshot, None);
+        tx.write(&var, 1);
+
+        let own_shard = epoch::thread_index() % epoch::SHARDS;
+        let mut advanced = false;
+        for _ in 0..64 {
+            advanced = std::thread::spawn(move || {
+                if epoch::thread_index() % epoch::SHARDS == own_shard {
+                    return false; // same shard: ticking it would mask the bug
+                }
+                epoch::commit_tick(epoch::clock_now() + 1_000);
+                true
+            })
+            .join()
+            .expect("shard-advancing thread");
+            if advanced {
+                break;
+            }
+        }
+        assert!(advanced, "no spawned thread landed on a foreign shard");
+
+        let reader_snapshot = epoch::clock_now();
+        tx.commit().unwrap();
+        assert!(
+            var.inner.newest_ts() > reader_snapshot,
+            "a commit must never publish below an already-issued snapshot \
+             (end {} <= snapshot {reader_snapshot})",
+            var.inner.newest_ts()
+        );
     }
 
     #[test]

@@ -97,6 +97,58 @@ fn transfers_conserve_money_and_auditors_never_abort() {
     assert_eq!(auditor_stm.stats().commits(), 2 * audits as u64);
 }
 
+/// Atomic visibility across the sharded commit clock: one commit's
+/// whole write set must enter a snapshot together or miss it together.
+/// Every writer advances both halves of a pair in one transaction, so
+/// any snapshot that observes the pair unequal has seen a commit's
+/// installs appear mid-transaction — the torn-snapshot failure a
+/// commit whose clock shard trails the others could produce if its
+/// end timestamp were not floored over a fold of all shards while the
+/// commit locks are held.
+#[test]
+fn snapshots_are_never_torn_across_clock_shards() {
+    const WRITER_THREADS: usize = 8;
+    let writes = ops(400);
+    let reads = ops(1_500);
+
+    let a = TVar::new(0u64);
+    let b = TVar::new(0u64);
+    let stm = Arc::new(Stm::snapshot());
+
+    thread::scope(|s| {
+        // Many writer threads spread commits across clock shards at
+        // uneven rates, so some committer's shard is always trailing.
+        for _ in 0..WRITER_THREADS {
+            let stm = Arc::clone(&stm);
+            let (a, b) = (a.clone(), b.clone());
+            s.spawn(move || {
+                for _ in 0..writes {
+                    stm.atomically(|tx| {
+                        let x = tx.read(&a)?;
+                        let y = tx.read(&b)?;
+                        tx.write(&a, x + 1);
+                        tx.write(&b, y + 1);
+                        Ok(())
+                    });
+                }
+            });
+        }
+        for _ in 0..2 {
+            let stm = Arc::clone(&stm);
+            let (a, b) = (a.clone(), b.clone());
+            s.spawn(move || {
+                for _ in 0..reads {
+                    let (x, y) = stm.atomically(|tx| Ok((tx.read(&a)?, tx.read(&b)?)));
+                    assert_eq!(x, y, "a commit's writes must enter a snapshot together");
+                }
+            });
+        }
+    });
+
+    assert_eq!(a.load(), (WRITER_THREADS * writes) as u64);
+    assert_eq!(a.load(), b.load());
+}
+
 /// Runs the classic two-account write-skew schedule: both threads read
 /// both balances on overlapping snapshots (a barrier between the reads
 /// and the commits forces the overlap), then each withdraws from its

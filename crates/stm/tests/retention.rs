@@ -104,6 +104,77 @@ fn parked_long_reader_forces_retention_then_gc_reclaims() {
     );
 }
 
+/// Epoch GC piggybacks on installs, so a variable that stops being
+/// written keeps the spill a since-finished long reader forced it to
+/// retain. `TVar::compact` is the explicit trim hook for such cold
+/// variables: a no-op while the reader pins the pile, a full
+/// reclamation afterwards — with no further writes to the variable.
+#[test]
+fn compact_reclaims_cold_variable_spill_without_writes() {
+    let _guard = serial();
+    const WRITER_COMMITS: u64 = 2_000;
+
+    let stm = Arc::new(Stm::snapshot());
+    let cell = TVar::new(0u64);
+    let (started_tx, started_rx) = mpsc::channel::<()>();
+    let (resume_tx, resume_rx) = mpsc::channel::<()>();
+
+    let reader = {
+        let stm = Arc::clone(&stm);
+        let cell = cell.clone();
+        thread::spawn(move || {
+            stm.atomically(|tx| {
+                let first = tx.read(&cell)?;
+                started_tx.send(()).expect("main thread alive");
+                resume_rx.recv().expect("main thread alive");
+                let second = tx.read(&cell)?;
+                Ok((first, second))
+            })
+        })
+    };
+    started_rx.recv().expect("reader started");
+
+    for i in 1..=WRITER_COMMITS {
+        stm.atomically(|tx| {
+            tx.write(&cell, i);
+            Ok(())
+        });
+    }
+    assert_eq!(cell.version_count() as u64, WRITER_COMMITS + 1);
+
+    // While the reader lives, compact must not touch its versions.
+    assert_eq!(
+        cell.compact(),
+        0,
+        "a live snapshot pins every version against compact"
+    );
+
+    resume_tx.send(()).expect("reader parked");
+    let (first, second) = reader.join().expect("reader thread");
+    assert_eq!((first, second), (0, 0));
+
+    // The variable is now cold — nothing writes it again, so
+    // install-driven GC never runs on it. compact alone releases the
+    // pile, and its reclamations land in the per-variable counter
+    // (there is no commit, so no runtime aggregate moves).
+    let reclaimed = cell.compact();
+    assert!(
+        reclaimed >= WRITER_COMMITS - 64,
+        "compact reclaimed only {reclaimed} of {WRITER_COMMITS} versions"
+    );
+    assert!(
+        cell.version_count() < 64,
+        "cold spill released (still {} versions)",
+        cell.version_count()
+    );
+    assert_eq!(cell.retired_total(), reclaimed);
+    assert_eq!(
+        stm.stats().versions_retired(),
+        0,
+        "compact is not a commit: runtime stats are untouched"
+    );
+}
+
 /// Write-heavy load with no long readers: spill storage must stay
 /// bounded (the watermark advances with the clock, so epoch GC trims
 /// on install) instead of growing with commit count.
