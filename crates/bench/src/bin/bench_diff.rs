@@ -18,8 +18,19 @@
 //! symmetric in both directions: with `--tolerance-pct 900` a metric
 //! fails when it moved more than 10x up **or** more than 10x down
 //! (`-90%`). A plain signed-percent threshold could never catch large
-//! slowdowns, which saturate at `-100%`. Sign flips and zero/nonzero
-//! transitions are always out of tolerance.
+//! slowdowns, which saturate at `-100%`. Sign flips are always out of
+//! tolerance. Two metric shapes have no meaningful ratio and get
+//! explicit rules instead:
+//!
+//! * **zero baseline** — a ratio against 0 is undefined, so a zero
+//!   baseline requires an exact match: `0 -> 0` passes at any
+//!   tolerance, `0 -> anything else` fails (reported as `was 0`, not
+//!   as an infinite percentage).
+//! * **non-finite values** — a NaN or infinity on either side always
+//!   fails (reported as `non-finite`). NaN in particular compares
+//!   false against every threshold, so without this rule a NaN metric
+//!   would sail *through* the gate exactly when the producer is most
+//!   broken.
 //!
 //! Host-wall-clock bookkeeping keys (`wall_ms`, `sweep_wall_ms`,
 //! `jobs`, `sweep_jobs`) are never compared: they describe the machine
@@ -109,24 +120,54 @@ fn load_metrics(path: &str) -> Result<BTreeMap<String, f64>, String> {
     Ok(metrics)
 }
 
-/// Relative delta in percent; `None` when the baseline is zero and the
-/// value moved (an infinite relative change, always out of tolerance).
-fn delta_pct(old: f64, new: f64) -> Option<f64> {
-    if old == 0.0 {
+/// The delta column of one compared metric.
+#[derive(Debug, Clone, PartialEq)]
+enum Delta {
+    /// Finite relative change in percent.
+    Pct(f64),
+    /// The baseline is zero and the value moved: no ratio exists, the
+    /// metric is held to exact-match-required.
+    ZeroBaseline,
+    /// NaN or an infinity on either side: the comparison machinery is
+    /// meaningless, the metric always fails.
+    NonFinite,
+}
+
+impl Delta {
+    fn text(&self) -> String {
+        match self {
+            Delta::Pct(d) => format!("{d:+.1}%"),
+            Delta::ZeroBaseline => "was 0".to_string(),
+            Delta::NonFinite => "non-finite".to_string(),
+        }
+    }
+}
+
+/// Classifies the movement from `old` to `new` for display.
+fn delta(old: f64, new: f64) -> Delta {
+    if !old.is_finite() || !new.is_finite() {
+        Delta::NonFinite
+    } else if old == 0.0 {
         if new == 0.0 {
-            Some(0.0)
+            Delta::Pct(0.0)
         } else {
-            None
+            Delta::ZeroBaseline
         }
     } else {
-        Some((new - old) / old.abs() * 100.0)
+        Delta::Pct((new - old) / old.abs() * 100.0)
     }
 }
 
 /// Ratio-symmetric tolerance check: `tolerance` percent permits a
 /// larger-over-smaller ratio of up to `1 + tolerance/100` in either
-/// direction. Sign flips and zero/nonzero transitions always fail.
+/// direction. Sign flips and zero/nonzero transitions always fail; a
+/// zero baseline demands an exact match (see the module docs). Any
+/// non-finite value fails unconditionally — NaN compares false against
+/// every threshold, so the naive ratio math would otherwise *pass* it.
 fn out_of_tolerance(old: f64, new: f64, tolerance: f64) -> bool {
+    if !old.is_finite() || !new.is_finite() {
+        return true;
+    }
     if old == new {
         return false;
     }
@@ -188,10 +229,7 @@ fn main() -> ExitCode {
     let mut failures = 0usize;
     for (key, &old_v) in &old {
         let Some(&new_v) = new.get(key) else { continue };
-        let delta_text = match delta_pct(old_v, new_v) {
-            Some(d) => format!("{d:+.1}%"),
-            None => "inf".to_string(),
-        };
+        let delta_text = delta(old_v, new_v).text();
         if out_of_tolerance(old_v, new_v, tolerance) {
             failures += 1;
             println!("{key:<64} {old_v:>14.3} {new_v:>14.3} {delta_text:>8} !");
@@ -212,5 +250,63 @@ fn main() -> ExitCode {
     } else {
         println!("bench_diff: all shared metrics within {tolerance}%");
         ExitCode::SUCCESS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_tolerance_is_symmetric() {
+        // 10% permits up to 1.1x in either direction.
+        assert!(!out_of_tolerance(100.0, 109.0, 10.0));
+        assert!(!out_of_tolerance(109.0, 100.0, 10.0));
+        assert!(out_of_tolerance(100.0, 111.0, 10.0));
+        // The symmetric lower bound is 1/1.1, not -10%.
+        assert!(!out_of_tolerance(100.0, 91.0, 10.0));
+        assert!(out_of_tolerance(100.0, 90.0, 10.0));
+    }
+
+    #[test]
+    fn sign_flips_always_fail() {
+        assert!(out_of_tolerance(5.0, -5.0, 1_000_000.0));
+        assert!(out_of_tolerance(-5.0, 5.0, 1_000_000.0));
+    }
+
+    #[test]
+    fn zero_baseline_requires_exact_match() {
+        assert!(!out_of_tolerance(0.0, 0.0, 0.0));
+        assert_eq!(delta(0.0, 0.0), Delta::Pct(0.0));
+        // Any movement off (or onto) zero fails at every tolerance,
+        // and is reported as a zero-baseline case, not as "inf".
+        assert!(out_of_tolerance(0.0, 1e-9, 1_000_000.0));
+        assert!(out_of_tolerance(3.0, 0.0, 1_000_000.0));
+        assert_eq!(delta(0.0, 2.0), Delta::ZeroBaseline);
+        assert_eq!(delta(0.0, 2.0).text(), "was 0");
+    }
+
+    #[test]
+    fn non_finite_values_never_pass() {
+        // NaN compares false against every threshold: before the
+        // explicit guard, a NaN on either side sailed through the
+        // ratio math and was certified as within tolerance.
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert!(out_of_tolerance(bad, 1.0, 1_000_000.0));
+            assert!(out_of_tolerance(1.0, bad, 1_000_000.0));
+            assert!(out_of_tolerance(bad, bad, 1_000_000.0));
+            assert_eq!(delta(bad, 1.0), Delta::NonFinite);
+            assert_eq!(delta(1.0, bad).text(), "non-finite");
+        }
+    }
+
+    #[test]
+    fn finite_deltas_report_signed_percent() {
+        assert_eq!(delta(100.0, 150.0), Delta::Pct(50.0));
+        assert_eq!(delta(100.0, 150.0).text(), "+50.0%");
+        assert_eq!(delta(100.0, 50.0).text(), "-50.0%");
+        // Negative baselines measure against |old| so the sign of the
+        // delta still means "up" or "down".
+        assert_eq!(delta(-100.0, -50.0), Delta::Pct(50.0));
     }
 }

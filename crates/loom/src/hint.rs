@@ -1,0 +1,13 @@
+//! Shimmed `std::hint`.
+
+use crate::sched::{self, SwitchKind};
+
+/// Shim of `std::hint::spin_loop`: treated as a voluntary yield, so a
+/// spin-wait demotes itself instead of burning the whole preemption
+/// budget re-reading an unchanged location.
+pub fn spin_loop() {
+    match sched::current() {
+        Some(_) => sched::switch_point(SwitchKind::Yield),
+        None => std::hint::spin_loop(),
+    }
+}

@@ -1,0 +1,230 @@
+//! In-tree model checker for the sitm workspace.
+//!
+//! The workspace is dependency-free by design (hermetic builds), so
+//! this crate supplies what the real `loom` crate would: shimmed
+//! atomics, mutexes and threads whose every operation funnels through
+//! a cooperative scheduler, plus two drivers over that scheduler —
+//!
+//! * [`model`] / [`model_with`] — **loom mode**: exhaustive DFS over
+//!   every thread interleaving of a small closure, bounded by a
+//!   preemption budget (`LOOM_MAX_PREEMPTIONS`, default 2 — the
+//!   classic result that almost all concurrency bugs need only a few
+//!   preemptions). The closure runs once per interleaving; any panic
+//!   (assertion failure) is reported with the schedule that produced
+//!   it, and the run is deterministic, so re-running the test
+//!   reproduces it.
+//! * [`dst::run_seeded`] — **DST mode**: one execution driven by a
+//!   seeded random scheduler with fault injection ([`FaultPlan`]:
+//!   thread stalls, which become lock-hold stalls when the victim
+//!   holds a lock). Given the same seed, the schedule — and therefore
+//!   the entire run — is byte-identical, which is the replay
+//!   contract: CI prints a failing seed, you rerun it locally.
+//!
+//! The model checks sequential consistency only (see [`sync`]);
+//! interleaving bugs are in scope, weak-memory ordering bugs are not.
+//!
+//! Model closures must be self-contained: reset any process-global
+//! state at the top (sitm-stm exposes `model_support::reset()` for
+//! its clock/registry statics), spawn threads with [`thread::spawn`],
+//! and assert invariants before returning. Runs are serialized on a
+//! process-wide lock, so `cargo test` parallelism cannot interleave
+//! two models.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod hint;
+mod sched;
+mod strategy;
+pub mod sync;
+pub mod thread;
+
+pub use strategy::FaultPlan;
+
+use std::sync::{Arc, Mutex};
+
+use sched::Sched;
+use strategy::{Dfs, RandomWalk, Strategy};
+
+/// Serializes model/DST runs across test threads: the scheduler
+/// assumes the only model threads alive are its own, and model
+/// closures reset process-global state.
+static MODEL_LOCK: Mutex<()> = Mutex::new(());
+
+/// Tuning for [`model_with`]. `Default` reads the environment.
+#[derive(Clone, Copy, Debug)]
+pub struct ModelOpts {
+    /// Preemption bound per execution (`LOOM_MAX_PREEMPTIONS`,
+    /// default 2). Voluntary yields are free; only switching away
+    /// from a thread that could have continued counts.
+    pub max_preemptions: u32,
+    /// Cap on explored interleavings (`LOOM_MAX_ITERATIONS`, default
+    /// 200 000). Hitting it fails the run: the model is too big for
+    /// an exhaustiveness claim and must shrink (or the cap must grow).
+    pub max_iterations: u64,
+    /// Per-execution scheduling-step budget (`LOOM_MAX_STEPS`,
+    /// default 100 000); exceeding it reports a livelock.
+    pub max_steps: u64,
+}
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+impl Default for ModelOpts {
+    fn default() -> Self {
+        ModelOpts {
+            max_preemptions: env_u64("LOOM_MAX_PREEMPTIONS", 2) as u32,
+            max_iterations: env_u64("LOOM_MAX_ITERATIONS", 200_000),
+            max_steps: env_u64("LOOM_MAX_STEPS", 100_000),
+        }
+    }
+}
+
+/// Exhaustively model-check `f` under every thread interleaving
+/// (bounded by [`ModelOpts::default`]).
+///
+/// # Panics
+///
+/// Panics if any interleaving makes `f` panic (the failure report
+/// includes the schedule), deadlock, livelock past the step budget,
+/// or if the search space exceeds the iteration cap.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    model_with(ModelOpts::default(), f);
+}
+
+/// [`model`] with explicit bounds. Returns the number of
+/// interleavings explored (useful to sanity-check model size).
+///
+/// # Panics
+///
+/// Same contract as [`model`].
+pub fn model_with<F>(opts: ModelOpts, f: F) -> u64
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let _serial = MODEL_LOCK
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    sched::install_hook_once();
+    let f = Arc::new(f);
+    let sched = Arc::new(Sched::new(
+        opts.max_preemptions,
+        opts.max_steps,
+        Strategy::Dfs(Dfs::new()),
+    ));
+    loop {
+        let root = Arc::clone(&f);
+        if let Some(failure) = sched::run_execution(&sched, move || root()) {
+            let explored = sched.with_strategy(|s| match s {
+                Strategy::Dfs(d) => d.executions(),
+                Strategy::Random(_) => 0,
+            });
+            panic!(
+                "loom model failed on interleaving {} (previous {} passed)\n{}\n\
+                 the DFS is deterministic: rerun this test to reproduce",
+                explored + 1,
+                explored,
+                failure
+            );
+        }
+        let explored = sched.with_strategy(|s| match s {
+            Strategy::Dfs(d) => d.executions(),
+            Strategy::Random(_) => 0,
+        });
+        if explored >= opts.max_iterations {
+            panic!(
+                "loom model explored {explored} interleavings without exhausting the space; \
+                 shrink the model or raise LOOM_MAX_ITERATIONS"
+            );
+        }
+        if !sched.advance_strategy() {
+            return sched.with_strategy(|s| match s {
+                Strategy::Dfs(d) => d.executions(),
+                Strategy::Random(_) => 0,
+            });
+        }
+    }
+}
+
+/// Deterministic simulation testing: seeded single-execution runs of
+/// real-thread closures under a random scheduler with fault
+/// injection.
+pub mod dst {
+    use super::{sched, Arc, FaultPlan, Mutex, RandomWalk, Sched, Strategy};
+
+    /// What a DST run did, for determinism checks and logging.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub struct DstReport {
+        /// The seed that reproduces this run.
+        pub seed: u64,
+        /// Scheduling decisions taken.
+        pub decisions: u64,
+        /// Stalls injected by the [`FaultPlan`].
+        pub stalls_injected: u64,
+        /// FNV fingerprint of the chosen schedule; equal seeds must
+        /// yield equal hashes (the replay contract).
+        pub schedule_hash: u64,
+    }
+
+    /// Run `f` once under a seeded random scheduler with `plan`'s
+    /// fault injection, returning its value and the run report.
+    ///
+    /// The run is a pure function of `seed` for a deterministic `f`
+    /// (reset global state first; take no wall-clock readings).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run fails (assertion, deadlock, step budget) —
+    /// the message leads with the seed so the failure can be replayed.
+    pub fn run_seeded<F, R>(seed: u64, plan: FaultPlan, f: F) -> (R, DstReport)
+    where
+        F: FnOnce() -> R + Send + 'static,
+        R: Send + 'static,
+    {
+        let _serial = super::MODEL_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        sched::install_hook_once();
+        let sched = Arc::new(Sched::new(
+            u32::MAX,
+            super::env_u64("LOOM_MAX_STEPS", 2_000_000),
+            Strategy::Random(RandomWalk::new(seed, plan)),
+        ));
+        let slot: Arc<Mutex<Option<R>>> = Arc::new(Mutex::new(None));
+        let slot2 = Arc::clone(&slot);
+        let failure = sched::run_execution(&sched, move || {
+            let v = f();
+            *slot2
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(v);
+        });
+        let report = sched.with_strategy(|s| match s {
+            Strategy::Random(r) => DstReport {
+                seed,
+                decisions: r.decisions,
+                stalls_injected: r.stalls_injected,
+                schedule_hash: r.schedule_hash,
+            },
+            Strategy::Dfs(_) => unreachable!("DST always runs the random strategy"),
+        });
+        if let Some(failure) = failure {
+            panic!(
+                "DST run failed — replay with seed {seed:#x} ({} decisions in)\n{failure}",
+                report.decisions
+            );
+        }
+        let value = slot
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .take()
+            .expect("DST root closure completed");
+        (value, report)
+    }
+}

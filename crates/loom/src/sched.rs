@@ -1,0 +1,478 @@
+//! The cooperative scheduler at the heart of both model modes.
+//!
+//! Every shimmed operation (atomic access, mutex acquire/release,
+//! spawn, yield) funnels through [`switch_point`], which hands a
+//! single execution token between real OS threads. Exactly one model
+//! thread runs at a time, so an execution is fully determined by the
+//! sequence of scheduling decisions — which is what lets the DFS
+//! strategy replay and branch, and the DST strategy reproduce a run
+//! from a seed.
+
+use std::cell::RefCell;
+use std::panic::AssertUnwindSafe;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+use crate::strategy::Strategy;
+
+/// Panic payload used to tear down sibling model threads once one of
+/// them has failed (or the execution hit a deadlock or budget). The
+/// panic hook suppresses it and per-thread harnesses swallow it; only
+/// the first *real* failure is reported.
+pub(crate) struct ModelAbort;
+
+/// Why a model thread is not currently runnable.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum Resource {
+    /// Waiting for a shimmed mutex, keyed by its address.
+    Lock(usize),
+    /// Waiting for another model thread to finish.
+    Join(usize),
+}
+
+/// Scheduling state of one model thread.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Status {
+    /// Eligible to run.
+    Runnable,
+    /// Voluntarily yielded (spin/backoff): only scheduled when no
+    /// thread is plainly runnable, so spin loops cannot starve the
+    /// threads they wait on.
+    Yielded,
+    /// Parked on a resource; re-enabled by [`Sched::release`] or by
+    /// the target thread finishing.
+    Blocked(Resource),
+    /// Ran to completion (or unwound).
+    Finished,
+}
+
+/// How the switching thread offers the token back to the scheduler.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub(crate) enum SwitchKind {
+    /// An ordinary shared-memory access: staying on this thread costs
+    /// nothing, switching away is a preemption.
+    Progress,
+    /// A voluntary yield (spin loop, backoff): switching away is free.
+    Yield,
+}
+
+/// Mutable scheduler state, guarded by one mutex.
+pub(crate) struct State {
+    threads: Vec<Status>,
+    /// Token holder; `usize::MAX` when no thread may run.
+    current: usize,
+    preemptions: u32,
+    steps: u64,
+    /// First failure of this execution: panic message, deadlock or
+    /// budget overrun. Set at most once; later failures are echoes.
+    abort: Option<String>,
+    /// Set by the driver once every thread has finished, releasing
+    /// parked finished threads to actually exit (their thread-local
+    /// destructors may touch shimmed state, which must not interleave
+    /// with a still-running execution).
+    execution_over: bool,
+    strategy: Strategy,
+    /// Chosen thread ids, for failure reports (bounded).
+    trace: Vec<u16>,
+}
+
+const NO_THREAD: usize = usize::MAX;
+const TRACE_CAP: usize = 4096;
+
+/// Per-`model()` scheduler shared by all model threads.
+pub(crate) struct Sched {
+    state: Mutex<State>,
+    cv: Condvar,
+    max_preemptions: u32,
+    max_steps: u64,
+    /// OS handles of every thread spawned this execution; joined by
+    /// the driver before the next execution starts.
+    os_handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+thread_local! {
+    /// (scheduler, my thread id) for threads running inside a model;
+    /// `None` means shim operations pass straight through to std.
+    static CTX: RefCell<Option<(Arc<Sched>, usize)>> = const { RefCell::new(None) };
+}
+
+/// The scheduler the calling OS thread is registered with, if any.
+pub(crate) fn current() -> Option<(Arc<Sched>, usize)> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+/// One scheduling decision before/after a shared-memory access. A
+/// no-op outside a model or while unwinding (so guard drops during a
+/// teardown never deadlock or double-panic).
+pub(crate) fn switch_point(kind: SwitchKind) {
+    if std::thread::panicking() {
+        return;
+    }
+    if let Some((sched, id)) = current() {
+        sched.switch(id, kind);
+    }
+}
+
+/// Park the calling model thread on `res` until released, yielding
+/// the token meanwhile. Returns `false` when no scheduler is active
+/// (caller must fall back to real blocking).
+pub(crate) fn block_on(res: Resource) -> bool {
+    if std::thread::panicking() {
+        return false;
+    }
+    match current() {
+        Some((sched, id)) => {
+            sched.block(id, res);
+            true
+        }
+        None => false,
+    }
+}
+
+/// Wake every model thread parked on `res`. Safe during unwinding.
+pub(crate) fn release(res: Resource) {
+    if let Some((sched, _)) = current() {
+        sched.release(res);
+    }
+}
+
+fn lock_state(sched: &Sched) -> MutexGuard<'_, State> {
+    sched
+        .state
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+impl Sched {
+    pub(crate) fn new(max_preemptions: u32, max_steps: u64, strategy: Strategy) -> Self {
+        Sched {
+            state: Mutex::new(State {
+                threads: Vec::new(),
+                current: NO_THREAD,
+                preemptions: 0,
+                steps: 0,
+                abort: None,
+                execution_over: false,
+                strategy,
+                trace: Vec::new(),
+            }),
+            cv: Condvar::new(),
+            max_preemptions,
+            max_steps,
+            os_handles: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Clear per-execution state; the strategy persists (it carries
+    /// the DFS backtracking stack across executions).
+    fn reset_execution(&self) {
+        let mut st = lock_state(self);
+        st.threads.clear();
+        st.current = NO_THREAD;
+        st.preemptions = 0;
+        st.steps = 0;
+        st.abort = None;
+        st.execution_over = false;
+        st.trace.clear();
+    }
+
+    /// Register a new model thread; the first registered thread (the
+    /// execution root) starts holding the token.
+    pub(crate) fn register_thread(&self) -> usize {
+        let mut st = lock_state(self);
+        let id = st.threads.len();
+        st.threads.push(Status::Runnable);
+        if id == 0 {
+            st.current = 0;
+        }
+        id
+    }
+
+    fn push_os_handle(&self, h: std::thread::JoinHandle<()>) {
+        self.os_handles
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push(h);
+    }
+
+    /// The scheduling point: offer the token, let the strategy pick
+    /// the next thread, wait until picked again.
+    fn switch(self: &Arc<Self>, id: usize, kind: SwitchKind) {
+        let mut st = lock_state(self);
+        self.check_abort_and_budget(&mut st);
+        st.threads[id] = match kind {
+            SwitchKind::Progress => Status::Runnable,
+            SwitchKind::Yield => Status::Yielded,
+        };
+        self.choose_next(&mut st, id);
+        self.wait_turn(st, id);
+    }
+
+    fn block(self: &Arc<Self>, id: usize, res: Resource) {
+        let mut st = lock_state(self);
+        self.check_abort_and_budget(&mut st);
+        st.threads[id] = Status::Blocked(res);
+        self.choose_next(&mut st, id);
+        self.wait_turn(st, id);
+    }
+
+    fn release(&self, res: Resource) {
+        let mut st = lock_state(self);
+        for t in st.threads.iter_mut() {
+            if *t == Status::Blocked(res) {
+                *t = Status::Runnable;
+            }
+        }
+    }
+
+    /// Block until `target` has finished running.
+    pub(crate) fn join_thread(self: &Arc<Self>, id: usize, target: usize) {
+        loop {
+            let mut st = lock_state(self);
+            self.check_abort_and_budget(&mut st);
+            if st.threads[target] == Status::Finished {
+                return;
+            }
+            st.threads[id] = Status::Blocked(Resource::Join(target));
+            self.choose_next(&mut st, id);
+            self.wait_turn(st, id);
+        }
+    }
+
+    /// Mark the calling thread finished, wake joiners, pass the token
+    /// on, then park until the whole execution is over (thread-local
+    /// destructors must not interleave with live model threads).
+    fn finish_thread(self: &Arc<Self>, id: usize) {
+        let mut st = lock_state(self);
+        st.threads[id] = Status::Finished;
+        for t in st.threads.iter_mut() {
+            if *t == Status::Blocked(Resource::Join(id)) {
+                *t = Status::Runnable;
+            }
+        }
+        self.choose_next(&mut st, id);
+        while !st.execution_over {
+            st = self
+                .cv
+                .wait(st)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// Record the first real failure and wake everyone to tear down.
+    fn record_failure(&self, id: usize, msg: String) {
+        let mut st = lock_state(self);
+        if st.abort.is_none() {
+            let tail: Vec<u16> = st.trace.iter().rev().take(64).rev().copied().collect();
+            st.abort = Some(format!(
+                "thread {id} panicked: {msg}\nschedule tail (thread ids): {tail:?}"
+            ));
+        }
+        self.cv.notify_all();
+    }
+
+    fn check_abort_and_budget(&self, st: &mut MutexGuard<'_, State>) {
+        if st.abort.is_some() {
+            std::panic::panic_any(ModelAbort);
+        }
+        st.steps += 1;
+        if st.steps > self.max_steps {
+            st.abort = Some(format!(
+                "execution exceeded the step budget ({}): livelock, or raise LOOM_MAX_STEPS",
+                self.max_steps
+            ));
+            self.cv.notify_all();
+            std::panic::panic_any(ModelAbort);
+        }
+    }
+
+    /// Pick the next token holder among enabled threads, honoring the
+    /// preemption bound, and record the decision.
+    fn choose_next(&self, st: &mut MutexGuard<'_, State>, from: usize) {
+        let runnable: Vec<usize> = (0..st.threads.len())
+            .filter(|&i| st.threads[i] == Status::Runnable)
+            .collect();
+        let mut cands = if runnable.is_empty() {
+            (0..st.threads.len())
+                .filter(|&i| st.threads[i] == Status::Yielded)
+                .collect()
+        } else {
+            runnable
+        };
+        if cands.is_empty() {
+            let unfinished: Vec<usize> = (0..st.threads.len())
+                .filter(|&i| st.threads[i] != Status::Finished)
+                .collect();
+            st.current = NO_THREAD;
+            if !unfinished.is_empty() && st.abort.is_none() {
+                let held: Vec<(usize, Status)> =
+                    unfinished.iter().map(|&i| (i, st.threads[i])).collect();
+                st.abort = Some(format!("deadlock: no runnable thread, waiting: {held:?}"));
+            }
+            self.cv.notify_all();
+            return;
+        }
+        // A switch away from a thread that could have kept running is
+        // a preemption; once the bound is hit, pin the token to it.
+        let from_was_runnable = from < st.threads.len() && st.threads[from] == Status::Runnable;
+        if st.preemptions >= self.max_preemptions && from_was_runnable && cands.contains(&from) {
+            cands = vec![from];
+        }
+        let idx = st.strategy.choose(&cands);
+        let next = cands[idx];
+        if next != from && from_was_runnable {
+            st.preemptions += 1;
+        }
+        st.current = next;
+        if st.trace.len() < TRACE_CAP {
+            st.trace.push(next as u16);
+        }
+        if next != from {
+            self.cv.notify_all();
+        }
+    }
+
+    /// Wait until this thread holds the token again (or the execution
+    /// aborted, in which case unwind via `ModelAbort`).
+    fn wait_turn(self: &Arc<Self>, mut st: MutexGuard<'_, State>, id: usize) {
+        while st.current != id {
+            if st.abort.is_some() {
+                drop(st);
+                std::panic::panic_any(ModelAbort);
+            }
+            st = self
+                .cv
+                .wait(st)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        st.threads[id] = Status::Runnable;
+    }
+
+    /// First-time scheduling of a freshly spawned thread. Returns
+    /// `false` when the execution aborted before it ever ran.
+    fn wait_first_turn(self: &Arc<Self>, id: usize) -> bool {
+        let mut st = lock_state(self);
+        while st.current != id {
+            if st.abort.is_some() {
+                return false;
+            }
+            st = self
+                .cv
+                .wait(st)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        st.threads[id] = Status::Runnable;
+        true
+    }
+
+    /// Driver side: wait for every model thread to finish, release
+    /// the finished threads to exit, join their OS handles, and
+    /// return the failure (if any) plus executed-step count.
+    fn drain_execution(self: &Arc<Self>) -> Option<String> {
+        let mut st = lock_state(self);
+        while st.threads.iter().any(|t| *t != Status::Finished) {
+            st = self
+                .cv
+                .wait(st)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        st.execution_over = true;
+        let abort = st.abort.take();
+        self.cv.notify_all();
+        drop(st);
+        let handles: Vec<_> = std::mem::take(
+            &mut *self
+                .os_handles
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
+        );
+        for h in handles {
+            let _ = h.join();
+        }
+        abort
+    }
+
+    /// Ask the strategy whether an unexplored execution remains.
+    pub(crate) fn advance_strategy(&self) -> bool {
+        let mut st = lock_state(self);
+        st.strategy.next_execution()
+    }
+
+    pub(crate) fn with_strategy<R>(&self, f: impl FnOnce(&Strategy) -> R) -> R {
+        let st = lock_state(self);
+        f(&st.strategy)
+    }
+}
+
+/// Run one closure as a model thread: register the context, wait to
+/// be scheduled, run, record real panics, park until execution end.
+pub(crate) fn run_model_thread(sched: Arc<Sched>, id: usize, body: impl FnOnce()) {
+    CTX.with(|c| *c.borrow_mut() = Some((Arc::clone(&sched), id)));
+    if sched.wait_first_turn(id) {
+        let outcome = std::panic::catch_unwind(AssertUnwindSafe(body));
+        if let Err(payload) = outcome {
+            if !payload.is::<ModelAbort>() {
+                sched.record_failure(id, panic_message(payload.as_ref()));
+            }
+        }
+    }
+    // Clear the context *before* finishing so thread-local destructors
+    // running after this frame see no scheduler and pass through.
+    CTX.with(|c| *c.borrow_mut() = None);
+    sched.finish_thread(id);
+}
+
+/// Spawn a model thread running `body`; used by the driver (root) and
+/// the `thread::spawn` shim alike.
+pub(crate) fn spawn_model_thread(
+    sched: &Arc<Sched>,
+    body: impl FnOnce() + Send + 'static,
+) -> usize {
+    let id = sched.register_thread();
+    let sched2 = Arc::clone(sched);
+    let handle = std::thread::Builder::new()
+        .name(format!("loom-model-{id}"))
+        .spawn(move || run_model_thread(sched2, id, body))
+        .expect("spawning a model thread");
+    sched.push_os_handle(handle);
+    id
+}
+
+/// Drive one full execution of `root` under `sched`: spawn it as
+/// thread 0, wait for quiescence, reap OS threads, return the failure.
+pub(crate) fn run_execution(
+    sched: &Arc<Sched>,
+    root: impl FnOnce() + Send + 'static,
+) -> Option<String> {
+    sched.reset_execution();
+    spawn_model_thread(sched, root);
+    sched.drain_execution()
+}
+
+/// Extract a readable message from a panic payload.
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Install (once, process-wide) a panic hook that silences the
+/// `ModelAbort` teardown payload and defers to the previous hook for
+/// everything else. Model executions tear sibling threads down by
+/// panicking them; without this the default hook would spray
+/// backtraces for panics that are part of normal operation.
+pub(crate) fn install_hook_once() {
+    static HOOKED: std::sync::Once = std::sync::Once::new();
+    HOOKED.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().is::<ModelAbort>() {
+                return;
+            }
+            prev(info);
+        }));
+    });
+}

@@ -1,0 +1,193 @@
+//! Scheduling strategies: exhaustive DFS (loom mode) and a seeded
+//! random walk with fault injection (DST mode).
+
+use sitm_obs::SmallRng;
+
+/// Which thread to run next, given the enabled candidates. An enum
+/// rather than a trait object so the drivers can read strategy
+/// internals (execution counts, schedule hashes) after a run.
+pub(crate) enum Strategy {
+    Dfs(Dfs),
+    Random(RandomWalk),
+}
+
+impl Strategy {
+    /// Pick an index into `cands` (ascending thread ids, never empty).
+    pub(crate) fn choose(&mut self, cands: &[usize]) -> usize {
+        match self {
+            Strategy::Dfs(d) => d.choose(cands),
+            Strategy::Random(r) => r.choose(cands),
+        }
+    }
+
+    /// Prepare the next execution; `false` when the space is done
+    /// (DFS exhausted, or a single-shot random walk).
+    pub(crate) fn next_execution(&mut self) -> bool {
+        match self {
+            Strategy::Dfs(d) => d.next_execution(),
+            Strategy::Random(_) => false,
+        }
+    }
+}
+
+/// Depth-first enumeration of scheduling decisions: replay a prefix,
+/// take the first untried branch at its deepest decision, extend with
+/// first-choice (index 0) decisions to completion. Combined with the
+/// scheduler's preemption bound this is classic bounded systematic
+/// concurrency testing.
+pub(crate) struct Dfs {
+    /// Branch indices to replay at the start of this execution.
+    prefix: Vec<usize>,
+    /// Decisions taken this execution: (chosen index, candidate count).
+    taken: Vec<(usize, usize)>,
+    depth: usize,
+    executions: u64,
+}
+
+impl Dfs {
+    pub(crate) fn new() -> Self {
+        Dfs {
+            prefix: Vec::new(),
+            taken: Vec::new(),
+            depth: 0,
+            executions: 0,
+        }
+    }
+
+    pub(crate) fn executions(&self) -> u64 {
+        self.executions
+    }
+
+    fn choose(&mut self, cands: &[usize]) -> usize {
+        let planned = if self.depth < self.prefix.len() {
+            self.prefix[self.depth]
+        } else {
+            0
+        };
+        // Candidate sets are a pure function of prior decisions, so a
+        // replayed prefix always sees the same set; the clamp is a
+        // belt against a non-deterministic model (which would explore
+        // soundly but non-exhaustively rather than panic).
+        let idx = planned.min(cands.len() - 1);
+        debug_assert!(
+            planned < cands.len(),
+            "replay divergence: planned branch {planned} of {} candidates",
+            cands.len()
+        );
+        self.taken.push((idx, cands.len()));
+        self.depth += 1;
+        idx
+    }
+
+    fn next_execution(&mut self) -> bool {
+        self.executions += 1;
+        while let Some((idx, n)) = self.taken.pop() {
+            if idx + 1 < n {
+                self.prefix = self.taken.iter().map(|&(i, _)| i).collect();
+                self.prefix.push(idx + 1);
+                self.taken.clear();
+                self.depth = 0;
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// What the DST scheduler injects beyond plain random interleaving:
+/// with probability `stall_chance` per decision, one enabled thread
+/// is taken out of the candidate pool for 1..=`max_stall_decisions`
+/// decisions. A stalled thread holding a TVar commit lock or a shimmed
+/// mutex produces exactly the lock-hold stall and convoying the
+/// harness is after; a stalled reader models preemption/GC pauses.
+/// Stalls never wedge the run: when every candidate is stalled the
+/// pool falls back to all of them.
+#[derive(Clone, Copy, Debug)]
+pub struct FaultPlan {
+    /// Per-decision probability of injecting a new stall.
+    pub stall_chance: f64,
+    /// Upper bound on a single stall's length, in scheduling decisions.
+    pub max_stall_decisions: u32,
+}
+
+impl FaultPlan {
+    /// No fault injection: pure seeded random interleaving.
+    pub fn none() -> Self {
+        FaultPlan {
+            stall_chance: 0.0,
+            max_stall_decisions: 0,
+        }
+    }
+}
+
+impl Default for FaultPlan {
+    /// Aggressive-but-live defaults used by the DST harness.
+    fn default() -> Self {
+        FaultPlan {
+            stall_chance: 0.08,
+            max_stall_decisions: 24,
+        }
+    }
+}
+
+/// Seeded uniform scheduling with injected stalls. Every run is a
+/// pure function of the seed (and the model being deterministic
+/// modulo scheduling), which is the DST replay contract.
+pub(crate) struct RandomWalk {
+    rng: SmallRng,
+    plan: FaultPlan,
+    /// Remaining stall decisions per thread id (grows on demand).
+    stalls: Vec<u32>,
+    pub(crate) decisions: u64,
+    pub(crate) stalls_injected: u64,
+    pub(crate) schedule_hash: u64,
+}
+
+impl RandomWalk {
+    pub(crate) fn new(seed: u64, plan: FaultPlan) -> Self {
+        RandomWalk {
+            rng: SmallRng::seed_from_u64(seed),
+            plan,
+            stalls: Vec::new(),
+            decisions: 0,
+            stalls_injected: 0,
+            schedule_hash: 0xcbf2_9ce4_8422_2325,
+        }
+    }
+
+    fn choose(&mut self, cands: &[usize]) -> usize {
+        self.decisions += 1;
+        if let Some(&max_id) = cands.last() {
+            if self.stalls.len() <= max_id {
+                self.stalls.resize(max_id + 1, 0);
+            }
+        }
+        // Maybe stall one currently-enabled thread.
+        if self.plan.stall_chance > 0.0
+            && cands.len() > 1
+            && self.rng.gen_bool(self.plan.stall_chance)
+        {
+            let victim = cands[self.rng.gen_range(0..cands.len())];
+            self.stalls[victim] = self.rng.gen_range(1..=self.plan.max_stall_decisions);
+            self.stalls_injected += 1;
+        }
+        // Schedule among non-stalled candidates; if every candidate is
+        // stalled, ignore the stalls rather than wedge.
+        let live: Vec<usize> = (0..cands.len())
+            .filter(|&p| self.stalls[cands[p]] == 0)
+            .collect();
+        let pos = if live.is_empty() {
+            self.rng.gen_range(0..cands.len())
+        } else {
+            live[self.rng.gen_range(0..live.len())]
+        };
+        for s in &mut self.stalls {
+            *s = s.saturating_sub(1);
+        }
+        // FNV-1a over chosen thread ids: a cheap schedule fingerprint
+        // the determinism tests compare across replays.
+        self.schedule_hash ^= cands[pos] as u64;
+        self.schedule_hash = self.schedule_hash.wrapping_mul(0x0000_0100_0000_01b3);
+        pos
+    }
+}

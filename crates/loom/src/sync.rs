@@ -1,0 +1,268 @@
+//! Shimmed `std::sync` replacements: drop-in atomics and mutexes
+//! whose every operation is a scheduling decision.
+//!
+//! Memory model: the scheduler serializes all shimmed operations, so
+//! the model checks **sequential consistency** — every `Ordering`
+//! argument is accepted for API compatibility and strengthened to
+//! `SeqCst` underneath. Weak-memory-only bugs (a `Relaxed` load that
+//! needs an `Acquire`) are out of this checker's scope; what it does
+//! exhaust are the *interleaving* bugs — lost updates, torn
+//! publication, protocol races — which is where the STM's risk lives
+//! (see DESIGN.md §15).
+//!
+//! Outside an active model (no scheduler registered on the calling
+//! thread) every type degrades to a plain passthrough over `std`, so
+//! `cfg(loom)` binaries can still run ordinary code paths.
+
+use crate::sched::{self, Resource, SwitchKind};
+
+/// Shimmed `std::sync::atomic`.
+pub mod atomic {
+    pub use std::sync::atomic::Ordering;
+
+    use super::super::sched::{self, SwitchKind};
+
+    macro_rules! shim_atomic {
+        ($name:ident, $std:ty, $int:ty) => {
+            /// Model-checked atomic: each operation is a scheduling
+            /// point, executed with `SeqCst` semantics regardless of
+            /// the ordering argument (see the module docs).
+            #[derive(Debug, Default)]
+            pub struct $name {
+                inner: $std,
+            }
+
+            impl $name {
+                /// Shim of the std constructor (usable in statics).
+                #[must_use]
+                pub const fn new(v: $int) -> Self {
+                    Self {
+                        inner: <$std>::new(v),
+                    }
+                }
+
+                /// Shimmed load; a scheduling point.
+                pub fn load(&self, _order: Ordering) -> $int {
+                    sched::switch_point(SwitchKind::Progress);
+                    self.inner.load(Ordering::SeqCst)
+                }
+
+                /// Shimmed store; a scheduling point.
+                pub fn store(&self, v: $int, _order: Ordering) {
+                    sched::switch_point(SwitchKind::Progress);
+                    self.inner.store(v, Ordering::SeqCst);
+                }
+
+                /// Shimmed read-modify-write add; a scheduling point.
+                pub fn fetch_add(&self, v: $int, _order: Ordering) -> $int {
+                    sched::switch_point(SwitchKind::Progress);
+                    self.inner.fetch_add(v, Ordering::SeqCst)
+                }
+
+                /// Shimmed read-modify-write subtract; a scheduling point.
+                pub fn fetch_sub(&self, v: $int, _order: Ordering) -> $int {
+                    sched::switch_point(SwitchKind::Progress);
+                    self.inner.fetch_sub(v, Ordering::SeqCst)
+                }
+
+                /// Shimmed read-modify-write max; a scheduling point.
+                pub fn fetch_max(&self, v: $int, _order: Ordering) -> $int {
+                    sched::switch_point(SwitchKind::Progress);
+                    self.inner.fetch_max(v, Ordering::SeqCst)
+                }
+
+                /// Shimmed read-modify-write AND; a scheduling point.
+                pub fn fetch_and(&self, v: $int, _order: Ordering) -> $int {
+                    sched::switch_point(SwitchKind::Progress);
+                    self.inner.fetch_and(v, Ordering::SeqCst)
+                }
+
+                /// Shimmed read-modify-write OR; a scheduling point.
+                pub fn fetch_or(&self, v: $int, _order: Ordering) -> $int {
+                    sched::switch_point(SwitchKind::Progress);
+                    self.inner.fetch_or(v, Ordering::SeqCst)
+                }
+
+                /// Shimmed compare-exchange; a scheduling point.
+                ///
+                /// # Errors
+                ///
+                /// Returns the observed value when it differs from
+                /// `current`, exactly like the std API.
+                pub fn compare_exchange(
+                    &self,
+                    current: $int,
+                    new: $int,
+                    _success: Ordering,
+                    _failure: Ordering,
+                ) -> Result<$int, $int> {
+                    sched::switch_point(SwitchKind::Progress);
+                    self.inner
+                        .compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst)
+                }
+
+                /// Shimmed weak compare-exchange. Never fails
+                /// spuriously (the model is SC), which only shrinks
+                /// the interleaving space a retry loop generates.
+                ///
+                /// # Errors
+                ///
+                /// Returns the observed value when it differs from
+                /// `current`.
+                pub fn compare_exchange_weak(
+                    &self,
+                    current: $int,
+                    new: $int,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$int, $int> {
+                    self.compare_exchange(current, new, success, failure)
+                }
+            }
+        };
+    }
+
+    shim_atomic!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+    shim_atomic!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+    shim_atomic!(AtomicU32, std::sync::atomic::AtomicU32, u32);
+
+    /// Model-checked atomic boolean (same contract as the integer
+    /// shims; the subset of the std API the workspace uses).
+    #[derive(Debug, Default)]
+    pub struct AtomicBool {
+        inner: std::sync::atomic::AtomicBool,
+    }
+
+    impl AtomicBool {
+        /// Shim of the std constructor (usable in statics).
+        #[must_use]
+        pub const fn new(v: bool) -> Self {
+            Self {
+                inner: std::sync::atomic::AtomicBool::new(v),
+            }
+        }
+
+        /// Shimmed load; a scheduling point.
+        pub fn load(&self, _order: Ordering) -> bool {
+            sched::switch_point(SwitchKind::Progress);
+            self.inner.load(Ordering::SeqCst)
+        }
+
+        /// Shimmed store; a scheduling point.
+        pub fn store(&self, v: bool, _order: Ordering) {
+            sched::switch_point(SwitchKind::Progress);
+            self.inner.store(v, Ordering::SeqCst);
+        }
+
+        /// Shimmed swap; a scheduling point.
+        pub fn swap(&self, v: bool, _order: Ordering) -> bool {
+            sched::switch_point(SwitchKind::Progress);
+            self.inner.swap(v, Ordering::SeqCst)
+        }
+    }
+}
+
+/// Model-checked mutex: acquiring, failing to acquire and releasing
+/// are all scheduling points; contention parks the thread on the
+/// scheduler (never on the OS), so lock-hold stalls and lock-order
+/// deadlocks are visible to the search.
+///
+/// Poisoning mirrors `std`: a panic while holding the guard poisons
+/// the inner mutex, and `lock` surfaces it through the usual
+/// `Result`, so `lock().unwrap_or_else(PoisonError::into_inner)`
+/// call sites compile and behave identically under the shim.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized> {
+    inner: std::sync::Mutex<T>,
+}
+
+/// Guard for [`Mutex`]; releases the lock and wakes scheduler-parked
+/// waiters on drop.
+#[derive(Debug)]
+pub struct MutexGuard<'a, T: ?Sized> {
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+    addr: usize,
+}
+
+impl<T> Mutex<T> {
+    /// Shim of the std constructor (usable in statics).
+    #[must_use]
+    pub const fn new(value: T) -> Self {
+        Mutex {
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquire the lock, parking on the scheduler under contention.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`std::sync::PoisonError`] wrapping the guard when a
+    /// previous holder panicked, exactly like `std::sync::Mutex`.
+    #[allow(clippy::missing_panics_doc)] // poison is mapped, not unwrapped
+    pub fn lock(&self) -> Result<MutexGuard<'_, T>, std::sync::PoisonError<MutexGuard<'_, T>>> {
+        let addr = std::ptr::from_ref(self).cast::<()>() as usize;
+        loop {
+            sched::switch_point(SwitchKind::Progress);
+            match self.inner.try_lock() {
+                Ok(g) => {
+                    return Ok(MutexGuard {
+                        inner: Some(g),
+                        addr,
+                    })
+                }
+                Err(std::sync::TryLockError::Poisoned(p)) => {
+                    return Err(std::sync::PoisonError::new(MutexGuard {
+                        inner: Some(p.into_inner()),
+                        addr,
+                    }))
+                }
+                Err(std::sync::TryLockError::WouldBlock) => {
+                    if !sched::block_on(Resource::Lock(addr)) {
+                        // No scheduler (passthrough or teardown):
+                        // block for real.
+                        return match self.inner.lock() {
+                            Ok(g) => Ok(MutexGuard {
+                                inner: Some(g),
+                                addr,
+                            }),
+                            Err(p) => Err(std::sync::PoisonError::new(MutexGuard {
+                                inner: Some(p.into_inner()),
+                                addr,
+                            })),
+                        };
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.inner.as_deref().expect("guard still holds the lock")
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner
+            .as_deref_mut()
+            .expect("guard still holds the lock")
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Release the real lock first, then wake scheduler-parked
+        // waiters, then offer a scheduling point (skipped while
+        // unwinding — `switch_point` checks).
+        drop(self.inner.take());
+        sched::release(Resource::Lock(self.addr));
+        sched::switch_point(SwitchKind::Progress);
+    }
+}

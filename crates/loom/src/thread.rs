@@ -1,0 +1,88 @@
+//! Shimmed threading: model threads are real OS threads gated by the
+//! scheduler token, so only one runs at a time and every interleaving
+//! is a replayable sequence of decisions.
+
+use std::sync::{Arc, Mutex};
+
+use crate::sched::{self, SwitchKind};
+
+/// Handle to a shimmed thread. Unlike `std`, [`JoinHandle::join`]
+/// returns the value directly: a panicking model thread aborts the
+/// whole execution first, so join can never observe one.
+pub struct JoinHandle<T> {
+    inner: Inner<T>,
+}
+
+enum Inner<T> {
+    /// Spawned inside a model: identified by scheduler thread id,
+    /// with the result smuggled through a shared slot.
+    Model {
+        sched: Arc<sched::Sched>,
+        id: usize,
+        slot: Arc<Mutex<Option<T>>>,
+    },
+    /// Spawned with no scheduler active: plain std thread.
+    Std(std::thread::JoinHandle<T>),
+}
+
+impl<T> JoinHandle<T> {
+    /// Wait for the thread to finish and return its value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the joined thread panicked — though inside a model
+    /// that abort tears down the execution before join returns.
+    pub fn join(self) -> T {
+        match self.inner {
+            Inner::Model { sched, id, slot } => {
+                let (_, me) = sched::current().expect("join called outside the model");
+                sched.join_thread(me, id);
+                slot.lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .take()
+                    .expect("joined model thread panicked")
+            }
+            Inner::Std(h) => h.join().expect("joined thread panicked"),
+        }
+    }
+}
+
+/// Shim of `std::thread::spawn`. Inside a model the new thread is
+/// registered with the scheduler and runs only when given the token;
+/// outside, it is a plain std spawn.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    match sched::current() {
+        Some((sched, _)) => {
+            let slot = Arc::new(Mutex::new(None));
+            let slot2 = Arc::clone(&slot);
+            let id = sched::spawn_model_thread(&sched, move || {
+                let v = f();
+                *slot2
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(v);
+            });
+            // Creating a thread is itself a visible event.
+            sched::switch_point(SwitchKind::Progress);
+            JoinHandle {
+                inner: Inner::Model { sched, id, slot },
+            }
+        }
+        None => JoinHandle {
+            inner: Inner::Std(std::thread::spawn(f)),
+        },
+    }
+}
+
+/// Shim of `std::thread::yield_now`: a *voluntary* scheduling point —
+/// the yielding thread is deprioritized until no other thread is
+/// plainly runnable, so spin-yield loops cannot starve their peers.
+pub fn yield_now() {
+    match sched::current() {
+        Some(_) => sched::switch_point(SwitchKind::Yield),
+        None => std::thread::yield_now(),
+    }
+}

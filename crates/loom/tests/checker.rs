@@ -1,0 +1,210 @@
+//! Self-tests of the model checker: it must explore real
+//! interleavings (find a seeded race), respect mutual exclusion,
+//! detect deadlocks, and replay DST runs byte-identically.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+use sitm_loom::sync::atomic::{AtomicU64, Ordering};
+use sitm_loom::sync::Mutex;
+use sitm_loom::{dst, model, model_with, thread, FaultPlan, ModelOpts};
+
+fn opts() -> ModelOpts {
+    ModelOpts {
+        max_preemptions: 2,
+        max_iterations: 200_000,
+        max_steps: 100_000,
+    }
+}
+
+/// The classic lost update: two threads doing load-then-store
+/// increments. The checker MUST find the interleaving where both load
+/// before either stores — if it cannot find this, it cannot find
+/// anything.
+#[test]
+fn finds_the_lost_update_race() {
+    let failed = catch_unwind(AssertUnwindSafe(|| {
+        model_with(opts(), || {
+            let c = Arc::new(AtomicU64::new(0));
+            let hs: Vec<_> = (0..2)
+                .map(|_| {
+                    let c = Arc::clone(&c);
+                    thread::spawn(move || {
+                        let v = c.load(Ordering::SeqCst);
+                        c.store(v + 1, Ordering::SeqCst);
+                    })
+                })
+                .collect();
+            for h in hs {
+                h.join();
+            }
+            assert_eq!(c.load(Ordering::SeqCst), 2, "lost update");
+        });
+    }));
+    let msg = match failed {
+        Err(p) => sitm_loom_panic_msg(&p),
+        Ok(()) => panic!("the checker missed the textbook load/store race"),
+    };
+    assert!(msg.contains("lost update"), "unexpected failure: {msg}");
+}
+
+/// The same program with an atomic RMW has no failing interleaving.
+#[test]
+fn fetch_add_has_no_failing_interleaving() {
+    let explored = model_with(opts(), || {
+        let c = Arc::new(AtomicU64::new(0));
+        let hs: Vec<_> = (0..2)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                thread::spawn(move || {
+                    c.fetch_add(1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        for h in hs {
+            h.join();
+        }
+        assert_eq!(c.load(Ordering::SeqCst), 2);
+    });
+    assert!(
+        explored > 1,
+        "expected multiple interleavings, got {explored}"
+    );
+}
+
+/// Mutex-protected read-modify-write must pass exhaustively, proving
+/// the shim actually provides mutual exclusion under the scheduler.
+#[test]
+fn mutex_preserves_mutual_exclusion() {
+    model(|| {
+        let c = Arc::new(Mutex::new(0u64));
+        let hs: Vec<_> = (0..2)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                thread::spawn(move || {
+                    let mut g = c.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                    *g += 1;
+                })
+            })
+            .collect();
+        for h in hs {
+            h.join();
+        }
+        assert_eq!(
+            *c.lock().unwrap_or_else(std::sync::PoisonError::into_inner),
+            2
+        );
+    });
+}
+
+/// AB-BA lock ordering: the checker must find the deadlock.
+#[test]
+fn detects_lock_order_deadlock() {
+    let failed = catch_unwind(AssertUnwindSafe(|| {
+        model_with(opts(), || {
+            let a = Arc::new(Mutex::new(()));
+            let b = Arc::new(Mutex::new(()));
+            let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+            let h1 = thread::spawn(move || {
+                let _ga = a2.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                let _gb = b2.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            });
+            let (a3, b3) = (Arc::clone(&a), Arc::clone(&b));
+            let h2 = thread::spawn(move || {
+                let _gb = b3.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                let _ga = a3.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            });
+            h1.join();
+            h2.join();
+        });
+    }));
+    let msg = match failed {
+        Err(p) => sitm_loom_panic_msg(&p),
+        Ok(()) => panic!("the checker missed an AB-BA deadlock"),
+    };
+    assert!(msg.contains("deadlock"), "unexpected failure: {msg}");
+}
+
+/// Yielding threads are demoted, so a spin-wait handshake terminates
+/// instead of livelocking the search.
+#[test]
+fn yield_demotion_lets_spin_waits_progress() {
+    model(|| {
+        let flag = Arc::new(AtomicU64::new(0));
+        let f2 = Arc::clone(&flag);
+        let setter = thread::spawn(move || {
+            f2.store(1, Ordering::SeqCst);
+        });
+        let f3 = Arc::clone(&flag);
+        let waiter = thread::spawn(move || {
+            while f3.load(Ordering::SeqCst) == 0 {
+                thread::yield_now();
+            }
+        });
+        setter.join();
+        waiter.join();
+    });
+}
+
+/// Same seed, same schedule: the DST replay contract, plus evidence
+/// that the fault plan actually injects stalls on some seed.
+#[test]
+fn dst_replays_are_identical_and_faults_fire() {
+    let run = |seed: u64| {
+        dst::run_seeded(seed, FaultPlan::default(), || {
+            let c = Arc::new(AtomicU64::new(0));
+            let hs: Vec<_> = (0..3)
+                .map(|_| {
+                    let c = Arc::clone(&c);
+                    thread::spawn(move || {
+                        for _ in 0..8 {
+                            c.fetch_add(1, Ordering::SeqCst);
+                        }
+                    })
+                })
+                .collect();
+            for h in hs {
+                h.join();
+            }
+            c.load(Ordering::SeqCst)
+        })
+    };
+    let mut any_stall = false;
+    for seed in 0..6u64 {
+        let (v1, r1) = run(seed);
+        let (v2, r2) = run(seed);
+        assert_eq!(v1, 24);
+        assert_eq!((v1, r1), (v2, r2), "seed {seed:#x} diverged");
+        any_stall |= r1.stalls_injected > 0;
+    }
+    assert!(any_stall, "no seed injected a single stall");
+}
+
+/// A failing DST run reports the seed that replays it.
+#[test]
+fn dst_failure_message_carries_the_seed() {
+    let failed = catch_unwind(AssertUnwindSafe(|| {
+        dst::run_seeded(0x2a, FaultPlan::none(), || {
+            panic!("intentional dst failure");
+        })
+    }));
+    let msg = match failed {
+        Err(p) => sitm_loom_panic_msg(&p),
+        Ok(_) => panic!("run must fail"),
+    };
+    assert!(msg.contains("0x2a"), "seed missing from: {msg}");
+    assert!(
+        msg.contains("intentional dst failure"),
+        "cause missing: {msg}"
+    );
+}
+
+fn sitm_loom_panic_msg(payload: &Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        String::from("<non-string payload>")
+    }
+}

@@ -51,24 +51,27 @@
 //! into the GC safety argument.
 
 use std::cell::Cell;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering::SeqCst};
-use std::sync::Mutex;
 
+use crate::sync::atomic::{AtomicU64, AtomicUsize, Ordering::SeqCst};
+use crate::sync::Mutex;
 use crate::tvar::lock_versions as lock;
 
 /// Number of commit-clock shards. Timestamps issued by shard `s` are
 /// congruent to `s` modulo `SHARDS`, so ticks on different shards can
 /// never collide. 16 shards give 16 independent cache lines of commit
 /// bandwidth — past the thread counts where the old single fetch-add
-/// clock saturated.
-pub(crate) const SHARDS: usize = 16;
+/// clock saturated. Model builds shrink to 2 so two model threads
+/// always land on distinct shards (the smallest model in which a
+/// trailing shard can exist at all).
+pub(crate) const SHARDS: usize = if cfg!(loom) { 2 } else { 16 };
 
 /// Registry slots available before thread registration falls back to
 /// the mutex-protected overflow table. One slot is claimed per OS
 /// thread (and recycled on thread exit), so only processes running
 /// more than this many concurrent transactional threads pay for the
-/// fallback.
-const SLOT_COUNT: usize = 256;
+/// fallback. Model builds shrink to 2 so a three-thread model
+/// exercises the slot and overflow paths in one execution.
+pub(crate) const SLOT_COUNT: usize = if cfg!(loom) { 2 } else { 256 };
 
 /// Slot value meaning "no transaction live here". `u64::MAX` so an
 /// idle slot is transparent to the `min` fold of a watermark scan.
@@ -77,8 +80,10 @@ const IDLE: u64 = u64::MAX;
 /// How far (in clock units) the cached watermark may trail the clock
 /// before a commit triggers a rescan. Clock values advance by about
 /// [`SHARDS`] per commit, so this is roughly a rescan every 64 commits
-/// — cheap amortization with a bounded retention overhang.
-const REFRESH_TICKS: u64 = 1024;
+/// — cheap amortization with a bounded retention overhang. Model
+/// builds rescan almost every commit so GC interleavings are in the
+/// explored space.
+const REFRESH_TICKS: u64 = if cfg!(loom) { 4 } else { 1024 };
 
 /// One commit-clock shard, alone on its cache line so ticks on
 /// different shards never false-share.
@@ -361,6 +366,28 @@ impl Drop for SlotHandle {
             }
         }
     }
+}
+
+/// Reset every epoch-layer global to its boot state. Model executions
+/// reuse one process, so each one starts by wiping the clock, the
+/// registry and the watermark; sound only while no transaction is
+/// live, which the model driver guarantees (it runs this at the top
+/// of the root closure, before any model thread spawns).
+#[cfg(loom)]
+pub(crate) fn model_reset() {
+    for shard in &CLOCK {
+        shard.0.store(0, SeqCst);
+    }
+    for slot in &SLOTS {
+        slot.begin.store(IDLE, SeqCst);
+        slot.depth.store(0, SeqCst);
+    }
+    SLOTS_CLAIMED.store(0, SeqCst);
+    lock(&FREE_SLOTS).clear();
+    lock(&OVERFLOW).clear();
+    WATERMARK.store(0, SeqCst);
+    WATERMARK_STAMP.store(0, SeqCst);
+    NEXT_THREAD_INDEX.store(0, SeqCst);
 }
 
 #[cfg(test)]

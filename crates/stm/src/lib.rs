@@ -64,8 +64,15 @@ mod epoch;
 mod error;
 mod recorder;
 mod stm;
+mod sync;
 mod tvar;
 mod txn;
+
+#[cfg(loom)]
+pub mod model_support;
+
+#[cfg(all(loom, test))]
+mod models;
 
 pub use collections::{TCounter, THashMap, TList};
 pub use epoch::{live_snapshots, refresh_watermark, watermark};

@@ -4,7 +4,9 @@
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+#[cfg(not(loom))]
+use std::time::Duration;
+use std::time::Instant;
 
 use sitm_obs::{
     AtomicHistogram, ForensicsSnapshot, Histogram, History, MetricsRegistry, Observable,
@@ -380,13 +382,25 @@ thread_local! {
 
 /// Attempts that spin on the CPU (cheapest; conflicts usually clear in
 /// nanoseconds).
+#[cfg(not(loom))]
 const SPIN_ATTEMPTS: u32 = 4;
 /// Attempts (beyond the spin tier) that yield to the scheduler.
+#[cfg(not(loom))]
 const YIELD_ATTEMPTS: u32 = 8;
 /// Ceiling for one parked wait — the "bounded" in bounded exponential
 /// backoff. Keeps worst-case added latency per retry far below a
 /// scheduler quantum while still draining convoys.
+#[cfg(not(loom))]
 const PARK_CAP_MICROS: u64 = 512;
+
+/// Model-checker backoff: real spinning or parking would only stall the
+/// scheduler token without exploring new interleavings, so every
+/// aborted attempt collapses to one modeled yield (a single demoted
+/// switch point — see `sitm-loom`'s yield handling).
+#[cfg(loom)]
+fn backoff(_attempt: u32, _rng: &mut SmallRng) {
+    crate::sync::thread::yield_now();
+}
 
 /// Capped exponential backoff with jitter, escalating through three
 /// tiers as an `atomically` transaction keeps aborting:
@@ -403,6 +417,7 @@ const PARK_CAP_MICROS: u64 = 512;
 /// randomized-backoff point: deterministic equal backoffs re-collide
 /// indefinitely) while staying reproducible per thread thanks to the
 /// per-thread seeding of [`BACKOFF_RNG`].
+#[cfg(not(loom))]
 fn backoff(attempt: u32, rng: &mut SmallRng) {
     if attempt < SPIN_ATTEMPTS {
         let base = 8u64 << attempt;
@@ -589,6 +604,7 @@ mod tests {
         assert_eq!(stm.stats().commits(), 1);
     }
 
+    #[cfg(not(loom))]
     #[test]
     fn backoff_is_capped_at_every_attempt() {
         // The doc promise is *bounded* exponential backoff: arbitrarily

@@ -1,0 +1,55 @@
+//! Concurrency-primitive indirection: `std::sync` in release builds,
+//! the `sitm-loom` model-checking shims under `--cfg loom`.
+//!
+//! Every atomic, mutex, spin hint and yield on the STM's concurrent
+//! paths (epoch clock/registry, TVar stamps and chains, commit locks,
+//! retry backoff) imports from here instead of `std`, so the exact
+//! code that ships is the code the model checker explores — the only
+//! deltas are the small-model constants in `epoch.rs` and the backoff
+//! shortcut in `stm.rs`, both keyed on `cfg(loom)` (DESIGN.md §15).
+//!
+//! The shims check **sequential consistency** (all orderings
+//! strengthened to `SeqCst`): interleaving bugs are in scope,
+//! weak-memory reordering bugs are not.
+
+#[cfg(all(loom, not(feature = "loom-model")))]
+compile_error!(
+    "--cfg loom requires the `loom-model` feature: \
+     RUSTFLAGS=\"--cfg loom\" cargo test -p sitm-stm --features loom-model"
+);
+
+#[cfg(not(loom))]
+pub(crate) mod atomic {
+    pub(crate) use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+}
+
+#[cfg(not(loom))]
+pub(crate) use std::sync::{Mutex, MutexGuard};
+
+#[cfg(not(loom))]
+pub(crate) mod hint {
+    pub(crate) use std::hint::spin_loop;
+}
+
+#[cfg(not(loom))]
+pub(crate) mod thread {
+    pub(crate) use std::thread::yield_now;
+}
+
+#[cfg(loom)]
+pub(crate) mod atomic {
+    pub(crate) use sitm_loom::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+}
+
+#[cfg(loom)]
+pub(crate) use sitm_loom::sync::{Mutex, MutexGuard};
+
+#[cfg(loom)]
+pub(crate) mod hint {
+    pub(crate) use sitm_loom::hint::spin_loop;
+}
+
+#[cfg(loom)]
+pub(crate) mod thread {
+    pub(crate) use sitm_loom::thread::yield_now;
+}

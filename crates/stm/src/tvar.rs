@@ -35,18 +35,22 @@
 
 use std::any::Any;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use std::sync::Mutex;
-
 use crate::error::Conflict;
+use crate::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::{Mutex, MutexGuard};
 
 /// Locks a mutex, recovering the data if a panicking thread poisoned it
 /// (version lists stay structurally valid across any panic point).
-pub(crate) fn lock_versions<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+pub(crate) fn lock_versions<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
 }
+
+/// Spin iterations against a held commit lock before demoting to a
+/// scheduler yield. Model builds yield immediately: a modeled spin
+/// read burns the preemption budget without enabling anything.
+const SPIN_LIMIT: u32 = if cfg!(loom) { 1 } else { 128 };
 
 /// Suggested cap for [`TVar::with_history`] when approximating the
 /// paper's small hardware version budget (the paper finds 4 adequate;
@@ -59,6 +63,13 @@ pub const DEFAULT_HISTORY: usize = 8;
 const DYNAMIC: usize = usize::MAX;
 
 static NEXT_VAR_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Reset the variable-id source (model executions reuse one process;
+/// see `epoch::model_reset`).
+#[cfg(loom)]
+pub(crate) fn model_reset() {
+    NEXT_VAR_ID.store(1, Ordering::SeqCst);
+}
 
 /// Bit 0 of [`VarInner::stamp`]: set while a committing transaction
 /// holds this variable's commit lock.
@@ -143,10 +154,10 @@ impl<T> VarInner<T> {
         let mut spins = 0u32;
         while self.stamp.load(Ordering::Acquire) & LOCK_BIT != 0 {
             spins += 1;
-            if spins < 128 {
-                std::hint::spin_loop();
+            if spins < SPIN_LIMIT {
+                crate::sync::hint::spin_loop();
             } else {
-                std::thread::yield_now();
+                crate::sync::thread::yield_now();
             }
         }
     }
@@ -438,10 +449,10 @@ impl<T: Clone + Send + Sync + 'static> VarOps for VarInner<T> {
                 return;
             }
             spins += 1;
-            if spins < 128 {
-                std::hint::spin_loop();
+            if spins < SPIN_LIMIT {
+                crate::sync::hint::spin_loop();
             } else {
-                std::thread::yield_now();
+                crate::sync::thread::yield_now();
             }
         }
     }

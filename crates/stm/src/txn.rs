@@ -35,8 +35,7 @@
 
 use std::any::Any;
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 use sitm_obs::{
     ForensicCause, ForensicEvent, History, OpKind, SharedForensics, TxnBuilder, TxnRecord,
@@ -45,6 +44,8 @@ use sitm_obs::{
 use crate::epoch;
 use crate::error::{Conflict, StmError};
 use crate::recorder::{Recorder, TxEvent};
+use crate::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::Mutex;
 use crate::tvar::{lock_versions, TVar, VarOps};
 
 /// Thread-safe collector of finished transaction records plus the
@@ -183,6 +184,43 @@ impl std::fmt::Debug for Tx {
 }
 
 static NEXT_ATTEMPT: AtomicU64 = AtomicU64::new(1);
+
+/// Reset the attempt-id source (model executions reuse one process;
+/// see `epoch::model_reset`).
+#[cfg(loom)]
+pub(crate) fn model_reset() {
+    NEXT_ATTEMPT.store(1, Ordering::SeqCst);
+}
+
+/// Whether the `MUTATE_SKIP_FCW_VALIDATION` mutation knob is on (model
+/// builds only): re-breaks the PR 4 bug class by letting a commit that
+/// conflicts with an already-committed winner escape first-committer-
+/// wins detection. Exists so the models can prove they would catch it.
+fn mutate_skip_fcw() -> bool {
+    #[cfg(loom)]
+    {
+        crate::model_support::skip_fcw_validation()
+    }
+    #[cfg(not(loom))]
+    {
+        false
+    }
+}
+
+/// Whether the `MUTATE_UNFLOORED_COMMIT_TICK` mutation knob is on
+/// (model builds only): re-breaks the PR 7 torn-snapshot bug by
+/// flooring the commit tick at the snapshot alone, without the
+/// all-shard fold taken under the commit locks.
+fn mutate_unfloored_tick() -> bool {
+    #[cfg(loom)]
+    {
+        crate::model_support::unfloored_commit_tick()
+    }
+    #[cfg(not(loom))]
+    {
+        false
+    }
+}
 
 impl Tx {
     #[cfg(test)]
@@ -458,7 +496,7 @@ impl Tx {
         // under us nor observe ours until we release.
         for w in self.writes.values() {
             let newest = w.var.newest_ts();
-            if newest > self.snapshot {
+            if newest > self.snapshot && !mutate_skip_fcw() {
                 // First-committer-wins: the winner's install stamped
                 // `newest`, which names it for forensics.
                 self.record_forensic(ForensicCause::WriteWriteFcw, w.var.id(), Some(newest));
@@ -495,7 +533,12 @@ impl Tx {
         // live-snapshot watermark proves unreachable. (The watermark
         // cannot pass our own snapshot: this transaction is still
         // registered.)
-        let end = epoch::commit_tick(self.snapshot.max(epoch::clock_now()));
+        let floor = if mutate_unfloored_tick() {
+            self.snapshot // the re-broken PR 7 variant: no all-shard fold
+        } else {
+            self.snapshot.max(epoch::clock_now())
+        };
+        let end = epoch::commit_tick(floor);
         let watermark = epoch::gc_watermark(end);
         let mut retired = 0;
         for (_, w) in self.writes {

@@ -10,7 +10,7 @@
 use std::sync::{Arc, Barrier};
 use std::thread;
 
-use sitm_obs::{test_cases, SmallRng, CASES_ENV};
+use sitm_obs::{run_seeded_cases, test_cases, SmallRng, CASES_ENV};
 use sitm_stm::{Conflict, Stm, THashMap, TList, TVar};
 
 /// Per-thread operation count for the stress tests: the default,
@@ -35,66 +35,74 @@ fn transfers_conserve_money_and_auditors_never_abort() {
     const INITIAL: u64 = 1_000;
     const TOTAL: u64 = ACCOUNTS as u64 * INITIAL;
     const TRANSFER_THREADS: usize = 4;
-    let transfers = ops(300);
-    let audits = ops(200);
+    const TRANSFERS: usize = 150;
+    const AUDITS: usize = 100;
 
-    let bank = make_bank(ACCOUNTS, INITIAL);
-    let writer_stm = Arc::new(Stm::snapshot());
-    // Auditors get their own `Stm` handle so their abort counter is
-    // theirs alone; all handles share the TVars and the global clock.
-    let auditor_stm = Arc::new(Stm::snapshot());
+    // Seeded cases (scaled by SITM_PROPTEST_CASES, failing seed
+    // printed on panic): each case is one full bank run whose
+    // per-thread RNG streams derive from the case seed.
+    run_seeded_cases(2, 0xBA2C, |_, rng| {
+        let salt = rng.next_u64();
+        let bank = make_bank(ACCOUNTS, INITIAL);
+        let writer_stm = Arc::new(Stm::snapshot());
+        // Auditors get their own `Stm` handle so their abort counter is
+        // theirs alone; all handles share the TVars and the global clock.
+        let auditor_stm = Arc::new(Stm::snapshot());
 
-    thread::scope(|s| {
-        for t in 0..TRANSFER_THREADS {
-            let stm = Arc::clone(&writer_stm);
-            let bank = bank.clone();
-            s.spawn(move || {
-                let mut rng = SmallRng::seed_from_u64(0xBA2C + t as u64);
-                for _ in 0..transfers {
-                    let src = rng.gen_range(0..ACCOUNTS as u64) as usize;
-                    let dst = rng.gen_range(0..ACCOUNTS as u64) as usize;
-                    if src == dst {
-                        continue;
+        thread::scope(|s| {
+            for t in 0..TRANSFER_THREADS {
+                let stm = Arc::clone(&writer_stm);
+                let bank = bank.clone();
+                s.spawn(move || {
+                    let mut rng = SmallRng::seed_from_u64(
+                        salt ^ (t as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                    );
+                    for _ in 0..TRANSFERS {
+                        let src = rng.gen_range(0..ACCOUNTS as u64) as usize;
+                        let dst = rng.gen_range(0..ACCOUNTS as u64) as usize;
+                        if src == dst {
+                            continue;
+                        }
+                        let amount = rng.gen_range(1..=10u64);
+                        stm.atomically(|tx| {
+                            let from = tx.read(&bank[src])?;
+                            if from >= amount {
+                                let to = tx.read(&bank[dst])?;
+                                tx.write(&bank[src], from - amount);
+                                tx.write(&bank[dst], to + amount);
+                            }
+                            Ok(())
+                        });
                     }
-                    let amount = rng.gen_range(1..=10u64);
-                    stm.atomically(|tx| {
-                        let from = tx.read(&bank[src])?;
-                        if from >= amount {
-                            let to = tx.read(&bank[dst])?;
-                            tx.write(&bank[src], from - amount);
-                            tx.write(&bank[dst], to + amount);
-                        }
-                        Ok(())
-                    });
-                }
-            });
-        }
-        for _ in 0..2 {
-            let stm = Arc::clone(&auditor_stm);
-            let bank = bank.clone();
-            s.spawn(move || {
-                for _ in 0..audits {
-                    let sum = stm.atomically(|tx| {
-                        let mut sum = 0u64;
-                        for account in &bank {
-                            sum += tx.read(account)?;
-                        }
-                        Ok(sum)
-                    });
-                    assert_eq!(sum, TOTAL, "snapshot reads must balance mid-run");
-                }
-            });
-        }
-    });
+                });
+            }
+            for _ in 0..2 {
+                let stm = Arc::clone(&auditor_stm);
+                let bank = bank.clone();
+                s.spawn(move || {
+                    for _ in 0..AUDITS {
+                        let sum = stm.atomically(|tx| {
+                            let mut sum = 0u64;
+                            for account in &bank {
+                                sum += tx.read(account)?;
+                            }
+                            Ok(sum)
+                        });
+                        assert_eq!(sum, TOTAL, "snapshot reads must balance mid-run");
+                    }
+                });
+            }
+        });
 
-    let finale: u64 = bank.iter().map(TVar::load).sum();
-    assert_eq!(finale, TOTAL, "transfers must conserve money");
-    assert_eq!(
-        auditor_stm.stats().aborts(),
-        0,
-        "read-only transactions never abort under snapshot isolation"
-    );
-    assert_eq!(auditor_stm.stats().commits(), 2 * audits as u64);
+        let finale: u64 = bank.iter().map(TVar::load).sum();
+        assert_eq!(finale, TOTAL, "transfers must conserve money");
+        assert_eq!(
+            auditor_stm.stats().aborts(),
+            0,
+            "read-only transactions never abort under snapshot isolation"
+        );
+        assert_eq!(auditor_stm.stats().commits(), 2 * AUDITS as u64);
+    });
 }
 
 /// Atomic visibility across the sharded commit clock: one commit's
@@ -234,35 +242,41 @@ fn write_skew_is_rejected_by_read_promotion_under_snapshot() {
 fn thashmap_concurrent_increments_lose_no_updates() {
     const KEYS: u64 = 16;
     const THREADS: usize = 4;
-    let per_thread = ops(400);
+    const PER_THREAD: usize = 200;
 
-    let stm = Arc::new(Stm::snapshot());
-    let map: Arc<THashMap<u64>> = Arc::new(THashMap::new(8));
+    run_seeded_cases(2, 0x4A5, |_, rng| {
+        let salt = rng.next_u64();
+        let stm = Arc::new(Stm::snapshot());
+        let map: Arc<THashMap<u64>> = Arc::new(THashMap::new(8));
 
-    thread::scope(|s| {
-        for t in 0..THREADS {
-            let stm = Arc::clone(&stm);
-            let map = Arc::clone(&map);
-            s.spawn(move || {
-                let mut rng = SmallRng::seed_from_u64(0x4A5 + t as u64);
-                for _ in 0..per_thread {
-                    let key = rng.gen_range(0..KEYS);
-                    stm.atomically(|tx| {
-                        let current = map.get(tx, key)?.unwrap_or(0);
-                        map.insert(tx, key, current + 1)?;
-                        Ok(())
-                    });
-                }
-            });
-        }
+        thread::scope(|s| {
+            for t in 0..THREADS {
+                let stm = Arc::clone(&stm);
+                let map = Arc::clone(&map);
+                s.spawn(move || {
+                    let mut rng = SmallRng::seed_from_u64(
+                        salt ^ (t as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                    );
+                    for _ in 0..PER_THREAD {
+                        let key = rng.gen_range(0..KEYS);
+                        stm.atomically(|tx| {
+                            let current = map.get(tx, key)?.unwrap_or(0);
+                            map.insert(tx, key, current + 1)?;
+                            Ok(())
+                        });
+                    }
+                });
+            }
+        });
+
+        let total: u64 =
+            stm.atomically(|tx| Ok(map.entries(tx)?.into_iter().map(|(_, v)| v).sum()));
+        assert_eq!(
+            total,
+            (THREADS * PER_THREAD) as u64,
+            "read-modify-write increments must serialize via write-write conflicts"
+        );
     });
-
-    let total: u64 = stm.atomically(|tx| Ok(map.entries(tx)?.into_iter().map(|(_, v)| v).sum()));
-    assert_eq!(
-        total,
-        (THREADS * per_thread) as u64,
-        "read-modify-write increments must serialize via write-write conflicts"
-    );
 }
 
 #[test]

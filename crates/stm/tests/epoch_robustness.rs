@@ -1,0 +1,130 @@
+//! Robustness of the epoch registry on its unhappy paths: transaction
+//! bodies that panic, and thread counts that overflow the fixed slot
+//! array. Both must leave the registry clean — a leaked registration
+//! pins the GC watermark forever and versions accumulate unboundedly.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier, Mutex, MutexGuard};
+
+use sitm_stm::{live_snapshots, refresh_watermark, Stm, TVar};
+
+/// Registry slots before the overflow table kicks in (`SLOT_COUNT` in
+/// `epoch.rs`; it is crate-private, so the overflow test pins the
+/// value here — if the constant grows past this the test stops
+/// exercising overflow and must be bumped).
+const SLOT_COUNT: usize = 256;
+
+/// These tests assert *global* registry quantities (live snapshot
+/// counts, watermark movement), so they cannot tolerate each other's
+/// transactions running concurrently in this binary. Serialize them.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn serial() -> MutexGuard<'static, ()> {
+    SERIAL
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+#[test]
+fn panicking_body_releases_its_snapshot_and_watermark_advances() {
+    let _guard = serial();
+    let stm = Stm::snapshot();
+    let var = TVar::new(0u64);
+    let live_before = live_snapshots();
+
+    // Panic mid-body, after the read pinned the snapshot: the `Tx` —
+    // and with it the epoch `SnapshotGuard` — must be dropped during
+    // the unwind, not leaked.
+    let seen_snapshot = Arc::new(AtomicU64::new(0));
+    let seen = Arc::clone(&seen_snapshot);
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        stm.atomically(|tx| -> Result<(), sitm_stm::StmError> {
+            seen.store(tx.snapshot(), Ordering::Relaxed);
+            let _ = tx.read(&var)?;
+            panic!("transaction body blew up");
+        })
+    }));
+    assert!(result.is_err(), "the body's panic must propagate");
+    assert_eq!(
+        live_snapshots(),
+        live_before,
+        "the panicked transaction leaked its registry entry"
+    );
+
+    // The registration is gone, so the watermark is free to move past
+    // the panicked transaction's snapshot once the clock does.
+    for _ in 0..4 {
+        stm.atomically(|tx| {
+            let v = tx.read(&var)?;
+            tx.write(&var, v + 1);
+            Ok(())
+        });
+    }
+    let wm = refresh_watermark();
+    assert!(
+        wm > seen_snapshot.load(Ordering::Relaxed),
+        "watermark {wm} still pinned at the panicked snapshot"
+    );
+}
+
+#[test]
+fn threads_beyond_the_slot_count_overflow_and_free_cleanly() {
+    let _guard = serial();
+    let stm = Arc::new(Stm::snapshot());
+    let var = TVar::new(0u64);
+
+    // More simultaneously-live transactional threads than registry
+    // slots: the excess lands in the mutex-protected overflow table.
+    // Two barriers bracket a window in which every transaction is
+    // provably live at once, where one designated thread checks the
+    // registry sees them all.
+    let threads = SLOT_COUNT + 32;
+    let gate = Arc::new(Barrier::new(threads));
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let stm = Arc::clone(&stm);
+            let var = var.clone();
+            let gate = Arc::clone(&gate);
+            s.spawn(move || {
+                stm.atomically(|tx| {
+                    let _ = tx.read(&var)?;
+                    // Read-only bodies never conflict, so the body runs
+                    // exactly once and the barriers cannot deadlock a
+                    // retry.
+                    gate.wait();
+                    if t == 0 {
+                        let live = live_snapshots();
+                        assert!(
+                            live >= threads,
+                            "only {live} of {threads} live transactions registered"
+                        );
+                    }
+                    gate.wait();
+                    Ok(())
+                });
+            });
+        }
+    });
+
+    // Every transaction ended and every thread exited: both the slot
+    // prefix and the overflow table must be empty again.
+    assert_eq!(live_snapshots(), 0, "registry entries leaked");
+
+    // And nothing pins retention: after churn, a refresh + compact
+    // trims the variable back to the single newest version.
+    for _ in 0..8 {
+        stm.atomically(|tx| {
+            let v = tx.read(&var)?;
+            tx.write(&var, v + 1);
+            Ok(())
+        });
+    }
+    refresh_watermark();
+    var.compact();
+    assert_eq!(
+        var.version_count(),
+        1,
+        "retired snapshots still forced version retention"
+    );
+}
