@@ -1,0 +1,268 @@
+//! serve_bench: closed-loop load against the sitm-serve KV server.
+//!
+//! Starts an in-process server per (mix, seed) cell, drives N client
+//! connections over real loopback TCP with the seeded bank workload
+//! (two-key transfers + two-key audits, so the total is invariant),
+//! and reports exact p50/p99 round-trip latency and closed-loop
+//! txns/sec as `sitm.serve_bench.v1` JSONL.
+//!
+//! Three workload mixes: `read-heavy` (90% audits), `mixed` (50%),
+//! `transfer` (all transfers). Latency percentiles are exact (computed
+//! from every round-trip sample, not histogram buckets).
+//!
+//! Gates (exit 1, like the other harness binaries):
+//!
+//! * conservation — every run must end at the funded total;
+//! * certification — with `--certify`, every run's recorded server
+//!   history must pass the sitm-check SI oracle;
+//! * liveness — p50/p99 and txns/sec must come out nonzero.
+//!
+//! Flags beyond the shared harness set (`--quick`, `--seeds N`,
+//! `--threads N` = client connections, `--json PATH`):
+//!
+//! * `--certify` — record server-side history and certify each run;
+//! * `--baseline PATH` — also write the JSONL to PATH (the pinned
+//!   `BENCH_9.json` trajectory baseline for `scripts/bench_diff`).
+//!
+//! Usage: `cargo run --release -p sitm-bench --bin serve_bench --
+//! [--quick] [--seeds N] [--threads N] [--certify] [--json -]
+//! [--baseline BENCH_9.json]`
+
+use std::process::ExitCode;
+
+use sitm_bench::{seed_for, Console, HarnessOpts};
+use sitm_check::{check, Discipline};
+use sitm_obs::Json;
+use sitm_serve::loadgen::{run_loopback, LoadConfig};
+use sitm_serve::ServerConfig;
+use sitm_workloads::Scale;
+
+/// A workload mix: what fraction of ops are read audits.
+const MIXES: [(&str, u8); 3] = [("read-heavy", 90), ("mixed", 50), ("transfer", 0)];
+
+/// Aggregated outcome of one (mix, seed) cell.
+struct CellOut {
+    latencies_ns: Vec<u64>,
+    txns_per_sec: f64,
+    ops: u64,
+    commits: u64,
+    aborts: u64,
+    conserved: bool,
+    certified: Option<bool>,
+}
+
+fn run_cell(
+    mix_pct: u8,
+    seed: u64,
+    clients: usize,
+    ops: usize,
+    keys: u64,
+    certify: bool,
+) -> CellOut {
+    let load = LoadConfig {
+        clients,
+        ops_per_client: ops,
+        read_pct: mix_pct,
+        keys,
+        hot_pct: 80,
+        hot_keys: (keys / 16).max(2),
+        seed,
+    };
+    let server_cfg = ServerConfig {
+        // Oracle certification refuses truncated histories, so the
+        // capacity must exceed every attempt (ops + retries + funding).
+        history_capacity: if certify {
+            (clients * ops * 8 + keys as usize + 4096).next_power_of_two()
+        } else {
+            0
+        },
+        ..ServerConfig::default()
+    };
+    let (server, report) = match run_loopback(server_cfg, &load) {
+        Ok(pair) => pair,
+        Err(e) => panic!("serve_bench run failed: {e}"),
+    };
+    let certified = certify.then(|| {
+        let history = server.history().expect("history recording was on");
+        let oracle = check(Discipline::for_protocol("STM"), &history);
+        if !oracle.is_ok() {
+            eprintln!("oracle violations (seed {seed:#x}): {oracle}");
+        }
+        oracle.is_ok()
+    });
+    let stats = server.stats();
+    let out = CellOut {
+        latencies_ns: report.latencies_ns.clone(),
+        txns_per_sec: report.txns_per_sec(),
+        ops: report.ops_total,
+        commits: stats.commits(),
+        aborts: stats.aborts(),
+        conserved: report.conserved(),
+        certified,
+    };
+    server.shutdown();
+    out
+}
+
+fn main() -> ExitCode {
+    let opts = HarnessOpts::from_args();
+    let con = Console::new(&opts);
+    let args: Vec<String> = std::env::args().collect();
+    let certify = args.iter().any(|a| a == "--certify");
+    let baseline: Option<String> = args
+        .iter()
+        .position(|a| a == "--baseline")
+        .and_then(|i| args.get(i + 1).cloned());
+
+    let (clients, ops, keys) = match opts.scale {
+        Scale::Quick => (opts.threads_or(4), 150, 128u64),
+        _ => (opts.threads_or(8), 1500, 1024u64),
+    };
+
+    con.line("serve_bench: closed-loop TCP load against the sitm-serve KV server");
+    con.line(format!(
+        "  {clients} clients x {ops} ops, {keys} keys, {} seed(s), certify={certify}",
+        opts.seeds
+    ));
+    con.blank();
+    con.line(format!(
+        "  {:<12} {:>10} {:>12} {:>12} {:>10} {:>8}",
+        "mix", "txns/s", "p50 us", "p99 us", "aborts", "ok"
+    ));
+
+    let mut lines: Vec<String> = Vec::new();
+    let mut baseline_lines: Vec<String> = Vec::new();
+    let mut gate_failures: Vec<String> = Vec::new();
+
+    for (mix_name, mix_pct) in MIXES {
+        let mut latencies: Vec<u64> = Vec::new();
+        let mut tps_sum = 0.0;
+        let mut ops_total = 0u64;
+        let mut commits = 0u64;
+        let mut aborts = 0u64;
+        let mut all_conserved = true;
+        let mut all_certified = true;
+
+        for s in 0..opts.seeds {
+            let cell = run_cell(mix_pct, seed_for(s), clients, ops, keys, certify);
+            latencies.extend(cell.latencies_ns);
+            tps_sum += cell.txns_per_sec;
+            ops_total += cell.ops;
+            commits += cell.commits;
+            aborts += cell.aborts;
+            if !cell.conserved {
+                all_conserved = false;
+                gate_failures.push(format!("{mix_name} seed {s}: conservation violated"));
+            }
+            if cell.certified == Some(false) {
+                all_certified = false;
+                gate_failures.push(format!("{mix_name} seed {s}: SI certification failed"));
+            }
+        }
+        latencies.sort_unstable();
+        let p50 = sitm_serve::percentile(&latencies, 50.0);
+        let p99 = sitm_serve::percentile(&latencies, 99.0);
+        let mean_tps = tps_sum / opts.seeds.max(1) as f64;
+        if p50 == 0 || p99 == 0 || mean_tps <= 0.0 {
+            gate_failures.push(format!(
+                "{mix_name}: dead run (p50={p50}ns p99={p99}ns tps={mean_tps:.1})"
+            ));
+        }
+
+        con.line(format!(
+            "  {:<12} {:>10.0} {:>12.1} {:>12.1} {:>10} {:>8}",
+            mix_name,
+            mean_tps,
+            p50 as f64 / 1e3,
+            p99 as f64 / 1e3,
+            aborts,
+            if all_conserved && all_certified {
+                "yes"
+            } else {
+                "NO"
+            }
+        ));
+
+        let attempts = commits + aborts;
+        // The trajectory metrics every consumer gets.
+        let core = [
+            ("schema", Json::Str("sitm.serve_bench.v1".into())),
+            ("bench", Json::Str("serve_bench".into())),
+            ("protocol", Json::Str("SI-TM".into())),
+            ("workload", Json::Str(mix_name.into())),
+            ("threads", Json::Num(clients as f64)),
+            ("seeds", Json::Num(opts.seeds as f64)),
+            ("ops", Json::Num(ops_total as f64)),
+            ("txns_per_sec", Json::Num(mean_tps)),
+            ("latency_p50_ns", Json::Num(p50 as f64)),
+            ("latency_p99_ns", Json::Num(p99 as f64)),
+            ("conserved", Json::Num(f64::from(u8::from(all_conserved)))),
+        ];
+        lines.push(
+            Json::obj(core.clone().into_iter().chain([
+                // Scheduling-dependent: how many merged group commits
+                // absorbed the batches, and how many attempts lost a
+                // write-write race. Useful locally, excluded from the
+                // pinned baseline (see below).
+                ("commits", Json::Num(commits as f64)),
+                ("aborts", Json::Num(aborts as f64)),
+                (
+                    "abort_rate",
+                    Json::Num(if attempts > 0 {
+                        aborts as f64 / attempts as f64
+                    } else {
+                        0.0
+                    }),
+                ),
+                (
+                    "certified",
+                    if certify {
+                        Json::Num(f64::from(u8::from(all_certified)))
+                    } else {
+                        Json::Null
+                    },
+                ),
+            ]))
+            .to_line(),
+        );
+        // The pinned baseline keeps only scheduling-independent
+        // metrics. Abort counts are legitimately zero on an
+        // uncontended run, and bench_diff's zero-baseline rule demands
+        // an exact match — a scheduling-induced abort on another
+        // machine would spuriously trip the gate; commit counts vary
+        // with how group commit happened to pack. (Conflict trajectory
+        // is gated by the stm_scaling baseline instead.)
+        baseline_lines.push(Json::obj(core).to_line());
+    }
+    con.blank();
+
+    let jsonl = lines.join("\n") + "\n";
+    match opts.json.as_deref() {
+        Some("-") => print!("{jsonl}"),
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &jsonl) {
+                eprintln!("serve_bench: cannot write {path}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+        None => {}
+    }
+    if let Some(path) = baseline {
+        let stripped = baseline_lines.join("\n") + "\n";
+        if let Err(e) = std::fs::write(&path, &stripped) {
+            eprintln!("serve_bench: cannot write baseline {path}: {e}");
+            return ExitCode::from(2);
+        }
+        con.line(format!("baseline written to {path}"));
+    }
+
+    if gate_failures.is_empty() {
+        con.line("gates: conservation + certification + liveness all passed");
+        ExitCode::SUCCESS
+    } else {
+        for f in &gate_failures {
+            eprintln!("serve_bench gate failure: {f}");
+        }
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,66 @@
+//! sitm-serve: a network-facing snapshot-isolated transactional KV
+//! service over the sitm-stm runtime.
+//!
+//! The crate turns the workspace's software SI-TM into an actual
+//! service: `u64 → i64` keys stored in multiversioned
+//! [`sitm_stm::TVar`]s, exposed over a length-prefixed binary wire
+//! protocol on TCP. Clients get the full SI-TM contract end to end —
+//! consistent snapshot reads that never abort, first-committer-wins
+//! write-write detection, multi-key atomic batches — and the server's
+//! recorded histories are certifiable by the sitm-check oracle.
+//!
+//! # Architecture (DESIGN.md §16)
+//!
+//! - [`wire`] — the frame format and message types. Total, panic-free
+//!   decoding: truncated, oversized and garbage frames come back as
+//!   [`wire::WireError`]s, never panics.
+//! - [`store`] — the sharded `key → TVar` directory. Directory locks
+//!   cover only handle lookup; value concurrency is all STM.
+//! - [`server`] — accept loop, per-connection handler threads (each
+//!   owning at most one interactive [`sitm_stm::Tx`] across wire
+//!   round-trips), sharded group-commit workers for one-shot `TXN`
+//!   batches, and a periodic [`sitm_stm::TVar::compact`] GC tick.
+//! - [`client`] — a blocking connection wrapper.
+//! - [`loadgen`] — seeded closed-loop load generation (the bank
+//!   workload: conserved transfers + audits), used by the
+//!   `serve_bench` harness and the determinism tests.
+//!
+//! # Example
+//!
+//! ```
+//! use sitm_serve::{Client, Server, ServerConfig, TxnOp};
+//!
+//! let server = Server::start(ServerConfig::default()).unwrap();
+//! let mut client = Client::connect(server.addr()).unwrap();
+//!
+//! // One-shot atomic transfer: both legs or neither.
+//! client
+//!     .txn(vec![
+//!         TxnOp::Add { key: 1, delta: 100 },
+//!         TxnOp::Add { key: 2, delta: -100 },
+//!     ])
+//!     .unwrap();
+//!
+//! // Interactive transaction: reads see one snapshot.
+//! client.begin().unwrap();
+//! let a = client.read(1).unwrap();
+//! let b = client.read(2).unwrap();
+//! assert_eq!(a.unwrap() + b.unwrap(), 0);
+//! client.commit().unwrap().unwrap();
+//! server.shutdown();
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod client;
+pub mod loadgen;
+pub mod server;
+pub mod store;
+pub mod wire;
+
+pub use client::{Client, ClientError, CommitResult};
+pub use loadgen::{percentile, LoadConfig, LoadReport};
+pub use server::{Server, ServerConfig};
+pub use store::Store;
+pub use wire::{ErrCode, Request, Response, TxnOp, WireConflict, WireError, WireStats, MAX_FRAME};

@@ -1,0 +1,708 @@
+//! The server runtime: accept loop, per-connection interactive
+//! transaction handlers, sharded group-commit workers, and the GC tick.
+//!
+//! # Threading model
+//!
+//! - **Accept thread** — owns the listener, spawns one handler thread
+//!   per connection.
+//! - **Connection handlers** — each owns its socket and at most one
+//!   open interactive [`Tx`]. Snapshot reads are lock-free and commits
+//!   lock only the write set, so holding a transaction across wire
+//!   round-trips blocks nobody (readers never abort — the SI-TM
+//!   property the whole stack exists to demonstrate).
+//! - **Shard workers** — `TXN` batches are routed by key hash onto
+//!   `shards` worker threads over mpsc channels. A worker drains its
+//!   queue (up to `batch_max` requests per intake) and *group-commits*:
+//!   requests with pairwise-disjoint key footprints are packed into one
+//!   merged STM transaction. Disjointness makes the merged execution
+//!   exactly equal to serial execution at a single commit point, so the
+//!   recorded history stays snapshot-isolated and oracle-certifiable
+//!   while the commit-clock and lock traffic is paid once per group.
+//! - **GC tick** — a timer thread sweeps [`TVar::compact`] over every
+//!   key (via [`Store::compact_all`]) to release versions that a
+//!   finished long reader pinned on cold keys (DESIGN.md §14/§16).
+//!
+//! [`TVar::compact`]: sitm_stm::TVar::compact
+
+use std::collections::HashSet;
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use sitm_obs::{AtomicHistogram, ForensicsSnapshot, History, MetricsRegistry};
+use sitm_stm::{live_snapshots, Conflict, IsolationLevel, Stm, StmError, StmStats, TVar, Tx};
+
+use crate::store::Store;
+use crate::wire::{
+    read_frame, write_frame, ErrCode, Request, Response, TxnOp, WireConflict, WireStats,
+};
+
+/// Tuning knobs for [`Server::start`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Group-commit worker threads for `TXN` batches.
+    pub shards: usize,
+    /// Max `TXN` requests drained per worker intake (the group-commit
+    /// packing window).
+    pub batch_max: usize,
+    /// Period of the background `compact` sweep.
+    pub gc_interval: Duration,
+    /// Transaction-history record capacity; 0 disables recording.
+    /// Size it above the total attempt count when the history will be
+    /// oracle-certified — the oracle refuses truncated histories.
+    pub history_capacity: usize,
+    /// Whether to attribute aborts per conflicting variable
+    /// (`ForensicCause` taxonomy via sitm-obs).
+    pub forensics: bool,
+    /// Isolation level for every transaction the server runs.
+    pub level: IsolationLevel,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            shards: 4,
+            batch_max: 32,
+            gc_interval: Duration::from_millis(25),
+            history_capacity: 0,
+            forensics: false,
+            level: IsolationLevel::Snapshot,
+        }
+    }
+}
+
+/// Server-side counters and per-op latency histograms, exported under
+/// the `serve.*` metric namespace.
+#[derive(Debug, Default)]
+struct ServeMetrics {
+    conns: AtomicU64,
+    frames: AtomicU64,
+    malformed: AtomicU64,
+    group_batches: AtomicU64,
+    group_txns: AtomicU64,
+    group_retries: AtomicU64,
+    gc_ticks: AtomicU64,
+    gc_reclaimed: AtomicU64,
+    batch_size: AtomicHistogram,
+    lat_begin: AtomicHistogram,
+    lat_read: AtomicHistogram,
+    lat_write: AtomicHistogram,
+    lat_commit: AtomicHistogram,
+    lat_abort: AtomicHistogram,
+    lat_txn: AtomicHistogram,
+    lat_stats: AtomicHistogram,
+}
+
+impl ServeMetrics {
+    fn latency_of(&self, req: &Request) -> &AtomicHistogram {
+        match req {
+            Request::Begin => &self.lat_begin,
+            Request::Read { .. } => &self.lat_read,
+            Request::Write { .. } => &self.lat_write,
+            Request::Commit => &self.lat_commit,
+            Request::Abort => &self.lat_abort,
+            Request::Txn { .. } => &self.lat_txn,
+            Request::Stats => &self.lat_stats,
+        }
+    }
+
+    fn export(&self, reg: &mut MetricsRegistry) {
+        reg.count("serve.conns", self.conns.load(Ordering::Relaxed));
+        reg.count("serve.frames", self.frames.load(Ordering::Relaxed));
+        reg.count("serve.malformed", self.malformed.load(Ordering::Relaxed));
+        reg.count(
+            "serve.group_commit.batches",
+            self.group_batches.load(Ordering::Relaxed),
+        );
+        reg.count(
+            "serve.group_commit.txns",
+            self.group_txns.load(Ordering::Relaxed),
+        );
+        reg.count(
+            "serve.group_commit.retries",
+            self.group_retries.load(Ordering::Relaxed),
+        );
+        reg.count("serve.gc.ticks", self.gc_ticks.load(Ordering::Relaxed));
+        reg.count(
+            "serve.gc.reclaimed",
+            self.gc_reclaimed.load(Ordering::Relaxed),
+        );
+        reg.merge_histogram("serve.group_commit.batch_size", &self.batch_size.snapshot());
+        for (name, hist) in [
+            ("serve.latency_ns.begin", &self.lat_begin),
+            ("serve.latency_ns.read", &self.lat_read),
+            ("serve.latency_ns.write", &self.lat_write),
+            ("serve.latency_ns.commit", &self.lat_commit),
+            ("serve.latency_ns.abort", &self.lat_abort),
+            ("serve.latency_ns.txn", &self.lat_txn),
+            ("serve.latency_ns.stats", &self.lat_stats),
+        ] {
+            reg.merge_histogram(name, &hist.snapshot());
+        }
+    }
+}
+
+/// A one-shot `TXN` batch in flight to a shard worker.
+struct ShardJob {
+    ops: Vec<TxnOp>,
+    reply: mpsc::Sender<Response>,
+}
+
+/// State shared by every server thread.
+struct Shared {
+    stm: Stm,
+    store: Store,
+    batch_max: usize,
+    gc_interval: Duration,
+    stop: AtomicBool,
+    conns: Mutex<Vec<TcpStream>>,
+    handlers: Mutex<Vec<JoinHandle<()>>>,
+    gc_gate: (Mutex<()>, Condvar),
+    metrics: ServeMetrics,
+}
+
+/// A running KV server bound to a loopback port. Dropping it (or
+/// calling [`Server::shutdown`]) stops every thread and closes every
+/// connection; open interactive transactions on dying connections are
+/// rolled back and recorded as `aborted:explicit`.
+pub struct Server {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    gc: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server").field("addr", &self.addr).finish()
+    }
+}
+
+impl Server {
+    /// Binds `127.0.0.1:0` and starts the accept loop, `shards` group
+    /// commit workers and the GC tick thread.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn start(config: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+
+        let mut stm = Stm::with_level(config.level);
+        if config.history_capacity > 0 {
+            stm = stm.with_history(config.history_capacity);
+        }
+        if config.forensics {
+            stm = stm.with_forensics();
+        }
+        let shared = Arc::new(Shared {
+            stm,
+            store: Store::new(),
+            batch_max: config.batch_max.max(1),
+            gc_interval: config.gc_interval,
+            stop: AtomicBool::new(false),
+            conns: Mutex::new(Vec::new()),
+            handlers: Mutex::new(Vec::new()),
+            gc_gate: (Mutex::new(()), Condvar::new()),
+            metrics: ServeMetrics::default(),
+        });
+
+        let shards = config.shards.max(1);
+        let mut senders = Vec::with_capacity(shards);
+        let mut workers = Vec::with_capacity(shards);
+        for i in 0..shards {
+            let (tx, rx) = mpsc::channel::<ShardJob>();
+            senders.push(tx);
+            let sh = Arc::clone(&shared);
+            workers.push(
+                thread::Builder::new()
+                    .name(format!("sitm-serve-shard-{i}"))
+                    .spawn(move || shard_worker(&sh, &rx))?,
+            );
+        }
+
+        let sh = Arc::clone(&shared);
+        let accept = thread::Builder::new()
+            .name("sitm-serve-accept".into())
+            .spawn(move || accept_loop(&sh, &listener, &senders))?;
+
+        let sh = Arc::clone(&shared);
+        let gc = thread::Builder::new()
+            .name("sitm-serve-gc".into())
+            .spawn(move || gc_loop(&sh))?;
+
+        Ok(Server {
+            shared,
+            addr,
+            accept: Some(accept),
+            workers,
+            gc: Some(gc),
+        })
+    }
+
+    /// The loopback address clients should connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The runtime's commit/abort statistics.
+    pub fn stats(&self) -> &StmStats {
+        self.shared.stm.stats()
+    }
+
+    /// Snapshot of the recorded transaction history (if
+    /// [`ServerConfig::history_capacity`] was nonzero) — feed this to
+    /// the sitm-check oracle to certify the run.
+    pub fn history(&self) -> Option<History> {
+        self.shared.stm.history()
+    }
+
+    /// Per-variable abort attribution (if [`ServerConfig::forensics`]
+    /// was set).
+    pub fn forensics(&self) -> Option<ForensicsSnapshot> {
+        self.shared.stm.forensics()
+    }
+
+    /// Everything observable about the server: `stm.*` runtime metrics
+    /// plus the `serve.*` counters and per-op latency histograms.
+    pub fn metrics(&self) -> MetricsRegistry {
+        let mut reg = MetricsRegistry::new();
+        self.shared.stm.export_metrics(&mut reg);
+        self.shared.metrics.export(&mut reg);
+        reg
+    }
+
+    /// Keys ever created in the store.
+    pub fn keys(&self) -> usize {
+        self.shared.store.len()
+    }
+
+    /// Versions currently retained across all keys (one per key once
+    /// quiescent and compacted).
+    pub fn versions_retained(&self) -> usize {
+        self.shared.store.versions_retained()
+    }
+
+    /// Runs one synchronous GC sweep (tests use this instead of
+    /// waiting out [`ServerConfig::gc_interval`]); returns the number
+    /// of versions reclaimed.
+    pub fn compact_now(&self) -> u64 {
+        let reclaimed = self.shared.store.compact_all();
+        self.shared
+            .metrics
+            .gc_reclaimed
+            .fetch_add(reclaimed, Ordering::Relaxed);
+        self.shared.metrics.gc_ticks.fetch_add(1, Ordering::Relaxed);
+        reclaimed
+    }
+
+    /// Stops every thread and closes every connection. Equivalent to
+    /// dropping the server, but lets callers observe an orderly join.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        if self.shared.stop.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        // Wake the accept loop: it re-checks `stop` per connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        // Kick every handler out of its blocking read.
+        for conn in self.shared.conns.lock().expect("conns poisoned").drain(..) {
+            let _ = conn.shutdown(Shutdown::Both);
+        }
+        let handlers: Vec<_> = self
+            .shared
+            .handlers
+            .lock()
+            .expect("handlers poisoned")
+            .drain(..)
+            .collect();
+        for h in handlers {
+            let _ = h.join();
+        }
+        // The accept thread and the handlers held the only job senders;
+        // with both gone the workers' recv() has disconnected.
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        self.shared.gc_gate.1.notify_all();
+        if let Some(h) = self.gc.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+fn accept_loop(shared: &Arc<Shared>, listener: &TcpListener, senders: &[mpsc::Sender<ShardJob>]) {
+    for conn in listener.incoming() {
+        if shared.stop.load(Ordering::Acquire) {
+            break;
+        }
+        let stream = match conn {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        shared.metrics.conns.fetch_add(1, Ordering::Relaxed);
+        if let Ok(clone) = stream.try_clone() {
+            shared.conns.lock().expect("conns poisoned").push(clone);
+        }
+        let sh = Arc::clone(shared);
+        let senders = senders.to_vec();
+        let spawned = thread::Builder::new()
+            .name("sitm-serve-conn".into())
+            .spawn(move || handle_conn(&sh, &senders, stream));
+        if let Ok(h) = spawned {
+            shared.handlers.lock().expect("handlers poisoned").push(h);
+        }
+    }
+}
+
+fn conflict_to_wire(c: Conflict) -> WireConflict {
+    match c {
+        Conflict::WriteWrite => WireConflict::WriteWrite,
+        Conflict::SnapshotTooOld => WireConflict::SnapshotTooOld,
+        Conflict::ReadValidation => WireConflict::ReadValidation,
+    }
+}
+
+fn handle_conn(shared: &Arc<Shared>, senders: &[mpsc::Sender<ShardJob>], stream: TcpStream) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+    let mut open: Option<Tx> = None;
+
+    // A clean EOF, torn frame or oversized length prefix all end the
+    // loop: the stream can't be resynchronized, drop the connection.
+    while let Ok(Some(frame)) = read_frame(&mut reader) {
+        shared.metrics.frames.fetch_add(1, Ordering::Relaxed);
+        let start = Instant::now();
+        let response = match Request::decode(&frame) {
+            Ok(req) => {
+                let hist = shared.metrics.latency_of(&req);
+                let resp = dispatch(shared, senders, req, &mut open);
+                hist.record(start.elapsed().as_nanos() as u64);
+                resp
+            }
+            Err(err) => {
+                // The frame itself was well-delimited, only its payload
+                // was garbage — report and keep serving.
+                shared.metrics.malformed.fetch_add(1, Ordering::Relaxed);
+                Some(Response::Err {
+                    code: ErrCode::Malformed,
+                    detail: err.to_string(),
+                })
+            }
+        };
+        let Some(response) = response else { break };
+        let sent = write_frame(&mut writer, &response.encode()).and_then(|()| writer.flush());
+        if sent.is_err() {
+            break;
+        }
+    }
+
+    // Connection died (or server is stopping) with a transaction open:
+    // roll it back so its epoch-registry slot and pinned versions are
+    // released, and the attempt stays accounted for in the history.
+    if let Some(tx) = open.take() {
+        shared.stm.abort(tx);
+    }
+}
+
+/// Executes one decoded request. `None` means "close the connection"
+/// (only used when the server is shutting down under the client).
+fn dispatch(
+    shared: &Shared,
+    senders: &[mpsc::Sender<ShardJob>],
+    req: Request,
+    open: &mut Option<Tx>,
+) -> Option<Response> {
+    Some(match req {
+        Request::Begin => {
+            if open.is_some() {
+                Response::Err {
+                    code: ErrCode::TxnOpen,
+                    detail: "transaction already open on this connection".into(),
+                }
+            } else {
+                *open = Some(shared.stm.begin());
+                Response::Ok
+            }
+        }
+        Request::Read { key } => match open.as_mut() {
+            Some(tx) => match shared.store.lookup(key) {
+                // Never-created key: reads `None` at every snapshot.
+                None => Response::Value { value: None },
+                Some(var) => match tx.read(&var) {
+                    Ok(value) => Response::Value { value },
+                    Err(StmError::Conflict(c)) => {
+                        // Only reachable on capped variables; the store
+                        // uses dynamic retention, but handle it anyway:
+                        // the transaction is dead, roll it back.
+                        let tx = open.take().expect("checked above");
+                        shared.stm.abort(tx);
+                        Response::Aborted {
+                            conflict: conflict_to_wire(c),
+                        }
+                    }
+                },
+            },
+            None => {
+                // One-shot snapshot read.
+                let value = shared
+                    .store
+                    .lookup(key)
+                    .map(|var| shared.stm.atomically(|tx| tx.read(&var)))
+                    .unwrap_or(None);
+                Response::Value { value }
+            }
+        },
+        Request::Write { key, value } => {
+            let var = shared.store.get_or_create(key);
+            match open.as_mut() {
+                Some(tx) => {
+                    tx.write(&var, Some(value));
+                    Response::Ok
+                }
+                None => {
+                    // One-shot auto-committed write (blind, conflict-free).
+                    shared.stm.atomically(|tx| {
+                        tx.write(&var, Some(value));
+                        Ok(())
+                    });
+                    Response::Ok
+                }
+            }
+        }
+        Request::Commit => match open.take() {
+            None => Response::Err {
+                code: ErrCode::NoTxn,
+                detail: "no open transaction to commit".into(),
+            },
+            Some(tx) => match shared.stm.commit(tx) {
+                Ok(ts) => Response::Committed {
+                    commit_ts: ts.unwrap_or(0),
+                },
+                Err(c) => Response::Aborted {
+                    conflict: conflict_to_wire(c),
+                },
+            },
+        },
+        Request::Abort => match open.take() {
+            None => Response::Err {
+                code: ErrCode::NoTxn,
+                detail: "no open transaction to abort".into(),
+            },
+            Some(tx) => {
+                shared.stm.abort(tx);
+                Response::Ok
+            }
+        },
+        Request::Txn { ops } => {
+            if ops.is_empty() {
+                return Some(Response::Err {
+                    code: ErrCode::EmptyTxn,
+                    detail: "empty TXN batch".into(),
+                });
+            }
+            // Route by first-key hash; any shard executes the batch
+            // correctly (it runs a full STM transaction), routing only
+            // decides which group-commit queue absorbs it.
+            let shard = (ops[0].key() % senders.len() as u64) as usize;
+            let (reply_tx, reply_rx) = mpsc::channel();
+            let job = ShardJob {
+                ops,
+                reply: reply_tx,
+            };
+            if senders[shard].send(job).is_err() {
+                return None;
+            }
+            match reply_rx.recv() {
+                Ok(resp) => resp,
+                Err(_) => return None,
+            }
+        }
+        Request::Stats => {
+            let stats = shared.stm.stats();
+            Response::Stats(WireStats {
+                commits: stats.commits(),
+                aborts: stats.aborts(),
+                versions_retired: stats.versions_retired(),
+                gc_reclaimed: shared.metrics.gc_reclaimed.load(Ordering::Relaxed),
+                gc_ticks: shared.metrics.gc_ticks.load(Ordering::Relaxed),
+                live_snapshots: live_snapshots() as u64,
+                keys: shared.store.len() as u64,
+            })
+        }
+    })
+}
+
+// --------------------------------------------------------------------------
+// Group-commit shard workers.
+// --------------------------------------------------------------------------
+
+fn shard_worker(shared: &Arc<Shared>, rx: &mpsc::Receiver<ShardJob>) {
+    while let Ok(first) = rx.recv() {
+        // Batched intake: one blocking recv, then drain whatever else
+        // already queued, up to the packing window.
+        let mut batch = vec![first];
+        while batch.len() < shared.batch_max {
+            match rx.try_recv() {
+                Ok(job) => batch.push(job),
+                Err(_) => break,
+            }
+        }
+        shared.metrics.batch_size.record(batch.len() as u64);
+
+        // Greedy disjoint-footprint packing: requests that touch no
+        // common key go into one merged transaction. Disjointness means
+        // the merged execution is byte-identical to running them
+        // serially at a single commit point, so SI is preserved.
+        let mut groups: Vec<(HashSet<u64>, Vec<ShardJob>)> = Vec::new();
+        'pack: for job in batch {
+            let footprint: HashSet<u64> = job.ops.iter().map(TxnOp::key).collect();
+            for (group_keys, group_jobs) in &mut groups {
+                if group_keys.is_disjoint(&footprint) {
+                    group_keys.extend(&footprint);
+                    group_jobs.push(job);
+                    continue 'pack;
+                }
+            }
+            groups.push((footprint, vec![job]));
+        }
+
+        for (_, jobs) in groups {
+            shared.metrics.group_batches.fetch_add(1, Ordering::Relaxed);
+            shared
+                .metrics
+                .group_txns
+                .fetch_add(jobs.len() as u64, Ordering::Relaxed);
+            run_group(shared, &jobs);
+        }
+    }
+}
+
+/// Executes a disjoint group of `TXN` batches as one STM transaction,
+/// retrying on write-write conflicts (against interactive commits or
+/// other shards' workers) until it lands.
+fn run_group(shared: &Shared, jobs: &[ShardJob]) {
+    // Resolve directory entries once, outside the retry loop. `Get` on
+    // a never-created key stays unresolved and reads `None`; mutating
+    // ops materialize the key.
+    type ResolvedOp<'a> = (&'a TxnOp, Option<TVar<Option<i64>>>);
+    let resolved: Vec<Vec<ResolvedOp<'_>>> = jobs
+        .iter()
+        .map(|job| {
+            job.ops
+                .iter()
+                .map(|op| {
+                    let var = match op {
+                        TxnOp::Get { key } => shared.store.lookup(*key),
+                        TxnOp::Put { key, .. } | TxnOp::Add { key, .. } | TxnOp::Del { key } => {
+                            Some(shared.store.get_or_create(*key))
+                        }
+                    };
+                    (op, var)
+                })
+                .collect()
+        })
+        .collect();
+
+    let mut attempt = 0u32;
+    loop {
+        let mut tx = shared.stm.begin();
+        let mut replies: Vec<Vec<Option<i64>>> = Vec::with_capacity(jobs.len());
+        let mut failed = None;
+        'exec: for ops in &resolved {
+            let mut reads = Vec::new();
+            for (op, var) in ops {
+                let outcome = match (op, var) {
+                    (TxnOp::Get { .. }, None) => {
+                        reads.push(None);
+                        Ok(())
+                    }
+                    (TxnOp::Get { .. }, Some(var)) => tx.read(var).map(|v| reads.push(v)),
+                    (TxnOp::Put { value, .. }, Some(var)) => {
+                        tx.write(var, Some(*value));
+                        Ok(())
+                    }
+                    (TxnOp::Add { delta, .. }, Some(var)) => tx.read(var).map(|cur| {
+                        tx.write(var, Some(cur.unwrap_or(0).wrapping_add(*delta)));
+                    }),
+                    (TxnOp::Del { .. }, Some(var)) => {
+                        tx.write(var, None);
+                        Ok(())
+                    }
+                    // Mutating ops always resolve a var.
+                    (_, None) => Ok(()),
+                };
+                if let Err(StmError::Conflict(c)) = outcome {
+                    failed = Some(c);
+                    break 'exec;
+                }
+            }
+            replies.push(reads);
+        }
+
+        if failed.is_some() {
+            // Unreachable with dynamic retention, but stay total: the
+            // attempt is recorded and rerun on a fresh snapshot.
+            shared.stm.abort(tx);
+        } else if let Ok(ts) = shared.stm.commit(tx) {
+            let commit_ts = ts.unwrap_or(0);
+            for (job, reads) in jobs.iter().zip(replies) {
+                // The client may have hung up; its loss.
+                let _ = job.reply.send(Response::TxnResult { reads, commit_ts });
+            }
+            return;
+        }
+
+        shared.metrics.group_retries.fetch_add(1, Ordering::Relaxed);
+        attempt = attempt.saturating_add(1);
+        if attempt > 8 {
+            thread::sleep(Duration::from_micros(50));
+        } else {
+            thread::yield_now();
+        }
+    }
+}
+
+// --------------------------------------------------------------------------
+// GC tick.
+// --------------------------------------------------------------------------
+
+fn gc_loop(shared: &Arc<Shared>) {
+    let (lock, cvar) = &shared.gc_gate;
+    let mut guard = lock.lock().expect("gc gate poisoned");
+    loop {
+        let (next, _timeout) = cvar
+            .wait_timeout(guard, shared.gc_interval)
+            .expect("gc gate poisoned");
+        guard = next;
+        if shared.stop.load(Ordering::Acquire) {
+            return;
+        }
+        let reclaimed = shared.store.compact_all();
+        shared
+            .metrics
+            .gc_reclaimed
+            .fetch_add(reclaimed, Ordering::Relaxed);
+        shared.metrics.gc_ticks.fetch_add(1, Ordering::Relaxed);
+    }
+}

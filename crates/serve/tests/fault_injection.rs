@@ -1,0 +1,193 @@
+//! Fault injection against a live server: clients that disconnect
+//! mid-transaction, stall between BEGIN and COMMIT, send duplicate
+//! COMMITs, or write garbage on the wire. The server must keep
+//! serving, and the faults must leak nothing — every epoch-registry
+//! slot is released (`live_snapshots` returns to baseline) and every
+//! version a stalled snapshot pinned is reclaimed once it is gone.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use sitm_serve::{Client, ErrCode, Server, ServerConfig, TxnOp, WireConflict};
+use sitm_stm::live_snapshots;
+
+/// `live_snapshots` counts process-global epoch-registry slots, so the
+/// tests in this binary must not overlap (the harness runs them on
+/// parallel threads by default).
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn wait_until(what: &str, mut cond: impl FnMut() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !cond() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// One test fn on purpose: `live_snapshots` counts process-global
+/// epoch-registry slots, so the leak assertions must not race other
+/// tests in this binary.
+#[test]
+fn faults_leak_nothing_and_the_server_keeps_serving() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let server = Server::start(ServerConfig {
+        // Slow the background sweep down so the test controls
+        // compaction timing via compact_now.
+        gc_interval: Duration::from_secs(3600),
+        ..ServerConfig::default()
+    })
+    .expect("server start");
+    let addr = server.addr();
+    let baseline = live_snapshots();
+
+    // -- Fault 1: disconnect mid-transaction. --------------------------------
+    {
+        let mut client = Client::connect(addr).expect("connect");
+        client.begin().expect("begin");
+        client.write(1, 10).expect("buffered write");
+        assert!(live_snapshots() > baseline, "open txn holds an epoch slot");
+        drop(client); // vanish without COMMIT or ABORT
+    }
+    // The handler notices the hangup, rolls the transaction back and
+    // releases its epoch-registry slot.
+    wait_until("mid-txn disconnect to release its epoch slot", || {
+        live_snapshots() == baseline
+    });
+    // The buffered write died with the transaction.
+    let mut probe = Client::connect(addr).expect("probe connect");
+    assert_eq!(probe.read(1).expect("probe read"), None);
+
+    // -- Fault 2: stall between BEGIN and COMMIT while writers churn. --------
+    let mut staller = Client::connect(addr).expect("staller connect");
+    staller.begin().expect("staller begin");
+    assert_eq!(staller.read(2).expect("staller read"), None); // pin a snapshot
+    for i in 0..50 {
+        probe.write(2, i).expect("churn write");
+    }
+    // The stalled snapshot forces version retention on key 2.
+    let retained_while_stalled = server.versions_retained();
+    assert!(
+        retained_while_stalled > server.keys(),
+        "stalled snapshot must pin superseded versions \
+         ({retained_while_stalled} retained over {} keys)",
+        server.keys()
+    );
+    server.compact_now();
+    assert!(
+        server.versions_retained() > server.keys(),
+        "compaction must not reclaim versions a live snapshot can reach"
+    );
+    // The staller's commit conflicts (its write races the churn) or
+    // succeeds; either way the transaction is consumed...
+    staller.write(2, -1).expect("staller write");
+    let _ = staller.commit().expect("staller commit round-trip");
+    // ...and with the snapshot gone, compaction reclaims the spill.
+    server.compact_now();
+    assert_eq!(
+        server.versions_retained(),
+        server.keys(),
+        "after quiescence + compaction exactly one version per key remains"
+    );
+    assert_eq!(live_snapshots(), baseline, "staller released its slot");
+
+    // -- Fault 3: duplicate COMMIT (and duplicate ABORT). --------------------
+    let mut dup = Client::connect(addr).expect("dup connect");
+    dup.begin().expect("dup begin");
+    dup.write(3, 30).expect("dup write");
+    dup.commit().expect("first commit").expect("no contention");
+    for _ in 0..2 {
+        match dup.commit() {
+            Err(sitm_serve::ClientError::Refused { code, .. }) => {
+                assert_eq!(code, ErrCode::NoTxn, "duplicate COMMIT is NoTxn");
+            }
+            other => panic!("duplicate COMMIT not refused: {other:?}"),
+        }
+    }
+    match dup.abort() {
+        Err(sitm_serve::ClientError::Refused { code, .. }) => {
+            assert_eq!(code, ErrCode::NoTxn, "ABORT after COMMIT is NoTxn");
+        }
+        other => panic!("stray ABORT not refused: {other:?}"),
+    }
+    // The connection survived all three protocol errors.
+    assert_eq!(dup.read(3).expect("dup still serves"), Some(30));
+
+    // -- Fault 4: garbage and torn bytes on the wire. ------------------------
+    {
+        // A well-framed frame whose payload is garbage: polite error,
+        // connection stays usable.
+        let mut raw = TcpStream::connect(addr).expect("raw connect");
+        let garbage = [0xFFu8, 0xAA, 0x55];
+        let mut frame = (garbage.len() as u32).to_le_bytes().to_vec();
+        frame.extend_from_slice(&garbage);
+        raw.write_all(&frame).expect("send garbage frame");
+        raw.flush().expect("flush");
+        let mut fixed = Client::connect(addr).expect("alive during garbage");
+        assert_eq!(fixed.read(3).expect("serving during garbage"), Some(30));
+
+        // A torn frame (length prefix promising bytes that never come)
+        // followed by a hangup: the handler just drops the connection.
+        let mut torn = TcpStream::connect(addr).expect("torn connect");
+        torn.write_all(&100u32.to_le_bytes()).expect("torn prefix");
+        torn.write_all(&[1, 2, 3]).expect("torn partial body");
+        drop(torn);
+
+        // An oversized length prefix: rejected before allocation.
+        let mut huge = TcpStream::connect(addr).expect("huge connect");
+        huge.write_all(&u32::MAX.to_le_bytes())
+            .expect("huge prefix");
+        drop(huge);
+    }
+
+    // -- Aftermath: the server is intact. ------------------------------------
+    wait_until("all faulty connections to drain", || {
+        live_snapshots() == baseline
+    });
+    let mut after = Client::connect(addr).expect("post-fault connect");
+    let (reads, ts) = after
+        .txn(vec![TxnOp::Add { key: 9, delta: 4 }, TxnOp::Get { key: 9 }])
+        .expect("post-fault txn");
+    assert_eq!(reads, vec![Some(4)]);
+    assert!(ts > 0);
+    let stats = after.stats().expect("post-fault stats");
+    assert!(stats.commits > 0);
+    assert!(
+        stats.versions_retired + stats.gc_reclaimed > 0,
+        "the churned versions were reclaimed somewhere (epoch GC or sweep)"
+    );
+
+    server.shutdown();
+}
+
+/// Interactive commits racing the same key: the loser gets a
+/// write-write abort on the wire, not a hang or a protocol error.
+#[test]
+fn racing_interactive_commits_surface_write_write() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let server = Server::start(ServerConfig::default()).expect("server start");
+    let addr = server.addr();
+
+    let mut first = Client::connect(addr).expect("first connect");
+    let mut second = Client::connect(addr).expect("second connect");
+    // Materialize the key so both transactions read-then-write it.
+    first.write(7, 0).expect("seed key");
+
+    first.begin().expect("first begin");
+    second.begin().expect("second begin");
+    let a = first.read(7).expect("first read").unwrap();
+    let b = second.read(7).expect("second read").unwrap();
+    first.write(7, a + 1).expect("first write");
+    second.write(7, b + 100).expect("second write");
+
+    assert!(first.commit().expect("first commit").is_ok());
+    assert_eq!(
+        second.commit().expect("second commit round-trip"),
+        Err(WireConflict::WriteWrite),
+        "first committer wins; the second learns why it lost"
+    );
+    assert_eq!(second.read(7).expect("read after abort"), Some(a + 1));
+
+    server.shutdown();
+}

@@ -1,0 +1,67 @@
+//! Seeded determinism of the `serve_bench` loopback mode: the same
+//! seed must produce the same op sequence (request-stream checksum)
+//! and the same conserved invariants, run after run — so a bench
+//! number or a failure always reproduces from its printed seed.
+//!
+//! Follows the PR 8 convention: `sitm_obs::run_seeded_cases` prints
+//! the failing seed, and `SITM_PROPTEST_CASES` scales the case count.
+
+use sitm_obs::run_seeded_cases;
+use sitm_serve::loadgen::{run_loopback, LoadConfig, FUND_PER_KEY};
+use sitm_serve::ServerConfig;
+
+#[test]
+fn same_seed_same_ops_same_invariants() {
+    run_seeded_cases(3, 0xBE9C, |_, rng| {
+        let cfg = LoadConfig {
+            clients: 3,
+            ops_per_client: 40,
+            read_pct: 40,
+            keys: 32,
+            hot_pct: 75,
+            hot_keys: 4,
+            seed: rng.next_u64(),
+        };
+
+        let (server_a, report_a) = run_loopback(ServerConfig::default(), &cfg).expect("first run");
+        server_a.shutdown();
+        let (server_b, report_b) = run_loopback(ServerConfig::default(), &cfg).expect("second run");
+        server_b.shutdown();
+
+        // Identical request streams: the op sequence is a pure
+        // function of the seed, independent of scheduling.
+        assert_eq!(
+            report_a.checksum, report_b.checksum,
+            "same seed must generate the same op sequence (seed {:#x})",
+            cfg.seed
+        );
+        assert_eq!(report_a.ops_total, report_b.ops_total);
+        assert_eq!(report_a.latencies_ns.len(), report_b.latencies_ns.len());
+
+        // Identical conserved outcome: transfers net zero, so both
+        // runs end at the funded total regardless of interleaving.
+        for (name, report) in [("first", &report_a), ("second", &report_b)] {
+            assert!(
+                report.conserved(),
+                "{name} run violated conservation: {} != {} (seed {:#x})",
+                report.final_total,
+                report.expected_total,
+                cfg.seed
+            );
+        }
+        assert_eq!(report_a.expected_total, cfg.keys as i64 * FUND_PER_KEY);
+
+        // A different seed produces a different op stream (sanity that
+        // the checksum actually discriminates).
+        let other = LoadConfig {
+            seed: cfg.seed.wrapping_add(1),
+            ..cfg.clone()
+        };
+        let (server_c, report_c) = run_loopback(ServerConfig::default(), &other).expect("third");
+        server_c.shutdown();
+        assert_ne!(
+            report_a.checksum, report_c.checksum,
+            "different seeds should not collide on the op-stream digest"
+        );
+    });
+}

@@ -255,6 +255,94 @@ impl Stm {
         Observable::export_metrics(&self.stats, reg);
     }
 
+    /// Begins an *unmanaged* transaction on this runtime: the caller
+    /// owns the returned [`Tx`], may hold it across arbitrary program
+    /// points (e.g. between requests of a network session), and must
+    /// finish it with [`Stm::commit`] or [`Stm::abort`]. Conflicts are
+    /// **not** retried automatically — that is the caller's policy.
+    ///
+    /// [`Stm::atomically`] remains the right interface for closed
+    /// transaction bodies; this one exists for drivers whose
+    /// transaction boundaries arrive from outside (wire protocols,
+    /// interactive sessions, custom retry loops).
+    ///
+    /// The transaction pins its snapshot in the epoch registry for as
+    /// long as it lives (dropping it releases the slot), so a caller
+    /// that holds a `Tx` indefinitely also holds version retention
+    /// back — exactly as any long-running reader would.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use sitm_stm::{Stm, TVar};
+    ///
+    /// let stm = Stm::snapshot();
+    /// let v = TVar::new(1u64);
+    /// let mut tx = stm.begin();
+    /// let cur = tx.read(&v).unwrap();
+    /// tx.write(&v, cur + 1);
+    /// let ts = stm.commit(tx).expect("no competitor");
+    /// assert!(ts.is_some(), "update commits take a timestamp");
+    /// assert_eq!(v.load(), 2);
+    /// ```
+    pub fn begin(&self) -> Tx {
+        Tx::begin_recorded(
+            self.level,
+            self.recorder.clone(),
+            self.history.clone(),
+            self.forensics.clone(),
+        )
+    }
+
+    /// Attempts to commit a transaction obtained from [`Stm::begin`],
+    /// returning its commit timestamp (`None` for read-only /
+    /// promotion-only commits, which publish nothing and take no clock
+    /// tick). Statistics are counted exactly as for
+    /// [`Stm::atomically`]-managed transactions.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`Conflict`] that aborted the attempt; the caller
+    /// decides whether to retry with a fresh [`Stm::begin`].
+    pub fn commit(&self, tx: Tx) -> Result<Option<u64>, Conflict> {
+        match tx.commit() {
+            Ok(receipt) => {
+                self.stats.commits.fetch_add(1, Ordering::Relaxed);
+                self.absorb_receipt(&receipt);
+                Ok(receipt.end)
+            }
+            Err(conflict) => {
+                self.stats.count(conflict);
+                Err(conflict)
+            }
+        }
+    }
+
+    /// Abandons a transaction obtained from [`Stm::begin`] without
+    /// committing: buffered writes are discarded, and when history
+    /// recording is on the attempt is recorded as `aborted:explicit`
+    /// (so oracle-certified histories account for every attempt a
+    /// client deliberately rolled back). Dropping a `Tx` instead is
+    /// also safe — it releases every resource — but leaves no history
+    /// record.
+    pub fn abort(&self, tx: Tx) {
+        tx.record_explicit_abort();
+    }
+
+    /// Folds a commit receipt's GC accounting into the runtime stats.
+    fn absorb_receipt(&self, receipt: &crate::txn::CommitReceipt) {
+        if receipt.versions_retired > 0 {
+            self.stats
+                .versions_retired
+                .fetch_add(receipt.versions_retired, Ordering::Relaxed);
+        }
+        if let Some(lag) = receipt.watermark_lag {
+            self.stats
+                .watermark_lag_max
+                .fetch_max(lag, Ordering::Relaxed);
+        }
+    }
+
     /// Runs `body` transactionally, retrying on conflicts until it
     /// commits, and returns its result.
     ///
@@ -343,16 +431,7 @@ impl Stm {
             Ok(value) => match tx.commit() {
                 Ok(receipt) => {
                     self.stats.commits.fetch_add(1, Ordering::Relaxed);
-                    if receipt.versions_retired > 0 {
-                        self.stats
-                            .versions_retired
-                            .fetch_add(receipt.versions_retired, Ordering::Relaxed);
-                    }
-                    if let Some(lag) = receipt.watermark_lag {
-                        self.stats
-                            .watermark_lag_max
-                            .fetch_max(lag, Ordering::Relaxed);
-                    }
+                    self.absorb_receipt(&receipt);
                     Ok(value)
                 }
                 Err(conflict) => {

@@ -444,6 +444,17 @@ impl Tx {
         result
     }
 
+    /// Records a deliberate client rollback ([`crate::Stm::abort`]) in
+    /// the history, as `aborted:explicit`. Installs nothing and frees
+    /// every resource the transaction held (the epoch-registry slot is
+    /// released by the drop at the end of this call).
+    pub(crate) fn record_explicit_abort(mut self) {
+        if let Some((sink, builder)) = self.history.take() {
+            let seq = sink.next_seq();
+            sink.push(builder.abort(seq, "explicit"));
+        }
+    }
+
     /// Records the abort of a transaction whose *body* hit a conflict
     /// (e.g. [`Conflict::SnapshotTooOld`] on a read), so `commit` never
     /// runs. Without this the attempt would silently vanish from the

@@ -1,0 +1,92 @@
+//! A worked tour of the sitm-serve wire protocol: start the KV server
+//! in-process, speak to it over real loopback TCP, and watch snapshot
+//! isolation hold across connections.
+//!
+//! Run with: `cargo run --release --example serve_client`
+
+use sitm::serve::{Client, Server, ServerConfig, TxnOp, WireConflict};
+
+fn main() {
+    // A server on an ephemeral loopback port. History recording is on
+    // so the run could be certified by the sitm-check oracle.
+    let server = Server::start(ServerConfig {
+        history_capacity: 4096,
+        ..ServerConfig::default()
+    })
+    .expect("bind loopback");
+    println!("server listening on {}", server.addr());
+
+    let mut alice = Client::connect(server.addr()).expect("connect");
+    let mut bob = Client::connect(server.addr()).expect("connect");
+
+    // --- One-shot atomic batches (the group-commit path). ----------------
+    // Fund two accounts in one transaction: both legs or neither.
+    let (_, ts) = alice
+        .txn(vec![
+            TxnOp::Put { key: 1, value: 600 },
+            TxnOp::Put { key: 2, value: 400 },
+        ])
+        .expect("funding batch");
+    println!("funded accounts 1 and 2 at commit ts {ts}");
+
+    // A transfer as a pair of Adds conserves the total unconditionally.
+    let (reads, _) = alice
+        .txn(vec![
+            TxnOp::Add {
+                key: 1,
+                delta: -150,
+            },
+            TxnOp::Add { key: 2, delta: 150 },
+            TxnOp::Get { key: 1 },
+            TxnOp::Get { key: 2 },
+        ])
+        .expect("transfer batch");
+    println!(
+        "after transfer: account 1 = {:?}, account 2 = {:?}",
+        reads[0], reads[1]
+    );
+
+    // --- Interactive transactions (snapshot reads over round-trips). -----
+    // Alice opens a transaction and reads account 1; her snapshot is
+    // now pinned.
+    alice.begin().expect("alice begin");
+    let a1 = alice.read(1).expect("alice read").unwrap();
+
+    // Bob commits a concurrent update...
+    bob.write(1, 9_999).expect("bob one-shot write");
+
+    // ...which Alice's open snapshot does NOT see (readers never
+    // abort; they keep reading their begin-time state).
+    let a1_again = alice.read(1).expect("alice re-read").unwrap();
+    assert_eq!(a1, a1_again, "snapshot reads are stable");
+    println!("alice still sees account 1 = {a1} after bob's commit (snapshot isolation)");
+    alice
+        .commit()
+        .expect("round-trip")
+        .expect("read-only commits never conflict");
+
+    // --- First committer wins. --------------------------------------------
+    alice.begin().expect("alice begin");
+    bob.begin().expect("bob begin");
+    let a = alice.read(2).expect("read").unwrap();
+    let b = bob.read(2).expect("read").unwrap();
+    alice.write(2, a + 1).expect("buffer");
+    bob.write(2, b + 1).expect("buffer");
+    assert!(alice.commit().expect("round-trip").is_ok());
+    match bob.commit().expect("round-trip") {
+        Err(WireConflict::WriteWrite) => {
+            println!("bob lost the write-write race and learned why; he just begins again")
+        }
+        other => println!("unexpected outcome for bob: {other:?}"),
+    }
+
+    // --- Server-side counters over the wire. -------------------------------
+    let stats = bob.stats().expect("stats");
+    println!(
+        "server stats: {} commits, {} aborts, {} keys, {} live snapshot(s)",
+        stats.commits, stats.aborts, stats.keys, stats.live_snapshots
+    );
+
+    server.shutdown();
+    println!("server drained and stopped");
+}

@@ -74,6 +74,7 @@ pub use sitm_check as check;
 pub use sitm_core as core;
 pub use sitm_mvm as mvm;
 pub use sitm_obs as obs;
+pub use sitm_serve as serve;
 pub use sitm_sim as sim;
 pub use sitm_skew as skew;
 pub use sitm_stm as stm;
