@@ -1,34 +1,57 @@
-//! serve_bench: closed-loop load against the sitm-serve KV server.
+//! serve_bench: TCP load against the sitm-serve KV server, in both
+//! closed-loop and pipelined open-loop modes.
 //!
-//! Starts an in-process server per (mix, seed) cell, drives N client
-//! connections over real loopback TCP with the seeded bank workload
-//! (two-key transfers + two-key audits, so the total is invariant),
-//! and reports exact p50/p99 round-trip latency and closed-loop
+//! Starts an in-process event-loop server per (mix, mode, seed) cell,
+//! drives N client connections over real loopback TCP with the seeded
+//! bank workload (two-key transfers + two-key audits, so the total is
+//! invariant), and reports exact p50/p99 round-trip latency and
 //! txns/sec as `sitm.serve_bench.v1` JSONL.
+//!
+//! Two modes per workload mix:
+//!
+//! * `closed` — one request in flight per connection, zero batch
+//!   deadline (the PR 9 semantics on the event-loop front end);
+//! * `pipelined` — a sliding window of `--pipeline` requests per
+//!   connection with a small group-commit deadline, which is where
+//!   the reactor + deadline-bounded batching earn their keep.
 //!
 //! Three workload mixes: `read-heavy` (90% audits), `mixed` (50%),
 //! `transfer` (all transfers). Latency percentiles are exact (computed
-//! from every round-trip sample, not histogram buckets).
+//! from every round-trip sample, not histogram buckets); pipelined
+//! latencies include queueing in the window, as an open-loop client
+//! experiences.
 //!
 //! Gates (exit 1, like the other harness binaries):
 //!
 //! * conservation — every run must end at the funded total;
 //! * certification — with `--certify`, every run's recorded server
 //!   history must pass the sitm-check SI oracle;
+//! * determinism — the request-stream checksum must not depend on the
+//!   mode: for each (mix, seed), closed and pipelined runs must
+//!   digest identically;
 //! * liveness — p50/p99 and txns/sec must come out nonzero.
 //!
 //! Flags beyond the shared harness set (`--quick`, `--seeds N`,
 //! `--threads N` = client connections, `--json PATH`):
 //!
 //! * `--certify` — record server-side history and certify each run;
-//! * `--baseline PATH` — also write the JSONL to PATH (the pinned
-//!   `BENCH_9.json` trajectory baseline for `scripts/bench_diff`).
+//! * `--pipeline N` — window depth for the pipelined rows (default 16);
+//! * `--deadline-us N` — group-commit deadline for the pipelined rows
+//!   in microseconds (default 100; closed rows always run at 0);
+//! * `--reactors N`, `--shards N`, `--batch-max N` — override the
+//!   server's thread/packing knobs (defaults from [`ServerConfig`];
+//!   the levers behind EXPERIMENTS.md's saturation study);
+//! * `--baseline PATH` — also write scheduling-independent JSONL to
+//!   PATH (the pinned `BENCH_10.json` trajectory baseline for
+//!   `scripts/bench_diff`).
 //!
 //! Usage: `cargo run --release -p sitm-bench --bin serve_bench --
-//! [--quick] [--seeds N] [--threads N] [--certify] [--json -]
-//! [--baseline BENCH_9.json]`
+//! [--quick] [--seeds N] [--threads N] [--certify] [--pipeline N]
+//! [--deadline-us N] [--json -] [--baseline BENCH_10.json]`
 
+use std::collections::HashMap;
 use std::process::ExitCode;
+use std::time::Duration;
 
 use sitm_bench::{seed_for, Console, HarnessOpts};
 use sitm_check::{check, Discipline};
@@ -40,17 +63,27 @@ use sitm_workloads::Scale;
 /// A workload mix: what fraction of ops are read audits.
 const MIXES: [(&str, u8); 3] = [("read-heavy", 90), ("mixed", 50), ("transfer", 0)];
 
-/// Aggregated outcome of one (mix, seed) cell.
+/// Server-side thread/packing knobs, overridable from the command
+/// line for saturation experiments (EXPERIMENTS.md §serve saturation).
+struct Knobs {
+    reactors: usize,
+    shards: usize,
+    batch_max: usize,
+}
+
+/// Aggregated outcome of one (mix, mode, seed) cell.
 struct CellOut {
     latencies_ns: Vec<u64>,
     txns_per_sec: f64,
     ops: u64,
     commits: u64,
     aborts: u64,
+    checksum: u64,
     conserved: bool,
     certified: Option<bool>,
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_cell(
     mix_pct: u8,
     seed: u64,
@@ -58,6 +91,9 @@ fn run_cell(
     ops: usize,
     keys: u64,
     certify: bool,
+    pipeline: usize,
+    deadline: Duration,
+    knobs: &Knobs,
 ) -> CellOut {
     let load = LoadConfig {
         clients,
@@ -67,8 +103,13 @@ fn run_cell(
         hot_pct: 80,
         hot_keys: (keys / 16).max(2),
         seed,
+        pipeline,
     };
     let server_cfg = ServerConfig {
+        reactors: knobs.reactors,
+        shards: knobs.shards,
+        batch_max: knobs.batch_max,
+        batch_deadline: deadline,
         // Oracle certification refuses truncated histories, so the
         // capacity must exceed every attempt (ops + retries + funding).
         history_capacity: if certify {
@@ -97,6 +138,7 @@ fn run_cell(
         ops: report.ops_total,
         commits: stats.commits(),
         aborts: stats.aborts(),
+        checksum: report.checksum,
         conserved: report.conserved(),
         certified,
     };
@@ -109,6 +151,21 @@ fn main() -> ExitCode {
     let con = Console::new(&opts);
     let args: Vec<String> = std::env::args().collect();
     let certify = args.iter().any(|a| a == "--certify");
+    let flag_num = |name: &str, default: u64| -> u64 {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    };
+    let pipeline = flag_num("--pipeline", 16).max(2) as usize;
+    let deadline_us = flag_num("--deadline-us", 100);
+    let defaults = ServerConfig::default();
+    let knobs = Knobs {
+        reactors: flag_num("--reactors", defaults.reactors as u64) as usize,
+        shards: flag_num("--shards", defaults.shards as u64) as usize,
+        batch_max: flag_num("--batch-max", defaults.batch_max as u64) as usize,
+    };
     let baseline: Option<String> = args
         .iter()
         .position(|a| a == "--baseline")
@@ -119,122 +176,178 @@ fn main() -> ExitCode {
         _ => (opts.threads_or(8), 1500, 1024u64),
     };
 
-    con.line("serve_bench: closed-loop TCP load against the sitm-serve KV server");
+    con.line("serve_bench: TCP load against the sitm-serve KV server (event loop)");
     con.line(format!(
-        "  {clients} clients x {ops} ops, {keys} keys, {} seed(s), certify={certify}",
+        "  {clients} clients x {ops} ops, {keys} keys, {} seed(s), certify={certify}, \
+         pipeline={pipeline}, deadline={deadline_us}us",
         opts.seeds
     ));
     con.blank();
     con.line(format!(
-        "  {:<12} {:>10} {:>12} {:>12} {:>10} {:>8}",
-        "mix", "txns/s", "p50 us", "p99 us", "aborts", "ok"
+        "  {:<12} {:<10} {:>10} {:>12} {:>12} {:>10} {:>8}",
+        "mix", "mode", "txns/s", "p50 us", "p99 us", "aborts", "ok"
     ));
+
+    // (closed, pipelined) request-stream digests per (mix, seed):
+    // both modes must issue the identical stream.
+    type ModeDigests = (Option<u64>, Option<u64>);
+    let mut digests: HashMap<(&str, u64), ModeDigests> = HashMap::new();
 
     let mut lines: Vec<String> = Vec::new();
     let mut baseline_lines: Vec<String> = Vec::new();
     let mut gate_failures: Vec<String> = Vec::new();
 
     for (mix_name, mix_pct) in MIXES {
-        let mut latencies: Vec<u64> = Vec::new();
-        let mut tps_sum = 0.0;
-        let mut ops_total = 0u64;
-        let mut commits = 0u64;
-        let mut aborts = 0u64;
-        let mut all_conserved = true;
-        let mut all_certified = true;
+        for (mode, window, deadline) in [
+            ("closed", 1usize, Duration::ZERO),
+            ("pipelined", pipeline, Duration::from_micros(deadline_us)),
+        ] {
+            let mut latencies: Vec<u64> = Vec::new();
+            let mut tps_sum = 0.0;
+            let mut ops_total = 0u64;
+            let mut commits = 0u64;
+            let mut aborts = 0u64;
+            let mut checksum = 0u64;
+            let mut all_conserved = true;
+            let mut all_certified = true;
 
-        for s in 0..opts.seeds {
-            let cell = run_cell(mix_pct, seed_for(s), clients, ops, keys, certify);
-            latencies.extend(cell.latencies_ns);
-            tps_sum += cell.txns_per_sec;
-            ops_total += cell.ops;
-            commits += cell.commits;
-            aborts += cell.aborts;
-            if !cell.conserved {
-                all_conserved = false;
-                gate_failures.push(format!("{mix_name} seed {s}: conservation violated"));
+            for s in 0..opts.seeds {
+                let cell = run_cell(
+                    mix_pct,
+                    seed_for(s),
+                    clients,
+                    ops,
+                    keys,
+                    certify,
+                    window,
+                    deadline,
+                    &knobs,
+                );
+                latencies.extend(cell.latencies_ns);
+                tps_sum += cell.txns_per_sec;
+                ops_total += cell.ops;
+                commits += cell.commits;
+                aborts += cell.aborts;
+                checksum = checksum.wrapping_add(cell.checksum);
+                let slot = digests.entry((mix_name, s)).or_default();
+                if window <= 1 {
+                    slot.0 = Some(cell.checksum);
+                } else {
+                    slot.1 = Some(cell.checksum);
+                }
+                if !cell.conserved {
+                    all_conserved = false;
+                    gate_failures
+                        .push(format!("{mix_name}/{mode} seed {s}: conservation violated"));
+                }
+                if cell.certified == Some(false) {
+                    all_certified = false;
+                    gate_failures.push(format!(
+                        "{mix_name}/{mode} seed {s}: SI certification failed"
+                    ));
+                }
             }
-            if cell.certified == Some(false) {
-                all_certified = false;
-                gate_failures.push(format!("{mix_name} seed {s}: SI certification failed"));
+            latencies.sort_unstable();
+            let p50 = sitm_serve::percentile(&latencies, 50.0);
+            let p99 = sitm_serve::percentile(&latencies, 99.0);
+            let mean_tps = tps_sum / opts.seeds.max(1) as f64;
+            if p50 == 0 || p99 == 0 || mean_tps <= 0.0 {
+                gate_failures.push(format!(
+                    "{mix_name}/{mode}: dead run (p50={p50}ns p99={p99}ns tps={mean_tps:.1})"
+                ));
             }
-        }
-        latencies.sort_unstable();
-        let p50 = sitm_serve::percentile(&latencies, 50.0);
-        let p99 = sitm_serve::percentile(&latencies, 99.0);
-        let mean_tps = tps_sum / opts.seeds.max(1) as f64;
-        if p50 == 0 || p99 == 0 || mean_tps <= 0.0 {
-            gate_failures.push(format!(
-                "{mix_name}: dead run (p50={p50}ns p99={p99}ns tps={mean_tps:.1})"
+
+            con.line(format!(
+                "  {:<12} {:<10} {:>10.0} {:>12.1} {:>12.1} {:>10} {:>8}",
+                mix_name,
+                mode,
+                mean_tps,
+                p50 as f64 / 1e3,
+                p99 as f64 / 1e3,
+                aborts,
+                if all_conserved && all_certified {
+                    "yes"
+                } else {
+                    "NO"
+                }
             ));
-        }
 
-        con.line(format!(
-            "  {:<12} {:>10.0} {:>12.1} {:>12.1} {:>10} {:>8}",
-            mix_name,
-            mean_tps,
-            p50 as f64 / 1e3,
-            p99 as f64 / 1e3,
-            aborts,
-            if all_conserved && all_certified {
-                "yes"
+            let attempts = commits + aborts;
+            // Closed rows keep the PR 9 workload names so the
+            // trajectory stays comparable across baselines; pipelined
+            // rows are their own identity.
+            let workload = if window <= 1 {
+                mix_name.to_string()
             } else {
-                "NO"
-            }
-        ));
-
-        let attempts = commits + aborts;
-        // The trajectory metrics every consumer gets.
-        let core = [
-            ("schema", Json::Str("sitm.serve_bench.v1".into())),
-            ("bench", Json::Str("serve_bench".into())),
-            ("protocol", Json::Str("SI-TM".into())),
-            ("workload", Json::Str(mix_name.into())),
-            ("threads", Json::Num(clients as f64)),
-            ("seeds", Json::Num(opts.seeds as f64)),
-            ("ops", Json::Num(ops_total as f64)),
-            ("txns_per_sec", Json::Num(mean_tps)),
-            ("latency_p50_ns", Json::Num(p50 as f64)),
-            ("latency_p99_ns", Json::Num(p99 as f64)),
-            ("conserved", Json::Num(f64::from(u8::from(all_conserved)))),
-        ];
-        lines.push(
-            Json::obj(core.clone().into_iter().chain([
-                // Scheduling-dependent: how many merged group commits
-                // absorbed the batches, and how many attempts lost a
-                // write-write race. Useful locally, excluded from the
-                // pinned baseline (see below).
-                ("commits", Json::Num(commits as f64)),
-                ("aborts", Json::Num(aborts as f64)),
-                (
-                    "abort_rate",
-                    Json::Num(if attempts > 0 {
-                        aborts as f64 / attempts as f64
-                    } else {
-                        0.0
-                    }),
-                ),
-                (
-                    "certified",
-                    if certify {
-                        Json::Num(f64::from(u8::from(all_certified)))
-                    } else {
-                        Json::Null
-                    },
-                ),
-            ]))
-            .to_line(),
-        );
-        // The pinned baseline keeps only scheduling-independent
-        // metrics. Abort counts are legitimately zero on an
-        // uncontended run, and bench_diff's zero-baseline rule demands
-        // an exact match — a scheduling-induced abort on another
-        // machine would spuriously trip the gate; commit counts vary
-        // with how group commit happened to pack. (Conflict trajectory
-        // is gated by the stm_scaling baseline instead.)
-        baseline_lines.push(Json::obj(core).to_line());
+                format!("{mix_name}-pipelined")
+            };
+            // The trajectory metrics every consumer gets.
+            let core = [
+                ("schema", Json::Str("sitm.serve_bench.v1".into())),
+                ("bench", Json::Str("serve_bench".into())),
+                ("protocol", Json::Str("SI-TM".into())),
+                ("workload", Json::Str(workload)),
+                ("mode", Json::Str(mode.into())),
+                ("pipeline", Json::Num(window as f64)),
+                ("threads", Json::Num(clients as f64)),
+                ("seeds", Json::Num(opts.seeds as f64)),
+                ("ops", Json::Num(ops_total as f64)),
+                ("txns_per_sec", Json::Num(mean_tps)),
+                ("latency_p50_ns", Json::Num(p50 as f64)),
+                ("latency_p99_ns", Json::Num(p99 as f64)),
+                ("conserved", Json::Num(f64::from(u8::from(all_conserved)))),
+            ];
+            lines.push(
+                Json::obj(core.clone().into_iter().chain([
+                    // Scheduling-dependent (commit packing, races) or
+                    // seed-set-dependent (checksum): useful locally,
+                    // excluded from the pinned baseline (see below).
+                    ("checksum", Json::Str(format!("{checksum:#018x}"))),
+                    ("commits", Json::Num(commits as f64)),
+                    ("aborts", Json::Num(aborts as f64)),
+                    (
+                        "abort_rate",
+                        Json::Num(if attempts > 0 {
+                            aborts as f64 / attempts as f64
+                        } else {
+                            0.0
+                        }),
+                    ),
+                    (
+                        "certified",
+                        if certify {
+                            Json::Num(f64::from(u8::from(all_certified)))
+                        } else {
+                            Json::Null
+                        },
+                    ),
+                ]))
+                .to_line(),
+            );
+            // The pinned baseline keeps only scheduling-independent
+            // metrics. Abort counts are legitimately zero on an
+            // uncontended run, and bench_diff's zero-baseline rule
+            // demands an exact match — a scheduling-induced abort on
+            // another machine would spuriously trip the gate; commit
+            // counts vary with how group commit happened to pack.
+            // (Conflict trajectory is gated by the stm_scaling
+            // baseline instead.)
+            baseline_lines.push(Json::obj(core).to_line());
+        }
     }
     con.blank();
+
+    // Mode-independence gate: pipelining may change pacing, never the
+    // request stream.
+    for ((mix, s), (closed, piped)) in &digests {
+        if let (Some(c), Some(p)) = (closed, piped) {
+            if c != p {
+                gate_failures.push(format!(
+                    "{mix} seed {s}: checksum differs between modes ({c:#x} vs {p:#x})"
+                ));
+            }
+        }
+    }
 
     let jsonl = lines.join("\n") + "\n";
     match opts.json.as_deref() {
@@ -257,7 +370,7 @@ fn main() -> ExitCode {
     }
 
     if gate_failures.is_empty() {
-        con.line("gates: conservation + certification + liveness all passed");
+        con.line("gates: conservation + certification + determinism + liveness all passed");
         ExitCode::SUCCESS
     } else {
         for f in &gate_failures {

@@ -2,8 +2,16 @@
 //!
 //! One [`Client`] wraps one TCP connection and therefore at most one
 //! open interactive transaction (the protocol ties transaction
-//! ownership to the connection). All calls are synchronous
-//! request/response round-trips.
+//! ownership to the connection). The convenience methods ([`begin`],
+//! [`txn`], …) are synchronous request/response round-trips; the
+//! split [`send`]/[`recv`] half lets a caller keep several requests
+//! in flight on one connection — the server guarantees responses come
+//! back in request order, so matching is positional.
+//!
+//! [`begin`]: Client::begin
+//! [`txn`]: Client::txn
+//! [`send`]: Client::send
+//! [`recv`]: Client::recv
 
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -81,8 +89,41 @@ impl Client {
     /// [`ClientError::Io`] when the transport fails or the server
     /// closes the connection mid-exchange.
     pub fn roundtrip(&mut self, req: &Request) -> Result<Response, ClientError> {
+        self.send(req)?;
+        self.flush()?;
+        self.recv()
+    }
+
+    /// Queues one request without waiting for its response (pipelined
+    /// use). Buffered — call [`Client::flush`] to push queued frames
+    /// onto the wire, then collect responses with [`Client::recv`] in
+    /// the same order the requests were sent.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures only.
+    pub fn send(&mut self, req: &Request) -> Result<(), ClientError> {
         write_frame(&mut self.writer, &req.encode())?;
+        Ok(())
+    }
+
+    /// Flushes queued frames onto the wire.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures only.
+    pub fn flush(&mut self) -> Result<(), ClientError> {
         self.writer.flush()?;
+        Ok(())
+    }
+
+    /// Blocks for the next in-order response on this connection.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Io`] when the transport fails or the server
+    /// closes the connection with responses still owed.
+    pub fn recv(&mut self) -> Result<Response, ClientError> {
         match read_frame(&mut self.reader)? {
             Some(frame) => Ok(Response::decode(&frame)
                 .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?),

@@ -1,0 +1,345 @@
+//! Per-connection state for the event-loop server: the pipelined
+//! reply window, the outgoing byte buffer, and the connection record
+//! itself.
+//!
+//! A pipelined connection can have many frames in flight at once. The
+//! wire contract is that **responses are delivered in request order**,
+//! even though one-shot `TXN` frames execute asynchronously on shard
+//! workers and may *complete* out of order (two TXNs from one
+//! connection can land on different shards). The [`ReplyWindow`] is
+//! what squares that: every decoded frame claims the next sequence
+//! slot at decode time, completions fill their slot whenever they
+//! arrive, and only the contiguous ready prefix is released to the
+//! socket.
+
+use std::collections::VecDeque;
+use std::io::{self, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use sitm_stm::Tx;
+
+use crate::reactor::Interest;
+use crate::wire::{FrameBuffer, Response};
+
+/// Which request a window slot belongs to — picks the latency
+/// histogram its completion is recorded under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum OpKind {
+    /// `BEGIN`.
+    Begin,
+    /// `READ`.
+    Read,
+    /// `WRITE`.
+    Write,
+    /// `COMMIT`.
+    Commit,
+    /// `ABORT`.
+    Abort,
+    /// One-shot `TXN` batch (the asynchronous shard-worker path).
+    Txn,
+    /// `STATS`.
+    Stats,
+    /// A frame whose payload failed to decode (answered with `ERR`,
+    /// not measured).
+    Malformed,
+}
+
+/// One in-flight request: filled when its response materializes.
+#[derive(Debug)]
+struct Slot {
+    resp: Option<Response>,
+    started: Instant,
+    kind: OpKind,
+}
+
+/// In-order response matching for pipelined frames. Slot `i` holds the
+/// response to the `base + i`-th request this connection ever sent;
+/// [`ReplyWindow::pop_ready`] releases the contiguous filled prefix.
+#[derive(Debug, Default)]
+pub(crate) struct ReplyWindow {
+    base: u64,
+    slots: VecDeque<Slot>,
+}
+
+impl ReplyWindow {
+    /// Claims the next sequence number for a just-decoded frame.
+    pub fn push(&mut self, kind: OpKind) -> u64 {
+        self.slots.push_back(Slot {
+            resp: None,
+            started: Instant::now(),
+            kind,
+        });
+        self.base + self.slots.len() as u64 - 1
+    }
+
+    /// Fills `seq`'s slot. Returns the op kind and elapsed time since
+    /// the slot was claimed (for the latency histograms), or `None` if
+    /// `seq` is stale (already popped — cannot happen for live
+    /// connections, but completions can race a close) or double
+    /// fulfilled.
+    pub fn fulfill(&mut self, seq: u64, resp: Response) -> Option<(OpKind, Duration)> {
+        let idx = seq.checked_sub(self.base)? as usize;
+        let slot = self.slots.get_mut(idx)?;
+        if slot.resp.is_some() {
+            return None;
+        }
+        slot.resp = Some(resp);
+        Some((slot.kind, slot.started.elapsed()))
+    }
+
+    /// Releases the next in-order response, if its slot is filled.
+    pub fn pop_ready(&mut self) -> Option<Response> {
+        if self.slots.front()?.resp.is_some() {
+            let slot = self.slots.pop_front().expect("front checked");
+            self.base += 1;
+            slot.resp
+        } else {
+            None
+        }
+    }
+
+    /// In-flight requests (claimed, not yet released).
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether nothing is in flight.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+}
+
+/// Outgoing bytes pending on a nonblocking socket. A plain
+/// `Vec<u8>` with a consumed-prefix cursor, compacted opportunistically
+/// so a slow client cannot make the buffer creep.
+#[derive(Debug, Default)]
+pub(crate) struct OutBuf {
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl OutBuf {
+    /// Appends one frame (length prefix + body).
+    pub fn push_frame(&mut self, body: &[u8]) {
+        if self.pos > 0 && (self.pos >= self.buf.len() || self.pos > 4096) {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.reserve(4 + body.len());
+        self.buf
+            .extend_from_slice(&(body.len() as u32).to_le_bytes());
+        self.buf.extend_from_slice(body);
+    }
+
+    /// Bytes not yet accepted by the socket.
+    pub fn len(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Whether everything queued has been written.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Writes as much as the socket will take. Returns `Ok(true)` when
+    /// the buffer drained, `Ok(false)` when the socket would block
+    /// with bytes still pending.
+    ///
+    /// # Errors
+    ///
+    /// Real I/O errors (connection reset, broken pipe) propagate;
+    /// `WouldBlock` does not.
+    pub fn write_to(&mut self, w: &mut impl Write) -> io::Result<bool> {
+        while self.pos < self.buf.len() {
+            match w.write(&self.buf[self.pos..]) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::WriteZero,
+                        "socket accepted zero bytes",
+                    ))
+                }
+                Ok(n) => self.pos += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(false),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        self.buf.clear();
+        self.pos = 0;
+        Ok(true)
+    }
+}
+
+/// One live connection owned by an event-loop thread.
+#[derive(Debug)]
+pub(crate) struct Conn {
+    /// The nonblocking socket.
+    pub stream: TcpStream,
+    /// Generation stamp: shard-worker completions carry it so a
+    /// completion for a closed connection can never be delivered to a
+    /// new connection that reused the slab slot.
+    pub gen: u64,
+    /// Incremental frame reassembly for torn/batched reads.
+    pub frames: FrameBuffer,
+    /// Outgoing bytes the socket hasn't accepted yet.
+    pub out: OutBuf,
+    /// The open interactive transaction, if any.
+    pub open: Option<Tx>,
+    /// In-order response matching for pipelined frames.
+    pub window: ReplyWindow,
+    /// The interest set currently registered with the poller.
+    pub interest: Interest,
+    /// Peer closed its write side (clean EOF): serve out the window,
+    /// then close.
+    pub read_closed: bool,
+    /// Fatal stream state (framing poison, I/O error): close as soon
+    /// as the event loop gets back to this connection.
+    pub dead: bool,
+    /// Read side paused by backpressure (write buffer over its cap or
+    /// the in-flight window full).
+    pub paused: bool,
+    /// Already queued in this iteration's touched list.
+    pub dirty: bool,
+}
+
+impl Conn {
+    /// Wraps a freshly accepted stream (already nonblocking).
+    pub fn new(stream: TcpStream, gen: u64) -> Conn {
+        Conn {
+            stream,
+            gen,
+            frames: FrameBuffer::new(),
+            out: OutBuf::default(),
+            open: None,
+            window: ReplyWindow::default(),
+            interest: Interest::READ,
+            read_closed: false,
+            dead: false,
+            paused: false,
+            dirty: false,
+        }
+    }
+
+    /// Whether the connection has fully drained and can be closed
+    /// after a clean peer EOF.
+    pub fn drained(&self) -> bool {
+        self.window.is_empty() && self.out.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reply_window_releases_in_request_order() {
+        let mut w = ReplyWindow::default();
+        let a = w.push(OpKind::Txn);
+        let b = w.push(OpKind::Txn);
+        let c = w.push(OpKind::Read);
+        assert_eq!([a, b, c], [0, 1, 2]);
+
+        // Completions arrive out of order; release order is fixed.
+        assert!(w.fulfill(c, Response::Value { value: Some(3) }).is_some());
+        assert!(w.pop_ready().is_none(), "head not filled yet");
+        assert!(w
+            .fulfill(
+                b,
+                Response::TxnResult {
+                    reads: vec![],
+                    commit_ts: 2
+                }
+            )
+            .is_some());
+        assert!(w.pop_ready().is_none(), "still blocked on the head");
+        assert!(w
+            .fulfill(
+                a,
+                Response::TxnResult {
+                    reads: vec![],
+                    commit_ts: 1
+                }
+            )
+            .is_some());
+        assert_eq!(
+            w.pop_ready(),
+            Some(Response::TxnResult {
+                reads: vec![],
+                commit_ts: 1
+            })
+        );
+        assert_eq!(
+            w.pop_ready(),
+            Some(Response::TxnResult {
+                reads: vec![],
+                commit_ts: 2
+            })
+        );
+        assert_eq!(w.pop_ready(), Some(Response::Value { value: Some(3) }));
+        assert!(w.pop_ready().is_none());
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn reply_window_rejects_stale_and_double_fulfill() {
+        let mut w = ReplyWindow::default();
+        let a = w.push(OpKind::Txn);
+        assert!(w.fulfill(a, Response::Ok).is_some());
+        assert!(w.fulfill(a, Response::Ok).is_none(), "double fulfill");
+        assert_eq!(w.pop_ready(), Some(Response::Ok));
+        assert!(w.fulfill(a, Response::Ok).is_none(), "stale seq");
+        assert!(w.fulfill(99, Response::Ok).is_none(), "future seq");
+    }
+
+    /// A writer that accepts a fixed number of bytes per call, then
+    /// reports `WouldBlock` — the shape of a slow client's socket.
+    struct Trickle {
+        accepted: Vec<u8>,
+        per_call: usize,
+        budget: usize,
+    }
+
+    impl Write for Trickle {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            if self.budget == 0 {
+                return Err(io::ErrorKind::WouldBlock.into());
+            }
+            let n = buf.len().min(self.per_call).min(self.budget);
+            self.accepted.extend_from_slice(&buf[..n]);
+            self.budget -= n;
+            Ok(n)
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn out_buf_survives_partial_writes_and_preserves_bytes() {
+        let mut out = OutBuf::default();
+        out.push_frame(b"hello");
+        out.push_frame(b"world");
+        let total = out.len();
+        assert_eq!(total, 2 * (4 + 5));
+
+        let mut w = Trickle {
+            accepted: Vec::new(),
+            per_call: 3,
+            budget: 7,
+        };
+        assert!(!out.write_to(&mut w).expect("partial write"), "not drained");
+        assert_eq!(out.len(), total - 7);
+
+        w.budget = usize::MAX;
+        assert!(out.write_to(&mut w).expect("final write"), "drained");
+        assert!(out.is_empty());
+
+        let mut expect = Vec::new();
+        expect.extend_from_slice(&5u32.to_le_bytes());
+        expect.extend_from_slice(b"hello");
+        expect.extend_from_slice(&5u32.to_le_bytes());
+        expect.extend_from_slice(b"world");
+        assert_eq!(w.accepted, expect, "byte stream intact across stalls");
+    }
+}

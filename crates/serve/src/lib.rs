@@ -9,21 +9,33 @@
 //! write-write detection, multi-key atomic batches — and the server's
 //! recorded histories are certifiable by the sitm-check oracle.
 //!
-//! # Architecture (DESIGN.md §16)
+//! # Architecture (DESIGN.md §16–§17)
 //!
 //! - [`wire`] — the frame format and message types. Total, panic-free
 //!   decoding: truncated, oversized and garbage frames come back as
-//!   [`wire::WireError`]s, never panics.
+//!   [`wire::WireError`]s, never panics. [`wire::FrameBuffer`]
+//!   reassembles frames incrementally from arbitrary read boundaries
+//!   for the pipelined event loop.
+//! - [`reactor`] — a minimal readiness poller: raw `epoll` via direct
+//!   syscalls on Linux (no external crates), a portable sweep poller
+//!   elsewhere. The only `unsafe` in the crate lives in its private
+//!   syscall layer.
 //! - [`store`] — the sharded `key → TVar` directory. Directory locks
-//!   cover only handle lookup; value concurrency is all STM.
-//! - [`server`] — accept loop, per-connection handler threads (each
-//!   owning at most one interactive [`sitm_stm::Tx`] across wire
-//!   round-trips), sharded group-commit workers for one-shot `TXN`
-//!   batches, and a periodic [`sitm_stm::TVar::compact`] GC tick.
-//! - [`client`] — a blocking connection wrapper.
-//! - [`loadgen`] — seeded closed-loop load generation (the bank
-//!   workload: conserved transfers + audits), used by the
-//!   `serve_bench` harness and the determinism tests.
+//!   cover only handle lookup; value concurrency is all STM. Hot
+//!   paths additionally cache the immutable `key → TVar` binding
+//!   thread-locally, so a steady-state request touches no directory
+//!   lock at all.
+//! - [`server`] — a fixed pool of event-loop threads multiplexing
+//!   nonblocking connections (pipelined frames, in-order reply
+//!   window, write backpressure), sharded deadline-bounded
+//!   group-commit workers for one-shot `TXN` batches, and a periodic
+//!   [`sitm_stm::TVar::compact`] GC tick.
+//! - [`client`] — a blocking connection wrapper, plus split
+//!   send/receive halves for pipelined use.
+//! - [`loadgen`] — seeded load generation (the bank workload:
+//!   conserved transfers + audits) in both closed-loop and pipelined
+//!   open-loop modes, used by the `serve_bench` harness and the
+//!   determinism tests.
 //!
 //! # Example
 //!
@@ -50,17 +62,26 @@
 //! server.shutdown();
 //! ```
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![deny(missing_docs)]
 
 pub mod client;
+mod conn;
 pub mod loadgen;
+pub mod reactor;
 pub mod server;
 pub mod store;
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+mod sys;
 pub mod wire;
 
 pub use client::{Client, ClientError, CommitResult};
 pub use loadgen::{percentile, LoadConfig, LoadReport};
 pub use server::{Server, ServerConfig};
 pub use store::Store;
-pub use wire::{ErrCode, Request, Response, TxnOp, WireConflict, WireError, WireStats, MAX_FRAME};
+pub use wire::{
+    ErrCode, FrameBuffer, Request, Response, TxnOp, WireConflict, WireError, WireStats, MAX_FRAME,
+};

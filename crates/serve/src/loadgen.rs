@@ -1,14 +1,21 @@
-//! Deterministic closed-loop load generation for the KV server.
+//! Deterministic load generation for the KV server, in closed-loop
+//! (one request in flight per connection) and pipelined open-loop
+//! (a sliding window of [`LoadConfig::pipeline`] requests in flight)
+//! modes.
 //!
 //! Each simulated client owns one connection and one seeded
 //! [`SmallRng`]; the op *sequence* each client issues is a pure
 //! function of `(seed, client index)`, so two runs with the same
 //! [`LoadConfig`] issue byte-identical request streams (verified by
-//! [`LoadReport::checksum`]) — only timing differs. The workload is
-//! the bank: funded keys, two-key `Add` transfers and two-key `Get`
-//! audits, so the sum over all keys is invariant and every run can be
-//! checked for conservation and certified by the sitm-check oracle.
+//! [`LoadReport::checksum`]) — only timing differs. Pipelining does
+//! not change the stream either: the window alters *when* frames hit
+//! the wire, never which frames or their order, so the checksum
+//! contract is mode-independent. The workload is the bank: funded
+//! keys, two-key `Add` transfers and two-key `Get` audits, so the sum
+//! over all keys is invariant and every run can be checked for
+//! conservation and certified by the sitm-check oracle.
 
+use std::collections::VecDeque;
 use std::net::SocketAddr;
 use std::thread;
 use std::time::Instant;
@@ -17,7 +24,7 @@ use sitm_obs::SmallRng;
 
 use crate::client::{Client, ClientError};
 use crate::server::{Server, ServerConfig};
-use crate::wire::{Request, TxnOp};
+use crate::wire::{Request, Response, TxnOp};
 
 /// Funding installed into every key before the measured phase.
 pub const FUND_PER_KEY: i64 = 1_000;
@@ -40,6 +47,11 @@ pub struct LoadConfig {
     pub hot_keys: u64,
     /// Base RNG seed; client `i` draws from `seed + i`.
     pub seed: u64,
+    /// Requests each client keeps in flight. `0` or `1` is the
+    /// classic closed loop; larger values pipeline a sliding window
+    /// over the connection (latency samples then include queueing
+    /// time, as an open-loop client would experience).
+    pub pipeline: usize,
 }
 
 impl Default for LoadConfig {
@@ -52,6 +64,7 @@ impl Default for LoadConfig {
             hot_pct: 80,
             hot_keys: 16,
             seed: 42,
+            pipeline: 1,
         }
     }
 }
@@ -193,27 +206,67 @@ pub fn audit_total(client: &mut Client, keys: u64) -> Result<i64, ClientError> {
 /// Returns the first client's failure (connection refused, server
 /// died mid-run).
 pub fn run_against(addr: SocketAddr, cfg: &LoadConfig) -> Result<LoadReport, ClientError> {
-    let started = Instant::now();
+    // All clients connect and seed their RNGs before the clock starts:
+    // the barrier keeps thread-spawn and TCP-connect jitter out of the
+    // measured phase (at quick scale that overhead is a visible
+    // fraction of a multi-hundred-k-txns/s run).
+    let barrier = std::sync::Arc::new(std::sync::Barrier::new(cfg.clients + 1));
     let mut handles = Vec::with_capacity(cfg.clients);
     for client_idx in 0..cfg.clients {
         let cfg = cfg.clone();
+        let barrier = std::sync::Arc::clone(&barrier);
         handles.push(thread::spawn(
             move || -> Result<(Vec<u64>, u64), ClientError> {
                 let mut client = Client::connect(addr)?;
                 let mut rng = SmallRng::seed_from_u64(cfg.seed.wrapping_add(client_idx as u64));
+                barrier.wait();
                 let mut latencies = Vec::with_capacity(cfg.ops_per_client);
                 let mut checksum = 0xcbf2_9ce4_8422_2325u64;
-                for _ in 0..cfg.ops_per_client {
-                    let ops = gen_ops(&mut rng, &cfg);
-                    checksum = fnv1a(checksum, &Request::Txn { ops: ops.clone() }.encode());
-                    let op_start = Instant::now();
-                    client.txn(ops)?;
-                    latencies.push(op_start.elapsed().as_nanos() as u64);
+                let window = cfg.pipeline.max(1);
+                if window <= 1 {
+                    for _ in 0..cfg.ops_per_client {
+                        let ops = gen_ops(&mut rng, &cfg);
+                        checksum = fnv1a(checksum, &Request::Txn { ops: ops.clone() }.encode());
+                        let op_start = Instant::now();
+                        client.txn(ops)?;
+                        latencies.push(op_start.elapsed().as_nanos() as u64);
+                    }
+                } else {
+                    // Sliding window: keep `window` requests in flight,
+                    // collecting responses in request order. The op
+                    // sequence (and so the checksum) is identical to
+                    // the closed loop's — only pacing changes.
+                    let mut sent_at: VecDeque<Instant> = VecDeque::with_capacity(window);
+                    let mut issued = 0usize;
+                    let mut completed = 0usize;
+                    while completed < cfg.ops_per_client {
+                        while issued < cfg.ops_per_client && sent_at.len() < window {
+                            let ops = gen_ops(&mut rng, &cfg);
+                            let req = Request::Txn { ops };
+                            checksum = fnv1a(checksum, &req.encode());
+                            client.send(&req)?;
+                            sent_at.push_back(Instant::now());
+                            issued += 1;
+                        }
+                        client.flush()?;
+                        match client.recv()? {
+                            Response::TxnResult { .. } => {}
+                            Response::Err { code, detail } => {
+                                return Err(ClientError::Refused { code, detail })
+                            }
+                            other => return Err(ClientError::Unexpected(other)),
+                        }
+                        let started = sent_at.pop_front().expect("response without request");
+                        latencies.push(started.elapsed().as_nanos() as u64);
+                        completed += 1;
+                    }
                 }
                 Ok((latencies, checksum))
             },
         ));
     }
+    barrier.wait();
+    let started = Instant::now();
 
     let mut latencies = Vec::with_capacity(cfg.clients * cfg.ops_per_client);
     let mut checksum = 0u64;

@@ -1,0 +1,454 @@
+//! The in-tree readiness poller behind the event-loop server.
+//!
+//! On Linux (x86_64 / aarch64) this is a thin safe wrapper over raw
+//! `epoll` + `eventfd` syscalls (the `sys` module) — level-triggered,
+//! one instance per event-loop thread, zero external dependencies.
+//! Everywhere else a portable std-only fallback takes over: a *sweep
+//! poller* that reports every registered connection as ready after a
+//! short park (or immediately on a wake). The sweep is correct —
+//! every socket the server polls is nonblocking, so a spurious
+//! readiness just costs a `WouldBlock` — but burns more CPU than real
+//! readiness notification; it exists so the crate builds and tests on
+//! hosts where no syscall surface is reachable without libc. A true
+//! `poll(2)` fallback would need exactly the same syscall access that
+//! only exists on the Linux targets above, which is why the portable
+//! path sweeps instead (DESIGN.md §17).
+//!
+//! The [`Poller`] API is deliberately tiny: register/modify/remove a
+//! TCP stream with a `u64` token and an [`Interest`] (readable and/or
+//! writable), block in [`Poller::wait`] for events, and wake the
+//! blocked loop from any thread with its [`Waker`]. Waker wakeups are
+//! internal: `wait` may return an empty event list, which callers must
+//! treat as "check your queues" (the event-loop drains its completion
+//! and handoff queues after every wait, so a wake is never lost).
+
+use std::io;
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// What a registered stream wants to be told about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    /// Report when bytes (or EOF) can be read.
+    pub readable: bool,
+    /// Report when the send buffer has room.
+    pub writable: bool,
+}
+
+impl Interest {
+    /// Readable only — the steady state of an idle connection.
+    pub const READ: Interest = Interest {
+        readable: true,
+        writable: false,
+    };
+
+    /// Readable and writable — a connection with queued output.
+    pub const READ_WRITE: Interest = Interest {
+        readable: true,
+        writable: true,
+    };
+
+    /// Writable only — a connection under read backpressure that
+    /// still has output to flush.
+    pub const WRITE: Interest = Interest {
+        readable: false,
+        writable: true,
+    };
+
+    /// Nothing — a connection under read backpressure with an empty
+    /// write buffer (completions will resume it).
+    pub const NONE: Interest = Interest {
+        readable: false,
+        writable: false,
+    };
+}
+
+/// One readiness event out of [`Poller::wait`].
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// The token the stream was registered with.
+    pub token: u64,
+    /// The stream is readable (includes EOF, peer shutdown and error
+    /// conditions — a `read` will surface whichever it is).
+    pub readable: bool,
+    /// The stream is writable (includes error conditions — a `write`
+    /// will surface them).
+    pub writable: bool,
+}
+
+// ---------------------------------------------------------------------------
+// Linux: epoll + eventfd.
+// ---------------------------------------------------------------------------
+
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+mod imp {
+    use super::{Event, Interest};
+    use crate::sys;
+    use std::io;
+    use std::net::TcpStream;
+    use std::os::fd::AsRawFd;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    /// Token reserved for the internal eventfd waker.
+    const WAKER_TOKEN: u64 = u64::MAX;
+
+    /// Upper bound on events drained per `wait` call (level-triggered
+    /// epoll re-reports anything still pending on the next call).
+    const MAX_EVENTS: usize = 1024;
+
+    pub struct Poller {
+        epoll: sys::Epoll,
+        waker_fd: Arc<sys::EventFd>,
+        buf: std::cell::RefCell<Vec<sys::EpollEvent>>,
+    }
+
+    #[derive(Clone)]
+    pub struct Waker {
+        fd: Arc<sys::EventFd>,
+    }
+
+    fn bits_of(interest: Interest) -> u32 {
+        let mut bits = sys::EPOLLRDHUP; // always watch for peer shutdown
+        if interest.readable {
+            bits |= sys::EPOLLIN;
+        }
+        if interest.writable {
+            bits |= sys::EPOLLOUT;
+        }
+        bits
+    }
+
+    impl Poller {
+        pub fn new() -> io::Result<Poller> {
+            let epoll = sys::Epoll::new()?;
+            let waker_fd = Arc::new(sys::EventFd::new()?);
+            epoll.add(waker_fd.raw(), sys::EPOLLIN, WAKER_TOKEN)?;
+            Ok(Poller {
+                epoll,
+                waker_fd,
+                buf: std::cell::RefCell::new(vec![sys::EpollEvent::default(); MAX_EVENTS]),
+            })
+        }
+
+        pub fn waker(&self) -> Waker {
+            Waker {
+                fd: Arc::clone(&self.waker_fd),
+            }
+        }
+
+        pub fn add(&self, stream: &TcpStream, token: u64, interest: Interest) -> io::Result<()> {
+            self.epoll.add(stream.as_raw_fd(), bits_of(interest), token)
+        }
+
+        pub fn modify(&self, stream: &TcpStream, token: u64, interest: Interest) -> io::Result<()> {
+            self.epoll
+                .modify(stream.as_raw_fd(), bits_of(interest), token)
+        }
+
+        pub fn remove(&self, stream: &TcpStream, _token: u64) -> io::Result<()> {
+            self.epoll.delete(stream.as_raw_fd())
+        }
+
+        pub fn wait(&self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<()> {
+            events.clear();
+            let timeout_ms = match timeout {
+                None => -1,
+                Some(d) => i32::try_from(d.as_millis()).unwrap_or(i32::MAX).max(0),
+            };
+            let mut buf = self.buf.borrow_mut();
+            let n = self.epoll.wait(&mut buf, timeout_ms)?;
+            for ev in &buf[..n] {
+                // Copy the (possibly packed) fields out before use.
+                let token = ev.data;
+                let bits = ev.events;
+                if token == WAKER_TOKEN {
+                    self.waker_fd.drain();
+                    continue;
+                }
+                let err = bits & (sys::EPOLLERR | sys::EPOLLHUP) != 0;
+                events.push(Event {
+                    token,
+                    readable: err || bits & (sys::EPOLLIN | sys::EPOLLRDHUP) != 0,
+                    writable: err || bits & sys::EPOLLOUT != 0,
+                });
+            }
+            Ok(())
+        }
+    }
+
+    impl Waker {
+        pub fn wake(&self) {
+            self.fd.wake();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Portable fallback: the readiness sweep.
+// ---------------------------------------------------------------------------
+
+#[cfg(not(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+)))]
+mod imp {
+    use super::{Event, Interest};
+    use std::collections::HashMap;
+    use std::io;
+    use std::net::TcpStream;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::Duration;
+
+    /// How long the sweep parks between passes when nothing woke it.
+    /// Short enough that a quiet connection sees sub-millisecond
+    /// latency, long enough not to spin a core flat out.
+    const SWEEP_PARK: Duration = Duration::from_micros(200);
+
+    #[derive(Default)]
+    struct WakeFlag {
+        woken: Mutex<bool>,
+        cv: Condvar,
+    }
+
+    pub struct Poller {
+        interests: Mutex<HashMap<u64, Interest>>,
+        flag: Arc<WakeFlag>,
+    }
+
+    #[derive(Clone)]
+    pub struct Waker {
+        flag: Arc<WakeFlag>,
+    }
+
+    impl Poller {
+        pub fn new() -> io::Result<Poller> {
+            Ok(Poller {
+                interests: Mutex::new(HashMap::new()),
+                flag: Arc::new(WakeFlag::default()),
+            })
+        }
+
+        pub fn waker(&self) -> Waker {
+            Waker {
+                flag: Arc::clone(&self.flag),
+            }
+        }
+
+        pub fn add(&self, _stream: &TcpStream, token: u64, interest: Interest) -> io::Result<()> {
+            self.interests
+                .lock()
+                .expect("poller interests poisoned")
+                .insert(token, interest);
+            Ok(())
+        }
+
+        pub fn modify(
+            &self,
+            _stream: &TcpStream,
+            token: u64,
+            interest: Interest,
+        ) -> io::Result<()> {
+            self.interests
+                .lock()
+                .expect("poller interests poisoned")
+                .insert(token, interest);
+            Ok(())
+        }
+
+        pub fn remove(&self, _stream: &TcpStream, token: u64) -> io::Result<()> {
+            self.interests
+                .lock()
+                .expect("poller interests poisoned")
+                .remove(&token);
+            Ok(())
+        }
+
+        pub fn wait(&self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<()> {
+            events.clear();
+            // Park briefly (or until woken), then claim every
+            // registered stream is ready per its interest: sockets are
+            // nonblocking, so a wrong claim costs one WouldBlock.
+            let park = timeout.map_or(SWEEP_PARK, |t| t.min(SWEEP_PARK));
+            {
+                let guard = self.flag.woken.lock().expect("wake flag poisoned");
+                let (mut guard, _timeout) = self
+                    .flag
+                    .cv
+                    .wait_timeout_while(guard, park, |woken| !*woken)
+                    .expect("wake flag poisoned");
+                *guard = false;
+            }
+            for (&token, &interest) in self
+                .interests
+                .lock()
+                .expect("poller interests poisoned")
+                .iter()
+            {
+                if interest.readable || interest.writable {
+                    events.push(Event {
+                        token,
+                        readable: interest.readable,
+                        writable: interest.writable,
+                    });
+                }
+            }
+            Ok(())
+        }
+    }
+
+    impl Waker {
+        pub fn wake(&self) {
+            *self.flag.woken.lock().expect("wake flag poisoned") = true;
+            self.flag.cv.notify_one();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The public facade.
+// ---------------------------------------------------------------------------
+
+/// A readiness poller: epoll on Linux, the sweep fallback elsewhere.
+/// One per event-loop thread; `wait` blocks until a registered stream
+/// is ready or the [`Waker`] fires.
+pub struct Poller(imp::Poller);
+
+impl std::fmt::Debug for Poller {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Poller").finish_non_exhaustive()
+    }
+}
+
+/// Wakes a [`Poller`] blocked in [`Poller::wait`] from any thread.
+/// Cheap to clone; waking an already-woken (or already-dead) poller is
+/// harmless.
+#[derive(Clone)]
+pub struct Waker(imp::Waker);
+
+impl std::fmt::Debug for Waker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Waker").finish_non_exhaustive()
+    }
+}
+
+impl Poller {
+    /// A fresh poller instance.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `epoll_create1`/`eventfd` failure (Linux); the
+    /// fallback cannot fail.
+    pub fn new() -> io::Result<Poller> {
+        imp::Poller::new().map(Poller)
+    }
+
+    /// A handle that wakes this poller from other threads.
+    pub fn waker(&self) -> Waker {
+        Waker(self.0.waker())
+    }
+
+    /// Registers `stream` under `token` with the given interest. The
+    /// stream should already be in nonblocking mode.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `epoll_ctl` failure.
+    pub fn add(&self, stream: &TcpStream, token: u64, interest: Interest) -> io::Result<()> {
+        self.0.add(stream, token, interest)
+    }
+
+    /// Updates the interest set of a registered stream.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `epoll_ctl` failure.
+    pub fn modify(&self, stream: &TcpStream, token: u64, interest: Interest) -> io::Result<()> {
+        self.0.modify(stream, token, interest)
+    }
+
+    /// Deregisters a stream.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `epoll_ctl` failure.
+    pub fn remove(&self, stream: &TcpStream, token: u64) -> io::Result<()> {
+        self.0.remove(stream, token)
+    }
+
+    /// Blocks until at least one registered stream is ready, the
+    /// optional timeout elapses, or a [`Waker`] fires — the latter two
+    /// return an **empty** event list, which callers must treat as
+    /// "re-check your queues".
+    ///
+    /// # Errors
+    ///
+    /// Propagates `epoll_wait` failure.
+    pub fn wait(&self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<()> {
+        self.0.wait(events, timeout)
+    }
+}
+
+impl Waker {
+    /// Wakes the poller. Never blocks, never fails.
+    pub fn wake(&self) {
+        self.0.wake();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::net::{TcpListener, TcpStream};
+
+    #[test]
+    fn waker_unblocks_wait_from_another_thread() {
+        let poller = Poller::new().expect("poller");
+        let waker = poller.waker();
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            waker.wake();
+        });
+        let mut events = Vec::new();
+        // Blocks until the wake; a 5s cap turns a lost wakeup into a
+        // test failure rather than a hang.
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .expect("wait");
+        handle.join().expect("waker thread");
+    }
+
+    #[test]
+    fn readable_stream_is_reported_with_its_token() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let mut peer = TcpStream::connect(listener.local_addr().expect("addr")).expect("connect");
+        let (stream, _) = listener.accept().expect("accept");
+        stream.set_nonblocking(true).expect("nonblocking");
+
+        let poller = Poller::new().expect("poller");
+        poller.add(&stream, 5, Interest::READ).expect("add");
+
+        peer.write_all(b"x").expect("peer write");
+        peer.flush().expect("peer flush");
+
+        let mut events = Vec::new();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            poller
+                .wait(&mut events, Some(Duration::from_millis(100)))
+                .expect("wait");
+            if events.iter().any(|e| e.token == 5 && e.readable) {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "readable event never arrived"
+            );
+        }
+        poller.remove(&stream, 5).expect("remove");
+    }
+}

@@ -1,32 +1,65 @@
-//! The server runtime: accept loop, per-connection interactive
-//! transaction handlers, sharded group-commit workers, and the GC tick.
+//! The server runtime: event-loop reactors multiplexing pipelined
+//! connections, sharded deadline-bounded group-commit workers, and the
+//! GC tick.
 //!
-//! # Threading model
+//! # Threading model (DESIGN.md §17)
 //!
-//! - **Accept thread** — owns the listener, spawns one handler thread
-//!   per connection.
-//! - **Connection handlers** — each owns its socket and at most one
-//!   open interactive [`Tx`]. Snapshot reads are lock-free and commits
-//!   lock only the write set, so holding a transaction across wire
-//!   round-trips blocks nobody (readers never abort — the SI-TM
-//!   property the whole stack exists to demonstrate).
+//! - **Accept thread** — owns the listener and nothing else. Each
+//!   accepted socket is handed to an event-loop reactor round-robin
+//!   (pushed onto the reactor's inbox, then its waker fires).
+//! - **Reactor threads** — a fixed pool (`reactors`), each running a
+//!   readiness loop over a [`Poller`]: nonblocking sockets, per
+//!   connection a [`FrameBuffer`] reassembling frames from arbitrary
+//!   read boundaries, a reply window releasing responses in request
+//!   order, and a write buffer absorbing partial writes. Interactive
+//!   requests (`BEGIN`/`READ`/`WRITE`/`COMMIT`/`ABORT`/`STATS`)
+//!   execute inline on the reactor — snapshot reads are lock-free and
+//!   never abort, so nothing inline can block the loop for long.
+//!   One-shot `TXN` batches are dispatched to shard workers and their
+//!   completions return over a **pooled** per-reactor channel (one
+//!   mpsc + eventfd wake per reactor, not one channel per request —
+//!   the allocation/rendezvous hot spot of the thread-per-connection
+//!   server).
 //! - **Shard workers** — `TXN` batches are routed by key hash onto
-//!   `shards` worker threads over mpsc channels. A worker drains its
-//!   queue (up to `batch_max` requests per intake) and *group-commits*:
-//!   requests with pairwise-disjoint key footprints are packed into one
-//!   merged STM transaction. Disjointness makes the merged execution
-//!   exactly equal to serial execution at a single commit point, so the
-//!   recorded history stays snapshot-isolated and oracle-certifiable
-//!   while the commit-clock and lock traffic is paid once per group.
+//!   `shards` worker threads. A worker collects up to `batch_max`
+//!   requests per intake — returning early when `batch_deadline`
+//!   elapses, so group commit is latency-bounded — and
+//!   *group-commits*: requests with pairwise-disjoint key footprints
+//!   are packed into one merged STM transaction. Disjointness makes
+//!   the merged execution exactly equal to serial execution at a
+//!   single commit point, so the recorded history stays
+//!   snapshot-isolated and oracle-certifiable while the commit-clock
+//!   and lock traffic is paid once per group.
 //! - **GC tick** — a timer thread sweeps [`TVar::compact`] over every
 //!   key (via [`Store::compact_all`]) to release versions that a
 //!   finished long reader pinned on cold keys (DESIGN.md §14/§16).
 //!
+//! # Ordering contract under pipelining
+//!
+//! Responses are always delivered in request order (the reply
+//! window). *Execution* order is relaxed in exactly one way: `TXN`
+//! batches run asynchronously on shard workers, so a `TXN` may take
+//! effect after a later interactive request from the same connection
+//! has executed. A closed-loop client (one request in flight) can
+//! never observe this; a pipelined client sees each response matched
+//! to its request, and every individual request is still a full SI
+//! transaction, so the recorded history remains oracle-certifiable.
+//!
+//! # Backpressure
+//!
+//! Two bounds per connection: `max_inflight` caps decoded-but-
+//! unanswered frames, `write_buf_cap` caps buffered response bytes.
+//! When either trips, the reactor stops *reading* that socket (the
+//! kernel receive window then closes end-to-end toward the client) and
+//! resumes when completions drain the window. A slow reader therefore
+//! costs O(`write_buf_cap` + one frame), never unbounded memory.
+//!
 //! [`TVar::compact`]: sitm_stm::TVar::compact
+//! [`FrameBuffer`]: crate::wire::FrameBuffer
 
-use std::collections::HashSet;
-use std::io::{self, BufReader, BufWriter, Write};
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::collections::{HashMap, HashSet};
+use std::io::{self, Read};
+use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::{self, JoinHandle};
@@ -35,19 +68,34 @@ use std::time::{Duration, Instant};
 use sitm_obs::{AtomicHistogram, ForensicsSnapshot, History, MetricsRegistry};
 use sitm_stm::{live_snapshots, Conflict, IsolationLevel, Stm, StmError, StmStats, TVar, Tx};
 
+use crate::conn::{Conn, OpKind};
+use crate::reactor::{Event, Interest, Poller, Waker};
 use crate::store::Store;
-use crate::wire::{
-    read_frame, write_frame, ErrCode, Request, Response, TxnOp, WireConflict, WireStats,
-};
+use crate::wire::{ErrCode, Request, Response, TxnOp, WireConflict, WireStats};
 
 /// Tuning knobs for [`Server::start`].
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
+    /// Event-loop threads multiplexing client connections.
+    pub reactors: usize,
     /// Group-commit worker threads for `TXN` batches.
     pub shards: usize,
     /// Max `TXN` requests drained per worker intake (the group-commit
     /// packing window).
     pub batch_max: usize,
+    /// How long a worker may wait for more `TXN`s to fill its packing
+    /// window. `Duration::ZERO` (the default) means "never wait":
+    /// flush as soon as the queue drains, which keeps solo-request
+    /// latency identical to an unbatched server. A small nonzero
+    /// deadline trades that latency for larger groups under pipelined
+    /// load.
+    pub batch_deadline: Duration,
+    /// Per-connection cap on buffered response bytes before the
+    /// reactor stops reading that socket (slow-client backpressure).
+    /// Peak usage can overshoot by at most one frame.
+    pub write_buf_cap: usize,
+    /// Per-connection cap on decoded-but-unanswered pipelined frames.
+    pub max_inflight: usize,
     /// Period of the background `compact` sweep.
     pub gc_interval: Duration,
     /// Transaction-history record capacity; 0 disables recording.
@@ -64,8 +112,12 @@ pub struct ServerConfig {
 impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
+            reactors: 2,
             shards: 4,
             batch_max: 32,
+            batch_deadline: Duration::ZERO,
+            write_buf_cap: 256 * 1024,
+            max_inflight: 1024,
             gc_interval: Duration::from_millis(25),
             history_capacity: 0,
             forensics: false,
@@ -84,9 +136,17 @@ struct ServeMetrics {
     group_batches: AtomicU64,
     group_txns: AtomicU64,
     group_retries: AtomicU64,
+    flush_size: AtomicU64,
+    flush_deadline: AtomicU64,
+    flush_drain: AtomicU64,
+    reactor_wakeups: AtomicU64,
+    backpressure_pauses: AtomicU64,
     gc_ticks: AtomicU64,
     gc_reclaimed: AtomicU64,
     batch_size: AtomicHistogram,
+    events_per_wake: AtomicHistogram,
+    frames_per_wake: AtomicHistogram,
+    inflight: AtomicHistogram,
     lat_begin: AtomicHistogram,
     lat_read: AtomicHistogram,
     lat_write: AtomicHistogram,
@@ -97,15 +157,24 @@ struct ServeMetrics {
 }
 
 impl ServeMetrics {
-    fn latency_of(&self, req: &Request) -> &AtomicHistogram {
-        match req {
-            Request::Begin => &self.lat_begin,
-            Request::Read { .. } => &self.lat_read,
-            Request::Write { .. } => &self.lat_write,
-            Request::Commit => &self.lat_commit,
-            Request::Abort => &self.lat_abort,
-            Request::Txn { .. } => &self.lat_txn,
-            Request::Stats => &self.lat_stats,
+    /// Latency histogram for a window slot's op kind; malformed
+    /// frames are counted but not timed.
+    fn latency_hist(&self, kind: OpKind) -> Option<&AtomicHistogram> {
+        match kind {
+            OpKind::Begin => Some(&self.lat_begin),
+            OpKind::Read => Some(&self.lat_read),
+            OpKind::Write => Some(&self.lat_write),
+            OpKind::Commit => Some(&self.lat_commit),
+            OpKind::Abort => Some(&self.lat_abort),
+            OpKind::Txn => Some(&self.lat_txn),
+            OpKind::Stats => Some(&self.lat_stats),
+            OpKind::Malformed => None,
+        }
+    }
+
+    fn record_latency(&self, kind: OpKind, elapsed: Duration) {
+        if let Some(hist) = self.latency_hist(kind) {
+            hist.record(elapsed.as_nanos() as u64);
         }
     }
 
@@ -125,12 +194,41 @@ impl ServeMetrics {
             "serve.group_commit.retries",
             self.group_retries.load(Ordering::Relaxed),
         );
+        reg.count(
+            "serve.group_commit.flush.size",
+            self.flush_size.load(Ordering::Relaxed),
+        );
+        reg.count(
+            "serve.group_commit.flush.deadline",
+            self.flush_deadline.load(Ordering::Relaxed),
+        );
+        reg.count(
+            "serve.group_commit.flush.drain",
+            self.flush_drain.load(Ordering::Relaxed),
+        );
+        reg.count(
+            "serve.reactor.wakeups",
+            self.reactor_wakeups.load(Ordering::Relaxed),
+        );
+        reg.count(
+            "serve.backpressure.pauses",
+            self.backpressure_pauses.load(Ordering::Relaxed),
+        );
         reg.count("serve.gc.ticks", self.gc_ticks.load(Ordering::Relaxed));
         reg.count(
             "serve.gc.reclaimed",
             self.gc_reclaimed.load(Ordering::Relaxed),
         );
         reg.merge_histogram("serve.group_commit.batch_size", &self.batch_size.snapshot());
+        reg.merge_histogram(
+            "serve.reactor.events_per_wake",
+            &self.events_per_wake.snapshot(),
+        );
+        reg.merge_histogram(
+            "serve.reactor.frames_per_wake",
+            &self.frames_per_wake.snapshot(),
+        );
+        reg.merge_histogram("serve.pipeline.inflight", &self.inflight.snapshot());
         for (name, hist) in [
             ("serve.latency_ns.begin", &self.lat_begin),
             ("serve.latency_ns.read", &self.lat_read),
@@ -145,10 +243,23 @@ impl ServeMetrics {
     }
 }
 
-/// A one-shot `TXN` batch in flight to a shard worker.
+/// A one-shot `TXN` batch in flight to a shard worker. Addresses its
+/// reply by (reactor, token, gen, seq) — no per-request channel.
 struct ShardJob {
+    reactor: usize,
+    token: u64,
+    gen: u64,
+    seq: u64,
     ops: Vec<TxnOp>,
-    reply: mpsc::Sender<Response>,
+}
+
+/// A finished `TXN` on its way back to the reactor that owns the
+/// connection. Stale (token, gen) pairs are dropped at delivery.
+struct Completion {
+    token: u64,
+    gen: u64,
+    seq: u64,
+    resp: Response,
 }
 
 /// State shared by every server thread.
@@ -156,10 +267,11 @@ struct Shared {
     stm: Stm,
     store: Store,
     batch_max: usize,
+    batch_deadline: Duration,
+    write_buf_cap: usize,
+    max_inflight: usize,
     gc_interval: Duration,
     stop: AtomicBool,
-    conns: Mutex<Vec<TcpStream>>,
-    handlers: Mutex<Vec<JoinHandle<()>>>,
     gc_gate: (Mutex<()>, Condvar),
     metrics: ServeMetrics,
 }
@@ -167,11 +279,15 @@ struct Shared {
 /// A running KV server bound to a loopback port. Dropping it (or
 /// calling [`Server::shutdown`]) stops every thread and closes every
 /// connection; open interactive transactions on dying connections are
-/// rolled back and recorded as `aborted:explicit`.
+/// rolled back and recorded as `aborted:explicit`, and `TXN` batches
+/// already queued to shard workers run to completion — so no epoch
+/// slot or pinned snapshot outlives shutdown.
 pub struct Server {
     shared: Arc<Shared>,
     addr: SocketAddr,
     accept: Option<JoinHandle<()>>,
+    reactors: Vec<JoinHandle<()>>,
+    wakers: Vec<Waker>,
     workers: Vec<JoinHandle<()>>,
     gc: Option<JoinHandle<()>>,
 }
@@ -183,12 +299,13 @@ impl std::fmt::Debug for Server {
 }
 
 impl Server {
-    /// Binds `127.0.0.1:0` and starts the accept loop, `shards` group
-    /// commit workers and the GC tick thread.
+    /// Binds `127.0.0.1:0` and starts the accept thread, `reactors`
+    /// event-loop threads, `shards` group-commit workers and the GC
+    /// tick thread.
     ///
     /// # Errors
     ///
-    /// Propagates the bind failure.
+    /// Propagates the bind failure or poller creation failure.
     pub fn start(config: ServerConfig) -> io::Result<Server> {
         let listener = TcpListener::bind("127.0.0.1:0")?;
         let addr = listener.local_addr()?;
@@ -204,32 +321,72 @@ impl Server {
             stm,
             store: Store::new(),
             batch_max: config.batch_max.max(1),
+            batch_deadline: config.batch_deadline,
+            write_buf_cap: config.write_buf_cap.max(4096),
+            max_inflight: config.max_inflight.max(1),
             gc_interval: config.gc_interval,
             stop: AtomicBool::new(false),
-            conns: Mutex::new(Vec::new()),
-            handlers: Mutex::new(Vec::new()),
             gc_gate: (Mutex::new(()), Condvar::new()),
             metrics: ServeMetrics::default(),
         });
 
+        let n_reactors = config.reactors.max(1);
         let shards = config.shards.max(1);
-        let mut senders = Vec::with_capacity(shards);
+
+        // Per-reactor plumbing: the poller (created here so its waker
+        // can be shared before the thread owns it), the accept inbox,
+        // and the pooled completion channel workers reply over.
+        let mut pollers = Vec::with_capacity(n_reactors);
+        let mut wakers = Vec::with_capacity(n_reactors);
+        let mut inboxes = Vec::with_capacity(n_reactors);
+        let mut comp_txs = Vec::with_capacity(n_reactors);
+        let mut comp_rxs = Vec::with_capacity(n_reactors);
+        for _ in 0..n_reactors {
+            let poller = Poller::new()?;
+            wakers.push(poller.waker());
+            pollers.push(poller);
+            inboxes.push(Arc::new(Mutex::new(Vec::<TcpStream>::new())));
+            let (tx, rx) = mpsc::channel::<Completion>();
+            comp_txs.push(tx);
+            comp_rxs.push(rx);
+        }
+
+        let mut job_txs = Vec::with_capacity(shards);
         let mut workers = Vec::with_capacity(shards);
         for i in 0..shards {
             let (tx, rx) = mpsc::channel::<ShardJob>();
-            senders.push(tx);
+            job_txs.push(tx);
             let sh = Arc::clone(&shared);
+            let comp = comp_txs.clone();
+            let wk = wakers.clone();
             workers.push(
                 thread::Builder::new()
                     .name(format!("sitm-serve-shard-{i}"))
-                    .spawn(move || shard_worker(&sh, &rx))?,
+                    .spawn(move || shard_worker(&sh, &rx, &comp, &wk))?,
             );
         }
+        // Reactors hold the only job senders: when the last reactor
+        // exits, workers drain their queues and see disconnect.
+        drop(comp_txs);
+
+        let mut reactors = Vec::with_capacity(n_reactors);
+        for (idx, (poller, comp_rx)) in pollers.into_iter().zip(comp_rxs).enumerate() {
+            let sh = Arc::clone(&shared);
+            let inbox = Arc::clone(&inboxes[idx]);
+            let jobs = job_txs.clone();
+            reactors.push(
+                thread::Builder::new()
+                    .name(format!("sitm-serve-reactor-{idx}"))
+                    .spawn(move || reactor_loop(&sh, idx, &poller, &inbox, &comp_rx, &jobs))?,
+            );
+        }
+        drop(job_txs);
 
         let sh = Arc::clone(&shared);
+        let accept_wakers = wakers.clone();
         let accept = thread::Builder::new()
             .name("sitm-serve-accept".into())
-            .spawn(move || accept_loop(&sh, &listener, &senders))?;
+            .spawn(move || accept_loop(&sh, &listener, &inboxes, &accept_wakers))?;
 
         let sh = Arc::clone(&shared);
         let gc = thread::Builder::new()
@@ -240,6 +397,8 @@ impl Server {
             shared,
             addr,
             accept: Some(accept),
+            reactors,
+            wakers,
             workers,
             gc: Some(gc),
         })
@@ -303,11 +462,15 @@ impl Server {
 
     /// Stops every thread and closes every connection. Equivalent to
     /// dropping the server, but lets callers observe an orderly join.
+    /// Idempotent: dropping the server afterwards (or racing a second
+    /// shutdown) is a no-op.
     pub fn shutdown(mut self) {
         self.shutdown_inner();
     }
 
     fn shutdown_inner(&mut self) {
+        // First caller wins; everyone else (including Drop after an
+        // explicit shutdown) sees the swapped flag and returns.
         if self.shared.stop.swap(true, Ordering::AcqRel) {
             return;
         }
@@ -316,22 +479,18 @@ impl Server {
         if let Some(h) = self.accept.take() {
             let _ = h.join();
         }
-        // Kick every handler out of its blocking read.
-        for conn in self.shared.conns.lock().expect("conns poisoned").drain(..) {
-            let _ = conn.shutdown(Shutdown::Both);
+        // Kick every reactor out of its wait; each aborts the open
+        // interactive transactions it owns on the way out, then drops
+        // its job senders.
+        for w in &self.wakers {
+            w.wake();
         }
-        let handlers: Vec<_> = self
-            .shared
-            .handlers
-            .lock()
-            .expect("handlers poisoned")
-            .drain(..)
-            .collect();
-        for h in handlers {
+        for h in self.reactors.drain(..) {
             let _ = h.join();
         }
-        // The accept thread and the handlers held the only job senders;
-        // with both gone the workers' recv() has disconnected.
+        // With every job sender gone the workers drain what's queued
+        // (in-flight pipelined TXNs still commit — their snapshots and
+        // epoch slots are released normally) and exit on disconnect.
         for h in self.workers.drain(..) {
             let _ = h.join();
         }
@@ -348,26 +507,399 @@ impl Drop for Server {
     }
 }
 
-fn accept_loop(shared: &Arc<Shared>, listener: &TcpListener, senders: &[mpsc::Sender<ShardJob>]) {
+// --------------------------------------------------------------------------
+// Accept thread.
+// --------------------------------------------------------------------------
+
+fn accept_loop(
+    shared: &Arc<Shared>,
+    listener: &TcpListener,
+    inboxes: &[Arc<Mutex<Vec<TcpStream>>>],
+    wakers: &[Waker],
+) {
+    let mut next = 0usize;
     for conn in listener.incoming() {
         if shared.stop.load(Ordering::Acquire) {
             break;
         }
-        let stream = match conn {
-            Ok(s) => s,
-            Err(_) => continue,
-        };
+        let Ok(stream) = conn else { continue };
         shared.metrics.conns.fetch_add(1, Ordering::Relaxed);
-        if let Ok(clone) = stream.try_clone() {
-            shared.conns.lock().expect("conns poisoned").push(clone);
+        let idx = next % inboxes.len();
+        next = next.wrapping_add(1);
+        inboxes[idx]
+            .lock()
+            .expect("reactor inbox poisoned")
+            .push(stream);
+        wakers[idx].wake();
+    }
+}
+
+// --------------------------------------------------------------------------
+// Directory cache: key → TVar bindings are immutable once created, so
+// every thread on the hot path may cache them privately and skip the
+// sharded directory RwLocks entirely in steady state.
+// --------------------------------------------------------------------------
+
+/// Safety valve so a hostile key stream can't grow a cache without
+/// bound; at this size the cache is simply rebuilt from the directory.
+const DIR_CACHE_MAX: usize = 1 << 18;
+
+type DirCache = HashMap<u64, TVar<Option<i64>>>;
+
+fn cached_lookup(shared: &Shared, cache: &mut DirCache, key: u64) -> Option<TVar<Option<i64>>> {
+    if let Some(var) = cache.get(&key) {
+        return Some(var.clone());
+    }
+    let var = shared.store.lookup(key)?;
+    if cache.len() >= DIR_CACHE_MAX {
+        cache.clear();
+    }
+    cache.insert(key, var.clone());
+    Some(var)
+}
+
+fn cached_get_or_create(shared: &Shared, cache: &mut DirCache, key: u64) -> TVar<Option<i64>> {
+    if let Some(var) = cache.get(&key) {
+        return var.clone();
+    }
+    let var = shared.store.get_or_create(key);
+    if cache.len() >= DIR_CACHE_MAX {
+        cache.clear();
+    }
+    cache.insert(key, var.clone());
+    var
+}
+
+// --------------------------------------------------------------------------
+// Reactor: the event loop.
+// --------------------------------------------------------------------------
+
+/// Socket reads per connection per readiness event. Level-triggered
+/// polling re-reports anything left, so the cap only bounds how long
+/// one connection can monopolize the loop.
+const READS_PER_EVENT: usize = 8;
+
+struct ReactorCtx<'a> {
+    shared: &'a Shared,
+    reactor: usize,
+    poller: &'a Poller,
+    job_tx: &'a [mpsc::Sender<ShardJob>],
+    dir_cache: DirCache,
+    /// Frames decoded since the last wakeup (for frames_per_wake).
+    frames_this_wake: u64,
+}
+
+fn reactor_loop(
+    shared: &Arc<Shared>,
+    reactor: usize,
+    poller: &Poller,
+    inbox: &Mutex<Vec<TcpStream>>,
+    comp_rx: &mpsc::Receiver<Completion>,
+    job_tx: &[mpsc::Sender<ShardJob>],
+) {
+    let mut conns: Vec<Option<Conn>> = Vec::new();
+    let mut free: Vec<usize> = Vec::new();
+    let mut events: Vec<Event> = Vec::new();
+    let mut touched: Vec<usize> = Vec::new();
+    let mut scratch = vec![0u8; 64 * 1024];
+    let mut next_gen: u64 = 0;
+    let mut ctx = ReactorCtx {
+        shared,
+        reactor,
+        poller,
+        job_tx,
+        dir_cache: DirCache::new(),
+        frames_this_wake: 0,
+    };
+
+    loop {
+        if poller.wait(&mut events, None).is_err() {
+            // An unusable poller means the loop can't continue; tear
+            // down as if stopping (aborting open transactions below).
+            break;
         }
-        let sh = Arc::clone(shared);
-        let senders = senders.to_vec();
-        let spawned = thread::Builder::new()
-            .name("sitm-serve-conn".into())
-            .spawn(move || handle_conn(&sh, &senders, stream));
-        if let Ok(h) = spawned {
-            shared.handlers.lock().expect("handlers poisoned").push(h);
+        if shared.stop.load(Ordering::Acquire) {
+            break;
+        }
+        shared
+            .metrics
+            .reactor_wakeups
+            .fetch_add(1, Ordering::Relaxed);
+        shared.metrics.events_per_wake.record(events.len() as u64);
+        ctx.frames_this_wake = 0;
+
+        // Adopt connections handed over by the accept thread.
+        loop {
+            // Take the lock briefly; never hold it across conn setup.
+            let Some(stream) = inbox.lock().expect("reactor inbox poisoned").pop() else {
+                break;
+            };
+            if stream.set_nonblocking(true).is_err() {
+                continue;
+            }
+            let _ = stream.set_nodelay(true);
+            let token = free.pop().unwrap_or_else(|| {
+                conns.push(None);
+                conns.len() - 1
+            });
+            next_gen = next_gen.wrapping_add(1);
+            let conn = Conn::new(stream, next_gen);
+            if poller
+                .add(&conn.stream, token as u64, conn.interest)
+                .is_err()
+            {
+                free.push(token);
+                continue;
+            }
+            conns[token] = Some(conn);
+            touch(&mut conns, &mut touched, token);
+        }
+
+        // Drain pooled completions from the shard workers.
+        while let Ok(c) = comp_rx.try_recv() {
+            let token = c.token as usize;
+            if let Some(conn) = conns.get_mut(token).and_then(Option::as_mut) {
+                if conn.gen == c.gen {
+                    if let Some((kind, took)) = conn.window.fulfill(c.seq, c.resp) {
+                        shared.metrics.record_latency(kind, took);
+                    }
+                    touch(&mut conns, &mut touched, token);
+                }
+            }
+        }
+
+        // Socket readiness: pull bytes in; writability is handled by
+        // the advance pass (it always attempts a flush).
+        for ev in &events {
+            let token = ev.token as usize;
+            let Some(conn) = conns.get_mut(token).and_then(Option::as_mut) else {
+                continue;
+            };
+            if ev.readable && !conn.paused && !conn.read_closed && !conn.dead {
+                read_socket(conn, &mut scratch);
+            }
+            touch(&mut conns, &mut touched, token);
+        }
+
+        // Advance every connection something happened to: decode,
+        // execute, release replies, flush, retune interest or close.
+        for token in std::mem::take(&mut touched) {
+            let Some(mut conn) = conns.get_mut(token).and_then(Option::take) else {
+                continue;
+            };
+            conn.dirty = false;
+            if advance_conn(&mut ctx, &mut conn, token as u64) {
+                conns[token] = Some(conn);
+            } else {
+                close_conn(shared, poller, conn);
+                free.push(token);
+            }
+        }
+        shared.metrics.frames_per_wake.record(ctx.frames_this_wake);
+    }
+
+    // Teardown: abort the interactive transactions this loop owns so
+    // their epoch slots and pinned versions are released, then drop
+    // the job senders (workers exit once every reactor has).
+    for conn in conns.into_iter().flatten() {
+        close_conn(shared, poller, conn);
+    }
+}
+
+fn touch(conns: &mut [Option<Conn>], touched: &mut Vec<usize>, token: usize) {
+    if let Some(conn) = conns.get_mut(token).and_then(Option::as_mut) {
+        if !conn.dirty {
+            conn.dirty = true;
+            touched.push(token);
+        }
+    }
+}
+
+fn close_conn(shared: &Shared, poller: &Poller, mut conn: Conn) {
+    let _ = poller.remove(&conn.stream, 0);
+    if let Some(tx) = conn.open.take() {
+        shared.stm.abort(tx);
+    }
+    // The stream drops (and closes) here; in-flight completions for
+    // this connection are discarded by the (token, gen) check.
+}
+
+/// Pulls whatever the socket has into the frame buffer.
+fn read_socket(conn: &mut Conn, scratch: &mut [u8]) {
+    for _ in 0..READS_PER_EVENT {
+        match conn.stream.read(scratch) {
+            Ok(0) => {
+                conn.read_closed = true;
+                return;
+            }
+            Ok(n) => {
+                conn.frames.extend(&scratch[..n]);
+                if n < scratch.len() {
+                    return;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => {
+                conn.dead = true;
+                return;
+            }
+        }
+    }
+}
+
+/// Runs one connection's state machine to quiescence: decode and
+/// execute frames (bounded by the in-flight window and the write
+/// buffer cap), release in-order replies, flush to the socket, then
+/// retune poller interest. Returns `false` when the connection should
+/// be closed.
+fn advance_conn(ctx: &mut ReactorCtx<'_>, conn: &mut Conn, token: u64) -> bool {
+    let shared = ctx.shared;
+    loop {
+        let mut progressed = false;
+
+        // Decode + execute while the pipeline has room.
+        while !conn.dead
+            && conn.window.len() < shared.max_inflight
+            && conn.out.len() < shared.write_buf_cap
+        {
+            match conn.frames.next_frame() {
+                Ok(Some(frame)) => {
+                    progressed = true;
+                    ctx.frames_this_wake += 1;
+                    process_frame(ctx, conn, token, &frame);
+                }
+                Ok(None) => break,
+                Err(_) => {
+                    // Unrecoverable framing (oversized or zero-length
+                    // prefix): the stream can't be resynchronized.
+                    // Serve out what's already in flight, then close.
+                    conn.read_closed = true;
+                    break;
+                }
+            }
+        }
+
+        // Release the contiguous ready prefix of the reply window.
+        while conn.out.len() < shared.write_buf_cap {
+            match conn.window.pop_ready() {
+                Some(resp) => {
+                    progressed = true;
+                    conn.out.push_frame(&resp.encode());
+                }
+                None => break,
+            }
+        }
+
+        // Flush as much as the socket will take.
+        if !conn.out.is_empty() {
+            match conn.out.write_to(&mut conn.stream) {
+                Ok(drained) => progressed |= drained,
+                Err(_) => conn.dead = true,
+            }
+        }
+
+        if conn.dead || !progressed {
+            break;
+        }
+    }
+
+    if conn.dead {
+        return false;
+    }
+    if conn.read_closed && conn.drained() {
+        // Clean half-close fully served: nothing more can arrive
+        // (reads stopped) and nothing is owed.
+        return false;
+    }
+
+    // Backpressure bookkeeping + poller interest.
+    let paused = conn.window.len() >= shared.max_inflight || conn.out.len() >= shared.write_buf_cap;
+    if paused && !conn.paused {
+        shared
+            .metrics
+            .backpressure_pauses
+            .fetch_add(1, Ordering::Relaxed);
+    }
+    conn.paused = paused;
+    let want = Interest {
+        readable: !paused && !conn.read_closed,
+        writable: !conn.out.is_empty(),
+    };
+    if want != conn.interest {
+        if ctx.poller.modify(&conn.stream, token, want).is_err() {
+            return false;
+        }
+        conn.interest = want;
+    }
+    true
+}
+
+/// Decodes and executes one frame. Interactive requests run inline;
+/// `TXN` batches are dispatched to a shard worker and complete later.
+fn process_frame(ctx: &mut ReactorCtx<'_>, conn: &mut Conn, token: u64, frame: &[u8]) {
+    let shared = ctx.shared;
+    shared.metrics.frames.fetch_add(1, Ordering::Relaxed);
+    match Request::decode(frame) {
+        Err(err) => {
+            // The frame was well-delimited, only its payload was
+            // garbage — report in order and keep serving.
+            shared.metrics.malformed.fetch_add(1, Ordering::Relaxed);
+            let seq = conn.window.push(OpKind::Malformed);
+            conn.window.fulfill(
+                seq,
+                Response::Err {
+                    code: ErrCode::Malformed,
+                    detail: err.to_string(),
+                },
+            );
+        }
+        Ok(Request::Txn { ops }) => {
+            if ops.is_empty() {
+                let seq = conn.window.push(OpKind::Txn);
+                conn.window.fulfill(
+                    seq,
+                    Response::Err {
+                        code: ErrCode::EmptyTxn,
+                        detail: "empty TXN batch".into(),
+                    },
+                );
+                return;
+            }
+            // Route by first-key hash; any shard executes the batch
+            // correctly (it runs a full STM transaction), routing only
+            // decides which group-commit queue absorbs it.
+            let shard = (ops[0].key() % ctx.job_tx.len() as u64) as usize;
+            let seq = conn.window.push(OpKind::Txn);
+            shared.metrics.inflight.record(conn.window.len() as u64);
+            let job = ShardJob {
+                reactor: ctx.reactor,
+                token,
+                gen: conn.gen,
+                seq,
+                ops,
+            };
+            if ctx.job_tx[shard].send(job).is_err() {
+                // Only possible while the server is tearing down under
+                // the client; the reply will never come, drop the conn.
+                conn.dead = true;
+            }
+        }
+        Ok(req) => {
+            let kind = match req {
+                Request::Begin => OpKind::Begin,
+                Request::Read { .. } => OpKind::Read,
+                Request::Write { .. } => OpKind::Write,
+                Request::Commit => OpKind::Commit,
+                Request::Abort => OpKind::Abort,
+                Request::Stats => OpKind::Stats,
+                Request::Txn { .. } => unreachable!("handled above"),
+            };
+            let seq = conn.window.push(kind);
+            let resp = exec_inline(shared, &mut ctx.dir_cache, req, &mut conn.open);
+            if let Some((kind, took)) = conn.window.fulfill(seq, resp) {
+                shared.metrics.record_latency(kind, took);
+            }
         }
     }
 }
@@ -380,60 +912,14 @@ fn conflict_to_wire(c: Conflict) -> WireConflict {
     }
 }
 
-fn handle_conn(shared: &Arc<Shared>, senders: &[mpsc::Sender<ShardJob>], stream: TcpStream) {
-    let Ok(read_half) = stream.try_clone() else {
-        return;
-    };
-    let mut reader = BufReader::new(read_half);
-    let mut writer = BufWriter::new(stream);
-    let mut open: Option<Tx> = None;
-
-    // A clean EOF, torn frame or oversized length prefix all end the
-    // loop: the stream can't be resynchronized, drop the connection.
-    while let Ok(Some(frame)) = read_frame(&mut reader) {
-        shared.metrics.frames.fetch_add(1, Ordering::Relaxed);
-        let start = Instant::now();
-        let response = match Request::decode(&frame) {
-            Ok(req) => {
-                let hist = shared.metrics.latency_of(&req);
-                let resp = dispatch(shared, senders, req, &mut open);
-                hist.record(start.elapsed().as_nanos() as u64);
-                resp
-            }
-            Err(err) => {
-                // The frame itself was well-delimited, only its payload
-                // was garbage — report and keep serving.
-                shared.metrics.malformed.fetch_add(1, Ordering::Relaxed);
-                Some(Response::Err {
-                    code: ErrCode::Malformed,
-                    detail: err.to_string(),
-                })
-            }
-        };
-        let Some(response) = response else { break };
-        let sent = write_frame(&mut writer, &response.encode()).and_then(|()| writer.flush());
-        if sent.is_err() {
-            break;
-        }
-    }
-
-    // Connection died (or server is stopping) with a transaction open:
-    // roll it back so its epoch-registry slot and pinned versions are
-    // released, and the attempt stays accounted for in the history.
-    if let Some(tx) = open.take() {
-        shared.stm.abort(tx);
-    }
-}
-
-/// Executes one decoded request. `None` means "close the connection"
-/// (only used when the server is shutting down under the client).
-fn dispatch(
+/// Executes one interactive request on the reactor thread.
+fn exec_inline(
     shared: &Shared,
-    senders: &[mpsc::Sender<ShardJob>],
+    dir_cache: &mut DirCache,
     req: Request,
     open: &mut Option<Tx>,
-) -> Option<Response> {
-    Some(match req {
+) -> Response {
+    match req {
         Request::Begin => {
             if open.is_some() {
                 Response::Err {
@@ -446,7 +932,7 @@ fn dispatch(
             }
         }
         Request::Read { key } => match open.as_mut() {
-            Some(tx) => match shared.store.lookup(key) {
+            Some(tx) => match cached_lookup(shared, dir_cache, key) {
                 // Never-created key: reads `None` at every snapshot.
                 None => Response::Value { value: None },
                 Some(var) => match tx.read(&var) {
@@ -465,16 +951,14 @@ fn dispatch(
             },
             None => {
                 // One-shot snapshot read.
-                let value = shared
-                    .store
-                    .lookup(key)
+                let value = cached_lookup(shared, dir_cache, key)
                     .map(|var| shared.stm.atomically(|tx| tx.read(&var)))
                     .unwrap_or(None);
                 Response::Value { value }
             }
         },
         Request::Write { key, value } => {
-            let var = shared.store.get_or_create(key);
+            let var = cached_get_or_create(shared, dir_cache, key);
             match open.as_mut() {
                 Some(tx) => {
                     tx.write(&var, Some(value));
@@ -514,30 +998,6 @@ fn dispatch(
                 Response::Ok
             }
         },
-        Request::Txn { ops } => {
-            if ops.is_empty() {
-                return Some(Response::Err {
-                    code: ErrCode::EmptyTxn,
-                    detail: "empty TXN batch".into(),
-                });
-            }
-            // Route by first-key hash; any shard executes the batch
-            // correctly (it runs a full STM transaction), routing only
-            // decides which group-commit queue absorbs it.
-            let shard = (ops[0].key() % senders.len() as u64) as usize;
-            let (reply_tx, reply_rx) = mpsc::channel();
-            let job = ShardJob {
-                ops,
-                reply: reply_tx,
-            };
-            if senders[shard].send(job).is_err() {
-                return None;
-            }
-            match reply_rx.recv() {
-                Ok(resp) => resp,
-                Err(_) => return None,
-            }
-        }
         Request::Stats => {
             let stats = shared.stm.stats();
             Response::Stats(WireStats {
@@ -550,24 +1010,73 @@ fn dispatch(
                 keys: shared.store.len() as u64,
             })
         }
-    })
+        Request::Txn { .. } => unreachable!("TXN is dispatched, never inline"),
+    }
 }
 
 // --------------------------------------------------------------------------
 // Group-commit shard workers.
 // --------------------------------------------------------------------------
 
-fn shard_worker(shared: &Arc<Shared>, rx: &mpsc::Receiver<ShardJob>) {
+/// Why a worker stopped collecting and committed its batch.
+enum FlushCause {
+    /// The packing window filled (`batch_max`).
+    Size,
+    /// `batch_deadline` elapsed with the window partly full.
+    Deadline,
+    /// The queue drained (deadline disabled).
+    Drain,
+}
+
+fn shard_worker(
+    shared: &Arc<Shared>,
+    rx: &mpsc::Receiver<ShardJob>,
+    comp: &[mpsc::Sender<Completion>],
+    wakers: &[Waker],
+) {
+    let mut dir_cache = DirCache::new();
     while let Ok(first) = rx.recv() {
-        // Batched intake: one blocking recv, then drain whatever else
-        // already queued, up to the packing window.
+        // Batched intake: one blocking recv, then fill the packing
+        // window — greedily when no deadline is set (flush the moment
+        // the queue drains), or waiting out `batch_deadline` for more
+        // work when it is (latency-bounded group commit).
         let mut batch = vec![first];
-        while batch.len() < shared.batch_max {
-            match rx.try_recv() {
-                Ok(job) => batch.push(job),
-                Err(_) => break,
+        let mut cause = FlushCause::Drain;
+        if shared.batch_deadline.is_zero() {
+            while batch.len() < shared.batch_max {
+                match rx.try_recv() {
+                    Ok(job) => batch.push(job),
+                    Err(_) => break,
+                }
+            }
+        } else {
+            let deadline = Instant::now() + shared.batch_deadline;
+            while batch.len() < shared.batch_max {
+                let now = Instant::now();
+                if now >= deadline {
+                    cause = FlushCause::Deadline;
+                    break;
+                }
+                match rx.recv_timeout(deadline - now) {
+                    Ok(job) => batch.push(job),
+                    Err(mpsc::RecvTimeoutError::Timeout) => {
+                        cause = FlushCause::Deadline;
+                        break;
+                    }
+                    // Run what we have; the outer recv() exits next.
+                    Err(mpsc::RecvTimeoutError::Disconnected) => break,
+                }
             }
         }
+        if batch.len() >= shared.batch_max {
+            cause = FlushCause::Size;
+        }
+        let cause_counter = match cause {
+            FlushCause::Size => &shared.metrics.flush_size,
+            FlushCause::Deadline => &shared.metrics.flush_deadline,
+            FlushCause::Drain => &shared.metrics.flush_drain,
+        };
+        cause_counter.fetch_add(1, Ordering::Relaxed);
         shared.metrics.batch_size.record(batch.len() as u64);
 
         // Greedy disjoint-footprint packing: requests that touch no
@@ -593,15 +1102,22 @@ fn shard_worker(shared: &Arc<Shared>, rx: &mpsc::Receiver<ShardJob>) {
                 .metrics
                 .group_txns
                 .fetch_add(jobs.len() as u64, Ordering::Relaxed);
-            run_group(shared, &jobs);
+            run_group(shared, &mut dir_cache, &jobs, comp, wakers);
         }
     }
 }
 
 /// Executes a disjoint group of `TXN` batches as one STM transaction,
 /// retrying on write-write conflicts (against interactive commits or
-/// other shards' workers) until it lands.
-fn run_group(shared: &Shared, jobs: &[ShardJob]) {
+/// other shards' workers) until it lands, then routes each reply back
+/// to its connection's reactor over the pooled completion channel.
+fn run_group(
+    shared: &Shared,
+    dir_cache: &mut DirCache,
+    jobs: &[ShardJob],
+    comp: &[mpsc::Sender<Completion>],
+    wakers: &[Waker],
+) {
     // Resolve directory entries once, outside the retry loop. `Get` on
     // a never-created key stays unresolved and reads `None`; mutating
     // ops materialize the key.
@@ -613,9 +1129,9 @@ fn run_group(shared: &Shared, jobs: &[ShardJob]) {
                 .iter()
                 .map(|op| {
                     let var = match op {
-                        TxnOp::Get { key } => shared.store.lookup(*key),
+                        TxnOp::Get { key } => cached_lookup(shared, dir_cache, *key),
                         TxnOp::Put { key, .. } | TxnOp::Add { key, .. } | TxnOp::Del { key } => {
-                            Some(shared.store.get_or_create(*key))
+                            Some(cached_get_or_create(shared, dir_cache, *key))
                         }
                     };
                     (op, var)
@@ -666,9 +1182,23 @@ fn run_group(shared: &Shared, jobs: &[ShardJob]) {
             shared.stm.abort(tx);
         } else if let Ok(ts) = shared.stm.commit(tx) {
             let commit_ts = ts.unwrap_or(0);
+            let mut woken: Vec<usize> = Vec::with_capacity(1);
             for (job, reads) in jobs.iter().zip(replies) {
-                // The client may have hung up; its loss.
-                let _ = job.reply.send(Response::TxnResult { reads, commit_ts });
+                // The reactor (or the whole connection) may be gone;
+                // stale deliveries are dropped by the (token, gen)
+                // check on the other side.
+                let sent = comp[job.reactor].send(Completion {
+                    token: job.token,
+                    gen: job.gen,
+                    seq: job.seq,
+                    resp: Response::TxnResult { reads, commit_ts },
+                });
+                if sent.is_ok() && !woken.contains(&job.reactor) {
+                    woken.push(job.reactor);
+                }
+            }
+            for idx in woken {
+                wakers[idx].wake();
             }
             return;
         }

@@ -665,6 +665,85 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
     Ok(Some(body))
 }
 
+// --------------------------------------------------------------------------
+// Incremental framing for nonblocking streams.
+// --------------------------------------------------------------------------
+
+/// Incremental frame decoder for the event-loop server: bytes arrive
+/// from a nonblocking socket in arbitrary slices (a frame may be torn
+/// across any number of reads, or several frames may land in one), and
+/// [`FrameBuffer::next_frame`] yields each complete frame body exactly
+/// once, in order.
+///
+/// Errors are sticky: an oversized or zero-length announced frame
+/// poisons the stream (there is no way to resynchronize a
+/// length-prefixed protocol past a bad prefix), and every subsequent
+/// `next_frame` call reports the same error so the caller can tear the
+/// connection down at its leisure.
+#[derive(Debug, Default)]
+pub struct FrameBuffer {
+    buf: Vec<u8>,
+    /// Consumed prefix of `buf`; compacted opportunistically.
+    pos: usize,
+    poisoned: Option<WireError>,
+}
+
+impl FrameBuffer {
+    /// An empty buffer.
+    pub fn new() -> FrameBuffer {
+        FrameBuffer::default()
+    }
+
+    /// Appends freshly read bytes.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        // Compact before growing: everything before `pos` is dead.
+        if self.pos > 0 && (self.pos >= self.buf.len() || self.pos > 4096) {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed as frames.
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// The next complete frame body, if one is fully buffered.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Oversized`] for a length prefix over [`MAX_FRAME`]
+    /// and [`WireError::Truncated`] for a zero-length frame (every
+    /// message has at least an opcode). Both are sticky — the stream
+    /// cannot be resynchronized — and are reported *before* any
+    /// payload allocation.
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>, WireError> {
+        if let Some(err) = &self.poisoned {
+            return Err(err.clone());
+        }
+        let avail = &self.buf[self.pos..];
+        if avail.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes([avail[0], avail[1], avail[2], avail[3]]) as usize;
+        if len > MAX_FRAME {
+            self.poisoned = Some(WireError::Oversized(len));
+            return Err(WireError::Oversized(len));
+        }
+        if len == 0 {
+            self.poisoned = Some(WireError::Truncated);
+            return Err(WireError::Truncated);
+        }
+        if avail.len() < 4 + len {
+            return Ok(None);
+        }
+        let body = avail[4..4 + len].to_vec();
+        self.pos += 4 + len;
+        Ok(Some(body))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -766,5 +845,49 @@ mod tests {
         buf.extend_from_slice(&((MAX_FRAME as u32) + 1).to_le_bytes());
         let err = read_frame(&mut &buf[..]).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn frame_buffer_yields_frames_across_split_boundaries() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &Request::Read { key: 1 }.encode()).unwrap();
+        write_frame(&mut wire, &Request::Commit.encode()).unwrap();
+
+        // Feed one byte at a time: both frames still come out whole.
+        let mut fb = FrameBuffer::new();
+        let mut got = Vec::new();
+        for &b in &wire {
+            fb.extend(&[b]);
+            while let Some(frame) = fb.next_frame().expect("clean stream") {
+                got.push(frame);
+            }
+        }
+        assert_eq!(got.len(), 2);
+        assert_eq!(
+            Request::decode(&got[0]),
+            Ok(Request::Read { key: 1 }),
+            "first frame intact"
+        );
+        assert_eq!(Request::decode(&got[1]), Ok(Request::Commit));
+        assert_eq!(fb.pending(), 0);
+    }
+
+    #[test]
+    fn frame_buffer_poisons_on_oversized_and_stays_poisoned() {
+        let mut fb = FrameBuffer::new();
+        fb.extend(&((MAX_FRAME as u32) + 1).to_le_bytes());
+        assert!(matches!(fb.next_frame(), Err(WireError::Oversized(_))));
+        fb.extend(&Request::Begin.encode());
+        assert!(
+            matches!(fb.next_frame(), Err(WireError::Oversized(_))),
+            "poisoned stream never recovers"
+        );
+    }
+
+    #[test]
+    fn frame_buffer_rejects_zero_length_frames() {
+        let mut fb = FrameBuffer::new();
+        fb.extend(&0u32.to_le_bytes());
+        assert_eq!(fb.next_frame(), Err(WireError::Truncated));
     }
 }

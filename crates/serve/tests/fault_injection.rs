@@ -1,16 +1,19 @@
 //! Fault injection against a live server: clients that disconnect
 //! mid-transaction, stall between BEGIN and COMMIT, send duplicate
-//! COMMITs, or write garbage on the wire. The server must keep
-//! serving, and the faults must leak nothing — every epoch-registry
-//! slot is released (`live_snapshots` returns to baseline) and every
-//! version a stalled snapshot pinned is reclaimed once it is gone.
+//! COMMITs, write garbage on the wire, or get shut down under a
+//! pipeline of in-flight transactions. The server must keep serving
+//! (or stop cleanly), and the faults must leak nothing — every
+//! epoch-registry slot is released (`live_snapshots` returns to
+//! baseline) and every version a stalled snapshot pinned is reclaimed
+//! once it is gone.
 
 use std::io::Write;
 use std::net::TcpStream;
 use std::sync::Mutex;
+use std::thread;
 use std::time::{Duration, Instant};
 
-use sitm_serve::{Client, ErrCode, Server, ServerConfig, TxnOp, WireConflict};
+use sitm_serve::{Client, ErrCode, Request, Server, ServerConfig, TxnOp, WireConflict};
 use sitm_stm::live_snapshots;
 
 /// `live_snapshots` counts process-global epoch-registry slots, so the
@@ -190,4 +193,99 @@ fn racing_interactive_commits_surface_write_write() {
     assert_eq!(second.read(7).expect("read after abort"), Some(a + 1));
 
     server.shutdown();
+}
+
+/// Shutdown racing a full pipeline: clients keep whole windows of
+/// `TXN` batches in flight (plus one open interactive transaction)
+/// while the server stops. Every epoch slot must be released —
+/// in-flight batches run to completion on the shard workers, the open
+/// transaction is rolled back by its reactor — and `shutdown` must be
+/// idempotent (the explicit call consumes the server, then `Drop`
+/// re-enters the same guarded path as a no-op).
+#[test]
+fn shutdown_under_pipelined_load_releases_every_epoch_slot() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let baseline = live_snapshots();
+    let server = Server::start(ServerConfig {
+        // A nonzero deadline keeps batches parked in the packing
+        // window so shutdown really does race queued work.
+        batch_deadline: Duration::from_micros(500),
+        ..ServerConfig::default()
+    })
+    .expect("server start");
+    let addr = server.addr();
+
+    // One interactive transaction left open across the shutdown.
+    let mut dangling = Client::connect(addr).expect("dangling connect");
+    dangling.begin().expect("dangling begin");
+    dangling.write(100, 1).expect("dangling write");
+    assert!(live_snapshots() > baseline, "open txn pins an epoch slot");
+
+    // Pipelined flooders: each blasts a window of TXNs and only then
+    // starts reading, so shutdown lands with frames queued at every
+    // stage (socket, frame buffer, shard queue, completion channel).
+    let mut flooders = Vec::new();
+    for t in 0..3u64 {
+        flooders.push(thread::spawn(move || {
+            let Ok(mut c) = Client::connect(addr) else {
+                return;
+            };
+            loop {
+                for i in 0..64 {
+                    let ops = vec![
+                        TxnOp::Add {
+                            key: t * 1000 + i,
+                            delta: 1,
+                        },
+                        TxnOp::Add {
+                            key: t * 1000 + i + 64,
+                            delta: -1,
+                        },
+                    ];
+                    if c.send(&Request::Txn { ops }).is_err() {
+                        return;
+                    }
+                }
+                if c.flush().is_err() {
+                    return;
+                }
+                for _ in 0..64 {
+                    // Server death mid-window surfaces here; done.
+                    if c.recv().is_err() {
+                        return;
+                    }
+                }
+            }
+        }));
+    }
+    // Let the flood reach the shard queues before pulling the plug.
+    thread::sleep(Duration::from_millis(30));
+
+    server.shutdown();
+
+    // Shutdown joined every thread: queued batches committed (or the
+    // connection died before dispatch), the dangling transaction was
+    // aborted by its reactor — nothing may still hold a slot.
+    assert_eq!(
+        live_snapshots(),
+        baseline,
+        "shutdown with in-flight pipelined txns leaked an epoch slot"
+    );
+    for f in flooders {
+        f.join().expect("flooder thread");
+    }
+    drop(dangling);
+
+    // Idempotency from the other side: a server that dies by Drop
+    // alone (no explicit shutdown) takes the identical guarded path.
+    let server2 = Server::start(ServerConfig::default()).expect("second server");
+    let mut c = Client::connect(server2.addr()).expect("connect 2");
+    c.begin().expect("begin 2");
+    c.write(1, 1).expect("write 2");
+    drop(server2);
+    assert_eq!(
+        live_snapshots(),
+        baseline,
+        "drop-only shutdown leaked an epoch slot"
+    );
 }

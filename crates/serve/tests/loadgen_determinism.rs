@@ -21,6 +21,7 @@ fn same_seed_same_ops_same_invariants() {
             hot_pct: 75,
             hot_keys: 4,
             seed: rng.next_u64(),
+            pipeline: 1,
         };
 
         let (server_a, report_a) = run_loopback(ServerConfig::default(), &cfg).expect("first run");
@@ -50,6 +51,31 @@ fn same_seed_same_ops_same_invariants() {
             );
         }
         assert_eq!(report_a.expected_total, cfg.keys as i64 * FUND_PER_KEY);
+
+        // The pipelined mode issues the *same* stream: the window
+        // changes pacing, never which frames are sent or their order,
+        // so the checksum must match the closed loop's — and the bank
+        // stays conserved under out-of-order completion.
+        let piped = LoadConfig {
+            pipeline: 8,
+            ..cfg.clone()
+        };
+        let (server_p, report_p) =
+            run_loopback(ServerConfig::default(), &piped).expect("pipelined");
+        server_p.shutdown();
+        assert_eq!(
+            report_a.checksum, report_p.checksum,
+            "pipelining must not change the request stream (seed {:#x})",
+            cfg.seed
+        );
+        assert_eq!(report_a.ops_total, report_p.ops_total);
+        assert!(
+            report_p.conserved(),
+            "pipelined run violated conservation: {} != {} (seed {:#x})",
+            report_p.final_total,
+            report_p.expected_total,
+            cfg.seed
+        );
 
         // A different seed produces a different op stream (sanity that
         // the checksum actually discriminates).
