@@ -217,9 +217,14 @@ pub fn run_against(addr: SocketAddr, cfg: &LoadConfig) -> Result<LoadReport, Cli
         let barrier = std::sync::Arc::clone(&barrier);
         handles.push(thread::spawn(
             move || -> Result<(Vec<u64>, u64), ClientError> {
-                let mut client = Client::connect(addr)?;
+                // Connect before the barrier but defer the error past
+                // it: every party must reach the wait, or one refused
+                // connect would strand the main thread (and every
+                // other client) at its barrier.wait() forever.
+                let connected = Client::connect(addr);
                 let mut rng = SmallRng::seed_from_u64(cfg.seed.wrapping_add(client_idx as u64));
                 barrier.wait();
+                let mut client = connected?;
                 let mut latencies = Vec::with_capacity(cfg.ops_per_client);
                 let mut checksum = 0xcbf2_9ce4_8422_2325u64;
                 let window = cfg.pipeline.max(1);

@@ -351,56 +351,101 @@ impl Server {
             comp_rxs.push(rx);
         }
 
-        let mut job_txs = Vec::with_capacity(shards);
         let mut workers = Vec::with_capacity(shards);
-        for i in 0..shards {
-            let (tx, rx) = mpsc::channel::<ShardJob>();
-            job_txs.push(tx);
-            let sh = Arc::clone(&shared);
-            let comp = comp_txs.clone();
-            let wk = wakers.clone();
-            workers.push(
-                thread::Builder::new()
-                    .name(format!("sitm-serve-shard-{i}"))
-                    .spawn(move || shard_worker(&sh, &rx, &comp, &wk))?,
-            );
-        }
-        // Reactors hold the only job senders: when the last reactor
-        // exits, workers drain their queues and see disconnect.
-        drop(comp_txs);
-
         let mut reactors = Vec::with_capacity(n_reactors);
-        for (idx, (poller, comp_rx)) in pollers.into_iter().zip(comp_rxs).enumerate() {
+        let mut accept = None;
+        let mut gc = None;
+
+        // Spawn phase. A failure partway through must tear down what
+        // already runs — reactor threads park in `poller.wait(None)`
+        // and would leak (along with the bound listener) if start just
+        // returned the error.
+        let spawned: io::Result<()> = (|| {
+            let mut job_txs = Vec::with_capacity(shards);
+            for i in 0..shards {
+                let (tx, rx) = mpsc::channel::<ShardJob>();
+                job_txs.push(tx);
+                let sh = Arc::clone(&shared);
+                let comp = comp_txs.clone();
+                let wk = wakers.clone();
+                workers.push(
+                    thread::Builder::new()
+                        .name(format!("sitm-serve-shard-{i}"))
+                        .spawn(move || shard_worker(&sh, &rx, &comp, &wk))?,
+                );
+            }
+            // start's comp_txs copies are dropped here so the shard
+            // workers hold the only completion senders.
+            drop(comp_txs);
+
+            for (idx, (poller, comp_rx)) in pollers.into_iter().zip(comp_rxs).enumerate() {
+                let sh = Arc::clone(&shared);
+                let inbox = Arc::clone(&inboxes[idx]);
+                let jobs = job_txs.clone();
+                reactors.push(
+                    thread::Builder::new()
+                        .name(format!("sitm-serve-reactor-{idx}"))
+                        .spawn(move || reactor_loop(&sh, idx, &poller, &inbox, &comp_rx, &jobs))?,
+                );
+            }
+            // Reactors now hold the only job senders: when the last
+            // reactor exits, workers drain their queues and see
+            // disconnect.
+            drop(job_txs);
+
             let sh = Arc::clone(&shared);
-            let inbox = Arc::clone(&inboxes[idx]);
-            let jobs = job_txs.clone();
-            reactors.push(
+            let accept_wakers = wakers.clone();
+            accept = Some(
                 thread::Builder::new()
-                    .name(format!("sitm-serve-reactor-{idx}"))
-                    .spawn(move || reactor_loop(&sh, idx, &poller, &inbox, &comp_rx, &jobs))?,
+                    .name("sitm-serve-accept".into())
+                    .spawn(move || accept_loop(&sh, &listener, &inboxes, &accept_wakers))?,
             );
+
+            let sh = Arc::clone(&shared);
+            gc = Some(
+                thread::Builder::new()
+                    .name("sitm-serve-gc".into())
+                    .spawn(move || gc_loop(&sh))?,
+            );
+            Ok(())
+        })();
+
+        if let Err(e) = spawned {
+            shared.stop.store(true, Ordering::Release);
+            for w in &wakers {
+                w.wake();
+            }
+            shared.gc_gate.1.notify_all();
+            // The accept loop (if it got that far) re-checks `stop`
+            // per connection; poke it loose. Harmless if it never
+            // spawned — the listener is already gone.
+            let _ = TcpStream::connect(addr);
+            if let Some(h) = accept.take() {
+                let _ = h.join();
+            }
+            for h in reactors.drain(..) {
+                let _ = h.join();
+            }
+            // Exiting reactors dropped their job-sender clones (the
+            // closure environment dropped start's), so workers see
+            // disconnect once their queues drain.
+            for h in workers.drain(..) {
+                let _ = h.join();
+            }
+            if let Some(h) = gc.take() {
+                let _ = h.join();
+            }
+            return Err(e);
         }
-        drop(job_txs);
-
-        let sh = Arc::clone(&shared);
-        let accept_wakers = wakers.clone();
-        let accept = thread::Builder::new()
-            .name("sitm-serve-accept".into())
-            .spawn(move || accept_loop(&sh, &listener, &inboxes, &accept_wakers))?;
-
-        let sh = Arc::clone(&shared);
-        let gc = thread::Builder::new()
-            .name("sitm-serve-gc".into())
-            .spawn(move || gc_loop(&sh))?;
 
         Ok(Server {
             shared,
             addr,
-            accept: Some(accept),
+            accept,
             reactors,
             wakers,
             workers,
-            gc: Some(gc),
+            gc,
         })
     }
 
@@ -691,7 +736,7 @@ fn reactor_loop(
             if advance_conn(&mut ctx, &mut conn, token as u64) {
                 conns[token] = Some(conn);
             } else {
-                close_conn(shared, poller, conn);
+                close_conn(shared, poller, conn, token as u64);
                 free.push(token);
             }
         }
@@ -701,8 +746,10 @@ fn reactor_loop(
     // Teardown: abort the interactive transactions this loop owns so
     // their epoch slots and pinned versions are released, then drop
     // the job senders (workers exit once every reactor has).
-    for conn in conns.into_iter().flatten() {
-        close_conn(shared, poller, conn);
+    for (token, conn) in conns.into_iter().enumerate() {
+        if let Some(conn) = conn {
+            close_conn(shared, poller, conn, token as u64);
+        }
     }
 }
 
@@ -715,8 +762,11 @@ fn touch(conns: &mut [Option<Conn>], touched: &mut Vec<usize>, token: usize) {
     }
 }
 
-fn close_conn(shared: &Shared, poller: &Poller, mut conn: Conn) {
-    let _ = poller.remove(&conn.stream, 0);
+fn close_conn(shared: &Shared, poller: &Poller, mut conn: Conn, token: u64) {
+    // The epoll backend removes by fd, but the sweep fallback removes
+    // by token — passing the wrong one would deregister a *live*
+    // connection and leak this one's interest entry.
+    let _ = poller.remove(&conn.stream, token);
     if let Some(tx) = conn.open.take() {
         shared.stm.abort(tx);
     }

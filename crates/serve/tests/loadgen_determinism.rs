@@ -7,8 +7,39 @@
 //! the failing seed, and `SITM_PROPTEST_CASES` scales the case count.
 
 use sitm_obs::run_seeded_cases;
-use sitm_serve::loadgen::{run_loopback, LoadConfig, FUND_PER_KEY};
+use sitm_serve::loadgen::{run_against, run_loopback, LoadConfig, FUND_PER_KEY};
 use sitm_serve::ServerConfig;
+
+/// A dead server must surface as an error from every client, not a
+/// hang: each load thread reaches the start barrier even when its
+/// connect fails (regression test — an early `?` before the barrier
+/// used to strand the coordinator forever).
+#[test]
+fn refused_connect_errors_instead_of_hanging() {
+    // Bind-then-drop reserves a port with no listener behind it.
+    let addr = std::net::TcpListener::bind("127.0.0.1:0")
+        .expect("bind probe")
+        .local_addr()
+        .expect("probe addr");
+    let cfg = LoadConfig {
+        clients: 4,
+        ops_per_client: 10,
+        read_pct: 40,
+        keys: 8,
+        hot_pct: 75,
+        hot_keys: 4,
+        seed: 0xDEAD,
+        pipeline: 1,
+    };
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        let _ = tx.send(run_against(addr, &cfg).is_err());
+    });
+    let errored = rx
+        .recv_timeout(std::time::Duration::from_secs(30))
+        .expect("run_against hung on refused connect");
+    assert!(errored, "connecting to a dead address must report failure");
+}
 
 #[test]
 fn same_seed_same_ops_same_invariants() {
